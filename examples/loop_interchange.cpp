@@ -1,0 +1,106 @@
+//===- loop_interchange.cpp - The Permute module on paper Figure 10 -------------===//
+//
+// Loop interchange (paper Fig. 10) is a loop *reordering* transformation:
+// it has no bisimulation, so PEC proves it with the Permute module
+// (Theorem 2), inferring the index mapping F((i,j)) = (j,i) and
+// discharging the theorem's conditions with the ATP. The quantified
+// Commute side condition covers the reordered instance pairs.
+//
+// The proven rule is then applied to a concrete 2-D stencil whose body
+// touches each cell exactly once (so all distinct instances commute), and
+// validated with the interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Apply.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "opts/Optimizations.h"
+#include "pec/Pec.h"
+
+#include <cstdio>
+
+using namespace pec;
+
+int main() {
+  Rule R = parseRuleOrDie(findOpt("loop_interchange").RuleText);
+  std::printf("== rule ==\n%s\n", printRule(R).c_str());
+
+  PecResult Proof = proveRule(R);
+  std::printf("== proof ==\nproved: %s (via %s)\nATP queries: %llu\n",
+              Proof.Proved ? "yes" : "NO",
+              Proof.UsedPermute ? "the Permute Theorem" : "bisimulation",
+              static_cast<unsigned long long>(Proof.AtpQueries));
+  if (!Proof.Proved || !Proof.UsedPermute) {
+    std::fprintf(stderr, "unexpected: %s\n", Proof.FailureReason.c_str());
+    return 1;
+  }
+  std::printf("index variables that must be dead after the loops:");
+  for (Symbol V : Proof.RequiredDeadVars)
+    std::printf(" %s", std::string(V.str()).c_str());
+  std::printf("\n\n");
+
+  // A concrete column-major traversal to interchange into row-major.
+  StmtPtr Program = *parseProgram(R"(
+    for (i := lo; i <= hi; i++) {
+      for (j := lo; j <= hj; j++) {
+        g[i * 64 + j] := g[i * 64 + j] + i * j;
+      }
+    }
+  )");
+  std::printf("== before ==\n%s", printStmt(Program).c_str());
+
+  // The engine must see that distinct (i,j) instances commute — each
+  // instance touches only g[i*64+j], but proving i*64+j != k*64+l for
+  // (i,j) != (k,l) is nonlinear, beyond the engine's dependence test. In a
+  // compiler, dependence analysis (e.g. the Omega test, Sec. 6) would
+  // discharge it; here the oracle plays that role.
+  EngineOptions Options;
+  Options.RequiredDeadVars = Proof.RequiredDeadVars;
+  Options.Oracle = [](const std::string &Fact,
+                      const std::vector<std::string> &) {
+    return Fact == "Commute";
+  };
+
+  bool Changed = false;
+  StmtPtr Interchanged = applyRule(Program, R, pickFirst, Options, Changed);
+  std::printf("\n== after ==\n%s", printStmt(Interchanged).c_str());
+  if (!Changed) {
+    std::fprintf(stderr, "unexpected: the rule did not fire\n");
+    return 1;
+  }
+
+  // Validate dynamically. The proof treats the index variables as dead
+  // after the nest (see DESIGN.md), so compare all non-index state.
+  int Failures = 0;
+  for (int64_t Hi = -1; Hi <= 3; ++Hi) {
+    for (int64_t Hj = -1; Hj <= 3; ++Hj) {
+      State Init;
+      Init.setScalar(Symbol::get("lo"), 0);
+      Init.setScalar(Symbol::get("hi"), Hi);
+      Init.setScalar(Symbol::get("hj"), Hj);
+      ExecResult Before = run(Program, Init);
+      ExecResult After = run(Interchanged, Init);
+      if (!Before.ok() || !After.ok()) {
+        ++Failures;
+        continue;
+      }
+      // Erase the dead index variables before comparing.
+      State B = Before.Final, A = After.Final;
+      B.setScalar(Symbol::get("i"), 0);
+      B.setScalar(Symbol::get("j"), 0);
+      A.setScalar(Symbol::get("i"), 0);
+      A.setScalar(Symbol::get("j"), 0);
+      if (!(B == A)) {
+        std::printf("MISMATCH at hi=%lld hj=%lld\n",
+                    static_cast<long long>(Hi), static_cast<long long>(Hj));
+        ++Failures;
+      }
+    }
+  }
+  if (Failures == 0)
+    std::printf("\ndynamic check: interchanged nest matches the original "
+                "(modulo dead index variables) on a 5x5 bound sweep\n");
+  return Failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+//===- translation_validation.cpp - PEC subsumes translation validation ---------===//
+//
+// Paper Sec. 2.3: because parameterized programs may contain concrete
+// statements, PEC degenerates to classic translation validation when both
+// programs are fully concrete. This example validates a hand-"compiled"
+// kernel against its source: constant folding, copy propagation, dead
+// branch elimination and a strength-reduced accumulation — and then shows
+// a miscompilation being caught.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "pec/Pec.h"
+
+#include <cstdio>
+
+using namespace pec;
+
+namespace {
+
+StmtPtr parse(const char *Src) {
+  Expected<StmtPtr> S = parseProgram(Src);
+  if (!S) {
+    std::fprintf(stderr, "parse error: %s\n", S.error().str().c_str());
+    std::exit(1);
+  }
+  return S.take();
+}
+
+} // namespace
+
+int main() {
+  StmtPtr Source = parse(R"(
+    scale := 4;
+    if (scale > 0) {
+      base := offset + scale * 2;
+    } else {
+      base := 0 - 1;
+    }
+    i := 0;
+    while (i < n) {
+      out[i] := in[i] * scale + base;
+      i++;
+    }
+  )");
+
+  // What an optimizer might emit: the branch folded, the constant
+  // propagated, the multiplication rewritten as shifts-and-adds style
+  // (x * 4 == (x + x) + (x + x)).
+  StmtPtr Compiled = parse(R"(
+    scale := 4;
+    base := offset + 8;
+    i := 0;
+    while (i < n) {
+      out[i] := (in[i] + in[i]) + (in[i] + in[i]) + base;
+      i++;
+    }
+  )");
+
+  std::printf("== source ==\n%s\n== compiled ==\n%s\n",
+              printStmt(Source).c_str(), printStmt(Compiled).c_str());
+
+  PecResult Good = proveEquivalence(Source, Compiled);
+  std::printf("validation: %s (ATP queries: %llu, %.3fs)\n",
+              Good.Proved ? "EQUIVALENT" : "NOT PROVEN",
+              static_cast<unsigned long long>(Good.AtpQueries),
+              Good.Seconds);
+  if (!Good.Proved) {
+    std::fprintf(stderr, "unexpected: %s\n", Good.FailureReason.c_str());
+    return 1;
+  }
+
+  // A buggy "optimization": the constant 8 became 6.
+  StmtPtr Miscompiled = parse(R"(
+    scale := 4;
+    base := offset + 6;
+    i := 0;
+    while (i < n) {
+      out[i] := (in[i] + in[i]) + (in[i] + in[i]) + base;
+      i++;
+    }
+  )");
+  PecResult Bad = proveEquivalence(Source, Miscompiled);
+  std::printf("miscompilation: %s\n",
+              Bad.Proved ? "MISSED (bug!)" : "correctly rejected");
+  return (Good.Proved && !Bad.Proved) ? 0 : 1;
+}

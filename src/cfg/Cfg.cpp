@@ -1,0 +1,191 @@
+//===- Cfg.cpp - CFG construction and path enumeration -------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "lang/AstOps.h"
+#include "lang/Printer.h"
+
+#include <sstream>
+
+using namespace pec;
+
+namespace pec {
+
+/// Builds a Cfg from a (for-lowered) statement tree.
+class CfgBuilder {
+public:
+  Cfg run(const StmtPtr &Program) {
+    // The entry gets a dedicated location with a skip edge into the program:
+    // if the program starts with a loop, the loop head must not coincide
+    // with the entry (the entry is always a stop location for the checker's
+    // path enumeration, and a stop inside a loop would misalign segments).
+    Location Entry = newLocation();
+    Location Start = newLocation();
+    addEdge(Entry, Start, Stmt::mkSkip());
+    Location Exit = lower(Program, Start);
+    G.Entry = Entry;
+    G.Exit = Exit;
+    G.NumLocations = NextLocation;
+    G.Succ.resize(NextLocation);
+    G.Pred.resize(NextLocation);
+    for (uint32_t I = 0; I < G.Edges.size(); ++I) {
+      G.Succ[G.Edges[I].From].push_back(I);
+      G.Pred[G.Edges[I].To].push_back(I);
+    }
+    return std::move(G);
+  }
+
+private:
+  Location newLocation() { return NextLocation++; }
+
+  void addEdge(Location From, Location To, StmtPtr Atom) {
+    G.Edges.push_back(CfgEdge{From, To, std::move(Atom)});
+  }
+
+  void noteLabel(Symbol Label, Location L) {
+    if (Label.empty())
+      return;
+    if (G.Labels.count(Label))
+      reportFatalError("duplicate label '" + std::string(Label.str()) + "'");
+    G.Labels[Label] = L;
+  }
+
+  /// Lowers \p S starting at location \p At; returns the location reached
+  /// after S.
+  Location lower(const StmtPtr &S, Location At) {
+    noteLabel(S->label(), At);
+    switch (S->kind()) {
+    case StmtKind::Skip:
+      return At; // No edge: skip is a no-op and would only pad paths.
+    case StmtKind::Assign:
+    case StmtKind::Assume:
+    case StmtKind::MetaStmt: {
+      Location Next = newLocation();
+      addEdge(At, Next, S);
+      return Next;
+    }
+    case StmtKind::Seq: {
+      Location Cur = At;
+      for (const StmtPtr &C : S->stmts())
+        Cur = lower(C, Cur);
+      return Cur;
+    }
+    case StmtKind::If: {
+      Location ThenStart = newLocation();
+      addEdge(At, ThenStart, Stmt::mkAssume(S->cond()));
+      Location ThenEnd = lower(S->thenStmt(), ThenStart);
+      Location ElseStart = newLocation();
+      addEdge(At, ElseStart,
+              Stmt::mkAssume(Expr::mkUnary(UnOp::Not, S->cond())));
+      Location ElseEnd = ElseStart;
+      if (S->elseStmt())
+        ElseEnd = lower(S->elseStmt(), ElseStart);
+      Location Join = newLocation();
+      addEdge(ThenEnd, Join, Stmt::mkSkip());
+      addEdge(ElseEnd, Join, Stmt::mkSkip());
+      return Join;
+    }
+    case StmtKind::While: {
+      // `At` is the loop head.
+      Location BodyStart = newLocation();
+      addEdge(At, BodyStart, Stmt::mkAssume(S->cond()));
+      Location BodyEnd = lower(S->body(), BodyStart);
+      addEdge(BodyEnd, At, Stmt::mkSkip()); // Back edge.
+      Location ExitLoc = newLocation();
+      addEdge(At, ExitLoc,
+              Stmt::mkAssume(Expr::mkUnary(UnOp::Not, S->cond())));
+      return ExitLoc;
+    }
+    case StmtKind::For:
+      reportFatalError("for-loops must be lowered before CFG construction");
+    }
+    return At;
+  }
+
+  Cfg G;
+  uint32_t NextLocation = 0;
+};
+
+} // namespace pec
+
+Cfg Cfg::build(const StmtPtr &Program) {
+  return CfgBuilder().run(lowerFors(Program));
+}
+
+Location Cfg::locationOfLabel(Symbol Label) const {
+  auto It = Labels.find(Label);
+  return It == Labels.end() ? InvalidLocation : It->second;
+}
+
+std::vector<Location> Cfg::metaStmtLocations() const {
+  std::vector<char> Seen(NumLocations, 0);
+  std::vector<Location> Out;
+  for (const CfgEdge &E : Edges)
+    if (E.Atom->kind() == StmtKind::MetaStmt && !Seen[E.From]) {
+      Seen[E.From] = 1;
+      Out.push_back(E.From);
+    }
+  return Out;
+}
+
+std::vector<Location> Cfg::assumeLocations() const {
+  std::vector<char> Seen(NumLocations, 0);
+  std::vector<Location> Out;
+  for (const CfgEdge &E : Edges)
+    if (E.Atom->kind() == StmtKind::Assume && !Seen[E.From]) {
+      Seen[E.From] = 1;
+      Out.push_back(E.From);
+    }
+  return Out;
+}
+
+std::string Cfg::str() const {
+  std::ostringstream OS;
+  OS << "cfg: entry=" << Entry << " exit=" << Exit << "\n";
+  for (const CfgEdge &E : Edges) {
+    std::string Atom = printStmt(E.Atom);
+    if (!Atom.empty() && Atom.back() == '\n')
+      Atom.pop_back();
+    OS << "  " << E.From << " -> " << E.To << "  [" << Atom << "]\n";
+  }
+  for (const auto &[Label, L] : Labels)
+    OS << "  label " << Label.str() << " at " << L << "\n";
+  return OS.str();
+}
+
+namespace {
+
+bool enumerateRec(const Cfg &G, Location Cur, const std::vector<char> &IsStop,
+                  CfgPath &Prefix, std::vector<CfgPath> &Out, size_t MaxPaths,
+                  size_t MaxLen, size_t StopsLeft) {
+  if (!Prefix.empty() && IsStop[Cur]) {
+    if (Out.size() >= MaxPaths)
+      return false;
+    Out.push_back(Prefix);
+    if (StopsLeft == 0)
+      return true;
+    --StopsLeft; // Continue through the stop for catch-up paths.
+  }
+  if (Prefix.size() >= MaxLen)
+    return false; // A loop is not cut by any stop location.
+  for (uint32_t EdgeIdx : G.successors(Cur)) {
+    Prefix.push_back(EdgeIdx);
+    bool Ok = enumerateRec(G, G.edge(EdgeIdx).To, IsStop, Prefix, Out,
+                           MaxPaths, MaxLen, StopsLeft);
+    Prefix.pop_back();
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool pec::enumeratePaths(const Cfg &G, Location From,
+                         const std::vector<char> &IsStop,
+                         std::vector<CfgPath> &Out, size_t MaxPaths,
+                         size_t MaxLen, size_t MaxIntermediateStops) {
+  CfgPath Prefix;
+  return enumerateRec(G, From, IsStop, Prefix, Out, MaxPaths, MaxLen,
+                      MaxIntermediateStops);
+}

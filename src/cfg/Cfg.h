@@ -1,0 +1,110 @@
+//===- Cfg.h - Control flow graphs ------------------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control flow graphs in the paper's style (Sec. 3): nodes are program
+/// locations, edges are labeled with *atomic* statements (assignments,
+/// `assume`s, statement meta-variables, skips). Branches become `assume`
+/// edges: `if (c)` produces an `assume(c)` edge into the then-branch and an
+/// `assume(!c)` edge into the else-branch, and similarly for loops (Fig. 7).
+///
+/// Locations are 0-based per CFG; the PEC layer pairs locations of the
+/// original and transformed CFGs explicitly, which realizes the paper's
+/// "disjoint location spaces" assumption.
+///
+/// Statement labels (`L1:`) map to the location at which the labeled
+/// statement begins; side conditions attach fact meanings there.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_CFG_CFG_H
+#define PEC_CFG_CFG_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pec {
+
+using Location = uint32_t;
+inline constexpr Location InvalidLocation = ~0u;
+
+/// One CFG edge: an atomic statement from `From` to `To`.
+struct CfgEdge {
+  Location From = InvalidLocation;
+  Location To = InvalidLocation;
+  StmtPtr Atom; ///< Assign / Assume / MetaStmt / Skip.
+};
+
+/// A control flow graph with a unique entry and exit.
+class Cfg {
+public:
+  Location entry() const { return Entry; }
+  Location exit() const { return Exit; }
+  uint32_t numLocations() const { return NumLocations; }
+  const std::vector<CfgEdge> &edges() const { return Edges; }
+  const CfgEdge &edge(uint32_t Index) const { return Edges[Index]; }
+
+  /// Outgoing edge indices of \p L.
+  const std::vector<uint32_t> &successors(Location L) const {
+    return Succ[L];
+  }
+  /// Incoming edge indices of \p L.
+  const std::vector<uint32_t> &predecessors(Location L) const {
+    return Pred[L];
+  }
+
+  /// The location a `L:`-labeled statement begins at, or InvalidLocation.
+  Location locationOfLabel(Symbol Label) const;
+  const std::map<Symbol, Location> &labels() const { return Labels; }
+
+  /// Locations immediately preceding a statement meta-variable edge — the
+  /// set L_S of the paper's Correlate module.
+  std::vector<Location> metaStmtLocations() const;
+
+  /// Locations with an outgoing assume edge — the set L_A.
+  std::vector<Location> assumeLocations() const;
+
+  /// Renders the graph for debugging.
+  std::string str() const;
+
+  /// Builds the CFG of \p Program (`for` loops are lowered first).
+  static Cfg build(const StmtPtr &Program);
+
+private:
+  Location Entry = InvalidLocation;
+  Location Exit = InvalidLocation;
+  uint32_t NumLocations = 0;
+  std::vector<CfgEdge> Edges;
+  std::vector<std::vector<uint32_t>> Succ;
+  std::vector<std::vector<uint32_t>> Pred;
+  std::map<Symbol, Location> Labels;
+
+  friend class CfgBuilder;
+};
+
+/// A path: a sequence of edge indices through one CFG.
+using CfgPath = std::vector<uint32_t>;
+
+/// Enumerates all paths from \p From ending at a location in \p IsStop
+/// (indexed by location) with at most \p MaxIntermediateStops stop
+/// locations strictly inside the path — with 0 this is the paper's `->R`
+/// successor relation (Sec. 3); larger values produce the multi-segment
+/// "catch-up" paths the checker offers as stuttering responses. The empty
+/// path is not produced. Returns false if enumeration exceeds \p MaxPaths
+/// paths or a path exceeds \p MaxLen edges (which means some loop is not
+/// cut by a stop location).
+bool enumeratePaths(const Cfg &G, Location From,
+                    const std::vector<char> &IsStop,
+                    std::vector<CfgPath> &Out, size_t MaxPaths = 4096,
+                    size_t MaxLen = 256, size_t MaxIntermediateStops = 0);
+
+} // namespace pec
+
+#endif // PEC_CFG_CFG_H

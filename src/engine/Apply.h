@@ -1,0 +1,116 @@
+//===- Apply.h - Rule application engine ------------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine of paper Sec. 8: `applyRule` finds all matches of a
+/// rule's left-hand side, checks the side conditions conservatively, lets a
+/// *profitability heuristic* pick a match (the generate-and-test scheme of
+/// Cobalt the paper adopts — heuristics are untrusted because every
+/// surviving match is correct), and rewrites. `swPipe` is the Fig. 12
+/// driver composing the two software-pipelining rules.
+///
+/// Side conditions are established syntactically:
+///
+///   * non-modification / non-use facts via read/write sets, refined for
+///     arrays by ATP disjointness queries on index expressions (a
+///     lightweight stand-in for the paper's Omega-test/dependence-analysis
+///     option);
+///   * Commute / quantified Commute via read-write disjointness with the
+///     same array-index refinement (distinct-instance pairs may overlap
+///     only where the instances coincide);
+///   * Idempotent / StableUnder for simple assignment shapes;
+///   * StrictlyPositive only for literals — anything else needs the
+///     caller-provided analysis oracle (in a real compiler: range analysis,
+///     or a Rhodium-style certified analysis, Sec. 2.1).
+///
+/// Rules proven through the Permute module additionally require their loop
+/// index variables to be dead after the rewritten fragment; `applyRule`
+/// checks this conservatively (the variable is read nowhere outside the
+/// matched fragment).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_ENGINE_APPLY_H
+#define PEC_ENGINE_APPLY_H
+
+#include "engine/Match.h"
+#include "lang/Rule.h"
+
+#include <functional>
+#include <set>
+#include <string>
+
+namespace pec {
+
+/// Decides facts the engine cannot establish syntactically. Receives the
+/// fact name and its fully instantiated arguments (rendered); returns true
+/// to accept. The default oracle rejects everything.
+using AnalysisOracle = std::function<bool(
+    const std::string &FactName, const std::vector<std::string> &Args)>;
+
+/// Picks the match to apply from the side-condition-surviving sites, or -1
+/// to decline (paper: the profitability heuristic, untrusted by design).
+using ProfitabilityFn = std::function<int(const std::vector<MatchSite> &,
+                                          const StmtPtr &Program)>;
+
+struct EngineOptions {
+  AnalysisOracle Oracle;
+  /// Loop-index variables that must be dead after the fragment (from
+  /// PecResult::RequiredDeadVars of a Permute-proved rule). Keyed by the
+  /// rule's *meta* variable names; the check runs on their bindings.
+  std::set<Symbol> RequiredDeadVars;
+};
+
+/// Selects the first surviving match.
+int pickFirst(const std::vector<MatchSite> &, const StmtPtr &);
+
+/// True if concrete fragments \p A and \p B provably commute (scalar
+/// read/write disjointness plus ATP index-disjointness for arrays) —
+/// exposed so profitability heuristics can count dependencies.
+bool fragmentsIndependent(const StmtPtr &A, const StmtPtr &B);
+
+/// Checks rule \p R's side condition under \p B (fully instantiated).
+/// Returns true if every fact is established.
+bool checkSideCondition(const Rule &R, const Binding &B,
+                        const EngineOptions &Options);
+
+/// One application step of the paper's `Apply`: match, filter, pick,
+/// rewrite. Returns the (possibly unchanged) program; \p Changed reports
+/// whether a rewrite happened.
+StmtPtr applyRule(const StmtPtr &Program, const Rule &R,
+                  const ProfitabilityFn &Pick, const EngineOptions &Options,
+                  bool &Changed);
+
+/// Applies \p R repeatedly until the heuristic declines or no match
+/// survives.
+StmtPtr applyRuleToFixpoint(const StmtPtr &Program, const Rule &R,
+                            const ProfitabilityFn &Pick,
+                            const EngineOptions &Options,
+                            unsigned MaxApplications = 64);
+
+/// The SwPipe driver (paper Fig. 12): repeatedly applies the retiming rule
+/// \p T1 under \p PiSw, then the reordering rule \p T2 everywhere.
+StmtPtr swPipe(const StmtPtr &Program, const Rule &T1, const Rule &T2,
+               const ProfitabilityFn &PiSw, const EngineOptions &Options);
+
+/// The staged verification paradigm of paper Sec. 2.3: rules PEC proved
+/// once and for all apply directly; for the rest, each concrete
+/// application is translation-validated (PEC on the concrete input/output
+/// pair) and reverted if validation fails.
+struct StagedResult {
+  StmtPtr Program;
+  bool Changed = false;
+  /// True when the application was justified by run-time translation
+  /// validation rather than a once-and-for-all proof.
+  bool ValidatedAtRuntime = false;
+};
+StagedResult applyRuleStaged(const StmtPtr &Program, const Rule &R,
+                             const ProfitabilityFn &Pick,
+                             const EngineOptions &Options);
+
+} // namespace pec
+
+#endif // PEC_ENGINE_APPLY_H

@@ -1,0 +1,629 @@
+//===- Match.cpp - Pattern matching and instantiation ---------------------------===//
+
+#include "engine/Match.h"
+
+#include "lang/AstOps.h"
+
+#include <algorithm>
+
+using namespace pec;
+
+ExprPtr pec::holeMarker(size_t K) {
+  return Expr::mkMetaExpr(Symbol::get("$hole" + std::to_string(K)));
+}
+
+namespace {
+
+bool isHoleMarker(const ExprPtr &E) {
+  return E->kind() == ExprKind::MetaExpr &&
+         E->name().str().substr(0, 5) == "$hole";
+}
+
+//===----------------------------------------------------------------------===//
+// Expression utilities
+//===----------------------------------------------------------------------===//
+
+/// Replaces every occurrence of meta-expressions named in \p Map.
+ExprPtr substMetaExprs(const ExprPtr &E,
+                       const std::map<Symbol, ExprPtr> &Map) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::Var:
+  case ExprKind::MetaVar:
+    return E;
+  case ExprKind::MetaExpr: {
+    auto It = Map.find(E->name());
+    return It == Map.end() ? E : It->second;
+  }
+  case ExprKind::ArrayRead:
+    return Expr::mkArrayRead(E->name(), E->arrayIsMeta(),
+                             substMetaExprs(E->index(), Map), E->location());
+  case ExprKind::Binary:
+    return Expr::mkBinary(E->binOp(), substMetaExprs(E->lhs(), Map),
+                          substMetaExprs(E->rhs(), Map), E->location());
+  case ExprKind::Unary:
+    return Expr::mkUnary(E->unOp(), substMetaExprs(E->lhs(), Map),
+                         E->location());
+  }
+  return E;
+}
+
+/// Replaces (top-down, maximal) occurrences of \p Target in \p E by
+/// \p Marker, counting replacements.
+ExprPtr replaceOccurrences(const ExprPtr &E, const ExprPtr &Target,
+                           const ExprPtr &Marker, size_t &Count) {
+  if (exprEquals(E, Target)) {
+    ++Count;
+    return Marker;
+  }
+  switch (E->kind()) {
+  case ExprKind::ArrayRead:
+    return Expr::mkArrayRead(
+        E->name(), E->arrayIsMeta(),
+        replaceOccurrences(E->index(), Target, Marker, Count), E->location());
+  case ExprKind::Binary:
+    return Expr::mkBinary(E->binOp(),
+                          replaceOccurrences(E->lhs(), Target, Marker, Count),
+                          replaceOccurrences(E->rhs(), Target, Marker, Count),
+                          E->location());
+  case ExprKind::Unary:
+    return Expr::mkUnary(E->unOp(),
+                         replaceOccurrences(E->lhs(), Target, Marker, Count),
+                         E->location());
+  default:
+    return E;
+  }
+}
+
+/// Statement-level expression rewrite via \p Fn applied to every expression
+/// (conditions, values, indices).
+StmtPtr mapExprs(const StmtPtr &S,
+                 const std::function<ExprPtr(const ExprPtr &)> &Fn) {
+  switch (S->kind()) {
+  case StmtKind::Skip:
+    return S;
+  case StmtKind::Assign: {
+    LValue T = S->target();
+    if (T.Index)
+      T.Index = Fn(T.Index);
+    return Stmt::mkAssign(std::move(T), Fn(S->value()), S->label(),
+                          S->location());
+  }
+  case StmtKind::Assume:
+    return Stmt::mkAssume(Fn(S->cond()), S->label(), S->location());
+  case StmtKind::Seq: {
+    std::vector<StmtPtr> Out;
+    Out.reserve(S->stmts().size());
+    for (const StmtPtr &C : S->stmts())
+      Out.push_back(mapExprs(C, Fn));
+    return Stmt::mkSeq(std::move(Out), S->label(), S->location());
+  }
+  case StmtKind::If:
+    return Stmt::mkIf(Fn(S->cond()), mapExprs(S->thenStmt(), Fn),
+                      S->elseStmt() ? mapExprs(S->elseStmt(), Fn) : nullptr,
+                      S->label(), S->location());
+  case StmtKind::While:
+    return Stmt::mkWhile(Fn(S->cond()), mapExprs(S->body(), Fn), S->label(),
+                         S->location());
+  case StmtKind::For:
+    return Stmt::mkFor(S->indexVar(), S->indexIsMeta(), Fn(S->init()),
+                       Fn(S->cond()), S->stepDelta(), mapExprs(S->body(), Fn),
+                       S->label(), S->location());
+  case StmtKind::MetaStmt: {
+    std::vector<ExprPtr> Holes;
+    Holes.reserve(S->holeArgs().size());
+    for (const ExprPtr &H : S->holeArgs())
+      Holes.push_back(Fn(H));
+    return Stmt::mkMetaStmt(S->metaName(), std::move(Holes), S->label(),
+                            S->location());
+  }
+  }
+  return S;
+}
+
+/// Size of an expression (for ordering hole replacements largest-first).
+size_t exprSize(const ExprPtr &E) {
+  switch (E->kind()) {
+  case ExprKind::ArrayRead:
+    return 1 + exprSize(E->index());
+  case ExprKind::Binary:
+    return 1 + exprSize(E->lhs()) + exprSize(E->rhs());
+  case ExprKind::Unary:
+    return 1 + exprSize(E->lhs());
+  default:
+    return 1;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Binding helpers
+//===----------------------------------------------------------------------===//
+
+/// Binds variable meta-variable \p V to concrete \p Name, enforcing
+/// injectivity.
+bool bindVar(Binding &B, Symbol V, Symbol Name) {
+  auto It = B.Vars.find(V);
+  if (It != B.Vars.end())
+    return It->second == Name;
+  for (const auto &[Other, Bound] : B.Vars)
+    if (Bound == Name && Other != V)
+      return false; // Aliasing would break the proof's distinctness.
+  B.Vars.emplace(V, Name);
+  return true;
+}
+
+/// Matches a (possibly meta) statement meta-variable with hole arguments
+/// against a concrete fragment.
+bool matchMetaStmt(const StmtPtr &P, const StmtPtr &Fragment, Binding &B) {
+  if (Fragment->isParameterized())
+    return false;
+  // Instantiate hole argument expressions; their meta-variables must
+  // already be bound (patterns are matched left to right).
+  std::vector<ExprPtr> HoleExprs;
+  for (const ExprPtr &H : P->holeArgs()) {
+    MetaVars MV;
+    collectMetaVars(H, MV);
+    for (Symbol V : MV.VarVars)
+      if (!B.Vars.count(V))
+        return false;
+    for (Symbol E : MV.ExprVars)
+      if (!B.Exprs.count(E))
+        return false;
+    if (!MV.StmtVars.empty())
+      return false;
+    HoleExprs.push_back(instantiateExpr(H, B));
+  }
+
+  // Build the hole template: replace occurrences largest-first.
+  std::vector<size_t> Order(HoleExprs.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t C) {
+    return exprSize(HoleExprs[A]) > exprSize(HoleExprs[C]);
+  });
+  StmtPtr Template = Fragment;
+  for (size_t K : Order) {
+    size_t Count = 0;
+    ExprPtr Marker = holeMarker(K);
+    Template = mapExprs(Template, [&](const ExprPtr &E) {
+      return replaceOccurrences(E, HoleExprs[K], Marker, Count);
+    });
+    if (!HoleExprs.empty() && Count == 0)
+      return false; // Paper: the fragment must *use* the hole.
+  }
+
+  if (!HoleExprs.empty()) {
+    // Capture conditions: every use of the holes' variables goes through a
+    // hole, and the fragment modifies none of them.
+    std::set<Symbol> HoleVars;
+    for (const ExprPtr &E : HoleExprs)
+      collectVars(E, HoleVars);
+    std::set<Symbol> TemplateReads, FragmentWrites;
+    collectVars(Template, TemplateReads);
+    writeSet(Fragment, FragmentWrites);
+    for (Symbol V : HoleVars) {
+      if (TemplateReads.count(V))
+        return false; // A use of the hole variable escaped the holes.
+      if (FragmentWrites.count(V))
+        return false; // The fragment modifies the hole variable.
+    }
+  }
+
+  auto It = B.Stmts.find(P->metaName());
+  if (It != B.Stmts.end())
+    return stmtEquals(normalizeStmt(It->second), normalizeStmt(Template));
+  B.Stmts.emplace(P->metaName(), Template);
+  return true;
+}
+
+std::vector<StmtPtr> itemsOf(const StmtPtr &S) {
+  if (S->kind() == StmtKind::Seq)
+    return S->stmts();
+  return {S};
+}
+
+/// All-solutions matching: every choice point (how many items a statement
+/// meta-variable consumes) is enumerated, so distinct decompositions of the
+/// same window yield distinct bindings.
+std::vector<Binding> matchOneAll(const StmtPtr &P, const StmtPtr &C,
+                                 const Binding &B);
+
+std::vector<Binding> matchSeqAll(const std::vector<StmtPtr> &PItems,
+                                 size_t PI,
+                                 const std::vector<StmtPtr> &CItems,
+                                 size_t CI, const Binding &B) {
+  if (PI == PItems.size()) {
+    if (CI == CItems.size())
+      return {B};
+    return {};
+  }
+  std::vector<Binding> Out;
+  const StmtPtr &P = PItems[PI];
+  if (P->kind() == StmtKind::MetaStmt) {
+    for (size_t Len = 0; Len + CI <= CItems.size(); ++Len) {
+      StmtPtr Fragment;
+      if (Len == 0)
+        Fragment = Stmt::mkSkip();
+      else if (Len == 1)
+        Fragment = CItems[CI];
+      else
+        Fragment = Stmt::mkSeq(std::vector<StmtPtr>(
+            CItems.begin() + static_cast<long>(CI),
+            CItems.begin() + static_cast<long>(CI + Len)));
+      Binding Candidate = B;
+      if (!matchMetaStmt(P, Fragment, Candidate))
+        continue;
+      for (Binding &Rest :
+           matchSeqAll(PItems, PI + 1, CItems, CI + Len, Candidate))
+        Out.push_back(std::move(Rest));
+    }
+    return Out;
+  }
+  if (CI == CItems.size())
+    return {};
+  for (Binding &Head : matchOneAll(P, CItems[CI], B))
+    for (Binding &Rest : matchSeqAll(PItems, PI + 1, CItems, CI + 1, Head))
+      Out.push_back(std::move(Rest));
+  return Out;
+}
+
+std::vector<Binding> matchOneAll(const StmtPtr &P, const StmtPtr &C,
+                                 const Binding &B) {
+  if (P->kind() == StmtKind::MetaStmt) {
+    Binding Candidate = B;
+    if (matchMetaStmt(P, C, Candidate))
+      return {Candidate};
+    return {};
+  }
+  if (P->kind() == StmtKind::Seq || C->kind() == StmtKind::Seq)
+    return matchSeqAll(itemsOf(P), 0, itemsOf(C), 0, B);
+  if (P->kind() != C->kind())
+    return {};
+  Binding Candidate = B;
+  switch (P->kind()) {
+  case StmtKind::Skip:
+    return {Candidate};
+  case StmtKind::Assign: {
+    const LValue &PT = P->target(), &CT = C->target();
+    if (PT.isArrayElem() != CT.isArrayElem())
+      return {};
+    if (PT.IsMeta) {
+      if (!bindVar(Candidate, PT.Name, CT.Name))
+        return {};
+    } else if (PT.Name != CT.Name) {
+      return {};
+    }
+    if (PT.Index && !matchExpr(PT.Index, CT.Index, Candidate))
+      return {};
+    if (!matchExpr(P->value(), C->value(), Candidate))
+      return {};
+    return {Candidate};
+  }
+  case StmtKind::Assume:
+    if (!matchExpr(P->cond(), C->cond(), Candidate))
+      return {};
+    return {Candidate};
+  case StmtKind::If: {
+    if (!matchExpr(P->cond(), C->cond(), Candidate))
+      return {};
+    if ((P->elseStmt() == nullptr) != (C->elseStmt() == nullptr))
+      return {};
+    std::vector<Binding> Out;
+    for (Binding &AfterThen :
+         matchOneAll(P->thenStmt(), C->thenStmt(), Candidate)) {
+      if (!P->elseStmt()) {
+        Out.push_back(std::move(AfterThen));
+        continue;
+      }
+      for (Binding &AfterElse :
+           matchOneAll(P->elseStmt(), C->elseStmt(), AfterThen))
+        Out.push_back(std::move(AfterElse));
+    }
+    return Out;
+  }
+  case StmtKind::While:
+    if (!matchExpr(P->cond(), C->cond(), Candidate))
+      return {};
+    return matchOneAll(P->body(), C->body(), Candidate);
+  case StmtKind::For: {
+    if (P->stepDelta() != C->stepDelta())
+      return {};
+    if (P->indexIsMeta()) {
+      if (!bindVar(Candidate, P->indexVar(), C->indexVar()))
+        return {};
+    } else if (P->indexVar() != C->indexVar()) {
+      return {};
+    }
+    if (!matchExpr(P->init(), C->init(), Candidate) ||
+        !matchExpr(P->cond(), C->cond(), Candidate))
+      return {};
+    return matchOneAll(P->body(), C->body(), Candidate);
+  }
+  default:
+    return {};
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public matching API
+//===----------------------------------------------------------------------===//
+
+bool pec::matchExpr(const ExprPtr &P, const ExprPtr &C, Binding &B) {
+  switch (P->kind()) {
+  case ExprKind::IntLit:
+    return C->kind() == ExprKind::IntLit && P->intValue() == C->intValue();
+  case ExprKind::Var:
+    return C->kind() == ExprKind::Var && P->name() == C->name();
+  case ExprKind::MetaVar:
+    return C->kind() == ExprKind::Var && bindVar(B, P->name(), C->name());
+  case ExprKind::MetaExpr: {
+    if (C->isParameterized())
+      return false;
+    auto It = B.Exprs.find(P->name());
+    if (It != B.Exprs.end())
+      return exprEquals(It->second, C);
+    B.Exprs.emplace(P->name(), C);
+    return true;
+  }
+  case ExprKind::ArrayRead: {
+    if (C->kind() != ExprKind::ArrayRead)
+      return false;
+    if (P->arrayIsMeta()) {
+      if (!bindVar(B, P->name(), C->name()))
+        return false;
+    } else if (P->name() != C->name()) {
+      return false;
+    }
+    return matchExpr(P->index(), C->index(), B);
+  }
+  case ExprKind::Binary:
+    return C->kind() == ExprKind::Binary && P->binOp() == C->binOp() &&
+           matchExpr(P->lhs(), C->lhs(), B) &&
+           matchExpr(P->rhs(), C->rhs(), B);
+  case ExprKind::Unary:
+    return C->kind() == ExprKind::Unary && P->unOp() == C->unOp() &&
+           matchExpr(P->lhs(), C->lhs(), B);
+  }
+  return false;
+}
+
+bool pec::matchStmt(const StmtPtr &P, const StmtPtr &C, Binding &B) {
+  std::vector<Binding> All =
+      matchOneAll(normalizeStmt(P), normalizeStmt(C), B);
+  if (All.empty())
+    return false;
+  B = std::move(All.front());
+  return true;
+}
+
+ExprPtr pec::instantiateExpr(const ExprPtr &P, const Binding &B) {
+  switch (P->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::Var:
+    return P;
+  case ExprKind::MetaVar: {
+    Symbol Name = B.varOf(P->name());
+    if (Name.empty())
+      reportFatalError("unbound variable meta-variable '" +
+                       std::string(P->name().str()) + "'");
+    return Expr::mkVar(Name, P->location());
+  }
+  case ExprKind::MetaExpr: {
+    auto It = B.Exprs.find(P->name());
+    if (It == B.Exprs.end())
+      reportFatalError("unbound expression meta-variable '" +
+                       std::string(P->name().str()) + "'");
+    return It->second;
+  }
+  case ExprKind::ArrayRead: {
+    Symbol Name = P->name();
+    if (P->arrayIsMeta()) {
+      Name = B.varOf(P->name());
+      if (Name.empty())
+        reportFatalError("unbound array meta-variable");
+    }
+    return Expr::mkArrayRead(Name, false, instantiateExpr(P->index(), B),
+                             P->location());
+  }
+  case ExprKind::Binary:
+    return Expr::mkBinary(P->binOp(), instantiateExpr(P->lhs(), B),
+                          instantiateExpr(P->rhs(), B), P->location());
+  case ExprKind::Unary:
+    return Expr::mkUnary(P->unOp(), instantiateExpr(P->lhs(), B),
+                         P->location());
+  }
+  return P;
+}
+
+StmtPtr pec::instantiateStmt(const StmtPtr &P, const Binding &B) {
+  switch (P->kind()) {
+  case StmtKind::Skip:
+    return Stmt::mkSkip();
+  case StmtKind::Assign: {
+    LValue T = P->target();
+    if (T.IsMeta) {
+      Symbol Name = B.varOf(T.Name);
+      if (Name.empty())
+        reportFatalError("unbound variable meta-variable in assignment");
+      T.Name = Name;
+      T.IsMeta = false;
+    }
+    if (T.Index)
+      T.Index = instantiateExpr(T.Index, B);
+    return Stmt::mkAssign(std::move(T), instantiateExpr(P->value(), B));
+  }
+  case StmtKind::Assume:
+    return Stmt::mkAssume(instantiateExpr(P->cond(), B));
+  case StmtKind::Seq: {
+    std::vector<StmtPtr> Out;
+    for (const StmtPtr &C : P->stmts())
+      Out.push_back(instantiateStmt(C, B));
+    return normalizeStmt(Stmt::mkSeq(std::move(Out)));
+  }
+  case StmtKind::If:
+    return Stmt::mkIf(instantiateExpr(P->cond(), B),
+                      instantiateStmt(P->thenStmt(), B),
+                      P->elseStmt() ? instantiateStmt(P->elseStmt(), B)
+                                    : nullptr);
+  case StmtKind::While:
+    return Stmt::mkWhile(instantiateExpr(P->cond(), B),
+                         instantiateStmt(P->body(), B));
+  case StmtKind::For: {
+    Symbol Index = P->indexVar();
+    if (P->indexIsMeta()) {
+      Index = B.varOf(Index);
+      if (Index.empty())
+        reportFatalError("unbound loop index meta-variable");
+    }
+    return Stmt::mkFor(Index, false, instantiateExpr(P->init(), B),
+                       instantiateExpr(P->cond(), B), P->stepDelta(),
+                       instantiateStmt(P->body(), B));
+  }
+  case StmtKind::MetaStmt: {
+    auto It = B.Stmts.find(P->metaName());
+    if (It == B.Stmts.end())
+      reportFatalError("unbound statement meta-variable '" +
+                       std::string(P->metaName().str()) + "'");
+    StmtPtr Template = It->second;
+    if (P->holeArgs().empty())
+      return Template;
+    std::map<Symbol, ExprPtr> MarkerSubst;
+    for (size_t K = 0; K < P->holeArgs().size(); ++K)
+      MarkerSubst[holeMarker(K)->name()] =
+          instantiateExpr(P->holeArgs()[K], B);
+    return mapExprs(Template, [&](const ExprPtr &E) {
+      return substMetaExprs(E, MarkerSubst);
+    });
+  }
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Site search and rewriting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void findMatchesRec(const StmtPtr &Pattern, const StmtPtr &Node,
+                    std::vector<uint32_t> &Path,
+                    std::vector<MatchSite> &Out) {
+  // Whole-node matches (non-window).
+  for (Binding &B : matchOneAll(normalizeStmt(Pattern), Node, Binding{}))
+    Out.push_back(MatchSite{Path, 0, 0, false, std::move(B)});
+
+  switch (Node->kind()) {
+  case StmtKind::Seq: {
+    const std::vector<StmtPtr> &Items = Node->stmts();
+    std::vector<StmtPtr> PItems = itemsOf(normalizeStmt(Pattern));
+    // Window matches (excluding the full window, already tried above).
+    for (size_t Begin = 0; Begin < Items.size(); ++Begin) {
+      for (size_t Len = 1; Begin + Len <= Items.size(); ++Len) {
+        if (Begin == 0 && Len == Items.size())
+          continue;
+        std::vector<StmtPtr> Window(
+            Items.begin() + static_cast<long>(Begin),
+            Items.begin() + static_cast<long>(Begin + Len));
+        for (Binding &B : matchSeqAll(PItems, 0, Window, 0, Binding{}))
+          Out.push_back(MatchSite{Path, Begin, Len, true, std::move(B)});
+      }
+    }
+    for (uint32_t I = 0; I < Items.size(); ++I) {
+      Path.push_back(I);
+      // Avoid re-trying the whole-node match one level down for windows:
+      // recursing matches subtrees (If/While bodies etc.).
+      if (Items[I]->kind() != StmtKind::Seq) // Normalized: no nested Seqs.
+        findMatchesRec(Pattern, Items[I], Path, Out);
+      Path.pop_back();
+    }
+    return;
+  }
+  case StmtKind::If:
+    Path.push_back(0);
+    findMatchesRec(Pattern, Node->thenStmt(), Path, Out);
+    Path.pop_back();
+    if (Node->elseStmt()) {
+      Path.push_back(1);
+      findMatchesRec(Pattern, Node->elseStmt(), Path, Out);
+      Path.pop_back();
+    }
+    return;
+  case StmtKind::While:
+  case StmtKind::For:
+    Path.push_back(0);
+    findMatchesRec(Pattern, Node->body(), Path, Out);
+    Path.pop_back();
+    return;
+  default:
+    return;
+  }
+}
+
+StmtPtr rewriteRec(const StmtPtr &Node, const MatchSite &Site, size_t Depth,
+                   const StmtPtr &Replacement) {
+  if (Depth == Site.Path.size()) {
+    if (!Site.IsWindow)
+      return Replacement;
+    assert(Node->kind() == StmtKind::Seq && "window site must be a Seq");
+    std::vector<StmtPtr> Items = Node->stmts();
+    std::vector<StmtPtr> Out(Items.begin(),
+                             Items.begin() + static_cast<long>(Site.Begin));
+    for (const StmtPtr &R : itemsOf(Replacement))
+      if (R->kind() != StmtKind::Skip)
+        Out.push_back(R);
+    Out.insert(Out.end(),
+               Items.begin() + static_cast<long>(Site.Begin + Site.Len),
+               Items.end());
+    return normalizeStmt(Stmt::mkSeq(std::move(Out)));
+  }
+
+  uint32_t Step = Site.Path[Depth];
+  switch (Node->kind()) {
+  case StmtKind::Seq: {
+    std::vector<StmtPtr> Items = Node->stmts();
+    Items[Step] = rewriteRec(Items[Step], Site, Depth + 1, Replacement);
+    return normalizeStmt(
+        Stmt::mkSeq(std::move(Items), Node->label(), Node->location()));
+  }
+  case StmtKind::If:
+    if (Step == 0)
+      return Stmt::mkIf(Node->cond(),
+                        rewriteRec(Node->thenStmt(), Site, Depth + 1,
+                                   Replacement),
+                        Node->elseStmt(), Node->label(), Node->location());
+    return Stmt::mkIf(Node->cond(), Node->thenStmt(),
+                      rewriteRec(Node->elseStmt(), Site, Depth + 1,
+                                 Replacement),
+                      Node->label(), Node->location());
+  case StmtKind::While:
+    return Stmt::mkWhile(Node->cond(),
+                         rewriteRec(Node->body(), Site, Depth + 1,
+                                    Replacement),
+                         Node->label(), Node->location());
+  case StmtKind::For:
+    return Stmt::mkFor(Node->indexVar(), Node->indexIsMeta(), Node->init(),
+                       Node->cond(), Node->stepDelta(),
+                       rewriteRec(Node->body(), Site, Depth + 1, Replacement),
+                       Node->label(), Node->location());
+  default:
+    reportFatalError("match-site path walks through a leaf statement");
+  }
+}
+
+} // namespace
+
+std::vector<MatchSite> pec::findMatches(const StmtPtr &Pattern,
+                                        const StmtPtr &Program) {
+  std::vector<MatchSite> Out;
+  std::vector<uint32_t> Path;
+  findMatchesRec(Pattern, normalizeStmt(Program), Path, Out);
+  return Out;
+}
+
+StmtPtr pec::rewriteAt(const StmtPtr &Program, const MatchSite &Site,
+                       const StmtPtr &Replacement) {
+  return normalizeStmt(
+      rewriteRec(normalizeStmt(Program), Site, 0, Replacement));
+}

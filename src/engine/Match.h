@@ -1,0 +1,92 @@
+//===- Match.h - Pattern matching for parameterized programs ----*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntactic pattern matching of parameterized programs against concrete
+/// programs, and instantiation of parameterized programs under a binding —
+/// the first (always trusted) component of the paper's execution engine
+/// (Sec. 8).
+///
+/// Bindings are injective on variable meta-variables and avoid concrete
+/// variables mentioned elsewhere in the rule; this matches the PEC proof's
+/// treatment of distinct meta-variables as distinct names.
+///
+/// Hole patterns `S1[e]`: the statement meta-variable binds to a *template*
+/// — the matched fragment with every occurrence of the (instantiated) hole
+/// expression replaced by a hole marker — subject to the paper's capture
+/// conditions: the fragment must not write any variable of the hole
+/// expression, and every use of the hole's variables must occur through
+/// the holes (Sec. 2.1). A statement meta-variable in sequence position may
+/// also match the empty sequence (binding to `skip`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_ENGINE_MATCH_H
+#define PEC_ENGINE_MATCH_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace pec {
+
+/// A substitution from meta-variables to concrete program fragments.
+struct Binding {
+  std::map<Symbol, ExprPtr> Exprs;  ///< Expression meta-variables.
+  std::map<Symbol, Symbol> Vars;    ///< Variable meta-variables.
+  /// Statement meta-variables: the bound fragment with hole markers
+  /// (`$holeK` pseudo-meta-expressions) where hole arguments occur.
+  std::map<Symbol, StmtPtr> Stmts;
+
+  /// The concrete variable bound to \p V, or the empty symbol.
+  Symbol varOf(Symbol V) const {
+    auto It = Vars.find(V);
+    return It == Vars.end() ? Symbol() : It->second;
+  }
+};
+
+/// The hole marker for hole index \p K (a reserved meta-expression name the
+/// parser cannot produce).
+ExprPtr holeMarker(size_t K);
+
+/// Matches pattern \p P against concrete \p C, extending \p B. Returns
+/// false (and may leave \p B partially extended — callers copy) on
+/// mismatch.
+bool matchExpr(const ExprPtr &P, const ExprPtr &C, Binding &B);
+bool matchStmt(const StmtPtr &P, const StmtPtr &C, Binding &B);
+
+/// Instantiates parameterized \p P under \p B; every meta-variable in \p P
+/// must be bound. Statement meta-variables with hole arguments substitute
+/// the instantiated arguments into the bound template.
+ExprPtr instantiateExpr(const ExprPtr &P, const Binding &B);
+StmtPtr instantiateStmt(const StmtPtr &P, const Binding &B);
+
+/// One way a rule's left-hand side matches inside a program: the path of
+/// child indices from the root to the enclosing statement, plus the window
+/// of a Seq that the pattern consumed (Begin == Len == 0 for non-Seq
+/// match sites, where the site itself matched).
+struct MatchSite {
+  std::vector<uint32_t> Path;
+  size_t Begin = 0;
+  size_t Len = 0;
+  bool IsWindow = false;
+  Binding B;
+};
+
+/// Finds all match sites of pattern \p Pattern in \p Program.
+std::vector<MatchSite> findMatches(const StmtPtr &Pattern,
+                                   const StmtPtr &Program);
+
+/// Replaces the matched fragment at \p Site with \p Replacement.
+StmtPtr rewriteAt(const StmtPtr &Program, const MatchSite &Site,
+                  const StmtPtr &Replacement);
+
+} // namespace pec
+
+#endif // PEC_ENGINE_MATCH_H

@@ -1,0 +1,228 @@
+//===- Interp.cpp - Concrete interpreter -------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "lang/AstOps.h"
+
+#include <sstream>
+
+using namespace pec;
+
+int64_t State::getScalar(Symbol Name) const {
+  auto It = Scalars.find(Name);
+  return It == Scalars.end() ? 0 : It->second;
+}
+
+void State::setScalar(Symbol Name, int64_t Value) { Scalars[Name] = Value; }
+
+int64_t State::getArrayElem(Symbol Array, int64_t Index) const {
+  auto It = Arrays.find(Array);
+  if (It == Arrays.end())
+    return 0;
+  auto ElemIt = It->second.find(Index);
+  return ElemIt == It->second.end() ? 0 : ElemIt->second;
+}
+
+void State::setArrayElem(Symbol Array, int64_t Index, int64_t Value) {
+  Arrays[Array][Index] = Value;
+}
+
+bool State::operator==(const State &Other) const {
+  // States compare up to the default value 0: a variable absent on one side
+  // must be 0 on the other.
+  auto ScalarsMatch = [](const State &A, const State &B) {
+    for (const auto &[Name, Value] : A.Scalars)
+      if (Value != B.getScalar(Name))
+        return false;
+    return true;
+  };
+  auto ArraysMatch = [](const State &A, const State &B) {
+    for (const auto &[Name, Elems] : A.Arrays)
+      for (const auto &[Index, Value] : Elems)
+        if (Value != B.getArrayElem(Name, Index))
+          return false;
+    return true;
+  };
+  return ScalarsMatch(*this, Other) && ScalarsMatch(Other, *this) &&
+         ArraysMatch(*this, Other) && ArraysMatch(Other, *this);
+}
+
+std::string State::str() const {
+  std::ostringstream OS;
+  OS << '{';
+  bool First = true;
+  for (const auto &[Name, Value] : Scalars) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << Name.str() << '=' << Value;
+  }
+  for (const auto &[Name, Elems] : Arrays)
+    for (const auto &[Index, Value] : Elems) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << Name.str() << '[' << Index << "]=" << Value;
+    }
+  OS << '}';
+  return OS.str();
+}
+
+int64_t pec::evalExpr(const ExprPtr &E, const State &S, bool &DivByZero) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return E->intValue();
+  case ExprKind::Var:
+    return S.getScalar(E->name());
+  case ExprKind::MetaVar:
+  case ExprKind::MetaExpr:
+    reportFatalError("interpreting a parameterized expression");
+  case ExprKind::ArrayRead:
+    return S.getArrayElem(E->name(), evalExpr(E->index(), S, DivByZero));
+  case ExprKind::Binary: {
+    int64_t L = evalExpr(E->lhs(), S, DivByZero);
+    // Short-circuit logical operators.
+    if (E->binOp() == BinOp::And && L == 0)
+      return 0;
+    if (E->binOp() == BinOp::Or && L != 0)
+      return 1;
+    int64_t R = evalExpr(E->rhs(), S, DivByZero);
+    switch (E->binOp()) {
+    case BinOp::Add: return L + R;
+    case BinOp::Sub: return L - R;
+    case BinOp::Mul: return L * R;
+    case BinOp::Div:
+      if (R == 0) {
+        DivByZero = true;
+        return 0;
+      }
+      return L / R;
+    case BinOp::Mod:
+      if (R == 0) {
+        DivByZero = true;
+        return 0;
+      }
+      return L % R;
+    case BinOp::Lt:  return L < R;
+    case BinOp::Le:  return L <= R;
+    case BinOp::Gt:  return L > R;
+    case BinOp::Ge:  return L >= R;
+    case BinOp::Eq:  return L == R;
+    case BinOp::Ne:  return L != R;
+    case BinOp::And: return R != 0;
+    case BinOp::Or:  return R != 0;
+    }
+    return 0;
+  }
+  case ExprKind::Unary: {
+    int64_t V = evalExpr(E->lhs(), S, DivByZero);
+    switch (E->unOp()) {
+    case UnOp::Neg: return -V;
+    case UnOp::Not: return V == 0;
+    }
+    return 0;
+  }
+  }
+  return 0;
+}
+
+namespace {
+
+class Interpreter {
+public:
+  Interpreter(State Initial, uint64_t Fuel)
+      : Current(std::move(Initial)), Fuel(Fuel) {}
+
+  ExecResult finish(ExecStatus Status) {
+    ExecResult R;
+    R.Status = Status;
+    R.Final = std::move(Current);
+    return R;
+  }
+
+  /// Executes \p S; returns Ok or the failing status.
+  ExecStatus exec(const StmtPtr &S) {
+    if (Fuel == 0)
+      return ExecStatus::OutOfFuel;
+    --Fuel;
+    switch (S->kind()) {
+    case StmtKind::Skip:
+      return ExecStatus::Ok;
+    case StmtKind::Assign: {
+      bool Div = false;
+      int64_t V = evalExpr(S->value(), Current, Div);
+      const LValue &T = S->target();
+      if (T.Index) {
+        int64_t Idx = evalExpr(T.Index, Current, Div);
+        if (Div)
+          return ExecStatus::DivByZero;
+        Current.setArrayElem(T.Name, Idx, V);
+      } else {
+        if (Div)
+          return ExecStatus::DivByZero;
+        Current.setScalar(T.Name, V);
+      }
+      return ExecStatus::Ok;
+    }
+    case StmtKind::Seq:
+      for (const StmtPtr &C : S->stmts())
+        if (ExecStatus St = exec(C); St != ExecStatus::Ok)
+          return St;
+      return ExecStatus::Ok;
+    case StmtKind::If: {
+      bool Div = false;
+      int64_t C = evalExpr(S->cond(), Current, Div);
+      if (Div)
+        return ExecStatus::DivByZero;
+      if (C != 0)
+        return exec(S->thenStmt());
+      if (S->elseStmt())
+        return exec(S->elseStmt());
+      return ExecStatus::Ok;
+    }
+    case StmtKind::While: {
+      while (true) {
+        if (Fuel == 0)
+          return ExecStatus::OutOfFuel;
+        --Fuel;
+        bool Div = false;
+        int64_t C = evalExpr(S->cond(), Current, Div);
+        if (Div)
+          return ExecStatus::DivByZero;
+        if (C == 0)
+          return ExecStatus::Ok;
+        if (ExecStatus St = exec(S->body()); St != ExecStatus::Ok)
+          return St;
+      }
+    }
+    case StmtKind::For:
+      // Execute via the canonical lowering so semantics are defined once.
+      return exec(lowerFors(S));
+    case StmtKind::Assume: {
+      bool Div = false;
+      int64_t C = evalExpr(S->cond(), Current, Div);
+      if (Div)
+        return ExecStatus::DivByZero;
+      return C != 0 ? ExecStatus::Ok : ExecStatus::Stuck;
+    }
+    case StmtKind::MetaStmt:
+      reportFatalError("interpreting a parameterized statement");
+    }
+    return ExecStatus::Ok;
+  }
+
+private:
+  State Current;
+  uint64_t Fuel;
+
+  friend ExecResult pec::run(const StmtPtr &, const State &, uint64_t);
+};
+
+} // namespace
+
+ExecResult pec::run(const StmtPtr &Program, const State &Initial,
+                    uint64_t Fuel) {
+  Interpreter I(Initial, Fuel);
+  ExecStatus St = I.exec(Program);
+  return I.finish(St);
+}

@@ -1,0 +1,85 @@
+//===- Interp.h - Concrete interpreter --------------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A big-step interpreter for *concrete* programs over program states
+/// mapping variables to integers and arrays to int->int maps. The
+/// interpreter realizes Definition 1 of the paper operationally: two
+/// programs are equivalent iff they map every initial state to the same
+/// final state. The differential test suite uses it to validate every
+/// optimization dynamically on random states.
+///
+/// `assume(c)`: execution *blocks* (reports Stuck) if `c` is false. The
+/// PEC pipeline only inserts assumes that are justified, so Stuck never
+/// occurs for programs produced by the engine; the interpreter still
+/// reports it faithfully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_INTERP_INTERP_H
+#define PEC_INTERP_INTERP_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pec {
+
+/// A concrete program state: scalar variables and arrays. Unset scalars
+/// read as 0 and unset array cells read as 0, so every state is total.
+class State {
+public:
+  int64_t getScalar(Symbol Name) const;
+  void setScalar(Symbol Name, int64_t Value);
+
+  int64_t getArrayElem(Symbol Array, int64_t Index) const;
+  void setArrayElem(Symbol Array, int64_t Index, int64_t Value);
+
+  bool operator==(const State &Other) const;
+
+  /// Renders the state for test failure messages, e.g. "{i=3, a[0]=7}".
+  std::string str() const;
+
+  const std::map<Symbol, int64_t> &scalars() const { return Scalars; }
+  const std::map<Symbol, std::map<int64_t, int64_t>> &arrays() const {
+    return Arrays;
+  }
+
+private:
+  std::map<Symbol, int64_t> Scalars;
+  std::map<Symbol, std::map<int64_t, int64_t>> Arrays;
+};
+
+/// Why execution failed to produce a final state.
+enum class ExecStatus {
+  Ok,
+  Stuck,        ///< A false assume was reached.
+  OutOfFuel,    ///< Step budget exhausted (diverging loop).
+  DivByZero,    ///< Division or modulo by zero.
+};
+
+struct ExecResult {
+  ExecStatus Status = ExecStatus::Ok;
+  State Final;
+
+  bool ok() const { return Status == ExecStatus::Ok; }
+};
+
+/// Evaluates concrete expression \p E in \p S. Division by zero sets
+/// \p DivByZero and returns 0.
+int64_t evalExpr(const ExprPtr &E, const State &S, bool &DivByZero);
+
+/// Runs concrete statement \p Program from \p Initial with a step budget of
+/// \p Fuel loop iterations + statements. Asserts the program is concrete.
+ExecResult run(const StmtPtr &Program, const State &Initial,
+               uint64_t Fuel = 1u << 20);
+
+} // namespace pec
+
+#endif // PEC_INTERP_INTERP_H

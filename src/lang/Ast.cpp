@@ -1,0 +1,261 @@
+//===- Ast.cpp - AST factories and small queries --------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace pec;
+
+const char *pec::spelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add: return "+";
+  case BinOp::Sub: return "-";
+  case BinOp::Mul: return "*";
+  case BinOp::Div: return "/";
+  case BinOp::Mod: return "%";
+  case BinOp::Lt:  return "<";
+  case BinOp::Le:  return "<=";
+  case BinOp::Gt:  return ">";
+  case BinOp::Ge:  return ">=";
+  case BinOp::Eq:  return "==";
+  case BinOp::Ne:  return "!=";
+  case BinOp::And: return "&&";
+  case BinOp::Or:  return "||";
+  }
+  return "?";
+}
+
+const char *pec::spelling(UnOp Op) {
+  switch (Op) {
+  case UnOp::Neg: return "-";
+  case UnOp::Not: return "!";
+  }
+  return "?";
+}
+
+bool pec::isBooleanOp(BinOp Op) {
+  switch (Op) {
+  case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+  case BinOp::Eq: case BinOp::Ne: case BinOp::And: case BinOp::Or:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expr
+//===----------------------------------------------------------------------===//
+
+bool Expr::isParameterized() const {
+  switch (Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::Var:
+    return false;
+  case ExprKind::MetaVar:
+  case ExprKind::MetaExpr:
+    return true;
+  case ExprKind::ArrayRead:
+    return ArrayMeta || Lhs->isParameterized();
+  case ExprKind::Binary:
+    return Lhs->isParameterized() || Rhs->isParameterized();
+  case ExprKind::Unary:
+    return Lhs->isParameterized();
+  }
+  return false;
+}
+
+ExprPtr Expr::mkInt(int64_t V, SourceLoc Loc) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::IntLit;
+  E->IntValue = V;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::mkVar(Symbol Name, SourceLoc Loc) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Var;
+  E->Name = Name;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::mkMetaVar(Symbol Name, SourceLoc Loc) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::MetaVar;
+  E->Name = Name;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::mkMetaExpr(Symbol Name, SourceLoc Loc) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::MetaExpr;
+  E->Name = Name;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::mkArrayRead(Symbol Array, bool ArrayMeta, ExprPtr Index,
+                          SourceLoc Loc) {
+  assert(Index && "array read needs an index");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::ArrayRead;
+  E->Name = Array;
+  E->ArrayMeta = ArrayMeta;
+  E->Lhs = std::move(Index);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::mkBinary(BinOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc) {
+  assert(L && R && "binary expression needs both operands");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Binary;
+  E->BOp = Op;
+  E->Lhs = std::move(L);
+  E->Rhs = std::move(R);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::mkUnary(UnOp Op, ExprPtr Operand, SourceLoc Loc) {
+  assert(Operand && "unary expression needs an operand");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Unary;
+  E->UOp = Op;
+  E->Lhs = std::move(Operand);
+  E->Loc = Loc;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Stmt
+//===----------------------------------------------------------------------===//
+
+bool Stmt::isParameterized() const {
+  switch (Kind) {
+  case StmtKind::Skip:
+    return false;
+  case StmtKind::MetaStmt:
+    return true;
+  case StmtKind::Assign:
+    if (Target.IsMeta || (Target.Index && Target.Index->isParameterized()))
+      return true;
+    return Value->isParameterized();
+  case StmtKind::Assume:
+    return Value->isParameterized();
+  case StmtKind::Seq:
+    for (const StmtPtr &S : Children)
+      if (S->isParameterized())
+        return true;
+    return false;
+  case StmtKind::If:
+    if (Value->isParameterized() || Children[0]->isParameterized())
+      return true;
+    return Children[1] && Children[1]->isParameterized();
+  case StmtKind::While:
+    return Value->isParameterized() || Children[0]->isParameterized();
+  case StmtKind::For:
+    return NameMeta || Init->isParameterized() || Value->isParameterized() ||
+           Children[0]->isParameterized();
+  }
+  return false;
+}
+
+StmtPtr Stmt::mkSkip(Symbol Label, SourceLoc Loc) {
+  auto S = std::shared_ptr<Stmt>(new Stmt());
+  S->Kind = StmtKind::Skip;
+  S->Label = Label;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::mkAssign(LValue Target, ExprPtr Value, Symbol Label,
+                       SourceLoc Loc) {
+  assert(Value && "assignment needs a value");
+  auto S = std::shared_ptr<Stmt>(new Stmt());
+  S->Kind = StmtKind::Assign;
+  S->Target = std::move(Target);
+  S->Value = std::move(Value);
+  S->Label = Label;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::mkSeq(std::vector<StmtPtr> Stmts, Symbol Label, SourceLoc Loc) {
+  auto S = std::shared_ptr<Stmt>(new Stmt());
+  S->Kind = StmtKind::Seq;
+  S->Children = std::move(Stmts);
+  S->Label = Label;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::mkIf(ExprPtr Cond, StmtPtr Then, StmtPtr Else, Symbol Label,
+                   SourceLoc Loc) {
+  assert(Cond && Then && "if needs a condition and a then-branch");
+  auto S = std::shared_ptr<Stmt>(new Stmt());
+  S->Kind = StmtKind::If;
+  S->Value = std::move(Cond);
+  S->Children.push_back(std::move(Then));
+  S->Children.push_back(std::move(Else)); // May be null.
+  S->Label = Label;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::mkWhile(ExprPtr Cond, StmtPtr Body, Symbol Label,
+                      SourceLoc Loc) {
+  assert(Cond && Body && "while needs a condition and a body");
+  auto S = std::shared_ptr<Stmt>(new Stmt());
+  S->Kind = StmtKind::While;
+  S->Value = std::move(Cond);
+  S->Children.push_back(std::move(Body));
+  S->Label = Label;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::mkFor(Symbol IndexVar, bool IndexIsMeta, ExprPtr Init,
+                    ExprPtr Cond, int64_t StepDelta, StmtPtr Body,
+                    Symbol Label, SourceLoc Loc) {
+  assert(Init && Cond && Body && "for needs init, cond and body");
+  auto S = std::shared_ptr<Stmt>(new Stmt());
+  S->Kind = StmtKind::For;
+  S->Name = IndexVar;
+  S->NameMeta = IndexIsMeta;
+  S->Init = std::move(Init);
+  S->Value = std::move(Cond);
+  S->StepDelta = StepDelta;
+  S->Children.push_back(std::move(Body));
+  S->Label = Label;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::mkAssume(ExprPtr Cond, Symbol Label, SourceLoc Loc) {
+  assert(Cond && "assume needs a condition");
+  auto S = std::shared_ptr<Stmt>(new Stmt());
+  S->Kind = StmtKind::Assume;
+  S->Value = std::move(Cond);
+  S->Label = Label;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::mkMetaStmt(Symbol Name, std::vector<ExprPtr> Holes, Symbol Label,
+                         SourceLoc Loc) {
+  auto S = std::shared_ptr<Stmt>(new Stmt());
+  S->Kind = StmtKind::MetaStmt;
+  S->Name = Name;
+  S->Holes = std::move(Holes);
+  S->Label = Label;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::withLabel(const StmtPtr &Orig, Symbol NewLabel) {
+  auto S = std::shared_ptr<Stmt>(new Stmt(*Orig));
+  S->Label = NewLabel;
+  return S;
+}

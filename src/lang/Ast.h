@@ -1,0 +1,301 @@
+//===- Ast.h - AST for the PEC intermediate language ------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the C-like intermediate language of the paper,
+/// extended with meta-variables so the same AST represents both concrete
+/// programs and *parameterized* programs (paper Sec. 2.1):
+///
+///   * expression meta-variables (`E`, `E1`, ...) range over expressions,
+///   * variable meta-variables (`I`, `J`, ...) range over program variables,
+///   * statement meta-variables (`S`, `S0`, ...) range over single-entry
+///     single-exit statement regions; `S1[I+1]` is a statement meta-variable
+///     with a *hole* filled by the expression `I+1`.
+///
+/// AST nodes are immutable and shared (`std::shared_ptr<const T>`); rewrites
+/// build new trees with structural sharing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LANG_AST_H
+#define PEC_LANG_AST_H
+
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pec {
+
+class Expr;
+class Stmt;
+using ExprPtr = std::shared_ptr<const Expr>;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Mod,          // arithmetic
+  Lt, Le, Gt, Ge, Eq, Ne,           // comparisons (int-valued: 0/1)
+  And, Or                           // logical (on truthiness of ints)
+};
+
+enum class UnOp : uint8_t { Neg, Not };
+
+/// Returns a printable spelling for \p Op ("+", "<=", ...).
+const char *spelling(BinOp Op);
+const char *spelling(UnOp Op);
+/// True for Lt/Le/Gt/Ge/Eq/Ne/And/Or, i.e. operators whose result is 0/1.
+bool isBooleanOp(BinOp Op);
+
+enum class ExprKind : uint8_t {
+  IntLit,    ///< Integer literal.
+  Var,       ///< Concrete program variable.
+  MetaVar,   ///< Variable meta-variable (ranges over variable *names*).
+  MetaExpr,  ///< Expression meta-variable (ranges over whole expressions).
+  ArrayRead, ///< a[i] where `a` is a (possibly meta) variable.
+  Binary,
+  Unary,
+};
+
+/// An expression node. All expressions are integer-valued; comparisons and
+/// logical operators yield 0/1 as in C.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  SourceLoc location() const { return Loc; }
+
+  // IntLit
+  int64_t intValue() const {
+    assert(Kind == ExprKind::IntLit);
+    return IntValue;
+  }
+
+  // Var / MetaVar / MetaExpr / ArrayRead (array name)
+  Symbol name() const {
+    assert(Kind == ExprKind::Var || Kind == ExprKind::MetaVar ||
+           Kind == ExprKind::MetaExpr || Kind == ExprKind::ArrayRead);
+    return Name;
+  }
+  /// For ArrayRead: true if the array name is a variable meta-variable.
+  bool arrayIsMeta() const {
+    assert(Kind == ExprKind::ArrayRead);
+    return ArrayMeta;
+  }
+
+  // ArrayRead
+  const ExprPtr &index() const {
+    assert(Kind == ExprKind::ArrayRead);
+    return Lhs;
+  }
+
+  // Binary / Unary
+  BinOp binOp() const {
+    assert(Kind == ExprKind::Binary);
+    return BOp;
+  }
+  UnOp unOp() const {
+    assert(Kind == ExprKind::Unary);
+    return UOp;
+  }
+  const ExprPtr &lhs() const {
+    assert(Kind == ExprKind::Binary || Kind == ExprKind::Unary);
+    return Lhs;
+  }
+  const ExprPtr &rhs() const {
+    assert(Kind == ExprKind::Binary);
+    return Rhs;
+  }
+
+  /// True if this is a MetaVar or MetaExpr, or contains one anywhere.
+  bool isParameterized() const;
+
+  // Factories.
+  static ExprPtr mkInt(int64_t V, SourceLoc Loc = {});
+  static ExprPtr mkVar(Symbol Name, SourceLoc Loc = {});
+  static ExprPtr mkMetaVar(Symbol Name, SourceLoc Loc = {});
+  static ExprPtr mkMetaExpr(Symbol Name, SourceLoc Loc = {});
+  static ExprPtr mkArrayRead(Symbol Array, bool ArrayMeta, ExprPtr Index,
+                             SourceLoc Loc = {});
+  static ExprPtr mkBinary(BinOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc = {});
+  static ExprPtr mkUnary(UnOp Op, ExprPtr E, SourceLoc Loc = {});
+
+private:
+  Expr() = default;
+
+  ExprKind Kind = ExprKind::IntLit;
+  SourceLoc Loc;
+  int64_t IntValue = 0;
+  Symbol Name;
+  bool ArrayMeta = false;
+  BinOp BOp = BinOp::Add;
+  UnOp UOp = UnOp::Neg;
+  ExprPtr Lhs; // Binary lhs / Unary operand / ArrayRead index.
+  ExprPtr Rhs;
+};
+
+//===----------------------------------------------------------------------===//
+// LValues
+//===----------------------------------------------------------------------===//
+
+/// The target of an assignment: either a scalar variable (possibly a variable
+/// meta-variable) or an array element.
+struct LValue {
+  Symbol Name;          ///< Variable or array name.
+  bool IsMeta = false;  ///< Name is a variable meta-variable.
+  ExprPtr Index;        ///< Null for scalars; the index for array elements.
+
+  bool isArrayElem() const { return Index != nullptr; }
+
+  static LValue scalar(Symbol Name, bool IsMeta = false) {
+    return LValue{Name, IsMeta, nullptr};
+  }
+  static LValue arrayElem(Symbol Name, ExprPtr Index, bool IsMeta = false) {
+    return LValue{Name, IsMeta, std::move(Index)};
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Skip,
+  Assign,   ///< lvalue := expr
+  Seq,      ///< { s1; s2; ... }
+  If,       ///< if (c) s1 else s2
+  While,    ///< while (c) s
+  For,      ///< for (i := lo; i </<=/>/>= bound; i++/--) s   (sugar kept
+            ///  structured so the Permute module can recognize loop nests)
+  Assume,   ///< assume(c) — blocks unless c holds; used to model branches and
+            ///  side-condition meanings (paper Sec. 3)
+  MetaStmt, ///< Statement meta-variable, optionally with hole arguments.
+};
+
+/// A statement node. Statements may carry a label (`L1: s`), which side
+/// conditions reference via `fact@L1`.
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  SourceLoc location() const { return Loc; }
+
+  /// The statement's label, or the empty symbol.
+  Symbol label() const { return Label; }
+
+  // Assign
+  const LValue &target() const {
+    assert(Kind == StmtKind::Assign);
+    return Target;
+  }
+  const ExprPtr &value() const {
+    assert(Kind == StmtKind::Assign);
+    return Value;
+  }
+
+  // Seq
+  const std::vector<StmtPtr> &stmts() const {
+    assert(Kind == StmtKind::Seq);
+    return Children;
+  }
+
+  // If / While / Assume / For
+  const ExprPtr &cond() const {
+    assert(Kind == StmtKind::If || Kind == StmtKind::While ||
+           Kind == StmtKind::Assume || Kind == StmtKind::For);
+    return Value;
+  }
+  const StmtPtr &thenStmt() const {
+    assert(Kind == StmtKind::If);
+    return Children[0];
+  }
+  /// Null if there is no else branch.
+  const StmtPtr &elseStmt() const {
+    assert(Kind == StmtKind::If);
+    return Children[1];
+  }
+  const StmtPtr &body() const {
+    assert(Kind == StmtKind::While || Kind == StmtKind::For);
+    return Children[0];
+  }
+
+  // For: `for (IndexVar := init(); cond(); IndexVar += stepDelta()) body()`.
+  Symbol indexVar() const {
+    assert(Kind == StmtKind::For);
+    return Name;
+  }
+  bool indexIsMeta() const {
+    assert(Kind == StmtKind::For);
+    return NameMeta;
+  }
+  const ExprPtr &init() const {
+    assert(Kind == StmtKind::For);
+    return Init;
+  }
+  int64_t stepDelta() const {
+    assert(Kind == StmtKind::For);
+    return StepDelta;
+  }
+
+  // MetaStmt
+  Symbol metaName() const {
+    assert(Kind == StmtKind::MetaStmt);
+    return Name;
+  }
+  /// Hole arguments (`S1[I+1]` has one hole argument `I+1`); empty for plain
+  /// statement meta-variables.
+  const std::vector<ExprPtr> &holeArgs() const {
+    assert(Kind == StmtKind::MetaStmt);
+    return Holes;
+  }
+
+  /// True if this statement contains any meta-variable (statement,
+  /// expression, or variable).
+  bool isParameterized() const;
+
+  // Factories. `Label` may be empty.
+  static StmtPtr mkSkip(Symbol Label = {}, SourceLoc Loc = {});
+  static StmtPtr mkAssign(LValue Target, ExprPtr Value, Symbol Label = {},
+                          SourceLoc Loc = {});
+  static StmtPtr mkSeq(std::vector<StmtPtr> Stmts, Symbol Label = {},
+                       SourceLoc Loc = {});
+  static StmtPtr mkIf(ExprPtr Cond, StmtPtr Then, StmtPtr Else,
+                      Symbol Label = {}, SourceLoc Loc = {});
+  static StmtPtr mkWhile(ExprPtr Cond, StmtPtr Body, Symbol Label = {},
+                         SourceLoc Loc = {});
+  static StmtPtr mkFor(Symbol IndexVar, bool IndexIsMeta, ExprPtr Init,
+                       ExprPtr Cond, int64_t StepDelta, StmtPtr Body,
+                       Symbol Label = {}, SourceLoc Loc = {});
+  static StmtPtr mkAssume(ExprPtr Cond, Symbol Label = {}, SourceLoc Loc = {});
+  static StmtPtr mkMetaStmt(Symbol Name, std::vector<ExprPtr> Holes = {},
+                            Symbol Label = {}, SourceLoc Loc = {});
+
+  /// Returns a copy of \p S carrying label \p NewLabel.
+  static StmtPtr withLabel(const StmtPtr &S, Symbol NewLabel);
+
+private:
+  Stmt() = default;
+
+  StmtKind Kind = StmtKind::Skip;
+  SourceLoc Loc;
+  Symbol Label;
+  LValue Target;
+  ExprPtr Value; // Assign value / If-While-Assume-For condition.
+  ExprPtr Init;  // For initializer.
+  int64_t StepDelta = 1;
+  Symbol Name; // MetaStmt name / For index variable.
+  bool NameMeta = false;
+  std::vector<StmtPtr> Children;
+  std::vector<ExprPtr> Holes;
+};
+
+} // namespace pec
+
+#endif // PEC_LANG_AST_H

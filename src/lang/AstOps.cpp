@@ -1,0 +1,376 @@
+//===- AstOps.cpp - Structural operations on the AST -----------------------===//
+
+#include "lang/AstOps.h"
+
+#include <cstdlib>
+
+using namespace pec;
+
+bool pec::exprEquals(const ExprPtr &A, const ExprPtr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case ExprKind::IntLit:
+    return A->intValue() == B->intValue();
+  case ExprKind::Var:
+  case ExprKind::MetaVar:
+  case ExprKind::MetaExpr:
+    return A->name() == B->name();
+  case ExprKind::ArrayRead:
+    return A->name() == B->name() && A->arrayIsMeta() == B->arrayIsMeta() &&
+           exprEquals(A->index(), B->index());
+  case ExprKind::Binary:
+    return A->binOp() == B->binOp() && exprEquals(A->lhs(), B->lhs()) &&
+           exprEquals(A->rhs(), B->rhs());
+  case ExprKind::Unary:
+    return A->unOp() == B->unOp() && exprEquals(A->lhs(), B->lhs());
+  }
+  return false;
+}
+
+static bool lvalueEquals(const LValue &A, const LValue &B) {
+  return A.Name == B.Name && A.IsMeta == B.IsMeta &&
+         ((A.Index == nullptr) == (B.Index == nullptr)) &&
+         (!A.Index || exprEquals(A.Index, B.Index));
+}
+
+bool pec::stmtEquals(const StmtPtr &A, const StmtPtr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case StmtKind::Skip:
+    return true;
+  case StmtKind::Assign:
+    return lvalueEquals(A->target(), B->target()) &&
+           exprEquals(A->value(), B->value());
+  case StmtKind::Seq: {
+    const auto &As = A->stmts(), &Bs = B->stmts();
+    if (As.size() != Bs.size())
+      return false;
+    for (size_t I = 0; I < As.size(); ++I)
+      if (!stmtEquals(As[I], Bs[I]))
+        return false;
+    return true;
+  }
+  case StmtKind::If: {
+    if (!exprEquals(A->cond(), B->cond()) ||
+        !stmtEquals(A->thenStmt(), B->thenStmt()))
+      return false;
+    if ((A->elseStmt() == nullptr) != (B->elseStmt() == nullptr))
+      return false;
+    return !A->elseStmt() || stmtEquals(A->elseStmt(), B->elseStmt());
+  }
+  case StmtKind::While:
+    return exprEquals(A->cond(), B->cond()) && stmtEquals(A->body(), B->body());
+  case StmtKind::For:
+    return A->indexVar() == B->indexVar() &&
+           A->indexIsMeta() == B->indexIsMeta() &&
+           exprEquals(A->init(), B->init()) &&
+           exprEquals(A->cond(), B->cond()) &&
+           A->stepDelta() == B->stepDelta() &&
+           stmtEquals(A->body(), B->body());
+  case StmtKind::Assume:
+    return exprEquals(A->cond(), B->cond());
+  case StmtKind::MetaStmt: {
+    if (A->metaName() != B->metaName() ||
+        A->holeArgs().size() != B->holeArgs().size())
+      return false;
+    for (size_t I = 0; I < A->holeArgs().size(); ++I)
+      if (!exprEquals(A->holeArgs()[I], B->holeArgs()[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+StmtPtr pec::normalizeStmt(const StmtPtr &S) {
+  switch (S->kind()) {
+  case StmtKind::Skip:
+  case StmtKind::Assign:
+  case StmtKind::Assume:
+  case StmtKind::MetaStmt:
+    return S;
+  case StmtKind::Seq: {
+    std::vector<StmtPtr> Flat;
+    for (const StmtPtr &C : S->stmts()) {
+      StmtPtr N = normalizeStmt(C);
+      if (N->kind() == StmtKind::Seq && N->label().empty()) {
+        for (const StmtPtr &G : N->stmts())
+          Flat.push_back(G);
+      } else if (N->kind() == StmtKind::Skip && N->label().empty()) {
+        // Drop unlabeled skips inside sequences.
+      } else {
+        Flat.push_back(N);
+      }
+    }
+    if (Flat.empty())
+      return Stmt::mkSkip(S->label(), S->location());
+    if (Flat.size() == 1 && S->label().empty())
+      return Flat[0];
+    return Stmt::mkSeq(std::move(Flat), S->label(), S->location());
+  }
+  case StmtKind::If: {
+    StmtPtr Else = S->elseStmt() ? normalizeStmt(S->elseStmt()) : nullptr;
+    return Stmt::mkIf(S->cond(), normalizeStmt(S->thenStmt()), Else,
+                      S->label(), S->location());
+  }
+  case StmtKind::While:
+    return Stmt::mkWhile(S->cond(), normalizeStmt(S->body()), S->label(),
+                         S->location());
+  case StmtKind::For:
+    return Stmt::mkFor(S->indexVar(), S->indexIsMeta(), S->init(), S->cond(),
+                       S->stepDelta(), normalizeStmt(S->body()), S->label(),
+                       S->location());
+  }
+  return S;
+}
+
+void pec::collectVars(const ExprPtr &E, std::set<Symbol> &Out) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::MetaExpr:
+    return;
+  case ExprKind::Var:
+    Out.insert(E->name());
+    return;
+  case ExprKind::MetaVar:
+    return;
+  case ExprKind::ArrayRead:
+    if (!E->arrayIsMeta())
+      Out.insert(E->name());
+    collectVars(E->index(), Out);
+    return;
+  case ExprKind::Binary:
+    collectVars(E->lhs(), Out);
+    collectVars(E->rhs(), Out);
+    return;
+  case ExprKind::Unary:
+    collectVars(E->lhs(), Out);
+    return;
+  }
+}
+
+void pec::collectVars(const StmtPtr &S, std::set<Symbol> &Out) {
+  forEachStmt(S, [&Out](const StmtPtr &N) {
+    switch (N->kind()) {
+    case StmtKind::Assign:
+      if (!N->target().IsMeta)
+        Out.insert(N->target().Name);
+      if (N->target().Index)
+        collectVars(N->target().Index, Out);
+      collectVars(N->value(), Out);
+      break;
+    case StmtKind::Assume:
+      collectVars(N->cond(), Out);
+      break;
+    case StmtKind::If:
+    case StmtKind::While:
+      collectVars(N->cond(), Out);
+      break;
+    case StmtKind::For:
+      if (!N->indexIsMeta())
+        Out.insert(N->indexVar());
+      collectVars(N->init(), Out);
+      collectVars(N->cond(), Out);
+      break;
+    case StmtKind::MetaStmt:
+      for (const ExprPtr &H : N->holeArgs())
+        collectVars(H, Out);
+      break;
+    case StmtKind::Skip:
+    case StmtKind::Seq:
+      break;
+    }
+  });
+}
+
+void pec::collectMetaVars(const ExprPtr &E, MetaVars &Out) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::Var:
+    return;
+  case ExprKind::MetaVar:
+    Out.VarVars.insert(E->name());
+    return;
+  case ExprKind::MetaExpr:
+    Out.ExprVars.insert(E->name());
+    return;
+  case ExprKind::ArrayRead:
+    if (E->arrayIsMeta())
+      Out.VarVars.insert(E->name());
+    collectMetaVars(E->index(), Out);
+    return;
+  case ExprKind::Binary:
+    collectMetaVars(E->lhs(), Out);
+    collectMetaVars(E->rhs(), Out);
+    return;
+  case ExprKind::Unary:
+    collectMetaVars(E->lhs(), Out);
+    return;
+  }
+}
+
+void pec::collectMetaVars(const StmtPtr &S, MetaVars &Out) {
+  forEachStmt(S, [&Out](const StmtPtr &N) {
+    switch (N->kind()) {
+    case StmtKind::Assign:
+      if (N->target().IsMeta)
+        Out.VarVars.insert(N->target().Name);
+      if (N->target().Index)
+        collectMetaVars(N->target().Index, Out);
+      collectMetaVars(N->value(), Out);
+      break;
+    case StmtKind::Assume:
+    case StmtKind::If:
+    case StmtKind::While:
+      collectMetaVars(N->cond(), Out);
+      break;
+    case StmtKind::For:
+      if (N->indexIsMeta())
+        Out.VarVars.insert(N->indexVar());
+      collectMetaVars(N->init(), Out);
+      collectMetaVars(N->cond(), Out);
+      break;
+    case StmtKind::MetaStmt:
+      Out.StmtVars.insert(N->metaName());
+      for (const ExprPtr &H : N->holeArgs())
+        collectMetaVars(H, Out);
+      break;
+    case StmtKind::Skip:
+    case StmtKind::Seq:
+      break;
+    }
+  });
+}
+
+void pec::readSet(const ExprPtr &E, std::set<Symbol> &Out) {
+  assert(!E->isParameterized() && "read set requires a concrete expression");
+  collectVars(E, Out);
+}
+
+void pec::readSet(const StmtPtr &S, std::set<Symbol> &Out) {
+  forEachStmt(S, [&Out](const StmtPtr &N) {
+    switch (N->kind()) {
+    case StmtKind::Assign:
+      // The index of an array write is a read; the element is a write but
+      // reading other elements of the same array is conservatively counted
+      // as a read only through explicit ArrayReads.
+      if (N->target().Index)
+        readSet(N->target().Index, Out);
+      readSet(N->value(), Out);
+      break;
+    case StmtKind::Assume:
+    case StmtKind::If:
+    case StmtKind::While:
+      readSet(N->cond(), Out);
+      break;
+    case StmtKind::For:
+      readSet(N->init(), Out);
+      readSet(N->cond(), Out);
+      Out.insert(N->indexVar());
+      break;
+    case StmtKind::MetaStmt:
+      reportFatalError("read set requested for a parameterized statement");
+    case StmtKind::Skip:
+    case StmtKind::Seq:
+      break;
+    }
+  });
+}
+
+void pec::writeSet(const StmtPtr &S, std::set<Symbol> &Out) {
+  forEachStmt(S, [&Out](const StmtPtr &N) {
+    switch (N->kind()) {
+    case StmtKind::Assign:
+      assert(!N->target().IsMeta && "write set requires a concrete statement");
+      Out.insert(N->target().Name);
+      break;
+    case StmtKind::For:
+      Out.insert(N->indexVar());
+      break;
+    case StmtKind::MetaStmt:
+      reportFatalError("write set requested for a parameterized statement");
+    default:
+      break;
+    }
+  });
+}
+
+StmtPtr pec::lowerFors(const StmtPtr &S) {
+  switch (S->kind()) {
+  case StmtKind::Skip:
+  case StmtKind::Assign:
+  case StmtKind::Assume:
+  case StmtKind::MetaStmt:
+    return S;
+  case StmtKind::Seq: {
+    std::vector<StmtPtr> Out;
+    Out.reserve(S->stmts().size());
+    for (const StmtPtr &C : S->stmts())
+      Out.push_back(lowerFors(C));
+    return Stmt::mkSeq(std::move(Out), S->label(), S->location());
+  }
+  case StmtKind::If:
+    return Stmt::mkIf(S->cond(), lowerFors(S->thenStmt()),
+                      S->elseStmt() ? lowerFors(S->elseStmt()) : nullptr,
+                      S->label(), S->location());
+  case StmtKind::While:
+    return Stmt::mkWhile(S->cond(), lowerFors(S->body()), S->label(),
+                         S->location());
+  case StmtKind::For: {
+    Symbol Idx = S->indexVar();
+    bool Meta = S->indexIsMeta();
+    ExprPtr IdxRef = Meta ? Expr::mkMetaVar(Idx) : Expr::mkVar(Idx);
+    StmtPtr Init = Stmt::mkAssign(LValue::scalar(Idx, Meta), S->init());
+    StmtPtr Step = Stmt::mkAssign(
+        LValue::scalar(Idx, Meta),
+        Expr::mkBinary(S->stepDelta() >= 0 ? BinOp::Add : BinOp::Sub, IdxRef,
+                       Expr::mkInt(std::abs(S->stepDelta()))));
+    StmtPtr Body =
+        Stmt::mkSeq({lowerFors(S->body()), Step});
+    StmtPtr Loop = Stmt::mkWhile(S->cond(), Body, S->label(), S->location());
+    return Stmt::mkSeq({Init, Loop});
+  }
+  }
+  return S;
+}
+
+void pec::forEachStmt(const StmtPtr &S,
+                      const std::function<void(const StmtPtr &)> &Fn) {
+  Fn(S);
+  switch (S->kind()) {
+  case StmtKind::Seq:
+    for (const StmtPtr &C : S->stmts())
+      forEachStmt(C, Fn);
+    break;
+  case StmtKind::If:
+    forEachStmt(S->thenStmt(), Fn);
+    if (S->elseStmt())
+      forEachStmt(S->elseStmt(), Fn);
+    break;
+  case StmtKind::While:
+  case StmtKind::For:
+    forEachStmt(S->body(), Fn);
+    break;
+  default:
+    break;
+  }
+}
+
+StmtPtr pec::findLabeled(const StmtPtr &S, Symbol Label) {
+  StmtPtr Found;
+  forEachStmt(S, [&](const StmtPtr &N) {
+    if (N->label() == Label && !Found)
+      Found = N;
+  });
+  return Found;
+}

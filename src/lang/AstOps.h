@@ -1,0 +1,73 @@
+//===- AstOps.h - Structural operations on the AST --------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural equality, variable collection, read/write sets for concrete
+/// statements, `for`-loop lowering, and meta-variable enumeration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LANG_ASTOPS_H
+#define PEC_LANG_ASTOPS_H
+
+#include "lang/Ast.h"
+
+#include <functional>
+#include <set>
+#include <vector>
+
+namespace pec {
+
+/// Structural equality, ignoring labels and source locations.
+bool exprEquals(const ExprPtr &A, const ExprPtr &B);
+/// Structural equality, ignoring labels and source locations. Empty `Seq`s
+/// and nested `Seq` flattening are NOT normalized here; use
+/// \ref normalizeStmt first if needed.
+bool stmtEquals(const StmtPtr &A, const StmtPtr &B);
+
+/// Flattens nested Seqs, drops Skips inside Seqs (unless the Seq would become
+/// empty), and recursively normalizes children. Labels on dropped nodes are
+/// preserved by re-attaching them where possible; labels on pruned Skips are
+/// lost.
+StmtPtr normalizeStmt(const StmtPtr &S);
+
+/// Collects the names of all concrete variables (scalars and arrays) that
+/// occur in \p E / \p S.
+void collectVars(const ExprPtr &E, std::set<Symbol> &Out);
+void collectVars(const StmtPtr &S, std::set<Symbol> &Out);
+
+/// Meta-variable occurrence sets.
+struct MetaVars {
+  std::set<Symbol> StmtVars; ///< Statement meta-variables.
+  std::set<Symbol> ExprVars; ///< Expression meta-variables.
+  std::set<Symbol> VarVars;  ///< Variable meta-variables.
+};
+void collectMetaVars(const ExprPtr &E, MetaVars &Out);
+void collectMetaVars(const StmtPtr &S, MetaVars &Out);
+
+/// Read/write sets for *concrete* programs (used by the execution engine's
+/// conservative side-condition checks, paper Sec. 8). Array accesses
+/// contribute the array name; indices contribute their reads. Asserts if the
+/// statement is parameterized.
+void readSet(const ExprPtr &E, std::set<Symbol> &Out);
+void readSet(const StmtPtr &S, std::set<Symbol> &Out);
+void writeSet(const StmtPtr &S, std::set<Symbol> &Out);
+
+/// Lowers every `for` into init + `while` (the canonical desugaring used by
+/// the CFG builder and the interpreter):
+/// `for (i := lo; c; i++) b`  =>  `i := lo; while (c) { b; i := i + 1; }`.
+StmtPtr lowerFors(const StmtPtr &S);
+
+/// Calls \p Fn for every statement node in pre-order (including \p S).
+void forEachStmt(const StmtPtr &S,
+                 const std::function<void(const StmtPtr &)> &Fn);
+
+/// Finds the (unique) statement labeled \p Label, or null.
+StmtPtr findLabeled(const StmtPtr &S, Symbol Label);
+
+} // namespace pec
+
+#endif // PEC_LANG_ASTOPS_H

@@ -1,0 +1,185 @@
+//===- Lexer.cpp -----------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+
+using namespace pec;
+
+namespace {
+
+class LexerImpl {
+public:
+  explicit LexerImpl(std::string_view Source) : Source(Source) {}
+
+  Expected<std::vector<Token>> run() {
+    std::vector<Token> Toks;
+    while (true) {
+      skipWhitespaceAndComments();
+      if (atEnd()) {
+        Toks.push_back(Token{TokKind::Eof, {}, 0, loc()});
+        return Toks;
+      }
+      Expected<Token> T = lexOne();
+      if (!T)
+        return T.error();
+      Toks.push_back(*T);
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+  SourceLoc loc() const { return SourceLoc{Line, Column}; }
+
+  void skipWhitespaceAndComments() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token make(TokKind K, size_t Start, SourceLoc L) {
+    return Token{K, Source.substr(Start, Pos - Start), 0, L};
+  }
+
+  Expected<Token> lexOne() {
+    SourceLoc L = loc();
+    size_t Start = Pos;
+    char C = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        advance();
+      return make(TokKind::Ident, Start, L);
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+      Token T = make(TokKind::Number, Start, L);
+      int64_t V = 0;
+      for (char D : T.Text)
+        V = V * 10 + (D - '0');
+      T.Number = V;
+      return T;
+    }
+
+    switch (C) {
+    case '(': return make(TokKind::LParen, Start, L);
+    case ')': return make(TokKind::RParen, Start, L);
+    case '{': return make(TokKind::LBrace, Start, L);
+    case '}': return make(TokKind::RBrace, Start, L);
+    case '[': return make(TokKind::LBracket, Start, L);
+    case ']': return make(TokKind::RBracket, Start, L);
+    case ';': return make(TokKind::Semi, Start, L);
+    case ',': return make(TokKind::Comma, Start, L);
+    case '@': return make(TokKind::At, Start, L);
+    case '.': return make(TokKind::Dot, Start, L);
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Assign, Start, L);
+      }
+      return make(TokKind::Colon, Start, L);
+    case '+':
+      if (peek() == '+') {
+        advance();
+        return make(TokKind::PlusPlus, Start, L);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::PlusAssign, Start, L);
+      }
+      return make(TokKind::Plus, Start, L);
+    case '-':
+      if (peek() == '-') {
+        advance();
+        return make(TokKind::MinusMinus, Start, L);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::MinusAssign, Start, L);
+      }
+      return make(TokKind::Minus, Start, L);
+    case '*': return make(TokKind::Star, Start, L);
+    case '/': return make(TokKind::Slash, Start, L);
+    case '%': return make(TokKind::Percent, Start, L);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Le, Start, L);
+      }
+      return make(TokKind::Lt, Start, L);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Ge, Start, L);
+      }
+      return make(TokKind::Gt, Start, L);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::EqEq, Start, L);
+      }
+      if (peek() == '>') {
+        advance();
+        return make(TokKind::Arrow, Start, L);
+      }
+      return Diag("expected '==' or '=>' after '='", L);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Ne, Start, L);
+      }
+      return make(TokKind::Bang, Start, L);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AmpAmp, Start, L);
+      }
+      return Diag("expected '&&'", L);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::PipePipe, Start, L);
+      }
+      return Diag("expected '||'", L);
+    default:
+      return Diag(std::string("unexpected character '") + C + "'", L);
+    }
+  }
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace
+
+Expected<std::vector<Token>> pec::tokenize(std::string_view Source) {
+  return LexerImpl(Source).run();
+}

@@ -1,0 +1,59 @@
+//===- Lexer.h - Tokenizer for the PEC language -----------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for programs, rules, and side conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LANG_LEXER_H
+#define PEC_LANG_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pec {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,      ///< Identifiers and keywords (keyword-ness decided in parser).
+  Number,
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, At, Dot,
+  // Operators.
+  Assign,     ///< :=
+  Arrow,      ///< =>
+  PlusPlus, MinusMinus,
+  PlusAssign, MinusAssign, ///< += -=
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, Ne,
+  AmpAmp, PipePipe, Bang,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string_view Text;
+  int64_t Number = 0;
+  SourceLoc Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isIdent(std::string_view S) const {
+    return Kind == TokKind::Ident && Text == S;
+  }
+};
+
+/// Tokenizes \p Source. The returned tokens reference \p Source, which must
+/// outlive them. `//` line comments are skipped.
+Expected<std::vector<Token>> tokenize(std::string_view Source);
+
+} // namespace pec
+
+#endif // PEC_LANG_LEXER_H

@@ -1,0 +1,98 @@
+//===- Meaning.cpp - Meaning AST factories ----------------------------------------===//
+
+#include "lang/Meaning.h"
+
+using namespace pec;
+
+MeaningTermPtr MeaningTerm::mkState() {
+  static MeaningTermPtr S = [] {
+    auto T = std::shared_ptr<MeaningTerm>(new MeaningTerm());
+    T->Kind = MeaningTermKind::StateS;
+    return T;
+  }();
+  return S;
+}
+
+MeaningTermPtr MeaningTerm::mkStep(MeaningTermPtr State, Symbol StmtParam) {
+  assert(State->isStateSorted() && "step's first argument must be a state");
+  auto T = std::shared_ptr<MeaningTerm>(new MeaningTerm());
+  T->Kind = MeaningTermKind::Step;
+  T->Lhs = std::move(State);
+  T->Param = StmtParam;
+  return T;
+}
+
+MeaningTermPtr MeaningTerm::mkEval(MeaningTermPtr State, Symbol ExprParam) {
+  assert(State->isStateSorted() && "eval's first argument must be a state");
+  auto T = std::shared_ptr<MeaningTerm>(new MeaningTerm());
+  T->Kind = MeaningTermKind::Eval;
+  T->Lhs = std::move(State);
+  T->Param = ExprParam;
+  return T;
+}
+
+MeaningTermPtr MeaningTerm::mkInt(int64_t V) {
+  auto T = std::shared_ptr<MeaningTerm>(new MeaningTerm());
+  T->Kind = MeaningTermKind::IntLit;
+  T->IntValue = V;
+  return T;
+}
+
+MeaningTermPtr MeaningTerm::mkBinary(MeaningTermKind K, MeaningTermPtr L,
+                                     MeaningTermPtr R) {
+  assert((K == MeaningTermKind::Add || K == MeaningTermKind::Sub ||
+          K == MeaningTermKind::Mul) &&
+         "not an arithmetic kind");
+  assert(!L->isStateSorted() && !R->isStateSorted() &&
+         "arithmetic over states");
+  auto T = std::shared_ptr<MeaningTerm>(new MeaningTerm());
+  T->Kind = K;
+  T->Lhs = std::move(L);
+  T->Rhs = std::move(R);
+  return T;
+}
+
+MeaningTermPtr MeaningTerm::mkNeg(MeaningTermPtr Operand) {
+  assert(!Operand->isStateSorted() && "negating a state");
+  auto T = std::shared_ptr<MeaningTerm>(new MeaningTerm());
+  T->Kind = MeaningTermKind::Neg;
+  T->Lhs = std::move(Operand);
+  return T;
+}
+
+MeaningFormPtr MeaningForm::mkCmp(MeaningFormKind K, MeaningTermPtr L,
+                                  MeaningTermPtr R) {
+  assert((K == MeaningFormKind::Eq || K == MeaningFormKind::Ne ||
+          K == MeaningFormKind::Lt || K == MeaningFormKind::Le) &&
+         "not a comparison kind");
+  assert(L->isStateSorted() == R->isStateSorted() &&
+         "comparison across sorts");
+  assert((!L->isStateSorted() ||
+          (K == MeaningFormKind::Eq || K == MeaningFormKind::Ne)) &&
+         "states only compare with == / !=");
+  auto F = std::shared_ptr<MeaningForm>(new MeaningForm());
+  F->Kind = K;
+  F->L = std::move(L);
+  F->R = std::move(R);
+  return F;
+}
+
+MeaningFormPtr MeaningForm::mkConnective(MeaningFormKind K,
+                                         std::vector<MeaningFormPtr> Cs) {
+  assert((K == MeaningFormKind::And || K == MeaningFormKind::Or ||
+          K == MeaningFormKind::Not || K == MeaningFormKind::Implies) &&
+         "not a connective kind");
+  auto F = std::shared_ptr<MeaningForm>(new MeaningForm());
+  F->Kind = K;
+  F->Children = std::move(Cs);
+  return F;
+}
+
+MeaningFormPtr MeaningForm::mkTrue() {
+  static MeaningFormPtr T = [] {
+    auto F = std::shared_ptr<MeaningForm>(new MeaningForm());
+    F->Kind = MeaningFormKind::True;
+    return F;
+  }();
+  return T;
+}

@@ -1,0 +1,132 @@
+//===- Meaning.h - Semantic meanings of side-condition facts ----*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's meaning language (Fig. 4): every side-condition fact has a
+/// *semantic meaning*, a first-order formula over the program state `s` at
+/// the fact's location, built from
+///
+///   * `s` — the state at the point where the fact holds,
+///   * `eval(t, E)` — the value of fact parameter `E` (an expression) in
+///     state term `t`,
+///   * `step(t, S)` — the state after running fact parameter `S` (a
+///     statement) from state term `t`,
+///
+/// integer arithmetic, comparisons, state equality, and the boolean
+/// connectives. Declarations are written
+///
+///   fact DoesNotModify(S, E) has meaning
+///     eval(s, E) == eval(step(s, S), E);
+///
+/// and instantiated by the PEC pipeline at the symbolic state of every
+/// visit to the fact's labeled location (InsertAssumes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LANG_MEANING_H
+#define PEC_LANG_MEANING_H
+
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pec {
+
+class MeaningTerm;
+class MeaningForm;
+using MeaningTermPtr = std::shared_ptr<const MeaningTerm>;
+using MeaningFormPtr = std::shared_ptr<const MeaningForm>;
+
+enum class MeaningTermKind : uint8_t {
+  StateS,    ///< The distinguished state `s`.
+  Step,      ///< step(state, stmt-param).
+  Eval,      ///< eval(state, expr-param).
+  IntLit,
+  Add, Sub, Mul, Neg,
+};
+
+/// A term of the meaning language (state- or integer-sorted).
+class MeaningTerm {
+public:
+  MeaningTermKind kind() const { return Kind; }
+
+  Symbol param() const {
+    assert(Kind == MeaningTermKind::Step || Kind == MeaningTermKind::Eval);
+    return Param;
+  }
+  int64_t intValue() const {
+    assert(Kind == MeaningTermKind::IntLit);
+    return IntValue;
+  }
+  const MeaningTermPtr &lhs() const { return Lhs; }
+  const MeaningTermPtr &rhs() const { return Rhs; }
+
+  /// True for terms denoting program states.
+  bool isStateSorted() const {
+    return Kind == MeaningTermKind::StateS || Kind == MeaningTermKind::Step;
+  }
+
+  static MeaningTermPtr mkState();
+  static MeaningTermPtr mkStep(MeaningTermPtr State, Symbol StmtParam);
+  static MeaningTermPtr mkEval(MeaningTermPtr State, Symbol ExprParam);
+  static MeaningTermPtr mkInt(int64_t V);
+  static MeaningTermPtr mkBinary(MeaningTermKind K, MeaningTermPtr L,
+                                 MeaningTermPtr R);
+  static MeaningTermPtr mkNeg(MeaningTermPtr T);
+
+private:
+  MeaningTerm() = default;
+  MeaningTermKind Kind = MeaningTermKind::StateS;
+  Symbol Param;
+  int64_t IntValue = 0;
+  MeaningTermPtr Lhs, Rhs;
+};
+
+enum class MeaningFormKind : uint8_t {
+  Eq, Ne, Lt, Le, ///< Comparisons (Eq/Ne also over states).
+  And, Or, Not, Implies,
+  True,
+};
+
+/// A formula of the meaning language.
+class MeaningForm {
+public:
+  MeaningFormKind kind() const { return Kind; }
+  const MeaningTermPtr &lhsTerm() const { return L; }
+  const MeaningTermPtr &rhsTerm() const { return R; }
+  const std::vector<MeaningFormPtr> &children() const { return Children; }
+
+  static MeaningFormPtr mkCmp(MeaningFormKind K, MeaningTermPtr L,
+                              MeaningTermPtr R);
+  static MeaningFormPtr mkConnective(MeaningFormKind K,
+                                     std::vector<MeaningFormPtr> Cs);
+  static MeaningFormPtr mkTrue();
+
+private:
+  MeaningForm() = default;
+  MeaningFormKind Kind = MeaningFormKind::True;
+  MeaningTermPtr L, R;
+  std::vector<MeaningFormPtr> Children;
+};
+
+/// A fact declaration: `fact Name(Params...) has meaning Body;`.
+struct FactDecl {
+  Symbol Name;
+  std::vector<Symbol> Params;
+  MeaningFormPtr Body;
+  /// Code-property facts hold at every state (hoistable assumptions);
+  /// flow-sensitive facts hold only where control actually reaches the
+  /// label. User declarations default to flow-sensitive (the safe choice).
+  bool Universal = false;
+};
+
+} // namespace pec
+
+#endif // PEC_LANG_MEANING_H

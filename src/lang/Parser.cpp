@@ -1,0 +1,1063 @@
+//===- Parser.cpp - Recursive-descent parser --------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+
+using namespace pec;
+
+namespace {
+
+/// Kinds an identifier can take in parameterized mode.
+enum class IdentClass { Concrete, StmtMeta, ExprMeta, VarMeta };
+
+bool isKeyword(std::string_view S) {
+  return S == "skip" || S == "if" || S == "else" || S == "while" ||
+         S == "for" || S == "assume" || S == "rule" || S == "where" ||
+         S == "forall" || S == "true" || S == "false";
+}
+
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Toks, ParseMode Mode)
+      : Toks(std::move(Toks)), Mode(Mode) {}
+
+  Expected<StmtPtr> parseProgramTop() {
+    Expected<StmtPtr> S = parseStmtList(TokKind::Eof);
+    if (!S)
+      return S;
+    if (!cur().is(TokKind::Eof))
+      return err("trailing input after program");
+    return S;
+  }
+
+  Expected<ExprPtr> parseExprTop() {
+    Expected<ExprPtr> E = parseExpr();
+    if (!E)
+      return E;
+    if (!cur().is(TokKind::Eof))
+      return err("trailing input after expression");
+    return E;
+  }
+
+  Expected<Rule> parseRuleTop() {
+    Expected<Rule> R = parseOneRule();
+    if (!R)
+      return R;
+    if (!cur().is(TokKind::Eof))
+      return err("trailing input after rule");
+    return R;
+  }
+
+  Expected<std::vector<Rule>> parseRulesTop() {
+    std::vector<Rule> Rules;
+    while (!cur().is(TokKind::Eof)) {
+      Expected<Rule> R = parseOneRule();
+      if (!R)
+        return R.error();
+      Rules.push_back(R.take());
+    }
+    return Rules;
+  }
+
+  Expected<RuleFile> parseRuleFileTop() {
+    RuleFile File;
+    while (!cur().is(TokKind::Eof)) {
+      if (cur().isIdent("fact")) {
+        Expected<FactDecl> F = parseOneFactDecl();
+        if (!F)
+          return F.error();
+        File.Facts.push_back(F.take());
+        continue;
+      }
+      Expected<Rule> R = parseOneRule();
+      if (!R)
+        return R.error();
+      File.Rules.push_back(R.take());
+    }
+    return File;
+  }
+
+  Expected<FactDecl> parseFactDeclTop() {
+    Expected<FactDecl> F = parseOneFactDecl();
+    if (!F)
+      return F;
+    if (!cur().is(TokKind::Eof))
+      return err("trailing input after fact declaration");
+    return F;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Fact declarations and the meaning language (paper Fig. 4)
+  //===--------------------------------------------------------------------===//
+
+  Expected<FactDecl> parseOneFactDecl() {
+    if (!cur().isIdent("fact"))
+      return err("expected 'fact'");
+    next();
+    if (!cur().is(TokKind::Ident) || isKeyword(cur().Text))
+      return err("expected fact name");
+    FactDecl Decl;
+    Decl.Name = Symbol::get(cur().Text);
+    next();
+    if (auto D = expect(TokKind::LParen, "'(' after the fact name"))
+      return *D;
+    while (!cur().is(TokKind::RParen)) {
+      if (!cur().is(TokKind::Ident) || isKeyword(cur().Text))
+        return err("expected fact parameter name");
+      Decl.Params.push_back(Symbol::get(cur().Text));
+      next();
+      if (cur().is(TokKind::Comma))
+        next();
+    }
+    next(); // ')'
+    if (!cur().isIdent("has"))
+      return err("expected 'has meaning' after the parameter list");
+    next();
+    if (!cur().isIdent("meaning"))
+      return err("expected 'meaning' after 'has'");
+    next();
+    Expected<MeaningFormPtr> Body = parseMeaningForm(Decl.Params);
+    if (!Body)
+      return Body.error();
+    Decl.Body = Body.take();
+    if (cur().is(TokKind::Semi))
+      next();
+    return Decl;
+  }
+
+  bool isParam(const std::vector<Symbol> &Params, std::string_view Name) {
+    for (Symbol P : Params)
+      if (P.str() == Name)
+        return true;
+    return false;
+  }
+
+  Expected<MeaningFormPtr> parseMeaningForm(const std::vector<Symbol> &Ps) {
+    // implies (right associative, lowest precedence).
+    Expected<MeaningFormPtr> L = parseMeaningOr(Ps);
+    if (!L)
+      return L;
+    if (!cur().is(TokKind::Arrow))
+      return L;
+    next();
+    Expected<MeaningFormPtr> R = parseMeaningForm(Ps);
+    if (!R)
+      return R;
+    return MeaningForm::mkConnective(MeaningFormKind::Implies,
+                                     {L.take(), R.take()});
+  }
+
+  Expected<MeaningFormPtr> parseMeaningOr(const std::vector<Symbol> &Ps) {
+    Expected<MeaningFormPtr> L = parseMeaningAnd(Ps);
+    if (!L)
+      return L;
+    std::vector<MeaningFormPtr> Cs{L.take()};
+    while (cur().is(TokKind::PipePipe)) {
+      next();
+      Expected<MeaningFormPtr> R = parseMeaningAnd(Ps);
+      if (!R)
+        return R;
+      Cs.push_back(R.take());
+    }
+    if (Cs.size() == 1)
+      return Cs[0];
+    return MeaningForm::mkConnective(MeaningFormKind::Or, std::move(Cs));
+  }
+
+  Expected<MeaningFormPtr> parseMeaningAnd(const std::vector<Symbol> &Ps) {
+    Expected<MeaningFormPtr> L = parseMeaningAtom(Ps);
+    if (!L)
+      return L;
+    std::vector<MeaningFormPtr> Cs{L.take()};
+    while (cur().is(TokKind::AmpAmp)) {
+      next();
+      Expected<MeaningFormPtr> R = parseMeaningAtom(Ps);
+      if (!R)
+        return R;
+      Cs.push_back(R.take());
+    }
+    if (Cs.size() == 1)
+      return Cs[0];
+    return MeaningForm::mkConnective(MeaningFormKind::And, std::move(Cs));
+  }
+
+  Expected<MeaningFormPtr> parseMeaningAtom(const std::vector<Symbol> &Ps) {
+    if (cur().is(TokKind::Bang)) {
+      next();
+      Expected<MeaningFormPtr> C = parseMeaningAtom(Ps);
+      if (!C)
+        return C;
+      return MeaningForm::mkConnective(MeaningFormKind::Not, {C.take()});
+    }
+    if (cur().isIdent("true")) {
+      next();
+      return MeaningForm::mkTrue();
+    }
+    // '(' may open a parenthesized formula or a parenthesized term:
+    // try the formula reading first and backtrack on failure.
+    if (cur().is(TokKind::LParen)) {
+      size_t Saved = Pos;
+      next();
+      Expected<MeaningFormPtr> Inner = parseMeaningForm(Ps);
+      if (Inner && cur().is(TokKind::RParen)) {
+        next();
+        return Inner;
+      }
+      Pos = Saved;
+    }
+    Expected<MeaningTermPtr> L = parseMeaningTerm(Ps);
+    if (!L)
+      return L.error();
+    MeaningFormKind K;
+    bool Flip = false;
+    switch (cur().Kind) {
+    case TokKind::EqEq: K = MeaningFormKind::Eq; break;
+    case TokKind::Ne:   K = MeaningFormKind::Ne; break;
+    case TokKind::Lt:   K = MeaningFormKind::Lt; break;
+    case TokKind::Le:   K = MeaningFormKind::Le; break;
+    case TokKind::Gt:   K = MeaningFormKind::Lt; Flip = true; break;
+    case TokKind::Ge:   K = MeaningFormKind::Le; Flip = true; break;
+    default:
+      return err("expected a comparison in the fact meaning");
+    }
+    next();
+    Expected<MeaningTermPtr> R = parseMeaningTerm(Ps);
+    if (!R)
+      return R.error();
+    MeaningTermPtr Lhs = L.take(), Rhs = R.take();
+    if (Flip)
+      std::swap(Lhs, Rhs);
+    if (Lhs->isStateSorted() != Rhs->isStateSorted())
+      return err("meaning comparison mixes states and integers");
+    if (Lhs->isStateSorted() &&
+        (K == MeaningFormKind::Lt || K == MeaningFormKind::Le))
+      return err("states only compare with '==' or '!='");
+    return MeaningForm::mkCmp(K, std::move(Lhs), std::move(Rhs));
+  }
+
+  Expected<MeaningTermPtr> parseMeaningTerm(const std::vector<Symbol> &Ps) {
+    Expected<MeaningTermPtr> L = parseMeaningProd(Ps);
+    if (!L)
+      return L;
+    MeaningTermPtr Result = L.take();
+    while (cur().is(TokKind::Plus) || cur().is(TokKind::Minus)) {
+      MeaningTermKind K = cur().is(TokKind::Plus) ? MeaningTermKind::Add
+                                                  : MeaningTermKind::Sub;
+      next();
+      Expected<MeaningTermPtr> R = parseMeaningProd(Ps);
+      if (!R)
+        return R;
+      if (Result->isStateSorted() || (*R)->isStateSorted())
+        return err("arithmetic over state terms");
+      Result = MeaningTerm::mkBinary(K, Result, R.take());
+    }
+    return Result;
+  }
+
+  Expected<MeaningTermPtr> parseMeaningProd(const std::vector<Symbol> &Ps) {
+    Expected<MeaningTermPtr> L = parseMeaningPrimary(Ps);
+    if (!L)
+      return L;
+    MeaningTermPtr Result = L.take();
+    while (cur().is(TokKind::Star)) {
+      next();
+      Expected<MeaningTermPtr> R = parseMeaningPrimary(Ps);
+      if (!R)
+        return R;
+      if (Result->isStateSorted() || (*R)->isStateSorted())
+        return err("arithmetic over state terms");
+      Result = MeaningTerm::mkBinary(MeaningTermKind::Mul, Result, R.take());
+    }
+    return Result;
+  }
+
+  Expected<MeaningTermPtr>
+  parseMeaningPrimary(const std::vector<Symbol> &Ps) {
+    if (cur().is(TokKind::Number)) {
+      int64_t V = cur().Number;
+      next();
+      return MeaningTerm::mkInt(V);
+    }
+    if (cur().is(TokKind::Minus)) {
+      next();
+      Expected<MeaningTermPtr> T = parseMeaningPrimary(Ps);
+      if (!T)
+        return T;
+      if ((*T)->isStateSorted())
+        return err("negating a state term");
+      return MeaningTerm::mkNeg(T.take());
+    }
+    if (cur().is(TokKind::LParen)) {
+      next();
+      Expected<MeaningTermPtr> T = parseMeaningTerm(Ps);
+      if (!T)
+        return T;
+      if (auto D = expect(TokKind::RParen, "')'"))
+        return *D;
+      return T;
+    }
+    if (cur().isIdent("s")) {
+      next();
+      return MeaningTerm::mkState();
+    }
+    if (cur().isIdent("eval") || cur().isIdent("step")) {
+      bool IsEval = cur().isIdent("eval");
+      next();
+      if (auto D = expect(TokKind::LParen, "'('"))
+        return *D;
+      Expected<MeaningTermPtr> State = parseMeaningTerm(Ps);
+      if (!State)
+        return State;
+      if (!(*State)->isStateSorted())
+        return err("the first argument of eval/step must be a state term");
+      if (auto D = expect(TokKind::Comma, "','"))
+        return *D;
+      if (!cur().is(TokKind::Ident) || !isParam(Ps, cur().Text))
+        return err("the second argument of eval/step must be a declared "
+                   "fact parameter");
+      Symbol Param = Symbol::get(cur().Text);
+      next();
+      if (auto D = expect(TokKind::RParen, "')'"))
+        return *D;
+      if (IsEval)
+        return MeaningTerm::mkEval(State.take(), Param);
+      return MeaningTerm::mkStep(State.take(), Param);
+    }
+    return err("expected a meaning term ('s', eval, step, a number, or a "
+               "parenthesized term)");
+  }
+
+  Expected<Rule> parseOneRule() {
+    if (!cur().isIdent("rule"))
+      return err("expected 'rule'");
+    next();
+    if (!cur().is(TokKind::Ident))
+      return err("expected rule name");
+    std::string Name(cur().Text);
+    next();
+    if (auto D = expect(TokKind::LBrace, "'{' before the rule's left-hand side"))
+      return *D;
+    Expected<StmtPtr> Before = parseStmtList(TokKind::RBrace);
+    if (!Before)
+      return Before.error();
+    if (auto D = expect(TokKind::RBrace, "'}'"))
+      return *D;
+    if (auto D = expect(TokKind::Arrow, "'=>'"))
+      return *D;
+    if (auto D = expect(TokKind::LBrace, "'{' before the rule's right-hand side"))
+      return *D;
+    Expected<StmtPtr> After = parseStmtList(TokKind::RBrace);
+    if (!After)
+      return After.error();
+    if (auto D = expect(TokKind::RBrace, "'}'"))
+      return *D;
+    SideCondPtr Cond = SideCond::mkTrue();
+    if (cur().isIdent("where")) {
+      next();
+      Expected<SideCondPtr> C = parseSideCond();
+      if (!C)
+        return C.error();
+      Cond = *C;
+    }
+    if (cur().is(TokKind::Semi))
+      next();
+    return Rule{std::move(Name), Before.take(), After.take(), Cond};
+  }
+
+  Expected<SideCondPtr> parseSideCondTop() {
+    Expected<SideCondPtr> C = parseSideCond();
+    if (!C)
+      return C;
+    if (!cur().is(TokKind::Eof))
+      return err("trailing input after side condition");
+    return C;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t P = Pos + Ahead;
+    return P < Toks.size() ? Toks[P] : Toks.back();
+  }
+  void next() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+
+  Diag err(const std::string &Message) const {
+    return Diag(Message, cur().Loc);
+  }
+
+  /// Consumes a token of kind \p K or returns a diagnostic mentioning
+  /// \p What.
+  std::optional<Diag> expect(TokKind K, const std::string &What) {
+    if (!cur().is(K))
+      return Diag("expected " + What, cur().Loc);
+    next();
+    return std::nullopt;
+  }
+
+  IdentClass classify(std::string_view Name) const {
+    if (Mode == ParseMode::Concrete)
+      return IdentClass::Concrete;
+    char C = Name.empty() ? '\0' : Name[0];
+    if (!std::isupper(static_cast<unsigned char>(C)))
+      return IdentClass::Concrete;
+    if (C == 'S')
+      return IdentClass::StmtMeta;
+    if (C == 'E')
+      return IdentClass::ExprMeta;
+    return IdentClass::VarMeta;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Expected<ExprPtr> parseExpr() { return parseOr(); }
+
+  Expected<ExprPtr> parseOr() {
+    Expected<ExprPtr> L = parseAnd();
+    if (!L)
+      return L;
+    ExprPtr Result = L.take();
+    while (cur().is(TokKind::PipePipe)) {
+      SourceLoc Loc = cur().Loc;
+      next();
+      Expected<ExprPtr> R = parseAnd();
+      if (!R)
+        return R;
+      Result = Expr::mkBinary(BinOp::Or, Result, R.take(), Loc);
+    }
+    return Result;
+  }
+
+  Expected<ExprPtr> parseAnd() {
+    Expected<ExprPtr> L = parseCompare();
+    if (!L)
+      return L;
+    ExprPtr Result = L.take();
+    while (cur().is(TokKind::AmpAmp)) {
+      SourceLoc Loc = cur().Loc;
+      next();
+      Expected<ExprPtr> R = parseCompare();
+      if (!R)
+        return R;
+      Result = Expr::mkBinary(BinOp::And, Result, R.take(), Loc);
+    }
+    return Result;
+  }
+
+  Expected<ExprPtr> parseCompare() {
+    Expected<ExprPtr> L = parseAddSub();
+    if (!L)
+      return L;
+    BinOp Op;
+    switch (cur().Kind) {
+    case TokKind::Lt:   Op = BinOp::Lt; break;
+    case TokKind::Le:   Op = BinOp::Le; break;
+    case TokKind::Gt:   Op = BinOp::Gt; break;
+    case TokKind::Ge:   Op = BinOp::Ge; break;
+    case TokKind::EqEq: Op = BinOp::Eq; break;
+    case TokKind::Ne:   Op = BinOp::Ne; break;
+    default:
+      return L;
+    }
+    SourceLoc Loc = cur().Loc;
+    next();
+    Expected<ExprPtr> R = parseAddSub();
+    if (!R)
+      return R;
+    return Expr::mkBinary(Op, L.take(), R.take(), Loc);
+  }
+
+  Expected<ExprPtr> parseAddSub() {
+    Expected<ExprPtr> L = parseMul();
+    if (!L)
+      return L;
+    ExprPtr Result = L.take();
+    while (cur().is(TokKind::Plus) || cur().is(TokKind::Minus)) {
+      BinOp Op = cur().is(TokKind::Plus) ? BinOp::Add : BinOp::Sub;
+      SourceLoc Loc = cur().Loc;
+      next();
+      Expected<ExprPtr> R = parseMul();
+      if (!R)
+        return R;
+      Result = Expr::mkBinary(Op, Result, R.take(), Loc);
+    }
+    return Result;
+  }
+
+  Expected<ExprPtr> parseMul() {
+    Expected<ExprPtr> L = parseUnary();
+    if (!L)
+      return L;
+    ExprPtr Result = L.take();
+    while (cur().is(TokKind::Star) || cur().is(TokKind::Slash) ||
+           cur().is(TokKind::Percent)) {
+      BinOp Op = cur().is(TokKind::Star)    ? BinOp::Mul
+                 : cur().is(TokKind::Slash) ? BinOp::Div
+                                            : BinOp::Mod;
+      SourceLoc Loc = cur().Loc;
+      next();
+      Expected<ExprPtr> R = parseUnary();
+      if (!R)
+        return R;
+      Result = Expr::mkBinary(Op, Result, R.take(), Loc);
+    }
+    return Result;
+  }
+
+  Expected<ExprPtr> parseUnary() {
+    SourceLoc Loc = cur().Loc;
+    if (cur().is(TokKind::Minus)) {
+      next();
+      Expected<ExprPtr> E = parseUnary();
+      if (!E)
+        return E;
+      return Expr::mkUnary(UnOp::Neg, E.take(), Loc);
+    }
+    if (cur().is(TokKind::Bang)) {
+      next();
+      Expected<ExprPtr> E = parseUnary();
+      if (!E)
+        return E;
+      return Expr::mkUnary(UnOp::Not, E.take(), Loc);
+    }
+    return parsePrimary();
+  }
+
+  Expected<ExprPtr> parsePrimary() {
+    SourceLoc Loc = cur().Loc;
+    if (cur().is(TokKind::Number)) {
+      int64_t V = cur().Number;
+      next();
+      return Expr::mkInt(V, Loc);
+    }
+    if (cur().is(TokKind::LParen)) {
+      next();
+      Expected<ExprPtr> E = parseExpr();
+      if (!E)
+        return E;
+      if (auto D = expect(TokKind::RParen, "')'"))
+        return *D;
+      return E;
+    }
+    if (cur().is(TokKind::Ident)) {
+      std::string_view Name = cur().Text;
+      if (Name == "true") {
+        next();
+        return Expr::mkInt(1, Loc);
+      }
+      if (Name == "false") {
+        next();
+        return Expr::mkInt(0, Loc);
+      }
+      if (isKeyword(Name))
+        return err("unexpected keyword '" + std::string(Name) +
+                   "' in expression");
+      next();
+      IdentClass IC = classify(Name);
+      if (IC == IdentClass::StmtMeta)
+        return Diag("statement meta-variable '" + std::string(Name) +
+                        "' used in expression position",
+                    Loc);
+      Symbol Sym = Symbol::get(Name);
+      // Array read?
+      if (cur().is(TokKind::LBracket)) {
+        if (IC == IdentClass::ExprMeta)
+          return Diag("expression meta-variable '" + std::string(Name) +
+                          "' cannot be indexed",
+                      Loc);
+        next();
+        Expected<ExprPtr> Index = parseExpr();
+        if (!Index)
+          return Index;
+        if (auto D = expect(TokKind::RBracket, "']'"))
+          return *D;
+        return Expr::mkArrayRead(Sym, IC == IdentClass::VarMeta, Index.take(),
+                                 Loc);
+      }
+      switch (IC) {
+      case IdentClass::Concrete:
+        return Expr::mkVar(Sym, Loc);
+      case IdentClass::VarMeta:
+        return Expr::mkMetaVar(Sym, Loc);
+      case IdentClass::ExprMeta:
+        return Expr::mkMetaExpr(Sym, Loc);
+      case IdentClass::StmtMeta:
+        break;
+      }
+    }
+    return err("expected expression");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  Expected<StmtPtr> parseStmtList(TokKind Terminator) {
+    SourceLoc Loc = cur().Loc;
+    std::vector<StmtPtr> Stmts;
+    while (!cur().is(Terminator) && !cur().is(TokKind::Eof)) {
+      Expected<StmtPtr> S = parseStmt();
+      if (!S)
+        return S;
+      Stmts.push_back(S.take());
+    }
+    if (Stmts.size() == 1)
+      return Stmts[0];
+    return Stmt::mkSeq(std::move(Stmts), Symbol(), Loc);
+  }
+
+  Expected<StmtPtr> parseBlock() {
+    if (cur().is(TokKind::LBrace)) {
+      next();
+      Expected<StmtPtr> S = parseStmtList(TokKind::RBrace);
+      if (!S)
+        return S;
+      if (auto D = expect(TokKind::RBrace, "'}'"))
+        return *D;
+      return S;
+    }
+    return parseStmt();
+  }
+
+  Expected<StmtPtr> parseStmt() {
+    // Optional label: IDENT ':' not followed by '='.
+    Symbol Label;
+    if (cur().is(TokKind::Ident) && !isKeyword(cur().Text) &&
+        peek().is(TokKind::Colon)) {
+      Label = Symbol::get(cur().Text);
+      next(); // ident
+      next(); // ':'
+    }
+    Expected<StmtPtr> S = parseCoreStmt();
+    if (!S)
+      return S;
+    if (Label.empty())
+      return S;
+    StmtPtr Inner = S.take();
+    if (!Inner->label().empty())
+      return err("statement already has a label");
+    return Stmt::withLabel(Inner, Label);
+  }
+
+  Expected<StmtPtr> parseCoreStmt() {
+    SourceLoc Loc = cur().Loc;
+
+    // Brace-enclosed block in statement position.
+    if (cur().is(TokKind::LBrace)) {
+      next();
+      Expected<StmtPtr> S = parseStmtList(TokKind::RBrace);
+      if (!S)
+        return S;
+      if (auto D = expect(TokKind::RBrace, "'}'"))
+        return *D;
+      return S;
+    }
+
+    if (cur().isIdent("skip")) {
+      next();
+      if (auto D = expect(TokKind::Semi, "';'"))
+        return *D;
+      return Stmt::mkSkip(Symbol(), Loc);
+    }
+
+    if (cur().isIdent("assume")) {
+      next();
+      if (auto D = expect(TokKind::LParen, "'('"))
+        return *D;
+      Expected<ExprPtr> C = parseExpr();
+      if (!C)
+        return C.error();
+      if (auto D = expect(TokKind::RParen, "')'"))
+        return *D;
+      if (auto D = expect(TokKind::Semi, "';'"))
+        return *D;
+      return Stmt::mkAssume(C.take(), Symbol(), Loc);
+    }
+
+    if (cur().isIdent("if")) {
+      next();
+      if (auto D = expect(TokKind::LParen, "'('"))
+        return *D;
+      Expected<ExprPtr> C = parseExpr();
+      if (!C)
+        return C.error();
+      if (auto D = expect(TokKind::RParen, "')'"))
+        return *D;
+      Expected<StmtPtr> Then = parseBlock();
+      if (!Then)
+        return Then;
+      StmtPtr Else;
+      if (cur().isIdent("else")) {
+        next();
+        Expected<StmtPtr> E = parseBlock();
+        if (!E)
+          return E;
+        Else = E.take();
+      }
+      return Stmt::mkIf(C.take(), Then.take(), Else, Symbol(), Loc);
+    }
+
+    if (cur().isIdent("while")) {
+      next();
+      if (auto D = expect(TokKind::LParen, "'('"))
+        return *D;
+      Expected<ExprPtr> C = parseExpr();
+      if (!C)
+        return C.error();
+      if (auto D = expect(TokKind::RParen, "')'"))
+        return *D;
+      Expected<StmtPtr> Body = parseBlock();
+      if (!Body)
+        return Body;
+      return Stmt::mkWhile(C.take(), Body.take(), Symbol(), Loc);
+    }
+
+    if (cur().isIdent("for"))
+      return parseFor(Loc);
+
+    // Statement meta-variable (rule mode): `S0;` or `S1[I+1];`, i.e. an
+    // S-classified identifier not followed by ':=' / '+=' / '-='.
+    if (cur().is(TokKind::Ident) && classify(cur().Text) == IdentClass::StmtMeta) {
+      Expected<StmtPtr> MS = parseMetaStmtRef();
+      if (!MS)
+        return MS;
+      if (auto D = expect(TokKind::Semi, "';'"))
+        return *D;
+      return MS;
+    }
+
+    // Assignment / increment forms.
+    if (!cur().is(TokKind::Ident) || isKeyword(cur().Text))
+      return err("expected statement");
+    std::string_view Name = cur().Text;
+    IdentClass IC = classify(Name);
+    Symbol Sym = Symbol::get(Name);
+    next();
+
+    if (cur().is(TokKind::PlusPlus) || cur().is(TokKind::MinusMinus)) {
+      BinOp Op = cur().is(TokKind::PlusPlus) ? BinOp::Add : BinOp::Sub;
+      next();
+      if (auto D = expect(TokKind::Semi, "';'"))
+        return *D;
+      ExprPtr Var = IC == IdentClass::VarMeta ? Expr::mkMetaVar(Sym, Loc)
+                                              : Expr::mkVar(Sym, Loc);
+      return Stmt::mkAssign(LValue::scalar(Sym, IC == IdentClass::VarMeta),
+                            Expr::mkBinary(Op, Var, Expr::mkInt(1), Loc),
+                            Symbol(), Loc);
+    }
+
+    LValue Target = LValue::scalar(Sym, IC == IdentClass::VarMeta);
+    if (cur().is(TokKind::LBracket)) {
+      next();
+      Expected<ExprPtr> Index = parseExpr();
+      if (!Index)
+        return Index.error();
+      if (auto D = expect(TokKind::RBracket, "']'"))
+        return *D;
+      Target = LValue::arrayElem(Sym, Index.take(), IC == IdentClass::VarMeta);
+    }
+
+    BinOp CompoundOp = BinOp::Add;
+    bool Compound = false;
+    if (cur().is(TokKind::Assign)) {
+      next();
+    } else if (cur().is(TokKind::PlusAssign)) {
+      Compound = true;
+      CompoundOp = BinOp::Add;
+      next();
+    } else if (cur().is(TokKind::MinusAssign)) {
+      Compound = true;
+      CompoundOp = BinOp::Sub;
+      next();
+    } else {
+      return err("expected ':=', '+=', '-=', '++' or '--'");
+    }
+
+    Expected<ExprPtr> Value = parseExpr();
+    if (!Value)
+      return Value.error();
+    if (auto D = expect(TokKind::Semi, "';'"))
+      return *D;
+
+    ExprPtr Rhs = Value.take();
+    if (Compound) {
+      ExprPtr Old =
+          Target.isArrayElem()
+              ? Expr::mkArrayRead(Target.Name, Target.IsMeta, Target.Index, Loc)
+          : Target.IsMeta ? Expr::mkMetaVar(Target.Name, Loc)
+                          : Expr::mkVar(Target.Name, Loc);
+      Rhs = Expr::mkBinary(CompoundOp, Old, Rhs, Loc);
+    }
+    return Stmt::mkAssign(std::move(Target), std::move(Rhs), Symbol(), Loc);
+  }
+
+  /// Parses `S0` or `S1[I+1, J]` into a MetaStmt (no trailing ';').
+  Expected<StmtPtr> parseMetaStmtRef() {
+    SourceLoc Loc = cur().Loc;
+    assert(cur().is(TokKind::Ident));
+    Symbol Name = Symbol::get(cur().Text);
+    next();
+    std::vector<ExprPtr> Holes;
+    if (cur().is(TokKind::LBracket)) {
+      next();
+      while (true) {
+        Expected<ExprPtr> H = parseExpr();
+        if (!H)
+          return H.error();
+        Holes.push_back(H.take());
+        if (cur().is(TokKind::Comma)) {
+          next();
+          continue;
+        }
+        break;
+      }
+      if (auto D = expect(TokKind::RBracket, "']'"))
+        return *D;
+    }
+    return Stmt::mkMetaStmt(Name, std::move(Holes), Symbol(), Loc);
+  }
+
+  Expected<StmtPtr> parseFor(SourceLoc Loc) {
+    next(); // 'for'
+    if (auto D = expect(TokKind::LParen, "'('"))
+      return *D;
+    if (!cur().is(TokKind::Ident) || isKeyword(cur().Text))
+      return err("expected loop index variable");
+    std::string_view IdxName = cur().Text;
+    IdentClass IC = classify(IdxName);
+    if (IC == IdentClass::StmtMeta || IC == IdentClass::ExprMeta)
+      return err("loop index must be a variable");
+    Symbol Idx = Symbol::get(IdxName);
+    next();
+    if (auto D = expect(TokKind::Assign, "':='"))
+      return *D;
+    Expected<ExprPtr> Init = parseExpr();
+    if (!Init)
+      return Init.error();
+    if (auto D = expect(TokKind::Semi, "';'"))
+      return *D;
+    Expected<ExprPtr> Cond = parseExpr();
+    if (!Cond)
+      return Cond.error();
+    if (auto D = expect(TokKind::Semi, "';'"))
+      return *D;
+    if (!cur().is(TokKind::Ident) || Symbol::get(cur().Text) != Idx)
+      return err("for-loop step must update the index variable");
+    next();
+    int64_t Step;
+    if (cur().is(TokKind::PlusPlus))
+      Step = 1;
+    else if (cur().is(TokKind::MinusMinus))
+      Step = -1;
+    else
+      return err("expected '++' or '--' in for-loop step");
+    next();
+    if (auto D = expect(TokKind::RParen, "')'"))
+      return *D;
+    Expected<StmtPtr> Body = parseBlock();
+    if (!Body)
+      return Body;
+    return Stmt::mkFor(Idx, IC == IdentClass::VarMeta, Init.take(),
+                       Cond.take(), Step, Body.take(), Symbol(), Loc);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Side conditions
+  //===--------------------------------------------------------------------===//
+
+  Expected<SideCondPtr> parseSideCond() { return parseCondOr(); }
+
+  Expected<SideCondPtr> parseCondOr() {
+    Expected<SideCondPtr> L = parseCondAnd();
+    if (!L)
+      return L;
+    std::vector<SideCondPtr> Cs;
+    Cs.push_back(L.take());
+    while (cur().is(TokKind::PipePipe)) {
+      next();
+      Expected<SideCondPtr> R = parseCondAnd();
+      if (!R)
+        return R;
+      Cs.push_back(R.take());
+    }
+    return SideCond::mkOr(std::move(Cs));
+  }
+
+  Expected<SideCondPtr> parseCondAnd() {
+    Expected<SideCondPtr> L = parseCondPrim();
+    if (!L)
+      return L;
+    std::vector<SideCondPtr> Cs;
+    Cs.push_back(L.take());
+    while (cur().is(TokKind::AmpAmp)) {
+      next();
+      Expected<SideCondPtr> R = parseCondPrim();
+      if (!R)
+        return R;
+      Cs.push_back(R.take());
+    }
+    return SideCond::mkAnd(std::move(Cs));
+  }
+
+  Expected<SideCondPtr> parseCondPrim() {
+    if (cur().is(TokKind::Bang)) {
+      next();
+      Expected<SideCondPtr> C = parseCondPrim();
+      if (!C)
+        return C;
+      return SideCond::mkNot(C.take());
+    }
+    if (cur().is(TokKind::LParen)) {
+      next();
+      Expected<SideCondPtr> C = parseSideCond();
+      if (!C)
+        return C;
+      if (auto D = expect(TokKind::RParen, "')'"))
+        return *D;
+      return C;
+    }
+    if (cur().isIdent("true")) {
+      next();
+      return SideCond::mkTrue();
+    }
+    if (cur().isIdent("forall")) {
+      next();
+      std::vector<Symbol> Bound;
+      while (true) {
+        if (!cur().is(TokKind::Ident) || isKeyword(cur().Text))
+          return err("expected bound variable after 'forall'");
+        if (classify(cur().Text) != IdentClass::VarMeta)
+          return err("forall-bound names must be variable meta-variables");
+        Bound.push_back(Symbol::get(cur().Text));
+        next();
+        if (cur().is(TokKind::Comma)) {
+          next();
+          continue;
+        }
+        break;
+      }
+      if (auto D = expect(TokKind::Dot, "'.' after forall binders"))
+        return *D;
+      Expected<SideCondPtr> C = parseCondPrim();
+      if (!C)
+        return C;
+      return SideCond::mkForall(std::move(Bound), C.take());
+    }
+    return parseFactAtom();
+  }
+
+  Expected<SideCondPtr> parseFactAtom() {
+    if (!cur().is(TokKind::Ident) || isKeyword(cur().Text))
+      return err("expected fact name");
+    Symbol FactName = Symbol::get(cur().Text);
+    next();
+    if (auto D = expect(TokKind::LParen, "'(' after fact name"))
+      return *D;
+    std::vector<FactArg> Args;
+    if (!cur().is(TokKind::RParen)) {
+      while (true) {
+        Expected<FactArg> A = parseFactArg();
+        if (!A)
+          return A.error();
+        Args.push_back(A.take());
+        if (cur().is(TokKind::Comma)) {
+          next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (auto D = expect(TokKind::RParen, "')'"))
+      return *D;
+    if (auto D = expect(TokKind::At, "'@' and a label after the fact"))
+      return *D;
+    if (!cur().is(TokKind::Ident))
+      return err("expected label after '@'");
+    Symbol Label = Symbol::get(cur().Text);
+    next();
+    return SideCond::mkAtom(FactName, std::move(Args), Label);
+  }
+
+  Expected<FactArg> parseFactArg() {
+    // Statement meta-variable reference (possibly with holes)?
+    if (cur().is(TokKind::Ident) &&
+        classify(cur().Text) == IdentClass::StmtMeta) {
+      Expected<StmtPtr> S = parseMetaStmtRef();
+      if (!S)
+        return S.error();
+      return FactArg::stmt(S.take());
+    }
+    Expected<ExprPtr> E = parseExpr();
+    if (!E)
+      return E.error();
+    return FactArg::expr(E.take());
+  }
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  ParseMode Mode;
+};
+
+} // namespace
+
+Expected<StmtPtr> pec::parseProgram(std::string_view Source, ParseMode Mode) {
+  Expected<std::vector<Token>> Toks = tokenize(Source);
+  if (!Toks)
+    return Toks.error();
+  return ParserImpl(Toks.take(), Mode).parseProgramTop();
+}
+
+Expected<ExprPtr> pec::parseExpr(std::string_view Source, ParseMode Mode) {
+  Expected<std::vector<Token>> Toks = tokenize(Source);
+  if (!Toks)
+    return Toks.error();
+  return ParserImpl(Toks.take(), Mode).parseExprTop();
+}
+
+Expected<Rule> pec::parseRule(std::string_view Source) {
+  Expected<std::vector<Token>> Toks = tokenize(Source);
+  if (!Toks)
+    return Toks.error();
+  return ParserImpl(Toks.take(), ParseMode::Parameterized).parseRuleTop();
+}
+
+Expected<std::vector<Rule>> pec::parseRules(std::string_view Source) {
+  Expected<std::vector<Token>> Toks = tokenize(Source);
+  if (!Toks)
+    return Toks.error();
+  return ParserImpl(Toks.take(), ParseMode::Parameterized).parseRulesTop();
+}
+
+Expected<RuleFile> pec::parseRuleFile(std::string_view Source) {
+  Expected<std::vector<Token>> Toks = tokenize(Source);
+  if (!Toks)
+    return Toks.error();
+  return ParserImpl(Toks.take(), ParseMode::Parameterized)
+      .parseRuleFileTop();
+}
+
+Expected<FactDecl> pec::parseFactDecl(std::string_view Source) {
+  Expected<std::vector<Token>> Toks = tokenize(Source);
+  if (!Toks)
+    return Toks.error();
+  return ParserImpl(Toks.take(), ParseMode::Parameterized)
+      .parseFactDeclTop();
+}
+
+Expected<SideCondPtr> pec::parseSideCond(std::string_view Source) {
+  Expected<std::vector<Token>> Toks = tokenize(Source);
+  if (!Toks)
+    return Toks.error();
+  return ParserImpl(Toks.take(), ParseMode::Parameterized).parseSideCondTop();
+}

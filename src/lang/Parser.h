@@ -1,0 +1,88 @@
+//===- Parser.h - Parser for programs, rules, side conditions ---*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the PEC language. Grammar (informally):
+///
+/// \code
+///   program   := stmt*
+///   stmt      := [IDENT ':'] core
+///   core      := 'skip' ';'
+///              | 'assume' '(' expr ')' ';'
+///              | 'if' '(' expr ')' block ['else' block]
+///              | 'while' '(' expr ')' block
+///              | 'for' '(' var ':=' expr ';' expr ';' var ('++'|'--') ')'
+///                 block
+///              | METASTMT ['[' expr {',' expr} ']'] ';'       (rule mode)
+///              | lvalue (':='|'+='|'-=') expr ';'
+///              | var ('++'|'--') ';'
+///   block     := '{' stmt* '}' | stmt
+///   lvalue    := var | var '[' expr ']'
+///   rule      := 'rule' IDENT '{' stmt* '}' '=>' '{' stmt* '}'
+///                 ['where' sidecond]
+///   sidecond  := orcond;  or/and/not with the usual precedence
+///   atom      := IDENT '(' factarg {',' factarg} ')' '@' IDENT
+///              | 'forall' var {',' var} '.' prim
+/// \endcode
+///
+/// In *parameterized* mode, the paper's naming convention assigns
+/// meta-variable kinds: identifiers starting with `S` are statement
+/// meta-variables, with `E` expression meta-variables, and any other
+/// upper-case-initial identifier is a variable meta-variable. Lower-case
+/// identifiers are concrete program variables in both modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LANG_PARSER_H
+#define PEC_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Meaning.h"
+#include "lang/Rule.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace pec {
+
+enum class ParseMode {
+  Concrete,      ///< Meta-variables are rejected.
+  Parameterized, ///< Upper-case identifiers denote meta-variables.
+};
+
+/// Parses a statement list into a single statement (a Seq if more than one).
+Expected<StmtPtr> parseProgram(std::string_view Source,
+                               ParseMode Mode = ParseMode::Concrete);
+
+/// Parses a single expression.
+Expected<ExprPtr> parseExpr(std::string_view Source,
+                            ParseMode Mode = ParseMode::Concrete);
+
+/// Parses a `rule ... => ... where ...` definition (always parameterized).
+Expected<Rule> parseRule(std::string_view Source);
+
+/// Parses a file of rule definitions.
+Expected<std::vector<Rule>> parseRules(std::string_view Source);
+
+/// A rule file: rules plus user fact declarations (paper Fig. 4 syntax:
+/// `fact Name(Params) has meaning <formula>;`).
+struct RuleFile {
+  std::vector<Rule> Rules;
+  std::vector<FactDecl> Facts;
+};
+
+/// Parses a file of interleaved rule and fact declarations.
+Expected<RuleFile> parseRuleFile(std::string_view Source);
+
+/// Parses a single fact declaration (for tests).
+Expected<FactDecl> parseFactDecl(std::string_view Source);
+
+/// Parses a standalone side condition (for tests).
+Expected<SideCondPtr> parseSideCond(std::string_view Source);
+
+} // namespace pec
+
+#endif // PEC_LANG_PARSER_H

@@ -1,0 +1,346 @@
+//===- Printer.cpp - Pretty printer -----------------------------------------===//
+
+#include "lang/Printer.h"
+
+#include <sstream>
+
+using namespace pec;
+
+namespace {
+
+/// Precedence levels, higher binds tighter.
+int precedence(BinOp Op) {
+  switch (Op) {
+  case BinOp::Or:  return 1;
+  case BinOp::And: return 2;
+  case BinOp::Lt: case BinOp::Le: case BinOp::Gt:
+  case BinOp::Ge: case BinOp::Eq: case BinOp::Ne:
+    return 3;
+  case BinOp::Add: case BinOp::Sub:
+    return 4;
+  case BinOp::Mul: case BinOp::Div: case BinOp::Mod:
+    return 5;
+  }
+  return 0;
+}
+
+void printExprInto(const ExprPtr &E, std::ostringstream &OS, int ParentPrec) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    OS << E->intValue();
+    return;
+  case ExprKind::Var:
+  case ExprKind::MetaVar:
+  case ExprKind::MetaExpr:
+    OS << E->name().str();
+    return;
+  case ExprKind::ArrayRead:
+    OS << E->name().str() << '[';
+    printExprInto(E->index(), OS, 0);
+    OS << ']';
+    return;
+  case ExprKind::Binary: {
+    int Prec = precedence(E->binOp());
+    bool Paren = Prec < ParentPrec;
+    if (Paren)
+      OS << '(';
+    printExprInto(E->lhs(), OS, Prec);
+    OS << ' ' << spelling(E->binOp()) << ' ';
+    printExprInto(E->rhs(), OS, Prec + 1);
+    if (Paren)
+      OS << ')';
+    return;
+  }
+  case ExprKind::Unary:
+    OS << spelling(E->unOp());
+    printExprInto(E->lhs(), OS, 6);
+    return;
+  }
+}
+
+void indentTo(std::ostringstream &OS, unsigned Indent) {
+  for (unsigned I = 0; I < Indent; ++I)
+    OS << "  ";
+}
+
+void printStmtInto(const StmtPtr &S, std::ostringstream &OS, unsigned Indent);
+
+void printBlock(const StmtPtr &S, std::ostringstream &OS, unsigned Indent) {
+  OS << "{\n";
+  if (S->kind() == StmtKind::Seq && S->label().empty()) {
+    for (const StmtPtr &C : S->stmts())
+      printStmtInto(C, OS, Indent + 1);
+  } else {
+    printStmtInto(S, OS, Indent + 1);
+  }
+  indentTo(OS, Indent);
+  OS << "}";
+}
+
+void printStmtInto(const StmtPtr &S, std::ostringstream &OS, unsigned Indent) {
+  indentTo(OS, Indent);
+  if (!S->label().empty())
+    OS << S->label().str() << ": ";
+  switch (S->kind()) {
+  case StmtKind::Skip:
+    OS << "skip;\n";
+    return;
+  case StmtKind::Assign: {
+    const LValue &T = S->target();
+    OS << T.Name.str();
+    if (T.Index) {
+      OS << '[';
+      printExprInto(T.Index, OS, 0);
+      OS << ']';
+    }
+    OS << " := ";
+    printExprInto(S->value(), OS, 0);
+    OS << ";\n";
+    return;
+  }
+  case StmtKind::Seq:
+    // A labeled/bare Seq in statement position prints as a block.
+    printBlock(S, OS, Indent);
+    OS << "\n";
+    return;
+  case StmtKind::If:
+    OS << "if (";
+    printExprInto(S->cond(), OS, 0);
+    OS << ") ";
+    printBlock(S->thenStmt(), OS, Indent);
+    if (S->elseStmt()) {
+      OS << " else ";
+      printBlock(S->elseStmt(), OS, Indent);
+    }
+    OS << "\n";
+    return;
+  case StmtKind::While:
+    OS << "while (";
+    printExprInto(S->cond(), OS, 0);
+    OS << ") ";
+    printBlock(S->body(), OS, Indent);
+    OS << "\n";
+    return;
+  case StmtKind::For:
+    OS << "for (" << S->indexVar().str() << " := ";
+    printExprInto(S->init(), OS, 0);
+    OS << "; ";
+    printExprInto(S->cond(), OS, 0);
+    OS << "; " << S->indexVar().str()
+       << (S->stepDelta() >= 0 ? "++" : "--") << ") ";
+    printBlock(S->body(), OS, Indent);
+    OS << "\n";
+    return;
+  case StmtKind::Assume:
+    OS << "assume(";
+    printExprInto(S->cond(), OS, 0);
+    OS << ");\n";
+    return;
+  case StmtKind::MetaStmt:
+    OS << S->metaName().str();
+    if (!S->holeArgs().empty()) {
+      OS << '[';
+      bool First = true;
+      for (const ExprPtr &H : S->holeArgs()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        printExprInto(H, OS, 0);
+      }
+      OS << ']';
+    }
+    OS << ";\n";
+    return;
+  }
+}
+
+void printSideCondInto(const SideCondPtr &C, std::ostringstream &OS) {
+  switch (C->kind()) {
+  case SideCondKind::True:
+    OS << "true";
+    return;
+  case SideCondKind::Atom: {
+    OS << C->factName().str() << '(';
+    bool First = true;
+    for (const FactArg &A : C->args()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      if (A.isExpr()) {
+        printExprInto(A.E, OS, 0);
+      } else {
+        OS << A.S->metaName().str();
+        if (!A.S->holeArgs().empty()) {
+          OS << '[';
+          bool FirstHole = true;
+          for (const ExprPtr &H : A.S->holeArgs()) {
+            if (!FirstHole)
+              OS << ", ";
+            FirstHole = false;
+            printExprInto(H, OS, 0);
+          }
+          OS << ']';
+        }
+      }
+    }
+    OS << ") @ " << C->atLabel().str();
+    return;
+  }
+  case SideCondKind::And: {
+    bool First = true;
+    for (const SideCondPtr &Child : C->children()) {
+      if (!First)
+        OS << " && ";
+      First = false;
+      bool Paren = Child->kind() == SideCondKind::Or;
+      if (Paren)
+        OS << '(';
+      printSideCondInto(Child, OS);
+      if (Paren)
+        OS << ')';
+    }
+    return;
+  }
+  case SideCondKind::Or: {
+    bool First = true;
+    for (const SideCondPtr &Child : C->children()) {
+      if (!First)
+        OS << " || ";
+      First = false;
+      printSideCondInto(Child, OS);
+    }
+    return;
+  }
+  case SideCondKind::Not:
+    OS << "!(";
+    printSideCondInto(C->children()[0], OS);
+    OS << ')';
+    return;
+  case SideCondKind::Forall: {
+    OS << "forall ";
+    bool First = true;
+    for (Symbol B : C->boundVars()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << B.str();
+    }
+    OS << " . (";
+    printSideCondInto(C->children()[0], OS);
+    OS << ')';
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string pec::printExpr(const ExprPtr &E) {
+  std::ostringstream OS;
+  printExprInto(E, OS, 0);
+  return OS.str();
+}
+
+std::string pec::printStmt(const StmtPtr &S, unsigned Indent) {
+  std::ostringstream OS;
+  if (S->kind() == StmtKind::Seq && S->label().empty()) {
+    for (const StmtPtr &C : S->stmts())
+      printStmtInto(C, OS, Indent);
+  } else {
+    printStmtInto(S, OS, Indent);
+  }
+  return OS.str();
+}
+
+std::string pec::printSideCond(const SideCondPtr &C) {
+  std::ostringstream OS;
+  printSideCondInto(C, OS);
+  return OS.str();
+}
+
+std::string pec::printMeaningTerm(const MeaningTermPtr &T) {
+  switch (T->kind()) {
+  case MeaningTermKind::StateS:
+    return "s";
+  case MeaningTermKind::Step:
+    return "step(" + printMeaningTerm(T->lhs()) + ", " +
+           std::string(T->param().str()) + ")";
+  case MeaningTermKind::Eval:
+    return "eval(" + printMeaningTerm(T->lhs()) + ", " +
+           std::string(T->param().str()) + ")";
+  case MeaningTermKind::IntLit:
+    return std::to_string(T->intValue());
+  case MeaningTermKind::Add:
+    return "(" + printMeaningTerm(T->lhs()) + " + " +
+           printMeaningTerm(T->rhs()) + ")";
+  case MeaningTermKind::Sub:
+    return "(" + printMeaningTerm(T->lhs()) + " - " +
+           printMeaningTerm(T->rhs()) + ")";
+  case MeaningTermKind::Mul:
+    return "(" + printMeaningTerm(T->lhs()) + " * " +
+           printMeaningTerm(T->rhs()) + ")";
+  case MeaningTermKind::Neg:
+    return "-" + printMeaningTerm(T->lhs());
+  }
+  return "?";
+}
+
+std::string pec::printMeaningForm(const MeaningFormPtr &F) {
+  auto Join = [&](const char *Sep) {
+    std::string Out = "(";
+    for (size_t I = 0; I < F->children().size(); ++I) {
+      if (I)
+        Out += Sep;
+      Out += printMeaningForm(F->children()[I]);
+    }
+    return Out + ")";
+  };
+  switch (F->kind()) {
+  case MeaningFormKind::True:
+    return "true";
+  case MeaningFormKind::Eq:
+    return printMeaningTerm(F->lhsTerm()) + " == " +
+           printMeaningTerm(F->rhsTerm());
+  case MeaningFormKind::Ne:
+    return printMeaningTerm(F->lhsTerm()) + " != " +
+           printMeaningTerm(F->rhsTerm());
+  case MeaningFormKind::Lt:
+    return printMeaningTerm(F->lhsTerm()) + " < " +
+           printMeaningTerm(F->rhsTerm());
+  case MeaningFormKind::Le:
+    return printMeaningTerm(F->lhsTerm()) + " <= " +
+           printMeaningTerm(F->rhsTerm());
+  case MeaningFormKind::And:
+    return Join(" && ");
+  case MeaningFormKind::Or:
+    return Join(" || ");
+  case MeaningFormKind::Not:
+    return "!(" + printMeaningForm(F->children()[0]) + ")";
+  case MeaningFormKind::Implies:
+    return "(" + printMeaningForm(F->children()[0]) + " => " +
+           printMeaningForm(F->children()[1]) + ")";
+  }
+  return "?";
+}
+
+std::string pec::printFactDecl(const FactDecl &D) {
+  std::string Out = "fact " + std::string(D.Name.str()) + "(";
+  for (size_t I = 0; I < D.Params.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::string(D.Params[I].str());
+  }
+  Out += ") has meaning\n  " + printMeaningForm(D.Body) + ";\n";
+  return Out;
+}
+
+std::string pec::printRule(const Rule &R) {
+  std::ostringstream OS;
+  OS << "rule " << R.Name << " {\n"
+     << printStmt(R.Before, 1) << "} => {\n"
+     << printStmt(R.After, 1) << "}";
+  if (R.Cond && R.Cond->kind() != SideCondKind::True)
+    OS << "\nwhere " << printSideCond(R.Cond);
+  OS << ";\n";
+  return OS.str();
+}

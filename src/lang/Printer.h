@@ -1,0 +1,34 @@
+//===- Printer.h - Pretty printer for the PEC language ----------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty printing of expressions, statements, side conditions, and rules.
+/// Output round-trips through the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LANG_PRINTER_H
+#define PEC_LANG_PRINTER_H
+
+#include "lang/Ast.h"
+#include "lang/Meaning.h"
+#include "lang/Rule.h"
+
+#include <string>
+
+namespace pec {
+
+std::string printExpr(const ExprPtr &E);
+std::string printStmt(const StmtPtr &S, unsigned Indent = 0);
+std::string printSideCond(const SideCondPtr &C);
+std::string printRule(const Rule &R);
+std::string printMeaningTerm(const MeaningTermPtr &T);
+std::string printMeaningForm(const MeaningFormPtr &F);
+std::string printFactDecl(const FactDecl &D);
+
+} // namespace pec
+
+#endif // PEC_LANG_PRINTER_H

@@ -1,0 +1,72 @@
+//===- Rule.cpp - Side-condition constructors ------------------------------===//
+
+#include "lang/Rule.h"
+
+#include <functional>
+
+using namespace pec;
+
+SideCondPtr SideCond::mkTrue() {
+  static SideCondPtr TheTrue = [] {
+    auto C = std::shared_ptr<SideCond>(new SideCond());
+    C->Kind = SideCondKind::True;
+    return C;
+  }();
+  return TheTrue;
+}
+
+SideCondPtr SideCond::mkAtom(Symbol FactName, std::vector<FactArg> Args,
+                             Symbol AtLabel) {
+  auto C = std::shared_ptr<SideCond>(new SideCond());
+  C->Kind = SideCondKind::Atom;
+  C->FactName = FactName;
+  C->Args = std::move(Args);
+  C->AtLabel = AtLabel;
+  return C;
+}
+
+SideCondPtr SideCond::mkAnd(std::vector<SideCondPtr> Cs) {
+  if (Cs.empty())
+    return mkTrue();
+  if (Cs.size() == 1)
+    return Cs[0];
+  auto C = std::shared_ptr<SideCond>(new SideCond());
+  C->Kind = SideCondKind::And;
+  C->Children = std::move(Cs);
+  return C;
+}
+
+SideCondPtr SideCond::mkOr(std::vector<SideCondPtr> Cs) {
+  assert(!Cs.empty() && "or of nothing");
+  if (Cs.size() == 1)
+    return Cs[0];
+  auto C = std::shared_ptr<SideCond>(new SideCond());
+  C->Kind = SideCondKind::Or;
+  C->Children = std::move(Cs);
+  return C;
+}
+
+SideCondPtr SideCond::mkNot(SideCondPtr Child) {
+  auto C = std::shared_ptr<SideCond>(new SideCond());
+  C->Kind = SideCondKind::Not;
+  C->Children.push_back(std::move(Child));
+  return C;
+}
+
+SideCondPtr SideCond::mkForall(std::vector<Symbol> Bound, SideCondPtr Child) {
+  auto C = std::shared_ptr<SideCond>(new SideCond());
+  C->Kind = SideCondKind::Forall;
+  C->Bound = std::move(Bound);
+  C->Children.push_back(std::move(Child));
+  return C;
+}
+
+void SideCond::forEachAtom(
+    const std::function<void(const SideCond &)> &Fn) const {
+  if (Kind == SideCondKind::Atom) {
+    Fn(*this);
+    return;
+  }
+  for (const SideCondPtr &C : Children)
+    C->forEachAtom(Fn);
+}

@@ -1,0 +1,121 @@
+//===- Rule.h - Parameterized rewrite rules and side conditions -*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Representation of optimizations written in the paper's rule language:
+///
+///   rule <name> { <before> } => { <after> }
+///     where <side-condition> ;
+///
+/// A side condition is a boolean combination of *facts at labels*
+/// (`DoesNotModify(S0, I) @ L1`), possibly under a universal quantifier over
+/// fresh variable meta-variables (paper Fig. 10). Fact arguments are
+/// expressions or references to statement meta-variables (with hole
+/// arguments). The *semantic meanings* of facts live in `pec/Facts.h`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LANG_RULE_H
+#define PEC_LANG_RULE_H
+
+#include "lang/Ast.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pec {
+
+/// An argument of a fact: either an expression or a statement meta-variable
+/// reference (exactly one of the two pointers is non-null).
+struct FactArg {
+  ExprPtr E;
+  StmtPtr S; ///< Always a MetaStmt when non-null.
+
+  bool isExpr() const { return E != nullptr; }
+  bool isStmt() const { return S != nullptr; }
+
+  static FactArg expr(ExprPtr Expr) { return FactArg{std::move(Expr), nullptr}; }
+  static FactArg stmt(StmtPtr MetaStmt) {
+    return FactArg{nullptr, std::move(MetaStmt)};
+  }
+};
+
+class SideCond;
+using SideCondPtr = std::shared_ptr<const SideCond>;
+
+enum class SideCondKind : uint8_t {
+  True,   ///< Trivially satisfied (no side condition).
+  Atom,   ///< fact(args...) @ label
+  And,
+  Or,
+  Not,
+  Forall, ///< forall I, J . cond — bound names are variable meta-variables.
+};
+
+/// A side-condition formula.
+class SideCond {
+public:
+  SideCondKind kind() const { return Kind; }
+
+  // Atom
+  Symbol factName() const {
+    assert(Kind == SideCondKind::Atom);
+    return FactName;
+  }
+  const std::vector<FactArg> &args() const {
+    assert(Kind == SideCondKind::Atom);
+    return Args;
+  }
+  Symbol atLabel() const {
+    assert(Kind == SideCondKind::Atom);
+    return AtLabel;
+  }
+
+  // And / Or / Not / Forall
+  const std::vector<SideCondPtr> &children() const { return Children; }
+
+  // Forall
+  const std::vector<Symbol> &boundVars() const {
+    assert(Kind == SideCondKind::Forall);
+    return Bound;
+  }
+
+  static SideCondPtr mkTrue();
+  static SideCondPtr mkAtom(Symbol FactName, std::vector<FactArg> Args,
+                            Symbol AtLabel);
+  static SideCondPtr mkAnd(std::vector<SideCondPtr> Cs);
+  static SideCondPtr mkOr(std::vector<SideCondPtr> Cs);
+  static SideCondPtr mkNot(SideCondPtr C);
+  static SideCondPtr mkForall(std::vector<Symbol> Bound, SideCondPtr C);
+
+  /// Calls \p Fn on every Atom in this condition (including under
+  /// quantifiers).
+  void forEachAtom(const std::function<void(const SideCond &)> &Fn) const;
+
+private:
+  SideCond() = default;
+
+  SideCondKind Kind = SideCondKind::True;
+  Symbol FactName;
+  std::vector<FactArg> Args;
+  Symbol AtLabel;
+  std::vector<SideCondPtr> Children;
+  std::vector<Symbol> Bound;
+};
+
+/// A parameterized rewrite rule `Before => After where Cond`.
+struct Rule {
+  std::string Name;
+  StmtPtr Before;
+  StmtPtr After;
+  SideCondPtr Cond;
+};
+
+} // namespace pec
+
+#endif // PEC_LANG_RULE_H

@@ -1,0 +1,215 @@
+//===- Lowering.cpp - eval/step lowering ----------------------------------------===//
+
+#include "logic/Lowering.h"
+
+#include "lang/AstOps.h"
+
+using namespace pec;
+
+void VarKinds::collectFrom(const ExprPtr &E) {
+  switch (E->kind()) {
+  case ExprKind::ArrayRead:
+    Arrays.insert(E->name());
+    collectFrom(E->index());
+    return;
+  case ExprKind::Binary:
+    collectFrom(E->lhs());
+    collectFrom(E->rhs());
+    return;
+  case ExprKind::Unary:
+    collectFrom(E->lhs());
+    return;
+  default:
+    return;
+  }
+}
+
+void VarKinds::collectFrom(const StmtPtr &S) {
+  forEachStmt(S, [this](const StmtPtr &N) {
+    switch (N->kind()) {
+    case StmtKind::Assign:
+      if (N->target().isArrayElem()) {
+        Arrays.insert(N->target().Name);
+        collectFrom(N->target().Index);
+      }
+      collectFrom(N->value());
+      break;
+    case StmtKind::Assume:
+    case StmtKind::If:
+    case StmtKind::While:
+      collectFrom(N->cond());
+      break;
+    case StmtKind::For:
+      collectFrom(N->init());
+      collectFrom(N->cond());
+      break;
+    case StmtKind::MetaStmt:
+      for (const ExprPtr &H : N->holeArgs())
+        collectFrom(H);
+      break;
+    case StmtKind::Skip:
+    case StmtKind::Seq:
+      break;
+    }
+  });
+}
+
+TermId Lowering::maskState(TermId State, const std::set<Symbol> &Vars) {
+  TermId Out = State;
+  for (Symbol V : Vars)
+    Out = Arena.mkStoS(Out, nameOf(V), Arena.mkInt(0));
+  return Out;
+}
+
+TermId Lowering::lowerExprInt(TermId State, const ExprPtr &E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return Arena.mkInt(E->intValue());
+  case ExprKind::Var:
+  case ExprKind::MetaVar:
+    return Arena.mkSelS(State, nameOf(E->name()));
+  case ExprKind::MetaExpr: {
+    auto It = Env.ExprInfo.find(E->name());
+    std::string Fn = "eval$" + std::string(E->name().str());
+    if (It != Env.ExprInfo.end() && It->second.IsConst)
+      return Arena.mkApply(Symbol::get(Fn), {}, Sort::Int);
+    TermId In = State;
+    if (It != Env.ExprInfo.end())
+      In = maskState(State, It->second.MaskedVars);
+    return Arena.mkApply(Symbol::get(Fn), {In}, Sort::Int);
+  }
+  case ExprKind::ArrayRead: {
+    TermId Arr = Arena.mkSelS(State, nameOf(E->name()), Sort::Array);
+    return Arena.mkSelA(Arr, lowerExprInt(State, E->index()));
+  }
+  case ExprKind::Binary: {
+    BinOp Op = E->binOp();
+    if (isBooleanOp(Op)) {
+      // Boolean in integer position: introduce a defined 0/1 constant.
+      FormulaPtr Cond = lowerExprBool(State, E);
+      TermId B = Arena.mkSymConst(
+          Symbol::get("b$" + std::to_string(FreshCounter++)), Sort::Int);
+      PendingDefs.push_back(Formula::mkAnd(
+          Formula::mkImplies(Cond, Formula::mkEq(Arena, B, Arena.mkInt(1))),
+          Formula::mkImplies(Formula::mkNot(Cond),
+                             Formula::mkEq(Arena, B, Arena.mkInt(0)))));
+      return B;
+    }
+    TermId L = lowerExprInt(State, E->lhs());
+    TermId R = lowerExprInt(State, E->rhs());
+    switch (Op) {
+    case BinOp::Add: return Arena.mkAdd(L, R);
+    case BinOp::Sub: return Arena.mkSub(L, R);
+    case BinOp::Mul: return Arena.mkMul(L, R);
+    case BinOp::Div:
+      return Arena.mkApply(Symbol::get("div$"), {L, R}, Sort::Int);
+    case BinOp::Mod:
+      return Arena.mkApply(Symbol::get("mod$"), {L, R}, Sort::Int);
+    default:
+      reportFatalError("unreachable: boolean op in arithmetic lowering");
+    }
+  }
+  case ExprKind::Unary:
+    if (E->unOp() == UnOp::Neg)
+      return Arena.mkNeg(lowerExprInt(State, E->lhs()));
+    // Logical not in integer position: same fresh-constant scheme.
+    {
+      FormulaPtr Cond = lowerExprBool(State, E);
+      TermId B = Arena.mkSymConst(
+          Symbol::get("b$" + std::to_string(FreshCounter++)), Sort::Int);
+      PendingDefs.push_back(Formula::mkAnd(
+          Formula::mkImplies(Cond, Formula::mkEq(Arena, B, Arena.mkInt(1))),
+          Formula::mkImplies(Formula::mkNot(Cond),
+                             Formula::mkEq(Arena, B, Arena.mkInt(0)))));
+      return B;
+    }
+  }
+  reportFatalError("unhandled expression kind in lowering");
+}
+
+FormulaPtr Lowering::lowerExprBool(TermId State, const ExprPtr &E) {
+  if (E->kind() == ExprKind::Binary) {
+    BinOp Op = E->binOp();
+    switch (Op) {
+    case BinOp::And:
+      return Formula::mkAnd(lowerExprBool(State, E->lhs()),
+                            lowerExprBool(State, E->rhs()));
+    case BinOp::Or:
+      return Formula::mkOr(lowerExprBool(State, E->lhs()),
+                           lowerExprBool(State, E->rhs()));
+    case BinOp::Lt:
+      return Formula::mkLt(Arena, lowerExprInt(State, E->lhs()),
+                           lowerExprInt(State, E->rhs()));
+    case BinOp::Le:
+      return Formula::mkLe(Arena, lowerExprInt(State, E->lhs()),
+                           lowerExprInt(State, E->rhs()));
+    case BinOp::Gt:
+      return Formula::mkLt(Arena, lowerExprInt(State, E->rhs()),
+                           lowerExprInt(State, E->lhs()));
+    case BinOp::Ge:
+      return Formula::mkLe(Arena, lowerExprInt(State, E->rhs()),
+                           lowerExprInt(State, E->lhs()));
+    case BinOp::Eq:
+      return Formula::mkEq(Arena, lowerExprInt(State, E->lhs()),
+                           lowerExprInt(State, E->rhs()));
+    case BinOp::Ne:
+      return Formula::mkNot(Formula::mkEq(Arena, lowerExprInt(State, E->lhs()),
+                                          lowerExprInt(State, E->rhs())));
+    default:
+      break; // Arithmetic: fall through to the truthiness encoding.
+    }
+  }
+  if (E->kind() == ExprKind::Unary && E->unOp() == UnOp::Not)
+    return Formula::mkNot(lowerExprBool(State, E->lhs()));
+  // Truthiness of an integer expression: e != 0.
+  return Formula::mkNot(
+      Formula::mkEq(Arena, lowerExprInt(State, E), Arena.mkInt(0)));
+}
+
+TermId Lowering::stepAtom(TermId State, const StmtPtr &S) {
+  switch (S->kind()) {
+  case StmtKind::Skip:
+  case StmtKind::Assume:
+    return State;
+  case StmtKind::Assign: {
+    const LValue &T = S->target();
+    TermId Value = lowerExprInt(State, S->value());
+    if (!T.isArrayElem())
+      return Arena.mkStoS(State, nameOf(T.Name), Value);
+    TermId Arr = Arena.mkSelS(State, nameOf(T.Name), Sort::Array);
+    TermId Index = lowerExprInt(State, T.Index);
+    return Arena.mkStoS(State, nameOf(T.Name),
+                        Arena.mkStoA(Arr, Index, Value));
+  }
+  case StmtKind::MetaStmt: {
+    auto It = Env.StmtInfo.find(S->metaName());
+    static const MetaStmtInfo Empty;
+    const MetaStmtInfo &Info =
+        It == Env.StmtInfo.end() ? Empty : It->second;
+    // Hole arguments are evaluated in the (unmasked) pre-state.
+    std::vector<TermId> Args;
+    Args.push_back(maskState(State, Info.MaskedVars));
+    for (const ExprPtr &H : S->holeArgs())
+      Args.push_back(lowerExprInt(State, H));
+    TermId Out = Arena.mkApply(
+        Symbol::get("step$" + std::string(S->metaName().str())),
+        std::move(Args), Sort::State);
+    // Frame: preserved variables read their pre-state values.
+    for (Symbol P : Info.PreservedVars) {
+      Sort CellSort =
+          Env.Kinds.isArray(P) ? Sort::Array : Sort::Int;
+      Out = Arena.mkStoS(Out, nameOf(P),
+                         Arena.mkSelS(State, nameOf(P), CellSort));
+    }
+    return Out;
+  }
+  default:
+    reportFatalError("stepAtom on a non-atomic statement");
+  }
+}
+
+std::vector<FormulaPtr> Lowering::drainPendingDefs() {
+  std::vector<FormulaPtr> Out;
+  Out.swap(PendingDefs);
+  return Out;
+}

@@ -1,0 +1,126 @@
+//===- Lowering.h - Program-logic lowering to solver terms ------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the paper's `eval`/`step` semantics into solver terms:
+///
+///   * concrete assignments become `stoS`/`stoA` store chains (the
+///     "background axioms about the semantics of instructions", Sec. 3,
+///     realized structurally);
+///   * a statement meta-variable `S` becomes an uninterpreted state
+///     transformer `step$S(s, holes...)`, with hole arguments evaluated in
+///     the pre-state — `step(s, S1[e]) = step$S1(s, eval(s, e))` (Sec. 2.1);
+///   * an expression meta-variable `E` becomes `eval$E(s)`.
+///
+/// Side conditions that state *global* syntactic properties of the matched
+/// fragments are baked into the lowering (`LoweringEnv`):
+///
+///   * `DoesNotModify(S, X)` for a variable X frames the transformer:
+///     `step(s, S) = stoS(step$S(s,...), X, selS(s, X))` — every state the
+///     solver sees preserves X across S. This is sound because the
+///     execution engine establishes the fact with a write-set check.
+///   * The `S1[I]` hole pattern additionally *masks* I in the input state
+///     (`S1` reads I only through its holes): the transformer is applied to
+///     `stoS(s, I, 0)`.
+///   * Masked variables of expression meta-variables (facts of the
+///     DoesNotUse/constant family) are handled the same way.
+///
+/// Location-bound facts that cannot be framed (e.g. `DoesNotModify(S, E)`
+/// with an expression target, `StrictlyPositive`, `Commute`) stay as assume
+/// instances inserted by the PEC layer (paper's InsertAssumes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LOGIC_LOWERING_H
+#define PEC_LOGIC_LOWERING_H
+
+#include "lang/Ast.h"
+#include "solver/Formula.h"
+#include "solver/Term.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace pec {
+
+/// Which program variables denote arrays (collected syntactically: any name
+/// that is indexed anywhere in the programs under analysis).
+struct VarKinds {
+  std::set<Symbol> Arrays;
+
+  bool isArray(Symbol Name) const { return Arrays.count(Name) != 0; }
+
+  /// Adds every indexed name in \p S to the array set.
+  void collectFrom(const StmtPtr &S);
+  void collectFrom(const ExprPtr &E);
+};
+
+/// Global lowering facts for one statement meta-variable.
+struct MetaStmtInfo {
+  /// Variables the statement does not *read* directly (hole variables):
+  /// masked in the transformer's input state.
+  std::set<Symbol> MaskedVars;
+  /// Variables the statement does not *write*: framed around the
+  /// transformer's output state.
+  std::set<Symbol> PreservedVars;
+};
+
+/// Global lowering facts for one expression meta-variable.
+struct MetaExprInfo {
+  bool IsConst = false;        ///< Value independent of the state.
+  std::set<Symbol> MaskedVars; ///< Variables the expression does not read.
+};
+
+/// Lowering environment for one PEC proof: variable kinds plus the framing
+/// information derived from the rule's side conditions and hole patterns.
+struct LoweringEnv {
+  VarKinds Kinds;
+  std::map<Symbol, MetaStmtInfo> StmtInfo;
+  std::map<Symbol, MetaExprInfo> ExprInfo;
+};
+
+/// Stateless-per-call lowering of expressions and atomic statements. Fresh
+/// auxiliary constants (for boolean-valued subexpressions in integer
+/// position) generate *definitions* collected in `pendingDefs()`; callers
+/// must drain them into the assumption set of the enclosing proof.
+class Lowering {
+public:
+  Lowering(TermArena &Arena, const LoweringEnv &Env)
+      : Arena(Arena), Env(Env) {}
+
+  /// Integer value of \p E in state \p State.
+  TermId lowerExprInt(TermId State, const ExprPtr &E);
+
+  /// Truth of \p E in state \p State.
+  FormulaPtr lowerExprBool(TermId State, const ExprPtr &E);
+
+  /// Post-state of executing atomic statement \p S (Assign / MetaStmt /
+  /// Skip / Assume — assume returns the state unchanged; its condition is
+  /// the caller's business).
+  TermId stepAtom(TermId State, const StmtPtr &S);
+
+  /// Fresh-constant definitions produced since the last drain.
+  std::vector<FormulaPtr> drainPendingDefs();
+
+  TermArena &arena() { return Arena; }
+  const LoweringEnv &env() const { return Env; }
+
+  /// The lowered name of a scalar/array variable or variable meta-variable.
+  TermId nameOf(Symbol Var) { return Arena.mkNameLit(Var); }
+
+private:
+  TermId maskState(TermId State, const std::set<Symbol> &Vars);
+
+  TermArena &Arena;
+  const LoweringEnv &Env;
+  std::vector<FormulaPtr> PendingDefs;
+  uint64_t FreshCounter = 0;
+};
+
+} // namespace pec
+
+#endif // PEC_LOGIC_LOWERING_H

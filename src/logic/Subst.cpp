@@ -1,0 +1,113 @@
+//===- Subst.cpp - Term and formula substitution --------------------------------===//
+
+#include "logic/Subst.h"
+
+using namespace pec;
+
+namespace {
+
+TermId substRec(TermArena &Arena, TermId T, const TermSubst &Map,
+                std::unordered_map<TermId, TermId> &Memo) {
+  auto Hit = Map.find(T);
+  if (Hit != Map.end())
+    return Hit->second;
+  auto MemoHit = Memo.find(T);
+  if (MemoHit != Memo.end())
+    return MemoHit->second;
+
+  const TermNode N = Arena.node(T); // Copy: the arena may grow below.
+  TermId Result = T;
+  if (!N.Args.empty()) {
+    std::vector<TermId> NewArgs;
+    NewArgs.reserve(N.Args.size());
+    bool Changed = false;
+    for (TermId A : N.Args) {
+      TermId NA = substRec(Arena, A, Map, Memo);
+      Changed |= NA != A;
+      NewArgs.push_back(NA);
+    }
+    if (Changed) {
+      switch (N.Op) {
+      case TermOp::Add: Result = Arena.mkAdd(NewArgs[0], NewArgs[1]); break;
+      case TermOp::Sub: Result = Arena.mkSub(NewArgs[0], NewArgs[1]); break;
+      case TermOp::Mul: Result = Arena.mkMul(NewArgs[0], NewArgs[1]); break;
+      case TermOp::Neg: Result = Arena.mkNeg(NewArgs[0]); break;
+      case TermOp::SelS:
+        Result = Arena.mkSelS(NewArgs[0], NewArgs[1], N.TheSort);
+        break;
+      case TermOp::StoS:
+        Result = Arena.mkStoS(NewArgs[0], NewArgs[1], NewArgs[2]);
+        break;
+      case TermOp::SelA:
+        Result = Arena.mkSelA(NewArgs[0], NewArgs[1]);
+        break;
+      case TermOp::StoA:
+        Result = Arena.mkStoA(NewArgs[0], NewArgs[1], NewArgs[2]);
+        break;
+      case TermOp::Apply:
+        Result = Arena.mkApply(N.Name, std::move(NewArgs), N.TheSort);
+        break;
+      default:
+        reportFatalError("substitution into a leaf term with arguments");
+      }
+    }
+  }
+  Memo.emplace(T, Result);
+  return Result;
+}
+
+FormulaPtr substFormulaRec(TermArena &Arena, const FormulaPtr &F,
+                           const TermSubst &Map,
+                           std::unordered_map<TermId, TermId> &Memo) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return F;
+  case FormulaKind::Eq:
+    return Formula::mkEq(Arena, substRec(Arena, F->lhsTerm(), Map, Memo),
+                         substRec(Arena, F->rhsTerm(), Map, Memo));
+  case FormulaKind::Le:
+    return Formula::mkLe(Arena, substRec(Arena, F->lhsTerm(), Map, Memo),
+                         substRec(Arena, F->rhsTerm(), Map, Memo));
+  case FormulaKind::Lt:
+    return Formula::mkLt(Arena, substRec(Arena, F->lhsTerm(), Map, Memo),
+                         substRec(Arena, F->rhsTerm(), Map, Memo));
+  case FormulaKind::Not:
+    return Formula::mkNot(substFormulaRec(Arena, F->children()[0], Map, Memo));
+  case FormulaKind::And: {
+    std::vector<FormulaPtr> Cs;
+    Cs.reserve(F->children().size());
+    for (const FormulaPtr &C : F->children())
+      Cs.push_back(substFormulaRec(Arena, C, Map, Memo));
+    return Formula::mkAnd(std::move(Cs));
+  }
+  case FormulaKind::Or: {
+    std::vector<FormulaPtr> Cs;
+    Cs.reserve(F->children().size());
+    for (const FormulaPtr &C : F->children())
+      Cs.push_back(substFormulaRec(Arena, C, Map, Memo));
+    return Formula::mkOr(std::move(Cs));
+  }
+  case FormulaKind::Implies:
+    return Formula::mkImplies(
+        substFormulaRec(Arena, F->children()[0], Map, Memo),
+        substFormulaRec(Arena, F->children()[1], Map, Memo));
+  case FormulaKind::Iff:
+    return Formula::mkIff(substFormulaRec(Arena, F->children()[0], Map, Memo),
+                          substFormulaRec(Arena, F->children()[1], Map, Memo));
+  }
+  reportFatalError("unhandled formula kind in substitution");
+}
+
+} // namespace
+
+TermId pec::substituteTerm(TermArena &Arena, TermId T, const TermSubst &Map) {
+  std::unordered_map<TermId, TermId> Memo;
+  return substRec(Arena, T, Map, Memo);
+}
+
+FormulaPtr pec::substituteFormula(TermArena &Arena, const FormulaPtr &F,
+                                  const TermSubst &Map) {
+  std::unordered_map<TermId, TermId> Memo;
+  return substFormulaRec(Arena, F, Map, Memo);
+}

@@ -1,0 +1,38 @@
+//===- Subst.h - Term and formula substitution ------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Capture-free substitution of terms for named constants inside terms and
+/// formulas — the engine behind the paper's `PWP` computation (Sec. 5):
+///
+///   PWP(p1 || p2, phi) = phi[s1 -> step(s1, p1), s2 -> step(s2, p2)]
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LOGIC_SUBST_H
+#define PEC_LOGIC_SUBST_H
+
+#include "solver/Formula.h"
+#include "solver/Term.h"
+
+#include <unordered_map>
+
+namespace pec {
+
+/// A map from named-constant terms (usually state constants s1/s2) to
+/// replacement terms.
+using TermSubst = std::unordered_map<TermId, TermId>;
+
+/// Replaces every occurrence of the keys of \p Map in \p T.
+TermId substituteTerm(TermArena &Arena, TermId T, const TermSubst &Map);
+
+/// Replaces every occurrence of the keys of \p Map in \p F.
+FormulaPtr substituteFormula(TermArena &Arena, const FormulaPtr &F,
+                             const TermSubst &Map);
+
+} // namespace pec
+
+#endif // PEC_LOGIC_SUBST_H

@@ -1,0 +1,57 @@
+//===- SymExec.cpp - Symbolic execution of CFG paths ---------------------------===//
+
+#include "logic/SymExec.h"
+
+#include <cassert>
+
+using namespace pec;
+
+PathExec pec::executePath(Lowering &L, const Cfg &G, Location From,
+                          const CfgPath &Path, TermId InitState,
+                          const LocationFacts *Facts) {
+  PathExec Out;
+  TermId State = InitState;
+  Location Cur = From;
+
+  auto ApplyFacts = [&](Location Loc) {
+    if (!Facts)
+      return;
+    auto It = Facts->find(Loc);
+    if (It == Facts->end())
+      return;
+    for (const LocatedFact &Fact : It->second) {
+      FormulaPtr Instance = Fact.Fn(L, State);
+      if (!Fact.Universal) {
+        // Condition the flow fact on the guard prefix seen so far.
+        std::vector<FormulaPtr> Prefix = Out.Guards;
+        Instance = Formula::mkImplies(Formula::mkAnd(std::move(Prefix)),
+                                      std::move(Instance));
+      }
+      Out.Facts.push_back(std::move(Instance));
+      for (FormulaPtr &Def : L.drainPendingDefs())
+        Out.Facts.push_back(std::move(Def));
+    }
+  };
+
+  ApplyFacts(Cur);
+  for (uint32_t EdgeIdx : Path) {
+    const CfgEdge &E = G.edge(EdgeIdx);
+    assert(E.From == Cur && "path edge does not start at current location");
+    switch (E.Atom->kind()) {
+    case StmtKind::Assume:
+      Out.Guards.push_back(L.lowerExprBool(State, E.Atom->cond()));
+      break;
+    case StmtKind::Skip:
+      break;
+    default:
+      State = L.stepAtom(State, E.Atom);
+      break;
+    }
+    for (FormulaPtr &Def : L.drainPendingDefs())
+      Out.Facts.push_back(std::move(Def));
+    Cur = E.To;
+    ApplyFacts(Cur);
+  }
+  Out.FinalState = State;
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===- SymExec.h - Symbolic execution of CFG paths --------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic execution of a single CFG path: the engine behind both the
+/// strongest-postcondition computation SP (used for path pruning and the
+/// Correlate module's Cond) and the parallel weakest precondition PWP (used
+/// by GenerateConstraints) of the paper's Checker (Sec. 5).
+///
+/// Executing a path from a symbolic initial state yields the final state
+/// *term* plus the conjunction of assumptions gathered along the way:
+/// `assume` edge conditions, fresh-constant definitions from lowering, and
+/// side-condition fact instances attached to visited locations (the
+/// InsertAssumes step of Fig. 9, realized lazily at execution time so each
+/// visit instantiates the fact at the current symbolic state).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_LOGIC_SYMEXEC_H
+#define PEC_LOGIC_SYMEXEC_H
+
+#include "cfg/Cfg.h"
+#include "logic/Lowering.h"
+#include "solver/Formula.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace pec {
+
+/// Instantiates a location-bound fact meaning at the symbolic state the
+/// execution reached that location with.
+using FactInstantiator = std::function<FormulaPtr(Lowering &, TermId State)>;
+
+/// A fact attached to a location. *Universal* facts are code properties
+/// (non-modification, commutativity, ...) that the execution engine
+/// establishes syntactically — their instances hold at every state, so the
+/// checker may hoist them into any antecedent. Flow facts (e.g.
+/// StrictlyPositive) only hold when execution actually reaches the
+/// location.
+struct LocatedFact {
+  FactInstantiator Fn;
+  bool Universal = true;
+};
+
+/// Facts to instantiate per visited location (paper's InsertAssumes).
+using LocationFacts = std::map<Location, std::vector<LocatedFact>>;
+
+/// Result of executing one path.
+struct PathExec {
+  TermId FinalState = InvalidTerm;
+  /// Branch conditions from `assume` edges: these *select* the path — a
+  /// concrete execution follows the path iff they hold.
+  std::vector<FormulaPtr> Guards;
+  /// Fact instances and fresh-constant definitions, all valid
+  /// *unconditionally*: universal (code-property) facts are emitted as-is;
+  /// a flow fact instantiated after guards g1..gk is emitted as
+  /// `g1 && ... && gk => fact` — by determinism the execution reaches the
+  /// fact's location exactly when the guard prefix holds, so the
+  /// implication holds at any state. This lets the checker hoist every
+  /// fact into any antecedent, including when the path sits in existential
+  /// (response) position.
+  std::vector<FormulaPtr> Facts;
+};
+
+/// Executes \p Path (starting at \p From with symbolic state \p InitState)
+/// through \p G. \p Facts may be null.
+PathExec executePath(Lowering &L, const Cfg &G, Location From,
+                     const CfgPath &Path, TermId InitState,
+                     const LocationFacts *Facts);
+
+} // namespace pec
+
+#endif // PEC_LOGIC_SYMEXEC_H

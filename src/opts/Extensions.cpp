@@ -1,0 +1,112 @@
+//===- Extensions.cpp - Optimizations beyond Figure 11 ---------------------------===//
+
+#include "opts/Extensions.h"
+
+using namespace pec;
+
+namespace {
+
+std::vector<OptEntry> buildExtensions() {
+  std::vector<OptEntry> Suite;
+
+  Suite.push_back(OptEntry{
+      "dead_store_elimination", 0, false,
+      R"(rule dead_store_elimination {
+           L1: X := E1;
+           X := E2;
+         } => {
+           X := E2;
+         } where DoesNotUse(E2, X) @ L1)",
+      {}});
+
+  // The dual of speculation: a computation used only later moves past a
+  // statement that touches neither its target nor its inputs.
+  Suite.push_back(OptEntry{
+      "code_sinking", 0, false,
+      R"(rule code_sinking {
+           X := E;
+           L1: S1;
+         } => {
+           L2: S1;
+           X := E;
+         } where DoesNotAccess(S1, X) @ L1 && DoesNotModify(S1, E) @ L1
+              && DoesNotModify(S1, E) @ L2)",
+      {}});
+
+  // Tail merging: both arms end in the same statement.
+  Suite.push_back(OptEntry{
+      "branch_right_factoring", 0, false,
+      R"(rule branch_right_factoring {
+           if (E0) {
+             S1;
+             S3;
+           } else {
+             S2;
+             S3;
+           }
+         } => {
+           if (E0) {
+             S1;
+           } else {
+             S2;
+           }
+           S3;
+         })",
+      {}});
+
+  Suite.push_back(OptEntry{
+      "identical_branch_elimination", 0, false,
+      R"(rule identical_branch_elimination {
+           if (E0) {
+             S1;
+           } else {
+             S1;
+           }
+         } => {
+           S1;
+         })",
+      {}});
+
+  Suite.push_back(OptEntry{
+      "redundant_load_elimination", 0, false,
+      R"(rule redundant_load_elimination {
+           L1: X := A[E];
+           Y := A[E];
+         } => {
+           X := A[E];
+           Y := X;
+         } where DoesNotUse(E, X) @ L1)",
+      {}});
+
+  Suite.push_back(OptEntry{
+      "strength_reduction", 0, false,
+      R"(rule strength_reduction {
+           X := E * 2;
+         } => {
+           X := E + E;
+         })",
+      {}});
+
+  // Folds a branch whose condition a prior analysis proved positive.
+  Suite.push_back(OptEntry{
+      "constant_branch_elimination", 0, false,
+      R"(rule constant_branch_elimination {
+           L1: if (E) {
+             S1;
+           } else {
+             S2;
+           }
+         } => {
+           S1;
+         } where StrictlyPositive(E) @ L1)",
+      {}});
+
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<OptEntry> &pec::extensionSuite() {
+  static const std::vector<OptEntry> Suite = buildExtensions();
+  return Suite;
+}

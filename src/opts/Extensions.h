@@ -1,0 +1,34 @@
+//===- Extensions.h - Optimizations beyond the paper's Figure 11 -*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Additional optimizations written in the rule language and proven by the
+/// same PEC pipeline — the "open-ended extensible framework" the paper's
+/// introduction motivates: an end user adds a rule; PEC decides once and
+/// for all whether it is correct.
+///
+///   * dead store elimination
+///   * code sinking (the dual of speculation)
+///   * branch right-factoring (tail merging)
+///   * identical-arm branch elimination
+///   * redundant load elimination
+///   * strength reduction (multiply-by-two to addition)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_OPTS_EXTENSIONS_H
+#define PEC_OPTS_EXTENSIONS_H
+
+#include "opts/Optimizations.h"
+
+namespace pec {
+
+/// Extension suite entries (Category 0 = "not in the paper's table").
+const std::vector<OptEntry> &extensionSuite();
+
+} // namespace pec
+
+#endif // PEC_OPTS_EXTENSIONS_H

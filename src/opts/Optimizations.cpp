@@ -1,0 +1,403 @@
+//===- Optimizations.cpp - The Figure 11 optimization suite ----------------------===//
+
+#include "opts/Optimizations.h"
+
+#include "lang/Parser.h"
+
+using namespace pec;
+
+namespace {
+
+std::vector<OptEntry> buildSuite() {
+  std::vector<OptEntry> Suite;
+
+  //===------------------------------------------------------------------===//
+  // Category 1
+  //===------------------------------------------------------------------===//
+
+  Suite.push_back(OptEntry{
+      "copy_propagation", 1, false,
+      R"(rule copy_propagation {
+           X := Y;
+           S1[X];
+         } => {
+           X := Y;
+           S1[Y];
+         })",
+      {},
+      /*PaperSeconds=*/1, /*PaperAtpCalls=*/3});
+
+  Suite.push_back(OptEntry{
+      "constant_propagation", 1, false,
+      R"(rule constant_propagation {
+           L1: X := E;
+           S1[X];
+         } => {
+           X := E;
+           S1[E];
+         } where ConstExpr(E) @ L1)",
+      {},
+      /*PaperSeconds=*/1, /*PaperAtpCalls=*/3});
+
+  Suite.push_back(OptEntry{
+      "common_subexpression_elimination", 1, false,
+      R"(rule common_subexpression_elimination {
+           X := E;
+           L1: S1;
+           Y := E;
+         } => {
+           X := E;
+           S1;
+           Y := X;
+         } where DoesNotModify(S1, E) @ L1 && DoesNotModify(S1, X) @ L1
+              && DoesNotUse(E, X) @ L1)",
+      {},
+      /*PaperSeconds=*/1, /*PaperAtpCalls=*/3});
+
+  Suite.push_back(OptEntry{
+      "partial_redundancy_elimination", 1, false,
+      R"(rule partial_redundancy_elimination {
+           if (E0) {
+             X := E;
+             L1: S1;
+           } else {
+             S2;
+           }
+           Y := E;
+         } => {
+           if (E0) {
+             X := E;
+             S1;
+             Y := X;
+           } else {
+             S2;
+             Y := E;
+           }
+         } where DoesNotModify(S1, E) @ L1 && DoesNotModify(S1, X) @ L1
+              && DoesNotUse(E, X) @ L1)",
+      {},
+      /*PaperSeconds=*/3, /*PaperAtpCalls=*/13});
+
+  //===------------------------------------------------------------------===//
+  // Category 2
+  //===------------------------------------------------------------------===//
+
+  // Hoists an arbitrary idempotent, self-stable statement — including whole
+  // branches or loops matched by S1 — out of a loop (the generality the
+  // paper credits PEC with over Rhodium's assignment-only hoisting).
+  Suite.push_back(OptEntry{
+      "loop_invariant_code_hoisting", 2, false,
+      R"(rule loop_invariant_code_hoisting {
+           while (E0) {
+             L1: S1;
+             L3: S2;
+           }
+         } => {
+           if (E0) {
+             L4: S1;
+             while (E0) {
+               L5: S2;
+             }
+           }
+         } where Idempotent(S1) @ L1 && StableUnder(S1, S2) @ L3
+              && Idempotent(S1) @ L4 && StableUnder(S1, S2) @ L5
+              && DoesNotModify(S1, E0) @ L1 && DoesNotModify(S2, E0) @ L3
+              && DoesNotModify(S1, E0) @ L4 && DoesNotModify(S2, E0) @ L5)",
+      {},
+      /*PaperSeconds=*/8, /*PaperAtpCalls=*/25});
+
+  // Hoists a computation that both branches perform first.
+  Suite.push_back(OptEntry{
+      "conditional_speculation", 2, false,
+      R"(rule conditional_speculation {
+           L1: if (E0) {
+             X := E;
+             S1;
+           } else {
+             X := E;
+             S2;
+           }
+         } => {
+           X := E;
+           if (E0) {
+             S1;
+           } else {
+             S2;
+           }
+         } where DoesNotUse(E0, X) @ L1)",
+      {},
+      /*PaperSeconds=*/2, /*PaperAtpCalls=*/14});
+
+  // Speculates a computation above a branch whose other arm overwrites the
+  // target before any use.
+  Suite.push_back(OptEntry{
+      "speculation", 2, false,
+      R"(rule speculation {
+           L1: if (E0) {
+             X := E;
+             S1;
+           } else {
+             X := E2;
+             S2;
+           }
+         } => {
+           X := E;
+           if (E0) {
+             S1;
+           } else {
+             X := E2;
+             S2;
+           }
+         } where DoesNotUse(E0, X) @ L1 && DoesNotUse(E2, X) @ L1)",
+      {},
+      /*PaperSeconds=*/3, /*PaperAtpCalls=*/12});
+
+  //===------------------------------------------------------------------===//
+  // Category 3
+  //===------------------------------------------------------------------===//
+
+  // Software pipelining, paper Figs. 2 and 3 (two rules composed by the
+  // execution engine's SwPipe driver, Fig. 12), plus the combined Fig. 5
+  // form as an extra rule.
+  Suite.push_back(OptEntry{
+      "software_pipelining", 3, false,
+      R"(rule sw_pipeline_retime {
+           I := 0;
+           L1: S0;
+           L2: while (I < E) {
+             L3: S1;
+             L4: S2;
+             L5: I++;
+           }
+         } => {
+           I := 0;
+           S0;
+           S1;
+           while (I < E - 1) {
+             S2;
+             I++;
+             S1;
+           }
+           S2;
+           I++;
+         } where DoesNotModify(S0, I) @ L1 && DoesNotModify(S1, I) @ L3
+              && DoesNotModify(S2, I) @ L4 && StrictlyPositive(E) @ L2
+              && DoesNotModify(S1, E) @ L3 && DoesNotModify(S2, E) @ L4
+              && DoesNotUse(E, I) @ L5)",
+      {R"(rule sw_pipeline_reorder {
+            L1: S2;
+            I++;
+            S1[I];
+          } => {
+            S1[I + 1];
+            S2;
+            I++;
+          } where DoesNotModify(S2, I) @ L1 && Commute(S2, S1[I + 1]) @ L1)"},
+      /*PaperSeconds=*/5, /*PaperAtpCalls=*/19});
+
+  Suite.push_back(OptEntry{
+      "loop_unswitching", 3, false,
+      R"(rule loop_unswitching {
+           while (E0) {
+             if (E1) {
+               L1: S1;
+             } else {
+               L2: S2;
+             }
+           }
+         } => {
+           if (E1) {
+             while (E0) {
+               L3: S1;
+             }
+           } else {
+             while (E0) {
+               L4: S2;
+             }
+           }
+         } where DoesNotModify(S1, E1) @ L1 && DoesNotModify(S2, E1) @ L2
+              && DoesNotModify(S1, E1) @ L3 && DoesNotModify(S2, E1) @ L4)",
+      {},
+      /*PaperSeconds=*/16, /*PaperAtpCalls=*/94});
+
+  Suite.push_back(OptEntry{
+      "loop_unrolling", 3, false,
+      R"(rule loop_unrolling {
+           while (E0) {
+             S;
+           }
+         } => {
+           while (E0) {
+             S;
+             if (E0) {
+               S;
+             }
+           }
+         })",
+      {},
+      /*PaperSeconds=*/10, /*PaperAtpCalls=*/45});
+
+  Suite.push_back(OptEntry{
+      "loop_peeling", 3, false,
+      R"(rule loop_peeling {
+           while (E0) {
+             S;
+           }
+         } => {
+           if (E0) {
+             S;
+             while (E0) {
+               S;
+             }
+           }
+         })",
+      {},
+      /*PaperSeconds=*/6, /*PaperAtpCalls=*/40});
+
+  Suite.push_back(OptEntry{
+      "loop_splitting", 3, false,
+      R"(rule loop_splitting {
+           I := 0;
+           L1: while (I < E) {
+             S[I];
+             I++;
+           }
+         } => {
+           I := 0;
+           while (I < E2 && I < E) {
+             S[I];
+             I++;
+           }
+           while (I < E) {
+             S[I];
+             I++;
+           }
+         } where DoesNotModify(S[I], E) @ L1 && DoesNotModify(S[I], E2) @ L1
+              && DoesNotUse(E, I) @ L1 && DoesNotUse(E2, I) @ L1)",
+      {},
+      /*PaperSeconds=*/15, /*PaperAtpCalls=*/64});
+
+  Suite.push_back(OptEntry{
+      "loop_alignment", 3, true,
+      R"(rule loop_alignment {
+           for (I := E1; I <= E2; I++) {
+             S[I];
+           }
+         } => {
+           for (I := E1 + 1; I <= E2 + 1; I++) {
+             S[I - 1];
+           }
+         })",
+      {},
+      /*PaperSeconds=*/1, /*PaperAtpCalls=*/5});
+
+  Suite.push_back(OptEntry{
+      "loop_interchange", 3, true,
+      R"(rule loop_interchange {
+           for (I := E1; I <= E2; I++) {
+             for (J := E3; J <= E4; J++) {
+               L1: S[I, J];
+             }
+           }
+         } => {
+           for (J := E3; J <= E4; J++) {
+             for (I := E1; I <= E2; I++) {
+               S[I, J];
+             }
+           }
+         } where forall K, L . Commute(S[I, J], S[K, L]) @ L1)",
+      {},
+      /*PaperSeconds=*/1, /*PaperAtpCalls=*/5});
+
+  Suite.push_back(OptEntry{
+      "loop_reversal", 3, true,
+      R"(rule loop_reversal {
+           for (I := E1; I <= E2; I++) {
+             L1: S[I];
+           }
+         } => {
+           for (I := E2; I >= E1; I--) {
+             S[I];
+           }
+         } where forall K, L . Commute(S[K], S[L]) @ L1)",
+      {},
+      /*PaperSeconds=*/1, /*PaperAtpCalls=*/5});
+
+  Suite.push_back(OptEntry{
+      "loop_skewing", 3, true,
+      R"(rule loop_skewing {
+           for (I := E1; I <= E2; I++) {
+             for (J := E3; J <= E4; J++) {
+               S[I, J];
+             }
+           }
+         } => {
+           for (I := E1; I <= E2; I++) {
+             for (J := E3 + 2 * I; J <= E4 + 2 * I; J++) {
+               S[I, J - 2 * I];
+             }
+           }
+         })",
+      {},
+      /*PaperSeconds=*/2, /*PaperAtpCalls=*/5});
+
+  Suite.push_back(OptEntry{
+      "loop_fusion", 3, true,
+      R"(rule loop_fusion {
+           for (I := E1; I <= E2; I++) {
+             S1[I];
+           }
+           for (J := E1; J <= E2; J++) {
+             L1: S2[J];
+           }
+         } => {
+           for (I := E1; I <= E2; I++) {
+             S1[I];
+             S2[I];
+           }
+         } where forall K, L . Commute(S1[K], S2[L]) @ L1)",
+      {},
+      /*PaperSeconds=*/4, /*PaperAtpCalls=*/10});
+
+  Suite.push_back(OptEntry{
+      "loop_distribution", 3, true,
+      R"(rule loop_distribution {
+           for (I := E1; I <= E2; I++) {
+             S1[I];
+             L1: S2[I];
+           }
+         } => {
+           for (I := E1; I <= E2; I++) {
+             S1[I];
+           }
+           for (J := E1; J <= E2; J++) {
+             S2[J];
+           }
+         } where forall K, L . Commute(S1[K], S2[L]) @ L1)",
+      {},
+      /*PaperSeconds=*/4, /*PaperAtpCalls=*/10});
+
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<OptEntry> &pec::figure11Suite() {
+  static const std::vector<OptEntry> Suite = buildSuite();
+  return Suite;
+}
+
+Rule pec::parseRuleOrDie(const std::string &RuleText) {
+  Expected<Rule> R = parseRule(RuleText);
+  if (!R)
+    reportFatalError("suite rule failed to parse: " + R.error().str() +
+                     "\n" + RuleText);
+  return R.take();
+}
+
+const OptEntry &pec::findOpt(const std::string &Name) {
+  for (const OptEntry &E : figure11Suite())
+    if (E.Name == Name)
+      return E;
+  reportFatalError("unknown optimization '" + Name + "'");
+}

@@ -1,0 +1,348 @@
+//===- Checker.cpp - Bisimulation checking --------------------------------------===//
+
+#include "pec/Checker.h"
+
+#include "logic/Subst.h"
+#include "logic/SymExec.h"
+#include "pec/Correlate.h"
+
+#include <cstdlib>
+#include <deque>
+#include <sstream>
+
+using namespace pec;
+
+/// Set PEC_DEBUG=1 in the environment to trace checker decisions.
+static bool debugEnabled() {
+  static bool Enabled = std::getenv("PEC_DEBUG") != nullptr;
+  return Enabled;
+}
+
+namespace {
+
+/// One executed path of one program from a relation entry.
+struct ExecutedPath {
+  Location End = InvalidLocation;
+  FormulaPtr Guards; ///< Path-selecting branch conditions (conjunction).
+  FormulaPtr Facts;  ///< Unconditionally valid fact instances.
+  TermId FinalState = InvalidTerm;
+};
+
+/// One simulation constraint, Definition 2 shape: when program `Mover`
+/// takes `Move` from entry `Source`, the other program must have *some*
+/// response — one of `Responses` (possibly the empty stuttering response) —
+/// landing on a relation entry whose predicate then holds:
+///
+///   phi_X && A_move  =>  OR_r (A_r && phi_target_r [s -> t])
+struct Constraint {
+  size_t Source = 0;
+  int MoverSide = 1; ///< 1: original moves, 2: transformed moves.
+  ExecutedPath Move;
+  struct Response {
+    size_t Target = 0;
+    FormulaPtr Guards; ///< True for the stuttering response.
+    FormulaPtr Facts;
+    TermId FinalState = InvalidTerm;
+  };
+  std::vector<Response> Responses;
+};
+
+class CheckerImpl {
+public:
+  CheckerImpl(CorrelationRelation &R, const Cfg &P1, const Cfg &P2,
+              const ProofContext &Ctx, Lowering &Low, Atp &Prover, TermId S1,
+              TermId S2, const CheckerOptions &Options)
+      : R(R), P1(P1), P2(P2), Ctx(Ctx), Low(Low), Prover(Prover), S1(S1),
+        S2(S2), Options(Options), Flow1(P1, Ctx), Flow2(P2, Ctx) {}
+
+  CheckerResult run() {
+    CheckerResult Result;
+    if (!computePaths(Result))
+      return Result;
+    Result.PathPairs = Constraints.size();
+    solveConstraints(Result);
+    return Result;
+  }
+
+private:
+  FormulaPtr conjoin(const std::vector<FormulaPtr> &Fs) {
+    std::vector<FormulaPtr> All = Fs;
+    return Formula::mkAnd(std::move(All));
+  }
+
+  bool computePaths(CheckerResult &Result) {
+    // Stop masks are stable: lazily added entries only pair locations that
+    // already occur in the relation on their respective sides.
+    std::vector<char> Stops1 = R.origStopMask(P1.numLocations());
+    std::vector<char> Stops2 = R.transStopMask(P2.numLocations());
+
+    // Phase A: enumerate paths, prune, and lazily complete the relation.
+    // Constraints are built in phase B only once R is stable, so responses
+    // can land on pairs discovered while processing other entries.
+    std::vector<std::vector<ExecutedPath>> AllExecs1, AllExecs2;
+    std::vector<std::vector<ExecutedPath>> AllResps1, AllResps2;
+
+    for (size_t EntryIdx = 0; EntryIdx < R.size(); ++EntryIdx) {
+      RelEntry Entry = R.entry(EntryIdx);
+
+      std::vector<CfgPath> Paths1, Paths2;
+      if (!enumeratePaths(P1, Entry.L1, Stops1, Paths1,
+                          Options.MaxPathsPerEntry, Options.MaxPathLen) ||
+          !enumeratePaths(P2, Entry.L2, Stops2, Paths2,
+                          Options.MaxPathsPerEntry, Options.MaxPathLen)) {
+        Result.FailureReason =
+            "path enumeration exceeded bounds (a loop is not cut by any "
+            "correlation entry)";
+        return false;
+      }
+
+      // Bisimulation is symmetric (Def. 3): if one program can still step
+      // from this entry but the other is stuck (at its exit), the entry is
+      // admissible only if it is unreachable.
+      if (Paths1.empty() != Paths2.empty()) {
+        if (Prover.isSatisfiable(Entry.Pred)) {
+          std::ostringstream OS;
+          OS << "at correlated locations (" << Entry.L1 << ", " << Entry.L2
+             << ") one program has terminated while the other can still "
+                "step";
+          Result.FailureReason = OS.str();
+          return false;
+        }
+        AllExecs1.emplace_back();
+        AllExecs2.emplace_back();
+        AllResps1.emplace_back();
+        AllResps2.emplace_back();
+        continue;
+      }
+
+      auto ExecuteAll = [&](const Cfg &G, Location From,
+                            const std::vector<CfgPath> &Paths, TermId State,
+                            const LocationFacts *Facts) {
+        std::vector<ExecutedPath> Out;
+        Out.reserve(Paths.size());
+        for (const CfgPath &Path : Paths) {
+          PathExec E = executePath(Low, G, From, Path, State, Facts);
+          Out.push_back(ExecutedPath{G.edge(Path.back()).To,
+                                     conjoin(E.Guards), conjoin(E.Facts),
+                                     E.FinalState});
+        }
+        return Out;
+      };
+
+      std::vector<ExecutedPath> Execs1 =
+          ExecuteAll(P1, Entry.L1, Paths1, S1, &Ctx.OrigFacts);
+      std::vector<ExecutedPath> Execs2 =
+          ExecuteAll(P2, Entry.L2, Paths2, S2, &Ctx.TransFacts);
+
+      // Response paths may cross intermediate relation points ("catch-up"
+      // stuttering responses). With slack 0 they coincide with the moves.
+      std::vector<ExecutedPath> Resps1 = Execs1, Resps2 = Execs2;
+      if (Options.ResponseSlack > 0) {
+        std::vector<CfgPath> Relaxed1, Relaxed2;
+        if (enumeratePaths(P1, Entry.L1, Stops1, Relaxed1,
+                           Options.MaxPathsPerEntry, Options.MaxPathLen,
+                           Options.ResponseSlack))
+          Resps1 = ExecuteAll(P1, Entry.L1, Relaxed1, S1, &Ctx.OrigFacts);
+        if (enumeratePaths(P2, Entry.L2, Stops2, Relaxed2,
+                           Options.MaxPathsPerEntry, Options.MaxPathLen,
+                           Options.ResponseSlack))
+          Resps2 = ExecuteAll(P2, Entry.L2, Relaxed2, S2, &Ctx.TransFacts);
+      }
+
+      // Lazy relation completion: any jointly feasible endpoint pair must
+      // be correlated; add missing pairs with their Cond predicate. (New
+      // entries are processed by the outer loop since R grew.)
+      for (const ExecutedPath &E1 : Execs1) {
+        for (const ExecutedPath &E2 : Execs2) {
+          if (R.find(E1.End, E2.End) >= 0)
+            continue;
+          if (Options.BannedPairs.count({E1.End, E2.End}))
+            continue;
+          FormulaPtr Joint =
+              Formula::mkAnd({Entry.Pred, E1.Guards, E1.Facts, E2.Guards,
+                              E2.Facts});
+          if (!Prover.isSatisfiable(Joint)) {
+            ++Result.PrunedPathPairs;
+            continue;
+          }
+          if (debugEnabled())
+            std::fprintf(stderr,
+                         "[pec] lazily adding pair (%u, %u) from (%u, %u)\n",
+                         E1.End, E2.End, Entry.L1, Entry.L2);
+          FormulaPtr Pred =
+              Formula::mkAnd({Formula::mkEq(Low.arena(), S1, S2),
+                              Flow1.postCondition(E1.End, Low, S1),
+                              Flow2.postCondition(E2.End, Low, S2)});
+          R.add(E1.End, E2.End, std::move(Pred));
+        }
+      }
+
+      AllExecs1.push_back(std::move(Execs1));
+      AllExecs2.push_back(std::move(Execs2));
+      AllResps1.push_back(std::move(Resps1));
+      AllResps2.push_back(std::move(Resps2));
+    }
+
+    // Phase B: Definition 2 constraints for both directions.
+    for (size_t EntryIdx = 0; EntryIdx < AllExecs1.size(); ++EntryIdx) {
+      const RelEntry &Entry = R.entry(EntryIdx);
+      buildConstraints(EntryIdx, Entry, AllExecs1[EntryIdx],
+                       AllResps2[EntryIdx], /*MoverSide=*/1);
+      buildConstraints(EntryIdx, Entry, AllExecs2[EntryIdx],
+                       AllResps1[EntryIdx], /*MoverSide=*/2);
+    }
+    return true;
+  }
+
+  void buildConstraints(size_t EntryIdx, const RelEntry &Entry,
+                        const std::vector<ExecutedPath> &Moves,
+                        const std::vector<ExecutedPath> &Others,
+                        int MoverSide) {
+    Location OtherLoc = MoverSide == 1 ? Entry.L2 : Entry.L1;
+    for (const ExecutedPath &Move : Moves) {
+      Constraint C;
+      C.Source = EntryIdx;
+      C.MoverSide = MoverSide;
+      C.Move = Move;
+      for (const ExecutedPath &Resp : Others) {
+        int32_t Target = MoverSide == 1 ? R.find(Move.End, Resp.End)
+                                        : R.find(Resp.End, Move.End);
+        if (Target < 0)
+          continue; // Jointly infeasible (pruned above).
+        C.Responses.push_back(Constraint::Response{
+            static_cast<size_t>(Target), Resp.Guards, Resp.Facts,
+            Resp.FinalState});
+      }
+      // Stuttering response: the other program stays put.
+      {
+        int32_t Target = MoverSide == 1 ? R.find(Move.End, OtherLoc)
+                                        : R.find(OtherLoc, Move.End);
+        if (Target >= 0)
+          C.Responses.push_back(Constraint::Response{
+              static_cast<size_t>(Target), Formula::mkTrue(),
+              Formula::mkTrue(), MoverSide == 1 ? S2 : S1});
+      }
+      Constraints.push_back(std::move(C));
+    }
+  }
+
+  /// The proof obligation of \p C given current entry predicates:
+  ///
+  ///   move.guards && move.facts && AND_r resp_r.facts
+  ///     =>  OR_r  (resp_r.guards && phi_target_r [s -> t])
+  ///
+  /// All fact instances are unconditionally valid (flow facts come
+  /// pre-wrapped with their guard prefix by the symbolic executor), so they
+  /// are sound antecedents even for responses. Response guards sit in
+  /// positive position — they select the response the deterministic program
+  /// actually takes.
+  FormulaPtr obligation(const Constraint &C) {
+    std::vector<FormulaPtr> Antecedents = {C.Move.Guards, C.Move.Facts};
+    std::vector<FormulaPtr> Disjuncts;
+    for (const Constraint::Response &Resp : C.Responses) {
+      TermSubst Subst;
+      if (C.MoverSide == 1) {
+        Subst[S1] = C.Move.FinalState;
+        Subst[S2] = Resp.FinalState;
+      } else {
+        Subst[S1] = Resp.FinalState;
+        Subst[S2] = C.Move.FinalState;
+      }
+      FormulaPtr Shifted =
+          substituteFormula(Low.arena(), R.entry(Resp.Target).Pred, Subst);
+      Antecedents.push_back(Resp.Facts);
+      Disjuncts.push_back(Formula::mkAnd(Resp.Guards, Shifted));
+    }
+    return Formula::mkImplies(Formula::mkAnd(std::move(Antecedents)),
+                              Formula::mkOr(std::move(Disjuncts)));
+  }
+
+  void solveConstraints(CheckerResult &Result) {
+    std::deque<size_t> Worklist;
+    std::vector<char> InWorklist(Constraints.size(), 0);
+    for (size_t I = 0; I < Constraints.size(); ++I) {
+      Worklist.push_back(I);
+      InWorklist[I] = 1;
+    }
+
+    while (!Worklist.empty()) {
+      size_t CI = Worklist.front();
+      Worklist.pop_front();
+      InWorklist[CI] = 0;
+      const Constraint &C = Constraints[CI];
+      if (C.Responses.empty() && debugEnabled())
+        std::fprintf(stderr, "[pec] entry (%u,%u): move with no responses\n",
+                     R.entry(C.Source).L1, R.entry(C.Source).L2);
+
+      FormulaPtr Obligation = obligation(C);
+      FormulaPtr Check =
+          Formula::mkImplies(R.entry(C.Source).Pred, Obligation);
+      if (Prover.isValid(Check))
+        continue;
+      if (debugEnabled())
+        std::fprintf(stderr,
+                     "[pec] constraint at (%u,%u) side %d INVALID:\n  %s\n",
+                     R.entry(C.Source).L1, R.entry(C.Source).L2, C.MoverSide,
+                     Check->str(Low.arena()).c_str());
+
+      // Strengthen the source predicate (paper Fig. 9 line 33), unless the
+      // source is the entry pair (line 32).
+      if (C.Source == 0) {
+        Result.FailureReason =
+            "cannot strengthen the entry predicate: the programs disagree "
+            "on some input";
+        // Report the removable targets: a seeded pair may simply be wrong
+        // (the driver retries with it banned).
+        for (const Constraint::Response &Resp : C.Responses) {
+          const RelEntry &Target = R.entry(Resp.Target);
+          bool IsEntry = Target.L1 == P1.entry() && Target.L2 == P2.entry();
+          bool IsExit = Target.L1 == P1.exit() && Target.L2 == P2.exit();
+          if (!IsEntry && !IsExit)
+            Result.FailedTargets.emplace_back(Target.L1, Target.L2);
+        }
+        return;
+      }
+      if (++Result.Strengthenings > Options.MaxStrengthenings) {
+        Result.FailureReason = "strengthening did not converge";
+        return;
+      }
+      R.entry(C.Source).Pred =
+          Formula::mkAnd(R.entry(C.Source).Pred, Obligation);
+      // Re-check every constraint that mentions the strengthened entry as a
+      // response target.
+      for (size_t I = 0; I < Constraints.size(); ++I) {
+        if (InWorklist[I])
+          continue;
+        for (const Constraint::Response &Resp : Constraints[I].Responses) {
+          if (Resp.Target == C.Source) {
+            Worklist.push_back(I);
+            InWorklist[I] = 1;
+            break;
+          }
+        }
+      }
+    }
+    Result.Proved = true;
+  }
+
+  CorrelationRelation &R;
+  const Cfg &P1;
+  const Cfg &P2;
+  const ProofContext &Ctx;
+  Lowering &Low;
+  Atp &Prover;
+  TermId S1, S2;
+  CheckerOptions Options;
+  ConditionFlow Flow1, Flow2;
+  std::vector<Constraint> Constraints;
+};
+
+} // namespace
+
+CheckerResult pec::checkRelation(CorrelationRelation &R, const Cfg &P1,
+                                 const Cfg &P2, const ProofContext &Ctx,
+                                 Lowering &Low, Atp &Prover, TermId S1,
+                                 TermId S2, const CheckerOptions &Options) {
+  CheckerImpl Impl(R, P1, P2, Ctx, Low, Prover, S1, S2, Options);
+  return Impl.run();
+}

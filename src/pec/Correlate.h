@@ -1,0 +1,65 @@
+//===- Correlate.h - Correlation relation generation ------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Correlate module (paper Sec. 4): generates a correlation relation
+/// seeded with `s1 = s2` at the entry/exit pair and at every reachable pair
+/// of statement-meta-variable locations (Formula 2), with each entry's
+/// predicate strengthened by branch-condition context (the paper's
+/// `Cond(l1, l2) = Post(l1) && Post(l2) && s1 = s2`).
+///
+/// Post(l) is the disjunction over incoming assume-to-l paths of the branch
+/// conditions that *survive* transport to l: a condition is kept only when
+/// every statement between the assume and l is known (via side-condition
+/// frames and eval-stability facts) to preserve its value. This is a sound
+/// weakening of the paper's SP-based Post; the Checker's iterative
+/// strengthening recovers anything it misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_PEC_CORRELATE_H
+#define PEC_PEC_CORRELATE_H
+
+#include "cfg/Cfg.h"
+#include "logic/Lowering.h"
+#include "pec/Facts.h"
+#include "pec/Relation.h"
+
+namespace pec {
+
+/// Available-condition analysis: a forward dataflow computing, for every
+/// location, the branch conditions and assignment equalities that hold on
+/// *every* path reaching it — the realization of the paper's Post. Loop
+/// heads receive exactly the loop-invariant conditions (the meet over the
+/// entry and back edges).
+class ConditionFlow {
+public:
+  ConditionFlow(const Cfg &G, const ProofContext &Ctx);
+
+  /// Conditions valid at \p L, lowered at state constant \p StateConst.
+  FormulaPtr postCondition(Location L, Lowering &Low,
+                           TermId StateConst) const;
+
+  /// The raw condition set (for tests).
+  const std::vector<ExprPtr> &conditionsAt(Location L) const {
+    return CondsAt[L];
+  }
+
+private:
+  std::vector<std::vector<ExprPtr>> CondsAt;
+};
+
+/// Generates the correlation relation for CFGs \p P1 (original) and \p P2
+/// (transformed). \p S1 and \p S2 are the designated state constants the
+/// predicates range over.
+CorrelationRelation correlate(const Cfg &P1, const Cfg &P2,
+                              const ProofContext &Ctx, Lowering &Low,
+                              TermId S1, TermId S2, const ConditionFlow &F1,
+                              const ConditionFlow &F2);
+
+} // namespace pec
+
+#endif // PEC_PEC_CORRELATE_H

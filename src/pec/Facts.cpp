@@ -1,0 +1,475 @@
+//===- Facts.cpp - Side-condition fact catalog ----------------------------------===//
+
+#include "pec/Facts.h"
+
+#include "lang/AstOps.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+
+using namespace pec;
+
+namespace {
+
+/// State-dependencies of an expression: variable names (concrete and
+/// variable meta-variables share one namespace after lowering) and
+/// expression meta-variables.
+struct ExprDeps {
+  std::set<Symbol> Vars;
+  std::set<Symbol> ExprMetas;
+};
+
+void collectDeps(const ExprPtr &E, ExprDeps &Out) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return;
+  case ExprKind::Var:
+  case ExprKind::MetaVar:
+    Out.Vars.insert(E->name());
+    return;
+  case ExprKind::MetaExpr:
+    Out.ExprMetas.insert(E->name());
+    return;
+  case ExprKind::ArrayRead:
+    Out.Vars.insert(E->name());
+    collectDeps(E->index(), Out);
+    return;
+  case ExprKind::Binary:
+    collectDeps(E->lhs(), Out);
+    collectDeps(E->rhs(), Out);
+    return;
+  case ExprKind::Unary:
+    collectDeps(E->lhs(), Out);
+    return;
+  }
+}
+
+/// Builder that walks the side condition and accumulates the ProofContext.
+class ContextBuilder {
+public:
+  ContextBuilder(const Rule &R, const Cfg &Orig, const Cfg &Trans,
+                 const std::vector<FactDecl> &UserFacts)
+      : R(R), Orig(Orig), Trans(Trans), UserFacts(UserFacts) {}
+
+  Expected<ProofContext> run() {
+    Ctx.Env.Kinds.collectFrom(R.Before);
+    Ctx.Env.Kinds.collectFrom(R.After);
+    collectHoleMasks(R.Before);
+    collectHoleMasks(R.After);
+    if (std::optional<Diag> D = walk(R.Cond, /*Bound=*/{}))
+      return *D;
+    return std::move(Ctx);
+  }
+
+private:
+  /// The `S1[I]` pattern: the variable meta-variables inside a hole
+  /// argument are read only through the hole and never modified (Sec. 2.1),
+  /// i.e. masked and preserved.
+  void collectHoleMasks(const StmtPtr &Program) {
+    forEachStmt(Program, [this](const StmtPtr &N) {
+      if (N->kind() != StmtKind::MetaStmt || N->holeArgs().empty())
+        return;
+      MetaStmtInfo &Info = Ctx.Env.StmtInfo[N->metaName()];
+      for (const ExprPtr &H : N->holeArgs()) {
+        ExprDeps Deps;
+        collectDeps(H, Deps);
+        for (Symbol V : Deps.Vars) {
+          Info.MaskedVars.insert(V);
+          Info.PreservedVars.insert(V);
+        }
+      }
+    });
+  }
+
+  std::optional<Diag> walk(const SideCondPtr &C,
+                           const std::vector<Symbol> &Bound) {
+    switch (C->kind()) {
+    case SideCondKind::True:
+      return std::nullopt;
+    case SideCondKind::And:
+      for (const SideCondPtr &Child : C->children())
+        if (std::optional<Diag> D = walk(Child, Bound))
+          return D;
+      return std::nullopt;
+    case SideCondKind::Forall: {
+      std::vector<Symbol> Inner = Bound;
+      for (Symbol B : C->boundVars())
+        Inner.push_back(B);
+      return walk(C->children()[0], Inner);
+    }
+    case SideCondKind::Atom:
+      return handleAtom(*C, Bound);
+    case SideCondKind::Or:
+    case SideCondKind::Not:
+      return Diag("side conditions with disjunction or negation are not "
+                  "supported by the checker");
+    }
+    return std::nullopt;
+  }
+
+  /// Registers the assume instantiator \p Fn at the location of \p Label.
+  std::optional<Diag> addLocationFact(Symbol Label, FactInstantiator Fn,
+                                      bool Universal = true) {
+    Location L = Orig.locationOfLabel(Label);
+    if (L != InvalidLocation) {
+      Ctx.OrigFacts[L].push_back(LocatedFact{std::move(Fn), Universal});
+      return std::nullopt;
+    }
+    L = Trans.locationOfLabel(Label);
+    if (L != InvalidLocation) {
+      Ctx.TransFacts[L].push_back(LocatedFact{std::move(Fn), Universal});
+      return std::nullopt;
+    }
+    return Diag("side-condition label '" + std::string(Label.str()) +
+                "' does not occur in either program");
+  }
+
+  std::optional<Diag> handleAtom(const SideCond &Atom,
+                                 const std::vector<Symbol> &Bound) {
+    std::string_view Fact = Atom.factName().str();
+    const std::vector<FactArg> &Args = Atom.args();
+    bool Ground = Bound.empty();
+
+    auto WrongArgs = [&](const char *Want) {
+      return Diag("fact " + std::string(Fact) + " expects " + Want);
+    };
+
+    if (Fact == "DoesNotModify" || Fact == "DoesNotAccess") {
+      if (Args.size() != 2 || !Args[0].isStmt() || !Args[1].isExpr())
+        return WrongArgs("(statement, expression) arguments");
+      if (!Ground)
+        return Diag("quantified DoesNotModify/DoesNotAccess is unsupported");
+      StmtPtr S = Args[0].S;
+      ExprPtr X = Args[1].E;
+      if (X->kind() == ExprKind::Var || X->kind() == ExprKind::MetaVar) {
+        // Structural: frame (and mask for DoesNotAccess).
+        MetaStmtInfo &Info = Ctx.Env.StmtInfo[S->metaName()];
+        Info.PreservedVars.insert(X->name());
+        if (Fact == "DoesNotAccess")
+          Info.MaskedVars.insert(X->name());
+        return std::nullopt;
+      }
+      if (Fact == "DoesNotAccess")
+        return WrongArgs("a variable second argument");
+      // Expression target: eval stability across S, asserted at the label.
+      Ctx.EvalStabilityFacts.push_back(
+          ProofContext::EvalStability{S->metaName(), X});
+      return addLocationFact(
+          Atom.atLabel(), [S, X](Lowering &L, TermId State) {
+            TermId Before = L.lowerExprInt(State, X);
+            TermId After = L.lowerExprInt(L.stepAtom(State, S), X);
+            return Formula::mkEq(L.arena(), Before, After);
+          });
+    }
+
+    if (Fact == "DoesNotUse") {
+      if (Args.size() != 2 || !Args[0].isExpr() || !Args[1].isExpr())
+        return WrongArgs("(expression-meta, variable) arguments");
+      const ExprPtr &E = Args[0].E;
+      const ExprPtr &X = Args[1].E;
+      if (E->kind() != ExprKind::MetaExpr ||
+          (X->kind() != ExprKind::Var && X->kind() != ExprKind::MetaVar))
+        return WrongArgs("(expression-meta, variable) arguments");
+      Ctx.Env.ExprInfo[E->name()].MaskedVars.insert(X->name());
+      return std::nullopt;
+    }
+
+    if (Fact == "ConstExpr") {
+      if (Args.size() != 1 || !Args[0].isExpr() ||
+          Args[0].E->kind() != ExprKind::MetaExpr)
+        return WrongArgs("one expression-meta argument");
+      Ctx.Env.ExprInfo[Args[0].E->name()].IsConst = true;
+      return std::nullopt;
+    }
+
+    // Commutativity doubles as Permute-Theorem evidence.
+    if (Fact == "Commute") {
+      if (Args.size() != 2 || !Args[0].isStmt() || !Args[1].isStmt())
+        return WrongArgs("two statement arguments");
+      Ctx.Commutes.push_back(
+          CommuteEvidence{Bound, Args[0].S, Args[1].S, Atom.atLabel()});
+      if (!Ground)
+        return std::nullopt; // Quantified: Permute-only evidence.
+    }
+
+    // Everything else: look the meaning up in the catalog (user
+    // declarations take precedence) and insert assume instances at the
+    // label (paper's InsertAssumes).
+    const FactDecl *Decl = nullptr;
+    for (const FactDecl &D : UserFacts)
+      if (D.Name == Atom.factName())
+        Decl = &D;
+    if (!Decl)
+      for (const FactDecl &D : builtinFactDecls())
+        if (D.Name == Atom.factName())
+          Decl = &D;
+    if (!Decl)
+      return Diag("unknown side-condition fact '" + std::string(Fact) +
+                  "' (declare it with `fact " + std::string(Fact) +
+                  "(...) has meaning ...;`)");
+    if (!Ground)
+      return Diag("quantified " + std::string(Fact) +
+                  " is only supported for Commute (as Permute evidence)");
+    if (Args.size() != Decl->Params.size())
+      return Diag("fact " + std::string(Fact) + " expects " +
+                  std::to_string(Decl->Params.size()) + " argument(s)");
+    if (std::optional<Diag> D = validateMeaningArgs(*Decl, Args))
+      return D;
+    FactDecl DeclCopy = *Decl;
+    std::vector<FactArg> ArgsCopy = Args;
+    return addLocationFact(
+        Atom.atLabel(),
+        [DeclCopy, ArgsCopy](Lowering &L, TermId State) {
+          FormulaPtr F = instantiateMeaning(DeclCopy, ArgsCopy, L, State);
+          return F ? F : Formula::mkTrue();
+        },
+        Decl->Universal);
+  }
+
+  /// Checks that each parameter's uses in the meaning match the supplied
+  /// argument kinds (Step wants a statement, Eval an expression).
+  std::optional<Diag> validateMeaningArgs(const FactDecl &Decl,
+                                          const std::vector<FactArg> &Args) {
+    std::optional<Diag> Error;
+    std::function<void(const MeaningTermPtr &)> WalkTerm =
+        [&](const MeaningTermPtr &T) {
+          if (!T || Error)
+            return;
+          if (T->kind() == MeaningTermKind::Step ||
+              T->kind() == MeaningTermKind::Eval) {
+            for (size_t I = 0; I < Decl.Params.size(); ++I) {
+              if (Decl.Params[I] != T->param())
+                continue;
+              bool WantStmt = T->kind() == MeaningTermKind::Step;
+              if (WantStmt != Args[I].isStmt())
+                Error = Diag("fact " + std::string(Decl.Name.str()) +
+                             ": parameter '" +
+                             std::string(T->param().str()) +
+                             (WantStmt ? "' needs a statement argument"
+                                       : "' needs an expression argument"));
+            }
+          }
+          WalkTerm(T->lhs());
+          WalkTerm(T->rhs());
+        };
+    std::function<void(const MeaningFormPtr &)> WalkForm =
+        [&](const MeaningFormPtr &F) {
+          if (Error)
+            return;
+          if (F->lhsTerm())
+            WalkTerm(F->lhsTerm());
+          if (F->rhsTerm())
+            WalkTerm(F->rhsTerm());
+          for (const MeaningFormPtr &C : F->children())
+            WalkForm(C);
+        };
+    WalkForm(Decl.Body);
+    return Error;
+  }
+
+  const Rule &R;
+  const Cfg &Orig;
+  const Cfg &Trans;
+  const std::vector<FactDecl> &UserFacts;
+  ProofContext Ctx;
+};
+
+} // namespace
+
+bool ProofContext::stmtPreservesExpr(Symbol StmtMeta, const ExprPtr &X) const {
+  // Whole-expression stability fact?
+  for (const EvalStability &F : EvalStabilityFacts)
+    if (F.StmtMeta == StmtMeta && exprEquals(F.Target, X))
+      return true;
+
+  ExprDeps Deps;
+  collectDeps(X, Deps);
+  auto It = Env.StmtInfo.find(StmtMeta);
+  const MetaStmtInfo *Info = It == Env.StmtInfo.end() ? nullptr : &It->second;
+  for (Symbol V : Deps.Vars)
+    if (!Info || !Info->PreservedVars.count(V))
+      return false;
+  for (Symbol E : Deps.ExprMetas) {
+    auto EIt = Env.ExprInfo.find(E);
+    if (EIt != Env.ExprInfo.end() && EIt->second.IsConst)
+      continue;
+    // A non-constant expression meta-variable reads an unknown variable
+    // set; only a whole-expression stability fact for exactly E helps.
+    bool Stable = false;
+    ExprPtr JustE = Expr::mkMetaExpr(E);
+    for (const EvalStability &F : EvalStabilityFacts)
+      if (F.StmtMeta == StmtMeta && exprEquals(F.Target, JustE))
+        Stable = true;
+    if (!Stable)
+      return false;
+  }
+  return true;
+}
+
+bool ProofContext::atomPreservesExpr(const StmtPtr &Atom,
+                                     const ExprPtr &X) const {
+  switch (Atom->kind()) {
+  case StmtKind::Skip:
+  case StmtKind::Assume:
+    return true;
+  case StmtKind::MetaStmt:
+    return stmtPreservesExpr(Atom->metaName(), X);
+  case StmtKind::Assign: {
+    Symbol Written = Atom->target().Name;
+    ExprDeps Deps;
+    collectDeps(X, Deps);
+    if (Deps.Vars.count(Written))
+      return false;
+    for (Symbol E : Deps.ExprMetas) {
+      auto It = Env.ExprInfo.find(E);
+      if (It != Env.ExprInfo.end() && It->second.IsConst)
+        continue;
+      if (It == Env.ExprInfo.end() || !It->second.MaskedVars.count(Written))
+        return false;
+    }
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+Expected<ProofContext>
+pec::buildProofContext(const Rule &R, const Cfg &Orig, const Cfg &Trans,
+                       const std::vector<FactDecl> &UserFacts) {
+  return ContextBuilder(R, Orig, Trans, UserFacts).run();
+}
+
+const std::vector<FactDecl> &pec::builtinFactDecls() {
+  static const std::vector<FactDecl> Decls = [] {
+    struct Spec {
+      const char *Text;
+      bool Universal;
+    };
+    // The meanings of paper Fig. 4, written in the meaning language. The
+    // code-property facts are universal (the engine establishes them
+    // syntactically, so their instances hold at every state);
+    // StrictlyPositive is flow-sensitive.
+    const Spec Specs[] = {
+        {"fact StrictlyPositive(E) has meaning eval(s, E) > 0;", false},
+        {"fact DoesNotModify(S, E) has meaning "
+         "eval(s, E) == eval(step(s, S), E);",
+         true},
+        {"fact Commute(S1, S2) has meaning "
+         "step(step(s, S1), S2) == step(step(s, S2), S1);",
+         true},
+        {"fact Idempotent(S) has meaning "
+         "step(step(s, S), S) == step(s, S);",
+         true},
+        {"fact StableUnder(S1, S2) has meaning "
+         "step(s, S1) == s => step(step(s, S2), S1) == step(s, S2);",
+         true},
+    };
+    std::vector<FactDecl> Out;
+    for (const Spec &S : Specs) {
+      Expected<FactDecl> D = parseFactDecl(S.Text);
+      if (!D)
+        reportFatalError("builtin fact declaration failed to parse: " +
+                         D.error().str());
+      D->Universal = S.Universal;
+      Out.push_back(D.take());
+    }
+    return Out;
+  }();
+  return Decls;
+}
+
+namespace {
+
+TermId lowerMeaningTerm(const MeaningTermPtr &T,
+                        const std::map<Symbol, const FactArg *> &ParamMap,
+                        Lowering &L, TermId State) {
+  switch (T->kind()) {
+  case MeaningTermKind::StateS:
+    return State;
+  case MeaningTermKind::Step: {
+    TermId In = lowerMeaningTerm(T->lhs(), ParamMap, L, State);
+    const FactArg *Arg = ParamMap.at(T->param());
+    assert(Arg->isStmt() && "validated at registration");
+    return L.stepAtom(In, Arg->S);
+  }
+  case MeaningTermKind::Eval: {
+    TermId In = lowerMeaningTerm(T->lhs(), ParamMap, L, State);
+    const FactArg *Arg = ParamMap.at(T->param());
+    assert(Arg->isExpr() && "validated at registration");
+    return L.lowerExprInt(In, Arg->E);
+  }
+  case MeaningTermKind::IntLit:
+    return L.arena().mkInt(T->intValue());
+  case MeaningTermKind::Add:
+    return L.arena().mkAdd(lowerMeaningTerm(T->lhs(), ParamMap, L, State),
+                           lowerMeaningTerm(T->rhs(), ParamMap, L, State));
+  case MeaningTermKind::Sub:
+    return L.arena().mkSub(lowerMeaningTerm(T->lhs(), ParamMap, L, State),
+                           lowerMeaningTerm(T->rhs(), ParamMap, L, State));
+  case MeaningTermKind::Mul:
+    return L.arena().mkMul(lowerMeaningTerm(T->lhs(), ParamMap, L, State),
+                           lowerMeaningTerm(T->rhs(), ParamMap, L, State));
+  case MeaningTermKind::Neg:
+    return L.arena().mkNeg(lowerMeaningTerm(T->lhs(), ParamMap, L, State));
+  }
+  reportFatalError("unhandled meaning term kind");
+}
+
+FormulaPtr lowerMeaningForm(const MeaningFormPtr &F,
+                            const std::map<Symbol, const FactArg *> &ParamMap,
+                            Lowering &L, TermId State) {
+  TermArena &A = L.arena();
+  switch (F->kind()) {
+  case MeaningFormKind::True:
+    return Formula::mkTrue();
+  case MeaningFormKind::Eq:
+    return Formula::mkEq(
+        A, lowerMeaningTerm(F->lhsTerm(), ParamMap, L, State),
+        lowerMeaningTerm(F->rhsTerm(), ParamMap, L, State));
+  case MeaningFormKind::Ne:
+    return Formula::mkNot(Formula::mkEq(
+        A, lowerMeaningTerm(F->lhsTerm(), ParamMap, L, State),
+        lowerMeaningTerm(F->rhsTerm(), ParamMap, L, State)));
+  case MeaningFormKind::Lt:
+    return Formula::mkLt(
+        A, lowerMeaningTerm(F->lhsTerm(), ParamMap, L, State),
+        lowerMeaningTerm(F->rhsTerm(), ParamMap, L, State));
+  case MeaningFormKind::Le:
+    return Formula::mkLe(
+        A, lowerMeaningTerm(F->lhsTerm(), ParamMap, L, State),
+        lowerMeaningTerm(F->rhsTerm(), ParamMap, L, State));
+  case MeaningFormKind::And: {
+    std::vector<FormulaPtr> Cs;
+    for (const MeaningFormPtr &C : F->children())
+      Cs.push_back(lowerMeaningForm(C, ParamMap, L, State));
+    return Formula::mkAnd(std::move(Cs));
+  }
+  case MeaningFormKind::Or: {
+    std::vector<FormulaPtr> Cs;
+    for (const MeaningFormPtr &C : F->children())
+      Cs.push_back(lowerMeaningForm(C, ParamMap, L, State));
+    return Formula::mkOr(std::move(Cs));
+  }
+  case MeaningFormKind::Not:
+    return Formula::mkNot(
+        lowerMeaningForm(F->children()[0], ParamMap, L, State));
+  case MeaningFormKind::Implies:
+    return Formula::mkImplies(
+        lowerMeaningForm(F->children()[0], ParamMap, L, State),
+        lowerMeaningForm(F->children()[1], ParamMap, L, State));
+  }
+  reportFatalError("unhandled meaning formula kind");
+}
+
+} // namespace
+
+FormulaPtr pec::instantiateMeaning(const FactDecl &Decl,
+                                   const std::vector<FactArg> &Args,
+                                   Lowering &L, TermId State) {
+  if (Args.size() != Decl.Params.size())
+    return nullptr;
+  std::map<Symbol, const FactArg *> ParamMap;
+  for (size_t I = 0; I < Decl.Params.size(); ++I)
+    ParamMap[Decl.Params[I]] = &Args[I];
+  return lowerMeaningForm(Decl.Body, ParamMap, L, State);
+}

@@ -1,0 +1,118 @@
+//===- Facts.h - Side-condition fact catalog --------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The catalog of side-condition facts with semantic meanings (paper
+/// Fig. 4 / Fig. 10) and the machinery that turns a rule's side condition
+/// into the three consumers' views:
+///
+///   1. a `LoweringEnv` for facts encoded structurally (frames and masks,
+///      see Lowering.h);
+///   2. `LocationFacts` — assume instances at labeled locations, the
+///      paper's InsertAssumes (Fig. 9 line 3);
+///   3. `CommuteEvidence` — (possibly quantified) commutativity facts the
+///      Permute module consumes when discharging Theorem 2's property 5.
+///
+/// Supported facts:
+///
+///   | fact                   | meaning                                    |
+///   |------------------------|--------------------------------------------|
+///   | DoesNotModify(S, X)@L  | X var: frame; X expr: eval stable across S |
+///   | DoesNotAccess(S, X)@L  | S neither reads nor writes X (mask+frame)  |
+///   | DoesNotUse(E, X)@L     | expression E does not read X (mask)        |
+///   | ConstExpr(E)@L         | E's value is state-independent             |
+///   | StrictlyPositive(E)@L  | eval(s, E) > 0 at L                        |
+///   | Commute(A, B)@L        | step(step(s,A),B) = step(step(s,B),A)      |
+///   | Idempotent(S)@L        | step(step(s,S),S) = step(s,S)              |
+///   | StableUnder(S1, S2)@L  | step(s,S1)=s => step(step(s,S2),S1)=step(s,S2) |
+///
+/// The execution engine (src/engine) establishes each fact with a
+/// conservative syntactic check when the rule fires (paper Sec. 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_PEC_FACTS_H
+#define PEC_PEC_FACTS_H
+
+#include "cfg/Cfg.h"
+#include "lang/Meaning.h"
+#include "lang/Rule.h"
+#include "logic/Lowering.h"
+#include "logic/SymExec.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pec {
+
+/// A commutativity fact for the Permute module: statements \p A and \p B
+/// commute, universally over the bound variable meta-variables \p Bound
+/// (empty for ground facts). `Guard` is an optional antecedent side
+/// condition over the bound variables (e.g. `K < L`), currently unused by
+/// the shipped rules but kept for generality.
+struct CommuteEvidence {
+  std::vector<Symbol> Bound;
+  StmtPtr A; ///< MetaStmt reference with hole arguments.
+  StmtPtr B;
+  Symbol AtLabel;
+};
+
+/// Everything the PEC pipeline derives from one rule's side condition.
+struct ProofContext {
+  LoweringEnv Env;
+  LocationFacts OrigFacts;  ///< Keyed by locations of the original CFG.
+  LocationFacts TransFacts; ///< Keyed by locations of the transformed CFG.
+  std::vector<CommuteEvidence> Commutes;
+
+  /// True if the statement meta-variable \p S is declared (by frame facts or
+  /// hole patterns) to preserve the value of expression \p X — used by the
+  /// branch-condition transport in the Correlate module.
+  bool stmtPreservesExpr(Symbol StmtMeta, const ExprPtr &X) const;
+
+  /// True if atomic statement \p Atom (Assign/MetaStmt/Assume/Skip) is known
+  /// to preserve the value of \p X. For assignments this is a syntactic
+  /// check on the written variable vs. \p X's reads (meta-variables are
+  /// assumed non-aliasing; the engine enforces injective matching).
+  bool atomPreservesExpr(const StmtPtr &Atom, const ExprPtr &X) const;
+
+  /// Expression-meta eval-stability facts registered per (stmt, label):
+  /// `DoesNotModify(S, E)@L` with an expression target.
+  struct EvalStability {
+    Symbol StmtMeta;
+    ExprPtr Target;
+  };
+  std::vector<EvalStability> EvalStabilityFacts;
+};
+
+/// Builds the proof context for \p R. Labels in side conditions are looked
+/// up in \p Orig first, then \p Trans. Returns an error for unknown facts,
+/// unknown labels, or ill-sorted fact arguments.
+///
+/// \p UserFacts adds user-declared fact meanings (paper Fig. 4) to the
+/// built-in catalog; a user declaration with a built-in name takes
+/// precedence (except for the structurally lowered facts, which keep their
+/// frame/mask encoding).
+Expected<ProofContext> buildProofContext(
+    const Rule &R, const Cfg &Orig, const Cfg &Trans,
+    const std::vector<FactDecl> &UserFacts = {});
+
+/// The built-in fact declarations expressed in the meaning language
+/// (StrictlyPositive, DoesNotModify with an expression target, Commute,
+/// Idempotent, StableUnder).
+const std::vector<FactDecl> &builtinFactDecls();
+
+/// Instantiates \p Decl's meaning for \p Args at symbolic state \p State
+/// (`s` in the meaning refers to \p State). Returns null on arity or
+/// argument-kind mismatch.
+FormulaPtr instantiateMeaning(const FactDecl &Decl,
+                              const std::vector<FactArg> &Args, Lowering &L,
+                              TermId State);
+
+} // namespace pec
+
+#endif // PEC_PEC_FACTS_H

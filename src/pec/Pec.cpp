@@ -1,0 +1,114 @@
+//===- Pec.cpp - PEC pipeline driver ----------------------------------------------===//
+
+#include "pec/Pec.h"
+
+#include "lang/AstOps.h"
+#include "pec/Correlate.h"
+#include "pec/Facts.h"
+#include "pec/Permute.h"
+
+#include <chrono>
+
+using namespace pec;
+
+PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
+  auto Start = std::chrono::steady_clock::now();
+  PecResult Result;
+
+  TermArena Arena;
+  Atp Prover(Arena, Options.Atp);
+
+  StmtPtr Before = normalizeStmt(R.Before);
+  StmtPtr After = normalizeStmt(R.After);
+  std::map<Symbol, MetaStmtInfo> ExtraStmtInfo;
+
+  // --- Permute pre-pass (paper Sec. 6) -----------------------------------
+  if (Options.UsePermute) {
+    PermuteOutcome P = runPermute(R, Prover);
+    if (P.Attempted) {
+      if (!P.Proved) {
+        Result.FailureReason = "permute: " + P.Note;
+        Result.AtpQueries = Prover.stats().Queries;
+        Result.Seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - Start)
+                             .count();
+        return Result;
+      }
+      Result.UsedPermute = true;
+      Before = P.NewBefore;
+      After = P.NewAfter;
+      ExtraStmtInfo = std::move(P.ExtraStmtInfo);
+      Result.RequiredDeadVars = std::move(P.RequiredDeadVars);
+    }
+  }
+
+  // --- Correlate + Check (paper Secs. 4 and 5) ---------------------------
+  Cfg P1 = Cfg::build(Before);
+  Cfg P2 = Cfg::build(After);
+
+  Expected<ProofContext> Ctx =
+      buildProofContext(R, P1, P2, Options.UserFacts);
+  if (!Ctx) {
+    Result.FailureReason = "side condition: " + Ctx.error().str();
+    return Result;
+  }
+  for (auto &[Name, Info] : ExtraStmtInfo) {
+    MetaStmtInfo &Slot = Ctx->Env.StmtInfo[Name];
+    Slot.MaskedVars.insert(Info.MaskedVars.begin(), Info.MaskedVars.end());
+    Slot.PreservedVars.insert(Info.PreservedVars.begin(),
+                              Info.PreservedVars.end());
+  }
+
+  Lowering Low(Arena, Ctx->Env);
+  TermId S1 = Arena.mkSymConst(Symbol::get("s1"), Sort::State);
+  TermId S2 = Arena.mkSymConst(Symbol::get("s2"), Sort::State);
+
+  ConditionFlow Flow1(P1, *Ctx), Flow2(P2, *Ctx);
+  CorrelationRelation SeedRel = correlate(P1, P2, *Ctx, Low, S1, S2, Flow1,
+                                          Flow2);
+
+  // Check, retrying with wrong seed pairs banned: a seeded correlation pair
+  // may be semantically wrong (the aligned states legitimately differ, as
+  // in code sinking), while the proof succeeds without it. Removing a pair
+  // only weakens the relation, so retrying is sound; the loop is bounded
+  // by the seed count.
+  CheckerOptions CheckOpts = Options.Checker;
+  CheckerResult Check;
+  for (size_t Attempt = 0; Attempt <= SeedRel.size(); ++Attempt) {
+    CorrelationRelation Rel;
+    for (const RelEntry &Entry : SeedRel.entries())
+      if (!CheckOpts.BannedPairs.count({Entry.L1, Entry.L2}))
+        Rel.add(Entry.L1, Entry.L2, Entry.Pred);
+    Result.RelationSize = Rel.size();
+
+    Check = checkRelation(Rel, P1, P2, *Ctx, Low, Prover, S1, S2, CheckOpts);
+    if (Check.Proved || Check.FailedTargets.empty())
+      break;
+    bool NewBans = false;
+    for (const auto &Pair : Check.FailedTargets)
+      NewBans |= CheckOpts.BannedPairs.insert(Pair).second;
+    if (!NewBans)
+      break;
+  }
+  Result.Proved = Check.Proved;
+  Result.FailureReason = Check.FailureReason;
+  Result.Strengthenings = Check.Strengthenings;
+  Result.PathPairs = Check.PathPairs;
+  Result.PrunedPathPairs = Check.PrunedPathPairs;
+  Result.AtpQueries = Prover.stats().Queries;
+  Result.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Result;
+}
+
+PecResult pec::proveEquivalence(const StmtPtr &Original,
+                                const StmtPtr &Transformed,
+                                const PecOptions &Options) {
+  Rule R;
+  R.Name = "translation-validation";
+  R.Before = Original;
+  R.After = Transformed;
+  R.Cond = SideCond::mkTrue();
+  return proveRule(R, Options);
+}

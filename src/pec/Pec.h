@@ -1,0 +1,72 @@
+//===- Pec.h - Parameterized Equivalence Checking driver --------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level PEC pipeline (paper Fig. 8):
+///
+/// \code
+///   function PEC(p1, p2, f)
+///     (p1', p2') := Permute(p1, p2, f)
+///     R          := Correlate(p1', p2')
+///     return Check(R, p1', p2', f)
+/// \endcode
+///
+/// `proveRule` proves a parameterized rewrite rule correct once and for
+/// all; `proveEquivalence` proves two *concrete* programs equivalent, which
+/// is classic translation validation (the paper's observation that PEC
+/// subsumes it, Sec. 2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_PEC_PEC_H
+#define PEC_PEC_PEC_H
+
+#include "lang/Meaning.h"
+#include "lang/Rule.h"
+#include "pec/Checker.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pec {
+
+struct PecOptions {
+  CheckerOptions Checker;
+  bool UsePermute = true;
+  AtpOptions Atp;
+  /// User-declared fact meanings (paper Fig. 4), additional to the
+  /// built-in catalog.
+  std::vector<FactDecl> UserFacts;
+};
+
+struct PecResult {
+  bool Proved = false;
+  bool UsedPermute = false;
+  std::string FailureReason;
+  /// Number of theorem-prover queries (the paper's "#ATP calls").
+  uint64_t AtpQueries = 0;
+  /// Wall-clock seconds for the whole pipeline.
+  double Seconds = 0;
+  uint32_t Strengthenings = 0;
+  size_t RelationSize = 0;
+  size_t PathPairs = 0;
+  size_t PrunedPathPairs = 0;
+  /// Loop index variables the execution engine must verify dead after the
+  /// rewritten fragment (produced by the Permute module).
+  std::set<Symbol> RequiredDeadVars;
+};
+
+/// Proves rewrite rule \p R semantics-preserving, once and for all.
+PecResult proveRule(const Rule &R, const PecOptions &Options = {});
+
+/// Translation validation: proves two concrete programs equivalent.
+PecResult proveEquivalence(const StmtPtr &Original, const StmtPtr &Transformed,
+                           const PecOptions &Options = {});
+
+} // namespace pec
+
+#endif // PEC_PEC_PEC_H

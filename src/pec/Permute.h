@@ -1,0 +1,73 @@
+//===- Permute.h - Loop reordering pre-pass ---------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Permute module (paper Sec. 6): a pre-pass that proves loop
+/// *reordering* transformations — which have no bisimulation — correct via
+/// the Permute Theorem (Thm. 2), then replaces the proven-equivalent loops
+/// with a shared fresh statement meta-variable so the bisimulation phase
+/// sees them as equal.
+///
+/// Two canonical shapes are recognized:
+///
+///   * a perfect `for`-nest with a meta-statement body `S[e1(i), ...]` on
+///     both sides (interchange, reversal, skewing, alignment): the index
+///     mapping F is read off the transformed side's hole arguments, its
+///     inverse is computed by exact rational Gaussian elimination (the
+///     paper's range-analysis heuristic, specialized to affine maps), and
+///     Theorem 2's conditions 1-4 become ground LIA validity queries over
+///     skolemized index variables. Condition 5 is first attempted as "no
+///     pair is reordered" (an unsatisfiability query); if pairs are
+///     reordered, a universally quantified Commute side condition must
+///     cover them.
+///
+///   * two adjacent single loops vs. one fused loop over the same bounds
+///     (fusion and its inverse, distribution), where the reordered pairs
+///     are exactly `B2(i') before B1(i)` for `i' < i`, covered by a
+///     quantified cross-Commute fact.
+///
+/// Loop index variables are treated as dead after the fragment: the
+/// replacement meta-variable frames them out, and the required deadness is
+/// reported to the execution engine via `RequiredDeadVars` (checked when a
+/// rule fires; see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_PEC_PERMUTE_H
+#define PEC_PEC_PERMUTE_H
+
+#include "lang/Rule.h"
+#include "logic/Lowering.h"
+#include "solver/Atp.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace pec {
+
+struct PermuteOutcome {
+  bool Attempted = false; ///< A permute-shaped loop pair was found.
+  bool Proved = false;
+  std::string Note;
+  /// Rewritten programs (valid when Proved): the proven loops are replaced
+  /// by a shared fresh meta-statement.
+  StmtPtr NewBefore;
+  StmtPtr NewAfter;
+  /// Frame/mask info for the fresh meta-statement(s).
+  std::map<Symbol, MetaStmtInfo> ExtraStmtInfo;
+  /// Index variables that must be dead after the fragment when the rule
+  /// fires.
+  std::set<Symbol> RequiredDeadVars;
+};
+
+/// Attempts the Permute Theorem on \p R. \p Prover is used (and its query
+/// counter advanced) for the theorem's conditions.
+PermuteOutcome runPermute(const Rule &R, Atp &Prover);
+
+} // namespace pec
+
+#endif // PEC_PEC_PERMUTE_H

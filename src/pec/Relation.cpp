@@ -1,0 +1,50 @@
+//===- Relation.cpp - Correlation relations -------------------------------------===//
+
+#include "pec/Relation.h"
+
+#include <sstream>
+
+using namespace pec;
+
+size_t CorrelationRelation::add(Location L1, Location L2, FormulaPtr Pred) {
+  auto [It, Inserted] = Index.emplace(std::make_pair(L1, L2), Entries.size());
+  if (!Inserted)
+    return It->second;
+  Entries.push_back(RelEntry{L1, L2, std::move(Pred)});
+  ++OrigLocs[L1];
+  ++TransLocs[L2];
+  return Entries.size() - 1;
+}
+
+int32_t CorrelationRelation::find(Location L1, Location L2) const {
+  auto It = Index.find(std::make_pair(L1, L2));
+  return It == Index.end() ? -1 : static_cast<int32_t>(It->second);
+}
+
+std::vector<char>
+CorrelationRelation::origStopMask(uint32_t NumLocations) const {
+  std::vector<char> Mask(NumLocations, 0);
+  for (const auto &[L, Count] : OrigLocs) {
+    (void)Count;
+    Mask[L] = 1;
+  }
+  return Mask;
+}
+
+std::vector<char>
+CorrelationRelation::transStopMask(uint32_t NumLocations) const {
+  std::vector<char> Mask(NumLocations, 0);
+  for (const auto &[L, Count] : TransLocs) {
+    (void)Count;
+    Mask[L] = 1;
+  }
+  return Mask;
+}
+
+std::string CorrelationRelation::str(const TermArena &A) const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Entries.size(); ++I)
+    OS << "  #" << I << " (" << Entries[I].L1 << ", " << Entries[I].L2
+       << "): " << Entries[I].Pred->str(A) << "\n";
+  return OS.str();
+}

@@ -1,0 +1,65 @@
+//===- Relation.h - Correlation relations -----------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correlation relation of Sec. 3: entries `(l1, l2, phi)` pairing a
+/// location of the original CFG with one of the transformed CFG under a
+/// predicate over the two program states (a formula over the designated
+/// state constants s1 and s2). The Checker strengthens entry predicates in
+/// place while turning the relation into a bisimulation relation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_PEC_RELATION_H
+#define PEC_PEC_RELATION_H
+
+#include "cfg/Cfg.h"
+#include "solver/Formula.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pec {
+
+struct RelEntry {
+  Location L1 = InvalidLocation;
+  Location L2 = InvalidLocation;
+  FormulaPtr Pred;
+};
+
+class CorrelationRelation {
+public:
+  /// Adds an entry if the pair is new; returns its index either way.
+  size_t add(Location L1, Location L2, FormulaPtr Pred);
+
+  /// Index of the entry for (L1, L2), or -1.
+  int32_t find(Location L1, Location L2) const;
+
+  const std::vector<RelEntry> &entries() const { return Entries; }
+  RelEntry &entry(size_t I) { return Entries[I]; }
+  size_t size() const { return Entries.size(); }
+
+  /// Does any entry mention \p L as its original-program location?
+  bool hasOrigLocation(Location L) const { return OrigLocs.count(L) != 0; }
+  bool hasTransLocation(Location L) const { return TransLocs.count(L) != 0; }
+
+  /// Stop-location masks for path enumeration (the `->R` relation).
+  std::vector<char> origStopMask(uint32_t NumLocations) const;
+  std::vector<char> transStopMask(uint32_t NumLocations) const;
+
+  std::string str(const TermArena &A) const;
+
+private:
+  std::vector<RelEntry> Entries;
+  std::map<std::pair<Location, Location>, size_t> Index;
+  std::map<Location, uint32_t> OrigLocs;  ///< Location -> refcount.
+  std::map<Location, uint32_t> TransLocs;
+};
+
+} // namespace pec
+
+#endif // PEC_PEC_RELATION_H

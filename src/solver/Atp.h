@@ -1,0 +1,69 @@
+//===- Atp.h - Automated theorem prover facade ------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ATP module of the paper (Fig. 9), standing in for the Simplify
+/// theorem prover: a validity / satisfiability checker for ground formulas
+/// over EUF + LIA + the select/store state theory.
+///
+/// Architecture: array read-over-write lemma expansion, Tseitin CNF
+/// conversion, a CDCL SAT core, and lazy theory checking at full boolean
+/// assignments with greedy conflict minimization (DESIGN.md discusses the
+/// ablation of minimization).
+///
+/// Answers are one-sided safe: resource exhaustion degrades `isValid` to
+/// `false` (PEC then conservatively rejects the optimization), never to a
+/// wrong `true`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_ATP_H
+#define PEC_SOLVER_ATP_H
+
+#include "solver/Formula.h"
+#include "solver/Term.h"
+
+#include <cstdint>
+
+namespace pec {
+
+struct AtpStats {
+  uint64_t Queries = 0;         ///< isValid/isSatisfiable calls.
+  uint64_t TheoryChecks = 0;    ///< Full-assignment theory consistency runs.
+  uint64_t TheoryConflicts = 0; ///< Theory checks that failed.
+  uint64_t SatConflicts = 0;    ///< CDCL conflicts across all queries.
+};
+
+/// Configuration knobs (exposed for the ablation benchmarks).
+struct AtpOptions {
+  bool MinimizeConflicts = true;
+  uint32_t MaxTheoryConflictsPerQuery = 2000;
+};
+
+class Atp {
+public:
+  explicit Atp(TermArena &Arena, AtpOptions Options = {})
+      : Arena(Arena), Options(Options) {}
+
+  /// Is \p F true in every model? (Checks that !F is unsatisfiable.)
+  bool isValid(const FormulaPtr &F);
+
+  /// Does \p F have a model?
+  bool isSatisfiable(const FormulaPtr &F);
+
+  TermArena &arena() { return Arena; }
+  const AtpStats &stats() const { return Stats; }
+  void resetStats() { Stats = AtpStats(); }
+
+private:
+  TermArena &Arena;
+  AtpOptions Options;
+  AtpStats Stats;
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_ATP_H

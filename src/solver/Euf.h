@@ -1,0 +1,69 @@
+//===- Euf.h - Congruence closure -------------------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Congruence closure over the ground terms of a `TermArena`. All function
+/// symbols — including the arithmetic operators, whose linear structure the
+/// LIA solver handles separately — participate in congruence, so equalities
+/// propagate through `step`/`selS`/`+` applications alike.
+///
+/// Conflicts: merging two distinct integer constants, merging two distinct
+/// variable-name literals, or violating an asserted disequality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_EUF_H
+#define PEC_SOLVER_EUF_H
+
+#include "solver/Term.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace pec {
+
+class CongruenceClosure {
+public:
+  /// Snapshot-style: considers every term currently in \p Arena, or only
+  /// those marked in \p Relevant when non-empty (indexed by TermId).
+  explicit CongruenceClosure(const TermArena &Arena,
+                             std::vector<char> Relevant = {});
+
+  void addEquality(TermId A, TermId B);
+  void addDisequality(TermId A, TermId B);
+
+  /// Runs the closure. Returns true iff the asserted literals are
+  /// EUF-consistent.
+  bool check();
+
+  /// Representative after check().
+  TermId find(TermId T);
+  bool areEqual(TermId A, TermId B) { return find(A) == find(B); }
+
+  /// Invokes \p Fn for every pair (A, B) of *distinct* terms that ended up
+  /// congruent and are both of sort Int — the equalities exported to the
+  /// LIA solver. One pair per (member, representative).
+  void forEachIntEquality(
+      const std::function<void(TermId, TermId)> &Fn);
+
+private:
+  bool isRelevant(TermId T) const;
+  TermId findRoot(TermId T);
+  /// Returns false on conflict.
+  bool merge(TermId A, TermId B);
+
+  const TermArena &Arena;
+  std::vector<char> Relevant;
+  std::vector<TermId> Parent;
+  std::vector<std::pair<TermId, TermId>> PendingEqs;
+  std::vector<std::pair<TermId, TermId>> Diseqs;
+  bool Closed = false;
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_EUF_H

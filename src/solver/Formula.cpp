@@ -1,0 +1,195 @@
+//===- Formula.cpp - Formula builders ----------------------------------------===//
+
+#include "solver/Formula.h"
+
+#include <sstream>
+
+using namespace pec;
+
+FormulaPtr Formula::mkTrue() {
+  static FormulaPtr T = [] {
+    auto F = std::shared_ptr<Formula>(new Formula());
+    F->Kind = FormulaKind::True;
+    return F;
+  }();
+  return T;
+}
+
+FormulaPtr Formula::mkFalse() {
+  static FormulaPtr F0 = [] {
+    auto F = std::shared_ptr<Formula>(new Formula());
+    F->Kind = FormulaKind::False;
+    return F;
+  }();
+  return F0;
+}
+
+FormulaPtr Formula::mkEq(TermArena &A, TermId L, TermId R) {
+  if (L == R)
+    return mkTrue();
+  const TermNode &LN = A.node(L), &RN = A.node(R);
+  if (LN.Op == TermOp::IntConst && RN.Op == TermOp::IntConst)
+    return mkBool(LN.IntVal == RN.IntVal);
+  if (LN.Op == TermOp::NameLit && RN.Op == TermOp::NameLit)
+    return mkBool(LN.Name == RN.Name);
+  auto F = std::shared_ptr<Formula>(new Formula());
+  F->Kind = FormulaKind::Eq;
+  // Canonicalize operand order for hash-free structural stability.
+  F->L = L < R ? L : R;
+  F->R = L < R ? R : L;
+  return F;
+}
+
+FormulaPtr Formula::mkLe(TermArena &A, TermId L, TermId R) {
+  if (L == R)
+    return mkTrue();
+  const TermNode &LN = A.node(L), &RN = A.node(R);
+  if (LN.Op == TermOp::IntConst && RN.Op == TermOp::IntConst)
+    return mkBool(LN.IntVal <= RN.IntVal);
+  auto F = std::shared_ptr<Formula>(new Formula());
+  F->Kind = FormulaKind::Le;
+  F->L = L;
+  F->R = R;
+  return F;
+}
+
+FormulaPtr Formula::mkLt(TermArena &A, TermId L, TermId R) {
+  if (L == R)
+    return mkFalse();
+  const TermNode &LN = A.node(L), &RN = A.node(R);
+  if (LN.Op == TermOp::IntConst && RN.Op == TermOp::IntConst)
+    return mkBool(LN.IntVal < RN.IntVal);
+  auto F = std::shared_ptr<Formula>(new Formula());
+  F->Kind = FormulaKind::Lt;
+  F->L = L;
+  F->R = R;
+  return F;
+}
+
+FormulaPtr Formula::mkNot(FormulaPtr Inner) {
+  if (Inner->Kind == FormulaKind::True)
+    return mkFalse();
+  if (Inner->Kind == FormulaKind::False)
+    return mkTrue();
+  if (Inner->Kind == FormulaKind::Not)
+    return Inner->Children[0];
+  auto F = std::shared_ptr<Formula>(new Formula());
+  F->Kind = FormulaKind::Not;
+  F->Children.push_back(std::move(Inner));
+  return F;
+}
+
+FormulaPtr Formula::mkAnd(std::vector<FormulaPtr> Fs) {
+  std::vector<FormulaPtr> Flat;
+  for (FormulaPtr &F : Fs) {
+    if (F->Kind == FormulaKind::True)
+      continue;
+    if (F->Kind == FormulaKind::False)
+      return mkFalse();
+    if (F->Kind == FormulaKind::And) {
+      for (const FormulaPtr &C : F->Children)
+        Flat.push_back(C);
+    } else {
+      Flat.push_back(std::move(F));
+    }
+  }
+  if (Flat.empty())
+    return mkTrue();
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto F = std::shared_ptr<Formula>(new Formula());
+  F->Kind = FormulaKind::And;
+  F->Children = std::move(Flat);
+  return F;
+}
+
+FormulaPtr Formula::mkAnd(FormulaPtr A, FormulaPtr B) {
+  std::vector<FormulaPtr> Fs;
+  Fs.push_back(std::move(A));
+  Fs.push_back(std::move(B));
+  return mkAnd(std::move(Fs));
+}
+
+FormulaPtr Formula::mkOr(std::vector<FormulaPtr> Fs) {
+  std::vector<FormulaPtr> Flat;
+  for (FormulaPtr &F : Fs) {
+    if (F->Kind == FormulaKind::False)
+      continue;
+    if (F->Kind == FormulaKind::True)
+      return mkTrue();
+    if (F->Kind == FormulaKind::Or) {
+      for (const FormulaPtr &C : F->Children)
+        Flat.push_back(C);
+    } else {
+      Flat.push_back(std::move(F));
+    }
+  }
+  if (Flat.empty())
+    return mkFalse();
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto F = std::shared_ptr<Formula>(new Formula());
+  F->Kind = FormulaKind::Or;
+  F->Children = std::move(Flat);
+  return F;
+}
+
+FormulaPtr Formula::mkOr(FormulaPtr A, FormulaPtr B) {
+  std::vector<FormulaPtr> Fs;
+  Fs.push_back(std::move(A));
+  Fs.push_back(std::move(B));
+  return mkOr(std::move(Fs));
+}
+
+FormulaPtr Formula::mkImplies(FormulaPtr A, FormulaPtr B) {
+  return mkOr(mkNot(std::move(A)), std::move(B));
+}
+
+FormulaPtr Formula::mkIff(FormulaPtr A, FormulaPtr B) {
+  if (A->Kind == FormulaKind::True)
+    return B;
+  if (B->Kind == FormulaKind::True)
+    return A;
+  if (A->Kind == FormulaKind::False)
+    return mkNot(std::move(B));
+  if (B->Kind == FormulaKind::False)
+    return mkNot(std::move(A));
+  auto F = std::shared_ptr<Formula>(new Formula());
+  F->Kind = FormulaKind::Iff;
+  F->Children.push_back(std::move(A));
+  F->Children.push_back(std::move(B));
+  return F;
+}
+
+std::string Formula::str(const TermArena &A) const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case FormulaKind::True:  OS << "true"; break;
+  case FormulaKind::False: OS << "false"; break;
+  case FormulaKind::Eq: OS << A.str(L) << " = " << A.str(R); break;
+  case FormulaKind::Le: OS << A.str(L) << " <= " << A.str(R); break;
+  case FormulaKind::Lt: OS << A.str(L) << " < " << A.str(R); break;
+  case FormulaKind::Not:
+    OS << "!(" << Children[0]->str(A) << ")";
+    break;
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    const char *Sep = Kind == FormulaKind::And ? " & " : " | ";
+    OS << '(';
+    for (size_t I = 0; I < Children.size(); ++I) {
+      if (I)
+        OS << Sep;
+      OS << Children[I]->str(A);
+    }
+    OS << ')';
+    break;
+  }
+  case FormulaKind::Implies:
+    OS << '(' << Children[0]->str(A) << " => " << Children[1]->str(A) << ')';
+    break;
+  case FormulaKind::Iff:
+    OS << '(' << Children[0]->str(A) << " <=> " << Children[1]->str(A) << ')';
+    break;
+  }
+  return OS.str();
+}

@@ -1,0 +1,82 @@
+//===- Formula.h - Propositional structure over theory atoms ----*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifier-free formulas over the theory atoms `t1 = t2`, `t1 <= t2`,
+/// `t1 < t2`. Formulas are immutable shared trees; the builders perform
+/// light simplification (constant folding, and/or flattening).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_FORMULA_H
+#define PEC_SOLVER_FORMULA_H
+
+#include "solver/Term.h"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace pec {
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+enum class FormulaKind : uint8_t {
+  True, False,
+  Eq,  ///< Terms of the same sort.
+  Le, Lt, ///< Integer comparisons.
+  Not, And, Or, Implies, Iff,
+};
+
+class Formula {
+public:
+  FormulaKind kind() const { return Kind; }
+
+  TermId lhsTerm() const {
+    assert(isAtom());
+    return L;
+  }
+  TermId rhsTerm() const {
+    assert(isAtom());
+    return R;
+  }
+  bool isAtom() const {
+    return Kind == FormulaKind::Eq || Kind == FormulaKind::Le ||
+           Kind == FormulaKind::Lt;
+  }
+  const std::vector<FormulaPtr> &children() const { return Children; }
+
+  static FormulaPtr mkTrue();
+  static FormulaPtr mkFalse();
+  static FormulaPtr mkBool(bool B) { return B ? mkTrue() : mkFalse(); }
+  /// Atom builders fold constant comparisons and `t = t`.
+  static FormulaPtr mkEq(TermArena &A, TermId L, TermId R);
+  static FormulaPtr mkLe(TermArena &A, TermId L, TermId R);
+  static FormulaPtr mkLt(TermArena &A, TermId L, TermId R);
+  static FormulaPtr mkNot(FormulaPtr F);
+  static FormulaPtr mkAnd(std::vector<FormulaPtr> Fs);
+  static FormulaPtr mkAnd(FormulaPtr A, FormulaPtr B);
+  static FormulaPtr mkOr(std::vector<FormulaPtr> Fs);
+  static FormulaPtr mkOr(FormulaPtr A, FormulaPtr B);
+  static FormulaPtr mkImplies(FormulaPtr A, FormulaPtr B);
+  static FormulaPtr mkIff(FormulaPtr A, FormulaPtr B);
+
+  /// Renders the formula for debugging.
+  std::string str(const TermArena &A) const;
+
+private:
+  Formula() = default;
+
+  FormulaKind Kind = FormulaKind::True;
+  TermId L = InvalidTerm;
+  TermId R = InvalidTerm;
+  std::vector<FormulaPtr> Children;
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_FORMULA_H

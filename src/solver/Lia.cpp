@@ -1,0 +1,291 @@
+//===- Lia.cpp - General simplex + branch and bound ---------------------------===//
+
+#include "solver/Lia.h"
+
+#include <cassert>
+
+using namespace pec;
+
+uint32_t LiaSolver::newVar() { return NumUserVars++; }
+
+void LiaSolver::addLe(const LinExpr &E) {
+  LeEqConstraints.emplace_back(E, false);
+}
+
+void LiaSolver::addEq(const LinExpr &E) {
+  LeEqConstraints.emplace_back(E, true);
+}
+
+void LiaSolver::addNe(const LinExpr &E) { NeConstraints.push_back(E); }
+
+Rational LiaSolver::evalRow(const Tableau &T, uint32_t Row) {
+  Rational V;
+  for (const auto &[Var, C] : T.Rows[Row])
+    V += C * T.Value[Var];
+  return V;
+}
+
+void LiaSolver::updateNonbasic(Tableau &T, uint32_t Var, const Rational &V) {
+  assert(T.RowOfVar[Var] < 0 && "variable must be nonbasic");
+  Rational Delta = V - T.Value[Var];
+  if (Delta.isZero())
+    return;
+  T.Value[Var] = V;
+  for (size_t R = 0; R < T.Rows.size(); ++R) {
+    auto It = T.Rows[R].find(Var);
+    if (It != T.Rows[R].end())
+      T.Value[T.VarOfRow[R]] += It->second * Delta;
+  }
+}
+
+void LiaSolver::pivot(Tableau &T, uint32_t Row, uint32_t EnterVar) {
+  uint32_t LeaveVar = T.VarOfRow[Row];
+  std::map<uint32_t, Rational> OldRow = std::move(T.Rows[Row]);
+  Rational A = OldRow[EnterVar];
+  assert(!A.isZero() && "pivot on zero coefficient");
+
+  // New row: EnterVar = (LeaveVar - sum_{k != EnterVar} a_k x_k) / A.
+  std::map<uint32_t, Rational> NewRow;
+  Rational InvA = Rational(1) / A;
+  NewRow[LeaveVar] = InvA;
+  for (const auto &[Var, C] : OldRow) {
+    if (Var == EnterVar)
+      continue;
+    Rational NC = -C * InvA;
+    if (!NC.isZero())
+      NewRow[Var] = NC;
+  }
+  T.Rows[Row] = NewRow;
+  T.VarOfRow[Row] = EnterVar;
+  T.RowOfVar[EnterVar] = static_cast<int32_t>(Row);
+  T.RowOfVar[LeaveVar] = -1;
+
+  // Substitute EnterVar in every other row.
+  for (size_t R = 0; R < T.Rows.size(); ++R) {
+    if (R == Row)
+      continue;
+    auto It = T.Rows[R].find(EnterVar);
+    if (It == T.Rows[R].end())
+      continue;
+    Rational B = It->second;
+    T.Rows[R].erase(It);
+    for (const auto &[Var, C] : NewRow) {
+      Rational &Slot = T.Rows[R][Var];
+      Slot += B * C;
+      if (Slot.isZero())
+        T.Rows[R].erase(Var);
+    }
+  }
+}
+
+bool LiaSolver::simplexCheck(Tableau &T) {
+  uint32_t NumAllVars = static_cast<uint32_t>(T.Value.size());
+
+  // Bounds sanity + clamp nonbasic variables into their bounds.
+  for (uint32_t V = 0; V < NumAllVars; ++V) {
+    const Bound &B = T.Bounds[V];
+    if (B.Lower && B.Upper && *B.Lower > *B.Upper)
+      return false;
+    if (T.RowOfVar[V] >= 0)
+      continue;
+    if (B.Lower && T.Value[V] < *B.Lower)
+      updateNonbasic(T, V, *B.Lower);
+    else if (B.Upper && T.Value[V] > *B.Upper)
+      updateNonbasic(T, V, *B.Upper);
+  }
+
+  // Main loop with Bland's rule (smallest index first) for termination.
+  const uint32_t MaxIters = 100000;
+  for (uint32_t Iter = 0; Iter < MaxIters; ++Iter) {
+    // Find the smallest basic variable violating a bound.
+    int32_t ViolatedRow = -1;
+    bool NeedIncrease = false;
+    Rational Target;
+    uint32_t BestVar = ~0u;
+    for (size_t R = 0; R < T.Rows.size(); ++R) {
+      uint32_t Xi = T.VarOfRow[R];
+      const Bound &B = T.Bounds[Xi];
+      if (B.Lower && T.Value[Xi] < *B.Lower && Xi < BestVar) {
+        ViolatedRow = static_cast<int32_t>(R);
+        NeedIncrease = true;
+        Target = *B.Lower;
+        BestVar = Xi;
+      } else if (B.Upper && T.Value[Xi] > *B.Upper && Xi < BestVar) {
+        ViolatedRow = static_cast<int32_t>(R);
+        NeedIncrease = false;
+        Target = *B.Upper;
+        BestVar = Xi;
+      }
+    }
+    if (ViolatedRow < 0)
+      return true;
+
+    uint32_t R = static_cast<uint32_t>(ViolatedRow);
+    uint32_t Xi = T.VarOfRow[R];
+    // Find the smallest suitable nonbasic variable.
+    uint32_t Enter = ~0u;
+    for (const auto &[Xj, A] : T.Rows[R]) {
+      const Bound &B = T.Bounds[Xj];
+      bool CanUse;
+      if (NeedIncrease)
+        CanUse = (A.isPositive() && (!B.Upper || T.Value[Xj] < *B.Upper)) ||
+                 (A.isNegative() && (!B.Lower || T.Value[Xj] > *B.Lower));
+      else
+        CanUse = (A.isPositive() && (!B.Lower || T.Value[Xj] > *B.Lower)) ||
+                 (A.isNegative() && (!B.Upper || T.Value[Xj] < *B.Upper));
+      if (CanUse && Xj < Enter)
+        Enter = Xj;
+    }
+    if (Enter == ~0u)
+      return false; // No way to fix Xi: infeasible.
+
+    // pivotAndUpdate(Xi, Enter, Target).
+    Rational A = T.Rows[R][Enter];
+    Rational Theta = (Target - T.Value[Xi]) / A;
+    T.Value[Xi] = Target;
+    T.Value[Enter] += Theta;
+    for (size_t R2 = 0; R2 < T.Rows.size(); ++R2) {
+      if (R2 == R)
+        continue;
+      auto It = T.Rows[R2].find(Enter);
+      if (It != T.Rows[R2].end())
+        T.Value[T.VarOfRow[R2]] += It->second * Theta;
+    }
+    pivot(T, R, Enter);
+  }
+  // Iteration cap exhausted: answer "feasible" (the conservative direction
+  // for a validity checker). Unreachable with Bland's rule in practice.
+  return true;
+}
+
+bool LiaSolver::solveRec(Tableau T, std::vector<LinExpr> PendingNe,
+                         uint32_t &Budget, std::vector<Rational> &ModelOut) {
+  if (Budget == 0)
+    return true; // Budget exhausted: conservative "feasible".
+  --Budget;
+
+  if (!simplexCheck(T))
+    return false;
+
+  // Branch and bound: force user variables to integer values.
+  for (uint32_t V = 0; V < NumUserVars; ++V) {
+    if (T.Value[V].isInteger())
+      continue;
+    int64_t Floor = T.Value[V].floor();
+    // Left branch: V <= floor.
+    {
+      Tableau Left = T;
+      Bound &B = Left.Bounds[V];
+      if (!B.Upper || Rational(Floor) < *B.Upper)
+        B.Upper = Rational(Floor);
+      if (solveRec(std::move(Left), PendingNe, Budget, ModelOut))
+        return true;
+    }
+    // Right branch: V >= floor + 1.
+    Tableau Right = std::move(T);
+    Bound &B = Right.Bounds[V];
+    if (!B.Lower || Rational(Floor + 1) > *B.Lower)
+      B.Lower = Rational(Floor + 1);
+    return solveRec(std::move(Right), std::move(PendingNe), Budget, ModelOut);
+  }
+
+  // Disequality splits. Ne slack variables are the trailing ones; each
+  // pending Ne is (slack var, forbidden value) encoded as LinExpr with a
+  // single variable.
+  for (size_t I = 0; I < PendingNe.size(); ++I) {
+    const LinExpr &Ne = PendingNe[I];
+    assert(Ne.Coeffs.size() == 1);
+    uint32_t SlackVar = Ne.Coeffs.begin()->first;
+    Rational Forbidden = -Ne.Constant;
+    if (T.Value[SlackVar] != Forbidden)
+      continue;
+    std::vector<LinExpr> RestNe = PendingNe;
+    RestNe.erase(RestNe.begin() + static_cast<long>(I));
+    // Left: slack <= forbidden - 1.
+    {
+      Tableau Left = T;
+      Bound &B = Left.Bounds[SlackVar];
+      Rational Limit = Forbidden - Rational(1);
+      if (!B.Upper || Limit < *B.Upper)
+        B.Upper = Limit;
+      if (solveRec(std::move(Left), RestNe, Budget, ModelOut))
+        return true;
+    }
+    // Right: slack >= forbidden + 1.
+    Tableau Right = std::move(T);
+    Bound &B = Right.Bounds[SlackVar];
+    Rational Limit = Forbidden + Rational(1);
+    if (!B.Lower || Limit > *B.Lower)
+      B.Lower = Limit;
+    return solveRec(std::move(Right), std::move(RestNe), Budget, ModelOut);
+  }
+
+  // Feasible, integral, and all disequalities satisfied.
+  ModelOut.assign(T.Value.begin(), T.Value.begin() + NumUserVars);
+  return true;
+}
+
+bool LiaSolver::isFeasible(uint32_t Budget) {
+  Tableau T;
+  uint32_t NumAllVars =
+      NumUserVars + static_cast<uint32_t>(LeEqConstraints.size()) +
+      static_cast<uint32_t>(NeConstraints.size());
+  T.RowOfVar.assign(NumAllVars, -1);
+  T.Bounds.resize(NumAllVars);
+  T.Value.assign(NumAllVars, Rational(0));
+
+  uint32_t NextSlack = NumUserVars;
+  auto AddRow = [&](const LinExpr &E) -> uint32_t {
+    uint32_t Slack = NextSlack++;
+    std::map<uint32_t, Rational> Row;
+    for (const auto &[Var, C] : E.Coeffs)
+      Row[Var] = C;
+    T.RowOfVar[Slack] = static_cast<int32_t>(T.Rows.size());
+    T.VarOfRow.push_back(Slack);
+    T.Rows.push_back(std::move(Row));
+    T.Value[Slack] = evalRow(T, static_cast<uint32_t>(T.Rows.size() - 1));
+    return Slack;
+  };
+
+  // E <= 0  <=>  slack = E - const <= -const.
+  for (const auto &[E, IsEq] : LeEqConstraints) {
+    if (E.isConstant()) {
+      // Degenerate constant constraint.
+      bool Ok = IsEq ? E.Constant.isZero() : !E.Constant.isPositive();
+      ++NextSlack; // Keep the variable numbering stable.
+      if (!Ok)
+        return false;
+      continue;
+    }
+    uint32_t Slack = AddRow(E);
+    Rational Rhs = -E.Constant;
+    T.Bounds[Slack].Upper = Rhs;
+    if (IsEq)
+      T.Bounds[Slack].Lower = Rhs;
+  }
+
+  std::vector<LinExpr> PendingNe;
+  for (const LinExpr &E : NeConstraints) {
+    if (E.isConstant()) {
+      ++NextSlack;
+      if (E.Constant.isZero())
+        return false;
+      continue;
+    }
+    uint32_t Slack = AddRow(E);
+    // Record as "slack != -const".
+    LinExpr Marker;
+    Marker.add(Slack, Rational(1));
+    Marker.Constant = E.Constant;
+    PendingNe.push_back(std::move(Marker));
+  }
+
+  Model.clear();
+  return solveRec(std::move(T), std::move(PendingNe), Budget, Model);
+}
+
+int64_t LiaSolver::modelValue(uint32_t Var) const {
+  assert(Var < Model.size() && "no model available");
+  assert(Model[Var].isInteger());
+  return Model[Var].num();
+}

@@ -1,0 +1,120 @@
+//===- Lia.h - Linear integer arithmetic solver ------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feasibility of conjunctions of linear constraints over the integers,
+/// implemented as a general simplex over the rationals (Dutertre–de Moura
+/// style: every variable carries optional lower/upper bounds; each
+/// constraint introduces a slack variable defined by a tableau row) plus
+/// branch-and-bound for integrality and case splits for disequalities.
+///
+/// Variables are opaque identifiers supplied by the caller (the theory
+/// combiner maps non-arithmetic Int terms to LIA variables). Since all PEC
+/// variables denote integers, strict bounds are tightened exactly:
+/// `t < u` becomes `t <= u - 1`.
+///
+/// Incompleteness is one-sided: when the branch-and-bound budget runs out
+/// the solver answers "feasible", which makes the ATP answer "not valid" —
+/// the safe direction for a correctness checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_LIA_H
+#define PEC_SOLVER_LIA_H
+
+#include "solver/Rational.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace pec {
+
+/// A linear form sum(Coeffs[v] * v) + Constant over LIA variables.
+struct LinExpr {
+  std::map<uint32_t, Rational> Coeffs;
+  Rational Constant;
+
+  void add(uint32_t Var, const Rational &C) {
+    Rational &Slot = Coeffs[Var];
+    Slot += C;
+    if (Slot.isZero())
+      Coeffs.erase(Var);
+  }
+  LinExpr &operator+=(const LinExpr &O) {
+    for (const auto &[V, C] : O.Coeffs)
+      add(V, C);
+    Constant += O.Constant;
+    return *this;
+  }
+  LinExpr &operator-=(const LinExpr &O) {
+    for (const auto &[V, C] : O.Coeffs)
+      add(V, -C);
+    Constant -= O.Constant;
+    return *this;
+  }
+  void scale(const Rational &C) {
+    for (auto &[V, Coef] : Coeffs)
+      Coef *= C;
+    Constant *= C;
+  }
+  bool isConstant() const { return Coeffs.empty(); }
+};
+
+/// Conjunction-of-constraints solver. Usage: create variables, add
+/// constraints, call isFeasible().
+class LiaSolver {
+public:
+  uint32_t newVar();
+  size_t numVars() const { return NumUserVars; }
+
+  /// Adds `E <= 0`, `E = 0`, or `E != 0` (E over user variables).
+  void addLe(const LinExpr &E);
+  void addEq(const LinExpr &E);
+  void addNe(const LinExpr &E);
+
+  /// Integer feasibility of all constraints added so far. Budget counts
+  /// branch-and-bound + disequality-split nodes.
+  bool isFeasible(uint32_t Budget = 4096);
+
+  /// After isFeasible() returned true: the satisfying integer value of a
+  /// user variable.
+  int64_t modelValue(uint32_t Var) const;
+
+private:
+  struct Bound {
+    std::optional<Rational> Lower;
+    std::optional<Rational> Upper;
+  };
+
+  /// The tableau state (cloned at branch points).
+  struct Tableau {
+    // Rows: basic variable index -> linear form over nonbasic variables.
+    // All variables (user + slack) share one index space.
+    std::vector<std::map<uint32_t, Rational>> Rows; ///< Indexed by row id.
+    std::vector<int32_t> RowOfVar;  ///< Var -> row id, or -1 if nonbasic.
+    std::vector<uint32_t> VarOfRow; ///< Row id -> basic var.
+    std::vector<Bound> Bounds;
+    std::vector<Rational> Value; ///< Current assignment of every variable.
+  };
+
+  bool solveRec(Tableau T, std::vector<LinExpr> PendingNe, uint32_t &Budget,
+                std::vector<Rational> &ModelOut);
+  static bool simplexCheck(Tableau &T);
+  static void pivot(Tableau &T, uint32_t Row, uint32_t EnterVar);
+  static void updateNonbasic(Tableau &T, uint32_t Var, const Rational &V);
+  static Rational evalRow(const Tableau &T, uint32_t Row);
+
+  uint32_t NumUserVars = 0;
+  std::vector<std::pair<LinExpr, bool>> LeEqConstraints; ///< (expr, isEq).
+  std::vector<LinExpr> NeConstraints;
+  std::vector<Rational> Model;
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_LIA_H

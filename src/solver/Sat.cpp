@@ -1,0 +1,267 @@
+//===- Sat.cpp - CDCL SAT solver ---------------------------------------------===//
+
+#include "solver/Sat.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pec;
+
+uint32_t SatSolver::newVar() {
+  uint32_t V = static_cast<uint32_t>(Assign.size());
+  Assign.push_back(LBool::Undef);
+  VarLevel.push_back(0);
+  VarReason.push_back(-1);
+  Activity.push_back(0.0);
+  Seen.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  return V;
+}
+
+void SatSolver::addClause(std::vector<Lit> ClauseLits) {
+  // New clauses are added at decision level 0; undo any in-flight search.
+  backtrack(0);
+
+  // Remove duplicate literals; detect tautologies.
+  std::sort(ClauseLits.begin(), ClauseLits.end(),
+            [](Lit A, Lit B) { return A.Encoded < B.Encoded; });
+  ClauseLits.erase(std::unique(ClauseLits.begin(), ClauseLits.end()),
+                   ClauseLits.end());
+  for (size_t I = 0; I + 1 < ClauseLits.size(); ++I)
+    if (ClauseLits[I].var() == ClauseLits[I + 1].var())
+      return; // p and ~p: tautology, skip.
+
+  // Drop literals already false at level 0; detect satisfied clauses.
+  std::vector<Lit> Pruned;
+  for (Lit L : ClauseLits) {
+    LBool V = litValue(L);
+    if (V == LBool::True && VarLevel[L.var()] == 0)
+      return; // Already satisfied forever.
+    if (V == LBool::False && VarLevel[L.var()] == 0)
+      continue; // Can never help.
+    Pruned.push_back(L);
+  }
+
+  if (Pruned.empty()) {
+    Unsatisfiable = true;
+    return;
+  }
+  if (Pruned.size() == 1) {
+    if (litValue(Pruned[0]) == LBool::False) {
+      Unsatisfiable = true;
+      return;
+    }
+    if (litValue(Pruned[0]) == LBool::Undef)
+      enqueue(Pruned[0], -1);
+    return;
+  }
+  Clauses.push_back(Clause{std::move(Pruned)});
+  attach(static_cast<uint32_t>(Clauses.size() - 1));
+}
+
+void SatSolver::attach(uint32_t ClauseIdx) {
+  const Clause &C = Clauses[ClauseIdx];
+  Watches[C.Lits[0].Encoded].push_back(ClauseIdx);
+  Watches[C.Lits[1].Encoded].push_back(ClauseIdx);
+}
+
+void SatSolver::enqueue(Lit L, int32_t Reason) {
+  assert(litValue(L) == LBool::Undef && "enqueueing an assigned literal");
+  Assign[L.var()] = L.negated() ? LBool::False : LBool::True;
+  VarLevel[L.var()] = static_cast<uint32_t>(TrailLim.size());
+  VarReason[L.var()] = Reason;
+  Trail.push_back(L);
+}
+
+int32_t SatSolver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++];
+    // Clauses watching ~P must find a new watch or propagate/conflict.
+    std::vector<uint32_t> &WatchList = Watches[(~P).Encoded];
+    size_t Kept = 0;
+    for (size_t I = 0; I < WatchList.size(); ++I) {
+      uint32_t CIdx = WatchList[I];
+      Clause &C = Clauses[CIdx];
+      // Ensure the false literal is at position 1.
+      if (C.Lits[0] == ~P)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == ~P);
+      if (litValue(C.Lits[0]) == LBool::True) {
+        WatchList[Kept++] = CIdx;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool FoundWatch = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (litValue(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[C.Lits[1].Encoded].push_back(CIdx);
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      // Unit or conflicting.
+      WatchList[Kept++] = CIdx;
+      if (litValue(C.Lits[0]) == LBool::False) {
+        // Conflict: restore remaining watches and report.
+        for (size_t K = I + 1; K < WatchList.size(); ++K)
+          WatchList[Kept++] = WatchList[K];
+        WatchList.resize(Kept);
+        PropagateHead = Trail.size();
+        return static_cast<int32_t>(CIdx);
+      }
+      enqueue(C.Lits[0], static_cast<int32_t>(CIdx));
+    }
+    WatchList.resize(Kept);
+  }
+  return -1;
+}
+
+void SatSolver::bumpVar(uint32_t Var) {
+  Activity[Var] += ActivityInc;
+  if (Activity[Var] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivities() { ActivityInc *= 1.0 / 0.95; }
+
+void SatSolver::analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
+                        uint32_t &BacktrackLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // Slot for the asserting literal.
+  uint32_t CurrentLevel = static_cast<uint32_t>(TrailLim.size());
+  int Counter = 0;
+  Lit P;
+  bool PValid = false;
+  size_t TrailIdx = Trail.size();
+  int32_t Reason = ConflictIdx;
+
+  while (true) {
+    assert(Reason >= 0 && "analysis ran past a decision without a reason");
+    const Clause &C = Clauses[Reason];
+    for (size_t I = 0; I < C.Lits.size(); ++I) {
+      Lit Q = C.Lits[I];
+      // When following a reason clause, skip the propagated literal itself
+      // (clause literal order may have been permuted by the watch scheme,
+      // so compare variables rather than positions).
+      if (PValid && Q.var() == P.var())
+        continue;
+      uint32_t V = Q.var();
+      if (Seen[V] || VarLevel[V] == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVar(V);
+      if (VarLevel[V] >= CurrentLevel)
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Find the next seen literal on the trail.
+    while (TrailIdx > 0 && !Seen[Trail[TrailIdx - 1].var()])
+      --TrailIdx;
+    assert(TrailIdx > 0 && "no seen literal left on trail");
+    --TrailIdx;
+    P = Trail[TrailIdx];
+    PValid = true;
+    Seen[P.var()] = 0;
+    Reason = VarReason[P.var()];
+    --Counter;
+    if (Counter == 0)
+      break;
+  }
+  Learnt[0] = ~P;
+
+  // Clear marks.
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    Seen[Learnt[I].var()] = 0;
+
+  // Compute backtrack level: max level among Learnt[1..].
+  BacktrackLevel = 0;
+  size_t MaxIdx = 0;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    if (VarLevel[Learnt[I].var()] > BacktrackLevel) {
+      BacktrackLevel = VarLevel[Learnt[I].var()];
+      MaxIdx = I;
+    }
+  }
+  if (Learnt.size() > 1)
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+}
+
+void SatSolver::backtrack(uint32_t Level) {
+  if (TrailLim.size() <= Level)
+    return;
+  uint32_t Boundary = TrailLim[Level];
+  for (size_t I = Trail.size(); I > Boundary; --I) {
+    uint32_t V = Trail[I - 1].var();
+    Assign[V] = LBool::Undef;
+    VarReason[V] = -1;
+  }
+  Trail.resize(Boundary);
+  TrailLim.resize(Level);
+  PropagateHead = Trail.size();
+}
+
+int32_t SatSolver::pickBranchVar() {
+  int32_t Best = -1;
+  double BestActivity = -1.0;
+  for (uint32_t V = 0; V < Assign.size(); ++V) {
+    if (Assign[V] != LBool::Undef)
+      continue;
+    if (Activity[V] > BestActivity) {
+      BestActivity = Activity[V];
+      Best = static_cast<int32_t>(V);
+    }
+  }
+  return Best;
+}
+
+SatResult SatSolver::solve() {
+  if (Unsatisfiable)
+    return SatResult::Unsat;
+  backtrack(0);
+
+  while (true) {
+    int32_t Conflict = propagate();
+    if (Conflict >= 0) {
+      ++Conflicts;
+      if (TrailLim.empty())
+        return SatResult::Unsat;
+      std::vector<Lit> Learnt;
+      uint32_t BtLevel = 0;
+      analyze(Conflict, Learnt, BtLevel);
+      backtrack(BtLevel);
+      if (Learnt.size() == 1) {
+        if (litValue(Learnt[0]) == LBool::Undef)
+          enqueue(Learnt[0], -1);
+        else if (litValue(Learnt[0]) == LBool::False)
+          return SatResult::Unsat;
+      } else {
+        Clauses.push_back(Clause{Learnt});
+        attach(static_cast<uint32_t>(Clauses.size() - 1));
+        enqueue(Learnt[0], static_cast<int32_t>(Clauses.size() - 1));
+      }
+      decayActivities();
+      continue;
+    }
+    int32_t Branch = pickBranchVar();
+    if (Branch < 0)
+      return SatResult::Sat;
+    ++Decisions;
+    TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
+    // Branch negative first: theory atoms default to "not asserted", which
+    // keeps theory checks small.
+    enqueue(Lit(static_cast<uint32_t>(Branch), true), -1);
+  }
+}
+
+bool SatSolver::valueOf(uint32_t Var) const {
+  assert(Var < Assign.size());
+  return Assign[Var] == LBool::True;
+}

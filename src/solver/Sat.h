@@ -1,0 +1,109 @@
+//===- Sat.h - CDCL SAT solver ----------------------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact CDCL SAT solver: two-watched-literal propagation, first-UIP
+/// conflict analysis, activity-based (VSIDS-style) branching, and support
+/// for incremental clause addition between `solve()` calls — which is how
+/// the DPLL(T) loop feeds theory conflict clauses back in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_SAT_H
+#define PEC_SOLVER_SAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pec {
+
+/// A literal: variable index with sign. `Lit(v, false)` is the positive
+/// literal of variable v.
+struct Lit {
+  uint32_t Encoded = 0; ///< 2*var + sign.
+
+  Lit() = default;
+  Lit(uint32_t Var, bool Negated) : Encoded(2 * Var + (Negated ? 1 : 0)) {}
+
+  uint32_t var() const { return Encoded >> 1; }
+  bool negated() const { return Encoded & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Encoded = Encoded ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &O) const { return Encoded == O.Encoded; }
+};
+
+enum class SatResult { Sat, Unsat };
+
+/// CDCL solver. Variables are created with `newVar()`; clauses reference
+/// them. After `solve()` returns Sat, `valueOf()` exposes the model.
+class SatSolver {
+public:
+  uint32_t newVar();
+  size_t numVars() const { return Assign.size(); }
+
+  /// Adds a clause (empty clause makes the instance trivially unsat).
+  /// May be called between solve() calls; the solver backtracks as needed.
+  void addClause(std::vector<Lit> Clause);
+
+  SatResult solve();
+
+  /// Model access after Sat: true/false assignment of \p Var.
+  bool valueOf(uint32_t Var) const;
+
+  /// Statistics.
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+
+private:
+  enum class LBool : int8_t { False = -1, Undef = 0, True = 1 };
+
+  struct Clause {
+    std::vector<Lit> Lits;
+  };
+
+  LBool litValue(Lit L) const {
+    LBool V = Assign[L.var()];
+    if (V == LBool::Undef)
+      return LBool::Undef;
+    bool IsTrue = (V == LBool::True) != L.negated();
+    return IsTrue ? LBool::True : LBool::False;
+  }
+
+  void enqueue(Lit L, int32_t Reason);
+  /// Returns the index of a conflicting clause or -1.
+  int32_t propagate();
+  void analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
+               uint32_t &BacktrackLevel);
+  void backtrack(uint32_t Level);
+  void bumpVar(uint32_t Var);
+  void decayActivities();
+  int32_t pickBranchVar();
+  void attach(uint32_t ClauseIdx);
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<uint32_t>> Watches; ///< Per literal encoding.
+  std::vector<LBool> Assign;
+  std::vector<uint32_t> VarLevel;
+  std::vector<int32_t> VarReason; ///< Clause index or -1 for decisions.
+  std::vector<Lit> Trail;
+  std::vector<uint32_t> TrailLim; ///< Decision-level boundaries in Trail.
+  size_t PropagateHead = 0;
+  std::vector<double> Activity;
+  double ActivityInc = 1.0;
+  std::vector<char> Seen; ///< Scratch for conflict analysis.
+  bool Unsatisfiable = false;
+
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_SAT_H

@@ -1,0 +1,111 @@
+//===- Term.h - Hash-consed first-order terms -------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground first-order terms for the ATP, hash-consed in a `TermArena`.
+///
+/// Sorts: `Int` (mathematical integers), `State` (program states: maps from
+/// variable names to values), `Array` (int -> int maps stored in state
+/// cells), `VarName` (quoted program-variable names — always distinct
+/// constants).
+///
+/// The program-state theory is encoded with select/store:
+///   * `selS(s, "x")`   — read scalar/array cell "x" from state `s`;
+///   * `stoS(s, "x", v)`— state `s` with "x" set to `v`;
+///   * `selA(a, i)` / `stoA(a, i, v)` — array reads and writes.
+///
+/// Statement meta-variables become uninterpreted state transformers
+/// `Apply("step$S0", s, holes...)` built by the logic layer.
+///
+/// Construction applies eager simplification: constant folding,
+/// `selS`-over-`stoS` resolution (variable names are distinct constants, so
+/// this always resolves), and `selA`-over-`stoA` resolution when the indices
+/// are syntactically equal or both constants. Remaining symbolic
+/// `selA(stoA(..))` terms are expanded with read-over-write lemmas by the
+/// ATP front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_TERM_H
+#define PEC_SOLVER_TERM_H
+
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pec {
+
+enum class Sort : uint8_t { Int, State, Array, VarName };
+
+enum class TermOp : uint8_t {
+  IntConst, ///< Integer literal (IntVal).
+  SymConst, ///< Named constant of the node's sort (Name).
+  NameLit,  ///< Quoted program-variable name (Name), sort VarName.
+  Add, Sub, Mul, Neg,       ///< Integer arithmetic.
+  SelS, StoS, SelA, StoA,   ///< State/array select and store.
+  Apply,    ///< Uninterpreted function (Name) applied to Args.
+};
+
+using TermId = uint32_t;
+inline constexpr TermId InvalidTerm = ~0u;
+
+/// One hash-consed term node. Immutable once created.
+struct TermNode {
+  TermOp Op;
+  Sort TheSort;
+  int64_t IntVal = 0;
+  Symbol Name;
+  std::vector<TermId> Args;
+};
+
+/// Owns all terms of one solving context. TermIds index into the arena and
+/// equal ids imply structural equality (hash-consing).
+class TermArena {
+public:
+  const TermNode &node(TermId T) const { return Nodes[T]; }
+  Sort sortOf(TermId T) const { return Nodes[T].TheSort; }
+  size_t size() const { return Nodes.size(); }
+
+  TermId mkInt(int64_t V);
+  /// A named constant (free variable / skolem) of sort \p S. The same
+  /// (name, sort) always yields the same term.
+  TermId mkSymConst(Symbol Name, Sort S);
+  TermId mkNameLit(Symbol VarName);
+
+  TermId mkAdd(TermId L, TermId R);
+  TermId mkSub(TermId L, TermId R);
+  TermId mkMul(TermId L, TermId R);
+  TermId mkNeg(TermId T);
+
+  /// Reads state cell \p Name. \p ResultSort is Int for scalar variables and
+  /// Array for array variables (the logic layer knows which is which).
+  TermId mkSelS(TermId State, TermId Name, Sort ResultSort = Sort::Int);
+  TermId mkStoS(TermId State, TermId Name, TermId Value);
+  TermId mkSelA(TermId Array, TermId Index);
+  TermId mkStoA(TermId Array, TermId Index, TermId Value);
+
+  /// Uninterpreted function application. \p ResultSort fixes the sort of the
+  /// application; the same symbol must always be used with the same arity
+  /// and result sort.
+  TermId mkApply(Symbol Fn, std::vector<TermId> Args, Sort ResultSort);
+
+  /// Renders a term for debugging.
+  std::string str(TermId T) const;
+
+private:
+  TermId intern(TermNode N);
+
+  std::vector<TermNode> Nodes;
+  std::unordered_map<std::string, TermId> Interned;
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_TERM_H

@@ -1,0 +1,307 @@
+//===- Theory.cpp - EUF + LIA combination -------------------------------------===//
+
+#include "solver/Theory.h"
+
+#include "solver/Euf.h"
+#include "solver/Lia.h"
+
+#include <unordered_map>
+
+using namespace pec;
+
+std::vector<char> pec::relevantTerms(const TermArena &Arena,
+                                     const std::vector<TheoryLit> &Lits) {
+  std::vector<char> Mask(Arena.size(), 0);
+  std::vector<TermId> Work;
+  auto Push = [&](TermId T) {
+    if (!Mask[T]) {
+      Mask[T] = 1;
+      Work.push_back(T);
+    }
+  };
+  for (const TheoryLit &L : Lits) {
+    Push(L.Atom->lhsTerm());
+    Push(L.Atom->rhsTerm());
+  }
+  while (!Work.empty()) {
+    TermId T = Work.back();
+    Work.pop_back();
+    for (TermId A : Arena.node(T).Args)
+      Push(A);
+  }
+  return Mask;
+}
+
+namespace {
+
+/// Linearizes Int-sorted terms over opaque LIA variables. When a
+/// congruence closure is supplied, any subterm whose class representative
+/// is an integer constant is linearized as that constant — this lets
+/// products like `x * scale` become linear once `scale = 4` is known.
+class Linearizer {
+public:
+  Linearizer(const TermArena &Arena, LiaSolver &Lia,
+             CongruenceClosure *Cc = nullptr)
+      : Arena(Arena), Lia(Lia), Cc(Cc) {}
+
+  LinExpr linearize(TermId T) {
+    const TermNode &N = Arena.node(T);
+    LinExpr E;
+    switch (N.Op) {
+    case TermOp::IntConst:
+      E.Constant = Rational(N.IntVal);
+      return E;
+    case TermOp::Add: {
+      E = linearize(N.Args[0]);
+      E += linearize(N.Args[1]);
+      return E;
+    }
+    case TermOp::Sub: {
+      E = linearize(N.Args[0]);
+      E -= linearize(N.Args[1]);
+      return E;
+    }
+    case TermOp::Neg: {
+      E = linearize(N.Args[0]);
+      E.scale(Rational(-1));
+      return E;
+    }
+    case TermOp::Mul: {
+      LinExpr L = linearize(N.Args[0]);
+      LinExpr R = linearize(N.Args[1]);
+      if (L.isConstant()) {
+        R.scale(L.Constant);
+        return R;
+      }
+      if (R.isConstant()) {
+        L.scale(R.Constant);
+        return L;
+      }
+      // Nonlinear: treat the whole product as opaque (or as a constant if
+      // congruence pinned its value).
+      return opaque(T);
+    }
+    default:
+      return opaque(T);
+    }
+  }
+
+private:
+  /// A term with no linear structure of its own: use the congruence class's
+  /// integer constant when there is one (this is what makes `x * scale`
+  /// linear once `scale = 4` is known), otherwise an opaque LIA variable.
+  /// Folding must NOT happen above structural decomposition — replacing a
+  /// whole sum by its class constant would erase its variables' coupling.
+  LinExpr opaque(TermId T) {
+    LinExpr E;
+    if (Cc && Arena.sortOf(T) == Sort::Int) {
+      TermId Rep = Cc->find(T);
+      const TermNode &RepNode = Arena.node(Rep);
+      if (RepNode.Op == TermOp::IntConst) {
+        E.Constant = Rational(RepNode.IntVal);
+        return E;
+      }
+    }
+    E.add(varFor(T), Rational(1));
+    return E;
+  }
+
+  uint32_t varFor(TermId T) {
+    auto It = Vars.find(T);
+    if (It != Vars.end())
+      return It->second;
+    uint32_t V = Lia.newVar();
+    Vars.emplace(T, V);
+    return V;
+  }
+
+  const TermArena &Arena;
+  LiaSolver &Lia;
+  CongruenceClosure *Cc;
+  std::unordered_map<TermId, uint32_t> Vars;
+};
+
+} // namespace
+
+namespace {
+
+/// Builds a LiaSolver holding the arithmetic consequences of \p Lits plus
+/// the extra equalities \p ExtraEqs (pairs of Int terms).
+void loadLia(TermArena &Arena, const std::vector<TheoryLit> &Lits,
+             const std::vector<std::pair<TermId, TermId>> &ExtraEqs,
+             LiaSolver &Lia, Linearizer &Lin, bool &AnyArith) {
+  auto IsIntAtom = [&](const FormulaPtr &A) {
+    return Arena.sortOf(A->lhsTerm()) == Sort::Int;
+  };
+
+  for (const TheoryLit &L : Lits) {
+    TermId Lhs = L.Atom->lhsTerm(), Rhs = L.Atom->rhsTerm();
+    switch (L.Atom->kind()) {
+    case FormulaKind::Eq: {
+      if (!IsIntAtom(L.Atom))
+        continue;
+      LinExpr E = Lin.linearize(Lhs);
+      E -= Lin.linearize(Rhs);
+      if (L.Positive)
+        Lia.addEq(E);
+      else
+        Lia.addNe(E);
+      AnyArith = true;
+      break;
+    }
+    case FormulaKind::Le: {
+      LinExpr E = Lin.linearize(Lhs);
+      E -= Lin.linearize(Rhs);
+      if (L.Positive) {
+        Lia.addLe(E); // lhs - rhs <= 0.
+      } else {
+        // !(lhs <= rhs)  <=>  rhs < lhs  <=>  rhs - lhs + 1 <= 0 over Z.
+        E.scale(Rational(-1));
+        E.Constant += Rational(1);
+        Lia.addLe(E);
+      }
+      AnyArith = true;
+      break;
+    }
+    case FormulaKind::Lt: {
+      LinExpr E = Lin.linearize(Lhs);
+      E -= Lin.linearize(Rhs);
+      if (L.Positive) {
+        E.Constant += Rational(1); // lhs - rhs + 1 <= 0 over Z.
+        Lia.addLe(E);
+      } else {
+        // !(lhs < rhs)  <=>  rhs <= lhs.
+        E.scale(Rational(-1));
+        Lia.addLe(E);
+      }
+      AnyArith = true;
+      break;
+    }
+    default:
+      reportFatalError("non-atomic formula asserted as theory literal");
+    }
+  }
+
+  for (const auto &[A, B] : ExtraEqs) {
+    LinExpr E = Lin.linearize(A);
+    E -= Lin.linearize(B);
+    if (E.isConstant() && E.Constant.isZero())
+      continue;
+    Lia.addEq(E);
+    AnyArith = true;
+  }
+}
+
+/// Candidate Int-term pairs for LIA -> EUF equality propagation: argument
+/// pairs at Int positions of two parent terms that agree everywhere else
+/// (same head, all other arguments already congruent). Merging such a pair
+/// is exactly what congruence needs to make the parents equal.
+std::vector<std::pair<TermId, TermId>>
+propagationCandidates(const TermArena &Arena, CongruenceClosure &Cc,
+                      const std::vector<char> &Relevant) {
+  std::vector<std::pair<TermId, TermId>> Out;
+  std::vector<TermId> Parents;
+  for (TermId T = 0; T < Arena.size(); ++T) {
+    if (T < Relevant.size() && !Relevant[T])
+      continue;
+    if (!Arena.node(T).Args.empty())
+      Parents.push_back(T);
+  }
+  for (size_t I = 0; I < Parents.size(); ++I) {
+    const TermNode &P = Arena.node(Parents[I]);
+    for (size_t K = I + 1; K < Parents.size(); ++K) {
+      const TermNode &Q = Arena.node(Parents[K]);
+      if (P.Op != Q.Op || P.Name != Q.Name ||
+          P.Args.size() != Q.Args.size())
+        continue;
+      if (Cc.areEqual(Parents[I], Parents[K]))
+        continue;
+      // All argument positions must be congruent or Int-sorted.
+      size_t IntMismatches = 0;
+      std::pair<TermId, TermId> Candidate{InvalidTerm, InvalidTerm};
+      bool Viable = true;
+      for (size_t A = 0; A < P.Args.size() && Viable; ++A) {
+        if (Cc.areEqual(P.Args[A], Q.Args[A]))
+          continue;
+        if (Arena.sortOf(P.Args[A]) == Sort::Int &&
+            Arena.sortOf(Q.Args[A]) == Sort::Int) {
+          ++IntMismatches;
+          Candidate = {P.Args[A], Q.Args[A]};
+        } else {
+          Viable = false;
+        }
+      }
+      if (Viable && IntMismatches == 1)
+        Out.push_back(Candidate);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+bool pec::theoryConsistent(TermArena &Arena,
+                           const std::vector<TheoryLit> &Lits,
+                           const std::vector<char> &Relevant) {
+  // Equalities propagated from LIA back into congruence closure across
+  // rounds of the Nelson-Oppen-style loop below.
+  std::vector<std::pair<TermId, TermId>> PropagatedEqs;
+
+  const int MaxRounds = 8;
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    // --- EUF pass ---------------------------------------------------------
+    CongruenceClosure Cc(Arena, Relevant);
+    for (const TheoryLit &L : Lits) {
+      if (L.Atom->kind() != FormulaKind::Eq)
+        continue;
+      if (L.Positive)
+        Cc.addEquality(L.Atom->lhsTerm(), L.Atom->rhsTerm());
+      else
+        Cc.addDisequality(L.Atom->lhsTerm(), L.Atom->rhsTerm());
+    }
+    for (const auto &[A, B] : PropagatedEqs)
+      Cc.addEquality(A, B);
+    if (!Cc.check())
+      return false;
+
+    // --- LIA pass ---------------------------------------------------------
+    std::vector<std::pair<TermId, TermId>> AllEqs = PropagatedEqs;
+    Cc.forEachIntEquality(
+        [&](TermId A, TermId B) { AllEqs.emplace_back(A, B); });
+
+    {
+      LiaSolver Lia;
+      Linearizer Lin(Arena, Lia, &Cc);
+      bool AnyArith = false;
+      loadLia(Arena, Lits, AllEqs, Lia, Lin, AnyArith);
+      if (AnyArith && !Lia.isFeasible())
+        return false;
+    }
+
+    // --- LIA -> EUF equality propagation ------------------------------------
+    bool Progress = false;
+    for (const auto &[A, B] : propagationCandidates(Arena, Cc, Relevant)) {
+      // Does LIA entail A = B? Check both strict orders infeasible.
+      bool Entailed = true;
+      for (int Dir = 0; Dir < 2 && Entailed; ++Dir) {
+        LiaSolver Lia;
+        Linearizer Lin(Arena, Lia, &Cc);
+        bool AnyArith = false;
+        loadLia(Arena, Lits, AllEqs, Lia, Lin, AnyArith);
+        LinExpr E = Lin.linearize(Dir == 0 ? A : B);
+        E -= Lin.linearize(Dir == 0 ? B : A);
+        E.Constant += Rational(1); // lhs < rhs as lhs - rhs + 1 <= 0.
+        Lia.addLe(E);
+        if (Lia.isFeasible())
+          Entailed = false;
+      }
+      if (Entailed) {
+        PropagatedEqs.emplace_back(A, B);
+        Progress = true;
+      }
+    }
+    if (!Progress)
+      return true;
+  }
+  return true; // Round limit: conservative "consistent".
+}

@@ -1,0 +1,49 @@
+//===- Theory.h - EUF + LIA theory combination ------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Consistency checking of a conjunction of theory literals (atoms with
+/// polarity) over EUF + linear integer arithmetic:
+///
+///   1. equalities/disequalities feed congruence closure (all sorts);
+///   2. arithmetic atoms are linearized over opaque Int terms and fed to
+///      the LIA solver;
+///   3. equalities derived by congruence between Int terms are exported to
+///      LIA, closing the EUF -> LIA propagation direction (the reverse
+///      direction is handled conservatively; see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_THEORY_H
+#define PEC_SOLVER_THEORY_H
+
+#include "solver/Formula.h"
+#include "solver/Term.h"
+
+#include <vector>
+
+namespace pec {
+
+/// One asserted theory literal: an atom and its polarity.
+struct TheoryLit {
+  FormulaPtr Atom; ///< Eq / Le / Lt.
+  bool Positive = true;
+};
+
+/// Checks a conjunction of theory literals for EUF+LIA consistency.
+/// \p Relevant restricts congruence closure to the subterm closure of the
+/// query (computed by the caller); terms outside it are ignored.
+bool theoryConsistent(TermArena &Arena, const std::vector<TheoryLit> &Lits,
+                      const std::vector<char> &Relevant);
+
+/// Computes the subterm closure of the atoms in \p Lits as a bitmask over
+/// \p Arena (indexed by TermId).
+std::vector<char> relevantTerms(const TermArena &Arena,
+                                const std::vector<TheoryLit> &Lits);
+
+} // namespace pec
+
+#endif // PEC_SOLVER_THEORY_H

@@ -1,0 +1,25 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pec;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string Diag::str() const {
+  if (!Loc.isValid())
+    return Message;
+  return Loc.str() + ": " + Message;
+}
+
+void pec::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "pec fatal error: %s\n", Message.c_str());
+  std::abort();
+}

@@ -1,0 +1,76 @@
+//===- Diagnostics.h - Error reporting for the PEC toolchain ---*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight diagnostics: a source location, an error value that carries a
+/// message and location, and a fatal-error helper for invariant violations
+/// that user input can trigger (e.g. parse errors in rule files).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SUPPORT_DIAGNOSTICS_H
+#define PEC_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pec {
+
+/// A position in a source buffer, 1-based. Line 0 means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// An error with a message and an optional source location.
+class Diag {
+public:
+  Diag() = default;
+  Diag(std::string Message, SourceLoc Loc = SourceLoc())
+      : Message(std::move(Message)), Loc(Loc) {}
+
+  const std::string &message() const { return Message; }
+  SourceLoc location() const { return Loc; }
+
+  /// Renders "line:col: message" (or just the message if no location).
+  std::string str() const;
+
+private:
+  std::string Message;
+  SourceLoc Loc;
+};
+
+/// Poor man's llvm::Expected: either a value or a Diag.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Diag Error) : Error(std::move(Error)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+  T &operator*() { return *Value; }
+  const T &operator*() const { return *Value; }
+  T *operator->() { return &*Value; }
+  const T *operator->() const { return &*Value; }
+  const Diag &error() const { return Error; }
+  T take() { return std::move(*Value); }
+
+private:
+  std::optional<T> Value;
+  Diag Error;
+};
+
+/// Prints the message to stderr and aborts. Used for internal invariant
+/// violations that cannot be recovered from.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace pec
+
+#endif // PEC_SUPPORT_DIAGNOSTICS_H

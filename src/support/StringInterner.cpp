@@ -1,0 +1,41 @@
+//===- StringInterner.cpp -------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace pec;
+
+namespace {
+/// Storage for the global interner. A deque keeps string storage stable so
+/// string_views into it never dangle.
+struct InternerState {
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, uint32_t> Ids;
+};
+
+InternerState &state() {
+  static InternerState S;
+  return S;
+}
+} // namespace
+
+Symbol Symbol::get(std::string_view Name) {
+  assert(!Name.empty() && "cannot intern the empty string");
+  InternerState &S = state();
+  auto It = S.Ids.find(Name);
+  if (It != S.Ids.end())
+    return Symbol(It->second);
+  S.Storage.emplace_back(Name);
+  uint32_t Id = static_cast<uint32_t>(S.Storage.size()); // Ids start at 1.
+  S.Ids.emplace(S.Storage.back(), Id);
+  return Symbol(Id);
+}
+
+std::string_view Symbol::str() const {
+  if (Id == 0)
+    return "";
+  return state().Storage[Id - 1];
+}

@@ -1,0 +1,53 @@
+//===- StringInterner.h - Interned identifiers -----------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned identifiers (`Symbol`). Variable names, meta-variable names and
+/// labels are interned so that identity comparison is an integer compare and
+/// symbols can key dense containers. A single global interner is used; the
+/// set of distinct identifiers in any PEC run is tiny.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SUPPORT_STRINGINTERNER_H
+#define PEC_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace pec {
+
+/// An interned string. Default-constructed symbols are "empty" and compare
+/// equal to each other only.
+class Symbol {
+public:
+  Symbol() = default;
+
+  /// Interns \p Name (creating it on first use).
+  static Symbol get(std::string_view Name);
+
+  bool empty() const { return Id == 0; }
+  std::string_view str() const;
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+  uint32_t Id = 0;
+};
+
+} // namespace pec
+
+template <> struct std::hash<pec::Symbol> {
+  size_t operator()(pec::Symbol S) const { return S.id(); }
+};
+
+#endif // PEC_SUPPORT_STRINGINTERNER_H

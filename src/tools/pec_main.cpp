@@ -1,0 +1,304 @@
+//===- pec_main.cpp - The pec command-line tool ----------------------------------===//
+//
+// Command-line front end for the PEC library:
+//
+//   pec prove <rules-file>            prove every rule in the file
+//   pec prove-suite                   prove the paper's Figure 11 suite
+//   pec apply <rules-file> <program>  apply the rules to a program
+//   pec tv <original> <transformed>   translation validation
+//   pec cfg <program>                 dump the program's CFG
+//
+// `apply` accepts --fixpoint (repeat until no rule fires) and
+// --assume-positive (an analysis oracle accepting every StrictlyPositive
+// side condition — for kernels whose trip counts are known positive).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+#include "engine/Apply.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "opts/Optimizations.h"
+#include "pec/Pec.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pec;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pec prove <rules-file>\n"
+               "  pec prove-suite\n"
+               "  pec apply <rules-file> <program-file> [--fixpoint] "
+               "[--assume-positive] [--staged]\n"
+               "  pec tv <original-file> <transformed-file>\n"
+               "  pec cfg <program-file>\n"
+               "  pec interp <program-file> [var=value | arr[i]=value]...\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+void printProof(const std::string &Name, const PecResult &R) {
+  if (R.Proved) {
+    std::printf("%-30s PROVED  (%s, %llu ATP queries, %.3fs)\n",
+                Name.c_str(), R.UsedPermute ? "permute" : "bisimulation",
+                static_cast<unsigned long long>(R.AtpQueries), R.Seconds);
+    if (!R.RequiredDeadVars.empty()) {
+      std::printf("%-30s note: requires dead index variables:",
+                  "");
+      for (Symbol V : R.RequiredDeadVars)
+        std::printf(" %s", std::string(V.str()).c_str());
+      std::printf("\n");
+    }
+  } else {
+    std::printf("%-30s NOT PROVED: %s\n", Name.c_str(),
+                R.FailureReason.c_str());
+  }
+}
+
+int cmdProve(const std::string &Path) {
+  std::string Source;
+  if (!readFile(Path, Source))
+    return 1;
+  Expected<RuleFile> File = parseRuleFile(Source);
+  if (!File) {
+    std::fprintf(stderr, "parse error: %s\n", File.error().str().c_str());
+    return 1;
+  }
+  PecOptions Options;
+  Options.UserFacts = File->Facts;
+  if (!File->Facts.empty())
+    std::printf("using %zu user fact declaration(s)\n",
+                File->Facts.size());
+  int Failures = 0;
+  for (const Rule &R : File->Rules) {
+    PecResult Result = proveRule(R, Options);
+    printProof(R.Name, Result);
+    if (!Result.Proved)
+      ++Failures;
+  }
+  return Failures == 0 ? 0 : 1;
+}
+
+int cmdProveSuite() {
+  int Failures = 0;
+  for (const OptEntry &Entry : figure11Suite()) {
+    std::vector<std::string> Texts = {Entry.RuleText};
+    Texts.insert(Texts.end(), Entry.ExtraRuleTexts.begin(),
+                 Entry.ExtraRuleTexts.end());
+    for (const std::string &Text : Texts) {
+      Rule R = parseRuleOrDie(Text);
+      PecResult Result = proveRule(R);
+      printProof(R.Name, Result);
+      if (!Result.Proved)
+        ++Failures;
+    }
+  }
+  return Failures == 0 ? 0 : 1;
+}
+
+int cmdApply(const std::string &RulesPath, const std::string &ProgramPath,
+             bool Fixpoint, bool AssumePositive, bool Staged) {
+  std::string RuleSource, ProgramSource;
+  if (!readFile(RulesPath, RuleSource) ||
+      !readFile(ProgramPath, ProgramSource))
+    return 1;
+  Expected<RuleFile> File = parseRuleFile(RuleSource);
+  if (!File) {
+    std::fprintf(stderr, "rule parse error: %s\n",
+                 File.error().str().c_str());
+    return 1;
+  }
+  Expected<StmtPtr> Program = parseProgram(ProgramSource);
+  if (!Program) {
+    std::fprintf(stderr, "program parse error: %s\n",
+                 Program.error().str().c_str());
+    return 1;
+  }
+
+  EngineOptions Options;
+  if (AssumePositive)
+    Options.Oracle = [](const std::string &Fact,
+                        const std::vector<std::string> &) {
+      return Fact == "StrictlyPositive";
+    };
+  PecOptions ProveOptions;
+  ProveOptions.UserFacts = File->Facts;
+
+  StmtPtr Current = *Program;
+  bool Any = true;
+  int Rounds = 0;
+  while (Any && Rounds++ < (Fixpoint ? 64 : 1)) {
+    Any = false;
+    for (const Rule &R : File->Rules) {
+      if (Staged) {
+        // Sec. 2.3's staged paradigm: unproven rules fall back to
+        // run-time translation validation of each application.
+        StagedResult Out = applyRuleStaged(Current, R, pickFirst, Options);
+        if (Out.Changed)
+          std::fprintf(stderr, "applied %s%s\n", R.Name.c_str(),
+                       Out.ValidatedAtRuntime ? " (validated at run time)"
+                                              : "");
+        Any |= Out.Changed;
+        Current = Out.Program;
+        continue;
+      }
+      // Rules must be proved before the engine will run them.
+      PecResult Proof = proveRule(R, ProveOptions);
+      if (!Proof.Proved) {
+        std::fprintf(stderr, "refusing to apply unproven rule '%s': %s\n",
+                     R.Name.c_str(), Proof.FailureReason.c_str());
+        return 1;
+      }
+      EngineOptions RuleOptions = Options;
+      RuleOptions.RequiredDeadVars = Proof.RequiredDeadVars;
+      bool Changed = false;
+      Current = applyRule(Current, R, pickFirst, RuleOptions, Changed);
+      Any |= Changed;
+      if (Changed)
+        std::fprintf(stderr, "applied %s\n", R.Name.c_str());
+    }
+  }
+  std::printf("%s", printStmt(Current).c_str());
+  return 0;
+}
+
+int cmdTv(const std::string &OrigPath, const std::string &TransPath) {
+  std::string OrigSource, TransSource;
+  if (!readFile(OrigPath, OrigSource) || !readFile(TransPath, TransSource))
+    return 1;
+  Expected<StmtPtr> Orig = parseProgram(OrigSource);
+  Expected<StmtPtr> Trans = parseProgram(TransSource);
+  if (!Orig || !Trans) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 (!Orig ? Orig.error() : Trans.error()).str().c_str());
+    return 1;
+  }
+  PecResult R = proveEquivalence(*Orig, *Trans);
+  if (R.Proved) {
+    std::printf("EQUIVALENT (%llu ATP queries, %.3fs)\n",
+                static_cast<unsigned long long>(R.AtpQueries), R.Seconds);
+    return 0;
+  }
+  std::printf("NOT PROVEN EQUIVALENT: %s\n", R.FailureReason.c_str());
+  return 1;
+}
+
+int cmdInterp(const std::string &Path,
+              const std::vector<std::string> &Assignments) {
+  std::string Source;
+  if (!readFile(Path, Source))
+    return 1;
+  Expected<StmtPtr> Program = parseProgram(Source);
+  if (!Program) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 Program.error().str().c_str());
+    return 1;
+  }
+  State Init;
+  for (const std::string &A : Assignments) {
+    // Forms: var=value or array[index]=value.
+    size_t EqPos = A.find('=');
+    if (EqPos == std::string::npos) {
+      std::fprintf(stderr, "error: bad assignment '%s' (want var=value)\n",
+                   A.c_str());
+      return 2;
+    }
+    std::string Lhs = A.substr(0, EqPos);
+    int64_t Value = std::strtoll(A.c_str() + EqPos + 1, nullptr, 10);
+    size_t Bracket = Lhs.find('[');
+    if (Bracket == std::string::npos) {
+      Init.setScalar(Symbol::get(Lhs), Value);
+    } else {
+      std::string Array = Lhs.substr(0, Bracket);
+      int64_t Index = std::strtoll(Lhs.c_str() + Bracket + 1, nullptr, 10);
+      Init.setArrayElem(Symbol::get(Array), Index, Value);
+    }
+  }
+  ExecResult R = run(*Program, Init);
+  switch (R.Status) {
+  case ExecStatus::Ok:
+    std::printf("final state: %s\n", R.Final.str().c_str());
+    return 0;
+  case ExecStatus::Stuck:
+    std::printf("stuck: a false assume was reached\n");
+    return 1;
+  case ExecStatus::OutOfFuel:
+    std::printf("did not terminate within the step budget\n");
+    return 1;
+  case ExecStatus::DivByZero:
+    std::printf("division by zero\n");
+    return 1;
+  }
+  return 1;
+}
+
+int cmdCfg(const std::string &Path) {
+  std::string Source;
+  if (!readFile(Path, Source))
+    return 1;
+  Expected<StmtPtr> Program = parseProgram(Source);
+  if (!Program) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 Program.error().str().c_str());
+    return 1;
+  }
+  std::printf("%s", Cfg::build(*Program).str().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  if (Args.empty())
+    return usage();
+  const std::string &Cmd = Args[0];
+
+  if (Cmd == "prove" && Args.size() == 2)
+    return cmdProve(Args[1]);
+  if (Cmd == "prove-suite" && Args.size() == 1)
+    return cmdProveSuite();
+  if (Cmd == "apply" && Args.size() >= 3) {
+    bool Fixpoint = false, AssumePositive = false, Staged = false;
+    for (size_t I = 3; I < Args.size(); ++I) {
+      if (Args[I] == "--fixpoint")
+        Fixpoint = true;
+      else if (Args[I] == "--assume-positive")
+        AssumePositive = true;
+      else if (Args[I] == "--staged")
+        Staged = true;
+      else
+        return usage();
+    }
+    return cmdApply(Args[1], Args[2], Fixpoint, AssumePositive, Staged);
+  }
+  if (Cmd == "tv" && Args.size() == 3)
+    return cmdTv(Args[1], Args[2]);
+  if (Cmd == "cfg" && Args.size() == 2)
+    return cmdCfg(Args[1]);
+  if (Cmd == "interp" && Args.size() >= 2)
+    return cmdInterp(Args[1],
+                     std::vector<std::string>(Args.begin() + 2, Args.end()));
+  return usage();
+}

@@ -1,0 +1,130 @@
+//===- astops_test.cpp - AST operation unit tests ------------------------------===//
+
+#include "lang/AstOps.h"
+
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+StmtPtr parse(std::string_view Src, ParseMode Mode = ParseMode::Concrete) {
+  Expected<StmtPtr> S = parseProgram(Src, Mode);
+  EXPECT_TRUE(bool(S)) << (S ? "" : S.error().str());
+  return S.take();
+}
+
+TEST(AstOps, StructuralEquality) {
+  EXPECT_TRUE(stmtEquals(parse("x := 1;"), parse("x := 1;")));
+  EXPECT_FALSE(stmtEquals(parse("x := 1;"), parse("x := 2;")));
+  EXPECT_FALSE(stmtEquals(parse("x := 1;"), parse("y := 1;")));
+  EXPECT_TRUE(stmtEquals(parse("while (i < n) i++;"),
+                         parse("while (i < n) i++;")));
+}
+
+TEST(AstOps, EqualityIgnoresLabels) {
+  EXPECT_TRUE(stmtEquals(parse("L1: x := 1;"), parse("L2: x := 1;")));
+}
+
+TEST(AstOps, NormalizeFlattensSeqs) {
+  StmtPtr A = parse("x := 1; { y := 2; { z := 3; } }");
+  StmtPtr B = parse("x := 1; y := 2; z := 3;");
+  EXPECT_TRUE(stmtEquals(normalizeStmt(A), normalizeStmt(B)));
+}
+
+TEST(AstOps, NormalizeDropsSkips) {
+  StmtPtr A = parse("skip; x := 1; skip;");
+  StmtPtr B = parse("x := 1;");
+  EXPECT_TRUE(stmtEquals(normalizeStmt(A), normalizeStmt(B)));
+}
+
+TEST(AstOps, CollectVars) {
+  std::set<Symbol> Vars;
+  collectVars(parse("while (i < n) { a[i] := b[i] + c; i++; }"), Vars);
+  std::set<Symbol> Want = {Symbol::get("i"), Symbol::get("n"),
+                           Symbol::get("a"), Symbol::get("b"),
+                           Symbol::get("c")};
+  EXPECT_EQ(Vars, Want);
+}
+
+TEST(AstOps, CollectMetaVars) {
+  MetaVars MV;
+  collectMetaVars(
+      parse("I := 0; S0; while (I < E) { S1[I]; I++; }",
+            ParseMode::Parameterized),
+      MV);
+  EXPECT_EQ(MV.StmtVars, (std::set<Symbol>{Symbol::get("S0"),
+                                           Symbol::get("S1")}));
+  EXPECT_EQ(MV.ExprVars, std::set<Symbol>{Symbol::get("E")});
+  EXPECT_EQ(MV.VarVars, std::set<Symbol>{Symbol::get("I")});
+}
+
+TEST(AstOps, ReadWriteSets) {
+  StmtPtr S = parse("x := y + 1; a[i] := x;");
+  std::set<Symbol> Reads, Writes;
+  readSet(S, Reads);
+  writeSet(S, Writes);
+  EXPECT_TRUE(Reads.count(Symbol::get("y")));
+  EXPECT_TRUE(Reads.count(Symbol::get("i")));
+  EXPECT_TRUE(Reads.count(Symbol::get("x"))); // Read by the array write.
+  EXPECT_FALSE(Reads.count(Symbol::get("a")));
+  EXPECT_TRUE(Writes.count(Symbol::get("x")));
+  EXPECT_TRUE(Writes.count(Symbol::get("a")));
+  EXPECT_FALSE(Writes.count(Symbol::get("y")));
+}
+
+TEST(AstOps, ReadSetOfBranches) {
+  std::set<Symbol> Reads;
+  readSet(parse("if (p < q) x := r; else x := s;"), Reads);
+  for (const char *V : {"p", "q", "r", "s"})
+    EXPECT_TRUE(Reads.count(Symbol::get(V))) << V;
+}
+
+TEST(AstOps, LowerFors) {
+  StmtPtr For = parse("for (i := 0; i < n; i++) { a[i] := 0; }");
+  StmtPtr Lowered = normalizeStmt(lowerFors(For));
+  StmtPtr Want = normalizeStmt(
+      parse("i := 0; while (i < n) { a[i] := 0; i := i + 1; }"));
+  EXPECT_TRUE(stmtEquals(Lowered, Want))
+      << "got:\n" << printStmt(Lowered) << "want:\n" << printStmt(Want);
+}
+
+TEST(AstOps, LowerForsDownward) {
+  StmtPtr For = parse("for (i := n; i > 0; i--) skip;");
+  StmtPtr Lowered = normalizeStmt(lowerFors(For));
+  StmtPtr Want = normalizeStmt(
+      parse("i := n; while (i > 0) { skip; i := i - 1; }"));
+  EXPECT_TRUE(stmtEquals(Lowered, Want));
+}
+
+TEST(AstOps, FindLabeled) {
+  StmtPtr S = parse("x := 1; L1: y := 2; while (y < 3) { L2: y++; }");
+  StmtPtr L1 = findLabeled(S, Symbol::get("L1"));
+  ASSERT_TRUE(L1);
+  EXPECT_EQ(L1->kind(), StmtKind::Assign);
+  StmtPtr L2 = findLabeled(S, Symbol::get("L2"));
+  ASSERT_TRUE(L2);
+  EXPECT_FALSE(findLabeled(S, Symbol::get("L999")));
+}
+
+TEST(AstOps, IsParameterized) {
+  EXPECT_FALSE(parse("x := 1;")->isParameterized());
+  EXPECT_TRUE(parse("S0;", ParseMode::Parameterized)->isParameterized());
+  EXPECT_TRUE(
+      parse("x := E;", ParseMode::Parameterized)->isParameterized());
+  EXPECT_TRUE(parse("I := 1;", ParseMode::Parameterized)->isParameterized());
+}
+
+TEST(AstOps, ForEachStmtVisitsAll) {
+  int Count = 0;
+  forEachStmt(parse("x := 1; if (x < 2) { y := 3; } else z := 4;"),
+              [&Count](const StmtPtr &) { ++Count; });
+  // Seq, Assign, If, Assign(then), Assign(else) — single-statement blocks
+  // are not wrapped in a Seq by the parser.
+  EXPECT_EQ(Count, 5);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- cfg_test.cpp - CFG construction and path enumeration tests ---------------===//
+
+#include "cfg/Cfg.h"
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pec;
+
+namespace {
+
+Cfg build(std::string_view Src, ParseMode Mode = ParseMode::Concrete) {
+  Expected<StmtPtr> S = parseProgram(Src, Mode);
+  EXPECT_TRUE(bool(S)) << (S ? "" : S.error().str());
+  return Cfg::build(S.take());
+}
+
+TEST(Cfg, StraightLine) {
+  Cfg G = build("x := 1; y := 2;");
+  // entry --skip--> . --x:=1--> . --y:=2--> exit.
+  EXPECT_EQ(G.edges().size(), 3u);
+  EXPECT_NE(G.entry(), G.exit());
+  EXPECT_EQ(G.successors(G.exit()).size(), 0u);
+  EXPECT_EQ(G.predecessors(G.entry()).size(), 0u);
+}
+
+TEST(Cfg, EntryIsDedicated) {
+  // A leading loop must not place the loop head at the entry.
+  Cfg G = build("while (x < 3) x++;");
+  ASSERT_EQ(G.successors(G.entry()).size(), 1u);
+  const CfgEdge &E = G.edge(G.successors(G.entry())[0]);
+  EXPECT_EQ(E.Atom->kind(), StmtKind::Skip);
+  Location Head = E.To;
+  EXPECT_EQ(G.successors(Head).size(), 2u); // Both assume edges.
+}
+
+TEST(Cfg, BranchesBecomeAssumeEdges) {
+  Cfg G = build("if (x < 1) { y := 1; } else { y := 2; }");
+  int Assumes = 0;
+  for (const CfgEdge &E : G.edges())
+    if (E.Atom->kind() == StmtKind::Assume)
+      ++Assumes;
+  EXPECT_EQ(Assumes, 2);
+}
+
+TEST(Cfg, WhileHasBackEdge) {
+  Cfg G = build("while (x < 3) x++;");
+  // Find an edge whose target has a lower or equal id on a cycle: check
+  // that some location is reachable from one of its successors.
+  bool FoundBackEdge = false;
+  for (const CfgEdge &E : G.edges()) {
+    // BFS from E.To looking for E.From.
+    std::set<Location> Seen{E.To};
+    std::vector<Location> Work{E.To};
+    while (!Work.empty()) {
+      Location L = Work.back();
+      Work.pop_back();
+      if (L == E.From) {
+        FoundBackEdge = true;
+        break;
+      }
+      for (uint32_t S : G.successors(L))
+        if (Seen.insert(G.edge(S).To).second)
+          Work.push_back(G.edge(S).To);
+    }
+  }
+  EXPECT_TRUE(FoundBackEdge);
+}
+
+TEST(Cfg, ForLoopsAreLowered) {
+  Cfg G = build("for (i := 0; i < 3; i++) skip;");
+  for (const CfgEdge &E : G.edges())
+    EXPECT_NE(E.Atom->kind(), StmtKind::For);
+}
+
+TEST(Cfg, LabelsMapToLocations) {
+  Cfg G = build("L1: x := 1; L2: while (x < 3) { L3: x++; }");
+  EXPECT_NE(G.locationOfLabel(Symbol::get("L1")), InvalidLocation);
+  EXPECT_NE(G.locationOfLabel(Symbol::get("L2")), InvalidLocation);
+  EXPECT_NE(G.locationOfLabel(Symbol::get("L3")), InvalidLocation);
+  EXPECT_EQ(G.locationOfLabel(Symbol::get("L9")), InvalidLocation);
+}
+
+TEST(Cfg, MetaStmtLocations) {
+  Cfg G = build("S0; x := 1; S1;", ParseMode::Parameterized);
+  EXPECT_EQ(G.metaStmtLocations().size(), 2u);
+}
+
+TEST(Cfg, AssumeLocations) {
+  Cfg G = build("if (x < 1) skip; while (y < 2) y++;");
+  // The if location and the loop head.
+  EXPECT_EQ(G.assumeLocations().size(), 2u);
+}
+
+TEST(Cfg, PathEnumerationStopsAtStops) {
+  Cfg G = build("x := 1; y := 2; z := 3;");
+  std::vector<char> Stops(G.numLocations(), 0);
+  Stops[G.exit()] = 1;
+  std::vector<CfgPath> Paths;
+  ASSERT_TRUE(enumeratePaths(G, G.entry(), Stops, Paths));
+  ASSERT_EQ(Paths.size(), 1u);
+  EXPECT_EQ(Paths[0].size(), 4u); // skip + three assignments.
+}
+
+TEST(Cfg, PathEnumerationBranches) {
+  Cfg G = build("if (x < 1) { y := 1; } else { y := 2; } z := 3;");
+  std::vector<char> Stops(G.numLocations(), 0);
+  Stops[G.exit()] = 1;
+  std::vector<CfgPath> Paths;
+  ASSERT_TRUE(enumeratePaths(G, G.entry(), Stops, Paths));
+  EXPECT_EQ(Paths.size(), 2u);
+}
+
+TEST(Cfg, UncutLoopFailsGracefully) {
+  Cfg G = build("while (x < 3) x++;");
+  std::vector<char> Stops(G.numLocations(), 0);
+  Stops[G.exit()] = 1; // The loop itself is not cut.
+  std::vector<CfgPath> Paths;
+  EXPECT_FALSE(enumeratePaths(G, G.entry(), Stops, Paths, 64, 32));
+}
+
+TEST(Cfg, CutLoopEnumerates) {
+  Cfg G = build("while (x < 3) { S; }", ParseMode::Parameterized);
+  std::vector<char> Stops(G.numLocations(), 0);
+  Stops[G.exit()] = 1;
+  for (Location L : G.metaStmtLocations())
+    Stops[L] = 1;
+  std::vector<CfgPath> Paths;
+  ASSERT_TRUE(enumeratePaths(G, G.entry(), Stops, Paths));
+  // entry -> preS (enter loop) and entry -> exit (skip loop).
+  EXPECT_EQ(Paths.size(), 2u);
+}
+
+TEST(Cfg, IntermediateStopSlack) {
+  Cfg G = build("S; x := 1; S;", ParseMode::Parameterized);
+  std::vector<char> Stops(G.numLocations(), 0);
+  Stops[G.exit()] = 1;
+  for (Location L : G.metaStmtLocations())
+    Stops[L] = 1;
+  std::vector<CfgPath> Strict, Relaxed;
+  ASSERT_TRUE(enumeratePaths(G, G.entry(), Stops, Strict));
+  ASSERT_TRUE(enumeratePaths(G, G.entry(), Stops, Relaxed, 64, 32,
+                             /*MaxIntermediateStops=*/2));
+  EXPECT_LT(Strict.size(), Relaxed.size());
+}
+
+} // namespace

@@ -1,0 +1,259 @@
+//===- engine_test.cpp - Execution engine unit tests ---------------------------===//
+
+#include "engine/Apply.h"
+#include "engine/Match.h"
+
+#include "interp/Interp.h"
+#include "lang/AstOps.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "opts/Optimizations.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+StmtPtr parseC(std::string_view Src) {
+  Expected<StmtPtr> S = parseProgram(Src, ParseMode::Concrete);
+  EXPECT_TRUE(bool(S)) << (S ? "" : S.error().str());
+  return normalizeStmt(S.take());
+}
+
+StmtPtr parseP(std::string_view Src) {
+  Expected<StmtPtr> S = parseProgram(Src, ParseMode::Parameterized);
+  EXPECT_TRUE(bool(S)) << (S ? "" : S.error().str());
+  return normalizeStmt(S.take());
+}
+
+//===----------------------------------------------------------------------===//
+// Matching
+//===----------------------------------------------------------------------===//
+
+TEST(Match, ExprMetaVariables) {
+  Binding B;
+  EXPECT_TRUE(matchExpr(*parseExpr("E + 1", ParseMode::Parameterized),
+                        *parseExpr("x * y + 1"), B));
+  EXPECT_TRUE(
+      exprEquals(B.Exprs.at(Symbol::get("E")), *parseExpr("x * y")));
+}
+
+TEST(Match, ExprMetaConsistency) {
+  Binding B;
+  EXPECT_TRUE(matchExpr(*parseExpr("E + E", ParseMode::Parameterized),
+                        *parseExpr("a + a"), B));
+  Binding B2;
+  EXPECT_FALSE(matchExpr(*parseExpr("E + E", ParseMode::Parameterized),
+                         *parseExpr("a + b"), B2));
+}
+
+TEST(Match, VariableMetaInjectivity) {
+  Binding B;
+  // X and Y must bind distinct concrete variables.
+  EXPECT_FALSE(matchStmt(parseP("X := Y;"), parseC("a := a;"), B));
+  Binding B2;
+  EXPECT_TRUE(matchStmt(parseP("X := Y;"), parseC("a := b;"), B2));
+  EXPECT_EQ(B2.varOf(Symbol::get("X")).str(), "a");
+  EXPECT_EQ(B2.varOf(Symbol::get("Y")).str(), "b");
+}
+
+TEST(Match, StatementMetaBindsFragment) {
+  Binding B;
+  EXPECT_TRUE(matchStmt(parseP("S0; x := 1;"),
+                        parseC("a := 2; b := 3; x := 1;"), B));
+  EXPECT_TRUE(stmtEquals(normalizeStmt(B.Stmts.at(Symbol::get("S0"))),
+                         parseC("a := 2; b := 3;")));
+}
+
+TEST(Match, StatementMetaMatchesEmpty) {
+  Binding B;
+  EXPECT_TRUE(matchStmt(parseP("S0; x := 1;"), parseC("x := 1;"), B));
+  EXPECT_EQ(B.Stmts.at(Symbol::get("S0"))->kind(), StmtKind::Skip);
+}
+
+TEST(Match, WhileStructure) {
+  Binding B;
+  EXPECT_TRUE(matchStmt(parseP("while (I < E) { S; I++; }"),
+                        parseC("while (i < n * 2) { a[i] := 0; i++; }"),
+                        B));
+  EXPECT_EQ(B.varOf(Symbol::get("I")).str(), "i");
+  EXPECT_TRUE(exprEquals(B.Exprs.at(Symbol::get("E")), *parseExpr("n * 2")));
+}
+
+TEST(Match, HoleTemplate) {
+  // S1[X] against `a[x] := a[x] + 1` with X already bound to x.
+  Binding B;
+  ASSERT_TRUE(matchStmt(parseP("X := Y; S1[X];"),
+                        parseC("x := y; a[x] := a[x] + 1;"), B));
+  // Instantiating S1[Y] substitutes y into the holes.
+  StmtPtr Inst = instantiateStmt(parseP("S1[Y];"), B);
+  EXPECT_TRUE(stmtEquals(Inst, parseC("a[y] := a[y] + 1;")))
+      << printStmt(Inst);
+}
+
+TEST(Match, HoleRejectsEscapedUse) {
+  // S1[X] must capture *all* uses of x; `b := x` escapes the a[x] holes...
+  Binding B;
+  EXPECT_TRUE(matchStmt(parseP("X := Y; S1[X];"),
+                        parseC("x := y; b := x;"), B));
+  // ...but only when the occurrence is not itself the hole: here `b := x`
+  // has x exactly at a hole position, so it does match. A *modification*
+  // of x, though, never matches:
+  Binding B2;
+  EXPECT_FALSE(matchStmt(parseP("X := Y; S1[X];"),
+                         parseC("x := y; x := x + 1;"), B2));
+}
+
+TEST(Match, FindMatchesInsideLoops) {
+  StmtPtr Program = parseC("while (i < n) { x := y; a[x] := 1; i++; }");
+  std::vector<MatchSite> Sites =
+      findMatches(parseP("X := Y;"), Program);
+  // x := y matches (and i++ desugars to i := i + 1, which does not match
+  // X := Y since the value is not a bare variable).
+  ASSERT_GE(Sites.size(), 1u);
+}
+
+TEST(Match, RewriteAtWindow) {
+  StmtPtr Program = parseC("a := 1; b := 2; c := 3;");
+  std::vector<MatchSite> Sites = findMatches(parseP("b := 2;"), Program);
+  ASSERT_FALSE(Sites.empty());
+  StmtPtr Out = rewriteAt(Program, Sites.front(), parseC("b := 9; d := 4;"));
+  EXPECT_TRUE(stmtEquals(Out, parseC("a := 1; b := 9; d := 4; c := 3;")))
+      << printStmt(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Rule application
+//===----------------------------------------------------------------------===//
+
+Rule ruleOf(const std::string &Text) { return parseRuleOrDie(Text); }
+
+TEST(Apply, CopyPropagation) {
+  Rule R = ruleOf(findOpt("copy_propagation").RuleText);
+  bool Changed = false;
+  StmtPtr Out = applyRule(parseC("x := y; a[x] := x + 1;"), R, pickFirst,
+                          EngineOptions{}, Changed);
+  ASSERT_TRUE(Changed);
+  EXPECT_TRUE(stmtEquals(Out, parseC("x := y; a[y] := y + 1;")))
+      << printStmt(Out);
+}
+
+TEST(Apply, ConstantPropagation) {
+  Rule R = ruleOf(findOpt("constant_propagation").RuleText);
+  bool Changed = false;
+  StmtPtr Out = applyRule(parseC("x := 7; b := x * x;"), R, pickFirst,
+                          EngineOptions{}, Changed);
+  ASSERT_TRUE(Changed);
+  EXPECT_TRUE(stmtEquals(Out, parseC("x := 7; b := 7 * 7;")))
+      << printStmt(Out);
+}
+
+TEST(Apply, ConstantPropagationRejectsNonConstant) {
+  Rule R = ruleOf(findOpt("constant_propagation").RuleText);
+  bool Changed = false;
+  applyRule(parseC("x := n; b := x * x;"), R, pickFirst, EngineOptions{},
+            Changed);
+  EXPECT_FALSE(Changed); // n is not a constant expression.
+}
+
+TEST(Apply, CseFiresWithDisjointStatement) {
+  Rule R = ruleOf(findOpt("common_subexpression_elimination").RuleText);
+  bool Changed = false;
+  StmtPtr Out =
+      applyRule(parseC("x := a + b; c := 1; y := a + b;"), R, pickFirst,
+                EngineOptions{}, Changed);
+  ASSERT_TRUE(Changed);
+  EXPECT_TRUE(stmtEquals(Out, parseC("x := a + b; c := 1; y := x;")))
+      << printStmt(Out);
+}
+
+TEST(Apply, CseBlockedByClobber) {
+  Rule R = ruleOf(findOpt("common_subexpression_elimination").RuleText);
+  bool Changed = false;
+  applyRule(parseC("x := a + b; a := 1; y := a + b;"), R, pickFirst,
+            EngineOptions{}, Changed);
+  EXPECT_FALSE(Changed); // S1 modifies a, which E reads.
+}
+
+TEST(Apply, CommuteUsesIndexDisjointness) {
+  Rule Swap = ruleOf("rule swap { L1: S1; S2; } => { S2; S1; } "
+                     "where Commute(S1, S2) @ L1");
+  bool Changed = false;
+  // Same array, provably distinct indices: commute.
+  StmtPtr Out = applyRule(parseC("a[i] := 1; a[i + 1] := 2;"), Swap,
+                          pickFirst, EngineOptions{}, Changed);
+  ASSERT_TRUE(Changed);
+  EXPECT_TRUE(stmtEquals(Out, parseC("a[i + 1] := 2; a[i] := 1;")))
+      << printStmt(Out);
+  // Same index: must not fire.
+  Changed = false;
+  applyRule(parseC("a[i] := 1; a[i] := 2;"), Swap, pickFirst,
+            EngineOptions{}, Changed);
+  EXPECT_FALSE(Changed);
+  // Unknown relationship (i vs j): must not fire.
+  Changed = false;
+  applyRule(parseC("a[i] := 1; a[j] := 2;"), Swap, pickFirst,
+            EngineOptions{}, Changed);
+  EXPECT_FALSE(Changed);
+}
+
+TEST(Apply, OracleGatesUnknownFacts) {
+  Rule R = ruleOf(findOpt("software_pipelining").RuleText);
+  StmtPtr Program = parseC(
+      "i := 0; while (i < n) { a[i] += 1; b[i] += a[i]; i++; }");
+  bool Changed = false;
+  applyRule(Program, R, pickFirst, EngineOptions{}, Changed);
+  EXPECT_FALSE(Changed); // StrictlyPositive(n) unknown without an oracle.
+
+  EngineOptions Options;
+  Options.Oracle = [](const std::string &Fact,
+                      const std::vector<std::string> &Args) {
+    return Fact == "StrictlyPositive" && Args.size() == 1 && Args[0] == "n";
+  };
+  Changed = false;
+  StmtPtr Out = applyRule(Program, R, pickFirst, Options, Changed);
+  EXPECT_TRUE(Changed) << printStmt(Out);
+}
+
+TEST(Apply, DifferentialValidation) {
+  // Every engine application must preserve the interpreter semantics.
+  struct Case {
+    const char *Opt;
+    const char *Program;
+  };
+  const Case Cases[] = {
+      {"copy_propagation", "x := y; a[x] := x + 1;"},
+      {"constant_propagation", "x := 3; b := x * x;"},
+      {"common_subexpression_elimination",
+       "x := a + b; c := 1; y := a + b;"},
+      {"loop_unrolling", "while (i < n) { s := s + i; i++; }"},
+      {"loop_peeling", "while (i < n) { s := s + i; i++; }"},
+  };
+  for (const Case &TestCase : Cases) {
+    Rule R = ruleOf(findOpt(TestCase.Opt).RuleText);
+    StmtPtr Before = parseC(TestCase.Program);
+    bool Changed = false;
+    StmtPtr After = applyRule(Before, R, pickFirst, EngineOptions{}, Changed);
+    ASSERT_TRUE(Changed) << TestCase.Opt;
+    for (int Seed = 0; Seed < 20; ++Seed) {
+      State Init;
+      Init.setScalar(Symbol::get("i"), Seed % 4);
+      Init.setScalar(Symbol::get("n"), Seed % 7);
+      Init.setScalar(Symbol::get("y"), Seed * 3 - 10);
+      Init.setScalar(Symbol::get("a"), Seed - 5);
+      Init.setScalar(Symbol::get("b"), 2 * Seed);
+      Init.setScalar(Symbol::get("s"), 1);
+      ExecResult R1 = run(Before, Init);
+      ExecResult R2 = run(After, Init);
+      ASSERT_TRUE(R1.ok());
+      ASSERT_TRUE(R2.ok());
+      EXPECT_TRUE(R1.Final == R2.Final)
+          << TestCase.Opt << " seed " << Seed << "\nbefore: " << R1.Final.str()
+          << "\nafter:  " << R2.Final.str() << "\nprogram:\n"
+          << printStmt(After);
+    }
+  }
+}
+
+} // namespace

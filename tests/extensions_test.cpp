@@ -1,0 +1,179 @@
+//===- extensions_test.cpp - The extension optimization suite -------------------===//
+//
+// Proves the extension rules (optimizations beyond the paper's Figure 11),
+// rejects broken variants, and differentially validates the engine
+// applications against the interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/Extensions.h"
+
+#include "engine/Apply.h"
+#include "interp/Interp.h"
+#include "lang/AstOps.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "pec/Pec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+class ExtensionTest : public ::testing::TestWithParam<OptEntry> {};
+
+TEST_P(ExtensionTest, ProvedCorrect) {
+  Rule R = parseRuleOrDie(GetParam().RuleText);
+  PecResult Result = proveRule(R);
+  EXPECT_TRUE(Result.Proved) << R.Name << ": " << Result.FailureReason;
+}
+
+std::string extName(const ::testing::TestParamInfo<OptEntry> &Info) {
+  return Info.param.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ExtensionTest,
+                         ::testing::ValuesIn(extensionSuite()), extName);
+
+//===----------------------------------------------------------------------===//
+// Broken variants
+//===----------------------------------------------------------------------===//
+
+PecResult prove(const std::string &Text) {
+  return proveRule(parseRuleOrDie(Text));
+}
+
+TEST(ExtensionNegative, DeadStoreWhoseValueIsUsed) {
+  // E2 may read X, so removing the first store changes E2's input.
+  EXPECT_FALSE(prove(R"(rule bad_dse {
+      X := E1; X := E2;
+    } => {
+      X := E2;
+    })")
+                   .Proved);
+}
+
+TEST(ExtensionNegative, SinkingPastAccess) {
+  // Without DoesNotAccess(S1, X), S1 may read the sunk value.
+  EXPECT_FALSE(prove(R"(rule bad_sink {
+      X := E; L1: S1;
+    } => {
+      L2: S1; X := E;
+    } where DoesNotModify(S1, E) @ L1 && DoesNotModify(S1, E) @ L2)")
+                   .Proved);
+}
+
+TEST(ExtensionNegative, RightFactoringDifferentTails) {
+  EXPECT_FALSE(prove(R"(rule bad_factor {
+      if (E0) { S1; S3; } else { S2; S4; }
+    } => {
+      if (E0) { S1; } else { S2; }
+      S3;
+    })")
+                   .Proved);
+}
+
+TEST(ExtensionNegative, RedundantLoadAcrossClobber) {
+  // A store to the array between the loads invalidates the reuse.
+  EXPECT_FALSE(prove(R"(rule bad_rle {
+      L1: X := A[E];
+      A[E2] := E3;
+      Y := A[E];
+    } => {
+      X := A[E];
+      A[E2] := E3;
+      Y := X;
+    } where DoesNotUse(E, X) @ L1)")
+                   .Proved);
+}
+
+TEST(ExtensionNegative, WrongStrengthReduction) {
+  EXPECT_FALSE(prove("rule bad_sr { X := E * 3; } => { X := E + E; }")
+                   .Proved);
+}
+
+TEST(ExtensionNegative, BranchEliminationWithoutPositivity) {
+  EXPECT_FALSE(prove(R"(rule bad_cbe {
+      if (E) { S1; } else { S2; }
+    } => {
+      S1;
+    })")
+                   .Proved);
+}
+
+TEST(ExtensionNegative, BranchEliminationWrongArm) {
+  // E > 0 selects the THEN arm; keeping the else arm is wrong.
+  EXPECT_FALSE(prove(R"(rule bad_cbe2 {
+      L1: if (E) { S1; } else { S2; }
+    } => {
+      S2;
+    } where StrictlyPositive(E) @ L1)")
+                   .Proved);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine differential validation
+//===----------------------------------------------------------------------===//
+
+TEST(ExtensionEngine, DifferentialValidation) {
+  struct Case {
+    const char *Opt;
+    const char *Program;
+    const char *ExpectedAfter; ///< Null: only check semantics.
+  };
+  const Case Cases[] = {
+      {"dead_store_elimination", "x := y + 1; x := z * 2;",
+       "x := z * 2;"},
+      {"code_sinking", "x := p + q; a[0] := 5;",
+       "a[0] := 5; x := p + q;"},
+      {"branch_right_factoring",
+       "if (c > 0) { x := 1; z := x + y; } else { x := 2; z := x + y; }",
+       "if (c > 0) { x := 1; } else { x := 2; } z := x + y;"},
+      {"identical_branch_elimination",
+       "if (c > 0) { x := 7; } else { x := 7; }", "x := 7;"},
+      {"redundant_load_elimination", "x := m[i + 1]; y := m[i + 1];",
+       "x := m[i + 1]; y := x;"},
+      {"strength_reduction", "x := (p + q) * 2;", "x := p + q + (p + q);"},
+      {"constant_branch_elimination",
+       "if (3 > 1) { x := p; } else { x := q; }", "x := p;"},
+  };
+  for (const Case &TestCase : Cases) {
+    const OptEntry *Entry = nullptr;
+    for (const OptEntry &E : extensionSuite())
+      if (E.Name == TestCase.Opt)
+        Entry = &E;
+    ASSERT_TRUE(Entry) << TestCase.Opt;
+    Rule R = parseRuleOrDie(Entry->RuleText);
+
+    Expected<StmtPtr> Before = parseProgram(TestCase.Program);
+    ASSERT_TRUE(bool(Before)) << Before.error().str();
+    bool Changed = false;
+    StmtPtr After =
+        applyRule(*Before, R, pickFirst, EngineOptions{}, Changed);
+    ASSERT_TRUE(Changed) << TestCase.Opt;
+
+    if (TestCase.ExpectedAfter) {
+      Expected<StmtPtr> Want = parseProgram(TestCase.ExpectedAfter);
+      ASSERT_TRUE(bool(Want));
+      EXPECT_TRUE(stmtEquals(normalizeStmt(After), normalizeStmt(*Want)))
+          << TestCase.Opt << "\ngot:\n"
+          << printStmt(After);
+    }
+
+    for (int Seed = 0; Seed < 10; ++Seed) {
+      State Init;
+      for (const char *V : {"x", "y", "z", "p", "q", "c", "i"})
+        Init.setScalar(Symbol::get(V), (Seed * 31 + V[0]) % 11 - 5);
+      for (int64_t K = -2; K <= 6; ++K)
+        Init.setArrayElem(Symbol::get("m"), K, K * Seed - 3);
+      ExecResult R1 = run(*Before, Init);
+      ExecResult R2 = run(After, Init);
+      ASSERT_TRUE(R1.ok() && R2.ok());
+      EXPECT_TRUE(R1.Final == R2.Final)
+          << TestCase.Opt << " seed " << Seed;
+    }
+  }
+}
+
+} // namespace

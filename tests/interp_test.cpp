@@ -1,0 +1,193 @@
+//===- interp_test.cpp - Interpreter unit tests --------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+StmtPtr parse(std::string_view Src) {
+  Expected<StmtPtr> S = parseProgram(Src, ParseMode::Concrete);
+  EXPECT_TRUE(bool(S)) << (S ? "" : S.error().str());
+  return S.take();
+}
+
+int64_t runGet(std::string_view Src, const char *Var,
+               State Initial = State()) {
+  ExecResult R = run(parse(Src), Initial);
+  EXPECT_TRUE(R.ok());
+  return R.Final.getScalar(Symbol::get(Var));
+}
+
+TEST(Interp, Assignment) {
+  EXPECT_EQ(runGet("x := 41 + 1;", "x"), 42);
+}
+
+TEST(Interp, UninitializedReadsZero) {
+  EXPECT_EQ(runGet("x := y + 1;", "x"), 1);
+}
+
+TEST(Interp, Sequence) {
+  EXPECT_EQ(runGet("x := 1; y := x + 1; x := y * 2;", "x"), 4);
+}
+
+TEST(Interp, IfElse) {
+  EXPECT_EQ(runGet("x := 5; if (x > 3) y := 1; else y := 2;", "y"), 1);
+  EXPECT_EQ(runGet("x := 2; if (x > 3) y := 1; else y := 2;", "y"), 2);
+}
+
+TEST(Interp, WhileLoop) {
+  EXPECT_EQ(runGet("i := 0; s := 0; while (i < 5) { s := s + i; i++; }",
+                   "s"),
+            10);
+}
+
+TEST(Interp, ForLoop) {
+  EXPECT_EQ(runGet("s := 0; for (i := 1; i <= 4; i++) { s := s + i; }", "s"),
+            10);
+  EXPECT_EQ(runGet("s := 0; for (i := 4; i >= 1; i--) { s := s * 10 + i; }",
+                   "s"),
+            4321);
+}
+
+TEST(Interp, Arrays) {
+  ExecResult R = run(parse("for (i := 0; i < 3; i++) a[i] := i * i;"),
+                     State());
+  ASSERT_TRUE(R.ok());
+  Symbol A = Symbol::get("a");
+  EXPECT_EQ(R.Final.getArrayElem(A, 0), 0);
+  EXPECT_EQ(R.Final.getArrayElem(A, 1), 1);
+  EXPECT_EQ(R.Final.getArrayElem(A, 2), 4);
+}
+
+TEST(Interp, NegativeArrayIndices) {
+  ExecResult R = run(parse("a[0-5] := 7; x := a[0-5];"), State());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Final.getScalar(Symbol::get("x")), 7);
+}
+
+TEST(Interp, BooleanOperators) {
+  EXPECT_EQ(runGet("x := (1 < 2) && (3 < 4);", "x"), 1);
+  EXPECT_EQ(runGet("x := (1 < 2) && (4 < 3);", "x"), 0);
+  EXPECT_EQ(runGet("x := (2 < 1) || (3 < 4);", "x"), 1);
+  EXPECT_EQ(runGet("x := !(2 < 1);", "x"), 1);
+  EXPECT_EQ(runGet("x := 1 == 1; y := 1 != 1;", "x"), 1);
+}
+
+TEST(Interp, ShortCircuitProtectsDivision) {
+  // (y != 0) && (10 / y > 1) must not divide when y == 0.
+  ExecResult R = run(parse("y := 0; x := (y != 0) && (10 / y > 1);"),
+                     State());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Final.getScalar(Symbol::get("x")), 0);
+}
+
+TEST(Interp, DivisionAndModulo) {
+  EXPECT_EQ(runGet("x := 17 / 5;", "x"), 3);
+  EXPECT_EQ(runGet("x := 17 % 5;", "x"), 2);
+}
+
+TEST(Interp, DivByZeroReported) {
+  ExecResult R = run(parse("x := 1 / 0;"), State());
+  EXPECT_EQ(R.Status, ExecStatus::DivByZero);
+}
+
+TEST(Interp, AssumeTrue) {
+  ExecResult R = run(parse("x := 1; assume(x == 1); y := 2;"), State());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Final.getScalar(Symbol::get("y")), 2);
+}
+
+TEST(Interp, AssumeFalseBlocks) {
+  ExecResult R = run(parse("x := 1; assume(x == 2); y := 2;"), State());
+  EXPECT_EQ(R.Status, ExecStatus::Stuck);
+  EXPECT_EQ(R.Final.getScalar(Symbol::get("y")), 0);
+}
+
+TEST(Interp, InfiniteLoopRunsOutOfFuel) {
+  ExecResult R = run(parse("while (1 == 1) skip;"), State(), 1000);
+  EXPECT_EQ(R.Status, ExecStatus::OutOfFuel);
+}
+
+TEST(Interp, InitialStateRespected) {
+  State Init;
+  Init.setScalar(Symbol::get("n"), 3);
+  Init.setArrayElem(Symbol::get("a"), 0, 10);
+  ExecResult R =
+      run(parse("s := a[0]; for (i := 0; i < n; i++) s := s + 1;"), Init);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Final.getScalar(Symbol::get("s")), 13);
+}
+
+TEST(Interp, StateEqualityUpToDefaults) {
+  State A, B;
+  A.setScalar(Symbol::get("x"), 0);
+  EXPECT_TRUE(A == B); // x=0 equals "x unset".
+  B.setScalar(Symbol::get("x"), 1);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(Interp, StateEqualityArrays) {
+  State A, B;
+  A.setArrayElem(Symbol::get("a"), 3, 0);
+  EXPECT_TRUE(A == B);
+  A.setArrayElem(Symbol::get("a"), 3, 9);
+  EXPECT_FALSE(A == B);
+  B.setArrayElem(Symbol::get("a"), 3, 9);
+  EXPECT_TRUE(A == B);
+}
+
+// The paper's Figure 1: software pipelining input/output must agree on all
+// final states. This is the interpreter-level ground truth the PEC proof
+// establishes statically.
+TEST(Interp, Figure1PipeliningEquivalence) {
+  const char *Original = R"(
+    i := 0;
+    while (i < n) {
+      a[i] += 1;
+      b[i] += a[i];
+      c[i] += b[i];
+      i++;
+    }
+  )";
+  const char *Pipelined = R"(
+    a[0] += 1;
+    b[0] += a[0];
+    a[1] += 1;
+    i := 0;
+    while (i < n - 2) {
+      a[i+2] += 1;
+      b[i+1] += a[i+1];
+      c[i] += b[i];
+      i++;
+    }
+    c[i] += b[i];
+    b[i+1] += a[i+1];
+    c[i+1] += b[i+1];
+    i := i + 2;
+  )";
+  // The pipelined version from the paper assumes n >= 2 (the prologue and
+  // epilogue execute unconditionally); check equivalence for n >= 2.
+  for (int64_t N = 2; N <= 6; ++N) {
+    State Init;
+    Init.setScalar(Symbol::get("n"), N);
+    for (int64_t K = 0; K < N; ++K) {
+      Init.setArrayElem(Symbol::get("a"), K, K * 3 + 1);
+      Init.setArrayElem(Symbol::get("b"), K, K - 5);
+      Init.setArrayElem(Symbol::get("c"), K, 2 * K);
+    }
+    ExecResult R1 = run(parse(Original), Init);
+    ExecResult R2 = run(parse(Pipelined), Init);
+    ASSERT_TRUE(R1.ok());
+    ASSERT_TRUE(R2.ok());
+    EXPECT_TRUE(R1.Final == R2.Final)
+        << "n=" << N << "\noriginal: " << R1.Final.str()
+        << "\npipelined: " << R2.Final.str();
+  }
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+//===- lexer_test.cpp - Lexer unit tests --------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Src) {
+  Expected<std::vector<Token>> T = tokenize(Src);
+  EXPECT_TRUE(bool(T)) << T.error().str();
+  return T ? T.take() : std::vector<Token>{};
+}
+
+TEST(Lexer, EmptyInput) {
+  std::vector<Token> T = lex("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].is(TokKind::Eof));
+}
+
+TEST(Lexer, IdentifiersAndNumbers) {
+  std::vector<Token> T = lex("foo Bar _x9 42 007");
+  ASSERT_EQ(T.size(), 6u);
+  EXPECT_TRUE(T[0].is(TokKind::Ident));
+  EXPECT_EQ(T[0].Text, "foo");
+  EXPECT_TRUE(T[1].is(TokKind::Ident));
+  EXPECT_EQ(T[1].Text, "Bar");
+  EXPECT_TRUE(T[2].is(TokKind::Ident));
+  EXPECT_TRUE(T[3].is(TokKind::Number));
+  EXPECT_EQ(T[3].Number, 42);
+  EXPECT_EQ(T[4].Number, 7);
+}
+
+TEST(Lexer, AssignVsColon) {
+  std::vector<Token> T = lex("x := 1; L1: y");
+  EXPECT_TRUE(T[1].is(TokKind::Assign));
+  EXPECT_TRUE(T[5].is(TokKind::Colon));
+}
+
+TEST(Lexer, CompoundOperators) {
+  std::vector<Token> T = lex("++ -- += -= <= >= == != && || => :=");
+  TokKind Expected[] = {TokKind::PlusPlus,  TokKind::MinusMinus,
+                        TokKind::PlusAssign, TokKind::MinusAssign,
+                        TokKind::Le,         TokKind::Ge,
+                        TokKind::EqEq,       TokKind::Ne,
+                        TokKind::AmpAmp,     TokKind::PipePipe,
+                        TokKind::Arrow,      TokKind::Assign};
+  ASSERT_EQ(T.size(), std::size(Expected) + 1);
+  for (size_t I = 0; I < std::size(Expected); ++I)
+    EXPECT_TRUE(T[I].is(Expected[I])) << "token " << I;
+}
+
+TEST(Lexer, SingleCharOperators) {
+  std::vector<Token> T = lex("+ - * / % < > ! ( ) { } [ ] ; , @ . :");
+  TokKind Expected[] = {
+      TokKind::Plus,   TokKind::Minus,    TokKind::Star,    TokKind::Slash,
+      TokKind::Percent, TokKind::Lt,      TokKind::Gt,      TokKind::Bang,
+      TokKind::LParen, TokKind::RParen,   TokKind::LBrace,  TokKind::RBrace,
+      TokKind::LBracket, TokKind::RBracket, TokKind::Semi,  TokKind::Comma,
+      TokKind::At,     TokKind::Dot,      TokKind::Colon};
+  ASSERT_EQ(T.size(), std::size(Expected) + 1);
+  for (size_t I = 0; I < std::size(Expected); ++I)
+    EXPECT_TRUE(T[I].is(Expected[I])) << "token " << I;
+}
+
+TEST(Lexer, LineComments) {
+  std::vector<Token> T = lex("x // this is a comment := 1\ny");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "x");
+  EXPECT_EQ(T[1].Text, "y");
+}
+
+TEST(Lexer, SourceLocations) {
+  std::vector<Token> T = lex("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Column, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Column, 3u);
+}
+
+TEST(Lexer, RejectsLoneEquals) {
+  Expected<std::vector<Token>> T = tokenize("x = 1");
+  EXPECT_FALSE(bool(T));
+}
+
+TEST(Lexer, RejectsLoneAmp) {
+  EXPECT_FALSE(bool(tokenize("a & b")));
+  EXPECT_FALSE(bool(tokenize("a | b")));
+}
+
+TEST(Lexer, RejectsUnknownCharacter) {
+  Expected<std::vector<Token>> T = tokenize("a $ b");
+  ASSERT_FALSE(bool(T));
+  EXPECT_NE(T.error().str().find("unexpected character"), std::string::npos);
+}
+
+} // namespace

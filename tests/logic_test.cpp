@@ -1,0 +1,346 @@
+//===- logic_test.cpp - Lowering / substitution / symexec tests -----------------===//
+//
+// Includes a concrete *term evaluator* used to cross-check the symbolic
+// semantics against the interpreter: executing a concrete program
+// symbolically and then evaluating the resulting state term under an
+// initial state must agree with directly interpreting the program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Lowering.h"
+#include "logic/Subst.h"
+#include "logic/SymExec.h"
+
+#include "cfg/Cfg.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <variant>
+
+using namespace pec;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A concrete evaluator for solver terms (no uninterpreted functions).
+//===----------------------------------------------------------------------===//
+
+using ArrayValue = std::map<int64_t, int64_t>;
+
+struct TermValue {
+  std::variant<int64_t, State, ArrayValue, Symbol> V;
+
+  int64_t asInt() const { return std::get<int64_t>(V); }
+  const State &asState() const { return std::get<State>(V); }
+  const ArrayValue &asArray() const { return std::get<ArrayValue>(V); }
+  Symbol asName() const { return std::get<Symbol>(V); }
+};
+
+class TermEvaluator {
+public:
+  TermEvaluator(const TermArena &Arena, const State &Initial)
+      : Arena(Arena), Initial(Initial) {}
+
+  TermValue eval(TermId T) {
+    const TermNode &N = Arena.node(T);
+    switch (N.Op) {
+    case TermOp::IntConst:
+      return {N.IntVal};
+    case TermOp::SymConst:
+      // State constants evaluate to the initial state; other constants are
+      // not expected in these tests.
+      EXPECT_EQ(N.TheSort, Sort::State);
+      return {Initial};
+    case TermOp::NameLit:
+      return {N.Name};
+    case TermOp::Add:
+      return {eval(N.Args[0]).asInt() + eval(N.Args[1]).asInt()};
+    case TermOp::Sub:
+      return {eval(N.Args[0]).asInt() - eval(N.Args[1]).asInt()};
+    case TermOp::Mul:
+      return {eval(N.Args[0]).asInt() * eval(N.Args[1]).asInt()};
+    case TermOp::Neg:
+      return {-eval(N.Args[0]).asInt()};
+    case TermOp::SelS: {
+      State S = eval(N.Args[0]).asState();
+      Symbol Name = eval(N.Args[1]).asName();
+      if (N.TheSort == Sort::Int)
+        return {S.getScalar(Name)};
+      ArrayValue A;
+      auto It = S.arrays().find(Name);
+      if (It != S.arrays().end())
+        A = It->second;
+      return {A};
+    }
+    case TermOp::StoS: {
+      State S = eval(N.Args[0]).asState();
+      Symbol Name = eval(N.Args[1]).asName();
+      TermValue Val = eval(N.Args[2]);
+      if (std::holds_alternative<int64_t>(Val.V)) {
+        S.setScalar(Name, Val.asInt());
+      } else {
+        for (const auto &[K, V] : Val.asArray())
+          S.setArrayElem(Name, K, V);
+        // Clear stale cells not present in the stored array value.
+        auto It = S.arrays().find(Name);
+        if (It != S.arrays().end())
+          for (const auto &[K, V] : It->second) {
+            (void)V;
+            if (!Val.asArray().count(K))
+              S.setArrayElem(Name, K, 0);
+          }
+      }
+      return {S};
+    }
+    case TermOp::SelA: {
+      ArrayValue A = eval(N.Args[0]).asArray();
+      int64_t I = eval(N.Args[1]).asInt();
+      auto It = A.find(I);
+      return {It == A.end() ? int64_t(0) : It->second};
+    }
+    case TermOp::StoA: {
+      ArrayValue A = eval(N.Args[0]).asArray();
+      A[eval(N.Args[1]).asInt()] = eval(N.Args[2]).asInt();
+      return {A};
+    }
+    case TermOp::Apply:
+      ADD_FAILURE() << "uninterpreted function in concrete evaluation";
+      return {int64_t(0)};
+    }
+    return {int64_t(0)};
+  }
+
+private:
+  const TermArena &Arena;
+  const State &Initial;
+};
+
+//===----------------------------------------------------------------------===//
+// Fixtures
+//===----------------------------------------------------------------------===//
+
+class LoweringTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  LoweringEnv Env;
+
+  ExprPtr expr(std::string_view Src,
+               ParseMode Mode = ParseMode::Concrete) {
+    Expected<ExprPtr> E = parseExpr(Src, Mode);
+    EXPECT_TRUE(bool(E)) << (E ? "" : E.error().str());
+    return E.take();
+  }
+};
+
+TEST_F(LoweringTest, ScalarReadsAndArithmetic) {
+  Lowering Low(Arena, Env);
+  TermId S = Arena.mkSymConst(Symbol::get("s"), Sort::State);
+  TermId T = Low.lowerExprInt(S, expr("x + 2 * y"));
+  State Init;
+  Init.setScalar(Symbol::get("x"), 5);
+  Init.setScalar(Symbol::get("y"), 10);
+  TermEvaluator Eval(Arena, Init);
+  EXPECT_EQ(Eval.eval(T).asInt(), 25);
+}
+
+TEST_F(LoweringTest, ArrayReads) {
+  Env.Kinds.Arrays.insert(Symbol::get("a"));
+  Lowering Low(Arena, Env);
+  TermId S = Arena.mkSymConst(Symbol::get("s"), Sort::State);
+  TermId T = Low.lowerExprInt(S, expr("a[i + 1]"));
+  State Init;
+  Init.setScalar(Symbol::get("i"), 2);
+  Init.setArrayElem(Symbol::get("a"), 3, 42);
+  TermEvaluator Eval(Arena, Init);
+  EXPECT_EQ(Eval.eval(T).asInt(), 42);
+}
+
+TEST_F(LoweringTest, BooleanInIntegerPositionDefinesFreshConstant) {
+  Lowering Low(Arena, Env);
+  TermId S = Arena.mkSymConst(Symbol::get("s"), Sort::State);
+  Low.lowerExprInt(S, expr("(x < y) + 1"));
+  std::vector<FormulaPtr> Defs = Low.drainPendingDefs();
+  EXPECT_EQ(Defs.size(), 1u);
+  EXPECT_TRUE(Low.drainPendingDefs().empty()); // Drained.
+}
+
+TEST_F(LoweringTest, MetaExprMasking) {
+  Env.ExprInfo[Symbol::get("E")].MaskedVars.insert(Symbol::get("I"));
+  Lowering Low(Arena, Env);
+  TermId S = Arena.mkSymConst(Symbol::get("s"), Sort::State);
+  TermId T1 =
+      Low.lowerExprInt(S, expr("E", ParseMode::Parameterized));
+  // Writing to I must not disturb the masked evaluation.
+  TermId S2 = Arena.mkStoS(S, Arena.mkNameLit(Symbol::get("I")),
+                           Arena.mkInt(99));
+  TermId T2 = Low.lowerExprInt(S2, expr("E", ParseMode::Parameterized));
+  EXPECT_EQ(T1, T2); // Identical terms thanks to store shadowing.
+}
+
+TEST_F(LoweringTest, ConstMetaExprIgnoresState) {
+  Env.ExprInfo[Symbol::get("E")].IsConst = true;
+  Lowering Low(Arena, Env);
+  TermId S = Arena.mkSymConst(Symbol::get("s"), Sort::State);
+  TermId S2 = Arena.mkSymConst(Symbol::get("t"), Sort::State);
+  EXPECT_EQ(Low.lowerExprInt(S, expr("E", ParseMode::Parameterized)),
+            Low.lowerExprInt(S2, expr("E", ParseMode::Parameterized)));
+}
+
+TEST_F(LoweringTest, MetaStmtFrame) {
+  Env.StmtInfo[Symbol::get("S1")].PreservedVars.insert(Symbol::get("I"));
+  Lowering Low(Arena, Env);
+  TermId S = Arena.mkSymConst(Symbol::get("s"), Sort::State);
+  Expected<StmtPtr> MS = parseProgram("S1;", ParseMode::Parameterized);
+  ASSERT_TRUE(bool(MS));
+  TermId Out = Low.stepAtom(S, *MS);
+  // Reading the preserved variable gives the pre-state value.
+  TermId I = Arena.mkNameLit(Symbol::get("I"));
+  EXPECT_EQ(Arena.mkSelS(Out, I), Arena.mkSelS(S, I));
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+TEST_F(LoweringTest, TermSubstitution) {
+  Lowering Low(Arena, Env);
+  TermId S1 = Arena.mkSymConst(Symbol::get("s1"), Sort::State);
+  TermId T = Low.lowerExprInt(S1, expr("x + y"));
+  TermId S1New = Arena.mkStoS(S1, Arena.mkNameLit(Symbol::get("x")),
+                              Arena.mkInt(7));
+  TermSubst Map{{S1, S1New}};
+  TermId T2 = substituteTerm(Arena, T, Map);
+  State Init;
+  Init.setScalar(Symbol::get("y"), 3);
+  Init.setScalar(Symbol::get("x"), 100); // Overridden by the store.
+  TermEvaluator Eval(Arena, Init);
+  EXPECT_EQ(Eval.eval(T2).asInt(), 10);
+}
+
+TEST_F(LoweringTest, FormulaSubstitution) {
+  Lowering Low(Arena, Env);
+  TermId S1 = Arena.mkSymConst(Symbol::get("s1"), Sort::State);
+  TermId S2 = Arena.mkSymConst(Symbol::get("s2"), Sort::State);
+  FormulaPtr F = Formula::mkEq(Arena, S1, S2);
+  TermId S1New = Arena.mkStoS(S1, Arena.mkNameLit(Symbol::get("x")),
+                              Arena.mkInt(1));
+  FormulaPtr F2 = substituteFormula(Arena, F, TermSubst{{S2, S1New}});
+  // s1 = stoS(s1, x, 1): structurally distinct terms.
+  EXPECT_EQ(F2->kind(), FormulaKind::Eq);
+  EXPECT_NE(F2->lhsTerm(), F2->rhsTerm());
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic execution vs. the interpreter (differential)
+//===----------------------------------------------------------------------===//
+
+class SymExecVsInterp : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SymExecVsInterp, FinalStatesAgree) {
+  Expected<StmtPtr> Program = parseProgram(GetParam());
+  ASSERT_TRUE(bool(Program)) << Program.error().str();
+  Cfg G = Cfg::build(*Program);
+
+  TermArena Arena;
+  LoweringEnv Env;
+  Env.Kinds.collectFrom(*Program);
+  Lowering Low(Arena, Env);
+  TermId S0 = Arena.mkSymConst(Symbol::get("s0"), Sort::State);
+
+  // Enumerate full entry-to-exit paths.
+  std::vector<char> Stops(G.numLocations(), 0);
+  Stops[G.exit()] = 1;
+  std::vector<CfgPath> Paths;
+  ASSERT_TRUE(enumeratePaths(G, G.entry(), Stops, Paths, 4096, 512));
+
+  for (int Seed = 0; Seed < 12; ++Seed) {
+    State Init;
+    Init.setScalar(Symbol::get("x"), Seed % 5 - 2);
+    Init.setScalar(Symbol::get("y"), Seed % 3);
+    Init.setScalar(Symbol::get("n"), Seed % 4);
+    Init.setArrayElem(Symbol::get("a"), 0, Seed);
+    Init.setArrayElem(Symbol::get("a"), 1, -Seed);
+
+    ExecResult Expected = run(*Program, Init);
+    ASSERT_TRUE(Expected.ok());
+
+    // Find the (unique) feasible path for this initial state and evaluate
+    // its symbolic final state.
+    TermEvaluator Eval(Arena, Init);
+    int Feasible = 0;
+    for (const CfgPath &P : Paths) {
+      PathExec E = executePath(Low, G, G.entry(), P, S0, nullptr);
+      bool GuardsHold = true;
+      for (const FormulaPtr &Guard : E.Guards) {
+        // Guards here are comparisons over int terms.
+        if (!Guard->isAtom()) {
+          // Composite conditions: evaluate via formula structure.
+          // (Only simple atoms and negations occur in these programs.)
+        }
+        switch (Guard->kind()) {
+        case FormulaKind::Eq:
+          GuardsHold &= Eval.eval(Guard->lhsTerm()).asInt() ==
+                        Eval.eval(Guard->rhsTerm()).asInt();
+          break;
+        case FormulaKind::Le:
+          GuardsHold &= Eval.eval(Guard->lhsTerm()).asInt() <=
+                        Eval.eval(Guard->rhsTerm()).asInt();
+          break;
+        case FormulaKind::Lt:
+          GuardsHold &= Eval.eval(Guard->lhsTerm()).asInt() <
+                        Eval.eval(Guard->rhsTerm()).asInt();
+          break;
+        case FormulaKind::Not: {
+          const FormulaPtr &Inner = Guard->children()[0];
+          ASSERT_TRUE(Inner->isAtom());
+          bool V = false;
+          switch (Inner->kind()) {
+          case FormulaKind::Eq:
+            V = Eval.eval(Inner->lhsTerm()).asInt() ==
+                Eval.eval(Inner->rhsTerm()).asInt();
+            break;
+          case FormulaKind::Le:
+            V = Eval.eval(Inner->lhsTerm()).asInt() <=
+                Eval.eval(Inner->rhsTerm()).asInt();
+            break;
+          case FormulaKind::Lt:
+            V = Eval.eval(Inner->lhsTerm()).asInt() <
+                Eval.eval(Inner->rhsTerm()).asInt();
+            break;
+          default:
+            FAIL() << "unexpected guard";
+          }
+          GuardsHold &= !V;
+          break;
+        }
+        default:
+          FAIL() << "unexpected guard kind";
+        }
+        if (!GuardsHold)
+          break;
+      }
+      if (!GuardsHold)
+        continue;
+      ++Feasible;
+      State Final = Eval.eval(E.FinalState).asState();
+      EXPECT_TRUE(Final == Expected.Final)
+          << "seed " << Seed << "\nsymbolic: " << Final.str()
+          << "\ninterp:   " << Expected.Final.str();
+    }
+    EXPECT_EQ(Feasible, 1) << "exactly one path must be feasible";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, SymExecVsInterp,
+    ::testing::Values(
+        "x := x + 1; y := x * 2;",
+        "if (x < y) { x := y; } else { y := x; }",
+        "a[0] := x; a[1] := a[0] + 1; x := a[1];",
+        "if (x < 0) { x := 0 - x; } y := x + y;",
+        "x := 3; if (x < y) { a[x] := y; } else { a[y] := x; }"));
+
+} // namespace

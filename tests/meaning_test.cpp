@@ -1,0 +1,207 @@
+//===- meaning_test.cpp - User-defined fact meanings (paper Fig. 4) -------------===//
+//
+// Fact declarations `fact F(...) has meaning <formula>` extend the side
+// condition vocabulary; the PEC pipeline consumes user meanings exactly
+// like the built-in catalog (which is itself expressed in the meaning
+// language).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "pec/Facts.h"
+#include "pec/Pec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+TEST(Meaning, ParsesDeclaration) {
+  Expected<FactDecl> D = parseFactDecl(
+      "fact KeepsZero(S, X) has meaning "
+      "eval(s, X) == 0 => eval(step(s, S), X) == 0;");
+  ASSERT_TRUE(bool(D)) << D.error().str();
+  EXPECT_EQ(D->Name.str(), "KeepsZero");
+  ASSERT_EQ(D->Params.size(), 2u);
+  EXPECT_EQ(D->Body->kind(), MeaningFormKind::Implies);
+}
+
+TEST(Meaning, ParsesArithmeticAndConnectives) {
+  Expected<FactDecl> D = parseFactDecl(
+      "fact Weird(S, E) has meaning "
+      "eval(s, E) * 2 + 1 <= eval(step(s, S), E) - 3 && "
+      "(step(s, S) != s || eval(s, E) > 0);");
+  ASSERT_TRUE(bool(D)) << D.error().str();
+  EXPECT_EQ(D->Body->kind(), MeaningFormKind::And);
+}
+
+TEST(Meaning, RejectsUnknownParameter) {
+  EXPECT_FALSE(bool(parseFactDecl(
+      "fact Bad(S) has meaning eval(s, E) == 0;")));
+}
+
+TEST(Meaning, RejectsStateArithmetic) {
+  EXPECT_FALSE(bool(parseFactDecl(
+      "fact Bad(S) has meaning step(s, S) + 1 == 2;")));
+}
+
+TEST(Meaning, RejectsStateOrdering) {
+  EXPECT_FALSE(bool(parseFactDecl(
+      "fact Bad(S) has meaning step(s, S) < s;")));
+}
+
+TEST(Meaning, RuleFilesMixFactsAndRules) {
+  Expected<RuleFile> File = parseRuleFile(R"(
+    fact KeepsZero(S, X) has meaning
+      eval(s, X) == 0 => eval(step(s, S), X) == 0;
+
+    rule zero_fold {
+      X := 0;
+      L1: S1;
+      Y := X;
+    } => {
+      X := 0;
+      S1;
+      Y := 0;
+    } where KeepsZero(S1, X) @ L1;
+  )");
+  ASSERT_TRUE(bool(File)) << File.error().str();
+  EXPECT_EQ(File->Facts.size(), 1u);
+  EXPECT_EQ(File->Rules.size(), 1u);
+}
+
+TEST(Meaning, PrinterRoundTrips) {
+  const char *Decls[] = {
+      "fact KeepsZero(S, X) has meaning "
+      "eval(s, X) == 0 => eval(step(s, S), X) == 0;",
+      "fact Commute(S1, S2) has meaning "
+      "step(step(s, S1), S2) == step(step(s, S2), S1);",
+      "fact Weird(S, E) has meaning "
+      "eval(s, E) * 2 + 1 <= eval(step(s, S), E) - 3 && "
+      "(step(s, S) != s || eval(s, E) > 0);",
+  };
+  for (const char *Text : Decls) {
+    Expected<FactDecl> D1 = parseFactDecl(Text);
+    ASSERT_TRUE(bool(D1)) << D1.error().str();
+    std::string Printed = printFactDecl(*D1);
+    Expected<FactDecl> D2 = parseFactDecl(Printed);
+    ASSERT_TRUE(bool(D2)) << D2.error().str() << "\nprinted: " << Printed;
+    EXPECT_EQ(printFactDecl(*D2), Printed); // Fixpoint after one round.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Built-in catalog is itself meaning-defined
+//===----------------------------------------------------------------------===//
+
+TEST(Meaning, BuiltinCatalog) {
+  const std::vector<FactDecl> &Decls = builtinFactDecls();
+  ASSERT_GE(Decls.size(), 5u);
+  bool SawStrictlyPositive = false;
+  for (const FactDecl &D : Decls) {
+    if (D.Name == Symbol::get("StrictlyPositive")) {
+      SawStrictlyPositive = true;
+      EXPECT_FALSE(D.Universal); // Flow-sensitive.
+    }
+    if (D.Name == Symbol::get("Commute"))
+      EXPECT_TRUE(D.Universal);
+  }
+  EXPECT_TRUE(SawStrictlyPositive);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end proofs with user facts
+//===----------------------------------------------------------------------===//
+
+PecResult proveWithFacts(const std::string &Source) {
+  Expected<RuleFile> File = parseRuleFile(Source);
+  EXPECT_TRUE(bool(File)) << (File ? "" : File.error().str());
+  EXPECT_EQ(File->Rules.size(), 1u);
+  PecOptions Options;
+  Options.UserFacts = File->Facts;
+  return proveRule(File->Rules[0], Options);
+}
+
+TEST(Meaning, UserFactProvesZeroPropagation) {
+  // "S1 preserves zero-ness of X" — a conditional property the built-in
+  // frame facts cannot express.
+  PecResult R = proveWithFacts(R"(
+    fact KeepsZero(S, X) has meaning
+      eval(s, X) == 0 => eval(step(s, S), X) == 0;
+
+    rule zero_fold {
+      X := 0;
+      L1: S1;
+      Y := X;
+    } => {
+      X := 0;
+      S1;
+      Y := 0;
+    } where KeepsZero(S1, X) @ L1;
+  )");
+  EXPECT_TRUE(R.Proved) << R.FailureReason;
+}
+
+TEST(Meaning, WithoutTheUserFactTheRuleFails) {
+  PecResult R = proveWithFacts(R"(
+    rule zero_fold {
+      X := 0;
+      S1;
+      Y := X;
+    } => {
+      X := 0;
+      S1;
+      Y := 0;
+    };
+  )");
+  EXPECT_FALSE(R.Proved);
+}
+
+TEST(Meaning, UserFactWithArithmetic) {
+  // "S doubles X": a quantitative transfer property.
+  PecResult R = proveWithFacts(R"(
+    fact Doubles(S, X) has meaning
+      eval(step(s, S), X) == eval(s, X) + eval(s, X);
+
+    rule double_then_read {
+      X := E;
+      L1: S1;
+      Y := X;
+    } => {
+      X := E;
+      S1;
+      Y := X;
+    } where Doubles(S1, X) @ L1;
+  )");
+  // Identity rewrite — trivially provable; this checks the meaning
+  // machinery end to end (lowering, instantiation, no crashes).
+  EXPECT_TRUE(R.Proved) << R.FailureReason;
+}
+
+TEST(Meaning, UnknownFactNamesTheFix) {
+  PecResult R = proveWithFacts(R"(
+    rule r { L1: S0; } => { S0; } where Mystery(S0) @ L1;
+  )");
+  EXPECT_FALSE(R.Proved);
+  EXPECT_NE(R.FailureReason.find("has meaning"), std::string::npos);
+}
+
+TEST(Meaning, ArgumentKindMismatchRejected) {
+  // KeepsZero's S parameter is used with step: passing an expression must
+  // be rejected at context-building time.
+  PecResult R = proveWithFacts(R"(
+    fact KeepsZero(S, X) has meaning
+      eval(s, X) == 0 => eval(step(s, S), X) == 0;
+
+    rule r { L1: S0; } => { S0; } where KeepsZero(E, X) @ L1;
+  )");
+  EXPECT_FALSE(R.Proved);
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+//===- parser_test.cpp - Parser unit tests -------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/AstOps.h"
+#include "lang/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+StmtPtr parseOk(std::string_view Src, ParseMode Mode = ParseMode::Concrete) {
+  Expected<StmtPtr> S = parseProgram(Src, Mode);
+  EXPECT_TRUE(bool(S)) << (S ? "" : S.error().str()) << "\nsource: " << Src;
+  return S ? S.take() : nullptr;
+}
+
+ExprPtr parseExprOk(std::string_view Src,
+                    ParseMode Mode = ParseMode::Concrete) {
+  Expected<ExprPtr> E = parseExpr(Src, Mode);
+  EXPECT_TRUE(bool(E)) << (E ? "" : E.error().str());
+  return E ? E.take() : nullptr;
+}
+
+TEST(Parser, SimpleAssignment) {
+  StmtPtr S = parseOk("x := 1;");
+  ASSERT_TRUE(S);
+  ASSERT_EQ(S->kind(), StmtKind::Assign);
+  EXPECT_EQ(S->target().Name.str(), "x");
+  EXPECT_EQ(S->value()->kind(), ExprKind::IntLit);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  ExprPtr E = parseExprOk("1 + 2 * 3");
+  ASSERT_EQ(E->kind(), ExprKind::Binary);
+  EXPECT_EQ(E->binOp(), BinOp::Add);
+  EXPECT_EQ(E->rhs()->binOp(), BinOp::Mul);
+
+  ExprPtr E2 = parseExprOk("a < b && c < d || e < f");
+  EXPECT_EQ(E2->binOp(), BinOp::Or);
+  EXPECT_EQ(E2->lhs()->binOp(), BinOp::And);
+}
+
+TEST(Parser, Parentheses) {
+  ExprPtr E = parseExprOk("(1 + 2) * 3");
+  EXPECT_EQ(E->binOp(), BinOp::Mul);
+  EXPECT_EQ(E->lhs()->binOp(), BinOp::Add);
+}
+
+TEST(Parser, ArrayAccess) {
+  StmtPtr S = parseOk("a[i + 1] := a[i] + 1;");
+  ASSERT_EQ(S->kind(), StmtKind::Assign);
+  EXPECT_TRUE(S->target().isArrayElem());
+  EXPECT_EQ(S->value()->lhs()->kind(), ExprKind::ArrayRead);
+}
+
+TEST(Parser, IncrementSugar) {
+  StmtPtr S = parseOk("i++;");
+  ASSERT_EQ(S->kind(), StmtKind::Assign);
+  EXPECT_EQ(S->value()->binOp(), BinOp::Add);
+
+  StmtPtr S2 = parseOk("i--;");
+  EXPECT_EQ(S2->value()->binOp(), BinOp::Sub);
+}
+
+TEST(Parser, CompoundAssignSugar) {
+  StmtPtr S = parseOk("a[i] += 2;");
+  ASSERT_EQ(S->kind(), StmtKind::Assign);
+  EXPECT_EQ(S->value()->binOp(), BinOp::Add);
+  EXPECT_EQ(S->value()->lhs()->kind(), ExprKind::ArrayRead);
+}
+
+TEST(Parser, IfElse) {
+  StmtPtr S = parseOk("if (x < 10) { y := 1; } else { y := 2; }");
+  ASSERT_EQ(S->kind(), StmtKind::If);
+  EXPECT_TRUE(S->elseStmt());
+}
+
+TEST(Parser, IfWithoutElse) {
+  StmtPtr S = parseOk("if (x < 10) y := 1;");
+  ASSERT_EQ(S->kind(), StmtKind::If);
+  EXPECT_FALSE(S->elseStmt());
+}
+
+TEST(Parser, WhileLoop) {
+  StmtPtr S = parseOk("while (i < n) { a[i] := 0; i++; }");
+  ASSERT_EQ(S->kind(), StmtKind::While);
+  EXPECT_EQ(S->body()->kind(), StmtKind::Seq);
+}
+
+TEST(Parser, ForLoop) {
+  StmtPtr S = parseOk("for (i := 0; i < n; i++) { a[i] := 0; }");
+  ASSERT_EQ(S->kind(), StmtKind::For);
+  EXPECT_EQ(S->indexVar().str(), "i");
+  EXPECT_EQ(S->stepDelta(), 1);
+
+  StmtPtr S2 = parseOk("for (i := n; i > 0; i--) skip;");
+  EXPECT_EQ(S2->stepDelta(), -1);
+}
+
+TEST(Parser, Labels) {
+  StmtPtr S = parseOk("L1: x := 1; L2: while (x < 3) x++;");
+  ASSERT_EQ(S->kind(), StmtKind::Seq);
+  EXPECT_EQ(S->stmts()[0]->label().str(), "L1");
+  EXPECT_EQ(S->stmts()[1]->label().str(), "L2");
+}
+
+TEST(Parser, AssumeStatement) {
+  StmtPtr S = parseOk("assume(x < y);");
+  ASSERT_EQ(S->kind(), StmtKind::Assume);
+}
+
+TEST(Parser, MetaVariablesByNamingConvention) {
+  StmtPtr S = parseOk("I := 0; S0; while (I < E) { S1[I]; I++; }",
+                      ParseMode::Parameterized);
+  ASSERT_EQ(S->kind(), StmtKind::Seq);
+  const auto &Stmts = S->stmts();
+  EXPECT_EQ(Stmts[0]->kind(), StmtKind::Assign);
+  EXPECT_TRUE(Stmts[0]->target().IsMeta);
+  EXPECT_EQ(Stmts[1]->kind(), StmtKind::MetaStmt);
+  const StmtPtr &Loop = Stmts[2];
+  ASSERT_EQ(Loop->kind(), StmtKind::While);
+  EXPECT_EQ(Loop->cond()->rhs()->kind(), ExprKind::MetaExpr);
+  const StmtPtr &Body = Loop->body();
+  ASSERT_EQ(Body->kind(), StmtKind::Seq);
+  EXPECT_EQ(Body->stmts()[0]->kind(), StmtKind::MetaStmt);
+  ASSERT_EQ(Body->stmts()[0]->holeArgs().size(), 1u);
+  EXPECT_EQ(Body->stmts()[0]->holeArgs()[0]->kind(), ExprKind::MetaVar);
+}
+
+TEST(Parser, MetaVariablesRejectedInConcreteMode) {
+  // In concrete mode, upper-case identifiers are ordinary variables.
+  StmtPtr S = parseOk("S0 := 1;", ParseMode::Concrete);
+  ASSERT_EQ(S->kind(), StmtKind::Assign);
+  EXPECT_FALSE(S->target().IsMeta);
+}
+
+TEST(Parser, MetaStmtWithMultipleHoles) {
+  StmtPtr S = parseOk("S[I, J+1];", ParseMode::Parameterized);
+  ASSERT_EQ(S->kind(), StmtKind::MetaStmt);
+  EXPECT_EQ(S->holeArgs().size(), 2u);
+}
+
+TEST(Parser, RuleParsing) {
+  const char *Src = R"(
+    rule swap_independent {
+      L1: S1;
+      S2;
+    } => {
+      S2;
+      S1;
+    } where DoesNotModify(S1, S2) @ L1 && DoesNotModify(S2, S1) @ L1;
+  )";
+  Expected<Rule> R = parseRule(Src);
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  EXPECT_EQ(R->Name, "swap_independent");
+  EXPECT_EQ(R->Cond->kind(), SideCondKind::And);
+  EXPECT_EQ(R->Cond->children().size(), 2u);
+  EXPECT_EQ(R->Cond->children()[0]->factName().str(), "DoesNotModify");
+  EXPECT_EQ(R->Cond->children()[0]->atLabel().str(), "L1");
+}
+
+TEST(Parser, RuleWithoutSideCondition) {
+  Expected<Rule> R = parseRule("rule nop { skip; } => { skip; }");
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  EXPECT_EQ(R->Cond->kind(), SideCondKind::True);
+}
+
+TEST(Parser, SideConditionForall) {
+  Expected<SideCondPtr> C = parseSideCond(
+      "forall K, L . (Commute(S[I, J], S[K, L]) @ L1)");
+  ASSERT_TRUE(bool(C)) << C.error().str();
+  EXPECT_EQ((*C)->kind(), SideCondKind::Forall);
+  EXPECT_EQ((*C)->boundVars().size(), 2u);
+}
+
+TEST(Parser, SideConditionStmtArgs) {
+  Expected<SideCondPtr> C = parseSideCond("Commute(S2, S1[I + 1]) @ L1");
+  ASSERT_TRUE(bool(C)) << C.error().str();
+  const auto &Args = (*C)->args();
+  ASSERT_EQ(Args.size(), 2u);
+  EXPECT_TRUE(Args[0].isStmt());
+  EXPECT_TRUE(Args[1].isStmt());
+  EXPECT_EQ(Args[1].S->holeArgs().size(), 1u);
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+  EXPECT_FALSE(bool(parseProgram("x := 1")));
+}
+
+TEST(Parser, ErrorBadExpression) {
+  EXPECT_FALSE(bool(parseProgram("x := ;")));
+  EXPECT_FALSE(bool(parseProgram("x := 1 + ;")));
+}
+
+TEST(Parser, ErrorKeywordAsVariable) {
+  EXPECT_FALSE(bool(parseProgram("while := 1;")));
+}
+
+TEST(Parser, PrinterRoundTrips) {
+  const char *Sources[] = {
+      "x := 1;",
+      "if (x < 10) { y := 1; } else { y := 2; }",
+      "while (i < n) { a[i] := a[i] + 1; i++; }",
+      "for (i := 0; i < n; i++) { a[i] := 0; }",
+      "L1: x := 1; assume(x > 0);",
+  };
+  for (const char *Src : Sources) {
+    StmtPtr S1 = parseOk(Src);
+    std::string Printed = printStmt(S1);
+    StmtPtr S2 = parseOk(Printed);
+    EXPECT_TRUE(stmtEquals(normalizeStmt(S1), normalizeStmt(S2)))
+        << "round-trip failed for: " << Src << "\nprinted: " << Printed;
+  }
+}
+
+TEST(Parser, ParameterizedPrinterRoundTrips) {
+  const char *Sources[] = {
+      "I := 0; S0; while (I < E - 1) { S1[I + 1]; S2; I++; }",
+      "S1[I]; S2; I++;",
+  };
+  for (const char *Src : Sources) {
+    StmtPtr S1 = parseOk(Src, ParseMode::Parameterized);
+    StmtPtr S2 = parseOk(printStmt(S1), ParseMode::Parameterized);
+    EXPECT_TRUE(stmtEquals(normalizeStmt(S1), normalizeStmt(S2)))
+        << "round-trip failed for: " << Src;
+  }
+}
+
+} // namespace

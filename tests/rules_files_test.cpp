@@ -1,0 +1,73 @@
+//===- rules_files_test.cpp - Shipped rule files stay in sync -------------------===//
+//
+// The `rules/` directory ships the suites as text files for the `pec`
+// command-line tool. This test keeps them in sync with the compiled-in
+// registries: same rules (structurally), same order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstOps.h"
+#include "lang/Parser.h"
+#include "opts/Extensions.h"
+#include "opts/Optimizations.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace pec;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+bool rulesEqual(const Rule &A, const Rule &B) {
+  return A.Name == B.Name &&
+         stmtEquals(normalizeStmt(A.Before), normalizeStmt(B.Before)) &&
+         stmtEquals(normalizeStmt(A.After), normalizeStmt(B.After));
+}
+
+TEST(RulesFiles, Figure11InSync) {
+  Expected<std::vector<Rule>> FileRules =
+      parseRules(readFile(std::string(PEC_RULES_DIR) + "/figure11.rules"));
+  ASSERT_TRUE(bool(FileRules)) << FileRules.error().str();
+
+  std::vector<Rule> Registry;
+  for (const OptEntry &E : figure11Suite()) {
+    Registry.push_back(parseRuleOrDie(E.RuleText));
+    for (const std::string &X : E.ExtraRuleTexts)
+      Registry.push_back(parseRuleOrDie(X));
+  }
+  ASSERT_EQ(FileRules->size(), Registry.size());
+  for (size_t I = 0; I < Registry.size(); ++I)
+    EXPECT_TRUE(rulesEqual((*FileRules)[I], Registry[I]))
+        << "rule " << I << ": " << Registry[I].Name;
+}
+
+TEST(RulesFiles, ExtensionsInSync) {
+  Expected<std::vector<Rule>> FileRules = parseRules(
+      readFile(std::string(PEC_RULES_DIR) + "/extensions.rules"));
+  ASSERT_TRUE(bool(FileRules)) << FileRules.error().str();
+  ASSERT_EQ(FileRules->size(), extensionSuite().size());
+  for (size_t I = 0; I < FileRules->size(); ++I)
+    EXPECT_TRUE(rulesEqual(
+        (*FileRules)[I], parseRuleOrDie(extensionSuite()[I].RuleText)));
+}
+
+TEST(RulesFiles, MultiRuleParsing) {
+  Expected<std::vector<Rule>> Rules = parseRules(
+      "rule a { S0; } => { S0; }\nrule b { skip; } => { skip; };");
+  ASSERT_TRUE(bool(Rules)) << Rules.error().str();
+  ASSERT_EQ(Rules->size(), 2u);
+  EXPECT_EQ((*Rules)[0].Name, "a");
+  EXPECT_EQ((*Rules)[1].Name, "b");
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+//===- solver_theory_test.cpp - Store theory and combination tests --------------===//
+//
+// Targeted tests for the solver features the PEC proofs lean on beyond
+// plain congruence: canonical store chains, store injectivity and
+// agree-off-name propagation, the EUF <-> LIA combination loop, and
+// CC-constant folding in the linearizer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Atp.h"
+#include "solver/Euf.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+class StoreTheoryTest : public ::testing::Test {
+protected:
+  TermArena A;
+  Atp Prover{A};
+
+  TermId state(const char *Name) {
+    return A.mkSymConst(Symbol::get(Name), Sort::State);
+  }
+  TermId name(const char *V) { return A.mkNameLit(Symbol::get(V)); }
+  TermId intc(const char *Name) {
+    return A.mkSymConst(Symbol::get(Name), Sort::Int);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Canonical store chains (TermArena-level)
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTheoryTest, DistinctNameStoresCommuteCanonically) {
+  TermId S = state("s");
+  TermId AB = A.mkStoS(A.mkStoS(S, name("a"), A.mkInt(1)), name("b"),
+                       A.mkInt(2));
+  TermId BA = A.mkStoS(A.mkStoS(S, name("b"), A.mkInt(2)), name("a"),
+                       A.mkInt(1));
+  EXPECT_EQ(AB, BA);
+}
+
+TEST_F(StoreTheoryTest, IdentityStoreCollapses) {
+  TermId S = state("s");
+  TermId N = name("x");
+  EXPECT_EQ(A.mkStoS(S, N, A.mkSelS(S, N)), S);
+  // Also through an unrelated store.
+  TermId S2 = A.mkStoS(S, name("y"), A.mkInt(5));
+  EXPECT_EQ(A.mkStoS(S2, N, A.mkSelS(S, N)), S2);
+}
+
+TEST_F(StoreTheoryTest, ArrayConstIndexStoresCommute) {
+  TermId Arr = A.mkSymConst(Symbol::get("a"), Sort::Array);
+  TermId S01 = A.mkStoA(A.mkStoA(Arr, A.mkInt(0), A.mkInt(7)), A.mkInt(1),
+                        A.mkInt(8));
+  TermId S10 = A.mkStoA(A.mkStoA(Arr, A.mkInt(1), A.mkInt(8)), A.mkInt(0),
+                        A.mkInt(7));
+  EXPECT_EQ(S01, S10);
+}
+
+TEST_F(StoreTheoryTest, ArrayIdentityStoreCollapses) {
+  TermId Arr = A.mkSymConst(Symbol::get("a"), Sort::Array);
+  TermId I = intc("i");
+  EXPECT_EQ(A.mkStoA(Arr, I, A.mkSelA(Arr, I)), Arr);
+}
+
+//===----------------------------------------------------------------------===//
+// Congruence-closure store propagation
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTheoryTest, StoreInjectivity) {
+  // stoS(s, x, v) = stoS(t, x, w) entails v = w.
+  TermId S = state("s"), T = state("t");
+  TermId V = intc("v"), W = intc("w");
+  TermId N = name("x");
+  FormulaPtr F = Formula::mkImplies(
+      Formula::mkEq(A, A.mkStoS(S, N, V), A.mkStoS(T, N, W)),
+      Formula::mkEq(A, V, W));
+  EXPECT_TRUE(Prover.isValid(F));
+}
+
+TEST_F(StoreTheoryTest, AgreeOffNamePropagatesToOtherValues) {
+  // The pattern behind the reordering proofs: from
+  // stoS(a, x, c) = stoS(b, x, c), conclude stoS(a, x, d) = stoS(b, x, d).
+  TermId SA = state("sa"), SB = state("sb");
+  TermId N = name("x");
+  TermId C = intc("c"), D = intc("d");
+  FormulaPtr F = Formula::mkImplies(
+      Formula::mkEq(A, A.mkStoS(SA, N, C), A.mkStoS(SB, N, C)),
+      Formula::mkEq(A, A.mkStoS(SA, N, D), A.mkStoS(SB, N, D)));
+  EXPECT_TRUE(Prover.isValid(F));
+}
+
+TEST_F(StoreTheoryTest, AgreeOffNamePropagatesToReads) {
+  // Agreeing off x implies agreeing at any other name.
+  TermId SA = state("sa"), SB = state("sb");
+  TermId Nx = name("x"), Ny = name("y");
+  TermId C = intc("c");
+  FormulaPtr F = Formula::mkImplies(
+      Formula::mkEq(A, A.mkStoS(SA, Nx, C), A.mkStoS(SB, Nx, C)),
+      Formula::mkEq(A, A.mkSelS(SA, Ny), A.mkSelS(SB, Ny)));
+  EXPECT_TRUE(Prover.isValid(F));
+}
+
+TEST_F(StoreTheoryTest, AgreeOffNameDoesNotLeakToTheNameItself) {
+  // Agreeing off x must NOT imply agreeing at x.
+  TermId SA = state("sa"), SB = state("sb");
+  TermId Nx = name("x");
+  TermId C = intc("c");
+  FormulaPtr F = Formula::mkImplies(
+      Formula::mkEq(A, A.mkStoS(SA, Nx, C), A.mkStoS(SB, Nx, C)),
+      Formula::mkEq(A, A.mkSelS(SA, Nx), A.mkSelS(SB, Nx)));
+  EXPECT_FALSE(Prover.isValid(F));
+}
+
+//===----------------------------------------------------------------------===//
+// EUF <-> LIA combination
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTheoryTest, LiaEntailedEqualityReachesCongruence) {
+  // x <= y, y <= x  and  stoS(s, n, x) != stoS(s, n, y): unsat.
+  TermId S = state("s");
+  TermId N = name("n");
+  TermId X = intc("x"), Y = intc("y");
+  FormulaPtr F = Formula::mkAnd(
+      {Formula::mkLe(A, X, Y), Formula::mkLe(A, Y, X),
+       Formula::mkNot(
+           Formula::mkEq(A, A.mkStoS(S, N, X), A.mkStoS(S, N, Y)))});
+  EXPECT_FALSE(Prover.isSatisfiable(F));
+}
+
+TEST_F(StoreTheoryTest, CongruenceConstantFoldsProducts) {
+  // scale = 4 makes in * scale linear: in * scale = 4 * in.
+  TermId In = intc("in"), Scale = intc("scale");
+  FormulaPtr F = Formula::mkImplies(
+      Formula::mkEq(A, Scale, A.mkInt(4)),
+      Formula::mkEq(A, A.mkMul(In, Scale),
+                    A.mkAdd(A.mkAdd(In, In), A.mkAdd(In, In))));
+  EXPECT_TRUE(Prover.isValid(F));
+}
+
+TEST_F(StoreTheoryTest, TransitiveEqualityThroughUninterpreted) {
+  // f(x) = y, y = g(z), g(z) = 3 |- f(x) = 3.
+  TermId X = intc("x"), Y = intc("y"), Z = intc("z");
+  TermId Fx = A.mkApply(Symbol::get("f"), {X}, Sort::Int);
+  TermId Gz = A.mkApply(Symbol::get("g"), {Z}, Sort::Int);
+  FormulaPtr F = Formula::mkImplies(
+      Formula::mkAnd({Formula::mkEq(A, Fx, Y), Formula::mkEq(A, Y, Gz),
+                      Formula::mkEq(A, Gz, A.mkInt(3))}),
+      Formula::mkEq(A, Fx, A.mkInt(3)));
+  EXPECT_TRUE(Prover.isValid(F));
+}
+
+TEST_F(StoreTheoryTest, MixedUnsatCore) {
+  // step frames + arithmetic: the Fig. 7 pruning pattern end to end.
+  TermId S1 = state("s1");
+  TermId Ni = name("i");
+  TermId E = intc("e");
+  // After S2 (framed on i) and i++, asserting i < e conflicts with
+  // i0 = e - 1.
+  TermId PostS2 = A.mkStoS(A.mkApply(Symbol::get("step$S2"), {S1},
+                                     Sort::State),
+                           Ni, A.mkSelS(S1, Ni));
+  TermId PostInc =
+      A.mkStoS(PostS2, Ni, A.mkAdd(A.mkSelS(PostS2, Ni), A.mkInt(1)));
+  FormulaPtr F = Formula::mkAnd(
+      {Formula::mkEq(A, A.mkSelS(S1, Ni), A.mkSub(E, A.mkInt(1))),
+       Formula::mkLt(A, A.mkSelS(PostInc, Ni), E)});
+  EXPECT_FALSE(Prover.isSatisfiable(F));
+}
+
+//===----------------------------------------------------------------------===//
+// Degenerate / robustness cases
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTheoryTest, TrivialFormulas) {
+  EXPECT_TRUE(Prover.isValid(Formula::mkTrue()));
+  EXPECT_FALSE(Prover.isValid(Formula::mkFalse()));
+  EXPECT_TRUE(Prover.isSatisfiable(Formula::mkTrue()));
+  EXPECT_FALSE(Prover.isSatisfiable(Formula::mkFalse()));
+}
+
+TEST_F(StoreTheoryTest, SelfEqualityOnComplexTerm) {
+  TermId S = state("s");
+  TermId T = A.mkStoS(S, name("x"), A.mkAdd(A.mkSelS(S, name("y")),
+                                            A.mkInt(3)));
+  EXPECT_TRUE(Prover.isValid(Formula::mkEq(A, T, T)));
+}
+
+//===----------------------------------------------------------------------===//
+// Division/modulo axioms (constant divisors, C truncation semantics)
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTheoryTest, DivisionByOneIsIdentity) {
+  TermId X = intc("x");
+  TermId Div = A.mkApply(Symbol::get("div$"), {X, A.mkInt(1)}, Sort::Int);
+  EXPECT_TRUE(Prover.isValid(Formula::mkEq(A, Div, X)));
+}
+
+TEST_F(StoreTheoryTest, ModuloBoundsForPositiveDividend) {
+  TermId X = intc("x");
+  TermId Mod = A.mkApply(Symbol::get("mod$"), {X, A.mkInt(3)}, Sort::Int);
+  // 0 <= x implies 0 <= x % 3 <= 2.
+  EXPECT_TRUE(Prover.isValid(Formula::mkImplies(
+      Formula::mkLe(A, A.mkInt(0), X),
+      Formula::mkAnd(Formula::mkLe(A, A.mkInt(0), Mod),
+                     Formula::mkLe(A, Mod, A.mkInt(2))))));
+  // But not unconditionally (negative dividends truncate toward zero).
+  EXPECT_FALSE(Prover.isValid(Formula::mkLe(A, A.mkInt(0), Mod)));
+}
+
+TEST_F(StoreTheoryTest, DivisionRespectsMagnitude) {
+  // 0 <= x <= 7 implies x / 2 <= 3.
+  TermId X = intc("x");
+  TermId Div = A.mkApply(Symbol::get("div$"), {X, A.mkInt(2)}, Sort::Int);
+  EXPECT_TRUE(Prover.isValid(Formula::mkImplies(
+      Formula::mkAnd(Formula::mkLe(A, A.mkInt(0), X),
+                     Formula::mkLe(A, X, A.mkInt(7))),
+      Formula::mkLe(A, Div, A.mkInt(3)))));
+}
+
+TEST_F(StoreTheoryTest, SymbolicDivisorStaysUninterpreted) {
+  // No axioms for symbolic divisors: x / y * y = x must NOT be provable.
+  TermId X = intc("x"), Y = intc("y");
+  TermId Div = A.mkApply(Symbol::get("div$"), {X, Y}, Sort::Int);
+  EXPECT_FALSE(
+      Prover.isValid(Formula::mkEq(A, A.mkMul(Div, Y), X)));
+}
+
+TEST_F(StoreTheoryTest, DeepStoreChainNormalization) {
+  // Interleaved writes to three names in two different orders normalize to
+  // the same term.
+  TermId S = state("s");
+  const char *Names[3] = {"p", "q", "r"};
+  TermId T1 = S, T2 = S;
+  int Perm1[] = {0, 1, 2, 0, 2};
+  int Perm2[] = {2, 0, 1, 2, 0};
+  // Both sequences end with the same final value per name.
+  // T1: p=10, q=11, r=12, p=13, r=14. Final: p=13 q=11 r=14.
+  int Vals1[] = {10, 11, 12, 13, 14};
+  // T2: r=12, p=10, q=11, r=14, p=13. Final: p=13 q=11 r=14.
+  int Vals2[] = {12, 10, 11, 14, 13};
+  for (int I = 0; I < 5; ++I)
+    T1 = A.mkStoS(T1, name(Names[Perm1[I]]), A.mkInt(Vals1[I]));
+  for (int I = 0; I < 5; ++I)
+    T2 = A.mkStoS(T2, name(Names[Perm2[I]]), A.mkInt(Vals2[I]));
+  EXPECT_EQ(T1, T2);
+}
+
+} // namespace

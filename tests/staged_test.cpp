@@ -1,0 +1,68 @@
+//===- staged_test.cpp - The staged verification paradigm (Sec. 2.3) ------------===//
+//
+// Rules PEC cannot prove once and for all may still be applied safely:
+// each concrete application is translation-validated and reverted on
+// failure — the paper's staged paradigm.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Apply.h"
+
+#include "lang/AstOps.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "pec/Pec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+StmtPtr parseC(std::string_view Src) {
+  Expected<StmtPtr> S = parseProgram(Src, ParseMode::Concrete);
+  EXPECT_TRUE(bool(S)) << (S ? "" : S.error().str());
+  return S.take();
+}
+
+Rule bareSwap() {
+  // No Commute side condition: NOT provable once and for all.
+  Expected<Rule> R = parseRule("rule swap { S1; S2; } => { S2; S1; }");
+  EXPECT_TRUE(bool(R));
+  return R.take();
+}
+
+TEST(Staged, BareSwapIsNotProvableOnceAndForAll) {
+  EXPECT_FALSE(proveRule(bareSwap()).Proved);
+}
+
+TEST(Staged, ValidInstanceAppliesWithRuntimeValidation) {
+  StagedResult R = applyRuleStaged(parseC("x := 1; y := 2;"), bareSwap(),
+                                   pickFirst, EngineOptions{});
+  EXPECT_TRUE(R.Changed);
+  EXPECT_TRUE(R.ValidatedAtRuntime);
+  EXPECT_TRUE(stmtEquals(R.Program, parseC("y := 2; x := 1;")))
+      << printStmt(R.Program);
+}
+
+TEST(Staged, InvalidInstanceIsRevertedByTranslationValidation) {
+  StmtPtr Program = parseC("x := 1; y := x;");
+  StagedResult R =
+      applyRuleStaged(Program, bareSwap(), pickFirst, EngineOptions{});
+  EXPECT_FALSE(R.Changed);
+  EXPECT_TRUE(stmtEquals(R.Program, normalizeStmt(Program)))
+      << printStmt(R.Program);
+}
+
+TEST(Staged, ProvenRulesSkipRuntimeValidation) {
+  Expected<Rule> R = parseRule(
+      "rule swap_ok { L1: S1; S2; } => { S2; S1; } "
+      "where Commute(S1, S2) @ L1");
+  ASSERT_TRUE(bool(R));
+  StagedResult Out = applyRuleStaged(parseC("x := 1; y := 2;"), *R,
+                                     pickFirst, EngineOptions{});
+  EXPECT_TRUE(Out.Changed);
+  EXPECT_FALSE(Out.ValidatedAtRuntime); // Once-and-for-all proof sufficed.
+}
+
+} // namespace
