@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atp.dir/bench_atp.cpp.o"
+  "CMakeFiles/bench_atp.dir/bench_atp.cpp.o.d"
+  "bench_atp"
+  "bench_atp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

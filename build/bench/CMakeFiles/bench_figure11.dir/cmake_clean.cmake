@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure11.dir/bench_figure11.cpp.o"
+  "CMakeFiles/bench_figure11.dir/bench_figure11.cpp.o.d"
+  "bench_figure11"
+  "bench_figure11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

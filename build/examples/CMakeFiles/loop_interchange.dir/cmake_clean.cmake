@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_interchange.dir/loop_interchange.cpp.o"
+  "CMakeFiles/loop_interchange.dir/loop_interchange.cpp.o.d"
+  "loop_interchange"
+  "loop_interchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_interchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_pipeline.dir/optimizer_pipeline.cpp.o"
+  "CMakeFiles/optimizer_pipeline.dir/optimizer_pipeline.cpp.o.d"
+  "optimizer_pipeline"
+  "optimizer_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

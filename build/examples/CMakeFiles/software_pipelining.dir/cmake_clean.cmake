@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_pipelining.dir/software_pipelining.cpp.o"
+  "CMakeFiles/software_pipelining.dir/software_pipelining.cpp.o.d"
+  "software_pipelining"
+  "software_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for software_pipelining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_validation.dir/translation_validation.cpp.o"
+  "CMakeFiles/translation_validation.dir/translation_validation.cpp.o.d"
+  "translation_validation"
+  "translation_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/pec_cfg.dir/Cfg.cpp.o.d"
+  "libpec_cfg.a"
+  "libpec_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_engine.dir/Apply.cpp.o"
+  "CMakeFiles/pec_engine.dir/Apply.cpp.o.d"
+  "CMakeFiles/pec_engine.dir/Match.cpp.o"
+  "CMakeFiles/pec_engine.dir/Match.cpp.o.d"
+  "libpec_engine.a"
+  "libpec_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

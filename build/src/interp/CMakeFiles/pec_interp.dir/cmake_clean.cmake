@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_interp.dir/Interp.cpp.o"
+  "CMakeFiles/pec_interp.dir/Interp.cpp.o.d"
+  "libpec_interp.a"
+  "libpec_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/Ast.cpp" "src/lang/CMakeFiles/pec_lang.dir/Ast.cpp.o" "gcc" "src/lang/CMakeFiles/pec_lang.dir/Ast.cpp.o.d"
+  "/root/repo/src/lang/AstOps.cpp" "src/lang/CMakeFiles/pec_lang.dir/AstOps.cpp.o" "gcc" "src/lang/CMakeFiles/pec_lang.dir/AstOps.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/lang/CMakeFiles/pec_lang.dir/Lexer.cpp.o" "gcc" "src/lang/CMakeFiles/pec_lang.dir/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Meaning.cpp" "src/lang/CMakeFiles/pec_lang.dir/Meaning.cpp.o" "gcc" "src/lang/CMakeFiles/pec_lang.dir/Meaning.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/lang/CMakeFiles/pec_lang.dir/Parser.cpp.o" "gcc" "src/lang/CMakeFiles/pec_lang.dir/Parser.cpp.o.d"
+  "/root/repo/src/lang/Printer.cpp" "src/lang/CMakeFiles/pec_lang.dir/Printer.cpp.o" "gcc" "src/lang/CMakeFiles/pec_lang.dir/Printer.cpp.o.d"
+  "/root/repo/src/lang/Rule.cpp" "src/lang/CMakeFiles/pec_lang.dir/Rule.cpp.o" "gcc" "src/lang/CMakeFiles/pec_lang.dir/Rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

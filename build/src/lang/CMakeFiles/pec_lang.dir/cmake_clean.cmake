@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_lang.dir/Ast.cpp.o"
+  "CMakeFiles/pec_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/pec_lang.dir/AstOps.cpp.o"
+  "CMakeFiles/pec_lang.dir/AstOps.cpp.o.d"
+  "CMakeFiles/pec_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/pec_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/pec_lang.dir/Meaning.cpp.o"
+  "CMakeFiles/pec_lang.dir/Meaning.cpp.o.d"
+  "CMakeFiles/pec_lang.dir/Parser.cpp.o"
+  "CMakeFiles/pec_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/pec_lang.dir/Printer.cpp.o"
+  "CMakeFiles/pec_lang.dir/Printer.cpp.o.d"
+  "CMakeFiles/pec_lang.dir/Rule.cpp.o"
+  "CMakeFiles/pec_lang.dir/Rule.cpp.o.d"
+  "libpec_lang.a"
+  "libpec_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_logic.dir/Lowering.cpp.o"
+  "CMakeFiles/pec_logic.dir/Lowering.cpp.o.d"
+  "CMakeFiles/pec_logic.dir/Subst.cpp.o"
+  "CMakeFiles/pec_logic.dir/Subst.cpp.o.d"
+  "CMakeFiles/pec_logic.dir/SymExec.cpp.o"
+  "CMakeFiles/pec_logic.dir/SymExec.cpp.o.d"
+  "libpec_logic.a"
+  "libpec_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

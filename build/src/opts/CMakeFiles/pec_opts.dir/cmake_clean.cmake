@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_opts.dir/Extensions.cpp.o"
+  "CMakeFiles/pec_opts.dir/Extensions.cpp.o.d"
+  "CMakeFiles/pec_opts.dir/Optimizations.cpp.o"
+  "CMakeFiles/pec_opts.dir/Optimizations.cpp.o.d"
+  "libpec_opts.a"
+  "libpec_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_pec.dir/Checker.cpp.o"
+  "CMakeFiles/pec_pec.dir/Checker.cpp.o.d"
+  "CMakeFiles/pec_pec.dir/Correlate.cpp.o"
+  "CMakeFiles/pec_pec.dir/Correlate.cpp.o.d"
+  "CMakeFiles/pec_pec.dir/Facts.cpp.o"
+  "CMakeFiles/pec_pec.dir/Facts.cpp.o.d"
+  "CMakeFiles/pec_pec.dir/Pec.cpp.o"
+  "CMakeFiles/pec_pec.dir/Pec.cpp.o.d"
+  "CMakeFiles/pec_pec.dir/Permute.cpp.o"
+  "CMakeFiles/pec_pec.dir/Permute.cpp.o.d"
+  "CMakeFiles/pec_pec.dir/Relation.cpp.o"
+  "CMakeFiles/pec_pec.dir/Relation.cpp.o.d"
+  "libpec_pec.a"
+  "libpec_pec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_pec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/Atp.cpp" "src/solver/CMakeFiles/pec_solver.dir/Atp.cpp.o" "gcc" "src/solver/CMakeFiles/pec_solver.dir/Atp.cpp.o.d"
+  "/root/repo/src/solver/Euf.cpp" "src/solver/CMakeFiles/pec_solver.dir/Euf.cpp.o" "gcc" "src/solver/CMakeFiles/pec_solver.dir/Euf.cpp.o.d"
+  "/root/repo/src/solver/Formula.cpp" "src/solver/CMakeFiles/pec_solver.dir/Formula.cpp.o" "gcc" "src/solver/CMakeFiles/pec_solver.dir/Formula.cpp.o.d"
+  "/root/repo/src/solver/Lia.cpp" "src/solver/CMakeFiles/pec_solver.dir/Lia.cpp.o" "gcc" "src/solver/CMakeFiles/pec_solver.dir/Lia.cpp.o.d"
+  "/root/repo/src/solver/Sat.cpp" "src/solver/CMakeFiles/pec_solver.dir/Sat.cpp.o" "gcc" "src/solver/CMakeFiles/pec_solver.dir/Sat.cpp.o.d"
+  "/root/repo/src/solver/Term.cpp" "src/solver/CMakeFiles/pec_solver.dir/Term.cpp.o" "gcc" "src/solver/CMakeFiles/pec_solver.dir/Term.cpp.o.d"
+  "/root/repo/src/solver/Theory.cpp" "src/solver/CMakeFiles/pec_solver.dir/Theory.cpp.o" "gcc" "src/solver/CMakeFiles/pec_solver.dir/Theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_solver.dir/Atp.cpp.o"
+  "CMakeFiles/pec_solver.dir/Atp.cpp.o.d"
+  "CMakeFiles/pec_solver.dir/Euf.cpp.o"
+  "CMakeFiles/pec_solver.dir/Euf.cpp.o.d"
+  "CMakeFiles/pec_solver.dir/Formula.cpp.o"
+  "CMakeFiles/pec_solver.dir/Formula.cpp.o.d"
+  "CMakeFiles/pec_solver.dir/Lia.cpp.o"
+  "CMakeFiles/pec_solver.dir/Lia.cpp.o.d"
+  "CMakeFiles/pec_solver.dir/Sat.cpp.o"
+  "CMakeFiles/pec_solver.dir/Sat.cpp.o.d"
+  "CMakeFiles/pec_solver.dir/Term.cpp.o"
+  "CMakeFiles/pec_solver.dir/Term.cpp.o.d"
+  "CMakeFiles/pec_solver.dir/Theory.cpp.o"
+  "CMakeFiles/pec_solver.dir/Theory.cpp.o.d"
+  "libpec_solver.a"
+  "libpec_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

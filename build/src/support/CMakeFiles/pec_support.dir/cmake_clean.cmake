@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/pec_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/pec_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/pec_support.dir/StringInterner.cpp.o.d"
+  "libpec_support.a"
+  "libpec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec.dir/pec_main.cpp.o"
+  "CMakeFiles/pec.dir/pec_main.cpp.o.d"
+  "pec"
+  "pec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

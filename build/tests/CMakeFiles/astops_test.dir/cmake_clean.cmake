@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astops_test.dir/astops_test.cpp.o"
+  "CMakeFiles/astops_test.dir/astops_test.cpp.o.d"
+  "astops_test"
+  "astops_test.pdb"
+  "astops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

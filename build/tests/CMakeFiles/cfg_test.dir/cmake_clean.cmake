@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_test.dir/cfg_test.cpp.o"
+  "CMakeFiles/cfg_test.dir/cfg_test.cpp.o.d"
+  "cfg_test"
+  "cfg_test.pdb"
+  "cfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

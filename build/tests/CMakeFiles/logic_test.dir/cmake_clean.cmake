@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_test.dir/logic_test.cpp.o"
+  "CMakeFiles/logic_test.dir/logic_test.cpp.o.d"
+  "logic_test"
+  "logic_test.pdb"
+  "logic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

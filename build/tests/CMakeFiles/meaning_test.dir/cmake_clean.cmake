@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meaning_test.dir/meaning_test.cpp.o"
+  "CMakeFiles/meaning_test.dir/meaning_test.cpp.o.d"
+  "meaning_test"
+  "meaning_test.pdb"
+  "meaning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meaning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

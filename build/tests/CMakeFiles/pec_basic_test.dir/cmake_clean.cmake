@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_basic_test.dir/pec_basic_test.cpp.o"
+  "CMakeFiles/pec_basic_test.dir/pec_basic_test.cpp.o.d"
+  "pec_basic_test"
+  "pec_basic_test.pdb"
+  "pec_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_modules_test.dir/pec_modules_test.cpp.o"
+  "CMakeFiles/pec_modules_test.dir/pec_modules_test.cpp.o.d"
+  "pec_modules_test"
+  "pec_modules_test.pdb"
+  "pec_modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pec_opts_test.dir/pec_opts_test.cpp.o"
+  "CMakeFiles/pec_opts_test.dir/pec_opts_test.cpp.o.d"
+  "pec_opts_test"
+  "pec_opts_test.pdb"
+  "pec_opts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pec_opts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

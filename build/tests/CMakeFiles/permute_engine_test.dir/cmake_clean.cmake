@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permute_engine_test.dir/permute_engine_test.cpp.o"
+  "CMakeFiles/permute_engine_test.dir/permute_engine_test.cpp.o.d"
+  "permute_engine_test"
+  "permute_engine_test.pdb"
+  "permute_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permute_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

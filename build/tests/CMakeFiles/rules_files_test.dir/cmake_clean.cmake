@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_files_test.dir/rules_files_test.cpp.o"
+  "CMakeFiles/rules_files_test.dir/rules_files_test.cpp.o.d"
+  "rules_files_test"
+  "rules_files_test.pdb"
+  "rules_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_theory_test.dir/solver_theory_test.cpp.o"
+  "CMakeFiles/solver_theory_test.dir/solver_theory_test.cpp.o.d"
+  "solver_theory_test"
+  "solver_theory_test.pdb"
+  "solver_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

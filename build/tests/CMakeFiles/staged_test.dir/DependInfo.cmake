@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/staged_test.cpp" "tests/CMakeFiles/staged_test.dir/staged_test.cpp.o" "gcc" "tests/CMakeFiles/staged_test.dir/staged_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pec_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/pec/CMakeFiles/pec_pec.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/pec_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pec_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/pec_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/pec_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/pec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

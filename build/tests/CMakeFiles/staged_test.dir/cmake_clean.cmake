@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staged_test.dir/staged_test.cpp.o"
+  "CMakeFiles/staged_test.dir/staged_test.cpp.o.d"
+  "staged_test"
+  "staged_test.pdb"
+  "staged_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staged_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
