@@ -1,0 +1,90 @@
+//===- BenchTelemetry.h - Telemetry plumbing for the bench binaries -*- C++ -*-===//
+//
+// Every bench binary accepts, in addition to the google-benchmark flags:
+//
+//   --pec-trace=FILE   write a Chrome trace_event JSON of the benchmarked
+//                      pipeline runs to FILE (see docs/OBSERVABILITY.md)
+//
+// google-benchmark's Initialize() rejects flags it does not know, so the
+// pec-specific ones must be stripped from argv first; PEC_BENCH_MAIN()
+// replaces BENCHMARK_MAIN() and does exactly that, then writes the trace
+// after the benchmarks finish.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_BENCH_BENCHTELEMETRY_H
+#define PEC_BENCH_BENCHTELEMETRY_H
+
+#include "support/Telemetry.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace pec {
+namespace bench {
+
+struct TelemetryArgs {
+  std::string TracePath; ///< --pec-trace=FILE
+  std::string JsonPath;  ///< --pec-json=FILE (bench_figure11 only)
+};
+
+/// Strips `--pec-trace=` / `--pec-json=` out of argv and enables tracing
+/// when a trace was requested. Call before `benchmark::Initialize`.
+inline TelemetryArgs stripTelemetryArgs(int &argc, char **argv) {
+  TelemetryArgs Out;
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    const char *TracePrefix = "--pec-trace=";
+    const char *JsonPrefix = "--pec-json=";
+    if (Arg.rfind(TracePrefix, 0) == 0)
+      Out.TracePath = Arg.substr(std::strlen(TracePrefix));
+    else if (Arg.rfind(JsonPrefix, 0) == 0)
+      Out.JsonPath = Arg.substr(std::strlen(JsonPrefix));
+    else
+      argv[Kept++] = argv[I];
+  }
+  argc = Kept;
+  if (!Out.TracePath.empty()) {
+    telemetry::reset();
+    telemetry::setEnabled(true);
+  }
+  return Out;
+}
+
+/// Writes the accumulated trace, if one was requested. Call after
+/// `benchmark::RunSpecifiedBenchmarks`.
+inline void finishTelemetry(const TelemetryArgs &Args) {
+  if (Args.TracePath.empty())
+    return;
+  telemetry::setEnabled(false);
+  if (telemetry::writeChromeTrace(Args.TracePath))
+    std::fprintf(stderr, "pec trace written to %s\n",
+                 Args.TracePath.c_str());
+  else
+    std::fprintf(stderr, "warning: cannot write pec trace to '%s'\n",
+                 Args.TracePath.c_str());
+}
+
+} // namespace bench
+} // namespace pec
+
+/// Drop-in replacement for BENCHMARK_MAIN() with the pec flags handled.
+#define PEC_BENCH_MAIN()                                                    \
+  int main(int argc, char **argv) {                                         \
+    pec::bench::TelemetryArgs PecArgs =                                     \
+        pec::bench::stripTelemetryArgs(argc, argv);                         \
+    benchmark::Initialize(&argc, argv);                                     \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))                 \
+      return 1;                                                             \
+    benchmark::RunSpecifiedBenchmarks();                                    \
+    benchmark::Shutdown();                                                  \
+    pec::bench::finishTelemetry(PecArgs);                                   \
+    return 0;                                                               \
+  }                                                                         \
+  int main(int, char **)
+
+#endif // PEC_BENCH_BENCHTELEMETRY_H

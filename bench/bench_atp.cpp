@@ -13,6 +13,8 @@
 
 #include "solver/Atp.h"
 
+#include "BenchTelemetry.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace pec;
@@ -122,4 +124,4 @@ BENCHMARK(BM_ConflictMinimizationOff);
 
 } // namespace
 
-BENCHMARK_MAIN();
+PEC_BENCH_MAIN();

@@ -12,6 +12,8 @@
 #include "lang/Parser.h"
 #include "pec/Pec.h"
 
+#include "BenchTelemetry.h"
+
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -143,4 +145,4 @@ BENCHMARK(BM_TranslationValidation)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 
-BENCHMARK_MAIN();
+PEC_BENCH_MAIN();

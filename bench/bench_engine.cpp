@@ -10,6 +10,8 @@
 #include "lang/Parser.h"
 #include "opts/Optimizations.h"
 
+#include "BenchTelemetry.h"
+
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -101,4 +103,4 @@ BENCHMARK(BM_PipelineRoundFigure1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+PEC_BENCH_MAIN();

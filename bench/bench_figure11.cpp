@@ -12,10 +12,19 @@
 // unrolling-style category-3 bisimulation rules dominate query counts
 // while permute-based rows stay small.
 //
+// Extra flags (stripped before google-benchmark sees them):
+//
+//   --pec-json=FILE   write a pec-report-v1 JSON of the suite to FILE —
+//                     the schema-stable document committed as
+//                     BENCH_figure11.json
+//   --pec-trace=FILE  write a Chrome trace of the runs to FILE
+//
 //===----------------------------------------------------------------------===//
 
+#include "BenchTelemetry.h"
 #include "opts/Optimizations.h"
 #include "pec/Pec.h"
+#include "pec/Report.h"
 
 #include <benchmark/benchmark.h>
 
@@ -79,14 +88,44 @@ void BM_ProveOptimization(benchmark::State &State, const OptEntry &Entry) {
   State.counters["proved"] = Last.Proved ? 1 : 0;
 }
 
+/// Writes the pec-report-v1 JSON for the whole suite (one entry per
+/// rule, like `pec prove-suite --report json`) to \p Path.
+void writeSuiteReport(const std::string &Path) {
+  std::vector<RuleReport> Reports;
+  for (const OptEntry &Entry : figure11Suite()) {
+    std::vector<std::string> Rules = {Entry.RuleText};
+    Rules.insert(Rules.end(), Entry.ExtraRuleTexts.begin(),
+                 Entry.ExtraRuleTexts.end());
+    for (const std::string &Text : Rules) {
+      Rule R = parseRuleOrDie(Text);
+      Reports.push_back({R.Name, proveRule(R)});
+    }
+  }
+  std::string Doc = renderJsonReport("bench_figure11", Reports);
+  FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 Path.c_str());
+    return;
+  }
+  std::fwrite(Doc.data(), 1, Doc.size(), Out);
+  std::fclose(Out);
+  std::fprintf(stderr, "pec report written to %s\n", Path.c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  pec::bench::TelemetryArgs PecArgs =
+      pec::bench::stripTelemetryArgs(argc, argv);
   printTable();
+  if (!PecArgs.JsonPath.empty())
+    writeSuiteReport(PecArgs.JsonPath);
   for (const OptEntry &Entry : figure11Suite())
     benchmark::RegisterBenchmark(("figure11/" + Entry.Name).c_str(),
                                  BM_ProveOptimization, Entry);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  pec::bench::finishTelemetry(PecArgs);
   return 0;
 }

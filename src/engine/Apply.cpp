@@ -8,6 +8,7 @@
 #include "logic/Lowering.h"
 #include "pec/Pec.h"
 #include "solver/Atp.h"
+#include "support/Telemetry.h"
 
 #include <cctype>
 #include <map>
@@ -405,8 +406,13 @@ StmtPtr pec::applyRule(const StmtPtr &Program, const Rule &R,
                        const ProfitabilityFn &Pick,
                        const EngineOptions &Options, bool &Changed) {
   Changed = false;
+  telemetry::Span ApplySpan("engine.applyRule", "engine");
+  ApplySpan.arg("rule", R.Name);
   StmtPtr Normalized = normalizeStmt(Program);
   std::vector<MatchSite> Sites = findMatches(R.Before, Normalized);
+  if (telemetry::enabled())
+    telemetry::counterAdd("engine/" + R.Name + "/match_sites",
+                          Sites.size());
 
   std::vector<MatchSite> Valid;
   for (MatchSite &Site : Sites) {
@@ -443,6 +449,8 @@ StmtPtr pec::applyRule(const StmtPtr &Program, const Rule &R,
   const MatchSite &Site = Valid[static_cast<size_t>(Choice)];
   StmtPtr Replacement = instantiateStmt(R.After, Site.B);
   Changed = true;
+  if (telemetry::enabled())
+    telemetry::counterAdd("engine/" + R.Name + "/applications");
   return rewriteAt(Normalized, Site, Replacement);
 }
 

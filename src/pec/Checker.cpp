@@ -5,12 +5,15 @@
 #include "logic/Subst.h"
 #include "logic/SymExec.h"
 #include "pec/Correlate.h"
+#include "support/Telemetry.h"
 
 #include <cstdlib>
 #include <deque>
 #include <sstream>
 
 using namespace pec;
+using telemetry::Purpose;
+using telemetry::PurposeScope;
 
 /// Set PEC_DEBUG=1 in the environment to trace checker decisions.
 static bool debugEnabled() {
@@ -57,10 +60,18 @@ public:
 
   CheckerResult run() {
     CheckerResult Result;
-    if (!computePaths(Result))
-      return Result;
+    {
+      telemetry::Span PathsSpan("checker.computePaths", "checker");
+      if (!computePaths(Result))
+        return Result;
+      PathsSpan.arg("constraints", static_cast<uint64_t>(Constraints.size()));
+      PathsSpan.arg("relation_size", static_cast<uint64_t>(R.size()));
+    }
     Result.PathPairs = Constraints.size();
+    telemetry::Span SolveSpan("checker.solveConstraints", "checker");
     solveConstraints(Result);
+    SolveSpan.arg("strengthenings",
+                  static_cast<uint64_t>(Result.Strengthenings));
     return Result;
   }
 
@@ -100,6 +111,7 @@ private:
       // from this entry but the other is stuck (at its exit), the entry is
       // admissible only if it is unreachable.
       if (Paths1.empty() != Paths2.empty()) {
+        PurposeScope Tag(Purpose::PathPruning);
         if (Prover.isSatisfiable(Entry.Pred)) {
           std::ostringstream OS;
           OS << "at correlated locations (" << Entry.L1 << ", " << Entry.L2
@@ -161,8 +173,14 @@ private:
           FormulaPtr Joint =
               Formula::mkAnd({Entry.Pred, E1.Guards, E1.Facts, E2.Guards,
                               E2.Facts});
-          if (!Prover.isSatisfiable(Joint)) {
+          bool Feasible;
+          {
+            PurposeScope Tag(Purpose::PathPruning);
+            Feasible = Prover.isSatisfiable(Joint);
+          }
+          if (!Feasible) {
             ++Result.PrunedPathPairs;
+            telemetry::counterAdd("checker/pruned_path_pairs");
             continue;
           }
           if (debugEnabled())
@@ -184,6 +202,7 @@ private:
     }
 
     // Phase B: Definition 2 constraints for both directions.
+    telemetry::Span ConstraintsSpan("checker.generateConstraints", "checker");
     for (size_t EntryIdx = 0; EntryIdx < AllExecs1.size(); ++EntryIdx) {
       const RelEntry &Entry = R.entry(EntryIdx);
       buildConstraints(EntryIdx, Entry, AllExecs1[EntryIdx],
@@ -260,6 +279,10 @@ private:
   void solveConstraints(CheckerResult &Result) {
     std::deque<size_t> Worklist;
     std::vector<char> InWorklist(Constraints.size(), 0);
+    // Constraints re-enqueued after a predicate was strengthened: their
+    // re-checks are attributed to the "strengthening" query purpose, the
+    // initial pass to "obligation".
+    std::vector<char> Requeued(Constraints.size(), 0);
     for (size_t I = 0; I < Constraints.size(); ++I) {
       Worklist.push_back(I);
       InWorklist[I] = 1;
@@ -274,11 +297,28 @@ private:
         std::fprintf(stderr, "[pec] entry (%u,%u): move with no responses\n",
                      R.entry(C.Source).L1, R.entry(C.Source).L2);
 
-      FormulaPtr Obligation = obligation(C);
+      FormulaPtr Obligation;
+      {
+        telemetry::Span PwpSpan("checker.pwp", "checker");
+        Obligation = obligation(C);
+      }
       FormulaPtr Check =
           Formula::mkImplies(R.entry(C.Source).Pred, Obligation);
-      if (Prover.isValid(Check))
+      bool Holds;
+      {
+        PurposeScope Tag(Requeued[CI] ? Purpose::Strengthening
+                                      : Purpose::Obligation);
+        Holds = Prover.isValid(Check);
+      }
+      if (Holds)
         continue;
+      if (telemetry::enabled()) {
+        std::ostringstream OS;
+        OS << "entry (" << R.entry(C.Source).L1 << ","
+           << R.entry(C.Source).L2 << ") side " << C.MoverSide << ": "
+           << Check->str(Low.arena());
+        telemetry::instant("checker.obligation.invalid", "checker", OS.str());
+      }
       if (debugEnabled())
         std::fprintf(stderr,
                      "[pec] constraint at (%u,%u) side %d INVALID:\n  %s\n",
@@ -291,6 +331,12 @@ private:
         Result.FailureReason =
             "cannot strengthen the entry predicate: the programs disagree "
             "on some input";
+        // Dump the failed obligation so NOT PROVED runs are debuggable
+        // from the trace rather than opaque.
+        if (telemetry::enabled())
+          telemetry::instant("checker.proofFailed", "checker",
+                             "entry predicate obligation: " +
+                                 Check->str(Low.arena()));
         // Report the removable targets: a seeded pair may simply be wrong
         // (the driver retries with it banned).
         for (const Constraint::Response &Resp : C.Responses) {
@@ -304,12 +350,26 @@ private:
       }
       if (++Result.Strengthenings > Options.MaxStrengthenings) {
         Result.FailureReason = "strengthening did not converge";
+        if (telemetry::enabled())
+          telemetry::instant("checker.proofFailed", "checker",
+                             "strengthening did not converge; last failed "
+                             "obligation: " +
+                                 Check->str(Low.arena()));
         return;
       }
       R.entry(C.Source).Pred =
           Formula::mkAnd(R.entry(C.Source).Pred, Obligation);
+      telemetry::counterAdd("checker/strengthenings");
+      if (telemetry::enabled()) {
+        std::ostringstream OS;
+        OS << "iteration " << Result.Strengthenings << ": entry ("
+           << R.entry(C.Source).L1 << "," << R.entry(C.Source).L2
+           << ") relation_size " << R.size();
+        telemetry::instant("checker.strengthen", "checker", OS.str());
+      }
       // Re-check every constraint that mentions the strengthened entry as a
       // response target.
+      Requeued[CI] = 1;
       for (size_t I = 0; I < Constraints.size(); ++I) {
         if (InWorklist[I])
           continue;
@@ -317,6 +377,7 @@ private:
           if (Resp.Target == C.Source) {
             Worklist.push_back(I);
             InWorklist[I] = 1;
+            Requeued[I] = 1;
             break;
           }
         }

@@ -6,17 +6,41 @@
 #include "pec/Correlate.h"
 #include "pec/Facts.h"
 #include "pec/Permute.h"
+#include "support/Telemetry.h"
 
 #include <chrono>
 
 using namespace pec;
 
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
 PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
   auto Start = std::chrono::steady_clock::now();
   PecResult Result;
 
+  telemetry::Span RuleSpan("pec.proveRule");
+  RuleSpan.arg("rule", R.Name);
+
   TermArena Arena;
   Atp Prover(Arena, Options.Atp);
+
+  // On every exit path: snapshot prover stats and total wall-clock.
+  auto Finish = [&]() {
+    Result.Atp = Prover.stats();
+    Result.AtpQueries = Result.Atp.Queries;
+    Result.Seconds = secondsSince(Start);
+    if (!Result.Proved && !Result.FailureReason.empty())
+      telemetry::instant("pec.notProved", "pec",
+                         R.Name + ": " + Result.FailureReason);
+  };
 
   StmtPtr Before = normalizeStmt(R.Before);
   StmtPtr After = normalizeStmt(R.After);
@@ -24,14 +48,16 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
 
   // --- Permute pre-pass (paper Sec. 6) -----------------------------------
   if (Options.UsePermute) {
+    auto PermuteStart = std::chrono::steady_clock::now();
+    telemetry::Span PermuteSpan("pec.permute");
     PermuteOutcome P = runPermute(R, Prover);
+    Result.PermuteSeconds = secondsSince(PermuteStart);
     if (P.Attempted) {
+      PermuteSpan.arg("proved", P.Proved ? "yes" : "no");
+      PermuteSpan.arg("note", P.Note);
       if (!P.Proved) {
         Result.FailureReason = "permute: " + P.Note;
-        Result.AtpQueries = Prover.stats().Queries;
-        Result.Seconds = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - Start)
-                             .count();
+        Finish();
         return Result;
       }
       Result.UsedPermute = true;
@@ -42,7 +68,8 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
     }
   }
 
-  // --- Correlate + Check (paper Secs. 4 and 5) ---------------------------
+  // --- Correlate (paper Sec. 4) ------------------------------------------
+  auto CorrelateStart = std::chrono::steady_clock::now();
   Cfg P1 = Cfg::build(Before);
   Cfg P2 = Cfg::build(After);
 
@@ -50,6 +77,8 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
       buildProofContext(R, P1, P2, Options.UserFacts);
   if (!Ctx) {
     Result.FailureReason = "side condition: " + Ctx.error().str();
+    Result.CorrelateSeconds = secondsSince(CorrelateStart);
+    Finish();
     return Result;
   }
   for (auto &[Name, Info] : ExtraStmtInfo) {
@@ -63,18 +92,27 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
   TermId S1 = Arena.mkSymConst(Symbol::get("s1"), Sort::State);
   TermId S2 = Arena.mkSymConst(Symbol::get("s2"), Sort::State);
 
-  ConditionFlow Flow1(P1, *Ctx), Flow2(P2, *Ctx);
-  CorrelationRelation SeedRel = correlate(P1, P2, *Ctx, Low, S1, S2, Flow1,
-                                          Flow2);
+  CorrelationRelation SeedRel;
+  {
+    telemetry::Span CorrelateSpan("pec.correlate");
+    ConditionFlow Flow1(P1, *Ctx), Flow2(P2, *Ctx);
+    SeedRel = correlate(P1, P2, *Ctx, Low, S1, S2, Flow1, Flow2);
+    CorrelateSpan.arg("seed_entries", static_cast<uint64_t>(SeedRel.size()));
+  }
+  Result.CorrelateSeconds = secondsSince(CorrelateStart);
 
+  // --- Check (paper Sec. 5) ----------------------------------------------
   // Check, retrying with wrong seed pairs banned: a seeded correlation pair
   // may be semantically wrong (the aligned states legitimately differ, as
   // in code sinking), while the proof succeeds without it. Removing a pair
   // only weakens the relation, so retrying is sound; the loop is bounded
   // by the seed count.
+  auto CheckStart = std::chrono::steady_clock::now();
   CheckerOptions CheckOpts = Options.Checker;
   CheckerResult Check;
   for (size_t Attempt = 0; Attempt <= SeedRel.size(); ++Attempt) {
+    telemetry::Span CheckSpan("pec.check");
+    CheckSpan.arg("attempt", static_cast<uint64_t>(Attempt));
     CorrelationRelation Rel;
     for (const RelEntry &Entry : SeedRel.entries())
       if (!CheckOpts.BannedPairs.count({Entry.L1, Entry.L2}))
@@ -82,6 +120,7 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
     Result.RelationSize = Rel.size();
 
     Check = checkRelation(Rel, P1, P2, *Ctx, Low, Prover, S1, S2, CheckOpts);
+    CheckSpan.arg("proved", Check.Proved ? "yes" : "no");
     if (Check.Proved || Check.FailedTargets.empty())
       break;
     bool NewBans = false;
@@ -90,15 +129,13 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
     if (!NewBans)
       break;
   }
+  Result.CheckSeconds = secondsSince(CheckStart);
   Result.Proved = Check.Proved;
   Result.FailureReason = Check.FailureReason;
   Result.Strengthenings = Check.Strengthenings;
   Result.PathPairs = Check.PathPairs;
   Result.PrunedPathPairs = Check.PrunedPathPairs;
-  Result.AtpQueries = Prover.stats().Queries;
-  Result.Seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  Finish();
   return Result;
 }
 

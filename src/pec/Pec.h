@@ -51,6 +51,14 @@ struct PecResult {
   uint64_t AtpQueries = 0;
   /// Wall-clock seconds for the whole pipeline.
   double Seconds = 0;
+  /// Full prover statistics, including the per-purpose query/time
+  /// breakdown (path pruning vs. proof obligations vs. permute conditions
+  /// vs. strengthening re-checks).
+  AtpStats Atp;
+  /// Wall-clock per pipeline phase (Fig. 8's three stages).
+  double PermuteSeconds = 0;
+  double CorrelateSeconds = 0;
+  double CheckSeconds = 0;
   uint32_t Strengthenings = 0;
   size_t RelationSize = 0;
   size_t PathPairs = 0;

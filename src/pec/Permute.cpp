@@ -5,6 +5,7 @@
 #include "lang/AstOps.h"
 #include "pec/Facts.h"
 #include "solver/Rational.h"
+#include "support/Telemetry.h"
 
 #include <optional>
 
@@ -310,12 +311,18 @@ public:
 
   PermuteOutcome run() {
     PermuteOutcome Out;
+    // Every prover query below establishes a Permute Theorem condition.
+    telemetry::PurposeScope Tag(telemetry::Purpose::PermuteCondition);
     StmtPtr Before = normalizeStmt(R.Before);
     StmtPtr After = normalizeStmt(R.After);
 
     // Shape (a): perfect nest on both sides.
-    auto N1 = extractNest(Before);
-    auto N2 = extractNest(After);
+    std::optional<LoopNest> N1, N2;
+    {
+      telemetry::Span CanonSpan("permute.canonicalize", "permute");
+      N1 = extractNest(Before);
+      N2 = extractNest(After);
+    }
     if (N1 && N2) {
       Out.Attempted = true;
       proveNestPair(*N1, *N2, Out);
@@ -423,6 +430,7 @@ private:
 
     // F: transformed iteration j |-> original instance, read off the
     // transformed hole arguments.
+    telemetry::Span InferSpan("permute.inferMapping", "permute");
     std::vector<AffineForm> F;
     for (const ExprPtr &H : N2.Body->holeArgs()) {
       auto Form = extractAffine(H, Idx2, Low, S0);
@@ -508,6 +516,8 @@ private:
       return Out2;
     };
 
+    InferSpan.end();
+
     // Skolem index tuples.
     std::vector<TermId> IVals = freshIndexTuple("i$", Depth);
     std::vector<TermId> JVals = freshIndexTuple("j$", Depth);
@@ -525,6 +535,8 @@ private:
 
     // Condition 1: j in D2 => F(j) in D1.
     {
+      telemetry::Span CondSpan("permute.condition1.FMapsD2IntoD1",
+                               "permute");
       std::vector<TermId> FJ = ApplyF(JVals);
       std::map<Symbol, TermId> FMap;
       for (size_t K = 0; K < Depth; ++K)
@@ -537,6 +549,8 @@ private:
     }
     // Condition 2: i in D1 => F^-1(i) in D2.
     {
+      telemetry::Span CondSpan("permute.condition2.FInvMapsD1IntoD2",
+                               "permute");
       std::vector<TermId> FInvI = ApplyFInv(IVals);
       std::map<Symbol, TermId> GMap;
       for (size_t K = 0; K < Depth; ++K)
@@ -549,6 +563,7 @@ private:
     }
     // Conditions 3 and 4: round trips are identities.
     {
+      telemetry::Span CondSpan("permute.condition3.roundTripJ", "permute");
       std::vector<TermId> Round = ApplyFInv(ApplyF(JVals));
       std::vector<FormulaPtr> Eqs;
       for (size_t K = 0; K < Depth; ++K)
@@ -557,6 +572,9 @@ private:
         Out.Note = "condition 3 (F^-1 after F) failed";
         return;
       }
+    }
+    {
+      telemetry::Span CondSpan("permute.condition4.roundTripI", "permute");
       std::vector<TermId> Round2 = ApplyF(ApplyFInv(IVals));
       std::vector<FormulaPtr> Eqs2;
       for (size_t K = 0; K < Depth; ++K)
@@ -568,6 +586,8 @@ private:
     }
     // Condition 5: reordered pairs must commute.
     {
+      telemetry::Span CondSpan("permute.condition5.reorderedPairsCommute",
+                               "permute");
       std::vector<TermId> IVals2 = freshIndexTuple("ip$", Depth);
       std::map<Symbol, TermId> IMap2;
       for (size_t K = 0; K < Depth; ++K)

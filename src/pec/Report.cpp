@@ -1,0 +1,351 @@
+//===- Report.cpp - Machine-readable proof reports --------------------------------===//
+
+#include "pec/Report.h"
+
+#include "support/Telemetry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace pec;
+using telemetry::jsonEscape;
+using telemetry::NumPurposes;
+using telemetry::Purpose;
+using telemetry::purposeName;
+
+namespace {
+
+void appendKey(std::string &Out, const char *Key) {
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+}
+
+void appendString(std::string &Out, const char *Key, const std::string &V) {
+  appendKey(Out, Key);
+  Out += '"';
+  Out += jsonEscape(V);
+  Out += '"';
+}
+
+void appendUint(std::string &Out, const char *Key, uint64_t V) {
+  appendKey(Out, Key);
+  Out += std::to_string(V);
+}
+
+void appendBool(std::string &Out, const char *Key, bool V) {
+  appendKey(Out, Key);
+  Out += V ? "true" : "false";
+}
+
+void appendSeconds(std::string &Out, const char *Key, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  appendKey(Out, Key);
+  Out += Buf;
+}
+
+void appendAtp(std::string &Out, const AtpStats &S) {
+  appendKey(Out, "atp");
+  Out += '{';
+  appendUint(Out, "queries", S.Queries);
+  Out += ',';
+  appendUint(Out, "microseconds", S.Microseconds);
+  Out += ',';
+  appendUint(Out, "theory_checks", S.TheoryChecks);
+  Out += ',';
+  appendUint(Out, "theory_conflicts", S.TheoryConflicts);
+  Out += ',';
+  appendUint(Out, "sat_conflicts", S.SatConflicts);
+  Out += ',';
+  appendUint(Out, "sat_decisions", S.SatDecisions);
+  Out += ',';
+  appendUint(Out, "propagations", S.Propagations);
+  Out += ',';
+  appendKey(Out, "by_purpose");
+  Out += '{';
+  for (size_t P = 0; P < NumPurposes; ++P) {
+    if (P)
+      Out += ',';
+    appendKey(Out, purposeName(static_cast<Purpose>(P)));
+    Out += '{';
+    appendUint(Out, "queries", S.ByPurpose[P].Queries);
+    Out += ',';
+    appendUint(Out, "microseconds", S.ByPurpose[P].Microseconds);
+    Out += '}';
+  }
+  Out += "}}";
+}
+
+void appendRule(std::string &Out, const RuleReport &R) {
+  const PecResult &P = R.Result;
+  Out += '{';
+  appendString(Out, "name", R.Name);
+  Out += ',';
+  appendBool(Out, "proved", P.Proved);
+  Out += ',';
+  appendString(Out, "method", P.UsedPermute ? "permute" : "bisimulation");
+  Out += ',';
+  appendString(Out, "failure_reason", P.FailureReason);
+  Out += ',';
+  appendSeconds(Out, "seconds", P.Seconds);
+  Out += ',';
+  appendKey(Out, "phases");
+  Out += '{';
+  appendSeconds(Out, "permute_seconds", P.PermuteSeconds);
+  Out += ',';
+  appendSeconds(Out, "correlate_seconds", P.CorrelateSeconds);
+  Out += ',';
+  appendSeconds(Out, "check_seconds", P.CheckSeconds);
+  Out += "},";
+  appendUint(Out, "strengthenings", P.Strengthenings);
+  Out += ',';
+  appendUint(Out, "relation_size", P.RelationSize);
+  Out += ',';
+  appendUint(Out, "path_pairs", P.PathPairs);
+  Out += ',';
+  appendUint(Out, "pruned_path_pairs", P.PrunedPathPairs);
+  Out += ',';
+  appendAtp(Out, P.Atp);
+  Out += '}';
+}
+
+} // namespace
+
+std::string pec::renderJsonReport(const std::string &Command,
+                                  const std::vector<RuleReport> &Rules) {
+  uint64_t Proved = 0, AtpQueries = 0, AtpMicros = 0;
+  double Seconds = 0;
+  for (const RuleReport &R : Rules) {
+    Proved += R.Result.Proved ? 1 : 0;
+    AtpQueries += R.Result.Atp.Queries;
+    AtpMicros += R.Result.Atp.Microseconds;
+    Seconds += R.Result.Seconds;
+  }
+
+  std::string Out = "{";
+  appendString(Out, "schema", "pec-report-v1");
+  Out += ',';
+  appendString(Out, "command", Command);
+  Out += ',';
+  appendKey(Out, "rules");
+  Out += "[\n";
+  for (size_t I = 0; I < Rules.size(); ++I) {
+    if (I)
+      Out += ",\n";
+    appendRule(Out, Rules[I]);
+  }
+  Out += "\n],";
+  appendKey(Out, "totals");
+  Out += '{';
+  appendUint(Out, "rules", Rules.size());
+  Out += ',';
+  appendUint(Out, "proved", Proved);
+  Out += ',';
+  appendUint(Out, "failed", Rules.size() - Proved);
+  Out += ',';
+  appendSeconds(Out, "seconds", Seconds);
+  Out += ',';
+  appendUint(Out, "atp_queries", AtpQueries);
+  Out += ',';
+  appendUint(Out, "atp_microseconds", AtpMicros);
+  Out += "}}\n";
+  return Out;
+}
+
+std::string pec::renderStatsTable(const std::vector<RuleReport> &Rules) {
+  std::string Out;
+  char Line[256];
+  std::snprintf(Line, sizeof(Line),
+                "%-30s %-7s %8s %8s %8s %8s | %6s %6s %6s %6s %6s | %5s\n",
+                "rule", "proved", "total_s", "perm_s", "corr_s", "check_s",
+                "prune", "oblig", "perm", "stren", "other", "iter");
+  Out += Line;
+  Out += std::string(120, '-');
+  Out += '\n';
+
+  auto PurposeCount = [](const PecResult &P, Purpose Which) {
+    return P.Atp.ByPurpose[static_cast<size_t>(Which)].Queries;
+  };
+
+  PecResult Total;
+  Total.Proved = true;
+  for (const RuleReport &R : Rules) {
+    const PecResult &P = R.Result;
+    std::snprintf(
+        Line, sizeof(Line),
+        "%-30s %-7s %8.3f %8.3f %8.3f %8.3f | %6" PRIu64 " %6" PRIu64
+        " %6" PRIu64 " %6" PRIu64 " %6" PRIu64 " | %5u\n",
+        R.Name.c_str(), P.Proved ? "yes" : "NO", P.Seconds,
+        P.PermuteSeconds, P.CorrelateSeconds, P.CheckSeconds,
+        PurposeCount(P, Purpose::PathPruning),
+        PurposeCount(P, Purpose::Obligation),
+        PurposeCount(P, Purpose::PermuteCondition),
+        PurposeCount(P, Purpose::Strengthening),
+        PurposeCount(P, Purpose::Other), P.Strengthenings);
+    Out += Line;
+
+    Total.Proved = Total.Proved && P.Proved;
+    Total.Seconds += P.Seconds;
+    Total.PermuteSeconds += P.PermuteSeconds;
+    Total.CorrelateSeconds += P.CorrelateSeconds;
+    Total.CheckSeconds += P.CheckSeconds;
+    Total.Strengthenings += P.Strengthenings;
+    Total.Atp.Queries += P.Atp.Queries;
+    Total.Atp.Microseconds += P.Atp.Microseconds;
+    for (size_t I = 0; I < NumPurposes; ++I) {
+      Total.Atp.ByPurpose[I].Queries += P.Atp.ByPurpose[I].Queries;
+      Total.Atp.ByPurpose[I].Microseconds += P.Atp.ByPurpose[I].Microseconds;
+    }
+  }
+  Out += std::string(120, '-');
+  Out += '\n';
+  std::snprintf(
+      Line, sizeof(Line),
+      "%-30s %-7s %8.3f %8.3f %8.3f %8.3f | %6" PRIu64 " %6" PRIu64
+      " %6" PRIu64 " %6" PRIu64 " %6" PRIu64 " | %5u\n",
+      "TOTAL", Total.Proved ? "yes" : "NO", Total.Seconds,
+      Total.PermuteSeconds, Total.CorrelateSeconds, Total.CheckSeconds,
+      PurposeCount(Total, Purpose::PathPruning),
+      PurposeCount(Total, Purpose::Obligation),
+      PurposeCount(Total, Purpose::PermuteCondition),
+      PurposeCount(Total, Purpose::Strengthening),
+      PurposeCount(Total, Purpose::Other), Total.Strengthenings);
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "%" PRIu64 " ATP queries, %.3fs inside the ATP\n",
+                Total.Atp.Queries,
+                static_cast<double>(Total.Atp.Microseconds) / 1e6);
+  Out += Line;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Schema validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool failV(std::string *Error, const std::string &Msg) {
+  if (Error)
+    *Error = Msg;
+  return false;
+}
+
+/// Requires member \p Key of kind \p K on object \p Obj.
+bool requireField(const json::ValuePtr &Obj, const std::string &Path,
+                  const char *Key, json::Kind K, std::string *Error) {
+  json::ValuePtr V = Obj->get(Key);
+  if (!V)
+    return failV(Error, Path + ": missing field '" + Key + "'");
+  if (V->kind() != K)
+    return failV(Error, Path + ": field '" + Key + "' has the wrong type");
+  return true;
+}
+
+bool validatePurposeStats(const json::ValuePtr &V, const std::string &Path,
+                          std::string *Error) {
+  return requireField(V, Path, "queries", json::Kind::Number, Error) &&
+         requireField(V, Path, "microseconds", json::Kind::Number, Error);
+}
+
+bool validateAtp(const json::ValuePtr &Atp, const std::string &Path,
+                 std::string *Error) {
+  for (const char *Key :
+       {"queries", "microseconds", "theory_checks", "theory_conflicts",
+        "sat_conflicts", "sat_decisions", "propagations"})
+    if (!requireField(Atp, Path, Key, json::Kind::Number, Error))
+      return false;
+  if (!requireField(Atp, Path, "by_purpose", json::Kind::Object, Error))
+    return false;
+  json::ValuePtr ByPurpose = Atp->get("by_purpose");
+  for (size_t P = 0; P < NumPurposes; ++P) {
+    const char *Name = purposeName(static_cast<Purpose>(P));
+    json::ValuePtr Slice = ByPurpose->get(Name);
+    if (!Slice || !Slice->isObject())
+      return failV(Error, Path + ".by_purpose: missing purpose '" +
+                              std::string(Name) + "'");
+    if (!validatePurposeStats(Slice, Path + ".by_purpose." + Name, Error))
+      return false;
+  }
+  return true;
+}
+
+bool validateRule(const json::ValuePtr &Rule, const std::string &Path,
+                  std::string *Error) {
+  if (!Rule->isObject())
+    return failV(Error, Path + ": rule entries must be objects");
+  if (!requireField(Rule, Path, "name", json::Kind::String, Error) ||
+      !requireField(Rule, Path, "proved", json::Kind::Bool, Error) ||
+      !requireField(Rule, Path, "method", json::Kind::String, Error) ||
+      !requireField(Rule, Path, "failure_reason", json::Kind::String,
+                    Error) ||
+      !requireField(Rule, Path, "seconds", json::Kind::Number, Error) ||
+      !requireField(Rule, Path, "phases", json::Kind::Object, Error) ||
+      !requireField(Rule, Path, "strengthenings", json::Kind::Number,
+                    Error) ||
+      !requireField(Rule, Path, "relation_size", json::Kind::Number,
+                    Error) ||
+      !requireField(Rule, Path, "path_pairs", json::Kind::Number, Error) ||
+      !requireField(Rule, Path, "pruned_path_pairs", json::Kind::Number,
+                    Error) ||
+      !requireField(Rule, Path, "atp", json::Kind::Object, Error))
+    return false;
+  const std::string &Method = Rule->get("method")->stringValue();
+  if (Method != "permute" && Method != "bisimulation")
+    return failV(Error, Path + ": method must be 'permute' or "
+                                "'bisimulation'");
+  json::ValuePtr Phases = Rule->get("phases");
+  for (const char *Key :
+       {"permute_seconds", "correlate_seconds", "check_seconds"})
+    if (!requireField(Phases, Path + ".phases", Key, json::Kind::Number,
+                      Error))
+      return false;
+  return validateAtp(Rule->get("atp"), Path + ".atp", Error);
+}
+
+} // namespace
+
+bool pec::validateReport(const json::ValuePtr &Report, std::string *Error) {
+  if (!Report || !Report->isObject())
+    return failV(Error, "report: not a JSON object");
+  if (!requireField(Report, "report", "schema", json::Kind::String, Error))
+    return false;
+  if (Report->get("schema")->stringValue() != "pec-report-v1")
+    return failV(Error, "report: unknown schema '" +
+                            Report->get("schema")->stringValue() + "'");
+  if (!requireField(Report, "report", "command", json::Kind::String,
+                    Error) ||
+      !requireField(Report, "report", "rules", json::Kind::Array, Error) ||
+      !requireField(Report, "report", "totals", json::Kind::Object, Error))
+    return false;
+
+  const auto &Rules = Report->get("rules")->array();
+  for (size_t I = 0; I < Rules.size(); ++I)
+    if (!validateRule(Rules[I], "rules[" + std::to_string(I) + "]", Error))
+      return false;
+
+  json::ValuePtr Totals = Report->get("totals");
+  for (const char *Key : {"rules", "proved", "failed", "seconds",
+                          "atp_queries", "atp_microseconds"})
+    if (!requireField(Totals, "totals", Key, json::Kind::Number, Error))
+      return false;
+
+  // Cross-check: the totals row must agree with the per-rule entries (the
+  // acceptance criterion that the JSON matches the human-readable output).
+  uint64_t Proved = 0, Queries = 0;
+  for (const json::ValuePtr &Rule : Rules) {
+    Proved += Rule->get("proved")->boolValue() ? 1 : 0;
+    Queries +=
+        static_cast<uint64_t>(Rule->get("atp")->get("queries")->numberValue());
+  }
+  if (static_cast<uint64_t>(Totals->get("rules")->numberValue()) !=
+      Rules.size())
+    return failV(Error, "totals.rules disagrees with the rules array");
+  if (static_cast<uint64_t>(Totals->get("proved")->numberValue()) != Proved)
+    return failV(Error, "totals.proved disagrees with the rules array");
+  if (static_cast<uint64_t>(Totals->get("atp_queries")->numberValue()) !=
+      Queries)
+    return failV(Error, "totals.atp_queries disagrees with the rules array");
+  return true;
+}

@@ -1,0 +1,53 @@
+//===- Report.h - Machine-readable proof reports ----------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `pec-report-v1` JSON report: one schema-stable document per proof
+/// run, carrying per-rule outcomes, pipeline phase times, and the full ATP
+/// statistics with the per-purpose query breakdown. Emitted by
+/// `pec prove/prove-suite/tv --report json` and by `bench_figure11
+/// --pec-json=FILE` (the committed `BENCH_figure11.json` perf trajectory).
+/// The schema is documented in docs/OBSERVABILITY.md and enforced by
+/// `validateReport` (the `check_bench_schema` CTest and the telemetry unit
+/// tests both call it, so the format cannot silently drift).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_PEC_REPORT_H
+#define PEC_PEC_REPORT_H
+
+#include "pec/Pec.h"
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace pec {
+
+/// One proved (or failed) rule and its pipeline statistics.
+struct RuleReport {
+  std::string Name;
+  PecResult Result;
+};
+
+/// Renders the `pec-report-v1` JSON document. \p Command names the
+/// producing run ("prove", "prove-suite", "tv", "bench_figure11").
+std::string renderJsonReport(const std::string &Command,
+                             const std::vector<RuleReport> &Rules);
+
+/// Renders the human-readable `--stats` table: per-rule phase seconds,
+/// per-purpose ATP query counts, and strengthening iterations, with a
+/// totals row.
+std::string renderStatsTable(const std::vector<RuleReport> &Rules);
+
+/// Validates a parsed report against the `pec-report-v1` schema (field
+/// presence and JSON types, per-rule and totals). On failure returns false
+/// and describes the first violation in \p Error.
+bool validateReport(const json::ValuePtr &Report, std::string *Error);
+
+} // namespace pec
+
+#endif // PEC_PEC_REPORT_H

@@ -5,6 +5,7 @@
 #include "solver/Sat.h"
 #include "solver/Theory.h"
 
+#include <chrono>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -147,7 +148,7 @@ public:
     uint32_t ConflictBudget = Options.MaxTheoryConflictsPerQuery;
     while (true) {
       if (Sat.solve() == SatResult::Unsat) {
-        Stats.SatConflicts += Sat.numConflicts();
+        harvestSatStats();
         return false;
       }
       // Gather the theory literals implied by the boolean model.
@@ -160,13 +161,13 @@ public:
       ++Stats.TheoryChecks;
       std::vector<char> Relevant = relevantTerms(Arena, Lits);
       if (theoryConsistent(Arena, Lits, Relevant)) {
-        Stats.SatConflicts += Sat.numConflicts();
+        harvestSatStats();
         return true;
       }
       ++Stats.TheoryConflicts;
       if (ConflictBudget-- == 0) {
         // Give up: treat as satisfiable (safe direction for validity).
-        Stats.SatConflicts += Sat.numConflicts();
+        harvestSatStats();
         return true;
       }
       // Minimize the conflicting literal set, then block it.
@@ -183,6 +184,14 @@ public:
   }
 
 private:
+  /// Folds the SAT core's counters into the query stats (called exactly
+  /// once per solve, on each return path).
+  void harvestSatStats() {
+    Stats.SatConflicts += Sat.numConflicts();
+    Stats.SatDecisions += Sat.numDecisions();
+    Stats.Propagations += Sat.numPropagations();
+  }
+
   /// A stable identity for an atom: (kind, lhs, rhs).
   using AtomKey = std::tuple<int, TermId, TermId>;
 
@@ -295,14 +304,49 @@ private:
 
 } // namespace
 
+namespace {
+
+/// Accounts one query: total and per-purpose counts plus wall-clock, and a
+/// trace span ("atp" category, tagged with the purpose) when tracing is on.
+/// The always-on cost is two steady_clock reads per query — noise next to
+/// lemma expansion and CDCL search.
+class QueryAccounting {
+public:
+  QueryAccounting(const char *Name, AtpStats &Stats)
+      : Stats(Stats), P(telemetry::currentPurpose()), TraceSpan(Name, "atp"),
+        Start(std::chrono::steady_clock::now()) {
+    TraceSpan.arg("purpose", telemetry::purposeName(P));
+  }
+
+  ~QueryAccounting() {
+    uint64_t Micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+    ++Stats.Queries;
+    Stats.Microseconds += Micros;
+    AtpPurposeStats &Slice = Stats.ByPurpose[static_cast<size_t>(P)];
+    ++Slice.Queries;
+    Slice.Microseconds += Micros;
+  }
+
+private:
+  AtpStats &Stats;
+  telemetry::Purpose P;
+  telemetry::Span TraceSpan;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace
+
 bool Atp::isSatisfiable(const FormulaPtr &F) {
-  ++Stats.Queries;
+  QueryAccounting Account("atp.isSatisfiable", Stats);
   SmtContext Ctx(Arena, Options, Stats);
   return Ctx.solve(F);
 }
 
 bool Atp::isValid(const FormulaPtr &F) {
-  ++Stats.Queries;
+  QueryAccounting Account("atp.isValid", Stats);
   SmtContext Ctx(Arena, Options, Stats);
   return !Ctx.solve(Formula::mkNot(F));
 }

@@ -25,16 +25,30 @@
 
 #include "solver/Formula.h"
 #include "solver/Term.h"
+#include "support/Telemetry.h"
 
 #include <cstdint>
 
 namespace pec {
+
+/// Per-purpose slice of the query statistics: how many queries a pipeline
+/// phase issued (tagged via telemetry::PurposeScope) and the wall-clock
+/// they cost. Indexed by telemetry::Purpose.
+struct AtpPurposeStats {
+  uint64_t Queries = 0;
+  uint64_t Microseconds = 0;
+};
 
 struct AtpStats {
   uint64_t Queries = 0;         ///< isValid/isSatisfiable calls.
   uint64_t TheoryChecks = 0;    ///< Full-assignment theory consistency runs.
   uint64_t TheoryConflicts = 0; ///< Theory checks that failed.
   uint64_t SatConflicts = 0;    ///< CDCL conflicts across all queries.
+  uint64_t SatDecisions = 0;    ///< CDCL branching decisions.
+  uint64_t Propagations = 0;    ///< Unit propagations across all queries.
+  uint64_t Microseconds = 0;    ///< Cumulative wall-clock inside the ATP.
+  /// Breakdown of Queries/Microseconds by query purpose.
+  AtpPurposeStats ByPurpose[telemetry::NumPurposes];
 };
 
 /// Configuration knobs (exposed for the ablation benchmarks).

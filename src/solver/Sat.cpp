@@ -113,6 +113,7 @@ int32_t SatSolver::propagate() {
         PropagateHead = Trail.size();
         return static_cast<int32_t>(CIdx);
       }
+      ++Propagations;
       enqueue(C.Lits[0], static_cast<int32_t>(CIdx));
     }
     WatchList.resize(Kept);

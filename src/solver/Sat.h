@@ -60,6 +60,7 @@ public:
   /// Statistics.
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numDecisions() const { return Decisions; }
+  uint64_t numPropagations() const { return Propagations; }
 
 private:
   enum class LBool : int8_t { False = -1, Undef = 0, True = 1 };
@@ -102,6 +103,7 @@ private:
 
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
 };
 
 } // namespace pec

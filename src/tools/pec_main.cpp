@@ -12,6 +12,14 @@
 // --assume-positive (an analysis oracle accepting every StrictlyPositive
 // side condition — for kernels whose trip counts are known positive).
 //
+// The proving commands (prove, prove-suite, tv) additionally accept the
+// observability flags (docs/OBSERVABILITY.md):
+//
+//   --trace FILE    write a Chrome trace_event JSON of the run to FILE
+//   --report json   emit the pec-report-v1 JSON document on stdout
+//                   (human-readable lines move to stderr)
+//   --stats         print the per-rule phase/ATP statistics table
+//
 //===----------------------------------------------------------------------===//
 
 #include "cfg/Cfg.h"
@@ -21,6 +29,8 @@
 #include "lang/Printer.h"
 #include "opts/Optimizations.h"
 #include "pec/Pec.h"
+#include "pec/Report.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -36,14 +46,86 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  pec prove <rules-file>\n"
-               "  pec prove-suite\n"
+               "  pec prove <rules-file> [observability flags]\n"
+               "  pec prove-suite [observability flags]\n"
                "  pec apply <rules-file> <program-file> [--fixpoint] "
                "[--assume-positive] [--staged]\n"
-               "  pec tv <original-file> <transformed-file>\n"
+               "  pec tv <original-file> <transformed-file> "
+               "[observability flags]\n"
                "  pec cfg <program-file>\n"
-               "  pec interp <program-file> [var=value | arr[i]=value]...\n");
+               "  pec interp <program-file> [var=value | arr[i]=value]...\n"
+               "\n"
+               "observability flags (prove, prove-suite, tv):\n"
+               "  --trace FILE    write a Chrome trace_event JSON to FILE\n"
+               "  --report json   emit the pec-report-v1 JSON on stdout\n"
+               "  --stats         print the per-rule statistics table\n");
   return 2;
+}
+
+/// The observability flags shared by prove, prove-suite, and tv.
+struct OutputOptions {
+  std::string TracePath;
+  bool ReportJson = false;
+  bool Stats = false;
+
+  /// Human-readable proof lines go to stderr in report mode so stdout
+  /// stays pure JSON for downstream parsers.
+  FILE *humanStream() const { return ReportJson ? stderr : stdout; }
+};
+
+/// Strips --trace/--report/--stats out of \p Args. Returns false on a
+/// malformed flag (missing file name, unknown report format).
+bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
+  std::vector<std::string> Rest;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (Args[I] == "--trace") {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr, "error: --trace requires a file name\n");
+        return false;
+      }
+      Out.TracePath = Args[++I];
+    } else if (Args[I] == "--report") {
+      if (I + 1 >= Args.size() || Args[I + 1] != "json") {
+        std::fprintf(stderr, "error: --report supports only 'json'\n");
+        return false;
+      }
+      Out.ReportJson = true;
+      ++I;
+    } else if (Args[I] == "--stats") {
+      Out.Stats = true;
+    } else {
+      Rest.push_back(Args[I]);
+    }
+  }
+  Args = std::move(Rest);
+  if (!Out.TracePath.empty()) {
+    telemetry::reset();
+    telemetry::setEnabled(true);
+  }
+  return true;
+}
+
+/// Emits the trace file, the JSON report, and the stats table as
+/// requested. \p Exit is the command's exit code, passed through.
+int finishRun(const OutputOptions &Opts, const std::string &Command,
+              const std::vector<RuleReport> &Rules, int Exit) {
+  if (!Opts.TracePath.empty()) {
+    telemetry::setEnabled(false);
+    if (!telemetry::writeChromeTrace(Opts.TracePath))
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   Opts.TracePath.c_str());
+    else
+      std::fprintf(Opts.humanStream(), "trace written to %s\n",
+                   Opts.TracePath.c_str());
+  }
+  if (Opts.Stats)
+    std::fprintf(Opts.humanStream(), "\n%s",
+                 renderStatsTable(Rules).c_str());
+  if (Opts.ReportJson) {
+    std::string Doc = renderJsonReport(Command, Rules);
+    std::fwrite(Doc.data(), 1, Doc.size(), stdout);
+  }
+  return Exit;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -58,25 +140,24 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
-void printProof(const std::string &Name, const PecResult &R) {
+void printProof(FILE *Out, const std::string &Name, const PecResult &R) {
   if (R.Proved) {
-    std::printf("%-30s PROVED  (%s, %llu ATP queries, %.3fs)\n",
-                Name.c_str(), R.UsedPermute ? "permute" : "bisimulation",
-                static_cast<unsigned long long>(R.AtpQueries), R.Seconds);
+    std::fprintf(Out, "%-30s PROVED  (%s, %llu ATP queries, %.3fs)\n",
+                 Name.c_str(), R.UsedPermute ? "permute" : "bisimulation",
+                 static_cast<unsigned long long>(R.AtpQueries), R.Seconds);
     if (!R.RequiredDeadVars.empty()) {
-      std::printf("%-30s note: requires dead index variables:",
-                  "");
+      std::fprintf(Out, "%-30s note: requires dead index variables:", "");
       for (Symbol V : R.RequiredDeadVars)
-        std::printf(" %s", std::string(V.str()).c_str());
-      std::printf("\n");
+        std::fprintf(Out, " %s", std::string(V.str()).c_str());
+      std::fprintf(Out, "\n");
     }
   } else {
-    std::printf("%-30s NOT PROVED: %s\n", Name.c_str(),
-                R.FailureReason.c_str());
+    std::fprintf(Out, "%-30s NOT PROVED: %s\n", Name.c_str(),
+                 R.FailureReason.c_str());
   }
 }
 
-int cmdProve(const std::string &Path) {
+int cmdProve(const std::string &Path, const OutputOptions &Opts) {
   std::string Source;
   if (!readFile(Path, Source))
     return 1;
@@ -88,19 +169,22 @@ int cmdProve(const std::string &Path) {
   PecOptions Options;
   Options.UserFacts = File->Facts;
   if (!File->Facts.empty())
-    std::printf("using %zu user fact declaration(s)\n",
-                File->Facts.size());
+    std::fprintf(Opts.humanStream(), "using %zu user fact declaration(s)\n",
+                 File->Facts.size());
+  std::vector<RuleReport> Reports;
   int Failures = 0;
   for (const Rule &R : File->Rules) {
     PecResult Result = proveRule(R, Options);
-    printProof(R.Name, Result);
+    printProof(Opts.humanStream(), R.Name, Result);
     if (!Result.Proved)
       ++Failures;
+    Reports.push_back({R.Name, std::move(Result)});
   }
-  return Failures == 0 ? 0 : 1;
+  return finishRun(Opts, "prove", Reports, Failures == 0 ? 0 : 1);
 }
 
-int cmdProveSuite() {
+int cmdProveSuite(const OutputOptions &Opts) {
+  std::vector<RuleReport> Reports;
   int Failures = 0;
   for (const OptEntry &Entry : figure11Suite()) {
     std::vector<std::string> Texts = {Entry.RuleText};
@@ -109,12 +193,13 @@ int cmdProveSuite() {
     for (const std::string &Text : Texts) {
       Rule R = parseRuleOrDie(Text);
       PecResult Result = proveRule(R);
-      printProof(R.Name, Result);
+      printProof(Opts.humanStream(), R.Name, Result);
       if (!Result.Proved)
         ++Failures;
+      Reports.push_back({R.Name, std::move(Result)});
     }
   }
-  return Failures == 0 ? 0 : 1;
+  return finishRun(Opts, "prove-suite", Reports, Failures == 0 ? 0 : 1);
 }
 
 int cmdApply(const std::string &RulesPath, const std::string &ProgramPath,
@@ -183,7 +268,8 @@ int cmdApply(const std::string &RulesPath, const std::string &ProgramPath,
   return 0;
 }
 
-int cmdTv(const std::string &OrigPath, const std::string &TransPath) {
+int cmdTv(const std::string &OrigPath, const std::string &TransPath,
+          const OutputOptions &Opts) {
   std::string OrigSource, TransSource;
   if (!readFile(OrigPath, OrigSource) || !readFile(TransPath, TransSource))
     return 1;
@@ -195,13 +281,19 @@ int cmdTv(const std::string &OrigPath, const std::string &TransPath) {
     return 1;
   }
   PecResult R = proveEquivalence(*Orig, *Trans);
+  int Exit;
   if (R.Proved) {
-    std::printf("EQUIVALENT (%llu ATP queries, %.3fs)\n",
-                static_cast<unsigned long long>(R.AtpQueries), R.Seconds);
-    return 0;
+    std::fprintf(Opts.humanStream(), "EQUIVALENT (%llu ATP queries, %.3fs)\n",
+                 static_cast<unsigned long long>(R.AtpQueries), R.Seconds);
+    Exit = 0;
+  } else {
+    std::fprintf(Opts.humanStream(), "NOT PROVEN EQUIVALENT: %s\n",
+                 R.FailureReason.c_str());
+    Exit = 1;
   }
-  std::printf("NOT PROVEN EQUIVALENT: %s\n", R.FailureReason.c_str());
-  return 1;
+  std::vector<RuleReport> Reports;
+  Reports.push_back({OrigPath + " vs " + TransPath, std::move(R)});
+  return finishRun(Opts, "tv", Reports, Exit);
 }
 
 int cmdInterp(const std::string &Path,
@@ -273,12 +365,18 @@ int main(int argc, char **argv) {
   std::vector<std::string> Args(argv + 1, argv + argc);
   if (Args.empty())
     return usage();
-  const std::string &Cmd = Args[0];
+  const std::string Cmd = Args[0];
+
+  OutputOptions Output;
+  if (Cmd == "prove" || Cmd == "prove-suite" || Cmd == "tv") {
+    if (!parseOutputOptions(Args, Output))
+      return 2;
+  }
 
   if (Cmd == "prove" && Args.size() == 2)
-    return cmdProve(Args[1]);
+    return cmdProve(Args[1], Output);
   if (Cmd == "prove-suite" && Args.size() == 1)
-    return cmdProveSuite();
+    return cmdProveSuite(Output);
   if (Cmd == "apply" && Args.size() >= 3) {
     bool Fixpoint = false, AssumePositive = false, Staged = false;
     for (size_t I = 3; I < Args.size(); ++I) {
@@ -294,7 +392,7 @@ int main(int argc, char **argv) {
     return cmdApply(Args[1], Args[2], Fixpoint, AssumePositive, Staged);
   }
   if (Cmd == "tv" && Args.size() == 3)
-    return cmdTv(Args[1], Args[2]);
+    return cmdTv(Args[1], Args[2], Output);
   if (Cmd == "cfg" && Args.size() == 2)
     return cmdCfg(Args[1]);
   if (Cmd == "interp" && Args.size() >= 2)

@@ -514,6 +514,84 @@ TEST_F(AtpTest, StatsCountQueries) {
   EXPECT_EQ(Prover.stats().Queries, Before + 2);
 }
 
+TEST_F(AtpTest, StatsAttributeQueriesToCurrentPurpose) {
+  TermId X = intConst("x"), Y = intConst("y");
+  FormulaPtr Valid = Formula::mkEq(A, X, X);
+  FormulaPtr Sat = Formula::mkLe(A, X, Y);
+  Prover.resetStats();
+
+  using telemetry::Purpose;
+  {
+    telemetry::PurposeScope Tag(Purpose::Obligation);
+    Prover.isValid(Valid);
+    Prover.isValid(Valid);
+  }
+  {
+    telemetry::PurposeScope Tag(Purpose::PathPruning);
+    Prover.isSatisfiable(Sat);
+  }
+  Prover.isSatisfiable(Sat); // Untagged => Other.
+
+  const AtpStats &S = Prover.stats();
+  EXPECT_EQ(S.Queries, 4u);
+  auto Slice = [&](Purpose P) {
+    return S.ByPurpose[static_cast<size_t>(P)];
+  };
+  EXPECT_EQ(Slice(Purpose::Obligation).Queries, 2u);
+  EXPECT_EQ(Slice(Purpose::PathPruning).Queries, 1u);
+  EXPECT_EQ(Slice(Purpose::Other).Queries, 1u);
+  EXPECT_EQ(Slice(Purpose::Strengthening).Queries, 0u);
+  EXPECT_EQ(Slice(Purpose::PermuteCondition).Queries, 0u);
+  // Per-purpose time sums to the total.
+  uint64_t PurposeMicros = 0;
+  for (size_t I = 0; I < telemetry::NumPurposes; ++I)
+    PurposeMicros += S.ByPurpose[I].Microseconds;
+  EXPECT_EQ(PurposeMicros, S.Microseconds);
+}
+
+TEST_F(AtpTest, ResetStatsClearsEveryField) {
+  // Force decisions/propagations/conflicts: an unsatisfiable formula with
+  // boolean structure the SAT core must actually search.
+  TermId X = intConst("x"), Y = intConst("y");
+  FormulaPtr Le = Formula::mkLe(A, X, Y);
+  FormulaPtr Lt = Formula::mkLt(A, Y, X);
+  FormulaPtr Eq = Formula::mkEq(A, X, Y);
+  {
+    telemetry::PurposeScope Tag(telemetry::Purpose::Strengthening);
+    Prover.isSatisfiable(Formula::mkAnd(Le, Lt));
+    Prover.isSatisfiable(
+        Formula::mkAnd(Formula::mkOr(Le, Eq), Formula::mkOr(Lt, Eq)));
+    Prover.isValid(Formula::mkImplies(Le, Eq));
+  }
+  const AtpStats &Dirty = Prover.stats();
+  ASSERT_GT(Dirty.Queries, 0u);
+  ASSERT_GT(Dirty.TheoryChecks, 0u);
+  ASSERT_GT(Dirty.TheoryConflicts, 0u);
+  ASSERT_GT(Dirty.Propagations, 0u);
+  ASSERT_GT(Dirty.Microseconds, 0u);
+  ASSERT_GT(
+      Dirty.ByPurpose[static_cast<size_t>(telemetry::Purpose::Strengthening)]
+          .Queries,
+      0u);
+
+  Prover.resetStats();
+
+  // Every field — including the ones this PR added (SatDecisions,
+  // Propagations, Microseconds, ByPurpose) — must be back to zero.
+  const AtpStats &S = Prover.stats();
+  EXPECT_EQ(S.Queries, 0u);
+  EXPECT_EQ(S.TheoryChecks, 0u);
+  EXPECT_EQ(S.TheoryConflicts, 0u);
+  EXPECT_EQ(S.SatConflicts, 0u);
+  EXPECT_EQ(S.SatDecisions, 0u);
+  EXPECT_EQ(S.Propagations, 0u);
+  EXPECT_EQ(S.Microseconds, 0u);
+  for (size_t I = 0; I < telemetry::NumPurposes; ++I) {
+    EXPECT_EQ(S.ByPurpose[I].Queries, 0u);
+    EXPECT_EQ(S.ByPurpose[I].Microseconds, 0u);
+  }
+}
+
 TEST_F(AtpTest, IffEncoding) {
   TermId X = intConst("x"), Y = intConst("y");
   FormulaPtr P = Formula::mkEq(A, X, Y);
