@@ -14,7 +14,7 @@
 //
 // Extra flags (stripped before google-benchmark sees them):
 //
-//   --pec-json=FILE   write a pec-report-v1 JSON of the suite to FILE —
+//   --pec-json=FILE   write a pec-report-v2 JSON of the suite to FILE —
 //                     the schema-stable document committed as
 //                     BENCH_figure11.json
 //   --pec-trace=FILE  write a Chrome trace of the runs to FILE
@@ -88,7 +88,7 @@ void BM_ProveOptimization(benchmark::State &State, const OptEntry &Entry) {
   State.counters["proved"] = Last.Proved ? 1 : 0;
 }
 
-/// Writes the pec-report-v1 JSON for the whole suite (one entry per
+/// Writes the pec-report-v2 JSON for the whole suite (one entry per
 /// rule, like `pec prove-suite --report json`) to \p Path.
 void writeSuiteReport(const std::string &Path) {
   std::vector<RuleReport> Reports;

@@ -28,10 +28,12 @@
 
 #include "cfg/Cfg.h"
 #include "logic/Lowering.h"
+#include "pec/Explain.h"
 #include "pec/Facts.h"
 #include "pec/Relation.h"
 #include "solver/Atp.h"
 
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -51,11 +53,24 @@ struct CheckerOptions {
   /// a previous attempt showed a seeded pair to be wrong — removing a pair
   /// only weakens the relation, which is always sound).
   std::set<std::pair<Location, Location>> BannedPairs;
+  /// Capture a structured FailureDiagnosis (counterexample model, minimized
+  /// obligation, strengthening trail) on failure. Costs extra ATP queries
+  /// (tagged Purpose::Minimize), so off by default for library callers; the
+  /// pipeline driver turns it on.
+  bool Diagnose = false;
+  /// Query budget of the greedy obligation minimizer.
+  uint32_t MaxMinimizerQueries = 48;
+  /// How many strengthening-trail lines a diagnosis records.
+  size_t MaxTrailEntries = 16;
 };
 
 struct CheckerResult {
   bool Proved = false;
+  FailureKind Kind = FailureKind::None;
   std::string FailureReason;
+  /// Structured failure explanation; non-null only when
+  /// CheckerOptions::Diagnose was set and the proof failed.
+  std::shared_ptr<FailureDiagnosis> Diagnosis;
   uint32_t Strengthenings = 0;
   size_t PathPairs = 0;
   size_t PrunedPathPairs = 0;

@@ -4,6 +4,7 @@
 
 #include "lang/AstOps.h"
 #include "pec/Correlate.h"
+#include "pec/Explain.h"
 #include "pec/Facts.h"
 #include "pec/Permute.h"
 #include "support/Telemetry.h"
@@ -56,7 +57,18 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
       PermuteSpan.arg("proved", P.Proved ? "yes" : "no");
       PermuteSpan.arg("note", P.Note);
       if (!P.Proved) {
+        Result.Kind = FailureKind::PermuteConditionFailed;
         Result.FailureReason = "permute: " + P.Note;
+        if (Options.Diagnose) {
+          auto D = std::make_shared<FailureDiagnosis>();
+          D->Kind = Result.Kind;
+          // The pipeline stopped before any correlation existed: draw the
+          // raw CFGs so the user still sees the two programs.
+          D->Dot = renderProofDot(Cfg::build(Before), Cfg::build(After),
+                                  CorrelationRelation(), Arena, R.Name,
+                                  D.get());
+          Result.Diagnosis = std::move(D);
+        }
         Finish();
         return Result;
       }
@@ -76,7 +88,15 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
   Expected<ProofContext> Ctx =
       buildProofContext(R, P1, P2, Options.UserFacts);
   if (!Ctx) {
+    Result.Kind = FailureKind::SideCondition;
     Result.FailureReason = "side condition: " + Ctx.error().str();
+    if (Options.Diagnose) {
+      auto D = std::make_shared<FailureDiagnosis>();
+      D->Kind = Result.Kind;
+      D->Dot = renderProofDot(P1, P2, CorrelationRelation(), Arena, R.Name,
+                              D.get());
+      Result.Diagnosis = std::move(D);
+    }
     Result.CorrelateSeconds = secondsSince(CorrelateStart);
     Finish();
     return Result;
@@ -109,11 +129,15 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
   // by the seed count.
   auto CheckStart = std::chrono::steady_clock::now();
   CheckerOptions CheckOpts = Options.Checker;
+  CheckOpts.Diagnose = Options.Diagnose;
   CheckerResult Check;
+  // Declared outside the loop so the final (failing) relation is available
+  // to the diagnosis DOT rendering below.
+  CorrelationRelation Rel;
   for (size_t Attempt = 0; Attempt <= SeedRel.size(); ++Attempt) {
     telemetry::Span CheckSpan("pec.check");
     CheckSpan.arg("attempt", static_cast<uint64_t>(Attempt));
-    CorrelationRelation Rel;
+    Rel = CorrelationRelation();
     for (const RelEntry &Entry : SeedRel.entries())
       if (!CheckOpts.BannedPairs.count({Entry.L1, Entry.L2}))
         Rel.add(Entry.L1, Entry.L2, Entry.Pred);
@@ -131,10 +155,17 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
   }
   Result.CheckSeconds = secondsSince(CheckStart);
   Result.Proved = Check.Proved;
+  Result.Kind = Check.Kind;
   Result.FailureReason = Check.FailureReason;
   Result.Strengthenings = Check.Strengthenings;
   Result.PathPairs = Check.PathPairs;
   Result.PrunedPathPairs = Check.PrunedPathPairs;
+  if (!Check.Proved) {
+    Result.Diagnosis = Check.Diagnosis;
+    if (Result.Diagnosis)
+      Result.Diagnosis->Dot = renderProofDot(P1, P2, Rel, Arena, R.Name,
+                                             Result.Diagnosis.get());
+  }
   Finish();
   return Result;
 }

@@ -28,6 +28,7 @@
 #include "lang/Rule.h"
 #include "pec/Checker.h"
 
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -41,12 +42,23 @@ struct PecOptions {
   /// User-declared fact meanings (paper Fig. 4), additional to the
   /// built-in catalog.
   std::vector<FactDecl> UserFacts;
+  /// Capture a FailureDiagnosis (counterexample model, minimized
+  /// obligation, CFG/correlation DOT) when a proof fails. Overrides
+  /// Checker.Diagnose.
+  bool Diagnose = true;
 };
 
 struct PecResult {
   bool Proved = false;
   bool UsedPermute = false;
+  /// Failure taxonomy slug source (see failureKindName); None when proved.
+  FailureKind Kind = FailureKind::None;
+  /// Free-text elaboration of the failure (the pec-report-v2
+  /// `failure_detail` field).
   std::string FailureReason;
+  /// Structured failure explanation (non-null when PecOptions::Diagnose
+  /// and the proof failed).
+  std::shared_ptr<FailureDiagnosis> Diagnosis;
   /// Number of theorem-prover queries (the paper's "#ATP calls").
   uint64_t AtpQueries = 0;
   /// Wall-clock seconds for the whole pipeline.

@@ -77,6 +77,70 @@ void appendAtp(std::string &Out, const AtpStats &S) {
   Out += "}}";
 }
 
+void appendStringArray(std::string &Out, const char *Key,
+                       const std::vector<std::string> &Vs) {
+  appendKey(Out, Key);
+  Out += '[';
+  for (size_t I = 0; I < Vs.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += '"';
+    Out += jsonEscape(Vs[I]);
+    Out += '"';
+  }
+  Out += ']';
+}
+
+void appendDiagnosis(std::string &Out, const FailureDiagnosis &D) {
+  appendKey(Out, "diagnosis");
+  Out += '{';
+  appendString(Out, "kind", failureKindName(D.Kind));
+  Out += ',';
+  appendKey(Out, "l1");
+  Out += D.L1 == InvalidLocation ? "-1" : std::to_string(D.L1);
+  Out += ',';
+  appendKey(Out, "l2");
+  Out += D.L2 == InvalidLocation ? "-1" : std::to_string(D.L2);
+  Out += ',';
+  appendUint(Out, "mover_side", static_cast<uint64_t>(D.MoverSide));
+  Out += ',';
+  appendString(Out, "entry_predicate", D.EntryPredicate);
+  Out += ',';
+  appendString(Out, "obligation", D.Obligation);
+  Out += ',';
+  appendString(Out, "minimized_obligation", D.MinimizedObligation);
+  Out += ',';
+  appendUint(Out, "obligation_conjuncts", D.ObligationConjuncts);
+  Out += ',';
+  appendUint(Out, "minimized_conjuncts", D.MinimizedConjuncts);
+  Out += ',';
+  appendUint(Out, "minimizer_queries", D.MinimizerQueries);
+  Out += ',';
+  appendKey(Out, "model");
+  Out += '{';
+  appendBool(Out, "complete", D.Model.Complete);
+  Out += ',';
+  appendKey(Out, "values");
+  Out += '[';
+  for (size_t I = 0; I < D.Model.Values.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += '{';
+    appendString(Out, "term", D.Model.Values[I].Term);
+    Out += ',';
+    appendKey(Out, "value");
+    Out += std::to_string(D.Model.Values[I].Value);
+    Out += '}';
+  }
+  Out += "],";
+  appendStringArray(Out, "literals", D.Model.Literals);
+  Out += "},";
+  appendStringArray(Out, "assumed_facts", D.AssumedFacts);
+  Out += ',';
+  appendStringArray(Out, "strengthening_trail", D.StrengtheningTrail);
+  Out += '}';
+}
+
 void appendRule(std::string &Out, const RuleReport &R) {
   const PecResult &P = R.Result;
   Out += '{';
@@ -86,8 +150,14 @@ void appendRule(std::string &Out, const RuleReport &R) {
   Out += ',';
   appendString(Out, "method", P.UsedPermute ? "permute" : "bisimulation");
   Out += ',';
-  appendString(Out, "failure_reason", P.FailureReason);
+  appendString(Out, "failure_reason", failureKindName(P.Kind));
   Out += ',';
+  appendString(Out, "failure_detail", P.FailureReason);
+  Out += ',';
+  if (!P.Proved && P.Diagnosis) {
+    appendDiagnosis(Out, *P.Diagnosis);
+    Out += ',';
+  }
   appendSeconds(Out, "seconds", P.Seconds);
   Out += ',';
   appendKey(Out, "phases");
@@ -124,7 +194,7 @@ std::string pec::renderJsonReport(const std::string &Command,
   }
 
   std::string Out = "{";
-  appendString(Out, "schema", "pec-report-v1");
+  appendString(Out, "schema", "pec-report-v2");
   Out += ',';
   appendString(Out, "command", Command);
   Out += ',';
@@ -157,11 +227,12 @@ std::string pec::renderStatsTable(const std::vector<RuleReport> &Rules) {
   std::string Out;
   char Line[256];
   std::snprintf(Line, sizeof(Line),
-                "%-30s %-7s %8s %8s %8s %8s | %6s %6s %6s %6s %6s | %5s\n",
+                "%-30s %-7s %8s %8s %8s %8s | %6s %6s %6s %6s %6s %6s | "
+                "%5s\n",
                 "rule", "proved", "total_s", "perm_s", "corr_s", "check_s",
-                "prune", "oblig", "perm", "stren", "other", "iter");
+                "prune", "oblig", "perm", "stren", "mini", "other", "iter");
   Out += Line;
-  Out += std::string(120, '-');
+  Out += std::string(127, '-');
   Out += '\n';
 
   auto PurposeCount = [](const PecResult &P, Purpose Which) {
@@ -175,13 +246,14 @@ std::string pec::renderStatsTable(const std::vector<RuleReport> &Rules) {
     std::snprintf(
         Line, sizeof(Line),
         "%-30s %-7s %8.3f %8.3f %8.3f %8.3f | %6" PRIu64 " %6" PRIu64
-        " %6" PRIu64 " %6" PRIu64 " %6" PRIu64 " | %5u\n",
+        " %6" PRIu64 " %6" PRIu64 " %6" PRIu64 " %6" PRIu64 " | %5u\n",
         R.Name.c_str(), P.Proved ? "yes" : "NO", P.Seconds,
         P.PermuteSeconds, P.CorrelateSeconds, P.CheckSeconds,
         PurposeCount(P, Purpose::PathPruning),
         PurposeCount(P, Purpose::Obligation),
         PurposeCount(P, Purpose::PermuteCondition),
         PurposeCount(P, Purpose::Strengthening),
+        PurposeCount(P, Purpose::Minimize),
         PurposeCount(P, Purpose::Other), P.Strengthenings);
     Out += Line;
 
@@ -198,18 +270,19 @@ std::string pec::renderStatsTable(const std::vector<RuleReport> &Rules) {
       Total.Atp.ByPurpose[I].Microseconds += P.Atp.ByPurpose[I].Microseconds;
     }
   }
-  Out += std::string(120, '-');
+  Out += std::string(127, '-');
   Out += '\n';
   std::snprintf(
       Line, sizeof(Line),
       "%-30s %-7s %8.3f %8.3f %8.3f %8.3f | %6" PRIu64 " %6" PRIu64
-      " %6" PRIu64 " %6" PRIu64 " %6" PRIu64 " | %5u\n",
+      " %6" PRIu64 " %6" PRIu64 " %6" PRIu64 " %6" PRIu64 " | %5u\n",
       "TOTAL", Total.Proved ? "yes" : "NO", Total.Seconds,
       Total.PermuteSeconds, Total.CorrelateSeconds, Total.CheckSeconds,
       PurposeCount(Total, Purpose::PathPruning),
       PurposeCount(Total, Purpose::Obligation),
       PurposeCount(Total, Purpose::PermuteCondition),
       PurposeCount(Total, Purpose::Strengthening),
+      PurposeCount(Total, Purpose::Minimize),
       PurposeCount(Total, Purpose::Other), Total.Strengthenings);
   Out += Line;
   std::snprintf(Line, sizeof(Line),
@@ -250,7 +323,7 @@ bool validatePurposeStats(const json::ValuePtr &V, const std::string &Path,
 }
 
 bool validateAtp(const json::ValuePtr &Atp, const std::string &Path,
-                 std::string *Error) {
+                 int Version, std::string *Error) {
   for (const char *Key :
        {"queries", "microseconds", "theory_checks", "theory_conflicts",
         "sat_conflicts", "sat_decisions", "propagations"})
@@ -260,6 +333,9 @@ bool validateAtp(const json::ValuePtr &Atp, const std::string &Path,
     return false;
   json::ValuePtr ByPurpose = Atp->get("by_purpose");
   for (size_t P = 0; P < NumPurposes; ++P) {
+    // The `minimize` slice is a v2 addition; v1 documents predate it.
+    if (Version < 2 && static_cast<Purpose>(P) == Purpose::Minimize)
+      continue;
     const char *Name = purposeName(static_cast<Purpose>(P));
     json::ValuePtr Slice = ByPurpose->get(Name);
     if (!Slice || !Slice->isObject())
@@ -271,8 +347,56 @@ bool validateAtp(const json::ValuePtr &Atp, const std::string &Path,
   return true;
 }
 
+bool validateDiagnosis(const json::ValuePtr &D, const std::string &Path,
+                       std::string *Error) {
+  if (!requireField(D, Path, "kind", json::Kind::String, Error) ||
+      !requireField(D, Path, "l1", json::Kind::Number, Error) ||
+      !requireField(D, Path, "l2", json::Kind::Number, Error) ||
+      !requireField(D, Path, "mover_side", json::Kind::Number, Error) ||
+      !requireField(D, Path, "entry_predicate", json::Kind::String, Error) ||
+      !requireField(D, Path, "obligation", json::Kind::String, Error) ||
+      !requireField(D, Path, "minimized_obligation", json::Kind::String,
+                    Error) ||
+      !requireField(D, Path, "obligation_conjuncts", json::Kind::Number,
+                    Error) ||
+      !requireField(D, Path, "minimized_conjuncts", json::Kind::Number,
+                    Error) ||
+      !requireField(D, Path, "minimizer_queries", json::Kind::Number,
+                    Error) ||
+      !requireField(D, Path, "model", json::Kind::Object, Error) ||
+      !requireField(D, Path, "assumed_facts", json::Kind::Array, Error) ||
+      !requireField(D, Path, "strengthening_trail", json::Kind::Array,
+                    Error))
+    return false;
+  const std::string &Kind = D->get("kind")->stringValue();
+  if (Kind.empty() || failureKindFromName(Kind) == FailureKind::None)
+    return failV(Error, Path + ": unknown diagnosis kind '" + Kind + "'");
+  if (D->get("minimized_conjuncts")->numberValue() >
+      D->get("obligation_conjuncts")->numberValue())
+    return failV(Error,
+                 Path + ": minimized_conjuncts exceeds obligation_conjuncts");
+  json::ValuePtr Model = D->get("model");
+  if (!requireField(Model, Path + ".model", "complete", json::Kind::Bool,
+                    Error) ||
+      !requireField(Model, Path + ".model", "values", json::Kind::Array,
+                    Error) ||
+      !requireField(Model, Path + ".model", "literals", json::Kind::Array,
+                    Error))
+    return false;
+  const auto &Values = Model->get("values")->array();
+  for (size_t I = 0; I < Values.size(); ++I) {
+    std::string VPath = Path + ".model.values[" + std::to_string(I) + "]";
+    if (!Values[I]->isObject())
+      return failV(Error, VPath + ": model values must be objects");
+    if (!requireField(Values[I], VPath, "term", json::Kind::String, Error) ||
+        !requireField(Values[I], VPath, "value", json::Kind::Number, Error))
+      return false;
+  }
+  return true;
+}
+
 bool validateRule(const json::ValuePtr &Rule, const std::string &Path,
-                  std::string *Error) {
+                  int Version, std::string *Error) {
   if (!Rule->isObject())
     return failV(Error, Path + ": rule entries must be objects");
   if (!requireField(Rule, Path, "name", json::Kind::String, Error) ||
@@ -295,13 +419,35 @@ bool validateRule(const json::ValuePtr &Rule, const std::string &Path,
   if (Method != "permute" && Method != "bisimulation")
     return failV(Error, Path + ": method must be 'permute' or "
                                 "'bisimulation'");
+  if (Version >= 2) {
+    // v2: failure_reason is a taxonomy slug (empty for proved rules), the
+    // free text lives in failure_detail, and failed rules may carry a
+    // structured diagnosis.
+    if (!requireField(Rule, Path, "failure_detail", json::Kind::String,
+                      Error))
+      return false;
+    const std::string &Reason = Rule->get("failure_reason")->stringValue();
+    if (!Reason.empty() && failureKindFromName(Reason) == FailureKind::None)
+      return failV(Error,
+                   Path + ": unknown failure_reason '" + Reason + "'");
+    if (Rule->get("proved")->boolValue() && !Reason.empty())
+      return failV(Error, Path + ": proved rule has a failure_reason");
+    if (json::ValuePtr D = Rule->get("diagnosis")) {
+      if (!D->isObject())
+        return failV(Error, Path + ": diagnosis must be an object");
+      if (Rule->get("proved")->boolValue())
+        return failV(Error, Path + ": proved rule has a diagnosis");
+      if (!validateDiagnosis(D, Path + ".diagnosis", Error))
+        return false;
+    }
+  }
   json::ValuePtr Phases = Rule->get("phases");
   for (const char *Key :
        {"permute_seconds", "correlate_seconds", "check_seconds"})
     if (!requireField(Phases, Path + ".phases", Key, json::Kind::Number,
                       Error))
       return false;
-  return validateAtp(Rule->get("atp"), Path + ".atp", Error);
+  return validateAtp(Rule->get("atp"), Path + ".atp", Version, Error);
 }
 
 } // namespace
@@ -311,9 +457,14 @@ bool pec::validateReport(const json::ValuePtr &Report, std::string *Error) {
     return failV(Error, "report: not a JSON object");
   if (!requireField(Report, "report", "schema", json::Kind::String, Error))
     return false;
-  if (Report->get("schema")->stringValue() != "pec-report-v1")
-    return failV(Error, "report: unknown schema '" +
-                            Report->get("schema")->stringValue() + "'");
+  const std::string &Schema = Report->get("schema")->stringValue();
+  int Version;
+  if (Schema == "pec-report-v1")
+    Version = 1;
+  else if (Schema == "pec-report-v2")
+    Version = 2;
+  else
+    return failV(Error, "report: unknown schema '" + Schema + "'");
   if (!requireField(Report, "report", "command", json::Kind::String,
                     Error) ||
       !requireField(Report, "report", "rules", json::Kind::Array, Error) ||
@@ -322,7 +473,8 @@ bool pec::validateReport(const json::ValuePtr &Report, std::string *Error) {
 
   const auto &Rules = Report->get("rules")->array();
   for (size_t I = 0; I < Rules.size(); ++I)
-    if (!validateRule(Rules[I], "rules[" + std::to_string(I) + "]", Error))
+    if (!validateRule(Rules[I], "rules[" + std::to_string(I) + "]", Version,
+                      Error))
       return false;
 
   json::ValuePtr Totals = Report->get("totals");
@@ -348,4 +500,131 @@ bool pec::validateReport(const json::ValuePtr &Report, std::string *Error) {
       Queries)
     return failV(Error, "totals.atp_queries disagrees with the rules array");
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Report diffing (the `pec report diff` regression gate)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct RuleFacts {
+  bool Proved = false;
+  double Seconds = 0;
+  uint64_t AtpQueries = 0;
+  std::string FailureReason;
+};
+
+/// Indexes a validated report's rules array by rule name.
+std::map<std::string, RuleFacts> indexRules(const json::ValuePtr &Report) {
+  std::map<std::string, RuleFacts> Out;
+  for (const json::ValuePtr &Rule : Report->get("rules")->array()) {
+    RuleFacts F;
+    F.Proved = Rule->get("proved")->boolValue();
+    F.Seconds = Rule->get("seconds")->numberValue();
+    F.AtpQueries = static_cast<uint64_t>(
+        Rule->get("atp")->get("queries")->numberValue());
+    F.FailureReason = Rule->get("failure_reason")->stringValue();
+    Out.emplace(Rule->get("name")->stringValue(), std::move(F));
+  }
+  return Out;
+}
+
+std::string fmtSeconds(double S) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3fs", S);
+  return Buf;
+}
+
+} // namespace
+
+ReportDiff pec::diffReports(const json::ValuePtr &Old,
+                            const json::ValuePtr &New,
+                            const ReportDiffOptions &Options) {
+  ReportDiff D;
+
+  const std::string &OldSchema = Old->get("schema")->stringValue();
+  const std::string &NewSchema = New->get("schema")->stringValue();
+  if (OldSchema != NewSchema)
+    D.Regressions.push_back("schema drift: baseline is '" + OldSchema +
+                            "', new report is '" + NewSchema +
+                            "' (regenerate the baseline)");
+
+  std::map<std::string, RuleFacts> OldRules = indexRules(Old);
+  std::map<std::string, RuleFacts> NewRules = indexRules(New);
+
+  for (const auto &[Name, OldF] : OldRules) {
+    auto It = NewRules.find(Name);
+    if (It == NewRules.end()) {
+      D.Regressions.push_back("rule '" + Name +
+                              "' disappeared from the new report");
+      continue;
+    }
+    const RuleFacts &NewF = It->second;
+
+    if (OldF.Proved && !NewF.Proved)
+      D.Regressions.push_back(
+          "rule '" + Name + "' regressed: proved -> NOT proved (" +
+          (NewF.FailureReason.empty() ? std::string("unspecified")
+                                      : NewF.FailureReason) +
+          ")");
+    else if (!OldF.Proved && NewF.Proved)
+      D.Notes.push_back("rule '" + Name + "' improved: NOT proved -> proved");
+
+    // A metric regresses only past BOTH the factor and the absolute slack.
+    bool TimeRegressed =
+        NewF.Seconds > OldF.Seconds * Options.TimeToleranceFactor &&
+        NewF.Seconds > OldF.Seconds + Options.TimeSlackSeconds;
+    if (TimeRegressed)
+      D.Regressions.push_back(
+          "rule '" + Name + "' time regressed: " + fmtSeconds(OldF.Seconds) +
+          " -> " + fmtSeconds(NewF.Seconds) + " (tolerance " +
+          fmtSeconds(OldF.Seconds * Options.TimeToleranceFactor) + " + " +
+          fmtSeconds(Options.TimeSlackSeconds) + " slack)");
+    else if (NewF.Seconds > OldF.Seconds * Options.TimeToleranceFactor)
+      D.Notes.push_back("rule '" + Name + "' time delta inside slack: " +
+                        fmtSeconds(OldF.Seconds) + " -> " +
+                        fmtSeconds(NewF.Seconds));
+
+    double QueryCeiling = static_cast<double>(OldF.AtpQueries) *
+                          Options.QueryToleranceFactor;
+    bool QueriesRegressed =
+        static_cast<double>(NewF.AtpQueries) > QueryCeiling &&
+        NewF.AtpQueries > OldF.AtpQueries + Options.QuerySlack;
+    if (QueriesRegressed)
+      D.Regressions.push_back(
+          "rule '" + Name + "' ATP queries regressed: " +
+          std::to_string(OldF.AtpQueries) + " -> " +
+          std::to_string(NewF.AtpQueries) + " (tolerance factor " +
+          std::to_string(Options.QueryToleranceFactor) + ", slack " +
+          std::to_string(Options.QuerySlack) + ")");
+  }
+
+  for (const auto &[Name, NewF] : NewRules) {
+    (void)NewF;
+    if (!OldRules.count(Name))
+      D.Notes.push_back("rule '" + Name + "' is new in this report");
+  }
+
+  uint64_t OldProved =
+      static_cast<uint64_t>(Old->get("totals")->get("proved")->numberValue());
+  uint64_t NewProved =
+      static_cast<uint64_t>(New->get("totals")->get("proved")->numberValue());
+  D.Notes.push_back("proved totals: " + std::to_string(OldProved) + " -> " +
+                    std::to_string(NewProved));
+  return D;
+}
+
+std::string pec::renderReportDiff(const ReportDiff &D) {
+  std::string Out;
+  if (D.Regressions.empty())
+    Out += "report diff: OK (no regressions)\n";
+  else
+    Out += "report diff: " + std::to_string(D.Regressions.size()) +
+           " regression(s)\n";
+  for (const std::string &R : D.Regressions)
+    Out += "  REGRESSION: " + R + "\n";
+  for (const std::string &N : D.Notes)
+    Out += "  note: " + N + "\n";
+  return Out;
 }

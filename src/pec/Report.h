@@ -5,14 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The `pec-report-v1` JSON report: one schema-stable document per proof
+/// The `pec-report-v2` JSON report: one schema-stable document per proof
 /// run, carrying per-rule outcomes, pipeline phase times, and the full ATP
 /// statistics with the per-purpose query breakdown. Emitted by
 /// `pec prove/prove-suite/tv --report json` and by `bench_figure11
 /// --pec-json=FILE` (the committed `BENCH_figure11.json` perf trajectory).
-/// The schema is documented in docs/OBSERVABILITY.md and enforced by
-/// `validateReport` (the `check_bench_schema` CTest and the telemetry unit
-/// tests both call it, so the format cannot silently drift).
+/// v2 extends v1 additively: `failure_reason` is a closed taxonomy slug
+/// (see pec::FailureKind), the free text moved to `failure_detail`, failed
+/// rules may carry a structured `diagnosis` object, and `by_purpose` gained
+/// the `minimize` slice. The schema is documented in docs/OBSERVABILITY.md
+/// and docs/DIAGNOSTICS.md and enforced by `validateReport` (which still
+/// accepts v1 documents; the `check_bench_schema` CTest and the telemetry
+/// unit tests both call it, so the format cannot silently drift).
+///
+/// `diffReports` compares two report documents — proved-set changes,
+/// per-rule time and ATP-query deltas under a configurable tolerance, and
+/// schema drift — backing the `pec report diff` subcommand and the
+/// `check_bench_regression` CTest gate.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +42,7 @@ struct RuleReport {
   PecResult Result;
 };
 
-/// Renders the `pec-report-v1` JSON document. \p Command names the
+/// Renders the `pec-report-v2` JSON document. \p Command names the
 /// producing run ("prove", "prove-suite", "tv", "bench_figure11").
 std::string renderJsonReport(const std::string &Command,
                              const std::vector<RuleReport> &Rules);
@@ -43,10 +52,44 @@ std::string renderJsonReport(const std::string &Command,
 /// totals row.
 std::string renderStatsTable(const std::vector<RuleReport> &Rules);
 
-/// Validates a parsed report against the `pec-report-v1` schema (field
-/// presence and JSON types, per-rule and totals). On failure returns false
-/// and describes the first violation in \p Error.
+/// Validates a parsed report against the `pec-report-v1` or `pec-report-v2`
+/// schema (field presence and JSON types, per-rule and totals; v2
+/// additionally checks the failure taxonomy, `failure_detail`, the
+/// `minimize` purpose slice, and any `diagnosis` objects). On failure
+/// returns false and describes the first violation in \p Error.
 bool validateReport(const json::ValuePtr &Report, std::string *Error);
+
+/// Tolerances for diffReports. A metric regresses only when it exceeds the
+/// old value by BOTH the multiplicative factor and the absolute slack, so
+/// microsecond-scale jitter on near-zero baselines never trips the gate.
+struct ReportDiffOptions {
+  double TimeToleranceFactor = 3.0;
+  double TimeSlackSeconds = 0.05;
+  double QueryToleranceFactor = 2.0;
+  uint64_t QuerySlack = 16;
+};
+
+/// Outcome of comparing two report documents.
+struct ReportDiff {
+  /// Gate-failing findings: schema drift, rules that disappeared or
+  /// flipped proved -> failed, time/query budget breaches.
+  std::vector<std::string> Regressions;
+  /// Informational findings: new rules, failed -> proved flips, deltas
+  /// inside tolerance.
+  std::vector<std::string> Notes;
+
+  bool hasRegression() const { return !Regressions.empty(); }
+};
+
+/// Compares baseline \p Old against \p New rule by rule (keyed by rule
+/// name): proved-set changes, per-rule wall-clock and ATP-query deltas
+/// under \p Options, and schema drift. Works on any documents that passed
+/// validateReport (v1 or v2).
+ReportDiff diffReports(const json::ValuePtr &Old, const json::ValuePtr &New,
+                       const ReportDiffOptions &Options = {});
+
+/// Human-readable rendering of a diff (the `pec report diff` output).
+std::string renderReportDiff(const ReportDiff &D);
 
 } // namespace pec
 

@@ -5,8 +5,10 @@
 #include "solver/Sat.h"
 #include "solver/Theory.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -135,10 +137,13 @@ public:
   SmtContext(TermArena &Arena, const AtpOptions &Options, AtpStats &Stats)
       : Arena(Arena), Options(Options), Stats(Stats) {}
 
-  bool solve(const FormulaPtr &Input) {
+  bool solve(const FormulaPtr &Input, TheoryModel *ModelOut = nullptr) {
     FormulaPtr F = expandDivModLemmas(Arena, expandArrayLemmas(Arena, Input));
-    if (F->kind() == FormulaKind::True)
+    if (F->kind() == FormulaKind::True) {
+      if (ModelOut)
+        ModelOut->Complete = true; // Trivially satisfiable; nothing to value.
       return true;
+    }
     if (F->kind() == FormulaKind::False)
       return false;
 
@@ -162,11 +167,15 @@ public:
       std::vector<char> Relevant = relevantTerms(Arena, Lits);
       if (theoryConsistent(Arena, Lits, Relevant)) {
         harvestSatStats();
+        if (ModelOut)
+          extractTheoryModel(Arena, Lits, Relevant, *ModelOut);
         return true;
       }
       ++Stats.TheoryConflicts;
       if (ConflictBudget-- == 0) {
-        // Give up: treat as satisfiable (safe direction for validity).
+        // Give up: treat as satisfiable (safe direction for validity). No
+        // model: the literal set is theory-inconsistent, so its valuations
+        // would be misleading.
         harvestSatStats();
         return true;
       }
@@ -339,14 +348,51 @@ private:
 
 } // namespace
 
-bool Atp::isSatisfiable(const FormulaPtr &F) {
-  QueryAccounting Account("atp.isSatisfiable", Stats);
-  SmtContext Ctx(Arena, Options, Stats);
-  return Ctx.solve(F);
+namespace {
+
+/// Renders the TermId-based theory model into the string-based AtpModel
+/// (which must outlive the arena and the query).
+void renderModel(TermArena &Arena, const TheoryModel &TM, AtpModel &Out) {
+  Out.Complete = TM.Complete;
+  Out.Values.clear();
+  Out.Literals.clear();
+  Out.Values.reserve(TM.Ints.size());
+  for (const TheoryModelEntry &E : TM.Ints)
+    Out.Values.push_back(AtpModelEntry{Arena.str(E.Term), E.Value});
+  std::sort(Out.Values.begin(), Out.Values.end(),
+            [](const AtpModelEntry &A, const AtpModelEntry &B) {
+              return A.Term < B.Term;
+            });
+  Out.Literals.reserve(TM.Literals.size());
+  for (const TheoryLit &L : TM.Literals) {
+    std::string S = L.Atom->str(Arena);
+    Out.Literals.push_back(L.Positive ? S : "!(" + S + ")");
+  }
+  std::sort(Out.Literals.begin(), Out.Literals.end());
 }
 
-bool Atp::isValid(const FormulaPtr &F) {
+} // namespace
+
+bool Atp::isSatisfiable(const FormulaPtr &F) { return isSatisfiable(F, nullptr); }
+
+bool Atp::isSatisfiable(const FormulaPtr &F, AtpModel *Model) {
+  QueryAccounting Account("atp.isSatisfiable", Stats);
+  SmtContext Ctx(Arena, Options, Stats);
+  TheoryModel TM;
+  bool Sat = Ctx.solve(F, Model ? &TM : nullptr);
+  if (Sat && Model)
+    renderModel(Arena, TM, *Model);
+  return Sat;
+}
+
+bool Atp::isValid(const FormulaPtr &F) { return isValid(F, nullptr); }
+
+bool Atp::isValid(const FormulaPtr &F, AtpModel *Counterexample) {
   QueryAccounting Account("atp.isValid", Stats);
   SmtContext Ctx(Arena, Options, Stats);
-  return !Ctx.solve(Formula::mkNot(F));
+  TheoryModel TM;
+  bool Sat = Ctx.solve(Formula::mkNot(F), Counterexample ? &TM : nullptr);
+  if (Sat && Counterexample)
+    renderModel(Arena, TM, *Counterexample);
+  return !Sat;
 }

@@ -28,6 +28,8 @@
 #include "support/Telemetry.h"
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace pec {
 
@@ -57,6 +59,27 @@ struct AtpOptions {
   uint32_t MaxTheoryConflictsPerQuery = 2000;
 };
 
+/// One line of a counterexample model: a pretty-printed Int term (state
+/// read, symbolic constant, uninterpreted application) and its value.
+struct AtpModelEntry {
+  std::string Term;
+  int64_t Value = 0;
+};
+
+/// A satisfying model extracted from a failed validity query (equivalently
+/// a successful satisfiability query): concrete valuations for the
+/// readable Int terms plus the theory literals the solver committed to.
+/// `Complete` is false when the arithmetic model could not be recovered
+/// (solver budget exhaustion) — the literals still describe the failing
+/// branch. Rendering, not TermIds, so the model outlives its TermArena.
+struct AtpModel {
+  std::vector<AtpModelEntry> Values;
+  std::vector<std::string> Literals;
+  bool Complete = false;
+
+  bool empty() const { return Values.empty() && Literals.empty(); }
+};
+
 class Atp {
 public:
   explicit Atp(TermArena &Arena, AtpOptions Options = {})
@@ -65,8 +88,16 @@ public:
   /// Is \p F true in every model? (Checks that !F is unsatisfiable.)
   bool isValid(const FormulaPtr &F);
 
+  /// As above; when the answer is false and \p Counterexample is non-null,
+  /// fills it with a satisfying model of !F (possibly empty when the
+  /// failure came from budget exhaustion rather than a real model).
+  bool isValid(const FormulaPtr &F, AtpModel *Counterexample);
+
   /// Does \p F have a model?
   bool isSatisfiable(const FormulaPtr &F);
+
+  /// As above; fills \p Model with a satisfying model on success.
+  bool isSatisfiable(const FormulaPtr &F, AtpModel *Model);
 
   TermArena &arena() { return Arena; }
   const AtpStats &stats() const { return Stats; }

@@ -85,6 +85,11 @@ public:
   /// user variable.
   int64_t modelValue(uint32_t Var) const;
 
+  /// True when the last `isFeasible() == true` run reached an integral
+  /// leaf. Budget exhaustion answers "feasible" without a model; callers
+  /// extracting counterexamples must check this before `modelValue`.
+  bool hasModel() const { return Model.size() == NumUserVars; }
+
 private:
   struct Bound {
     std::optional<Rational> Lower;

@@ -305,3 +305,67 @@ bool pec::theoryConsistent(TermArena &Arena,
   }
   return true; // Round limit: conservative "consistent".
 }
+
+bool pec::extractTheoryModel(TermArena &Arena,
+                             const std::vector<TheoryLit> &Lits,
+                             const std::vector<char> &Relevant,
+                             TheoryModel &Out) {
+  Out = TheoryModel();
+
+  CongruenceClosure Cc(Arena, Relevant);
+  for (const TheoryLit &L : Lits) {
+    if (L.Atom->kind() != FormulaKind::Eq)
+      continue;
+    if (L.Positive)
+      Cc.addEquality(L.Atom->lhsTerm(), L.Atom->rhsTerm());
+    else
+      Cc.addDisequality(L.Atom->lhsTerm(), L.Atom->rhsTerm());
+  }
+  if (!Cc.check())
+    return false;
+  Out.Literals = Lits;
+
+  // The Int terms a human can read something into: state cells, array
+  // reads, free constants, and uninterpreted applications. Structural
+  // arithmetic (Add/Mul/...) is derivable from these.
+  std::vector<TermId> Interesting;
+  for (TermId T = 0; T < Arena.size(); ++T) {
+    if (T < Relevant.size() && !Relevant[T])
+      continue;
+    if (Arena.sortOf(T) != Sort::Int)
+      continue;
+    TermOp Op = Arena.node(T).Op;
+    if (Op == TermOp::SymConst || Op == TermOp::SelS ||
+        Op == TermOp::SelA || Op == TermOp::Apply)
+      Interesting.push_back(T);
+  }
+
+  LiaSolver Lia;
+  Linearizer Lin(Arena, Lia, &Cc);
+  std::vector<std::pair<TermId, TermId>> Eqs;
+  Cc.forEachIntEquality([&](TermId A, TermId B) { Eqs.emplace_back(A, B); });
+  bool AnyArith = false;
+  loadLia(Arena, Lits, Eqs, Lia, Lin, AnyArith);
+  // Linearize the terms we want valuations for *before* solving, so their
+  // LIA variables exist (unconstrained ones get a default value).
+  std::vector<std::pair<TermId, LinExpr>> Wanted;
+  Wanted.reserve(Interesting.size());
+  for (TermId T : Interesting)
+    Wanted.emplace_back(T, Lin.linearize(T));
+  if (!Lia.isFeasible())
+    return false;
+  if (!Lia.hasModel())
+    return true; // Budget ran out: literals only, no valuations.
+
+  Out.Complete = true;
+  for (const auto &[T, E] : Wanted) {
+    Rational V = E.Constant;
+    for (const auto &[Var, C] : E.Coeffs)
+      V += C * Rational(Lia.modelValue(Var));
+    if (V.isInteger())
+      Out.Ints.push_back(TheoryModelEntry{T, V.num()});
+    else
+      Out.Complete = false; // Non-integral residue: skip, flag partial.
+  }
+  return true;
+}

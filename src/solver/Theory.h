@@ -39,6 +39,37 @@ struct TheoryLit {
 bool theoryConsistent(TermArena &Arena, const std::vector<TheoryLit> &Lits,
                       const std::vector<char> &Relevant);
 
+/// One concrete valuation in a theory model: an Int-sorted term (state
+/// reads `selS(s, "x")`, symbolic constants, uninterpreted applications)
+/// and its integer value under the satisfying assignment.
+struct TheoryModelEntry {
+  TermId Term = InvalidTerm;
+  int64_t Value = 0;
+};
+
+/// A satisfying assignment extracted from a consistent literal set: the
+/// asserted literals plus integer valuations of the interesting Int terms.
+/// `Complete` is false when the LIA model could not be recovered (budget
+/// exhaustion or non-integral residue) — the literals alone still describe
+/// the branch the solver committed to.
+struct TheoryModel {
+  std::vector<TheoryLit> Literals;
+  std::vector<TheoryModelEntry> Ints;
+  bool Complete = false;
+
+  bool empty() const { return Literals.empty() && Ints.empty(); }
+};
+
+/// Extracts a concrete model from the theory-consistent literal set
+/// \p Lits: re-runs the congruence/LIA combination and reads back integer
+/// values for every relevant Int-sorted term whose shape carries meaning
+/// for a human (SymConst, SelS, SelA, Apply). Returns false (and an empty
+/// model) if the literal set turns out inconsistent — callers pass the set
+/// that `theoryConsistent` just accepted, so this only happens on budget
+/// asymmetries.
+bool extractTheoryModel(TermArena &Arena, const std::vector<TheoryLit> &Lits,
+                        const std::vector<char> &Relevant, TheoryModel &Out);
+
 /// Computes the subterm closure of the atoms in \p Lits as a bitmask over
 /// \p Arena (indexed by TermId).
 std::vector<char> relevantTerms(const TermArena &Arena,

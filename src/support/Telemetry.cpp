@@ -2,6 +2,8 @@
 
 #include "support/Telemetry.h"
 
+#include "support/Escape.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -120,6 +122,8 @@ const char *telemetry::purposeName(Purpose P) {
     return "permute-condition";
   case Purpose::Strengthening:
     return "strengthening";
+  case Purpose::Minimize:
+    return "minimize";
   }
   return "other";
 }
@@ -214,42 +218,7 @@ std::vector<std::pair<std::string, uint64_t>> telemetry::counterSnapshot() {
 //===----------------------------------------------------------------------===//
 
 std::string telemetry::jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 8);
-  for (unsigned char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\b':
-      Out += "\\b";
-      break;
-    case '\f':
-      Out += "\\f";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += static_cast<char>(C);
-      }
-    }
-  }
-  return Out;
+  return escapeJson(S); // One escaper for every serializer: support/Escape.h.
 }
 
 namespace {

@@ -71,8 +71,9 @@ enum class Purpose : uint8_t {
   Obligation,       ///< First validity check of a simulation constraint.
   PermuteCondition, ///< The five Permute Theorem conditions.
   Strengthening,    ///< Re-checks after a predicate was strengthened.
+  Minimize,         ///< Diagnosis: obligation-minimizer re-queries.
 };
-constexpr size_t NumPurposes = 5;
+constexpr size_t NumPurposes = 6;
 
 /// Stable lower-case name of \p P ("path-pruning", "obligation", ...).
 const char *purposeName(Purpose P);

@@ -4,6 +4,8 @@
 //
 //   pec prove <rules-file>            prove every rule in the file
 //   pec prove-suite                   prove the paper's Figure 11 suite
+//   pec explain <rules-file>          diagnose the failing rules
+//   pec report diff <old> <new>       regression-gate two report JSONs
 //   pec apply <rules-file> <program>  apply the rules to a program
 //   pec tv <original> <transformed>   translation validation
 //   pec cfg <program>                 dump the program's CFG
@@ -12,11 +14,11 @@
 // --assume-positive (an analysis oracle accepting every StrictlyPositive
 // side condition — for kernels whose trip counts are known positive).
 //
-// The proving commands (prove, prove-suite, tv) additionally accept the
-// observability flags (docs/OBSERVABILITY.md):
+// The proving commands (prove, prove-suite, tv, explain) additionally
+// accept the observability flags (docs/OBSERVABILITY.md):
 //
 //   --trace FILE    write a Chrome trace_event JSON of the run to FILE
-//   --report json   emit the pec-report-v1 JSON document on stdout
+//   --report json   emit the pec-report-v2 JSON document on stdout
 //                   (human-readable lines move to stderr)
 //   --stats         print the per-rule phase/ATP statistics table
 //
@@ -28,11 +30,13 @@
 #include "lang/Parser.h"
 #include "lang/Printer.h"
 #include "opts/Optimizations.h"
+#include "pec/Explain.h"
 #include "pec/Pec.h"
 #include "pec/Report.h"
 #include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -48,6 +52,10 @@ int usage() {
                "usage:\n"
                "  pec prove <rules-file> [observability flags]\n"
                "  pec prove-suite [observability flags]\n"
+               "  pec explain <rules-file> [rule-name] [--dot FILE] [observability flags]\n"
+               "  pec report diff <old.json> <new.json> "
+               "[--time-tolerance F] [--time-slack S]\n"
+               "                  [--query-tolerance F] [--query-slack N]\n"
                "  pec apply <rules-file> <program-file> [--fixpoint] "
                "[--assume-positive] [--staged]\n"
                "  pec tv <original-file> <transformed-file> "
@@ -55,10 +63,18 @@ int usage() {
                "  pec cfg <program-file>\n"
                "  pec interp <program-file> [var=value | arr[i]=value]...\n"
                "\n"
-               "observability flags (prove, prove-suite, tv):\n"
+               "observability flags (prove, prove-suite, tv, explain):\n"
                "  --trace FILE    write a Chrome trace_event JSON to FILE\n"
-               "  --report json   emit the pec-report-v1 JSON on stdout\n"
-               "  --stats         print the per-rule statistics table\n");
+               "  --report json   emit the pec-report-v2 JSON on stdout\n"
+               "  --stats         print the per-rule statistics table\n"
+               "\n"
+               "`pec explain` re-proves the rules and prints a structured\n"
+               "failure diagnosis (counterexample model, minimized failing\n"
+               "obligation) for each rule that fails; --dot writes a\n"
+               "Graphviz drawing of both CFGs with the correlation entries\n"
+               "for the first failing rule. `pec report diff` compares two\n"
+               "report JSONs and exits 1 on a regression (proved-set\n"
+               "shrinkage, time/query budget breach, schema drift).\n");
   return 2;
 }
 
@@ -151,6 +167,9 @@ void printProof(FILE *Out, const std::string &Name, const PecResult &R) {
         std::fprintf(Out, " %s", std::string(V.str()).c_str());
       std::fprintf(Out, "\n");
     }
+  } else if (R.Kind != FailureKind::None) {
+    std::fprintf(Out, "%-30s NOT PROVED [%s]: %s\n", Name.c_str(),
+                 failureKindName(R.Kind), R.FailureReason.c_str());
   } else {
     std::fprintf(Out, "%-30s NOT PROVED: %s\n", Name.c_str(),
                  R.FailureReason.c_str());
@@ -200,6 +219,104 @@ int cmdProveSuite(const OutputOptions &Opts) {
     }
   }
   return finishRun(Opts, "prove-suite", Reports, Failures == 0 ? 0 : 1);
+}
+
+/// `pec explain <rules-file> [rule-name] [--dot FILE]`: re-proves the
+/// rules and renders a full diagnosis for every failure. Exits 0 when each
+/// requested rule was either proved or diagnosed; nonzero only on usage,
+/// parse, or I/O errors (the command's job is explaining failures, so a
+/// failing rule is its normal input).
+int cmdExplain(const std::string &Path, const std::string &RuleName,
+               const std::string &DotPath, const OutputOptions &Opts) {
+  std::string Source;
+  if (!readFile(Path, Source))
+    return 1;
+  Expected<RuleFile> File = parseRuleFile(Source);
+  if (!File) {
+    std::fprintf(stderr, "parse error: %s\n", File.error().str().c_str());
+    return 1;
+  }
+  PecOptions Options;
+  Options.UserFacts = File->Facts;
+  Options.Diagnose = true;
+
+  FILE *Out = Opts.humanStream();
+  std::vector<RuleReport> Reports;
+  bool Found = false;
+  bool DotWritten = false;
+  for (const Rule &R : File->Rules) {
+    if (!RuleName.empty() && R.Name != RuleName)
+      continue;
+    Found = true;
+    PecResult Result = proveRule(R, Options);
+    if (Result.Proved) {
+      std::fprintf(Out,
+                   "rule %s: PROVED (%s, %llu ATP queries, %.3fs) — nothing "
+                   "to explain\n",
+                   R.Name.c_str(),
+                   Result.UsedPermute ? "permute" : "bisimulation",
+                   static_cast<unsigned long long>(Result.AtpQueries),
+                   Result.Seconds);
+    } else if (Result.Diagnosis) {
+      std::fprintf(Out, "%s",
+                   renderDiagnosis(*Result.Diagnosis, R.Name).c_str());
+    } else {
+      std::fprintf(Out, "rule %s: NOT PROVED [%s]: %s\n", R.Name.c_str(),
+                   failureKindName(Result.Kind),
+                   Result.FailureReason.c_str());
+    }
+    if (!Result.Proved && !DotPath.empty() && !DotWritten &&
+        Result.Diagnosis && !Result.Diagnosis->Dot.empty()) {
+      std::ofstream DotOut(DotPath);
+      if (!DotOut) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", DotPath.c_str());
+        return 1;
+      }
+      DotOut << Result.Diagnosis->Dot;
+      DotWritten = true;
+      std::fprintf(Out, "  correlation graph written to %s\n",
+                   DotPath.c_str());
+    }
+    Reports.push_back({R.Name, std::move(Result)});
+  }
+  if (!Found) {
+    std::fprintf(stderr, "error: no rule named '%s' in '%s'\n",
+                 RuleName.c_str(), Path.c_str());
+    return 1;
+  }
+  return finishRun(Opts, "explain", Reports, 0);
+}
+
+/// `pec report diff <old> <new> [tolerance flags]`: compares two report
+/// documents; exit 1 signals a regression (the check_bench_regression
+/// gate), exit 2 a usage/parse/validation error.
+int cmdReportDiff(const std::string &OldPath, const std::string &NewPath,
+                  const ReportDiffOptions &Options) {
+  std::string OldText, NewText;
+  if (!readFile(OldPath, OldText) || !readFile(NewPath, NewText))
+    return 2;
+  std::string Error;
+  json::ValuePtr Old = json::parse(OldText, &Error);
+  if (!Old) {
+    std::fprintf(stderr, "error: %s: %s\n", OldPath.c_str(), Error.c_str());
+    return 2;
+  }
+  json::ValuePtr New = json::parse(NewText, &Error);
+  if (!New) {
+    std::fprintf(stderr, "error: %s: %s\n", NewPath.c_str(), Error.c_str());
+    return 2;
+  }
+  if (!validateReport(Old, &Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", OldPath.c_str(), Error.c_str());
+    return 2;
+  }
+  if (!validateReport(New, &Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", NewPath.c_str(), Error.c_str());
+    return 2;
+  }
+  ReportDiff D = diffReports(Old, New, Options);
+  std::printf("%s", renderReportDiff(D).c_str());
+  return D.hasRegression() ? 1 : 0;
 }
 
 int cmdApply(const std::string &RulesPath, const std::string &ProgramPath,
@@ -368,7 +485,8 @@ int main(int argc, char **argv) {
   const std::string Cmd = Args[0];
 
   OutputOptions Output;
-  if (Cmd == "prove" || Cmd == "prove-suite" || Cmd == "tv") {
+  if (Cmd == "prove" || Cmd == "prove-suite" || Cmd == "tv" ||
+      Cmd == "explain") {
     if (!parseOutputOptions(Args, Output))
       return 2;
   }
@@ -377,6 +495,57 @@ int main(int argc, char **argv) {
     return cmdProve(Args[1], Output);
   if (Cmd == "prove-suite" && Args.size() == 1)
     return cmdProveSuite(Output);
+  if (Cmd == "explain" && Args.size() >= 2) {
+    std::string RuleName, DotPath;
+    for (size_t I = 2; I < Args.size(); ++I) {
+      if (Args[I] == "--dot") {
+        if (I + 1 >= Args.size()) {
+          std::fprintf(stderr, "error: --dot requires a file name\n");
+          return 2;
+        }
+        DotPath = Args[++I];
+      } else if (RuleName.empty() && Args[I][0] != '-') {
+        RuleName = Args[I];
+      } else {
+        return usage();
+      }
+    }
+    return cmdExplain(Args[1], RuleName, DotPath, Output);
+  }
+  if (Cmd == "report" && Args.size() >= 4 && Args[1] == "diff") {
+    ReportDiffOptions DiffOpts;
+    std::vector<std::pair<const char *, double *>> DoubleFlags = {
+        {"--time-tolerance", &DiffOpts.TimeToleranceFactor},
+        {"--time-slack", &DiffOpts.TimeSlackSeconds},
+        {"--query-tolerance", &DiffOpts.QueryToleranceFactor},
+    };
+    for (size_t I = 4; I < Args.size(); ++I) {
+      bool Matched = false;
+      for (auto &[Flag, Slot] : DoubleFlags) {
+        if (Args[I] == Flag) {
+          if (I + 1 >= Args.size()) {
+            std::fprintf(stderr, "error: %s requires a value\n", Flag);
+            return 2;
+          }
+          *Slot = std::strtod(Args[++I].c_str(), nullptr);
+          Matched = true;
+          break;
+        }
+      }
+      if (Matched)
+        continue;
+      if (Args[I] == "--query-slack") {
+        if (I + 1 >= Args.size()) {
+          std::fprintf(stderr, "error: --query-slack requires a value\n");
+          return 2;
+        }
+        DiffOpts.QuerySlack = std::strtoull(Args[++I].c_str(), nullptr, 10);
+        continue;
+      }
+      return usage();
+    }
+    return cmdReportDiff(Args[2], Args[3], DiffOpts);
+  }
   if (Cmd == "apply" && Args.size() >= 3) {
     bool Fixpoint = false, AssumePositive = false, Staged = false;
     for (size_t I = 3; I < Args.size(); ++I) {

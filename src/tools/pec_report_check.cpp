@@ -1,9 +1,12 @@
-//===- pec_report_check.cpp - pec-report-v1 schema validator ---------------------===//
+//===- pec_report_check.cpp - pec report schema validator ------------------------===//
 //
 // Runs `pec prove-suite --report json` (or reads a report file) and
-// validates the output against the pec-report-v1 schema. Backs the
-// `check_bench_schema` CTest so the machine-readable report format —
-// including the committed BENCH_figure11.json — cannot silently drift.
+// validates the output against the pec-report schema. Both the current
+// pec-report-v2 and the legacy pec-report-v1 are accepted; v2 documents
+// additionally have their failure_reason slugs, failure_detail strings
+// and per-rule diagnosis objects checked. Backs the `check_bench_schema`
+// CTest so the machine-readable report format — including the committed
+// BENCH_figure11.json — cannot silently drift.
 //
 //   pec_report_check --pec <path-to-pec-binary>   run + validate live
 //   pec_report_check <report.json>                validate an existing file
@@ -68,8 +71,8 @@ int main(int argc, char **argv) {
     return fail("schema violation: " + Error);
 
   const auto &Rules = Report->get("rules")->array();
-  std::printf("pec-report-v1 OK: %zu rules, %.0f proved, %llu ATP queries\n",
-              Rules.size(),
+  std::printf("%s OK: %zu rules, %.0f proved, %llu ATP queries\n",
+              Report->get("schema")->stringValue().c_str(), Rules.size(),
               Report->get("totals")->get("proved")->numberValue(),
               static_cast<unsigned long long>(
                   Report->get("totals")->get("atp_queries")->numberValue()));

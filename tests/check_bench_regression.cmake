@@ -1,0 +1,35 @@
+# Runs the prove suite and diffs the fresh report against the committed
+# BENCH_figure11.json baseline (the check_bench_regression CTest). A
+# nonzero `pec report diff` exit — proved-set shrinkage, a rule past the
+# 3x + 50ms time budget, an ATP query blow-up, or schema drift — fails
+# the test. Regenerate the baseline with
+#   bench_figure11 --pec-json=BENCH_figure11.json
+#
+# Usage: cmake -DPEC_BIN=... -DBASELINE=... -DWORK_DIR=... -P this-file
+foreach(Var PEC_BIN BASELINE WORK_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "check_bench_regression: ${Var} not set")
+  endif()
+endforeach()
+
+set(Fresh "${WORK_DIR}/bench_regression_fresh.json")
+execute_process(
+  COMMAND ${PEC_BIN} prove-suite --report json
+  OUTPUT_FILE ${Fresh}
+  ERROR_VARIABLE ProveErr
+  RESULT_VARIABLE ProveExit)
+if(NOT ProveExit EQUAL 0)
+  message(FATAL_ERROR
+          "pec prove-suite failed (exit ${ProveExit}): ${ProveErr}")
+endif()
+
+execute_process(
+  COMMAND ${PEC_BIN} report diff ${BASELINE} ${Fresh} --time-tolerance 3
+  RESULT_VARIABLE DiffExit)
+if(NOT DiffExit EQUAL 0)
+  message(FATAL_ERROR
+          "benchmark regression against ${BASELINE} (pec report diff exit "
+          "${DiffExit}); see the REGRESSION lines above. If the change is "
+          "intentional, regenerate the baseline with "
+          "bench_figure11 --pec-json=BENCH_figure11.json")
+endif()

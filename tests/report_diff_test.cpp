@@ -1,0 +1,186 @@
+//===- report_diff_test.cpp - Report diff regression gate tests ----------------===//
+//
+// Golden-fixture tests for `pec report diff` (the check_bench_regression
+// gate). The fixtures under tests/golden/diff/ are small but complete
+// pec-report documents; each scenario is exercised both through the
+// diffReports library entry point and through the CLI exit code:
+//
+//   diff_base.json            two proved rules, the baseline
+//   diff_regress_proved.json  rule beta regressed to NOT proved (with a
+//                             full diagnosis object)
+//   diff_regress_time.json    rule beta breached the 3x + 50ms time budget
+//   diff_jitter.json          timing/query noise inside the slack: no
+//                             regression, a note only
+//   diff_base_v1.json         same content on the legacy v1 schema
+//   diff_base_one_rule.json   the baseline minus rule beta
+//
+//===----------------------------------------------------------------------===//
+
+#include "pec/Report.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace pec;
+
+namespace {
+
+std::string fixturePath(const std::string &Name) {
+  return std::string(PEC_GOLDEN_DIR) + "/diff/" + Name;
+}
+
+json::ValuePtr loadFixture(const std::string &Name) {
+  std::ifstream In(fixturePath(Name));
+  EXPECT_TRUE(In.good()) << "cannot open fixture " << Name;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Error;
+  json::ValuePtr Doc = json::parse(Buffer.str(), &Error);
+  EXPECT_TRUE(Doc != nullptr) << Name << ": " << Error;
+  // Every committed fixture must itself be schema-valid: the gate only
+  // compares documents the validator accepts.
+  if (Doc)
+    EXPECT_TRUE(validateReport(Doc, &Error)) << Name << ": " << Error;
+  return Doc;
+}
+
+bool anyContains(const std::vector<std::string> &Lines,
+                 const std::string &Needle) {
+  for (const std::string &L : Lines)
+    if (L.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+int runDiffCli(const std::string &OldName, const std::string &NewName,
+               const std::string &ExtraFlags = "") {
+  std::string Command = std::string(PEC_BIN) + " report diff " +
+                        fixturePath(OldName) + " " + fixturePath(NewName) +
+                        (ExtraFlags.empty() ? "" : " " + ExtraFlags) +
+                        " > /dev/null 2>&1";
+  int Status = std::system(Command.c_str());
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Library behavior
+//===----------------------------------------------------------------------===//
+
+TEST(ReportDiff, IdenticalReportsAreClean) {
+  json::ValuePtr Base = loadFixture("diff_base.json");
+  ASSERT_TRUE(Base != nullptr);
+  ReportDiff D = diffReports(Base, Base);
+  EXPECT_FALSE(D.hasRegression());
+  EXPECT_TRUE(D.Regressions.empty());
+  EXPECT_TRUE(anyContains(D.Notes, "proved totals: 2 -> 2"));
+  EXPECT_NE(renderReportDiff(D).find("OK (no regressions)"),
+            std::string::npos);
+}
+
+TEST(ReportDiff, ProvedSetShrinkageIsARegression) {
+  json::ValuePtr Base = loadFixture("diff_base.json");
+  json::ValuePtr New = loadFixture("diff_regress_proved.json");
+  ASSERT_TRUE(Base && New);
+  ReportDiff D = diffReports(Base, New);
+  EXPECT_TRUE(D.hasRegression());
+  EXPECT_TRUE(anyContains(D.Regressions, "proved -> NOT proved"));
+  // The regression line carries the new failure_reason slug.
+  EXPECT_TRUE(anyContains(D.Regressions, "obligation-invalid"));
+  EXPECT_TRUE(anyContains(D.Notes, "proved totals: 2 -> 1"));
+  EXPECT_NE(renderReportDiff(D).find("REGRESSION:"), std::string::npos);
+}
+
+TEST(ReportDiff, TimeBudgetBreachIsARegression) {
+  json::ValuePtr Base = loadFixture("diff_base.json");
+  json::ValuePtr New = loadFixture("diff_regress_time.json");
+  ASSERT_TRUE(Base && New);
+  ReportDiff D = diffReports(Base, New);
+  EXPECT_TRUE(D.hasRegression());
+  EXPECT_TRUE(anyContains(D.Regressions, "time regressed"));
+
+  // A looser tolerance forgives the same delta: 0.020s -> 0.500s stays
+  // inside a 100x budget.
+  ReportDiffOptions Loose;
+  Loose.TimeToleranceFactor = 100.0;
+  EXPECT_FALSE(diffReports(Base, New, Loose).hasRegression());
+}
+
+TEST(ReportDiff, JitterInsideSlackIsTolerated) {
+  json::ValuePtr Base = loadFixture("diff_base.json");
+  json::ValuePtr New = loadFixture("diff_jitter.json");
+  ASSERT_TRUE(Base && New);
+
+  // alpha's 0.010s -> 0.045s breaches the 3x factor but not the 50ms
+  // absolute slack, and its 10 -> 24 queries stay inside the query slack:
+  // notes, not regressions. Both clauses must agree before the gate fails.
+  ReportDiff D = diffReports(Base, New);
+  EXPECT_FALSE(D.hasRegression());
+  EXPECT_TRUE(anyContains(D.Notes, "inside slack"));
+
+  // With the absolute slack removed the same jitter becomes a regression.
+  ReportDiffOptions Strict;
+  Strict.TimeSlackSeconds = 0.0;
+  EXPECT_TRUE(diffReports(Base, New, Strict).hasRegression());
+
+  // And the query slack is load-bearing the same way.
+  ReportDiffOptions NoQuerySlack;
+  NoQuerySlack.QuerySlack = 0;
+  EXPECT_TRUE(diffReports(Base, New, NoQuerySlack).hasRegression());
+}
+
+TEST(ReportDiff, SchemaMismatchIsARegression) {
+  json::ValuePtr OldV1 = loadFixture("diff_base_v1.json");
+  json::ValuePtr NewV2 = loadFixture("diff_base.json");
+  ASSERT_TRUE(OldV1 && NewV2);
+  ReportDiff D = diffReports(OldV1, NewV2);
+  EXPECT_TRUE(D.hasRegression());
+  EXPECT_TRUE(anyContains(D.Regressions, "schema drift"));
+  EXPECT_TRUE(anyContains(D.Regressions, "regenerate the baseline"));
+}
+
+TEST(ReportDiff, DisappearedAndNewRules) {
+  json::ValuePtr Base = loadFixture("diff_base.json");
+  json::ValuePtr New = loadFixture("diff_base_one_rule.json");
+  ASSERT_TRUE(Base && New);
+
+  ReportDiff D = diffReports(Base, New);
+  EXPECT_TRUE(D.hasRegression());
+  EXPECT_TRUE(anyContains(D.Regressions, "disappeared"));
+
+  // The other direction is an improvement, not a regression.
+  ReportDiff R = diffReports(New, Base);
+  EXPECT_FALSE(R.hasRegression());
+  EXPECT_TRUE(anyContains(R.Notes, "new in this report"));
+}
+
+//===----------------------------------------------------------------------===//
+// CLI exit codes (what check_bench_regression consumes)
+//===----------------------------------------------------------------------===//
+
+TEST(ReportDiffCli, ExitCodesMatchTheGateContract) {
+  EXPECT_EQ(runDiffCli("diff_base.json", "diff_base.json"), 0);
+  EXPECT_EQ(runDiffCli("diff_base.json", "diff_jitter.json"), 0);
+  EXPECT_EQ(runDiffCli("diff_base.json", "diff_regress_proved.json"), 1);
+  EXPECT_EQ(runDiffCli("diff_base.json", "diff_regress_time.json"), 1);
+  EXPECT_EQ(runDiffCli("diff_base_v1.json", "diff_base.json"), 1);
+}
+
+TEST(ReportDiffCli, ToleranceFlagsReachTheDiff) {
+  EXPECT_EQ(runDiffCli("diff_base.json", "diff_regress_time.json",
+                       "--time-tolerance 100"),
+            0);
+  EXPECT_EQ(runDiffCli("diff_base.json", "diff_jitter.json",
+                       "--time-slack 0"),
+            1);
+}
+
+TEST(ReportDiffCli, UsageAndParseErrorsExitTwo) {
+  EXPECT_EQ(runDiffCli("diff_base.json", "no_such_file.json"), 2);
+}
+
+} // namespace

@@ -230,6 +230,7 @@ TEST(TelemetryTest, PurposeScopeNestsAndRestores) {
   EXPECT_STREQ(tel::purposeName(Purpose::PermuteCondition),
                "permute-condition");
   EXPECT_STREQ(tel::purposeName(Purpose::Strengthening), "strengthening");
+  EXPECT_STREQ(tel::purposeName(Purpose::Minimize), "minimize");
 }
 
 //===----------------------------------------------------------------------===//
@@ -296,7 +297,7 @@ TEST(ReportSchemaTest, ProveSuiteMatchesGoldenFieldSet) {
            "docs/OBSERVABILITY.md)";
 
   // Spot-check semantic content, not just shape.
-  EXPECT_EQ(Report->get("schema")->stringValue(), "pec-report-v1");
+  EXPECT_EQ(Report->get("schema")->stringValue(), "pec-report-v2");
   EXPECT_EQ(Report->get("command")->stringValue(), "prove-suite");
   const auto &Rules = Report->get("rules")->array();
   EXPECT_GE(Rules.size(), 19u); // The Figure 11 suite.
