@@ -12,11 +12,17 @@
 // unrolling-style category-3 bisimulation rules dominate query counts
 // while permute-based rows stay small.
 //
+// The suite is additionally proven under the pec::parallel scheduler at
+// jobs 1 and jobs 4 (shared ATP cache in both): the printed summary and
+// the `figure11_suite/jobs` benchmark rows record the wall-clock of each
+// configuration, and the proved sets must be identical.
+//
 // Extra flags (stripped before google-benchmark sees them):
 //
-//   --pec-json=FILE   write a pec-report-v2 JSON of the suite to FILE —
+//   --pec-json=FILE   write a pec-report-v3 JSON of the suite to FILE —
 //                     the schema-stable document committed as
-//                     BENCH_figure11.json
+//                     BENCH_figure11.json (generated at --jobs 1, the
+//                     scheduling-independent configuration)
 //   --pec-trace=FILE  write a Chrome trace of the runs to FILE
 //
 //===----------------------------------------------------------------------===//
@@ -25,10 +31,14 @@
 #include "opts/Optimizations.h"
 #include "pec/Pec.h"
 #include "pec/Report.h"
+#include "solver/AtpCache.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 using namespace pec;
 
@@ -75,6 +85,102 @@ void printTable() {
               AllProved ? "yes" : "NO");
 }
 
+/// All suite rules, flattened in suite order (one Rule per rule text).
+std::vector<Rule> suiteRules() {
+  std::vector<Rule> Rules;
+  for (const OptEntry &Entry : figure11Suite()) {
+    std::vector<std::string> Texts = {Entry.RuleText};
+    Texts.insert(Texts.end(), Entry.ExtraRuleTexts.begin(),
+                 Entry.ExtraRuleTexts.end());
+    for (const std::string &Text : Texts)
+      Rules.push_back(parseRuleOrDie(Text));
+  }
+  return Rules;
+}
+
+struct SuiteRun {
+  std::vector<RuleReport> Reports;
+  double WallSeconds = 0;
+  AtpCacheStats Cache;
+};
+
+/// Proves the whole suite on \p Jobs worker threads with a shared ATP
+/// cache (sequentially for jobs 1) — the same configuration as
+/// `pec prove-suite --jobs N`.
+SuiteRun runSuite(unsigned Jobs) {
+  SuiteRun Out;
+  std::vector<Rule> Rules = suiteRules();
+  Out.Reports.resize(Rules.size());
+  AtpCache Cache;
+  PecOptions Options;
+  Options.Cache = &Cache;
+  auto Start = std::chrono::steady_clock::now();
+  if (Jobs > 1) {
+    ThreadPool Pool(Jobs);
+    Options.Pool = &Pool;
+    TaskGroup Group(Pool);
+    for (size_t I = 0; I < Rules.size(); ++I)
+      Group.spawn([&Rules, &Out, &Options, I] {
+        Out.Reports[I] = {Rules[I].Name, proveRule(Rules[I], Options)};
+      });
+    Group.wait();
+  } else {
+    for (size_t I = 0; I < Rules.size(); ++I)
+      Out.Reports[I] = {Rules[I].Name, proveRule(Rules[I], Options)};
+  }
+  Out.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  Out.Cache = Cache.stats();
+  return Out;
+}
+
+/// Proves the suite at jobs 1 and jobs 4 and prints the wall-clock of
+/// each — the headline number for the parallel scheduler. The proved
+/// sets must agree rule by rule.
+void printParallelSummary() {
+  SuiteRun Seq = runSuite(1);
+  SuiteRun Par = runSuite(4);
+  bool SameOutcomes = Seq.Reports.size() == Par.Reports.size();
+  unsigned Proved = 0;
+  for (size_t I = 0; SameOutcomes && I < Seq.Reports.size(); ++I)
+    SameOutcomes = Seq.Reports[I].Name == Par.Reports[I].Name &&
+                   Seq.Reports[I].Result.Proved == Par.Reports[I].Result.Proved;
+  for (const RuleReport &R : Par.Reports)
+    Proved += R.Result.Proved ? 1 : 0;
+  std::printf("parallel scheduler — %u hardware threads\n",
+              std::thread::hardware_concurrency());
+  std::printf("  jobs=1: %.3fs wall, %llu cache hits / %llu misses\n",
+              Seq.WallSeconds,
+              static_cast<unsigned long long>(Seq.Cache.Hits),
+              static_cast<unsigned long long>(Seq.Cache.Misses));
+  std::printf("  jobs=4: %.3fs wall, %llu cache hits / %llu misses "
+              "(speedup %.2fx)\n",
+              Par.WallSeconds,
+              static_cast<unsigned long long>(Par.Cache.Hits),
+              static_cast<unsigned long long>(Par.Cache.Misses),
+              Par.WallSeconds > 0 ? Seq.WallSeconds / Par.WallSeconds : 0.0);
+  std::printf("  identical proved sets: %s (%u/%zu proved)\n\n",
+              SameOutcomes ? "yes" : "NO  ** MISMATCH **", Proved,
+              Par.Reports.size());
+}
+
+/// Whole-suite wall-clock at a given worker count — the benchmark rows
+/// that make the parallel speedup visible in CI (`figure11_suite/jobs`).
+void BM_ProveSuite(benchmark::State &State) {
+  unsigned Jobs = static_cast<unsigned>(State.range(0));
+  unsigned Proved = 0;
+  for (auto _ : State) {
+    SuiteRun R = runSuite(Jobs);
+    Proved = 0;
+    for (const RuleReport &Rep : R.Reports)
+      Proved += Rep.Result.Proved ? 1 : 0;
+    benchmark::DoNotOptimize(Proved);
+  }
+  State.counters["jobs"] = Jobs;
+  State.counters["proved"] = Proved;
+}
+
 void BM_ProveOptimization(benchmark::State &State, const OptEntry &Entry) {
   PecResult Last;
   for (auto _ : State) {
@@ -88,20 +194,19 @@ void BM_ProveOptimization(benchmark::State &State, const OptEntry &Entry) {
   State.counters["proved"] = Last.Proved ? 1 : 0;
 }
 
-/// Writes the pec-report-v2 JSON for the whole suite (one entry per
-/// rule, like `pec prove-suite --report json`) to \p Path.
+/// Writes the pec-report-v3 JSON for the whole suite (one entry per
+/// rule, like `pec prove-suite --jobs 1 --report json`) to \p Path. The
+/// committed baseline is generated at jobs 1 so its per-rule numbers do
+/// not depend on the core count of the generating machine.
 void writeSuiteReport(const std::string &Path) {
-  std::vector<RuleReport> Reports;
-  for (const OptEntry &Entry : figure11Suite()) {
-    std::vector<std::string> Rules = {Entry.RuleText};
-    Rules.insert(Rules.end(), Entry.ExtraRuleTexts.begin(),
-                 Entry.ExtraRuleTexts.end());
-    for (const std::string &Text : Rules) {
-      Rule R = parseRuleOrDie(Text);
-      Reports.push_back({R.Name, proveRule(R)});
-    }
-  }
-  std::string Doc = renderJsonReport("bench_figure11", Reports);
+  SuiteRun Run = runSuite(1);
+  RunInfo Info;
+  Info.Jobs = 1;
+  Info.HardwareConcurrency = std::thread::hardware_concurrency();
+  Info.WallSeconds = Run.WallSeconds;
+  Info.CacheEnabled = true;
+  Info.Cache = Run.Cache;
+  std::string Doc = renderJsonReport("bench_figure11", Run.Reports, &Info);
   FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out) {
     std::fprintf(stderr, "error: cannot write report to '%s'\n",
@@ -119,8 +224,13 @@ int main(int argc, char **argv) {
   pec::bench::TelemetryArgs PecArgs =
       pec::bench::stripTelemetryArgs(argc, argv);
   printTable();
+  printParallelSummary();
   if (!PecArgs.JsonPath.empty())
     writeSuiteReport(PecArgs.JsonPath);
+  benchmark::RegisterBenchmark("figure11_suite/jobs", BM_ProveSuite)
+      ->Arg(1)
+      ->Arg(4)
+      ->Unit(benchmark::kMillisecond);
   for (const OptEntry &Entry : figure11Suite())
     benchmark::RegisterBenchmark(("figure11/" + Entry.Name).c_str(),
                                  BM_ProveOptimization, Entry);

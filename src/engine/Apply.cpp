@@ -12,6 +12,7 @@
 
 #include <cctype>
 #include <map>
+#include <mutex>
 
 using namespace pec;
 
@@ -475,15 +476,28 @@ StagedResult pec::applyRuleStaged(const StmtPtr &Program, const Rule &R,
   Result.Program = normalizeStmt(Program);
 
   // Stage 1: once-and-for-all (cache the verdict per rule name + text).
+  // Mutex rather than thread confinement: the apply path is sequential
+  // today, but this global is the one engine-side mutable shared state the
+  // parallelism audit found (docs/PARALLELISM.md), so it is guarded. The
+  // lock is not held across proveRule — concurrent callers may both prove
+  // the same rule once, which is wasteful but sound.
+  static std::mutex ProofCacheMutex;
   static std::map<std::string, bool> ProofCache;
   std::string Key = R.Name + "\n" + printRule(R);
-  auto It = ProofCache.find(Key);
-  bool ProvedOnce;
-  if (It != ProofCache.end()) {
-    ProvedOnce = It->second;
-  } else {
+  bool ProvedOnce = false;
+  bool Cached = false;
+  {
+    std::lock_guard<std::mutex> Lock(ProofCacheMutex);
+    auto It = ProofCache.find(Key);
+    if (It != ProofCache.end()) {
+      ProvedOnce = It->second;
+      Cached = true;
+    }
+  }
+  if (!Cached) {
     PecResult Proof = proveRule(R);
     ProvedOnce = Proof.Proved;
+    std::lock_guard<std::mutex> Lock(ProofCacheMutex);
     ProofCache.emplace(std::move(Key), ProvedOnce);
   }
 

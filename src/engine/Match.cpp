@@ -14,11 +14,6 @@ ExprPtr pec::holeMarker(size_t K) {
 
 namespace {
 
-bool isHoleMarker(const ExprPtr &E) {
-  return E->kind() == ExprKind::MetaExpr &&
-         E->name().str().substr(0, 5) == "$hole";
-}
-
 //===----------------------------------------------------------------------===//
 // Expression utilities
 //===----------------------------------------------------------------------===//

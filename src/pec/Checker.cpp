@@ -5,7 +5,9 @@
 #include "logic/Subst.h"
 #include "logic/SymExec.h"
 #include "pec/Correlate.h"
+#include "solver/Clone.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -353,6 +355,66 @@ private:
     Result.Diagnosis = std::move(D);
   }
 
+  /// Parallel wave prefilter (docs/PARALLELISM.md): checks every queued
+  /// constraint against the *current* predicates concurrently and retires
+  /// the ones that hold; failures stay queued for the sequential
+  /// strengthen/diagnose path below. Retiring a holding constraint is
+  /// exactly what the sequential pop would have done with it, and
+  /// predicate strengthening is monotone, so this chaotic-iteration order
+  /// converges to the same fixpoint — and because wave membership and
+  /// answers do not depend on thread count or completion order, the
+  /// decisions (and merged stats) are identical for any jobs >= 2.
+  void waveFilter(std::deque<size_t> &Worklist, std::vector<char> &InWorklist,
+                  const std::vector<char> &Requeued) {
+    std::vector<size_t> Wave(Worklist.begin(), Worklist.end());
+    Worklist.clear();
+    // Obligations are built up front on this thread: the rule's shared
+    // TermArena is single-thread confined.
+    std::vector<FormulaPtr> Checks(Wave.size());
+    {
+      telemetry::Span PwpSpan("checker.pwp", "checker");
+      PwpSpan.arg("constraints", static_cast<uint64_t>(Wave.size()));
+      for (size_t I = 0; I < Wave.size(); ++I)
+        Checks[I] =
+            Formula::mkImplies(R.entry(Constraints[Wave[I]].Source).Pred,
+                               obligation(Constraints[Wave[I]]));
+    }
+    std::vector<char> Holds(Wave.size(), 0);
+    std::vector<AtpStats> WaveStats(Wave.size());
+    {
+      telemetry::Span WaveSpan("checker.wave", "checker");
+      WaveSpan.arg("constraints", static_cast<uint64_t>(Wave.size()));
+      TaskGroup Group(*Options.Pool);
+      for (size_t I = 0; I < Wave.size(); ++I) {
+        Group.spawn([this, &Checks, &Holds, &WaveStats, &Wave, &Requeued, I] {
+          // Private arena + prover per obligation; only the internally
+          // synchronized AtpCache is shared with other threads.
+          TermArena WorkerArena;
+          Atp Worker(WorkerArena, Prover.options());
+          Worker.setCache(Prover.cache());
+          CloneMap Memo;
+          FormulaPtr Check =
+              cloneFormula(Low.arena(), WorkerArena, Checks[I], Memo);
+          PurposeScope Tag(Requeued[Wave[I]] ? Purpose::Strengthening
+                                             : Purpose::Obligation);
+          Holds[I] = Worker.isValid(Check) ? 1 : 0;
+          WaveStats[I] = Worker.stats();
+        });
+      }
+      Group.wait();
+    }
+    // Merge worker stats in submission order — not completion order — so
+    // the rule's totals are scheduling-independent.
+    for (const AtpStats &S : WaveStats)
+      Prover.mergeStats(S);
+    for (size_t I = 0; I < Wave.size(); ++I) {
+      if (Holds[I])
+        InWorklist[Wave[I]] = 0;
+      else
+        Worklist.push_back(Wave[I]);
+    }
+  }
+
   void solveConstraints(CheckerResult &Result) {
     std::deque<size_t> Worklist;
     std::vector<char> InWorklist(Constraints.size(), 0);
@@ -366,6 +428,15 @@ private:
     }
 
     while (!Worklist.empty()) {
+      // Obligation fan-out: drain the holding constraints in parallel,
+      // then fall through to process one failure sequentially (its
+      // re-check below is a cache hit). The next wave re-checks the
+      // remaining failures against the strengthened predicates.
+      if (Options.Pool && Worklist.size() > 1) {
+        waveFilter(Worklist, InWorklist, Requeued);
+        if (Worklist.empty())
+          break;
+      }
       size_t CI = Worklist.front();
       Worklist.pop_front();
       InWorklist[CI] = 0;

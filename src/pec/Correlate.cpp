@@ -230,7 +230,7 @@ std::vector<Location> loopHeads(const Cfg &G) {
 } // namespace
 
 CorrelationRelation pec::correlate(const Cfg &P1, const Cfg &P2,
-                                   const ProofContext &Ctx, Lowering &Low,
+                                   const ProofContext & /*Ctx*/, Lowering &Low,
                                    TermId S1, TermId S2,
                                    const ConditionFlow &F1,
                                    const ConditionFlow &F2) {

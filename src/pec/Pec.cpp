@@ -32,6 +32,7 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
 
   TermArena Arena;
   Atp Prover(Arena, Options.Atp);
+  Prover.setCache(Options.Cache);
 
   // On every exit path: snapshot prover stats and total wall-clock.
   auto Finish = [&]() {
@@ -130,6 +131,7 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
   auto CheckStart = std::chrono::steady_clock::now();
   CheckerOptions CheckOpts = Options.Checker;
   CheckOpts.Diagnose = Options.Diagnose;
+  CheckOpts.Pool = Options.Pool;
   CheckerResult Check;
   // Declared outside the loop so the final (failing) relation is available
   // to the diagnosis DOT rendering below.

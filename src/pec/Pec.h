@@ -35,6 +35,8 @@
 
 namespace pec {
 
+class AtpCache;
+
 struct PecOptions {
   CheckerOptions Checker;
   bool UsePermute = true;
@@ -46,6 +48,15 @@ struct PecOptions {
   /// obligation, CFG/correlation DOT) when a proof fails. Overrides
   /// Checker.Diagnose.
   bool Diagnose = true;
+  /// Shared ATP memoization cache (AtpCache.h). Safe to share across
+  /// concurrently proved rules; must outlive the proofs.
+  AtpCache *Cache = nullptr;
+  /// Thread pool for the Checker's obligation fan-out within this rule
+  /// (copied into Checker.Pool). Rule-level parallelism is the caller's
+  /// business: proveRule itself is thread-safe when each call gets its
+  /// own PecResult — all per-proof state (TermArena, Atp, relation) is
+  /// local (docs/PARALLELISM.md).
+  ThreadPool *Pool = nullptr;
 };
 
 struct PecResult {

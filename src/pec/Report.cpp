@@ -6,6 +6,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 
 using namespace pec;
 using telemetry::jsonEscape;
@@ -183,7 +184,8 @@ void appendRule(std::string &Out, const RuleReport &R) {
 } // namespace
 
 std::string pec::renderJsonReport(const std::string &Command,
-                                  const std::vector<RuleReport> &Rules) {
+                                  const std::vector<RuleReport> &Rules,
+                                  const RunInfo *Run) {
   uint64_t Proved = 0, AtpQueries = 0, AtpMicros = 0;
   double Seconds = 0;
   for (const RuleReport &R : Rules) {
@@ -193,11 +195,49 @@ std::string pec::renderJsonReport(const std::string &Command,
     Seconds += R.Result.Seconds;
   }
 
+  // Sequential, uncached default when the caller supplies no run context.
+  RunInfo Sequential;
+  if (!Run) {
+    Sequential.HardwareConcurrency = std::thread::hardware_concurrency();
+    Sequential.WallSeconds = Seconds;
+    Run = &Sequential;
+  }
+
   std::string Out = "{";
-  appendString(Out, "schema", "pec-report-v2");
+  appendString(Out, "schema", "pec-report-v3");
   Out += ',';
   appendString(Out, "command", Command);
   Out += ',';
+  appendKey(Out, "parallelism");
+  Out += '{';
+  appendUint(Out, "jobs", Run->Jobs);
+  Out += ',';
+  appendUint(Out, "hardware_concurrency", Run->HardwareConcurrency);
+  Out += ',';
+  appendSeconds(Out, "wall_seconds", Run->WallSeconds);
+  Out += ',';
+  // Summed per-rule wall-clock; wall_seconds / rule_seconds < 1 is the
+  // parallel speedup achieved by the run.
+  appendSeconds(Out, "rule_seconds", Seconds);
+  Out += "},";
+  appendKey(Out, "cache");
+  Out += '{';
+  appendBool(Out, "enabled", Run->CacheEnabled);
+  Out += ',';
+  appendUint(Out, "hits", Run->Cache.Hits);
+  Out += ',';
+  appendUint(Out, "misses", Run->Cache.Misses);
+  Out += ',';
+  appendUint(Out, "insertions", Run->Cache.Insertions);
+  Out += ',';
+  appendUint(Out, "evictions", Run->Cache.Evictions);
+  Out += ',';
+  appendUint(Out, "model_bypasses", Run->Cache.ModelBypasses);
+  Out += ',';
+  appendUint(Out, "entries", Run->Cache.Entries);
+  Out += ',';
+  appendSeconds(Out, "hit_rate", Run->Cache.hitRate());
+  Out += "},";
   appendKey(Out, "rules");
   Out += "[\n";
   for (size_t I = 0; I < Rules.size(); ++I) {
@@ -463,8 +503,32 @@ bool pec::validateReport(const json::ValuePtr &Report, std::string *Error) {
     Version = 1;
   else if (Schema == "pec-report-v2")
     Version = 2;
+  else if (Schema == "pec-report-v3")
+    Version = 3;
   else
     return failV(Error, "report: unknown schema '" + Schema + "'");
+
+  if (Version >= 3) {
+    // v3: run-level parallelism and ATP-cache sections are mandatory.
+    if (!requireField(Report, "report", "parallelism", json::Kind::Object,
+                      Error) ||
+        !requireField(Report, "report", "cache", json::Kind::Object, Error))
+      return false;
+    json::ValuePtr Par = Report->get("parallelism");
+    for (const char *Key :
+         {"jobs", "hardware_concurrency", "wall_seconds", "rule_seconds"})
+      if (!requireField(Par, "parallelism", Key, json::Kind::Number, Error))
+        return false;
+    if (Par->get("jobs")->numberValue() < 1)
+      return failV(Error, "parallelism: jobs must be at least 1");
+    json::ValuePtr Cache = Report->get("cache");
+    if (!requireField(Cache, "cache", "enabled", json::Kind::Bool, Error))
+      return false;
+    for (const char *Key : {"hits", "misses", "insertions", "evictions",
+                            "model_bypasses", "entries", "hit_rate"})
+      if (!requireField(Cache, "cache", Key, json::Kind::Number, Error))
+        return false;
+  }
   if (!requireField(Report, "report", "command", json::Kind::String,
                     Error) ||
       !requireField(Report, "report", "rules", json::Kind::Array, Error) ||
@@ -543,12 +607,31 @@ ReportDiff pec::diffReports(const json::ValuePtr &Old,
                             const ReportDiffOptions &Options) {
   ReportDiff D;
 
+  // Schema drift is directional: a baseline on an OLDER schema is expected
+  // while the tree evolves (upgrade note, suggest regenerating), but a new
+  // report on an older schema than its baseline means the producer was
+  // rolled back — that is a regression.
+  auto SchemaVersion = [](const std::string &S) {
+    if (S == "pec-report-v1")
+      return 1;
+    if (S == "pec-report-v2")
+      return 2;
+    if (S == "pec-report-v3")
+      return 3;
+    return 0;
+  };
   const std::string &OldSchema = Old->get("schema")->stringValue();
   const std::string &NewSchema = New->get("schema")->stringValue();
-  if (OldSchema != NewSchema)
-    D.Regressions.push_back("schema drift: baseline is '" + OldSchema +
+  int OldVersion = SchemaVersion(OldSchema);
+  int NewVersion = SchemaVersion(NewSchema);
+  if (NewVersion < OldVersion)
+    D.Regressions.push_back("schema downgrade: baseline is '" + OldSchema +
                             "', new report is '" + NewSchema +
-                            "' (regenerate the baseline)");
+                            "' (the report producer regressed)");
+  else if (NewVersion > OldVersion)
+    D.Notes.push_back("schema upgraded: baseline is '" + OldSchema +
+                      "', new report is '" + NewSchema +
+                      "' (regenerate the baseline)");
 
   std::map<std::string, RuleFacts> OldRules = indexRules(Old);
   std::map<std::string, RuleFacts> NewRules = indexRules(New);

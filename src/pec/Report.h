@@ -5,23 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The `pec-report-v2` JSON report: one schema-stable document per proof
+/// The `pec-report-v3` JSON report: one schema-stable document per proof
 /// run, carrying per-rule outcomes, pipeline phase times, and the full ATP
 /// statistics with the per-purpose query breakdown. Emitted by
 /// `pec prove/prove-suite/tv --report json` and by `bench_figure11
 /// --pec-json=FILE` (the committed `BENCH_figure11.json` perf trajectory).
-/// v2 extends v1 additively: `failure_reason` is a closed taxonomy slug
+/// v2 extended v1 additively: `failure_reason` is a closed taxonomy slug
 /// (see pec::FailureKind), the free text moved to `failure_detail`, failed
 /// rules may carry a structured `diagnosis` object, and `by_purpose` gained
-/// the `minimize` slice. The schema is documented in docs/OBSERVABILITY.md
-/// and docs/DIAGNOSTICS.md and enforced by `validateReport` (which still
-/// accepts v1 documents; the `check_bench_schema` CTest and the telemetry
-/// unit tests both call it, so the format cannot silently drift).
+/// the `minimize` slice. v3 adds two top-level run-context objects:
+/// `parallelism` (jobs, hardware concurrency, wall-clock vs. summed rule
+/// seconds) and `cache` (the shared AtpCache counters and hit rate; see
+/// docs/PARALLELISM.md). Per-rule objects are unchanged from v2 — cache
+/// hit attribution to individual rules depends on scheduling, so those
+/// counters are reported only as run-level totals, keeping the per-rule
+/// payload byte-deterministic. The schema is documented in
+/// docs/OBSERVABILITY.md and docs/DIAGNOSTICS.md and enforced by
+/// `validateReport` (which still accepts v1/v2 documents as legacy input;
+/// the `check_bench_schema` CTest and the telemetry unit tests both call
+/// it, so the format cannot silently drift).
 ///
 /// `diffReports` compares two report documents — proved-set changes,
 /// per-rule time and ATP-query deltas under a configurable tolerance, and
-/// schema drift — backing the `pec report diff` subcommand and the
-/// `check_bench_regression` CTest gate.
+/// schema drift (a baseline on an *older* schema is a note suggesting
+/// regeneration; a downgrade is a regression) — backing the
+/// `pec report diff` subcommand and the `check_bench_regression` CTest
+/// gate.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +38,7 @@
 #define PEC_PEC_REPORT_H
 
 #include "pec/Pec.h"
+#include "solver/AtpCache.h"
 #include "support/Json.h"
 
 #include <string>
@@ -42,21 +52,36 @@ struct RuleReport {
   PecResult Result;
 };
 
-/// Renders the `pec-report-v2` JSON document. \p Command names the
-/// producing run ("prove", "prove-suite", "tv", "bench_figure11").
+/// Run-level context for the v3 `parallelism` and `cache` report sections.
+struct RunInfo {
+  unsigned Jobs = 1;
+  unsigned HardwareConcurrency = 0;
+  /// Wall-clock of the whole run; contrast with the summed per-rule
+  /// seconds to read off the parallel speedup.
+  double WallSeconds = 0;
+  bool CacheEnabled = false;
+  AtpCacheStats Cache;
+};
+
+/// Renders the `pec-report-v3` JSON document. \p Command names the
+/// producing run ("prove", "prove-suite", "tv", "bench_figure11"). When
+/// \p Run is null the parallelism/cache sections describe a sequential,
+/// uncached run (jobs 1, wall == summed rule seconds).
 std::string renderJsonReport(const std::string &Command,
-                             const std::vector<RuleReport> &Rules);
+                             const std::vector<RuleReport> &Rules,
+                             const RunInfo *Run = nullptr);
 
 /// Renders the human-readable `--stats` table: per-rule phase seconds,
 /// per-purpose ATP query counts, and strengthening iterations, with a
 /// totals row.
 std::string renderStatsTable(const std::vector<RuleReport> &Rules);
 
-/// Validates a parsed report against the `pec-report-v1` or `pec-report-v2`
-/// schema (field presence and JSON types, per-rule and totals; v2
-/// additionally checks the failure taxonomy, `failure_detail`, the
-/// `minimize` purpose slice, and any `diagnosis` objects). On failure
-/// returns false and describes the first violation in \p Error.
+/// Validates a parsed report against the `pec-report-v1`/`v2`/`v3` schema
+/// (field presence and JSON types, per-rule and totals; v2 additionally
+/// checks the failure taxonomy, `failure_detail`, the `minimize` purpose
+/// slice, and any `diagnosis` objects; v3 additionally requires the
+/// top-level `parallelism` and `cache` sections). On failure returns
+/// false and describes the first violation in \p Error.
 bool validateReport(const json::ValuePtr &Report, std::string *Error);
 
 /// Tolerances for diffReports. A metric regresses only when it exceeds the
@@ -83,8 +108,8 @@ struct ReportDiff {
 
 /// Compares baseline \p Old against \p New rule by rule (keyed by rule
 /// name): proved-set changes, per-rule wall-clock and ATP-query deltas
-/// under \p Options, and schema drift. Works on any documents that passed
-/// validateReport (v1 or v2).
+/// under \p Options, and schema drift (upgrades are notes, downgrades are
+/// regressions). Works on any documents that passed validateReport.
 ReportDiff diffReports(const json::ValuePtr &Old, const json::ValuePtr &New,
                        const ReportDiffOptions &Options = {});
 

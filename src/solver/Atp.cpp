@@ -2,6 +2,7 @@
 
 #include "solver/Atp.h"
 
+#include "solver/AtpCache.h"
 #include "solver/Sat.h"
 #include "solver/Theory.h"
 
@@ -373,10 +374,60 @@ void renderModel(TermArena &Arena, const TheoryModel &TM, AtpModel &Out) {
 
 } // namespace
 
-bool Atp::isSatisfiable(const FormulaPtr &F) { return isSatisfiable(F, nullptr); }
+void AtpStats::merge(const AtpStats &Other) {
+  Queries += Other.Queries;
+  TheoryChecks += Other.TheoryChecks;
+  TheoryConflicts += Other.TheoryConflicts;
+  SatConflicts += Other.SatConflicts;
+  SatDecisions += Other.SatDecisions;
+  Propagations += Other.Propagations;
+  Microseconds += Other.Microseconds;
+  CacheHits += Other.CacheHits;
+  CacheMisses += Other.CacheMisses;
+  CacheBypasses += Other.CacheBypasses;
+  for (size_t I = 0; I < telemetry::NumPurposes; ++I) {
+    ByPurpose[I].Queries += Other.ByPurpose[I].Queries;
+    ByPurpose[I].Microseconds += Other.ByPurpose[I].Microseconds;
+  }
+}
 
-bool Atp::isSatisfiable(const FormulaPtr &F, AtpModel *Model) {
-  QueryAccounting Account("atp.isSatisfiable", Stats);
+namespace {
+
+/// Captures the solver-work counters before a query so the spent effort
+/// can be published to the cache as a WorkDelta. Wall-clock is excluded
+/// on purpose: hitters account their (near-zero) real time, while the
+/// deterministic work counters are replayed as if solved locally.
+struct WorkSnapshot {
+  explicit WorkSnapshot(const AtpStats &S)
+      : TheoryChecks(S.TheoryChecks), TheoryConflicts(S.TheoryConflicts),
+        SatConflicts(S.SatConflicts), SatDecisions(S.SatDecisions),
+        Propagations(S.Propagations) {}
+
+  AtpCache::WorkDelta delta(const AtpStats &S) const {
+    AtpCache::WorkDelta D;
+    D.TheoryChecks = S.TheoryChecks - TheoryChecks;
+    D.TheoryConflicts = S.TheoryConflicts - TheoryConflicts;
+    D.SatConflicts = S.SatConflicts - SatConflicts;
+    D.SatDecisions = S.SatDecisions - SatDecisions;
+    D.Propagations = S.Propagations - Propagations;
+    return D;
+  }
+
+  uint64_t TheoryChecks, TheoryConflicts, SatConflicts, SatDecisions,
+      Propagations;
+};
+
+void replayDelta(AtpStats &S, const AtpCache::WorkDelta &D) {
+  S.TheoryChecks += D.TheoryChecks;
+  S.TheoryConflicts += D.TheoryConflicts;
+  S.SatConflicts += D.SatConflicts;
+  S.SatDecisions += D.SatDecisions;
+  S.Propagations += D.Propagations;
+}
+
+} // namespace
+
+bool Atp::solveSatisfiable(const FormulaPtr &F, AtpModel *Model) {
   SmtContext Ctx(Arena, Options, Stats);
   TheoryModel TM;
   bool Sat = Ctx.solve(F, Model ? &TM : nullptr);
@@ -385,14 +436,73 @@ bool Atp::isSatisfiable(const FormulaPtr &F, AtpModel *Model) {
   return Sat;
 }
 
-bool Atp::isValid(const FormulaPtr &F) { return isValid(F, nullptr); }
-
-bool Atp::isValid(const FormulaPtr &F, AtpModel *Counterexample) {
-  QueryAccounting Account("atp.isValid", Stats);
+bool Atp::solveValid(const FormulaPtr &F, AtpModel *Counterexample) {
   SmtContext Ctx(Arena, Options, Stats);
   TheoryModel TM;
   bool Sat = Ctx.solve(Formula::mkNot(F), Counterexample ? &TM : nullptr);
   if (Sat && Counterexample)
     renderModel(Arena, TM, *Counterexample);
   return !Sat;
+}
+
+bool Atp::isSatisfiable(const FormulaPtr &F) { return isSatisfiable(F, nullptr); }
+
+bool Atp::isSatisfiable(const FormulaPtr &F, AtpModel *Model) {
+  QueryAccounting Account("atp.isSatisfiable", Stats);
+  if (!TheCache)
+    return solveSatisfiable(F, Model);
+  std::string Key = canonicalQueryKey(Arena, F, "S");
+  bool Cached = false;
+  AtpCache::WorkDelta D;
+  // A model is needed exactly when the answer is "satisfiable".
+  switch (TheCache->acquire(Key, Model ? 1 : -1, Cached, D)) {
+  case AtpCache::Lookup::Hit:
+    ++Stats.CacheHits;
+    telemetry::counterAdd("atp.cache.hit");
+    replayDelta(Stats, D);
+    return Cached;
+  case AtpCache::Lookup::Bypass:
+    ++Stats.CacheBypasses;
+    telemetry::counterAdd("atp.cache.bypass");
+    return solveSatisfiable(F, Model);
+  case AtpCache::Lookup::Miss:
+    break;
+  }
+  ++Stats.CacheMisses;
+  telemetry::counterAdd("atp.cache.miss");
+  WorkSnapshot Before(Stats);
+  bool Sat = solveSatisfiable(F, Model);
+  TheCache->fulfill(Key, Sat, Before.delta(Stats));
+  return Sat;
+}
+
+bool Atp::isValid(const FormulaPtr &F) { return isValid(F, nullptr); }
+
+bool Atp::isValid(const FormulaPtr &F, AtpModel *Counterexample) {
+  QueryAccounting Account("atp.isValid", Stats);
+  if (!TheCache)
+    return solveValid(F, Counterexample);
+  std::string Key = canonicalQueryKey(Arena, F, "V");
+  bool Cached = false;
+  AtpCache::WorkDelta D;
+  // A counterexample is needed exactly when the answer is "not valid".
+  switch (TheCache->acquire(Key, Counterexample ? 0 : -1, Cached, D)) {
+  case AtpCache::Lookup::Hit:
+    ++Stats.CacheHits;
+    telemetry::counterAdd("atp.cache.hit");
+    replayDelta(Stats, D);
+    return Cached;
+  case AtpCache::Lookup::Bypass:
+    ++Stats.CacheBypasses;
+    telemetry::counterAdd("atp.cache.bypass");
+    return solveValid(F, Counterexample);
+  case AtpCache::Lookup::Miss:
+    break;
+  }
+  ++Stats.CacheMisses;
+  telemetry::counterAdd("atp.cache.miss");
+  WorkSnapshot Before(Stats);
+  bool Valid = solveValid(F, Counterexample);
+  TheCache->fulfill(Key, Valid, Before.delta(Stats));
+  return Valid;
 }

@@ -49,8 +49,16 @@ struct AtpStats {
   uint64_t SatDecisions = 0;    ///< CDCL branching decisions.
   uint64_t Propagations = 0;    ///< Unit propagations across all queries.
   uint64_t Microseconds = 0;    ///< Cumulative wall-clock inside the ATP.
+  uint64_t CacheHits = 0;       ///< Queries answered from the AtpCache.
+  uint64_t CacheMisses = 0;     ///< Queries this Atp solved and published.
+  uint64_t CacheBypasses = 0;   ///< Model-wanting queries re-solved locally.
   /// Breakdown of Queries/Microseconds by query purpose.
   AtpPurposeStats ByPurpose[telemetry::NumPurposes];
+
+  /// Accumulates \p Other into this (all counters and purpose slices).
+  /// The Checker uses this to merge worker-thread stats back into the
+  /// rule's prover in deterministic (submission) order.
+  void merge(const AtpStats &Other);
 };
 
 /// Configuration knobs (exposed for the ablation benchmarks).
@@ -80,6 +88,14 @@ struct AtpModel {
   bool empty() const { return Values.empty() && Literals.empty(); }
 };
 
+class AtpCache;
+
+/// Thread-safety audit (docs/PARALLELISM.md): an Atp instance is
+/// single-thread confined — it mutates its TermArena (hash-consing) and
+/// its own AtpStats on every query. The parallel prover gives each worker
+/// a private arena + Atp; the only shared mutable state is the AtpCache,
+/// which synchronizes internally, and the Theory layer is stateless
+/// functions over the (confined) arena.
 class Atp {
 public:
   explicit Atp(TermArena &Arena, AtpOptions Options = {})
@@ -102,11 +118,24 @@ public:
   TermArena &arena() { return Arena; }
   const AtpStats &stats() const { return Stats; }
   void resetStats() { Stats = AtpStats(); }
+  const AtpOptions &options() const { return Options; }
+
+  /// Attaches a shared memoization cache (AtpCache.h). Queries then check
+  /// the cache first; answers this instance computes are published to it.
+  /// The cache must outlive the Atp. Pass nullptr to detach.
+  void setCache(AtpCache *Cache) { TheCache = Cache; }
+  AtpCache *cache() const { return TheCache; }
+
+  void mergeStats(const AtpStats &Other) { Stats.merge(Other); }
 
 private:
+  bool solveValid(const FormulaPtr &F, AtpModel *Counterexample);
+  bool solveSatisfiable(const FormulaPtr &F, AtpModel *Model);
+
   TermArena &Arena;
   AtpOptions Options;
   AtpStats Stats;
+  AtpCache *TheCache = nullptr;
 };
 
 } // namespace pec

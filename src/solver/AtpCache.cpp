@@ -1,0 +1,380 @@
+//===- AtpCache.cpp -------------------------------------------------------===//
+
+#include "solver/AtpCache.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+using namespace pec;
+
+//===----------------------------------------------------------------------===//
+// Canonical key rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+char sortLetter(Sort S) {
+  switch (S) {
+  case Sort::Int:
+    return 'i';
+  case Sort::State:
+    return 's';
+  case Sort::Array:
+    return 'a';
+  case Sort::VarName:
+    return 'n';
+  }
+  return '?';
+}
+
+/// Three-pass canonicalizer (AtpCache.h has the soundness argument):
+///  1. skeleton(): renders every node with symbolic constants masked to
+///     `?<sort>` and and/or children sorted by their skeletons — a
+///     name-independent shape used as the sort key for AC normalization;
+///  2. assignNames(): walks the formula in that canonical order and
+///     numbers each distinct (symbol, sort) constant by first occurrence;
+///  3. render(): emits the final key with constants as `?<index><sort>`.
+/// All passes memoize on TermId / Formula pointer, so shared subtrees
+/// (ubiquitous after strengthening) are processed once.
+class KeyBuilder {
+public:
+  explicit KeyBuilder(const TermArena &Arena) : Arena(Arena) {}
+
+  std::string build(const FormulaPtr &F, const char *Kind) {
+    assignNames(F);
+    return std::string(Kind) + "|" + render(F);
+  }
+
+private:
+  const TermArena &Arena;
+  std::unordered_map<TermId, std::string> TermSkeletons;
+  std::unordered_map<const Formula *, std::string> FormulaSkeletons;
+  std::unordered_map<TermId, std::string> TermRenders;
+  std::unordered_map<const Formula *, std::string> FormulaRenders;
+  // std::map: (symbol id, sort) ordering is irrelevant, but the pair key
+  // needs no custom hash this way.
+  std::map<std::pair<uint32_t, char>, unsigned> Names;
+  std::unordered_map<TermId, bool> TermsNamed;
+  std::unordered_map<const Formula *, bool> FormulasNamed;
+
+  /// The canonical child order of an and/or node: stable-sorted by child
+  /// skeleton (ties keep source order, so the key stays deterministic).
+  std::vector<const FormulaPtr *> orderedChildren(const Formula &F) {
+    std::vector<const FormulaPtr *> Kids;
+    Kids.reserve(F.children().size());
+    for (const FormulaPtr &C : F.children())
+      Kids.push_back(&C);
+    std::stable_sort(Kids.begin(), Kids.end(),
+                     [this](const FormulaPtr *A, const FormulaPtr *B) {
+                       return skeleton(*A) < skeleton(*B);
+                     });
+    return Kids;
+  }
+
+  const std::string &termSkeleton(TermId T) {
+    auto It = TermSkeletons.find(T);
+    if (It != TermSkeletons.end())
+      return It->second;
+    const TermNode &N = Arena.node(T);
+    std::string S;
+    switch (N.Op) {
+    case TermOp::IntConst:
+      S = std::to_string(N.IntVal);
+      break;
+    case TermOp::SymConst:
+      S = std::string("?") + sortLetter(N.TheSort);
+      break;
+    case TermOp::NameLit:
+      S = '\'';
+      S += N.Name.str();
+      break;
+    default:
+      S = termHead(N);
+      for (TermId A : N.Args) {
+        S += ' ';
+        S += termSkeleton(A);
+      }
+      S += ')';
+      break;
+    }
+    return TermSkeletons.emplace(T, std::move(S)).first->second;
+  }
+
+  /// The literal operator prefix shared by skeleton and final rendering:
+  /// everything except symbolic-constant names is kept verbatim.
+  std::string termHead(const TermNode &N) {
+    switch (N.Op) {
+    case TermOp::Add:
+      return "(+";
+    case TermOp::Sub:
+      return "(-";
+    case TermOp::Mul:
+      return "(*";
+    case TermOp::Neg:
+      return "(~";
+    case TermOp::SelS:
+      return std::string("(selS:") + sortLetter(N.TheSort);
+    case TermOp::StoS:
+      return "(stoS";
+    case TermOp::SelA:
+      return "(selA";
+    case TermOp::StoA:
+      return "(stoA";
+    case TermOp::Apply:
+      // Function names are semantic (div$/mod$ trigger lemma expansion),
+      // so they are never alpha-renamed; the result sort disambiguates
+      // same-named symbols across rule arenas.
+      return "(app " + std::string(N.Name.str()) + ":" +
+             sortLetter(N.TheSort);
+    default:
+      break;
+    }
+    return "(?";
+  }
+
+  const std::string &skeleton(const FormulaPtr &F) {
+    auto It = FormulaSkeletons.find(F.get());
+    if (It != FormulaSkeletons.end())
+      return It->second;
+    std::string S;
+    switch (F->kind()) {
+    case FormulaKind::True:
+      S = "T";
+      break;
+    case FormulaKind::False:
+      S = "F";
+      break;
+    case FormulaKind::Eq:
+    case FormulaKind::Le:
+    case FormulaKind::Lt:
+      S = F->kind() == FormulaKind::Eq   ? "(= "
+          : F->kind() == FormulaKind::Le ? "(<= "
+                                         : "(< ";
+      S += termSkeleton(F->lhsTerm());
+      S += ' ';
+      S += termSkeleton(F->rhsTerm());
+      S += ')';
+      break;
+    case FormulaKind::Not:
+      S = "(! ";
+      S += skeleton(F->children()[0]);
+      S += ')';
+      break;
+    case FormulaKind::And:
+    case FormulaKind::Or: {
+      S = F->kind() == FormulaKind::And ? "(&" : "(|";
+      for (const FormulaPtr *C : orderedChildren(*F)) {
+        S += ' ';
+        S += skeleton(*C);
+      }
+      S += ')';
+      break;
+    }
+    case FormulaKind::Implies:
+    case FormulaKind::Iff:
+      S = F->kind() == FormulaKind::Implies ? "(=> " : "(<=> ";
+      S += skeleton(F->children()[0]);
+      S += ' ';
+      S += skeleton(F->children()[1]);
+      S += ')';
+      break;
+    }
+    return FormulaSkeletons.emplace(F.get(), std::move(S)).first->second;
+  }
+
+  void assignTermNames(TermId T) {
+    if (TermsNamed.emplace(T, true).second == false)
+      return;
+    const TermNode &N = Arena.node(T);
+    if (N.Op == TermOp::SymConst) {
+      auto Key = std::make_pair(N.Name.id(), sortLetter(N.TheSort));
+      Names.emplace(Key, static_cast<unsigned>(Names.size()));
+      return;
+    }
+    for (TermId A : N.Args)
+      assignTermNames(A);
+  }
+
+  void assignNames(const FormulaPtr &F) {
+    if (FormulasNamed.emplace(F.get(), true).second == false)
+      return;
+    if (F->isAtom()) {
+      assignTermNames(F->lhsTerm());
+      assignTermNames(F->rhsTerm());
+      return;
+    }
+    if (F->kind() == FormulaKind::And || F->kind() == FormulaKind::Or) {
+      for (const FormulaPtr *C : orderedChildren(*F))
+        assignNames(*C);
+      return;
+    }
+    for (const FormulaPtr &C : F->children())
+      assignNames(C);
+  }
+
+  const std::string &renderTerm(TermId T) {
+    auto It = TermRenders.find(T);
+    if (It != TermRenders.end())
+      return It->second;
+    const TermNode &N = Arena.node(T);
+    std::string S;
+    switch (N.Op) {
+    case TermOp::IntConst:
+      S = std::to_string(N.IntVal);
+      break;
+    case TermOp::SymConst: {
+      auto Key = std::make_pair(N.Name.id(), sortLetter(N.TheSort));
+      S = '?';
+      S += std::to_string(Names.at(Key));
+      S += sortLetter(N.TheSort);
+      break;
+    }
+    case TermOp::NameLit:
+      S = '\'';
+      S += N.Name.str();
+      break;
+    default:
+      S = termHead(N);
+      for (TermId A : N.Args) {
+        S += ' ';
+        S += renderTerm(A);
+      }
+      S += ')';
+      break;
+    }
+    return TermRenders.emplace(T, std::move(S)).first->second;
+  }
+
+  const std::string &render(const FormulaPtr &F) {
+    auto It = FormulaRenders.find(F.get());
+    if (It != FormulaRenders.end())
+      return It->second;
+    std::string S;
+    switch (F->kind()) {
+    case FormulaKind::True:
+      S = "T";
+      break;
+    case FormulaKind::False:
+      S = "F";
+      break;
+    case FormulaKind::Eq:
+    case FormulaKind::Le:
+    case FormulaKind::Lt:
+      S = F->kind() == FormulaKind::Eq   ? "(= "
+          : F->kind() == FormulaKind::Le ? "(<= "
+                                         : "(< ";
+      S += renderTerm(F->lhsTerm());
+      S += ' ';
+      S += renderTerm(F->rhsTerm());
+      S += ')';
+      break;
+    case FormulaKind::Not:
+      S = "(! ";
+      S += render(F->children()[0]);
+      S += ')';
+      break;
+    case FormulaKind::And:
+    case FormulaKind::Or: {
+      S = F->kind() == FormulaKind::And ? "(&" : "(|";
+      for (const FormulaPtr *C : orderedChildren(*F)) {
+        S += ' ';
+        S += render(*C);
+      }
+      S += ')';
+      break;
+    }
+    case FormulaKind::Implies:
+    case FormulaKind::Iff:
+      S = F->kind() == FormulaKind::Implies ? "(=> " : "(<=> ";
+      S += render(F->children()[0]);
+      S += ' ';
+      S += render(F->children()[1]);
+      S += ')';
+      break;
+    }
+    return FormulaRenders.emplace(F.get(), std::move(S)).first->second;
+  }
+};
+
+} // namespace
+
+std::string pec::canonicalQueryKey(const TermArena &Arena, const FormulaPtr &F,
+                                   const char *Kind) {
+  return KeyBuilder(Arena).build(F, Kind);
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded single-flight map
+//===----------------------------------------------------------------------===//
+
+AtpCache::Lookup AtpCache::acquire(const std::string &Key, int NeedModelOn,
+                                   bool &Result, WorkDelta &Delta) {
+  Shard &S = shardFor(Key);
+  std::unique_lock<std::mutex> Lock(S.Mutex);
+  auto It = S.Entries.find(Key);
+  if (It == S.Entries.end()) {
+    S.Entries.emplace(Key, Entry{});
+    ++S.Misses;
+    return Lookup::Miss;
+  }
+  // Single-flight: wait for the in-flight solver rather than duplicating
+  // the work — this also keeps the hit/miss totals scheduling-independent.
+  S.ReadyCv.wait(Lock, [&] {
+    auto E = S.Entries.find(Key);
+    return E != S.Entries.end() && E->second.Ready;
+  });
+  const Entry &E = S.Entries.find(Key)->second;
+  if (NeedModelOn >= 0 && E.Result == (NeedModelOn == 1)) {
+    // The cached boolean would need a model we do not store.
+    ++S.ModelBypasses;
+    return Lookup::Bypass;
+  }
+  ++S.Hits;
+  Result = E.Result;
+  Delta = E.Delta;
+  return Lookup::Hit;
+}
+
+void AtpCache::fulfill(const std::string &Key, bool Result,
+                       const WorkDelta &Delta) {
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Entry &E = S.Entries[Key];
+    E.Ready = true;
+    E.Result = Result;
+    E.Delta = Delta;
+    ++S.Insertions;
+    if (S.Entries.size() > MaxEntriesPerShard) {
+      // Capacity pressure: drop ready entries (never in-flight ones —
+      // other threads are blocked waiting on those).
+      for (auto EI = S.Entries.begin(); EI != S.Entries.end();) {
+        if (EI->second.Ready && EI->first != Key) {
+          EI = S.Entries.erase(EI);
+          ++S.Evictions;
+        } else {
+          ++EI;
+        }
+      }
+    }
+  }
+  S.ReadyCv.notify_all();
+}
+
+AtpCacheStats AtpCache::stats() const {
+  AtpCacheStats Out;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Out.Hits += S.Hits;
+    Out.Misses += S.Misses;
+    Out.Insertions += S.Insertions;
+    Out.Evictions += S.Evictions;
+    Out.ModelBypasses += S.ModelBypasses;
+    for (const auto &KV : S.Entries)
+      Out.Entries += KV.second.Ready ? 1 : 0;
+  }
+  return Out;
+}

@@ -1,0 +1,115 @@
+//===- Clone.cpp ----------------------------------------------------------===//
+
+#include "solver/Clone.h"
+
+#include "support/Diagnostics.h"
+
+using namespace pec;
+
+TermId pec::cloneTerm(const TermArena &Src, TermArena &Dst, TermId T,
+                      CloneMap &Memo) {
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+
+  const TermNode &N = Src.node(T);
+  TermId Out = InvalidTerm;
+  switch (N.Op) {
+  case TermOp::IntConst:
+    Out = Dst.mkInt(N.IntVal);
+    break;
+  case TermOp::SymConst:
+    Out = Dst.mkSymConst(N.Name, N.TheSort);
+    break;
+  case TermOp::NameLit:
+    Out = Dst.mkNameLit(N.Name);
+    break;
+  case TermOp::Add:
+    Out = Dst.mkAdd(cloneTerm(Src, Dst, N.Args[0], Memo),
+                    cloneTerm(Src, Dst, N.Args[1], Memo));
+    break;
+  case TermOp::Sub:
+    Out = Dst.mkSub(cloneTerm(Src, Dst, N.Args[0], Memo),
+                    cloneTerm(Src, Dst, N.Args[1], Memo));
+    break;
+  case TermOp::Mul:
+    Out = Dst.mkMul(cloneTerm(Src, Dst, N.Args[0], Memo),
+                    cloneTerm(Src, Dst, N.Args[1], Memo));
+    break;
+  case TermOp::Neg:
+    Out = Dst.mkNeg(cloneTerm(Src, Dst, N.Args[0], Memo));
+    break;
+  case TermOp::SelS:
+    Out = Dst.mkSelS(cloneTerm(Src, Dst, N.Args[0], Memo),
+                     cloneTerm(Src, Dst, N.Args[1], Memo), N.TheSort);
+    break;
+  case TermOp::StoS:
+    Out = Dst.mkStoS(cloneTerm(Src, Dst, N.Args[0], Memo),
+                     cloneTerm(Src, Dst, N.Args[1], Memo),
+                     cloneTerm(Src, Dst, N.Args[2], Memo));
+    break;
+  case TermOp::SelA:
+    Out = Dst.mkSelA(cloneTerm(Src, Dst, N.Args[0], Memo),
+                     cloneTerm(Src, Dst, N.Args[1], Memo));
+    break;
+  case TermOp::StoA:
+    Out = Dst.mkStoA(cloneTerm(Src, Dst, N.Args[0], Memo),
+                     cloneTerm(Src, Dst, N.Args[1], Memo),
+                     cloneTerm(Src, Dst, N.Args[2], Memo));
+    break;
+  case TermOp::Apply: {
+    std::vector<TermId> Args;
+    Args.reserve(N.Args.size());
+    for (TermId A : N.Args)
+      Args.push_back(cloneTerm(Src, Dst, A, Memo));
+    Out = Dst.mkApply(N.Name, std::move(Args), N.TheSort);
+    break;
+  }
+  }
+  if (Out == InvalidTerm)
+    reportFatalError("cloneTerm: unhandled term op");
+  Memo.emplace(T, Out);
+  return Out;
+}
+
+FormulaPtr pec::cloneFormula(const TermArena &Src, TermArena &Dst,
+                             const FormulaPtr &F, CloneMap &Memo) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+    return Formula::mkTrue();
+  case FormulaKind::False:
+    return Formula::mkFalse();
+  case FormulaKind::Eq:
+    return Formula::mkEq(Dst, cloneTerm(Src, Dst, F->lhsTerm(), Memo),
+                         cloneTerm(Src, Dst, F->rhsTerm(), Memo));
+  case FormulaKind::Le:
+    return Formula::mkLe(Dst, cloneTerm(Src, Dst, F->lhsTerm(), Memo),
+                         cloneTerm(Src, Dst, F->rhsTerm(), Memo));
+  case FormulaKind::Lt:
+    return Formula::mkLt(Dst, cloneTerm(Src, Dst, F->lhsTerm(), Memo),
+                         cloneTerm(Src, Dst, F->rhsTerm(), Memo));
+  case FormulaKind::Not:
+    return Formula::mkNot(cloneFormula(Src, Dst, F->children()[0], Memo));
+  case FormulaKind::And: {
+    std::vector<FormulaPtr> Kids;
+    Kids.reserve(F->children().size());
+    for (const FormulaPtr &C : F->children())
+      Kids.push_back(cloneFormula(Src, Dst, C, Memo));
+    return Formula::mkAnd(std::move(Kids));
+  }
+  case FormulaKind::Or: {
+    std::vector<FormulaPtr> Kids;
+    Kids.reserve(F->children().size());
+    for (const FormulaPtr &C : F->children())
+      Kids.push_back(cloneFormula(Src, Dst, C, Memo));
+    return Formula::mkOr(std::move(Kids));
+  }
+  case FormulaKind::Implies:
+    return Formula::mkImplies(cloneFormula(Src, Dst, F->children()[0], Memo),
+                              cloneFormula(Src, Dst, F->children()[1], Memo));
+  case FormulaKind::Iff:
+    return Formula::mkIff(cloneFormula(Src, Dst, F->children()[0], Memo),
+                          cloneFormula(Src, Dst, F->children()[1], Memo));
+  }
+  reportFatalError("cloneFormula: unhandled formula kind");
+}

@@ -1,0 +1,46 @@
+//===- Clone.h - Cross-arena term/formula cloning ---------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rebuilds terms and formulas from one TermArena inside another. The
+/// Checker's parallel obligation wave uses this to hand each worker a
+/// private copy of its proof obligation: TermArena is single-thread
+/// confined (hash-consing mutates it on every builder call), so workers
+/// clone the shared obligation into a worker-local arena and solve there.
+///
+/// Cloning goes through the public mk* builders, so the destination arena
+/// sees the same eager simplifications the source did; since the source
+/// formula was itself built by those builders, its structure is already a
+/// fixpoint and the clone is structurally identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_CLONE_H
+#define PEC_SOLVER_CLONE_H
+
+#include "solver/Formula.h"
+#include "solver/Term.h"
+
+#include <unordered_map>
+
+namespace pec {
+
+/// Memo for repeated clones between one (source, destination) arena pair.
+using CloneMap = std::unordered_map<TermId, TermId>;
+
+/// Rebuilds \p T (a term of \p Src) inside \p Dst, reusing \p Memo for
+/// shared subterms. Only reads \p Src, so many threads may clone from the
+/// same source arena concurrently (each into its own destination).
+TermId cloneTerm(const TermArena &Src, TermArena &Dst, TermId T,
+                 CloneMap &Memo);
+
+/// Rebuilds \p F, whose atoms reference terms of \p Src, over \p Dst.
+FormulaPtr cloneFormula(const TermArena &Src, TermArena &Dst,
+                        const FormulaPtr &F, CloneMap &Memo);
+
+} // namespace pec
+
+#endif // PEC_SOLVER_CLONE_H

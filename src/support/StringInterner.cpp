@@ -4,6 +4,8 @@
 
 #include <cassert>
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 using namespace pec;
@@ -11,7 +13,15 @@ using namespace pec;
 namespace {
 /// Storage for the global interner. A deque keeps string storage stable so
 /// string_views into it never dangle.
+///
+/// Thread safety (docs/PARALLELISM.md): the parallel prover interns
+/// symbols from every worker thread, so the map is guarded by a
+/// shared_mutex — lookups (the common case once the rule file is parsed)
+/// take the shared lock, insertion retakes it exclusively. Existing
+/// entries are never mutated, so a Symbol obtained under any lock stays
+/// valid forever.
 struct InternerState {
+  std::shared_mutex Mutex;
   std::deque<std::string> Storage;
   std::unordered_map<std::string_view, uint32_t> Ids;
 };
@@ -25,6 +35,14 @@ InternerState &state() {
 Symbol Symbol::get(std::string_view Name) {
   assert(!Name.empty() && "cannot intern the empty string");
   InternerState &S = state();
+  {
+    std::shared_lock<std::shared_mutex> Lock(S.Mutex);
+    auto It = S.Ids.find(Name);
+    if (It != S.Ids.end())
+      return Symbol(It->second);
+  }
+  std::unique_lock<std::shared_mutex> Lock(S.Mutex);
+  // Re-check: another thread may have interned Name between the locks.
   auto It = S.Ids.find(Name);
   if (It != S.Ids.end())
     return Symbol(It->second);
@@ -37,5 +55,7 @@ Symbol Symbol::get(std::string_view Name) {
 std::string_view Symbol::str() const {
   if (Id == 0)
     return "";
-  return state().Storage[Id - 1];
+  InternerState &S = state();
+  std::shared_lock<std::shared_mutex> Lock(S.Mutex);
+  return S.Storage[Id - 1];
 }

@@ -18,9 +18,16 @@
 // accept the observability flags (docs/OBSERVABILITY.md):
 //
 //   --trace FILE    write a Chrome trace_event JSON of the run to FILE
-//   --report json   emit the pec-report-v2 JSON document on stdout
+//   --report json   emit the pec-report-v3 JSON document on stdout
 //                   (human-readable lines move to stderr)
 //   --stats         print the per-rule phase/ATP statistics table
+//
+// and (prove, prove-suite) the parallelism flags (docs/PARALLELISM.md):
+//
+//   --jobs N        prove rules on N worker threads sharing one ATP
+//                   cache (0 = one per hardware thread); --jobs 1 is the
+//                   sequential-but-cached configuration
+//   --cache-stats   print the shared ATP cache counters after the run
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,14 +40,19 @@
 #include "pec/Explain.h"
 #include "pec/Pec.h"
 #include "pec/Report.h"
+#include "solver/AtpCache.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace pec;
@@ -50,8 +62,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  pec prove <rules-file> [observability flags]\n"
-               "  pec prove-suite [observability flags]\n"
+               "  pec prove <rules-file> [--jobs N] [--cache-stats] "
+               "[observability flags]\n"
+               "  pec prove-suite [--jobs N] [--cache-stats] "
+               "[observability flags]\n"
                "  pec explain <rules-file> [rule-name] [--dot FILE] [observability flags]\n"
                "  pec report diff <old.json> <new.json> "
                "[--time-tolerance F] [--time-slack S]\n"
@@ -65,8 +79,15 @@ int usage() {
                "\n"
                "observability flags (prove, prove-suite, tv, explain):\n"
                "  --trace FILE    write a Chrome trace_event JSON to FILE\n"
-               "  --report json   emit the pec-report-v2 JSON on stdout\n"
+               "  --report json   emit the pec-report-v3 JSON on stdout\n"
                "  --stats         print the per-rule statistics table\n"
+               "\n"
+               "parallelism flags (prove, prove-suite):\n"
+               "  --jobs N        prove on N worker threads with a shared\n"
+               "                  ATP cache (0 = one per hardware thread;\n"
+               "                  --jobs 1 is sequential but cached)\n"
+               "  --cache-stats   print the ATP cache counters after the "
+               "run\n"
                "\n"
                "`pec explain` re-proves the rules and prints a structured\n"
                "failure diagnosis (counterexample model, minimized failing\n"
@@ -83,14 +104,22 @@ struct OutputOptions {
   std::string TracePath;
   bool ReportJson = false;
   bool Stats = false;
+  /// Worker-thread count for prove/prove-suite. The shared ATP cache is
+  /// enabled whenever --jobs was given, even --jobs 1 (sequential but
+  /// cached); without the flag the run is the legacy sequential, uncached
+  /// configuration.
+  unsigned Jobs = 1;
+  bool JobsSet = false;
+  bool CacheStats = false;
 
   /// Human-readable proof lines go to stderr in report mode so stdout
   /// stays pure JSON for downstream parsers.
   FILE *humanStream() const { return ReportJson ? stderr : stdout; }
 };
 
-/// Strips --trace/--report/--stats out of \p Args. Returns false on a
-/// malformed flag (missing file name, unknown report format).
+/// Strips --trace/--report/--stats/--jobs/--cache-stats out of \p Args.
+/// Returns false on a malformed flag (missing file name, unknown report
+/// format, non-numeric job count).
 bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
   std::vector<std::string> Rest;
   for (size_t I = 0; I < Args.size(); ++I) {
@@ -109,6 +138,24 @@ bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
       ++I;
     } else if (Args[I] == "--stats") {
       Out.Stats = true;
+    } else if (Args[I] == "--jobs") {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr, "error: --jobs requires a thread count\n");
+        return false;
+      }
+      char *End = nullptr;
+      long N = std::strtol(Args[I + 1].c_str(), &End, 10);
+      if (!End || *End != '\0' || N < 0) {
+        std::fprintf(stderr, "error: bad --jobs value '%s'\n",
+                     Args[I + 1].c_str());
+        return false;
+      }
+      ++I;
+      Out.Jobs = N == 0 ? ThreadPool::hardwareJobs()
+                        : static_cast<unsigned>(N);
+      Out.JobsSet = true;
+    } else if (Args[I] == "--cache-stats") {
+      Out.CacheStats = true;
     } else {
       Rest.push_back(Args[I]);
     }
@@ -121,10 +168,12 @@ bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
   return true;
 }
 
-/// Emits the trace file, the JSON report, and the stats table as
-/// requested. \p Exit is the command's exit code, passed through.
+/// Emits the trace file, the JSON report, the stats table, and the cache
+/// counters as requested. \p Exit is the command's exit code, passed
+/// through. \p Run may be null for sequential, uncached commands.
 int finishRun(const OutputOptions &Opts, const std::string &Command,
-              const std::vector<RuleReport> &Rules, int Exit) {
+              const std::vector<RuleReport> &Rules, int Exit,
+              const RunInfo *Run = nullptr) {
   if (!Opts.TracePath.empty()) {
     telemetry::setEnabled(false);
     if (!telemetry::writeChromeTrace(Opts.TracePath))
@@ -137,8 +186,27 @@ int finishRun(const OutputOptions &Opts, const std::string &Command,
   if (Opts.Stats)
     std::fprintf(Opts.humanStream(), "\n%s",
                  renderStatsTable(Rules).c_str());
+  if (Opts.CacheStats) {
+    if (Run && Run->CacheEnabled) {
+      const AtpCacheStats &C = Run->Cache;
+      std::fprintf(Opts.humanStream(),
+                   "atp cache: %llu hits, %llu misses (%.1f%% hit rate), "
+                   "%llu insertions, %llu evictions, %llu model bypasses, "
+                   "%llu live entries\n",
+                   static_cast<unsigned long long>(C.Hits),
+                   static_cast<unsigned long long>(C.Misses),
+                   100.0 * C.hitRate(),
+                   static_cast<unsigned long long>(C.Insertions),
+                   static_cast<unsigned long long>(C.Evictions),
+                   static_cast<unsigned long long>(C.ModelBypasses),
+                   static_cast<unsigned long long>(C.Entries));
+    } else {
+      std::fprintf(Opts.humanStream(),
+                   "atp cache: disabled (pass --jobs to enable)\n");
+    }
+  }
   if (Opts.ReportJson) {
-    std::string Doc = renderJsonReport(Command, Rules);
+    std::string Doc = renderJsonReport(Command, Rules, Run);
     std::fwrite(Doc.data(), 1, Doc.size(), stdout);
   }
   return Exit;
@@ -176,6 +244,50 @@ void printProof(FILE *Out, const std::string &Name, const PecResult &R) {
   }
 }
 
+/// Proves \p Rules under \p Opts.Jobs worker threads (sequentially for
+/// jobs 1), sharing one ATP cache across the run when --jobs was given.
+/// Proof lines print in rule order regardless of completion order, and
+/// \p Run receives the parallelism/cache context for the v3 report.
+std::vector<RuleReport> runProofs(const std::vector<Rule> &Rules,
+                                  const PecOptions &BaseOptions,
+                                  const OutputOptions &Opts, RunInfo &Run) {
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<RuleReport> Reports(Rules.size());
+
+  std::unique_ptr<AtpCache> Cache;
+  if (Opts.JobsSet)
+    Cache = std::make_unique<AtpCache>();
+  PecOptions Options = BaseOptions;
+  Options.Cache = Cache.get();
+
+  if (Opts.Jobs > 1) {
+    ThreadPool Pool(Opts.Jobs);
+    Options.Pool = &Pool;
+    TaskGroup Group(Pool);
+    for (size_t I = 0; I < Rules.size(); ++I)
+      Group.spawn([&Rules, &Reports, &Options, I] {
+        Reports[I] = {Rules[I].Name, proveRule(Rules[I], Options)};
+      });
+    Group.wait();
+  } else {
+    for (size_t I = 0; I < Rules.size(); ++I)
+      Reports[I] = {Rules[I].Name, proveRule(Rules[I], Options)};
+  }
+
+  for (const RuleReport &R : Reports)
+    printProof(Opts.humanStream(), R.Name, R.Result);
+
+  Run.Jobs = Opts.Jobs;
+  Run.HardwareConcurrency = std::thread::hardware_concurrency();
+  Run.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  Run.CacheEnabled = Cache != nullptr;
+  if (Cache)
+    Run.Cache = Cache->stats();
+  return Reports;
+}
+
 int cmdProve(const std::string &Path, const OutputOptions &Opts) {
   std::string Source;
   if (!readFile(Path, Source))
@@ -190,35 +302,31 @@ int cmdProve(const std::string &Path, const OutputOptions &Opts) {
   if (!File->Facts.empty())
     std::fprintf(Opts.humanStream(), "using %zu user fact declaration(s)\n",
                  File->Facts.size());
-  std::vector<RuleReport> Reports;
+  RunInfo Run;
+  std::vector<RuleReport> Reports =
+      runProofs(File->Rules, Options, Opts, Run);
   int Failures = 0;
-  for (const Rule &R : File->Rules) {
-    PecResult Result = proveRule(R, Options);
-    printProof(Opts.humanStream(), R.Name, Result);
-    if (!Result.Proved)
-      ++Failures;
-    Reports.push_back({R.Name, std::move(Result)});
-  }
-  return finishRun(Opts, "prove", Reports, Failures == 0 ? 0 : 1);
+  for (const RuleReport &R : Reports)
+    Failures += R.Result.Proved ? 0 : 1;
+  return finishRun(Opts, "prove", Reports, Failures == 0 ? 0 : 1, &Run);
 }
 
 int cmdProveSuite(const OutputOptions &Opts) {
-  std::vector<RuleReport> Reports;
-  int Failures = 0;
+  std::vector<Rule> Rules;
   for (const OptEntry &Entry : figure11Suite()) {
     std::vector<std::string> Texts = {Entry.RuleText};
     Texts.insert(Texts.end(), Entry.ExtraRuleTexts.begin(),
                  Entry.ExtraRuleTexts.end());
-    for (const std::string &Text : Texts) {
-      Rule R = parseRuleOrDie(Text);
-      PecResult Result = proveRule(R);
-      printProof(Opts.humanStream(), R.Name, Result);
-      if (!Result.Proved)
-        ++Failures;
-      Reports.push_back({R.Name, std::move(Result)});
-    }
+    for (const std::string &Text : Texts)
+      Rules.push_back(parseRuleOrDie(Text));
   }
-  return finishRun(Opts, "prove-suite", Reports, Failures == 0 ? 0 : 1);
+  RunInfo Run;
+  std::vector<RuleReport> Reports = runProofs(Rules, {}, Opts, Run);
+  int Failures = 0;
+  for (const RuleReport &R : Reports)
+    Failures += R.Result.Proved ? 0 : 1;
+  return finishRun(Opts, "prove-suite", Reports, Failures == 0 ? 0 : 1,
+                   &Run);
 }
 
 /// `pec explain <rules-file> [rule-name] [--dot FILE]`: re-proves the

@@ -1,11 +1,12 @@
 //===- pec_report_check.cpp - pec report schema validator ------------------------===//
 //
 // Runs `pec prove-suite --report json` (or reads a report file) and
-// validates the output against the pec-report schema. Both the current
-// pec-report-v2 and the legacy pec-report-v1 are accepted; v2 documents
+// validates the output against the pec-report schema. The current
+// pec-report-v3 and the legacy v1/v2 are all accepted; v2+ documents
 // additionally have their failure_reason slugs, failure_detail strings
-// and per-rule diagnosis objects checked. Backs the `check_bench_schema`
-// CTest so the machine-readable report format — including the committed
+// and per-rule diagnosis objects checked, and v3 documents their
+// parallelism/cache sections. Backs the `check_bench_schema` CTest so the
+// machine-readable report format — including the committed
 // BENCH_figure11.json — cannot silently drift.
 //
 //   pec_report_check --pec <path-to-pec-binary>   run + validate live

@@ -1,0 +1,268 @@
+//===- atp_cache_test.cpp - Canonicalizing ATP cache tests ----------------------===//
+//
+// The AtpCache (docs/PARALLELISM.md) must collide exactly the queries
+// that are alpha/AC-equivalent — same answer guaranteed — and nothing
+// else. Covers key canonicalization (skolem renaming, conjunct order,
+// cross-arena stability, literal preservation), the cached Atp fast path
+// with WorkDelta replay, one-sided model caching, single-flight misses,
+// and eviction under a tiny capacity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Atp.h"
+#include "solver/AtpCache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pec;
+
+namespace {
+
+TermId sym(TermArena &A, const char *Name, Sort S = Sort::Int) {
+  return A.mkSymConst(Symbol::get(Name), S);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical key construction
+//===----------------------------------------------------------------------===//
+
+TEST(AtpCacheKey, AlphaRenamedQueriesCollide) {
+  // `x + 1 <= y` and `p + 1 <= q` differ only in skolem names: the
+  // canonical key masks symbolic constants to first-occurrence indices.
+  TermArena A;
+  FormulaPtr F1 = Formula::mkLe(A, A.mkAdd(sym(A, "x"), A.mkInt(1)),
+                                sym(A, "y"));
+  FormulaPtr F2 = Formula::mkLe(A, A.mkAdd(sym(A, "p"), A.mkInt(1)),
+                                sym(A, "q"));
+  EXPECT_EQ(canonicalQueryKey(A, F1, "V"), canonicalQueryKey(A, F2, "V"));
+}
+
+TEST(AtpCacheKey, RenamingRespectsSharing) {
+  // `x = y` and `x = x`... the second folds to true; use a non-folding
+  // pair instead: `x < y` (two distinct constants) must NOT collide with
+  // `x < x`-shaped queries where one constant occurs twice.
+  TermArena A;
+  FormulaPtr TwoNames =
+      Formula::mkLt(A, sym(A, "x"), A.mkAdd(sym(A, "y"), A.mkInt(0)));
+  FormulaPtr OneName =
+      Formula::mkLt(A, sym(A, "x"), A.mkAdd(sym(A, "x"), A.mkInt(0)));
+  EXPECT_NE(canonicalQueryKey(A, TwoNames, "V"),
+            canonicalQueryKey(A, OneName, "V"));
+}
+
+TEST(AtpCacheKey, ConjunctOrderCollides) {
+  // And/Or children are sorted by masked skeleton: conjunct order — the
+  // usual difference between strengthening iterations — is erased.
+  TermArena A;
+  FormulaPtr P = Formula::mkLt(A, sym(A, "x"), A.mkInt(7));
+  FormulaPtr Q = Formula::mkEq(A, sym(A, "y"), A.mkInt(3));
+  EXPECT_EQ(canonicalQueryKey(A, Formula::mkAnd(P, Q), "V"),
+            canonicalQueryKey(A, Formula::mkAnd(Q, P), "V"));
+  EXPECT_EQ(canonicalQueryKey(A, Formula::mkOr(P, Q), "V"),
+            canonicalQueryKey(A, Formula::mkOr(Q, P), "V"));
+}
+
+TEST(AtpCacheKey, CrossArenaQueriesCollide) {
+  // The same obligation built in two rules' private arenas (different
+  // TermIds, different creation order) must produce the same key — this
+  // is what makes the cache shareable across worker threads.
+  TermArena A1, A2;
+  // Build in different orders so the raw TermIds differ.
+  TermId Y2 = sym(A2, "b");
+  TermId X2 = sym(A2, "a");
+  FormulaPtr F2 = Formula::mkLe(A2, X2, A2.mkAdd(Y2, A2.mkInt(5)));
+  FormulaPtr F1 = Formula::mkLe(A1, sym(A1, "u"),
+                                A1.mkAdd(sym(A1, "v"), A1.mkInt(5)));
+  EXPECT_EQ(canonicalQueryKey(A1, F1, "V"), canonicalQueryKey(A2, F2, "V"));
+}
+
+TEST(AtpCacheKey, LiteralsStayLiteral) {
+  TermArena A;
+  // Integer constants carry meaning.
+  EXPECT_NE(canonicalQueryKey(
+                A, Formula::mkEq(A, sym(A, "x"), A.mkInt(0)), "V"),
+            canonicalQueryKey(
+                A, Formula::mkEq(A, sym(A, "x"), A.mkInt(1)), "V"));
+  // Uninterpreted function names carry meaning (div$/mod$ are
+  // lemma-interpreted by name).
+  TermId FX = A.mkApply(Symbol::get("f"), {sym(A, "x")}, Sort::Int);
+  TermId GX = A.mkApply(Symbol::get("g"), {sym(A, "x")}, Sort::Int);
+  EXPECT_NE(
+      canonicalQueryKey(A, Formula::mkEq(A, FX, A.mkInt(0)), "V"),
+      canonicalQueryKey(A, Formula::mkEq(A, GX, A.mkInt(0)), "V"));
+  // The query flavor is part of the key: validity of F and
+  // satisfiability of F are different questions.
+  FormulaPtr F = Formula::mkEq(A, sym(A, "x"), A.mkInt(0));
+  EXPECT_NE(canonicalQueryKey(A, F, "V"), canonicalQueryKey(A, F, "S"));
+}
+
+TEST(AtpCacheKey, SortsGuardCollisions) {
+  // Same shape, different constant sorts must not collide: the masked
+  // index carries a sort letter.
+  TermArena A;
+  TermId IntC = sym(A, "x", Sort::Int);
+  TermId S1 = sym(A, "s", Sort::State);
+  TermId S2 = sym(A, "t", Sort::State);
+  FormulaPtr IntEq = Formula::mkEq(A, IntC, A.mkAdd(IntC, A.mkInt(0)));
+  FormulaPtr StateEq = Formula::mkEq(A, S1, S2);
+  EXPECT_NE(canonicalQueryKey(A, IntEq, "V"),
+            canonicalQueryKey(A, StateEq, "V"));
+}
+
+//===----------------------------------------------------------------------===//
+// Cached Atp behavior
+//===----------------------------------------------------------------------===//
+
+TEST(AtpCacheSolve, HitReplaysWorkDelta) {
+  AtpCache Cache;
+  TermArena A1, A2;
+  Atp First(A1), Second(A2);
+  First.setCache(&Cache);
+  Second.setCache(&Cache);
+
+  // A query with real solver work: x <= y && y <= z => x <= z.
+  auto Query = [](TermArena &A) {
+    FormulaPtr H = Formula::mkAnd(
+        Formula::mkLe(A, sym(A, "x"), sym(A, "y")),
+        Formula::mkLe(A, sym(A, "y"), sym(A, "z")));
+    return Formula::mkImplies(H, Formula::mkLe(A, sym(A, "x"), sym(A, "z")));
+  };
+
+  EXPECT_TRUE(First.isValid(Query(A1)));
+  EXPECT_EQ(First.stats().CacheMisses, 1u);
+  EXPECT_EQ(First.stats().CacheHits, 0u);
+
+  // Alpha-renamed in a different arena: a hit, same answer, and the
+  // replayed WorkDelta makes the effort counters match the solver's.
+  TermArena A3;
+  (void)A3;
+  FormulaPtr Renamed = Formula::mkImplies(
+      Formula::mkAnd(Formula::mkLe(A2, sym(A2, "p"), sym(A2, "q")),
+                     Formula::mkLe(A2, sym(A2, "q"), sym(A2, "r"))),
+      Formula::mkLe(A2, sym(A2, "p"), sym(A2, "r")));
+  EXPECT_TRUE(Second.isValid(Renamed));
+  EXPECT_EQ(Second.stats().CacheHits, 1u);
+  EXPECT_EQ(Second.stats().CacheMisses, 0u);
+  EXPECT_EQ(Second.stats().Queries, 1u);
+  EXPECT_EQ(Second.stats().TheoryChecks, First.stats().TheoryChecks);
+  EXPECT_EQ(Second.stats().SatDecisions, First.stats().SatDecisions);
+  EXPECT_EQ(Second.stats().Propagations, First.stats().Propagations);
+
+  AtpCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Insertions, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_DOUBLE_EQ(S.hitRate(), 0.5);
+}
+
+TEST(AtpCacheSolve, ModelWantingLookupsAreOneSided) {
+  AtpCache Cache;
+  TermArena A;
+  Atp Prover(A);
+  Prover.setCache(&Cache);
+
+  // Invalid query: x = 0 has the counterexample x != 0.
+  FormulaPtr Invalid = Formula::mkEq(A, sym(A, "x"), A.mkInt(0));
+  EXPECT_FALSE(Prover.isValid(Invalid));
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+
+  // Asking again WITH a counterexample: the cached `false` cannot carry
+  // the model, so the lookup bypasses to a local re-solve — and still
+  // produces the model.
+  AtpModel Counterexample;
+  EXPECT_FALSE(Prover.isValid(Invalid, &Counterexample));
+  EXPECT_FALSE(Counterexample.empty());
+  EXPECT_EQ(Cache.stats().ModelBypasses, 1u);
+  EXPECT_EQ(Prover.stats().CacheBypasses, 1u);
+
+  // A VALID query with a counterexample pointer is a clean hit: the
+  // cached `true` makes the model irrelevant.
+  FormulaPtr Valid = Formula::mkLe(A, sym(A, "y"),
+                                   A.mkAdd(sym(A, "y"), A.mkInt(1)));
+  EXPECT_TRUE(Prover.isValid(Valid));
+  AtpModel Unused;
+  EXPECT_TRUE(Prover.isValid(Valid, &Unused));
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+}
+
+TEST(AtpCacheSolve, SatisfiabilityCachesTheOtherSide) {
+  AtpCache Cache;
+  TermArena A;
+  Atp Prover(A);
+  Prover.setCache(&Cache);
+
+  // Satisfiable: x < 3. A model-wanting isSatisfiable on a cached `true`
+  // must bypass (the model is needed exactly when the answer is true).
+  FormulaPtr Sat = Formula::mkLt(A, sym(A, "x"), A.mkInt(3));
+  EXPECT_TRUE(Prover.isSatisfiable(Sat));
+  AtpModel Model;
+  EXPECT_TRUE(Prover.isSatisfiable(Sat, &Model));
+  EXPECT_EQ(Cache.stats().ModelBypasses, 1u);
+
+  // Unsatisfiable: x < 3 && 3 < x.
+  FormulaPtr Unsat =
+      Formula::mkAnd(Formula::mkLt(A, sym(A, "x"), A.mkInt(3)),
+                     Formula::mkLt(A, A.mkInt(3), sym(A, "x")));
+  EXPECT_FALSE(Prover.isSatisfiable(Unsat));
+  AtpModel Unused;
+  EXPECT_FALSE(Prover.isSatisfiable(Unsat, &Unused));
+  // Cached `false` answers the model-wanting call without a bypass.
+  EXPECT_EQ(Cache.stats().ModelBypasses, 1u);
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Raw cache mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(AtpCacheRaw, SingleFlightBlocksSecondThread) {
+  AtpCache Cache;
+  bool Result = false;
+  AtpCache::WorkDelta Delta;
+  ASSERT_EQ(Cache.acquire("V|k", -1, Result, Delta),
+            AtpCache::Lookup::Miss);
+
+  // A second thread asking for the same key must wait for fulfill() and
+  // then observe a hit — never a duplicate miss.
+  AtpCache::Lookup Second = AtpCache::Lookup::Miss;
+  bool SecondResult = false;
+  std::thread Waiter([&] {
+    AtpCache::WorkDelta D;
+    Second = Cache.acquire("V|k", -1, SecondResult, D);
+  });
+  Cache.fulfill("V|k", true, Delta);
+  Waiter.join();
+  EXPECT_EQ(Second, AtpCache::Lookup::Hit);
+  EXPECT_TRUE(SecondResult);
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+}
+
+TEST(AtpCacheRaw, TinyCapacityEvicts) {
+  // One ready entry per shard: inserting many distinct keys forces at
+  // least one shard to evict. The just-published key always survives.
+  AtpCache Cache(/*MaxEntriesPerShard=*/1);
+  for (int I = 0; I < 64; ++I) {
+    std::string Key = "V|key" + std::to_string(I);
+    bool Result = false;
+    AtpCache::WorkDelta Delta;
+    ASSERT_EQ(Cache.acquire(Key, -1, Result, Delta),
+              AtpCache::Lookup::Miss);
+    Cache.fulfill(Key, I % 2 == 0, Delta);
+    // The entry just published is still resident.
+    EXPECT_EQ(Cache.acquire(Key, -1, Result, Delta),
+              AtpCache::Lookup::Hit);
+    EXPECT_EQ(Result, I % 2 == 0);
+  }
+  AtpCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Insertions, 64u);
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_LE(S.Entries, 16u); // At most one ready entry per shard.
+}
+
+} // namespace

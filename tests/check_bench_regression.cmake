@@ -12,9 +12,12 @@ foreach(Var PEC_BIN BASELINE WORK_DIR)
   endif()
 endforeach()
 
+# The fresh run is pinned to --jobs 1: per-rule query counts are
+# scheduling-independent there, so the gate does not wobble with the CI
+# machine's core count (jobs >= 2 adds checker-wave re-check queries).
 set(Fresh "${WORK_DIR}/bench_regression_fresh.json")
 execute_process(
-  COMMAND ${PEC_BIN} prove-suite --report json
+  COMMAND ${PEC_BIN} prove-suite --jobs 1 --report json
   OUTPUT_FILE ${Fresh}
   ERROR_VARIABLE ProveErr
   RESULT_VARIABLE ProveExit)

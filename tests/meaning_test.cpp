@@ -109,8 +109,9 @@ TEST(Meaning, BuiltinCatalog) {
       SawStrictlyPositive = true;
       EXPECT_FALSE(D.Universal); // Flow-sensitive.
     }
-    if (D.Name == Symbol::get("Commute"))
+    if (D.Name == Symbol::get("Commute")) {
       EXPECT_TRUE(D.Universal);
+    }
   }
   EXPECT_TRUE(SawStrictlyPositive);
 }

@@ -1,0 +1,119 @@
+//===- parallel_determinism_test.cpp - Parallel prover determinism --------------===//
+//
+// The acceptance bar for pec::parallel (docs/PARALLELISM.md): repeated
+// `--jobs 8` runs over figure11.rules and unsound.rules produce
+// byte-identical reports modulo timing fields, `--jobs 4` proves exactly
+// the rule set `--jobs 1` proves, and the shared ATP cache actually hits.
+// Everything goes through the CLI so the whole pipeline — scheduler,
+// cache, stats replay, report rendering — is under test, not a unit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <regex>
+#include <string>
+
+using namespace pec;
+
+namespace {
+
+/// Runs \p Command, captures stdout. Returns false when popen fails.
+bool capture(const std::string &Command, std::string &Out) {
+  Out.clear();
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Out.append(Buf, N);
+  pclose(Pipe); // Exit status intentionally ignored: unsound.rules exits 1.
+  return true;
+}
+
+std::string proveJson(const std::string &RulesFile, int Jobs) {
+  std::string Command = std::string(PEC_BIN) + " prove " +
+                        std::string(PEC_RULES_DIR) + "/" + RulesFile +
+                        " --jobs " + std::to_string(Jobs) +
+                        " --report json 2>/dev/null";
+  std::string Out;
+  EXPECT_TRUE(capture(Command, Out)) << Command;
+  EXPECT_FALSE(Out.empty()) << Command;
+  return Out;
+}
+
+/// Zeroes every timing value: the report is byte-deterministic except for
+/// fields whose key ends in `seconds` or `microseconds` (and the wall
+/// clock has no business being reproducible).
+std::string normalizeTimings(const std::string &Doc) {
+  static const std::regex TimingField(
+      "\"([a-z_]*(seconds|microseconds))\":[0-9.eE+-]+");
+  return std::regex_replace(Doc, TimingField, "\"$1\":0");
+}
+
+std::map<std::string, bool> provedSet(const std::string &Doc) {
+  std::map<std::string, bool> Out;
+  std::string Error;
+  json::ValuePtr Report = json::parse(Doc, &Error);
+  EXPECT_TRUE(Report != nullptr) << Error;
+  if (!Report)
+    return Out;
+  for (const json::ValuePtr &Rule : Report->get("rules")->array())
+    Out[Rule->get("name")->stringValue()] =
+        Rule->get("proved")->boolValue();
+  return Out;
+}
+
+TEST(ParallelDeterminism, Figure11RepeatsByteIdentical) {
+  std::string First = normalizeTimings(proveJson("figure11.rules", 8));
+  std::string Second = normalizeTimings(proveJson("figure11.rules", 8));
+  EXPECT_EQ(First, Second)
+      << "two --jobs 8 runs disagree beyond timing fields";
+}
+
+TEST(ParallelDeterminism, UnsoundRulesRepeatByteIdentical) {
+  // Failing rules exercise the diagnosis path (counterexample models,
+  // strengthening trails) — those must be deterministic too.
+  std::string First = normalizeTimings(proveJson("unsound.rules", 8));
+  std::string Second = normalizeTimings(proveJson("unsound.rules", 8));
+  EXPECT_EQ(First, Second)
+      << "two --jobs 8 runs over unsound.rules disagree beyond timing";
+}
+
+TEST(ParallelDeterminism, JobCountDoesNotChangeOutcomes) {
+  std::map<std::string, bool> Sequential =
+      provedSet(proveJson("figure11.rules", 1));
+  std::map<std::string, bool> Parallel =
+      provedSet(proveJson("figure11.rules", 4));
+  ASSERT_FALSE(Sequential.empty());
+  EXPECT_EQ(Sequential, Parallel);
+}
+
+TEST(ParallelDeterminism, CacheHitsAreNonzeroAndSchedulingIndependent) {
+  std::string Error;
+  json::ValuePtr R8 = json::parse(proveJson("figure11.rules", 8), &Error);
+  ASSERT_TRUE(R8 != nullptr) << Error;
+  json::ValuePtr Cache = R8->get("cache");
+  ASSERT_TRUE(Cache != nullptr);
+  EXPECT_TRUE(Cache->get("enabled")->boolValue());
+  double Hits = Cache->get("hits")->numberValue();
+  EXPECT_GT(Hits, 0) << "shared cache never hit across the suite";
+  EXPECT_GT(Cache->get("hit_rate")->numberValue(), 0.0);
+  EXPECT_EQ(Cache->get("evictions")->numberValue(), 0)
+      << "eviction at default capacity would break determinism";
+
+  // Single-flight makes the global hit/miss totals a property of the
+  // rule set, not the schedule: jobs 2 must agree with jobs 8.
+  json::ValuePtr R2 = json::parse(proveJson("figure11.rules", 2), &Error);
+  ASSERT_TRUE(R2 != nullptr) << Error;
+  EXPECT_EQ(R2->get("cache")->get("hits")->numberValue(), Hits);
+  EXPECT_EQ(R2->get("cache")->get("misses")->numberValue(),
+            Cache->get("misses")->numberValue());
+}
+
+} // namespace

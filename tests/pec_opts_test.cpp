@@ -27,8 +27,9 @@ TEST_P(Figure11Test, ProvedCorrect) {
     PecResult Result = proveRule(R);
     EXPECT_TRUE(Result.Proved)
         << R.Name << ": " << Result.FailureReason;
-    if (Result.Proved)
+    if (Result.Proved) {
       EXPECT_EQ(Result.UsedPermute, Entry.UsesPermute) << R.Name;
+    }
   }
 }
 

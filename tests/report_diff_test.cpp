@@ -14,6 +14,9 @@
 //   diff_base_v1.json         same content on the legacy v1 schema
 //   diff_base_one_rule.json   the baseline minus rule beta
 //
+// Schema drift is directional since v3: baseline on an older schema is a
+// note (regenerate), a producer downgrade is a regression.
+//
 //===----------------------------------------------------------------------===//
 
 #include "pec/Report.h"
@@ -44,8 +47,9 @@ json::ValuePtr loadFixture(const std::string &Name) {
   EXPECT_TRUE(Doc != nullptr) << Name << ": " << Error;
   // Every committed fixture must itself be schema-valid: the gate only
   // compares documents the validator accepts.
-  if (Doc)
+  if (Doc) {
     EXPECT_TRUE(validateReport(Doc, &Error)) << Name << ": " << Error;
+  }
   return Doc;
 }
 
@@ -133,14 +137,29 @@ TEST(ReportDiff, JitterInsideSlackIsTolerated) {
   EXPECT_TRUE(diffReports(Base, New, NoQuerySlack).hasRegression());
 }
 
-TEST(ReportDiff, SchemaMismatchIsARegression) {
+TEST(ReportDiff, SchemaUpgradeIsANote) {
+  // A baseline on an older schema is the normal state right after the
+  // report format evolves: the gate must keep working (suggesting a
+  // baseline regeneration), not fail every build until someone commits a
+  // new BENCH_figure11.json.
   json::ValuePtr OldV1 = loadFixture("diff_base_v1.json");
   json::ValuePtr NewV2 = loadFixture("diff_base.json");
   ASSERT_TRUE(OldV1 && NewV2);
   ReportDiff D = diffReports(OldV1, NewV2);
+  EXPECT_FALSE(D.hasRegression());
+  EXPECT_TRUE(anyContains(D.Notes, "schema upgraded"));
+  EXPECT_TRUE(anyContains(D.Notes, "regenerate the baseline"));
+}
+
+TEST(ReportDiff, SchemaDowngradeIsARegression) {
+  // The new report being on an OLDER schema than its baseline means the
+  // producer was rolled back — that direction fails the gate.
+  json::ValuePtr OldV2 = loadFixture("diff_base.json");
+  json::ValuePtr NewV1 = loadFixture("diff_base_v1.json");
+  ASSERT_TRUE(OldV2 && NewV1);
+  ReportDiff D = diffReports(OldV2, NewV1);
   EXPECT_TRUE(D.hasRegression());
-  EXPECT_TRUE(anyContains(D.Regressions, "schema drift"));
-  EXPECT_TRUE(anyContains(D.Regressions, "regenerate the baseline"));
+  EXPECT_TRUE(anyContains(D.Regressions, "schema downgrade"));
 }
 
 TEST(ReportDiff, DisappearedAndNewRules) {
@@ -167,7 +186,9 @@ TEST(ReportDiffCli, ExitCodesMatchTheGateContract) {
   EXPECT_EQ(runDiffCli("diff_base.json", "diff_jitter.json"), 0);
   EXPECT_EQ(runDiffCli("diff_base.json", "diff_regress_proved.json"), 1);
   EXPECT_EQ(runDiffCli("diff_base.json", "diff_regress_time.json"), 1);
-  EXPECT_EQ(runDiffCli("diff_base_v1.json", "diff_base.json"), 1);
+  // Schema drift is directional: upgrade passes, downgrade fails.
+  EXPECT_EQ(runDiffCli("diff_base_v1.json", "diff_base.json"), 0);
+  EXPECT_EQ(runDiffCli("diff_base.json", "diff_base_v1.json"), 1);
 }
 
 TEST(ReportDiffCli, ToleranceFlagsReachTheDiff) {

@@ -1,0 +1,94 @@
+//===- thread_pool_test.cpp - Work-stealing pool unit tests ---------------------===//
+//
+// pec::ThreadPool / TaskGroup (docs/PARALLELISM.md): task completion,
+// helping wait (the waiter runs queued tasks instead of blocking), nested
+// groups from inside pool tasks without deadlock, reuse of one pool for
+// several groups, and single-thread degenerate pools.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace pec;
+
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+  std::atomic<int> Sum{0};
+  {
+    TaskGroup Group(Pool);
+    for (int I = 1; I <= 1000; ++I)
+      Group.spawn([&Sum, I] { Sum += I; });
+    Group.wait();
+  }
+  EXPECT_EQ(Sum.load(), 500500);
+}
+
+TEST(ThreadPool, NestedGroupsDoNotDeadlock) {
+  // Checker-style nesting: tasks of an outer group open their own inner
+  // group on the same pool. With 2 workers and 8 outer tasks this
+  // deadlocks unless wait() helps run queued tasks.
+  ThreadPool Pool(2);
+  std::atomic<int> Inner{0};
+  {
+    TaskGroup Outer(Pool);
+    for (int I = 0; I < 8; ++I)
+      Outer.spawn([&Pool, &Inner] {
+        TaskGroup Nested(Pool);
+        for (int J = 0; J < 8; ++J)
+          Nested.spawn([&Inner] { ++Inner; });
+        Nested.wait();
+      });
+    Outer.wait();
+  }
+  EXPECT_EQ(Inner.load(), 64);
+}
+
+TEST(ThreadPool, GroupsAreReusableSequentially) {
+  ThreadPool Pool(3);
+  std::atomic<int> Count{0};
+  for (int Round = 0; Round < 10; ++Round) {
+    TaskGroup Group(Pool);
+    for (int I = 0; I < 32; ++I)
+      Group.spawn([&Count] { ++Count; });
+    Group.wait();
+    EXPECT_EQ(Count.load(), (Round + 1) * 32);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  ThreadPool Pool(1);
+  std::atomic<int> Count{0};
+  TaskGroup Group(Pool);
+  for (int I = 0; I < 100; ++I)
+    Group.spawn([&Count] { ++Count; });
+  Group.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorWaits) {
+  // ~TaskGroup implies wait(): results are visible after the scope even
+  // without an explicit call.
+  ThreadPool Pool(4);
+  std::vector<int> Results(256, 0);
+  {
+    TaskGroup Group(Pool);
+    for (size_t I = 0; I < Results.size(); ++I)
+      Group.spawn([&Results, I] { Results[I] = static_cast<int>(I) + 1; });
+  }
+  for (size_t I = 0; I < Results.size(); ++I)
+    EXPECT_EQ(Results[I], static_cast<int>(I) + 1);
+}
+
+TEST(ThreadPool, HardwareJobsIsPositive) {
+  EXPECT_GE(ThreadPool::hardwareJobs(), 1u);
+}
+
+} // namespace
