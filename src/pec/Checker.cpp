@@ -430,8 +430,10 @@ private:
     while (!Worklist.empty()) {
       // Obligation fan-out: drain the holding constraints in parallel,
       // then fall through to process one failure sequentially (its
-      // re-check below is a cache hit). The next wave re-checks the
-      // remaining failures against the strengthened predicates.
+      // incremental re-check below is cheap: the wave already cached the
+      // answer, and the session reuses its encoding). The next wave
+      // re-checks the remaining failures against the strengthened
+      // predicates.
       if (Options.Pool && Worklist.size() > 1) {
         waveFilter(Worklist, InWorklist, Requeued);
         if (Worklist.empty())
@@ -456,7 +458,15 @@ private:
       {
         PurposeScope Tag(Requeued[CI] ? Purpose::Strengthening
                                       : Purpose::Obligation);
-        Holds = Prover.isValid(Check);
+        // Incremental check of `Pred => Obligation` on the prover's
+        // persistent session: the predicate's encoding, theory lemmas,
+        // and learned clauses carry over from iteration to iteration of
+        // the strengthening loop, which is what makes re-checks cheap.
+        // Strengthened predicates need no retraction — the old Pred's
+        // root literal is simply never assumed again. `Check` is still
+        // materialized for diagnosis and tracing below.
+        Holds = !Prover.solveUnderAssumptions(R.entry(C.Source).Pred,
+                                              {Formula::mkNot(Obligation)});
       }
       if (Holds)
         continue;

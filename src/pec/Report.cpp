@@ -63,6 +63,14 @@ void appendAtp(std::string &Out, const AtpStats &S) {
   Out += ',';
   appendUint(Out, "propagations", S.Propagations);
   Out += ',';
+  appendUint(Out, "restarts", S.Restarts);
+  Out += ',';
+  appendUint(Out, "learned_clauses", S.LearnedClauses);
+  Out += ',';
+  appendUint(Out, "deleted_clauses", S.DeletedClauses);
+  Out += ',';
+  appendUint(Out, "assumption_solves", S.AssumptionSolves);
+  Out += ',';
   appendKey(Out, "by_purpose");
   Out += '{';
   for (size_t P = 0; P < NumPurposes; ++P) {
@@ -369,6 +377,17 @@ bool validateAtp(const json::ValuePtr &Atp, const std::string &Path,
         "sat_conflicts", "sat_decisions", "propagations"})
     if (!requireField(Atp, Path, Key, json::Kind::Number, Error))
       return false;
+  // Solver counters added mid-v3 (restarts, learned/deleted clauses,
+  // assumption solves) are additive: older v3 documents lack them, so
+  // they are only type-checked when present.
+  for (const char *Key :
+       {"restarts", "learned_clauses", "deleted_clauses",
+        "assumption_solves"}) {
+    json::ValuePtr V = Atp->get(Key);
+    if (V && !V->isNumber())
+      return failV(Error, Path + ": field '" + std::string(Key) +
+                              "' has the wrong type");
+  }
   if (!requireField(Atp, Path, "by_purpose", json::Kind::Object, Error))
     return false;
   json::ValuePtr ByPurpose = Atp->get("by_purpose");
@@ -576,6 +595,8 @@ struct RuleFacts {
   bool Proved = false;
   double Seconds = 0;
   uint64_t AtpQueries = 0;
+  uint64_t StrengtheningMicros = 0;
+  uint64_t StrengtheningQueries = 0;
   std::string FailureReason;
 };
 
@@ -588,6 +609,16 @@ std::map<std::string, RuleFacts> indexRules(const json::ValuePtr &Report) {
     F.Seconds = Rule->get("seconds")->numberValue();
     F.AtpQueries = static_cast<uint64_t>(
         Rule->get("atp")->get("queries")->numberValue());
+    // Present in every validated version (the slice predates v1's
+    // minimize addition), but guard anyway: diff inputs are arbitrary
+    // user files.
+    if (json::ValuePtr Slice =
+            Rule->get("atp")->get("by_purpose")->get("strengthening")) {
+      F.StrengtheningQueries =
+          static_cast<uint64_t>(Slice->get("queries")->numberValue());
+      F.StrengtheningMicros =
+          static_cast<uint64_t>(Slice->get("microseconds")->numberValue());
+    }
     F.FailureReason = Rule->get("failure_reason")->stringValue();
     Out.emplace(Rule->get("name")->stringValue(), std::move(F));
   }
@@ -681,6 +712,36 @@ ReportDiff pec::diffReports(const json::ValuePtr &Old,
           std::to_string(NewF.AtpQueries) + " (tolerance factor " +
           std::to_string(Options.QueryToleranceFactor) + ", slack " +
           std::to_string(Options.QuerySlack) + ")");
+
+    // The strengthening hot path gets its own budget: total rule time can
+    // hide a blow-up here behind savings elsewhere.
+    bool StrengtheningTimeRegressed =
+        static_cast<double>(NewF.StrengtheningMicros) >
+            static_cast<double>(OldF.StrengtheningMicros) *
+                Options.StrengtheningTimeToleranceFactor &&
+        NewF.StrengtheningMicros >
+            OldF.StrengtheningMicros + Options.StrengtheningTimeSlackMicros;
+    if (StrengtheningTimeRegressed)
+      D.Regressions.push_back(
+          "rule '" + Name + "' strengthening time regressed: " +
+          std::to_string(OldF.StrengtheningMicros) + "us -> " +
+          std::to_string(NewF.StrengtheningMicros) + "us (tolerance factor " +
+          std::to_string(Options.StrengtheningTimeToleranceFactor) +
+          ", slack " + std::to_string(Options.StrengtheningTimeSlackMicros) +
+          "us)");
+    bool StrengtheningQueriesRegressed =
+        static_cast<double>(NewF.StrengtheningQueries) >
+            static_cast<double>(OldF.StrengtheningQueries) *
+                Options.StrengtheningQueryToleranceFactor &&
+        NewF.StrengtheningQueries >
+            OldF.StrengtheningQueries + Options.StrengtheningQuerySlack;
+    if (StrengtheningQueriesRegressed)
+      D.Regressions.push_back(
+          "rule '" + Name + "' strengthening queries regressed: " +
+          std::to_string(OldF.StrengtheningQueries) + " -> " +
+          std::to_string(NewF.StrengtheningQueries) + " (tolerance factor " +
+          std::to_string(Options.StrengtheningQueryToleranceFactor) +
+          ", slack " + std::to_string(Options.StrengtheningQuerySlack) + ")");
   }
 
   for (const auto &[Name, NewF] : NewRules) {

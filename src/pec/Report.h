@@ -92,6 +92,13 @@ struct ReportDiffOptions {
   double TimeSlackSeconds = 0.05;
   double QueryToleranceFactor = 2.0;
   uint64_t QuerySlack = 16;
+  /// Budgets for the strengthening hot path (`atp.by_purpose.strengthening`
+  /// per rule) — the loop the incremental solver exists to keep cheap, so
+  /// the regression gate watches it separately from total rule time.
+  double StrengtheningTimeToleranceFactor = 3.0;
+  uint64_t StrengtheningTimeSlackMicros = 50000;
+  double StrengtheningQueryToleranceFactor = 2.0;
+  uint64_t StrengtheningQuerySlack = 8;
 };
 
 /// Outcome of comparing two report documents.

@@ -1,318 +1,22 @@
-//===- Atp.cpp - DPLL(T) driver ------------------------------------------------===//
+//===- Atp.cpp - ATP facade over the DPLL(T) session ---------------------------===//
 
 #include "solver/Atp.h"
 
 #include "solver/AtpCache.h"
-#include "solver/Sat.h"
+#include "solver/Smt.h"
 #include "solver/Theory.h"
 
 #include <algorithm>
 #include <chrono>
-#include <map>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 using namespace pec;
 
-namespace {
+Atp::Atp(TermArena &Arena, AtpOptions Options)
+    : Arena(Arena), Options(Options) {}
 
-/// Collects every term reachable from \p F.
-void collectTerms(const TermArena &Arena, const FormulaPtr &F,
-                  std::unordered_set<TermId> &Out) {
-  if (F->isAtom()) {
-    std::vector<TermId> Work = {F->lhsTerm(), F->rhsTerm()};
-    while (!Work.empty()) {
-      TermId T = Work.back();
-      Work.pop_back();
-      if (!Out.insert(T).second)
-        continue;
-      for (TermId A : Arena.node(T).Args)
-        Work.push_back(A);
-    }
-    return;
-  }
-  for (const FormulaPtr &C : F->children())
-    collectTerms(Arena, C, Out);
-}
-
-/// Expands array read-over-write: for every `selA(stoA(a, i, v), j)` term
-/// reachable from \p F, produces the lemma
-/// `(i = j => r = v) && (i != j => r = selA(a, j))` and iterates until no
-/// new such terms appear.
-FormulaPtr expandArrayLemmas(TermArena &Arena, const FormulaPtr &F) {
-  std::vector<FormulaPtr> Lemmas;
-  std::unordered_set<TermId> Seen;
-  std::unordered_set<TermId> Expanded;
-
-  collectTerms(Arena, F, Seen);
-  bool Progress = true;
-  while (Progress) {
-    Progress = false;
-    // Snapshot: lemma creation adds terms; they are re-collected below.
-    std::vector<TermId> Snapshot(Seen.begin(), Seen.end());
-    for (TermId T : Snapshot) {
-      const TermNode &N = Arena.node(T);
-      if (N.Op != TermOp::SelA)
-        continue;
-      const TermNode &ArrNode = Arena.node(N.Args[0]);
-      if (ArrNode.Op != TermOp::StoA)
-        continue;
-      if (!Expanded.insert(T).second)
-        continue;
-      TermId Inner = ArrNode.Args[0];
-      TermId StoredIdx = ArrNode.Args[1];
-      TermId StoredVal = ArrNode.Args[2];
-      TermId ReadIdx = N.Args[1];
-      TermId InnerRead = Arena.mkSelA(Inner, ReadIdx);
-      FormulaPtr IdxEq = Formula::mkEq(Arena, StoredIdx, ReadIdx);
-      Lemmas.push_back(Formula::mkAnd(
-          Formula::mkImplies(IdxEq, Formula::mkEq(Arena, T, StoredVal)),
-          Formula::mkImplies(Formula::mkNot(IdxEq),
-                             Formula::mkEq(Arena, T, InnerRead))));
-      // InnerRead may itself be a read-over-write.
-      std::vector<TermId> Work = {InnerRead};
-      while (!Work.empty()) {
-        TermId W = Work.back();
-        Work.pop_back();
-        if (!Seen.insert(W).second)
-          continue;
-        for (TermId A : Arena.node(W).Args)
-          Work.push_back(A);
-      }
-      Progress = true;
-    }
-  }
-  if (Lemmas.empty())
-    return F;
-  Lemmas.push_back(F);
-  return Formula::mkAnd(std::move(Lemmas));
-}
-
-/// Division/modulo by a nonzero constant: conjoin the truncation-division
-/// axioms (C semantics, matching the interpreter) for every `div$`/`mod$`
-/// application with a constant divisor reachable from \p F:
-///   a = k*q + r,  and r lies in [0, |k|-1] for a >= 0,
-///                     in [-(|k|-1), 0] for a <= 0.
-FormulaPtr expandDivModLemmas(TermArena &Arena, const FormulaPtr &F) {
-  std::unordered_set<TermId> Seen;
-  collectTerms(Arena, F, Seen);
-  std::vector<FormulaPtr> Lemmas;
-  Symbol DivSym = Symbol::get("div$");
-  std::vector<TermId> Snapshot(Seen.begin(), Seen.end());
-  for (TermId T : Snapshot) {
-    const TermNode &N = Arena.node(T);
-    if (N.Op != TermOp::Apply ||
-        (N.Name.str() != "div$" && N.Name.str() != "mod$"))
-      continue;
-    const TermNode &Divisor = Arena.node(N.Args[1]);
-    if (Divisor.Op != TermOp::IntConst || Divisor.IntVal == 0)
-      continue;
-    int64_t K = Divisor.IntVal;
-    TermId A = N.Args[0];
-    TermId Q = Arena.mkApply(DivSym, {A, N.Args[1]}, Sort::Int);
-    TermId R = Arena.mkSub(A, Arena.mkMul(Arena.mkInt(K), Q));
-    TermId Zero = Arena.mkInt(0);
-    TermId AbsKm1 = Arena.mkInt((K > 0 ? K : -K) - 1);
-    Lemmas.push_back(Formula::mkImplies(
-        Formula::mkLe(Arena, Zero, A),
-        Formula::mkAnd(Formula::mkLe(Arena, Zero, R),
-                       Formula::mkLe(Arena, R, AbsKm1))));
-    Lemmas.push_back(Formula::mkImplies(
-        Formula::mkLe(Arena, A, Zero),
-        Formula::mkAnd(Formula::mkLe(Arena, Arena.mkNeg(AbsKm1), R),
-                       Formula::mkLe(Arena, R, Zero))));
-    if (N.Name.str() == "mod$")
-      Lemmas.push_back(Formula::mkEq(Arena, T, R));
-  }
-  if (Lemmas.empty())
-    return F;
-  Lemmas.push_back(F);
-  return Formula::mkAnd(std::move(Lemmas));
-}
-
-/// Tseitin CNF encoder plus the lazy-theory CDCL loop.
-class SmtContext {
-public:
-  SmtContext(TermArena &Arena, const AtpOptions &Options, AtpStats &Stats)
-      : Arena(Arena), Options(Options), Stats(Stats) {}
-
-  bool solve(const FormulaPtr &Input, TheoryModel *ModelOut = nullptr) {
-    FormulaPtr F = expandDivModLemmas(Arena, expandArrayLemmas(Arena, Input));
-    if (F->kind() == FormulaKind::True) {
-      if (ModelOut)
-        ModelOut->Complete = true; // Trivially satisfiable; nothing to value.
-      return true;
-    }
-    if (F->kind() == FormulaKind::False)
-      return false;
-
-    Lit Root = encode(F);
-    Sat.addClause({Root});
-
-    uint32_t ConflictBudget = Options.MaxTheoryConflictsPerQuery;
-    while (true) {
-      if (Sat.solve() == SatResult::Unsat) {
-        harvestSatStats();
-        return false;
-      }
-      // Gather the theory literals implied by the boolean model.
-      std::vector<TheoryLit> Lits;
-      Lits.reserve(AtomVars.size());
-      for (const auto &[AtomKey, Var] : AtomVars) {
-        (void)AtomKey;
-        Lits.push_back(TheoryLit{AtomOfVar[Var], Sat.valueOf(Var)});
-      }
-      ++Stats.TheoryChecks;
-      std::vector<char> Relevant = relevantTerms(Arena, Lits);
-      if (theoryConsistent(Arena, Lits, Relevant)) {
-        harvestSatStats();
-        if (ModelOut)
-          extractTheoryModel(Arena, Lits, Relevant, *ModelOut);
-        return true;
-      }
-      ++Stats.TheoryConflicts;
-      if (ConflictBudget-- == 0) {
-        // Give up: treat as satisfiable (safe direction for validity). No
-        // model: the literal set is theory-inconsistent, so its valuations
-        // would be misleading.
-        harvestSatStats();
-        return true;
-      }
-      // Minimize the conflicting literal set, then block it.
-      if (Options.MinimizeConflicts)
-        minimizeConflict(Lits);
-      std::vector<Lit> Blocking;
-      Blocking.reserve(Lits.size());
-      for (const TheoryLit &L : Lits) {
-        uint32_t Var = AtomVars.at(atomKey(L.Atom));
-        Blocking.push_back(Lit(Var, L.Positive));
-      }
-      Sat.addClause(std::move(Blocking));
-    }
-  }
-
-private:
-  /// Folds the SAT core's counters into the query stats (called exactly
-  /// once per solve, on each return path).
-  void harvestSatStats() {
-    Stats.SatConflicts += Sat.numConflicts();
-    Stats.SatDecisions += Sat.numDecisions();
-    Stats.Propagations += Sat.numPropagations();
-  }
-
-  /// A stable identity for an atom: (kind, lhs, rhs).
-  using AtomKey = std::tuple<int, TermId, TermId>;
-
-  static AtomKey atomKey(const FormulaPtr &A) {
-    return AtomKey(static_cast<int>(A->kind()), A->lhsTerm(), A->rhsTerm());
-  }
-
-  void minimizeConflict(std::vector<TheoryLit> &Lits) {
-    // Greedy deletion: try dropping each literal; keep the set inconsistent.
-    for (size_t I = 0; I < Lits.size();) {
-      std::vector<TheoryLit> Without;
-      Without.reserve(Lits.size() - 1);
-      for (size_t K = 0; K < Lits.size(); ++K)
-        if (K != I)
-          Without.push_back(Lits[K]);
-      std::vector<char> Relevant = relevantTerms(Arena, Without);
-      if (!Without.empty() && !theoryConsistent(Arena, Without, Relevant))
-        Lits = std::move(Without); // Still inconsistent: drop for good.
-      else
-        ++I;
-    }
-  }
-
-  Lit atomLit(const FormulaPtr &A) {
-    AtomKey Key = atomKey(A);
-    auto It = AtomVars.find(Key);
-    if (It != AtomVars.end())
-      return Lit(It->second, false);
-    uint32_t Var = Sat.newVar();
-    AtomVars.emplace(Key, Var);
-    AtomOfVar[Var] = A;
-    return Lit(Var, false);
-  }
-
-  /// Tseitin: returns a literal equivalent to \p F, adding defining clauses.
-  Lit encode(const FormulaPtr &F) {
-    switch (F->kind()) {
-    case FormulaKind::True: {
-      uint32_t V = Sat.newVar();
-      Sat.addClause({Lit(V, false)});
-      return Lit(V, false);
-    }
-    case FormulaKind::False: {
-      uint32_t V = Sat.newVar();
-      Sat.addClause({Lit(V, true)});
-      return Lit(V, false);
-    }
-    case FormulaKind::Eq:
-    case FormulaKind::Le:
-    case FormulaKind::Lt:
-      return atomLit(F);
-    case FormulaKind::Not:
-      return ~encode(F->children()[0]);
-    case FormulaKind::And: {
-      uint32_t V = Sat.newVar();
-      Lit Out(V, false);
-      std::vector<Lit> LongClause{Out};
-      for (const FormulaPtr &C : F->children()) {
-        Lit LC = encode(C);
-        Sat.addClause({~Out, LC}); // Out -> C.
-        LongClause.push_back(~LC);
-      }
-      Sat.addClause(std::move(LongClause)); // All Cs -> Out.
-      return Out;
-    }
-    case FormulaKind::Or: {
-      uint32_t V = Sat.newVar();
-      Lit Out(V, false);
-      std::vector<Lit> LongClause{~Out};
-      for (const FormulaPtr &C : F->children()) {
-        Lit LC = encode(C);
-        Sat.addClause({Out, ~LC}); // C -> Out.
-        LongClause.push_back(LC);
-      }
-      Sat.addClause(std::move(LongClause)); // Out -> some C.
-      return Out;
-    }
-    case FormulaKind::Implies: {
-      Lit A = encode(F->children()[0]);
-      Lit B = encode(F->children()[1]);
-      uint32_t V = Sat.newVar();
-      Lit Out(V, false);
-      Sat.addClause({~Out, ~A, B});
-      Sat.addClause({Out, A});
-      Sat.addClause({Out, ~B});
-      return Out;
-    }
-    case FormulaKind::Iff: {
-      Lit A = encode(F->children()[0]);
-      Lit B = encode(F->children()[1]);
-      uint32_t V = Sat.newVar();
-      Lit Out(V, false);
-      Sat.addClause({~Out, ~A, B});
-      Sat.addClause({~Out, A, ~B});
-      Sat.addClause({Out, A, B});
-      Sat.addClause({Out, ~A, ~B});
-      return Out;
-    }
-    }
-    reportFatalError("unhandled formula kind in Tseitin encoding");
-  }
-
-  TermArena &Arena;
-  const AtpOptions &Options;
-  AtpStats &Stats;
-  SatSolver Sat;
-  std::map<AtomKey, uint32_t> AtomVars;
-  std::unordered_map<uint32_t, FormulaPtr> AtomOfVar;
-};
-
-} // namespace
+Atp::~Atp() = default;
 
 namespace {
 
@@ -381,6 +85,10 @@ void AtpStats::merge(const AtpStats &Other) {
   SatConflicts += Other.SatConflicts;
   SatDecisions += Other.SatDecisions;
   Propagations += Other.Propagations;
+  Restarts += Other.Restarts;
+  LearnedClauses += Other.LearnedClauses;
+  DeletedClauses += Other.DeletedClauses;
+  AssumptionSolves += Other.AssumptionSolves;
   Microseconds += Other.Microseconds;
   CacheHits += Other.CacheHits;
   CacheMisses += Other.CacheMisses;
@@ -401,7 +109,8 @@ struct WorkSnapshot {
   explicit WorkSnapshot(const AtpStats &S)
       : TheoryChecks(S.TheoryChecks), TheoryConflicts(S.TheoryConflicts),
         SatConflicts(S.SatConflicts), SatDecisions(S.SatDecisions),
-        Propagations(S.Propagations) {}
+        Propagations(S.Propagations), Restarts(S.Restarts),
+        LearnedClauses(S.LearnedClauses), DeletedClauses(S.DeletedClauses) {}
 
   AtpCache::WorkDelta delta(const AtpStats &S) const {
     AtpCache::WorkDelta D;
@@ -410,11 +119,14 @@ struct WorkSnapshot {
     D.SatConflicts = S.SatConflicts - SatConflicts;
     D.SatDecisions = S.SatDecisions - SatDecisions;
     D.Propagations = S.Propagations - Propagations;
+    D.Restarts = S.Restarts - Restarts;
+    D.LearnedClauses = S.LearnedClauses - LearnedClauses;
+    D.DeletedClauses = S.DeletedClauses - DeletedClauses;
     return D;
   }
 
   uint64_t TheoryChecks, TheoryConflicts, SatConflicts, SatDecisions,
-      Propagations;
+      Propagations, Restarts, LearnedClauses, DeletedClauses;
 };
 
 void replayDelta(AtpStats &S, const AtpCache::WorkDelta &D) {
@@ -423,26 +135,44 @@ void replayDelta(AtpStats &S, const AtpCache::WorkDelta &D) {
   S.SatConflicts += D.SatConflicts;
   S.SatDecisions += D.SatDecisions;
   S.Propagations += D.Propagations;
+  S.Restarts += D.Restarts;
+  S.LearnedClauses += D.LearnedClauses;
+  S.DeletedClauses += D.DeletedClauses;
 }
 
 } // namespace
 
 bool Atp::solveSatisfiable(const FormulaPtr &F, AtpModel *Model) {
-  SmtContext Ctx(Arena, Options, Stats);
+  // Fresh session per query: cacheable answers must not depend on what
+  // this instance solved before.
+  SmtSession Ctx(Arena, Options, Stats);
   TheoryModel TM;
-  bool Sat = Ctx.solve(F, Model ? &TM : nullptr);
+  bool Sat = Ctx.solve({F}, Model ? &TM : nullptr);
   if (Sat && Model)
     renderModel(Arena, TM, *Model);
   return Sat;
 }
 
 bool Atp::solveValid(const FormulaPtr &F, AtpModel *Counterexample) {
-  SmtContext Ctx(Arena, Options, Stats);
+  SmtSession Ctx(Arena, Options, Stats);
   TheoryModel TM;
-  bool Sat = Ctx.solve(Formula::mkNot(F), Counterexample ? &TM : nullptr);
+  bool Sat = Ctx.solve({Formula::mkNot(F)}, Counterexample ? &TM : nullptr);
   if (Sat && Counterexample)
     renderModel(Arena, TM, *Counterexample);
   return !Sat;
+}
+
+bool Atp::solveUnderAssumptions(const FormulaPtr &Prelude,
+                                const std::vector<FormulaPtr> &Assumptions) {
+  QueryAccounting Account("atp.solveUnderAssumptions", Stats);
+  ++Stats.AssumptionSolves;
+  if (!Incremental)
+    Incremental = std::make_unique<SmtSession>(Arena, Options, Stats);
+  std::vector<FormulaPtr> Roots;
+  Roots.reserve(1 + Assumptions.size());
+  Roots.push_back(Prelude);
+  Roots.insert(Roots.end(), Assumptions.begin(), Assumptions.end());
+  return Incremental->solve(Roots, nullptr);
 }
 
 bool Atp::isSatisfiable(const FormulaPtr &F) { return isSatisfiable(F, nullptr); }

@@ -11,8 +11,9 @@
 ///
 /// Architecture: array read-over-write lemma expansion, Tseitin CNF
 /// conversion, a CDCL SAT core, and lazy theory checking at full boolean
-/// assignments with greedy conflict minimization (DESIGN.md discusses the
-/// ablation of minimization).
+/// assignments with QuickXplain conflict minimization (DESIGN.md discusses
+/// the ablation of minimization). The engine itself lives in Smt.h as a
+/// session so it can persist across queries; see solveUnderAssumptions.
 ///
 /// Answers are one-sided safe: resource exhaustion degrades `isValid` to
 /// `false` (PEC then conservatively rejects the optimization), never to a
@@ -28,6 +29,7 @@
 #include "support/Telemetry.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,10 @@ struct AtpStats {
   uint64_t SatConflicts = 0;    ///< CDCL conflicts across all queries.
   uint64_t SatDecisions = 0;    ///< CDCL branching decisions.
   uint64_t Propagations = 0;    ///< Unit propagations across all queries.
+  uint64_t Restarts = 0;        ///< CDCL (Luby) restarts.
+  uint64_t LearnedClauses = 0;  ///< Clauses learned from conflicts.
+  uint64_t DeletedClauses = 0;  ///< Learned clauses dropped by DB reduction.
+  uint64_t AssumptionSolves = 0; ///< solveUnderAssumptions calls.
   uint64_t Microseconds = 0;    ///< Cumulative wall-clock inside the ATP.
   uint64_t CacheHits = 0;       ///< Queries answered from the AtpCache.
   uint64_t CacheMisses = 0;     ///< Queries this Atp solved and published.
@@ -89,6 +95,7 @@ struct AtpModel {
 };
 
 class AtpCache;
+class SmtSession;
 
 /// Thread-safety audit (docs/PARALLELISM.md): an Atp instance is
 /// single-thread confined — it mutates its TermArena (hash-consing) and
@@ -98,8 +105,8 @@ class AtpCache;
 /// functions over the (confined) arena.
 class Atp {
 public:
-  explicit Atp(TermArena &Arena, AtpOptions Options = {})
-      : Arena(Arena), Options(Options) {}
+  explicit Atp(TermArena &Arena, AtpOptions Options = {});
+  ~Atp(); // Out of line: owns the (forward-declared) incremental session.
 
   /// Is \p F true in every model? (Checks that !F is unsatisfiable.)
   bool isValid(const FormulaPtr &F);
@@ -114,6 +121,19 @@ public:
 
   /// As above; fills \p Model with a satisfying model on success.
   bool isSatisfiable(const FormulaPtr &F, AtpModel *Model);
+
+  /// Incremental satisfiability of `Prelude /\ Assumptions` on this
+  /// instance's *persistent* solving session (docs/SOLVER.md, "Incremental
+  /// solving"): Tseitin encodings, theory lemmas, theory blocking clauses,
+  /// and CDCL-learned clauses all survive from one call to the next, so
+  /// the Checker's strengthening loop pays only for what changed. Every
+  /// formula is held by assumption for the one call — nothing needs
+  /// retracting when a predicate is strengthened and never queried again.
+  /// Validity of `Pred => Ob` is `!solveUnderAssumptions(Pred, {!Ob})`.
+  /// Bypasses the AtpCache: session state is exactly the locality the
+  /// cache would otherwise provide, and answers stay one-sided safe.
+  bool solveUnderAssumptions(const FormulaPtr &Prelude,
+                             const std::vector<FormulaPtr> &Assumptions);
 
   TermArena &arena() { return Arena; }
   const AtpStats &stats() const { return Stats; }
@@ -136,6 +156,10 @@ private:
   AtpOptions Options;
   AtpStats Stats;
   AtpCache *TheCache = nullptr;
+  /// Lazily created persistent session behind solveUnderAssumptions. Its
+  /// lifetime spans the Atp — for the prover, one rule including retry
+  /// attempts — so strengthening re-checks reuse everything.
+  std::unique_ptr<SmtSession> Incremental;
 };
 
 } // namespace pec

@@ -81,6 +81,9 @@ public:
     uint64_t SatConflicts = 0;
     uint64_t SatDecisions = 0;
     uint64_t Propagations = 0;
+    uint64_t Restarts = 0;
+    uint64_t LearnedClauses = 0;
+    uint64_t DeletedClauses = 0;
   };
 
   enum class Lookup {

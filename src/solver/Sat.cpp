@@ -7,6 +7,25 @@
 
 using namespace pec;
 
+namespace {
+
+/// The Luby restart sequence 1,1,2,1,1,2,4,... (0-based index).
+uint64_t lubyValue(uint32_t X) {
+  uint32_t Size = 1, Seq = 0;
+  while (Size < X + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != X) {
+    Size = (Size - 1) / 2;
+    --Seq;
+    X %= Size;
+  }
+  return uint64_t(1) << Seq;
+}
+
+} // namespace
+
 uint32_t SatSolver::newVar() {
   uint32_t V = static_cast<uint32_t>(Assign.size());
   Assign.push_back(LBool::Undef);
@@ -14,9 +33,52 @@ uint32_t SatSolver::newVar() {
   VarReason.push_back(-1);
   Activity.push_back(0.0);
   Seen.push_back(0);
+  SavedPhase.push_back(0);
+  HeapPos.push_back(-1);
   Watches.emplace_back();
   Watches.emplace_back();
+  heapInsert(V);
   return V;
+}
+
+void SatSolver::heapInsert(uint32_t Var) {
+  if (HeapPos[Var] >= 0)
+    return;
+  HeapPos[Var] = static_cast<int32_t>(Heap.size());
+  Heap.push_back(Var);
+  heapUp(Heap.size() - 1);
+}
+
+void SatSolver::heapUp(size_t Idx) {
+  uint32_t Var = Heap[Idx];
+  while (Idx > 0) {
+    size_t Parent = (Idx - 1) / 2;
+    if (!heapAbove(Var, Heap[Parent]))
+      break;
+    Heap[Idx] = Heap[Parent];
+    HeapPos[Heap[Idx]] = static_cast<int32_t>(Idx);
+    Idx = Parent;
+  }
+  Heap[Idx] = Var;
+  HeapPos[Var] = static_cast<int32_t>(Idx);
+}
+
+void SatSolver::heapDown(size_t Idx) {
+  uint32_t Var = Heap[Idx];
+  while (true) {
+    size_t Child = 2 * Idx + 1;
+    if (Child >= Heap.size())
+      break;
+    if (Child + 1 < Heap.size() && heapAbove(Heap[Child + 1], Heap[Child]))
+      ++Child;
+    if (!heapAbove(Heap[Child], Var))
+      break;
+    Heap[Idx] = Heap[Child];
+    HeapPos[Heap[Idx]] = static_cast<int32_t>(Idx);
+    Idx = Child;
+  }
+  Heap[Idx] = Var;
+  HeapPos[Var] = static_cast<int32_t>(Idx);
 }
 
 void SatSolver::addClause(std::vector<Lit> ClauseLits) {
@@ -56,7 +118,7 @@ void SatSolver::addClause(std::vector<Lit> ClauseLits) {
       enqueue(Pruned[0], -1);
     return;
   }
-  Clauses.push_back(Clause{std::move(Pruned)});
+  Clauses.push_back(Clause{std::move(Pruned), 0, false, false});
   attach(static_cast<uint32_t>(Clauses.size() - 1));
 }
 
@@ -69,7 +131,8 @@ void SatSolver::attach(uint32_t ClauseIdx) {
 void SatSolver::enqueue(Lit L, int32_t Reason) {
   assert(litValue(L) == LBool::Undef && "enqueueing an assigned literal");
   Assign[L.var()] = L.negated() ? LBool::False : LBool::True;
-  VarLevel[L.var()] = static_cast<uint32_t>(TrailLim.size());
+  SavedPhase[L.var()] = L.negated() ? 0 : 1;
+  VarLevel[L.var()] = decisionLevel();
   VarReason[L.var()] = Reason;
   Trail.push_back(L);
 }
@@ -83,6 +146,8 @@ int32_t SatSolver::propagate() {
     for (size_t I = 0; I < WatchList.size(); ++I) {
       uint32_t CIdx = WatchList[I];
       Clause &C = Clauses[CIdx];
+      if (C.Deleted)
+        continue; // Tombstoned by reduceDB; lazily drop the watch.
       // Ensure the false literal is at position 1.
       if (C.Lits[0] == ~P)
         std::swap(C.Lits[0], C.Lits[1]);
@@ -124,19 +189,66 @@ int32_t SatSolver::propagate() {
 void SatSolver::bumpVar(uint32_t Var) {
   Activity[Var] += ActivityInc;
   if (Activity[Var] > 1e100) {
+    // Uniform rescale: relative order (and hence the heap) is preserved.
     for (double &A : Activity)
       A *= 1e-100;
     ActivityInc *= 1e-100;
   }
+  if (HeapPos[Var] >= 0)
+    heapUp(static_cast<size_t>(HeapPos[Var]));
 }
 
 void SatSolver::decayActivities() { ActivityInc *= 1.0 / 0.95; }
+
+uint32_t SatSolver::computeLbd(const std::vector<Lit> &Lits) {
+  LevelScratch.clear();
+  for (Lit L : Lits)
+    LevelScratch.push_back(VarLevel[L.var()]);
+  std::sort(LevelScratch.begin(), LevelScratch.end());
+  LevelScratch.erase(std::unique(LevelScratch.begin(), LevelScratch.end()),
+                     LevelScratch.end());
+  return static_cast<uint32_t>(LevelScratch.size());
+}
+
+/// True when \p L is redundant in the clause under construction: every
+/// path through its implication graph antecedents terminates in a literal
+/// already in the clause (Seen) or fixed at level 0. Successful marks are
+/// kept as memo; failed explorations are unwound.
+bool SatSolver::litRedundant(Lit L) {
+  AnalyzeStack.clear();
+  AnalyzeStack.push_back(L);
+  size_t Top = ToClear.size();
+  while (!AnalyzeStack.empty()) {
+    Lit Q = AnalyzeStack.back();
+    AnalyzeStack.pop_back();
+    assert(VarReason[Q.var()] >= 0 && "litRedundant reached a decision");
+    const Clause &C = Clauses[VarReason[Q.var()]];
+    for (Lit R : C.Lits) {
+      uint32_t V = R.var();
+      if (V == Q.var() || Seen[V] || VarLevel[V] == 0)
+        continue;
+      if (VarReason[V] < 0) {
+        // Hit a decision outside the clause: not redundant; unwind the
+        // marks this exploration added.
+        for (size_t K = Top; K < ToClear.size(); ++K)
+          Seen[ToClear[K]] = 0;
+        ToClear.resize(Top);
+        return false;
+      }
+      Seen[V] = 1;
+      ToClear.push_back(V);
+      AnalyzeStack.push_back(R);
+    }
+  }
+  return true;
+}
 
 void SatSolver::analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
                         uint32_t &BacktrackLevel) {
   Learnt.clear();
   Learnt.push_back(Lit()); // Slot for the asserting literal.
-  uint32_t CurrentLevel = static_cast<uint32_t>(TrailLim.size());
+  ToClear.clear();
+  uint32_t CurrentLevel = decisionLevel();
   int Counter = 0;
   Lit P;
   bool PValid = false;
@@ -157,6 +269,7 @@ void SatSolver::analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
       if (Seen[V] || VarLevel[V] == 0)
         continue;
       Seen[V] = 1;
+      ToClear.push_back(V);
       bumpVar(V);
       if (VarLevel[V] >= CurrentLevel)
         ++Counter;
@@ -178,9 +291,22 @@ void SatSolver::analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
   }
   Learnt[0] = ~P;
 
-  // Clear marks.
-  for (size_t I = 1; I < Learnt.size(); ++I)
-    Seen[Learnt[I].var()] = 0;
+  // Recursive self-subsumption: a literal whose reason-side antecedents
+  // all terminate in clause literals (or level 0) adds nothing — drop it.
+  // Learnt[1..] vars still carry Seen=1 here, which is what litRedundant
+  // keys on.
+  size_t KeptLits = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    uint32_t V = Learnt[I].var();
+    if (VarReason[V] < 0 || !litRedundant(Learnt[I]))
+      Learnt[KeptLits++] = Learnt[I];
+  }
+  Learnt.resize(KeptLits);
+
+  // Clear marks (analysis marks plus litRedundant memo marks).
+  for (uint32_t V : ToClear)
+    Seen[V] = 0;
+  ToClear.clear();
 
   // Compute backtrack level: max level among Learnt[1..].
   BacktrackLevel = 0;
@@ -203,6 +329,7 @@ void SatSolver::backtrack(uint32_t Level) {
     uint32_t V = Trail[I - 1].var();
     Assign[V] = LBool::Undef;
     VarReason[V] = -1;
+    heapInsert(V);
   }
   Trail.resize(Boundary);
   TrailLim.resize(Level);
@@ -210,55 +337,148 @@ void SatSolver::backtrack(uint32_t Level) {
 }
 
 int32_t SatSolver::pickBranchVar() {
-  int32_t Best = -1;
-  double BestActivity = -1.0;
-  for (uint32_t V = 0; V < Assign.size(); ++V) {
-    if (Assign[V] != LBool::Undef)
-      continue;
-    if (Activity[V] > BestActivity) {
-      BestActivity = Activity[V];
-      Best = static_cast<int32_t>(V);
+  while (!Heap.empty()) {
+    uint32_t V = Heap[0];
+    uint32_t Last = Heap.back();
+    Heap.pop_back();
+    HeapPos[V] = -1;
+    if (!Heap.empty() && V != Last) {
+      Heap[0] = Last;
+      HeapPos[Last] = 0;
+      heapDown(0);
     }
+    if (Assign[V] == LBool::Undef)
+      return static_cast<int32_t>(V);
   }
-  return Best;
+  return -1;
 }
 
-SatResult SatSolver::solve() {
+void SatSolver::reduceDB() {
+  // Called at decision level 0 (a restart point). Keeps binary and
+  // low-LBD ("glue") clauses plus anything locked as a propagation
+  // reason; deletes the worst half of the rest, highest glue first.
+  std::vector<uint32_t> Cands;
+  for (uint32_t I = 0; I < Clauses.size(); ++I) {
+    const Clause &C = Clauses[I];
+    if (!C.Learnt || C.Deleted)
+      continue;
+    if (C.Lits.size() <= 2 || C.Lbd <= 2)
+      continue;
+    bool Locked = Assign[C.Lits[0].var()] != LBool::Undef &&
+                  VarReason[C.Lits[0].var()] == static_cast<int32_t>(I);
+    if (Locked)
+      continue;
+    Cands.push_back(I);
+  }
+  std::sort(Cands.begin(), Cands.end(), [this](uint32_t A, uint32_t B) {
+    if (Clauses[A].Lbd != Clauses[B].Lbd)
+      return Clauses[A].Lbd > Clauses[B].Lbd;
+    return A < B; // Deterministic: older clauses go first at equal glue.
+  });
+  size_t Target = Cands.size() / 2;
+  for (size_t I = 0; I < Target; ++I) {
+    Clause &C = Clauses[Cands[I]];
+    C.Deleted = true;
+    C.Lits.clear();
+    C.Lits.shrink_to_fit();
+    ++DeletedClauses;
+    --LiveLearnts;
+  }
+  MaxLearnts += 512;
+}
+
+SatResult SatSolver::solve(const std::vector<Lit> &Assumptions) {
   if (Unsatisfiable)
     return SatResult::Unsat;
   backtrack(0);
+  std::vector<Lit> LearntClause;
+  uint64_t RestartLimit = RestartBase * lubyValue(LubyIndex);
 
   while (true) {
     int32_t Conflict = propagate();
     if (Conflict >= 0) {
       ++Conflicts;
-      if (TrailLim.empty())
+      ++ConflictsSinceRestart;
+      if (TrailLim.empty()) {
+        // Conflict with nothing assumed or decided: the clause database
+        // itself is contradictory.
+        Unsatisfiable = true;
         return SatResult::Unsat;
-      std::vector<Lit> Learnt;
+      }
       uint32_t BtLevel = 0;
-      analyze(Conflict, Learnt, BtLevel);
+      analyze(Conflict, LearntClause, BtLevel);
       backtrack(BtLevel);
-      if (Learnt.size() == 1) {
-        if (litValue(Learnt[0]) == LBool::Undef)
-          enqueue(Learnt[0], -1);
-        else if (litValue(Learnt[0]) == LBool::False)
+      if (LearntClause.size() == 1) {
+        if (litValue(LearntClause[0]) == LBool::Undef)
+          enqueue(LearntClause[0], -1);
+        else if (litValue(LearntClause[0]) == LBool::False) {
+          Unsatisfiable = true; // Contradiction at level 0 is global.
           return SatResult::Unsat;
+        }
       } else {
-        Clauses.push_back(Clause{Learnt});
+        Clauses.push_back(
+            Clause{LearntClause, computeLbd(LearntClause), true, false});
+        ++Learned;
+        ++LiveLearnts;
         attach(static_cast<uint32_t>(Clauses.size() - 1));
-        enqueue(Learnt[0], static_cast<int32_t>(Clauses.size() - 1));
+        enqueue(LearntClause[0], static_cast<int32_t>(Clauses.size() - 1));
       }
       decayActivities();
       continue;
     }
+
+    if (ConflictsSinceRestart >= RestartLimit) {
+      ++Restarts;
+      ConflictsSinceRestart = 0;
+      ++LubyIndex;
+      RestartLimit = RestartBase * lubyValue(LubyIndex);
+      backtrack(0);
+      if (LiveLearnts > MaxLearnts)
+        reduceDB();
+      continue;
+    }
+
+    // Re-assume any assumptions the last backtrack undid. Assumptions are
+    // pseudo-decisions: already-true ones get a dummy level (so the level
+    // <-> assumption-index correspondence holds), false ones mean
+    // unsatisfiable *under these assumptions* — the database itself is
+    // untouched, so the instance stays usable.
+    Lit Next;
+    bool HaveNext = false, AssumptionFailed = false;
+    while (decisionLevel() < Assumptions.size()) {
+      Lit A = Assumptions[decisionLevel()];
+      LBool V = litValue(A);
+      if (V == LBool::True) {
+        TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
+      } else if (V == LBool::False) {
+        AssumptionFailed = true;
+        break;
+      } else {
+        Next = A;
+        HaveNext = true;
+        break;
+      }
+    }
+    if (AssumptionFailed) {
+      backtrack(0);
+      return SatResult::Unsat;
+    }
+    if (HaveNext) {
+      TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
+      enqueue(Next, -1);
+      continue;
+    }
+
     int32_t Branch = pickBranchVar();
     if (Branch < 0)
       return SatResult::Sat;
     ++Decisions;
     TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
-    // Branch negative first: theory atoms default to "not asserted", which
-    // keeps theory checks small.
-    enqueue(Lit(static_cast<uint32_t>(Branch), true), -1);
+    // Phase saving: branch toward the variable's last assigned polarity.
+    // Fresh variables default to negative — theory atoms start out "not
+    // asserted", which keeps theory checks small.
+    uint32_t V = static_cast<uint32_t>(Branch);
+    enqueue(Lit(V, !static_cast<bool>(SavedPhase[V])), -1);
   }
 }
 

@@ -5,10 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A compact CDCL SAT solver: two-watched-literal propagation, first-UIP
-/// conflict analysis, activity-based (VSIDS-style) branching, and support
-/// for incremental clause addition between `solve()` calls — which is how
-/// the DPLL(T) loop feeds theory conflict clauses back in.
+/// A compact but modern CDCL SAT solver: two-watched-literal propagation,
+/// first-UIP conflict analysis with recursive self-subsumption
+/// minimization, VSIDS branching over an activity-indexed binary heap,
+/// phase saving, Luby restarts, LBD-based learned-clause database
+/// reduction, and MiniSat-style solving under assumptions. Clauses may be
+/// added between `solve()` calls — which is how the DPLL(T) loop feeds
+/// theory conflict clauses back in — and assumptions make retraction
+/// sound: an assumed literal holds only for the one `solve()` call that
+/// passed it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,21 +57,38 @@ public:
   /// May be called between solve() calls; the solver backtracks as needed.
   void addClause(std::vector<Lit> Clause);
 
-  SatResult solve();
+  SatResult solve() { return solve({}); }
+
+  /// Solves under \p Assumptions: satisfiability of the clause database
+  /// with every assumption literal forced true. Assumptions are pseudo-
+  /// decisions, retracted when the call returns, so an Unsat answer here
+  /// does NOT poison the instance — only a root-level (assumption-free)
+  /// contradiction makes subsequent calls unsat. Learned clauses from the
+  /// search are kept: they are implied by the clause database alone.
+  SatResult solve(const std::vector<Lit> &Assumptions);
 
   /// Model access after Sat: true/false assignment of \p Var.
   bool valueOf(uint32_t Var) const;
 
-  /// Statistics.
+  /// The clause database is contradictory without assumptions.
+  bool okay() const { return !Unsatisfiable; }
+
+  /// Statistics (cumulative across solve() calls).
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numDecisions() const { return Decisions; }
   uint64_t numPropagations() const { return Propagations; }
+  uint64_t numRestarts() const { return Restarts; }
+  uint64_t numLearnedClauses() const { return Learned; }
+  uint64_t numDeletedClauses() const { return DeletedClauses; }
 
 private:
   enum class LBool : int8_t { False = -1, Undef = 0, True = 1 };
 
   struct Clause {
     std::vector<Lit> Lits;
+    uint32_t Lbd = 0;     ///< Glue of learnt clauses (#distinct levels).
+    bool Learnt = false;  ///< Eligible for database reduction.
+    bool Deleted = false; ///< Tombstone; watch lists are cleaned lazily.
   };
 
   LBool litValue(Lit L) const {
@@ -77,16 +99,34 @@ private:
     return IsTrue ? LBool::True : LBool::False;
   }
 
+  uint32_t decisionLevel() const {
+    return static_cast<uint32_t>(TrailLim.size());
+  }
+
   void enqueue(Lit L, int32_t Reason);
   /// Returns the index of a conflicting clause or -1.
   int32_t propagate();
   void analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
                uint32_t &BacktrackLevel);
+  bool litRedundant(Lit L);
+  uint32_t computeLbd(const std::vector<Lit> &Lits);
   void backtrack(uint32_t Level);
   void bumpVar(uint32_t Var);
   void decayActivities();
   int32_t pickBranchVar();
   void attach(uint32_t ClauseIdx);
+  void reduceDB();
+
+  // Activity-indexed binary max-heap of unassigned branching candidates.
+  // Ties break toward the lower variable index, matching the old linear
+  // scan, so branching order (and thus every downstream statistic) is
+  // deterministic.
+  bool heapAbove(uint32_t A, uint32_t B) const {
+    return Activity[A] > Activity[B] || (Activity[A] == Activity[B] && A < B);
+  }
+  void heapInsert(uint32_t Var);
+  void heapUp(size_t Idx);
+  void heapDown(size_t Idx);
 
   std::vector<Clause> Clauses;
   std::vector<std::vector<uint32_t>> Watches; ///< Per literal encoding.
@@ -98,12 +138,28 @@ private:
   size_t PropagateHead = 0;
   std::vector<double> Activity;
   double ActivityInc = 1.0;
-  std::vector<char> Seen; ///< Scratch for conflict analysis.
+  std::vector<char> Seen;       ///< Scratch for conflict analysis.
+  std::vector<char> SavedPhase; ///< Last assigned polarity per variable.
+  std::vector<uint32_t> Heap;   ///< Binary heap of variable indices.
+  std::vector<int32_t> HeapPos; ///< Position in Heap, or -1.
+  std::vector<uint32_t> ToClear;      ///< Vars marked Seen during analysis.
+  std::vector<Lit> AnalyzeStack;      ///< Scratch for litRedundant.
+  std::vector<uint32_t> LevelScratch; ///< Scratch for computeLbd.
   bool Unsatisfiable = false;
+
+  // Restart + reduction schedule.
+  uint64_t ConflictsSinceRestart = 0;
+  uint32_t LubyIndex = 0;
+  uint32_t LiveLearnts = 0;
+  uint32_t MaxLearnts = 2000;
+  static constexpr uint64_t RestartBase = 100;
 
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
   uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  uint64_t Learned = 0;
+  uint64_t DeletedClauses = 0;
 };
 
 } // namespace pec

@@ -1,0 +1,375 @@
+//===- Smt.cpp - Incremental DPLL(T) session ----------------------------------===//
+
+#include "solver/Smt.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace pec;
+
+//===----------------------------------------------------------------------===//
+// QuickXplain conflict minimization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool theoryInconsistent(TermArena &Arena, const std::vector<TheoryLit> &Lits) {
+  if (Lits.empty())
+    return false;
+  std::vector<char> Relevant = relevantTerms(Arena, Lits);
+  return !theoryConsistent(Arena, Lits, Relevant);
+}
+
+} // namespace
+
+std::vector<TheoryLit>
+pec::minimizeTheoryConflict(TermArena &Arena, std::vector<TheoryLit> Lits) {
+  if (Lits.size() <= 1)
+    return Lits;
+  // QuickXplain (Junker 2004): recurse on halves, using what one half
+  // pinned down as background (Delta) for the other. The Delta flag marks
+  // "background changed since the caller checked", which is when testing
+  // the background alone can terminate a branch early.
+  std::vector<TheoryLit> Background;
+  std::function<std::vector<TheoryLit>(bool, const std::vector<TheoryLit> &)>
+      QX = [&](bool HasDelta,
+               const std::vector<TheoryLit> &C) -> std::vector<TheoryLit> {
+    if (HasDelta && theoryInconsistent(Arena, Background))
+      return {};
+    if (C.size() == 1)
+      return C;
+    size_t Half = C.size() / 2;
+    std::vector<TheoryLit> C1(C.begin(), C.begin() + Half);
+    std::vector<TheoryLit> C2(C.begin() + Half, C.end());
+    size_t Mark = Background.size();
+    Background.insert(Background.end(), C1.begin(), C1.end());
+    std::vector<TheoryLit> X2 = QX(true, C2);
+    Background.resize(Mark);
+    Background.insert(Background.end(), X2.begin(), X2.end());
+    std::vector<TheoryLit> X1 = QX(!X2.empty(), C1);
+    Background.resize(Mark);
+    X1.insert(X1.end(), X2.begin(), X2.end());
+    return X1;
+  };
+  return QX(false, Lits);
+}
+
+//===----------------------------------------------------------------------===//
+// Lemma engine
+//===----------------------------------------------------------------------===//
+
+void SmtSession::scanFormulaTerms(const FormulaPtr &F,
+                                  std::vector<TermId> &Work) {
+  if (F->isAtom()) {
+    for (TermId T : {F->lhsTerm(), F->rhsTerm()})
+      if (ScannedTerms.insert(T).second)
+        Work.push_back(T);
+    return;
+  }
+  for (const FormulaPtr &C : F->children())
+    scanFormulaTerms(C, Work);
+}
+
+void SmtSession::processTermQueue(std::vector<TermId> &Work) {
+  while (!Work.empty()) {
+    TermId T = Work.back();
+    Work.pop_back();
+    const TermNode &N = Arena.node(T);
+    for (TermId A : N.Args)
+      if (ScannedTerms.insert(A).second)
+        Work.push_back(A);
+
+    std::vector<FormulaPtr> New;
+    if (N.Op == TermOp::SelA && Arena.node(N.Args[0]).Op == TermOp::StoA &&
+        ExpandedArray.insert(T).second) {
+      // Array read-over-write: selA(stoA(a, i, v), j) reads v when i = j
+      // and selA(a, j) otherwise. The inner read may itself be a
+      // read-over-write — it lands on the queue and expands in turn.
+      const TermNode &ArrNode = Arena.node(N.Args[0]);
+      TermId Inner = ArrNode.Args[0];
+      TermId StoredIdx = ArrNode.Args[1];
+      TermId StoredVal = ArrNode.Args[2];
+      TermId ReadIdx = N.Args[1];
+      TermId InnerRead = Arena.mkSelA(Inner, ReadIdx);
+      FormulaPtr IdxEq = Formula::mkEq(Arena, StoredIdx, ReadIdx);
+      New.push_back(Formula::mkAnd(
+          Formula::mkImplies(IdxEq, Formula::mkEq(Arena, T, StoredVal)),
+          Formula::mkImplies(Formula::mkNot(IdxEq),
+                             Formula::mkEq(Arena, T, InnerRead))));
+    } else if (N.Op == TermOp::Apply &&
+               (N.Name.str() == "div$" || N.Name.str() == "mod$")) {
+      // Division/modulo by a nonzero constant: the C truncation-division
+      // axioms (matching the interpreter): a = k*q + r with r in
+      // [0, |k|-1] for a >= 0 and in [-(|k|-1), 0] for a <= 0.
+      const TermNode &Divisor = Arena.node(N.Args[1]);
+      if (Divisor.Op == TermOp::IntConst && Divisor.IntVal != 0 &&
+          ExpandedDivMod.insert(T).second) {
+        int64_t K = Divisor.IntVal;
+        TermId A = N.Args[0];
+        TermId Q = Arena.mkApply(Symbol::get("div$"), {A, N.Args[1]},
+                                 Sort::Int);
+        TermId R = Arena.mkSub(A, Arena.mkMul(Arena.mkInt(K), Q));
+        TermId Zero = Arena.mkInt(0);
+        TermId AbsKm1 = Arena.mkInt((K > 0 ? K : -K) - 1);
+        New.push_back(Formula::mkImplies(
+            Formula::mkLe(Arena, Zero, A),
+            Formula::mkAnd(Formula::mkLe(Arena, Zero, R),
+                           Formula::mkLe(Arena, R, AbsKm1))));
+        New.push_back(Formula::mkImplies(
+            Formula::mkLe(Arena, A, Zero),
+            Formula::mkAnd(Formula::mkLe(Arena, Arena.mkNeg(AbsKm1), R),
+                           Formula::mkLe(Arena, R, Zero))));
+        if (N.Name.str() == "mod$")
+          New.push_back(Formula::mkEq(Arena, T, R));
+      }
+    }
+
+    for (const FormulaPtr &L : New) {
+      // The lemma is valid in the intended semantics, so it is asserted
+      // permanently; the trigger map lets collectRelevantAtoms pull its
+      // atoms into the cone of every query that reaches T.
+      TriggerLemmas[T].push_back(L);
+      scanFormulaTerms(L, Work);
+      Sat.addClause({encode(L)});
+    }
+  }
+}
+
+void SmtSession::expandLemmasFor(const FormulaPtr &F) {
+  std::vector<TermId> Work;
+  scanFormulaTerms(F, Work);
+  processTermQueue(Work);
+}
+
+//===----------------------------------------------------------------------===//
+// Tseitin encoding
+//===----------------------------------------------------------------------===//
+
+Lit SmtSession::trueLit() {
+  if (!HasTrueLit) {
+    uint32_t V = Sat.newVar();
+    TrueLit = Lit(V, false);
+    Sat.addClause({TrueLit});
+    HasTrueLit = true;
+  }
+  return TrueLit;
+}
+
+Lit SmtSession::atomLit(const FormulaPtr &A) {
+  AtomKey Key = atomKey(A);
+  auto It = AtomVars.find(Key);
+  if (It != AtomVars.end())
+    return Lit(It->second, false);
+  uint32_t Var = Sat.newVar();
+  AtomVars.emplace(Key, Var);
+  AtomOfVar[Var] = A;
+  AtomOrder.push_back(Var);
+  return Lit(Var, false);
+}
+
+Lit SmtSession::encode(const FormulaPtr &F) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+    return trueLit();
+  case FormulaKind::False:
+    return ~trueLit();
+  case FormulaKind::Eq:
+  case FormulaKind::Le:
+  case FormulaKind::Lt:
+    return atomLit(F);
+  default:
+    break;
+  }
+  auto Cached = EncodeCache.find(F.get());
+  if (Cached != EncodeCache.end())
+    return Cached->second;
+
+  Lit Out;
+  switch (F->kind()) {
+  case FormulaKind::Not:
+    Out = ~encode(F->children()[0]);
+    break;
+  case FormulaKind::And: {
+    Out = Lit(Sat.newVar(), false);
+    std::vector<Lit> LongClause{Out};
+    for (const FormulaPtr &C : F->children()) {
+      Lit LC = encode(C);
+      Sat.addClause({~Out, LC}); // Out -> C.
+      LongClause.push_back(~LC);
+    }
+    Sat.addClause(std::move(LongClause)); // All Cs -> Out.
+    break;
+  }
+  case FormulaKind::Or: {
+    Out = Lit(Sat.newVar(), false);
+    std::vector<Lit> LongClause{~Out};
+    for (const FormulaPtr &C : F->children()) {
+      Lit LC = encode(C);
+      Sat.addClause({Out, ~LC}); // C -> Out.
+      LongClause.push_back(LC);
+    }
+    Sat.addClause(std::move(LongClause)); // Out -> some C.
+    break;
+  }
+  case FormulaKind::Implies: {
+    Lit A = encode(F->children()[0]);
+    Lit B = encode(F->children()[1]);
+    Out = Lit(Sat.newVar(), false);
+    Sat.addClause({~Out, ~A, B});
+    Sat.addClause({Out, A});
+    Sat.addClause({Out, ~B});
+    break;
+  }
+  case FormulaKind::Iff: {
+    Lit A = encode(F->children()[0]);
+    Lit B = encode(F->children()[1]);
+    Out = Lit(Sat.newVar(), false);
+    Sat.addClause({~Out, ~A, B});
+    Sat.addClause({~Out, A, ~B});
+    Sat.addClause({Out, A, B});
+    Sat.addClause({Out, ~A, ~B});
+    break;
+  }
+  default:
+    reportFatalError("unhandled formula kind in Tseitin encoding");
+  }
+  EncodeCache.emplace(F.get(), Out);
+  Retained.push_back(F);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Relevance cone
+//===----------------------------------------------------------------------===//
+
+void SmtSession::collectRelevantAtoms(const std::vector<FormulaPtr> &Roots,
+                                      std::vector<char> &Relevant) const {
+  Relevant.assign(Sat.numVars(), 0);
+  std::vector<const Formula *> FWork;
+  std::unordered_set<const Formula *> FSeen;
+  std::vector<TermId> TWork;
+  std::unordered_set<TermId> TSeen;
+  auto PushF = [&](const Formula *F) {
+    if (FSeen.insert(F).second)
+      FWork.push_back(F);
+  };
+  for (const FormulaPtr &R : Roots)
+    PushF(R.get());
+  while (!FWork.empty() || !TWork.empty()) {
+    if (!FWork.empty()) {
+      const Formula *F = FWork.back();
+      FWork.pop_back();
+      if (F->isAtom()) {
+        auto It = AtomVars.find(
+            AtomKey(static_cast<int>(F->kind()), F->lhsTerm(), F->rhsTerm()));
+        if (It != AtomVars.end())
+          Relevant[It->second] = 1;
+        for (TermId T : {F->lhsTerm(), F->rhsTerm()})
+          if (TSeen.insert(T).second)
+            TWork.push_back(T);
+        continue;
+      }
+      for (const FormulaPtr &C : F->children())
+        PushF(C.get());
+      continue;
+    }
+    TermId T = TWork.back();
+    TWork.pop_back();
+    auto Triggered = TriggerLemmas.find(T);
+    if (Triggered != TriggerLemmas.end())
+      for (const FormulaPtr &L : Triggered->second)
+        PushF(L.get());
+    for (TermId A : Arena.node(T).Args)
+      if (TSeen.insert(A).second)
+        TWork.push_back(A);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The DPLL(T) loop
+//===----------------------------------------------------------------------===//
+
+void SmtSession::harvestSatStats() {
+  Stats.SatConflicts += Sat.numConflicts() - LastConflicts;
+  Stats.SatDecisions += Sat.numDecisions() - LastDecisions;
+  Stats.Propagations += Sat.numPropagations() - LastPropagations;
+  Stats.Restarts += Sat.numRestarts() - LastRestarts;
+  Stats.LearnedClauses += Sat.numLearnedClauses() - LastLearned;
+  Stats.DeletedClauses += Sat.numDeletedClauses() - LastDeleted;
+  LastConflicts = Sat.numConflicts();
+  LastDecisions = Sat.numDecisions();
+  LastPropagations = Sat.numPropagations();
+  LastRestarts = Sat.numRestarts();
+  LastLearned = Sat.numLearnedClauses();
+  LastDeleted = Sat.numDeletedClauses();
+}
+
+bool SmtSession::solve(const std::vector<FormulaPtr> &Roots,
+                       TheoryModel *ModelOut) {
+  std::vector<FormulaPtr> Live;
+  Live.reserve(Roots.size());
+  for (const FormulaPtr &R : Roots) {
+    if (R->kind() == FormulaKind::True)
+      continue;
+    if (R->kind() == FormulaKind::False)
+      return false;
+    Live.push_back(R);
+  }
+  if (Live.empty()) {
+    if (ModelOut)
+      ModelOut->Complete = true; // Trivially satisfiable; nothing to value.
+    return true;
+  }
+
+  std::vector<Lit> Assumptions;
+  Assumptions.reserve(Live.size());
+  for (const FormulaPtr &R : Live) {
+    expandLemmasFor(R);
+    Assumptions.push_back(encode(R));
+  }
+
+  std::vector<char> Relevant;
+  collectRelevantAtoms(Live, Relevant);
+
+  uint32_t ConflictBudget = Options.MaxTheoryConflictsPerQuery;
+  while (true) {
+    if (Sat.solve(Assumptions) == SatResult::Unsat) {
+      harvestSatStats();
+      return false;
+    }
+    // Gather the theory literals this query's cone implies under the
+    // boolean model, in atom creation order (deterministic).
+    std::vector<TheoryLit> Lits;
+    Lits.reserve(AtomOrder.size());
+    for (uint32_t Var : AtomOrder)
+      if (Var < Relevant.size() && Relevant[Var])
+        Lits.push_back(TheoryLit{AtomOfVar.at(Var), Sat.valueOf(Var)});
+    ++Stats.TheoryChecks;
+    std::vector<char> RelevantTerms = relevantTerms(Arena, Lits);
+    if (theoryConsistent(Arena, Lits, RelevantTerms)) {
+      harvestSatStats();
+      if (ModelOut)
+        extractTheoryModel(Arena, Lits, RelevantTerms, *ModelOut);
+      return true;
+    }
+    ++Stats.TheoryConflicts;
+    if (ConflictBudget-- == 0) {
+      // Give up: treat as satisfiable (safe direction for validity). No
+      // model: the literal set is theory-inconsistent, so its valuations
+      // would be misleading.
+      harvestSatStats();
+      return true;
+    }
+    // Minimize the conflicting literal set, then block it. The blocking
+    // clause is theory-valid, so it stays for the whole session.
+    if (Options.MinimizeConflicts)
+      Lits = minimizeTheoryConflict(Arena, std::move(Lits));
+    std::vector<Lit> Blocking;
+    Blocking.reserve(Lits.size());
+    for (const TheoryLit &L : Lits) {
+      uint32_t Var = AtomVars.at(atomKey(L.Atom));
+      Blocking.push_back(Lit(Var, L.Positive));
+    }
+    Sat.addClause(std::move(Blocking));
+  }
+}

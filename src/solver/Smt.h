@@ -1,0 +1,141 @@
+//===- Smt.h - Incremental DPLL(T) session ----------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DPLL(T) engine behind the Atp facade, factored into a *session* so
+/// solver state can persist across queries (docs/SOLVER.md, "Incremental
+/// solving"):
+///
+///  - Tseitin encodings are cached per formula node and per atom, so a
+///    predicate that reappears in the next strengthening iteration costs a
+///    hash lookup instead of a re-encoding;
+///  - array read-over-write and div/mod lemmas are expanded once per term
+///    and asserted permanently (they are globally valid);
+///  - theory blocking clauses and CDCL-learned clauses accumulate, so
+///    later queries start from everything earlier queries discovered.
+///
+/// Every query names its formulas as *assumptions* — the session never
+/// asserts a query root, which is what makes retraction sound when the
+/// checker strengthens a predicate: the old predicate's root literal is
+/// simply never assumed again, and all definitional clauses hanging off it
+/// are inert without it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_SMT_H
+#define PEC_SOLVER_SMT_H
+
+#include "solver/Atp.h"
+#include "solver/Formula.h"
+#include "solver/Sat.h"
+#include "solver/Term.h"
+#include "solver/Theory.h"
+
+#include <cstdint>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace pec {
+
+/// Shrinks the theory-inconsistent literal set \p Lits to an irredundant
+/// core via QuickXplain (Junker 2004) divide-and-conquer: O(k log n)
+/// theory checks for a core of size k, against O(n^2)-ish for greedy
+/// deletion. Precondition: \p Lits is theory-inconsistent. Minimality is
+/// relative to the (conservative) theory oracle, as before.
+std::vector<TheoryLit> minimizeTheoryConflict(TermArena &Arena,
+                                              std::vector<TheoryLit> Lits);
+
+/// One persistent DPLL(T) solving context over a TermArena. Thread
+/// confinement and lifetime follow the owning Atp (docs/PARALLELISM.md).
+class SmtSession {
+public:
+  SmtSession(TermArena &Arena, const AtpOptions &Options, AtpStats &Stats)
+      : Arena(Arena), Options(Options), Stats(Stats) {}
+
+  /// Is the conjunction of \p Roots satisfiable together with the
+  /// session's accumulated (globally valid) clauses? Each root is held by
+  /// an assumption literal for this call only, so the answer is exactly
+  /// sat(/\ Roots) — earlier queries influence cost, never meaning. On a
+  /// satisfiable answer with \p ModelOut set, fills it with the theory
+  /// model over this query's relevant atoms.
+  bool solve(const std::vector<FormulaPtr> &Roots,
+             TheoryModel *ModelOut = nullptr);
+
+private:
+  /// A stable identity for an atom: (kind, lhs, rhs).
+  using AtomKey = std::tuple<int, TermId, TermId>;
+
+  struct AtomKeyHash {
+    size_t operator()(const AtomKey &K) const {
+      uint64_t H = static_cast<uint64_t>(std::get<0>(K));
+      H = (H ^ std::get<1>(K)) * 0x9E3779B97F4A7C15ull;
+      H = (H ^ std::get<2>(K)) * 0x9E3779B97F4A7C15ull;
+      return static_cast<size_t>(H ^ (H >> 32));
+    }
+  };
+
+  static AtomKey atomKey(const FormulaPtr &A) {
+    return AtomKey(static_cast<int>(A->kind()), A->lhsTerm(), A->rhsTerm());
+  }
+
+  Lit trueLit();
+  Lit atomLit(const FormulaPtr &A);
+  Lit encode(const FormulaPtr &F);
+
+  /// Scans \p F for terms not seen before and expands/asserts the array
+  /// read-over-write and div/mod lemmas they trigger, to fixpoint (lemmas
+  /// introduce terms that may trigger further lemmas).
+  void expandLemmasFor(const FormulaPtr &F);
+  void processTermQueue(std::vector<TermId> &Work);
+  void scanFormulaTerms(const FormulaPtr &F, std::vector<TermId> &Work);
+
+  /// Marks (in a Sat-var-indexed mask) the atoms relevant to this query:
+  /// those reachable from \p Roots plus, transitively, from any lemma
+  /// triggered by a reachable term. Theory checks are restricted to this
+  /// cone — atoms left over from earlier queries are unconstrained here,
+  /// and a theory model of the cone extends to them, so restricting
+  /// preserves answers while keeping checks query-sized. Lemma atoms must
+  /// stay in the cone: dropping a triggered array axiom would let the
+  /// theory accept assignments the axiom forbids.
+  void collectRelevantAtoms(const std::vector<FormulaPtr> &Roots,
+                            std::vector<char> &Relevant) const;
+
+  /// Folds the SAT core's counters into the query stats, delta-style: the
+  /// solver is persistent, so only the work since the last harvest counts.
+  void harvestSatStats();
+
+  TermArena &Arena;
+  const AtpOptions &Options;
+  AtpStats &Stats;
+  SatSolver Sat;
+
+  // Tseitin state. EncodeCache is keyed by node address; Retained pins
+  // every cached FormulaPtr so an address is never reused while cached.
+  std::unordered_map<AtomKey, uint32_t, AtomKeyHash> AtomVars;
+  std::unordered_map<uint32_t, FormulaPtr> AtomOfVar;
+  std::vector<uint32_t> AtomOrder; ///< Atom vars in creation order.
+  std::unordered_map<const Formula *, Lit> EncodeCache;
+  std::vector<FormulaPtr> Retained;
+  bool HasTrueLit = false;
+  Lit TrueLit; ///< One shared constant literal per session.
+
+  // Lemma engine: per-term expansion memo plus the term -> lemma trigger
+  // map the relevance cone follows.
+  std::unordered_set<TermId> ScannedTerms;
+  std::unordered_set<TermId> ExpandedArray;
+  std::unordered_set<TermId> ExpandedDivMod;
+  std::unordered_map<TermId, std::vector<FormulaPtr>> TriggerLemmas;
+
+  // Cumulative SAT counters at the last harvest.
+  uint64_t LastConflicts = 0, LastDecisions = 0, LastPropagations = 0;
+  uint64_t LastRestarts = 0, LastLearned = 0, LastDeleted = 0;
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_SMT_H

@@ -70,6 +70,10 @@ int usage() {
                "  pec report diff <old.json> <new.json> "
                "[--time-tolerance F] [--time-slack S]\n"
                "                  [--query-tolerance F] [--query-slack N]\n"
+               "                  [--strengthening-time-tolerance F]"
+               " [--strengthening-time-slack-us N]\n"
+               "                  [--strengthening-query-tolerance F]"
+               " [--strengthening-query-slack N]\n"
                "  pec apply <rules-file> <program-file> [--fixpoint] "
                "[--assume-positive] [--staged]\n"
                "  pec tv <original-file> <transformed-file> "
@@ -626,6 +630,16 @@ int main(int argc, char **argv) {
         {"--time-tolerance", &DiffOpts.TimeToleranceFactor},
         {"--time-slack", &DiffOpts.TimeSlackSeconds},
         {"--query-tolerance", &DiffOpts.QueryToleranceFactor},
+        {"--strengthening-time-tolerance",
+         &DiffOpts.StrengtheningTimeToleranceFactor},
+        {"--strengthening-query-tolerance",
+         &DiffOpts.StrengtheningQueryToleranceFactor},
+    };
+    std::vector<std::pair<const char *, uint64_t *>> UintFlags = {
+        {"--query-slack", &DiffOpts.QuerySlack},
+        {"--strengthening-time-slack-us",
+         &DiffOpts.StrengtheningTimeSlackMicros},
+        {"--strengthening-query-slack", &DiffOpts.StrengtheningQuerySlack},
     };
     for (size_t I = 4; I < Args.size(); ++I) {
       bool Matched = false;
@@ -642,14 +656,19 @@ int main(int argc, char **argv) {
       }
       if (Matched)
         continue;
-      if (Args[I] == "--query-slack") {
-        if (I + 1 >= Args.size()) {
-          std::fprintf(stderr, "error: --query-slack requires a value\n");
-          return 2;
+      for (auto &[Flag, Slot] : UintFlags) {
+        if (Args[I] == Flag) {
+          if (I + 1 >= Args.size()) {
+            std::fprintf(stderr, "error: %s requires a value\n", Flag);
+            return 2;
+          }
+          *Slot = std::strtoull(Args[++I].c_str(), nullptr, 10);
+          Matched = true;
+          break;
         }
-        DiffOpts.QuerySlack = std::strtoull(Args[++I].c_str(), nullptr, 10);
-        continue;
       }
+      if (Matched)
+        continue;
       return usage();
     }
     return cmdReportDiff(Args[2], Args[3], DiffOpts);

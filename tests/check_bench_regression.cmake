@@ -26,8 +26,14 @@ if(NOT ProveExit EQUAL 0)
           "pec prove-suite failed (exit ${ProveExit}): ${ProveErr}")
 endif()
 
+# Besides the per-rule wall-clock and total-query budgets, gate the
+# strengthening hot path (time factor 3 + 50ms slack, query factor 2 + 8
+# slack): the incremental solver exists to keep it cheap, and a
+# regression there can hide behind savings elsewhere in the rule.
 execute_process(
   COMMAND ${PEC_BIN} report diff ${BASELINE} ${Fresh} --time-tolerance 3
+          --strengthening-time-tolerance 3 --strengthening-time-slack-us 50000
+          --strengthening-query-tolerance 2 --strengthening-query-slack 8
   RESULT_VARIABLE DiffExit)
 if(NOT DiffExit EQUAL 0)
   message(FATAL_ERROR

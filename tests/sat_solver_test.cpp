@@ -1,0 +1,237 @@
+//===- sat_solver_test.cpp - CDCL SAT core unit tests ---------------------------===//
+//
+// Direct tests for the SatSolver behind the DPLL(T) loop: deterministic
+// heap-based branching, phase saving, the MiniSat assumption protocol
+// (retraction without poisoning the instance), Luby restarts, and
+// LBD-based learned-clause database reduction. The fuzz suite covers
+// verdict correctness; these tests pin the *mechanisms*.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Sat.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+Lit pos(uint32_t V) { return Lit(V, false); }
+Lit neg(uint32_t V) { return Lit(V, true); }
+
+/// Adds the pigeonhole principle PHP(Pigeons, Holes) — unsat whenever
+/// Pigeons > Holes, and expensive enough for CDCL to exercise restarts
+/// and clause learning. Variable p*Holes+h means "pigeon p sits in h".
+void addPigeonhole(SatSolver &S, uint32_t Pigeons, uint32_t Holes) {
+  for (uint32_t V = 0; V < Pigeons * Holes; ++V)
+    S.newVar();
+  for (uint32_t P = 0; P < Pigeons; ++P) {
+    std::vector<Lit> Clause;
+    for (uint32_t H = 0; H < Holes; ++H)
+      Clause.push_back(pos(P * Holes + H));
+    S.addClause(std::move(Clause));
+  }
+  for (uint32_t H = 0; H < Holes; ++H)
+    for (uint32_t P1 = 0; P1 < Pigeons; ++P1)
+      for (uint32_t P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause({neg(P1 * Holes + H), neg(P2 * Holes + H)});
+}
+
+//===----------------------------------------------------------------------===//
+// Branching order
+//===----------------------------------------------------------------------===//
+
+TEST(SatSolverTest, HeapTiesBreakTowardLowerIndex) {
+  // All activities are zero, so the heap must reproduce the old linear
+  // scan: branch v0, then v1 (both to the default negative phase), at
+  // which point (v0 | v1 | v2) propagates v2 — exactly two decisions.
+  SatSolver S;
+  for (int I = 0; I < 3; ++I)
+    S.newVar();
+  S.addClause({pos(0), pos(1), pos(2)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_FALSE(S.valueOf(0));
+  EXPECT_FALSE(S.valueOf(1));
+  EXPECT_TRUE(S.valueOf(2));
+  EXPECT_EQ(S.numDecisions(), 2u);
+}
+
+TEST(SatSolverTest, ConflictActivityReordersBranching) {
+  // v0 is free; (v1 | v2), (v1 | ~v2) force a conflict under the default
+  // all-negative phases, learning the unit (v1) and bumping v1/v2 —
+  // afterwards the search must close without revisiting the conflict.
+  SatSolver S;
+  for (int I = 0; I < 3; ++I)
+    S.newVar();
+  S.addClause({pos(1), pos(2)});
+  S.addClause({pos(1), neg(2)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.valueOf(1));
+  EXPECT_EQ(S.numConflicts(), 1u);
+  // Re-solving is free: the learned unit persists at level 0.
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.valueOf(1));
+  EXPECT_EQ(S.numConflicts(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Phase saving
+//===----------------------------------------------------------------------===//
+
+TEST(SatSolverTest, FreshVariablesDefaultToNegativePhase) {
+  SatSolver S;
+  for (int I = 0; I < 4; ++I)
+    S.newVar();
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  for (uint32_t V = 0; V < 4; ++V)
+    EXPECT_FALSE(S.valueOf(V)) << "var " << V;
+}
+
+TEST(SatSolverTest, PhaseSavingRepeatsLastPolarity) {
+  // Assumptions force all variables true once; the next unconstrained
+  // solve must branch to the remembered positive phase, not the default.
+  SatSolver S;
+  std::vector<Lit> All;
+  for (int I = 0; I < 4; ++I)
+    All.push_back(pos(S.newVar()));
+  ASSERT_EQ(S.solve(All), SatResult::Sat);
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  for (uint32_t V = 0; V < 4; ++V)
+    EXPECT_TRUE(S.valueOf(V)) << "var " << V;
+}
+
+//===----------------------------------------------------------------------===//
+// Assumptions
+//===----------------------------------------------------------------------===//
+
+TEST(SatSolverTest, AssumptionUnsatDoesNotPoisonTheInstance) {
+  // (~a | b) & (~a | ~b) is unsat only when a is assumed.
+  SatSolver S;
+  uint32_t A = S.newVar(), B = S.newVar();
+  S.addClause({neg(A), pos(B)});
+  S.addClause({neg(A), neg(B)});
+
+  EXPECT_EQ(S.solve({pos(A)}), SatResult::Unsat);
+  EXPECT_TRUE(S.okay()) << "assumption failure must not be recorded as "
+                           "a root-level contradiction";
+
+  // Retracted: the same instance is satisfiable without (or with the
+  // opposite) assumption.
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_FALSE(S.valueOf(A));
+  ASSERT_EQ(S.solve({neg(A)}), SatResult::Sat);
+  EXPECT_FALSE(S.valueOf(A));
+
+  // And the failing assumption still fails on re-query.
+  EXPECT_EQ(S.solve({pos(A)}), SatResult::Unsat);
+  EXPECT_TRUE(S.okay());
+}
+
+TEST(SatSolverTest, AssumptionFalsifiedAtRootLevel) {
+  // A unit clause fixes a at level 0; assuming ~a must answer Unsat
+  // without marking the database contradictory.
+  SatSolver S;
+  uint32_t A = S.newVar();
+  S.addClause({pos(A)});
+  EXPECT_EQ(S.solve({neg(A)}), SatResult::Unsat);
+  EXPECT_TRUE(S.okay());
+  ASSERT_EQ(S.solve({pos(A)}), SatResult::Sat);
+  EXPECT_TRUE(S.valueOf(A));
+}
+
+TEST(SatSolverTest, RootLevelContradictionIsGlobal) {
+  SatSolver S;
+  uint32_t A = S.newVar(), B = S.newVar();
+  S.addClause({pos(A), pos(B)});
+  S.addClause({pos(A), neg(B)});
+  S.addClause({neg(A), pos(B)});
+  S.addClause({neg(A), neg(B)});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+  EXPECT_FALSE(S.okay());
+  // Every later call answers Unsat, assumptions or not.
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+  EXPECT_EQ(S.solve({pos(A)}), SatResult::Unsat);
+}
+
+TEST(SatSolverTest, LearnedClausesSurviveAssumptionRetraction) {
+  // PHP(5, 4) with every "pigeon sits somewhere" clause guarded by a
+  // selector g: unsat exactly under the assumption g. Learned clauses are
+  // implied by the database alone, so they survive retraction — re-asking
+  // the same failing query must be cheaper than the first time.
+  const uint32_t Pigeons = 5, Holes = 4;
+  SatSolver S;
+  for (uint32_t V = 0; V < Pigeons * Holes; ++V)
+    S.newVar();
+  uint32_t G = S.newVar();
+  for (uint32_t P = 0; P < Pigeons; ++P) {
+    std::vector<Lit> Clause{neg(G)};
+    for (uint32_t H = 0; H < Holes; ++H)
+      Clause.push_back(pos(P * Holes + H));
+    S.addClause(std::move(Clause));
+  }
+  for (uint32_t H = 0; H < Holes; ++H)
+    for (uint32_t P1 = 0; P1 < Pigeons; ++P1)
+      for (uint32_t P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause({neg(P1 * Holes + H), neg(P2 * Holes + H)});
+
+  EXPECT_EQ(S.solve({pos(G)}), SatResult::Unsat);
+  EXPECT_TRUE(S.okay());
+  uint64_t FirstConflicts = S.numConflicts();
+  EXPECT_GT(S.numLearnedClauses(), 0u);
+
+  // Retracted: without g the guards are vacuous.
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_FALSE(S.valueOf(G));
+
+  // Same failing query again: the surviving learned clauses must prune
+  // the re-search below the from-scratch cost.
+  EXPECT_EQ(S.solve({pos(G)}), SatResult::Unsat);
+  EXPECT_TRUE(S.okay());
+  EXPECT_LT(S.numConflicts() - FirstConflicts, FirstConflicts);
+}
+
+//===----------------------------------------------------------------------===//
+// Restarts and clause-database reduction
+//===----------------------------------------------------------------------===//
+
+TEST(SatSolverTest, HardInstanceTriggersLubyRestarts) {
+  SatSolver S;
+  addPigeonhole(S, 7, 6);
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+  // PHP(7,6) needs far more than the 100-conflict first Luby interval.
+  EXPECT_GE(S.numConflicts(), 100u);
+  EXPECT_GE(S.numRestarts(), 1u);
+  EXPECT_GT(S.numLearnedClauses(), 0u);
+}
+
+TEST(SatSolverTest, ClauseDatabaseReductionDeletesLearnts) {
+  // Large enough to push past the 2000-live-learnt budget at a restart.
+  SatSolver S;
+  addPigeonhole(S, 9, 8);
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+  EXPECT_GT(S.numLearnedClauses(), 2000u);
+  EXPECT_GT(S.numDeletedClauses(), 0u);
+  EXPECT_LT(S.numDeletedClauses(), S.numLearnedClauses());
+}
+
+TEST(SatSolverTest, SolvingIsDeterministic) {
+  // Two identical instances must take the identical search path: the
+  // heap tie-break and deterministic reduction make every statistic
+  // reproducible, which the parallel determinism contract relies on.
+  auto Run = [](uint64_t Stats[4]) {
+    SatSolver S;
+    addPigeonhole(S, 7, 6);
+    EXPECT_EQ(S.solve(), SatResult::Unsat);
+    Stats[0] = S.numConflicts();
+    Stats[1] = S.numDecisions();
+    Stats[2] = S.numRestarts();
+    Stats[3] = S.numLearnedClauses();
+  };
+  uint64_t A[4], B[4];
+  Run(A);
+  Run(B);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(A[I], B[I]) << "stat " << I;
+}
+
+} // namespace

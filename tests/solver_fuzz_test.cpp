@@ -267,4 +267,80 @@ TEST_P(SatFuzz, RandomCnfMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatFuzz, ::testing::Range<uint64_t>(1, 9));
 
+//===----------------------------------------------------------------------===//
+// Incremental sessions: solveUnderAssumptions vs. fresh-instance solves
+//===----------------------------------------------------------------------===//
+
+class IncrementalFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalFuzz, AssumptionSolvesMatchFreshInstances) {
+  // One persistent prover answers a random query *sequence* through its
+  // incremental session (encodings, lemmas, learned clauses, and theory
+  // blocking clauses all carry over); every answer must equal what a
+  // brand-new prover says about the conjunction. Earlier queries may
+  // change the cost of later ones, never the verdict.
+  std::mt19937_64 Rng(GetParam() + 2000);
+  TermArena A;
+  Atp Incremental(A);
+  for (int Round = 0; Round < 8; ++Round) {
+    FuzzFormula Prelude(A, Rng, /*WithUF=*/false);
+    FuzzFormula Extra(A, Rng, /*WithUF=*/false);
+    bool Inc = Incremental.solveUnderAssumptions(Prelude.formula(),
+                                                 {Extra.formula()});
+    Atp Fresh(A);
+    bool Ref = Fresh.isSatisfiable(
+        Formula::mkAnd(Prelude.formula(), Extra.formula()));
+    ASSERT_EQ(Inc, Ref)
+        << "seed " << GetParam() << " round " << Round << "\n"
+        << Prelude.formula()->str(A) << "\nassuming\n"
+        << Extra.formula()->str(A);
+  }
+}
+
+TEST_P(IncrementalFuzz, StrengtheningStyleRechecksMatchIsValid) {
+  // The checker's pattern: one prelude re-checked against a sequence of
+  // obligations via !solveUnderAssumptions(Pred, {!Ob}), compared to a
+  // fresh prover's isValid(Pred => Ob) for each obligation.
+  std::mt19937_64 Rng(GetParam() + 3000);
+  TermArena A;
+  Atp Incremental(A);
+  FuzzFormula Pred(A, Rng, /*WithUF=*/false);
+  for (int Round = 0; Round < 8; ++Round) {
+    FuzzFormula Ob(A, Rng, /*WithUF=*/false);
+    bool IncValid = !Incremental.solveUnderAssumptions(
+        Pred.formula(), {Formula::mkNot(Ob.formula())});
+    Atp Fresh(A);
+    bool RefValid = Fresh.isValid(
+        Formula::mkImplies(Pred.formula(), Ob.formula()));
+    ASSERT_EQ(IncValid, RefValid)
+        << "seed " << GetParam() << " round " << Round << "\n"
+        << Pred.formula()->str(A) << "\n=>\n" << Ob.formula()->str(A);
+  }
+}
+
+TEST_P(IncrementalFuzz, UninterpretedFunctionsStaySoundAcrossSession) {
+  // With UF in the mix the solver is conservative, but the *session* must
+  // not change answers relative to a fresh instance: both run the same
+  // oracle over the same relevance cone.
+  std::mt19937_64 Rng(GetParam() + 4000);
+  TermArena A;
+  Atp Incremental(A);
+  for (int Round = 0; Round < 8; ++Round) {
+    FuzzFormula Prelude(A, Rng, /*WithUF=*/true);
+    FuzzFormula Extra(A, Rng, /*WithUF=*/true);
+    bool Inc = Incremental.solveUnderAssumptions(Prelude.formula(),
+                                                 {Extra.formula()});
+    Atp Fresh(A);
+    bool Ref = Fresh.isSatisfiable(
+        Formula::mkAnd(Prelude.formula(), Extra.formula()));
+    ASSERT_EQ(Inc, Ref)
+        << "seed " << GetParam() << " round " << Round << "\n"
+        << Prelude.formula()->str(A) << "\nassuming\n"
+        << Extra.formula()->str(A);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzz,
+                         ::testing::Range<uint64_t>(1, 9));
+
 } // namespace

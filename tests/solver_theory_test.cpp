@@ -9,6 +9,8 @@
 
 #include "solver/Atp.h"
 #include "solver/Euf.h"
+#include "solver/Smt.h"
+#include "solver/Theory.h"
 
 #include <gtest/gtest.h>
 
@@ -248,6 +250,103 @@ TEST_F(StoreTheoryTest, DeepStoreChainNormalization) {
   for (int I = 0; I < 5; ++I)
     T2 = A.mkStoS(T2, name(Names[Perm2[I]]), A.mkInt(Vals2[I]));
   EXPECT_EQ(T1, T2);
+}
+
+//===----------------------------------------------------------------------===//
+// QuickXplain conflict minimization
+//===----------------------------------------------------------------------===//
+
+/// True iff \p Lits is inconsistent for the theory oracle (the same check
+/// minimizeTheoryConflict minimizes against).
+bool inconsistent(TermArena &A, const std::vector<TheoryLit> &Lits) {
+  return !theoryConsistent(A, Lits, relevantTerms(A, Lits));
+}
+
+/// Asserts the QuickXplain contract on \p Core: still inconsistent, drawn
+/// from the input set, and irredundant — dropping any one literal makes
+/// the rest consistent.
+void expectMinimalCore(TermArena &A, const std::vector<TheoryLit> &Input,
+                       const std::vector<TheoryLit> &Core) {
+  EXPECT_TRUE(inconsistent(A, Core)) << "core lost the inconsistency";
+  for (const TheoryLit &L : Core) {
+    bool FromInput = false;
+    for (const TheoryLit &I : Input)
+      FromInput |= I.Atom == L.Atom && I.Positive == L.Positive;
+    EXPECT_TRUE(FromInput) << "core invented a literal";
+  }
+  for (size_t Drop = 0; Drop < Core.size(); ++Drop) {
+    std::vector<TheoryLit> Rest;
+    for (size_t I = 0; I < Core.size(); ++I)
+      if (I != Drop)
+        Rest.push_back(Core[I]);
+    EXPECT_FALSE(inconsistent(A, Rest))
+        << "literal " << Drop << " is redundant in the core";
+  }
+}
+
+TEST_F(StoreTheoryTest, QuickXplainFindsTwoLiteralCore) {
+  // x = 1 and x = 2 conflict; the y/z/w literals are noise.
+  TermId X = intc("x"), Y = intc("y"), Z = intc("z"), W = intc("w");
+  FormulaPtr X1 = Formula::mkEq(A, X, A.mkInt(1));
+  FormulaPtr X2 = Formula::mkEq(A, X, A.mkInt(2));
+  std::vector<TheoryLit> Lits{{Formula::mkEq(A, Y, A.mkInt(5)), true},
+                              {X1, true},
+                              {Formula::mkLe(A, Z, A.mkInt(3)), true},
+                              {X2, true},
+                              {Formula::mkEq(A, W, Z), false}};
+  ASSERT_TRUE(inconsistent(A, Lits));
+  std::vector<TheoryLit> Core = minimizeTheoryConflict(A, Lits);
+  EXPECT_EQ(Core.size(), 2u);
+  for (const TheoryLit &L : Core)
+    EXPECT_TRUE(L.Atom == X1 || L.Atom == X2);
+  expectMinimalCore(A, Lits, Core);
+}
+
+TEST_F(StoreTheoryTest, QuickXplainKeepsWholeEqualityChain) {
+  // a = b, b = c, a != c: every literal is load-bearing, none may be
+  // dropped even though the core spans both QuickXplain halves.
+  TermId TA = intc("a"), TB = intc("b"), TC = intc("c");
+  std::vector<TheoryLit> Lits{{Formula::mkLe(A, TA, A.mkInt(100)), true},
+                              {Formula::mkEq(A, TA, TB), true},
+                              {Formula::mkEq(A, TB, TC), true},
+                              {Formula::mkEq(A, TA, TC), false},
+                              {Formula::mkLe(A, A.mkInt(-100), TC), true}};
+  ASSERT_TRUE(inconsistent(A, Lits));
+  std::vector<TheoryLit> Core = minimizeTheoryConflict(A, Lits);
+  EXPECT_EQ(Core.size(), 3u);
+  expectMinimalCore(A, Lits, Core);
+}
+
+TEST_F(StoreTheoryTest, QuickXplainDegenerateInputs) {
+  // A single-literal conflict (or an already-minimal pair) passes through.
+  TermId X = intc("x");
+  std::vector<TheoryLit> Single{
+      {Formula::mkLt(A, A.mkAdd(X, A.mkInt(1)), X), true}};
+  ASSERT_TRUE(inconsistent(A, Single));
+  EXPECT_EQ(minimizeTheoryConflict(A, Single).size(), 1u);
+
+  std::vector<TheoryLit> Pair{{Formula::mkEq(A, X, A.mkInt(0)), true},
+                              {Formula::mkLt(A, A.mkInt(0), X), true}};
+  ASSERT_TRUE(inconsistent(A, Pair));
+  std::vector<TheoryLit> Core = minimizeTheoryConflict(A, Pair);
+  EXPECT_EQ(Core.size(), 2u);
+  expectMinimalCore(A, Pair, Core);
+}
+
+TEST_F(StoreTheoryTest, QuickXplainMinimalOnArithmeticOverlap) {
+  // Two independent reasons for inconsistency; QuickXplain must return
+  // ONE irredundant core, not the union.
+  TermId X = intc("x"), Y = intc("y");
+  std::vector<TheoryLit> Lits{
+      {Formula::mkEq(A, X, A.mkInt(1)), true},
+      {Formula::mkEq(A, X, A.mkInt(2)), true},
+      {Formula::mkEq(A, Y, A.mkInt(7)), true},
+      {Formula::mkEq(A, Y, A.mkInt(8)), true},
+  };
+  ASSERT_TRUE(inconsistent(A, Lits));
+  std::vector<TheoryLit> Core = minimizeTheoryConflict(A, Lits);
+  EXPECT_EQ(Core.size(), 2u);
+  expectMinimalCore(A, Lits, Core);
 }
 
 } // namespace
