@@ -102,7 +102,10 @@ public:
     TermId Tb = Low.lowerExprInt(S0, B);
     if (!Low.drainPendingDefs().empty())
       return false;
-    return Prover.isValid(Formula::mkNot(Formula::mkEq(Arena, Ta, Tb)));
+    return Prover
+        .query(AtpQuery::validity(
+            Formula::mkNot(Formula::mkEq(Arena, Ta, Tb))))
+        .Verdict;
   }
 
 private:

@@ -124,10 +124,10 @@ private:
       // admissible only if it is unreachable.
       if (Paths1.empty() != Paths2.empty()) {
         PurposeScope Tag(Purpose::PathPruning);
-        AtpModel Witness;
-        bool Reachable = Options.Diagnose
-                             ? Prover.isSatisfiable(Entry.Pred, &Witness)
-                             : Prover.isSatisfiable(Entry.Pred);
+        AtpResult Reach = Prover.query(
+            AtpQuery::satisfiability(Entry.Pred, Options.Diagnose));
+        AtpModel Witness = std::move(Reach.Model);
+        bool Reachable = Reach.Verdict;
         if (Reachable) {
           std::ostringstream OS;
           OS << "at correlated locations (" << Entry.L1 << ", " << Entry.L2
@@ -203,7 +203,7 @@ private:
           bool Feasible;
           {
             PurposeScope Tag(Purpose::PathPruning);
-            Feasible = Prover.isSatisfiable(Joint);
+            Feasible = Prover.query(AtpQuery::satisfiability(Joint)).Verdict;
           }
           if (!Feasible) {
             ++Result.PrunedPathPairs;
@@ -282,7 +282,15 @@ private:
   /// are sound antecedents even for responses. Response guards sit in
   /// positive position — they select the response the deterministic program
   /// actually takes.
-  FormulaPtr obligation(const Constraint &C) {
+  /// The obligation split at the granularity the incremental core query
+  /// wants: the antecedent conjunction and one disjunct per response
+  /// (aligned with C.Responses).
+  struct ObligationParts {
+    FormulaPtr Antecedent;
+    std::vector<FormulaPtr> Disjuncts;
+  };
+
+  ObligationParts obligationParts(const Constraint &C) {
     std::vector<FormulaPtr> Antecedents = {C.Move.Guards, C.Move.Facts};
     std::vector<FormulaPtr> Disjuncts;
     for (const Constraint::Response &Resp : C.Responses) {
@@ -299,8 +307,14 @@ private:
       Antecedents.push_back(Resp.Facts);
       Disjuncts.push_back(Formula::mkAnd(Resp.Guards, Shifted));
     }
-    return Formula::mkImplies(Formula::mkAnd(std::move(Antecedents)),
-                              Formula::mkOr(std::move(Disjuncts)));
+    return ObligationParts{Formula::mkAnd(std::move(Antecedents)),
+                           std::move(Disjuncts)};
+  }
+
+  FormulaPtr obligation(const Constraint &C) {
+    ObligationParts P = obligationParts(C);
+    return Formula::mkImplies(P.Antecedent,
+                              Formula::mkOr(std::move(P.Disjuncts)));
   }
 
   /// Captures a structured diagnosis of the failing constraint \p C whose
@@ -342,7 +356,8 @@ private:
     // model extraction (empty when the invalidity was a budget answer).
     {
       PurposeScope Tag(Purpose::Minimize);
-      Prover.isValid(Check, &D->Model);
+      D->Model = Prover.query(AtpQuery::validity(Check, /*WantModel=*/true))
+                     .Model;
     }
 
     MinimizeResult M =
@@ -397,7 +412,7 @@ private:
               cloneFormula(Low.arena(), WorkerArena, Checks[I], Memo);
           PurposeScope Tag(Requeued[Wave[I]] ? Purpose::Strengthening
                                              : Purpose::Obligation);
-          Holds[I] = Worker.isValid(Check) ? 1 : 0;
+          Holds[I] = Worker.query(AtpQuery::validity(Check)).Verdict ? 1 : 0;
           WaveStats[I] = Worker.stats();
         });
       }
@@ -408,10 +423,14 @@ private:
     for (const AtpStats &S : WaveStats)
       Prover.mergeStats(S);
     for (size_t I = 0; I < Wave.size(); ++I) {
-      if (Holds[I])
+      if (Holds[I]) {
         InWorklist[Wave[I]] = 0;
-      else
+        // Retired without a core: a later strengthening of any response
+        // target must conservatively re-enqueue it.
+        CoreKnown[Wave[I]] = 0;
+      } else {
         Worklist.push_back(Wave[I]);
+      }
     }
   }
 
@@ -422,6 +441,11 @@ private:
     // re-checks are attributed to the "strengthening" query purpose, the
     // initial pass to "obligation".
     std::vector<char> Requeued(Constraints.size(), 0);
+    // Response targets named by the last successful incremental check's
+    // assumption core (valid only while CoreKnown; wave retirements have
+    // no core and reset to conservative).
+    CoreKnown.assign(Constraints.size(), 0);
+    CoreTargets.assign(Constraints.size(), {});
     for (size_t I = 0; I < Constraints.size(); ++I) {
       Worklist.push_back(I);
       InWorklist[I] = 1;
@@ -447,10 +471,14 @@ private:
         std::fprintf(stderr, "[pec] entry (%u,%u): move with no responses\n",
                      R.entry(C.Source).L1, R.entry(C.Source).L2);
 
+      ObligationParts Parts;
       FormulaPtr Obligation;
       {
         telemetry::Span PwpSpan("checker.pwp", "checker");
-        Obligation = obligation(C);
+        Parts = obligationParts(C);
+        Obligation = Formula::mkImplies(
+            Parts.Antecedent, Formula::mkOr(std::vector<FormulaPtr>(
+                                  Parts.Disjuncts)));
       }
       FormulaPtr Check =
           Formula::mkImplies(R.entry(C.Source).Pred, Obligation);
@@ -463,10 +491,29 @@ private:
         // and learned clauses carry over from iteration to iteration of
         // the strengthening loop, which is what makes re-checks cheap.
         // Strengthened predicates need no retraction — the old Pred's
-        // root literal is simply never assumed again. `Check` is still
-        // materialized for diagnosis and tracing below.
-        Holds = !Prover.solveUnderAssumptions(R.entry(C.Source).Pred,
-                                              {Formula::mkNot(Obligation)});
+        // root literal is simply never assumed again. The query assumes
+        // each negated response disjunct separately so the assumption-
+        // level unsat core names exactly the responses the proof used;
+        // `Check` is still materialized for diagnosis and tracing below.
+        AtpQuery Q = AtpQuery::assumptions(
+            Formula::mkAnd(R.entry(C.Source).Pred, Parts.Antecedent), {},
+            /*WantCore=*/true);
+        Q.Assumptions.reserve(Parts.Disjuncts.size());
+        for (const FormulaPtr &D : Parts.Disjuncts)
+          Q.Assumptions.push_back(Formula::mkNot(D));
+        AtpResult Res = Prover.query(Q);
+        Holds = !Res.Verdict;
+        if (Holds) {
+          // Record which response *targets* the final conflict blamed:
+          // the proved implication is `Pred && Ante => OR of the core
+          // disjuncts`, so strengthening an entry outside this set
+          // cannot invalidate it.
+          CoreKnown[CI] = 1;
+          CoreTargets[CI].clear();
+          for (size_t Idx : Res.Core)
+            if (Idx >= 1)
+              CoreTargets[CI].push_back(C.Responses[Idx - 1].Target);
+        }
       }
       if (Holds)
         continue;
@@ -538,20 +585,34 @@ private:
            << ") relation_size " << R.size();
         telemetry::instant("checker.strengthen", "checker", OS.str());
       }
-      // Re-check every constraint that mentions the strengthened entry as a
-      // response target.
+      // Re-check every constraint that mentions the strengthened entry as
+      // a response target — except those whose last proof's unsat core
+      // shows the entry's disjunct was never used: their implication only
+      // mentioned other (unchanged) targets and a source predicate that
+      // just got stronger, so it still holds.
       Requeued[CI] = 1;
       for (size_t I = 0; I < Constraints.size(); ++I) {
         if (InWorklist[I])
           continue;
+        bool Mentions = false;
         for (const Constraint::Response &Resp : Constraints[I].Responses) {
           if (Resp.Target == C.Source) {
-            Worklist.push_back(I);
-            InWorklist[I] = 1;
-            Requeued[I] = 1;
+            Mentions = true;
             break;
           }
         }
+        if (!Mentions)
+          continue;
+        if (CoreKnown[I] &&
+            std::find(CoreTargets[I].begin(), CoreTargets[I].end(),
+                      C.Source) == CoreTargets[I].end()) {
+          ++Result.CoreSkippedRechecks;
+          telemetry::counterAdd("checker/core_skipped_rechecks");
+          continue;
+        }
+        Worklist.push_back(I);
+        InWorklist[I] = 1;
+        Requeued[I] = 1;
       }
     }
     Result.Proved = true;
@@ -567,6 +628,10 @@ private:
   CheckerOptions Options;
   ConditionFlow Flow1, Flow2;
   std::vector<Constraint> Constraints;
+  /// Per constraint: is the recorded core current, and which entry indices
+  /// its last incremental proof blamed (see solveConstraints).
+  std::vector<char> CoreKnown;
+  std::vector<std::vector<size_t>> CoreTargets;
   /// Strengthening-trail lines accumulated for a potential diagnosis.
   std::vector<std::string> Trail;
 };

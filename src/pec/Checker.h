@@ -84,6 +84,9 @@ struct CheckerResult {
   uint32_t Strengthenings = 0;
   size_t PathPairs = 0;
   size_t PrunedPathPairs = 0;
+  /// Re-checks avoided because the strengthened entry was not among the
+  /// response targets blamed by the constraint's last unsat core.
+  size_t CoreSkippedRechecks = 0;
   /// On an entry-predicate failure: the non-entry/exit response targets of
   /// the failing constraint — candidates for banning on a retry.
   std::vector<std::pair<Location, Location>> FailedTargets;

@@ -111,7 +111,12 @@ MinimizeResult pec::minimizeObligation(Atp &Prover, const FormulaPtr &Check,
 
   // Greedy deletion: drop a hypothesis for good iff the implication stays
   // invalid without it (logically monotone; the cap guards against ATP
-  // budget asymmetries making re-queries expensive).
+  // budget asymmetries making re-queries expensive). Each probe is an
+  // assumption query on the prover's persistent session — the implication
+  // `And(W) => Concl` is invalid iff `!Concl /\ And(W)` is satisfiable —
+  // so the conclusion's encoding and all learned clauses are shared
+  // across the whole deletion sweep.
+  FormulaPtr NotConcl = Formula::mkNot(Concl);
   size_t I = 0;
   while (I < Hyps.size() && Result.Queries < MaxQueries) {
     std::vector<FormulaPtr> Without;
@@ -120,7 +125,8 @@ MinimizeResult pec::minimizeObligation(Atp &Prover, const FormulaPtr &Check,
       if (K != I)
         Without.push_back(Hyps[K]);
     ++Result.Queries;
-    bool StillInvalid = !Prover.isValid(rebuild(Without, Concl));
+    bool StillInvalid =
+        Prover.query(AtpQuery::assumptions(NotConcl, Without)).Verdict;
     if (telemetry::enabled()) {
       std::ostringstream OS;
       OS << "drop hypothesis " << I << "/" << Hyps.size() << ": "

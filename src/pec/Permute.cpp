@@ -542,7 +542,8 @@ private:
       for (size_t K = 0; K < Depth; ++K)
         FMap[N1.Levels[K].IndexVar] = FJ[K];
       FormulaPtr FInD1 = inDomain(N1.Levels, Idx1, FMap);
-      if (!Prover.isValid(Formula::mkImplies(InD2, FInD1))) {
+      if (!Prover.query(AtpQuery::validity(Formula::mkImplies(InD2, FInD1)))
+               .Verdict) {
         Out.Note = "condition 1 (F maps D2 into D1) failed";
         return;
       }
@@ -556,7 +557,8 @@ private:
       for (size_t K = 0; K < Depth; ++K)
         GMap[N2.Levels[K].IndexVar] = FInvI[K];
       FormulaPtr GInD2 = inDomain(N2.Levels, Idx2, GMap);
-      if (!Prover.isValid(Formula::mkImplies(InD1, GInD2))) {
+      if (!Prover.query(AtpQuery::validity(Formula::mkImplies(InD1, GInD2)))
+               .Verdict) {
         Out.Note = "condition 2 (F^-1 maps D1 into D2) failed";
         return;
       }
@@ -568,7 +570,8 @@ private:
       std::vector<FormulaPtr> Eqs;
       for (size_t K = 0; K < Depth; ++K)
         Eqs.push_back(Formula::mkEq(A, Round[K], JVals[K]));
-      if (!Prover.isValid(Formula::mkAnd(std::move(Eqs)))) {
+      if (!Prover.query(AtpQuery::validity(Formula::mkAnd(std::move(Eqs))))
+               .Verdict) {
         Out.Note = "condition 3 (F^-1 after F) failed";
         return;
       }
@@ -579,7 +582,8 @@ private:
       std::vector<FormulaPtr> Eqs2;
       for (size_t K = 0; K < Depth; ++K)
         Eqs2.push_back(Formula::mkEq(A, Round2[K], IVals[K]));
-      if (!Prover.isValid(Formula::mkAnd(std::move(Eqs2)))) {
+      if (!Prover.query(AtpQuery::validity(Formula::mkAnd(std::move(Eqs2))))
+               .Verdict) {
         Out.Note = "condition 4 (F after F^-1) failed";
         return;
       }
@@ -596,7 +600,7 @@ private:
       FormulaPtr Reordered = Formula::mkAnd(
           {InD1, InD1b, lexBefore(N1.Levels, IVals, IVals2),
            lexBefore(N2.Levels, ApplyFInv(IVals2), ApplyFInv(IVals))});
-      if (Prover.isSatisfiable(Reordered)) {
+      if (Prover.query(AtpQuery::satisfiability(Reordered)).Verdict) {
         // Some pair is executed in the opposite order: need commutativity.
         if (!haveAllPairsCommute(Evidence, N1.Body->metaName(),
                                  N1.Body->metaName())) {
@@ -671,7 +675,8 @@ private:
       TermId TX = Low.lowerExprInt(S0, X);
       TermId TY = Low.lowerExprInt(S0, Y);
       Low.drainPendingDefs();
-      return Prover.isValid(Formula::mkEq(A, TX, TY));
+      return Prover.query(AtpQuery::validity(Formula::mkEq(A, TX, TY)))
+          .Verdict;
     };
     if (!BoundsEq(L1.Levels[0].Lo, L2.Levels[0].Lo) ||
         !BoundsEq(L1.Levels[0].Hi, L2.Levels[0].Hi) ||

@@ -57,6 +57,10 @@ void appendAtp(std::string &Out, const AtpStats &S) {
   Out += ',';
   appendUint(Out, "theory_conflicts", S.TheoryConflicts);
   Out += ',';
+  appendUint(Out, "theory_propagations", S.TheoryPropagations);
+  Out += ',';
+  appendUint(Out, "theory_pops", S.TheoryPops);
+  Out += ',';
   appendUint(Out, "sat_conflicts", S.SatConflicts);
   Out += ',';
   appendUint(Out, "sat_decisions", S.SatDecisions);
@@ -70,6 +74,10 @@ void appendAtp(std::string &Out, const AtpStats &S) {
   appendUint(Out, "deleted_clauses", S.DeletedClauses);
   Out += ',';
   appendUint(Out, "assumption_solves", S.AssumptionSolves);
+  Out += ',';
+  appendUint(Out, "assumption_cores", S.AssumptionCores);
+  Out += ',';
+  appendUint(Out, "core_literals", S.CoreLiterals);
   Out += ',';
   appendKey(Out, "by_purpose");
   Out += '{';
@@ -378,11 +386,13 @@ bool validateAtp(const json::ValuePtr &Atp, const std::string &Path,
     if (!requireField(Atp, Path, Key, json::Kind::Number, Error))
       return false;
   // Solver counters added mid-v3 (restarts, learned/deleted clauses,
-  // assumption solves) are additive: older v3 documents lack them, so
-  // they are only type-checked when present.
+  // assumption solves, online theory propagation, assumption-level unsat
+  // cores) are additive: older v3 documents lack them, so they are only
+  // type-checked when present.
   for (const char *Key :
        {"restarts", "learned_clauses", "deleted_clauses",
-        "assumption_solves"}) {
+        "assumption_solves", "theory_propagations", "theory_pops",
+        "assumption_cores", "core_literals"}) {
     json::ValuePtr V = Atp->get(Key);
     if (V && !V->isNumber())
       return failV(Error, Path + ": field '" + std::string(Key) +

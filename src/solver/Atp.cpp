@@ -82,6 +82,8 @@ void AtpStats::merge(const AtpStats &Other) {
   Queries += Other.Queries;
   TheoryChecks += Other.TheoryChecks;
   TheoryConflicts += Other.TheoryConflicts;
+  TheoryPropagations += Other.TheoryPropagations;
+  TheoryPops += Other.TheoryPops;
   SatConflicts += Other.SatConflicts;
   SatDecisions += Other.SatDecisions;
   Propagations += Other.Propagations;
@@ -89,6 +91,8 @@ void AtpStats::merge(const AtpStats &Other) {
   LearnedClauses += Other.LearnedClauses;
   DeletedClauses += Other.DeletedClauses;
   AssumptionSolves += Other.AssumptionSolves;
+  AssumptionCores += Other.AssumptionCores;
+  CoreLiterals += Other.CoreLiterals;
   Microseconds += Other.Microseconds;
   CacheHits += Other.CacheHits;
   CacheMisses += Other.CacheMisses;
@@ -108,6 +112,7 @@ namespace {
 struct WorkSnapshot {
   explicit WorkSnapshot(const AtpStats &S)
       : TheoryChecks(S.TheoryChecks), TheoryConflicts(S.TheoryConflicts),
+        TheoryPropagations(S.TheoryPropagations), TheoryPops(S.TheoryPops),
         SatConflicts(S.SatConflicts), SatDecisions(S.SatDecisions),
         Propagations(S.Propagations), Restarts(S.Restarts),
         LearnedClauses(S.LearnedClauses), DeletedClauses(S.DeletedClauses) {}
@@ -116,6 +121,8 @@ struct WorkSnapshot {
     AtpCache::WorkDelta D;
     D.TheoryChecks = S.TheoryChecks - TheoryChecks;
     D.TheoryConflicts = S.TheoryConflicts - TheoryConflicts;
+    D.TheoryPropagations = S.TheoryPropagations - TheoryPropagations;
+    D.TheoryPops = S.TheoryPops - TheoryPops;
     D.SatConflicts = S.SatConflicts - SatConflicts;
     D.SatDecisions = S.SatDecisions - SatDecisions;
     D.Propagations = S.Propagations - Propagations;
@@ -125,13 +132,16 @@ struct WorkSnapshot {
     return D;
   }
 
-  uint64_t TheoryChecks, TheoryConflicts, SatConflicts, SatDecisions,
-      Propagations, Restarts, LearnedClauses, DeletedClauses;
+  uint64_t TheoryChecks, TheoryConflicts, TheoryPropagations, TheoryPops,
+      SatConflicts, SatDecisions, Propagations, Restarts, LearnedClauses,
+      DeletedClauses;
 };
 
 void replayDelta(AtpStats &S, const AtpCache::WorkDelta &D) {
   S.TheoryChecks += D.TheoryChecks;
   S.TheoryConflicts += D.TheoryConflicts;
+  S.TheoryPropagations += D.TheoryPropagations;
+  S.TheoryPops += D.TheoryPops;
   S.SatConflicts += D.SatConflicts;
   S.SatDecisions += D.SatDecisions;
   S.Propagations += D.Propagations;
@@ -140,99 +150,161 @@ void replayDelta(AtpStats &S, const AtpCache::WorkDelta &D) {
   S.DeletedClauses += D.DeletedClauses;
 }
 
+/// Copies a wrapper result's model out (legacy pointer-outparam shape).
+AtpResult takeModel(AtpResult R, AtpModel *Out) {
+  if (Out && R.HasModel)
+    *Out = std::move(R.Model);
+  return R;
+}
+
 } // namespace
 
-bool Atp::solveSatisfiable(const FormulaPtr &F, AtpModel *Model) {
+AtpResult Atp::solveOneShot(const AtpQuery &Q) {
   // Fresh session per query: cacheable answers must not depend on what
   // this instance solved before.
+  const bool Validity = Q.QueryKind == AtpQuery::Kind::Validity;
   SmtSession Ctx(Arena, Options, Stats);
   TheoryModel TM;
-  bool Sat = Ctx.solve({F}, Model ? &TM : nullptr);
-  if (Sat && Model)
-    renderModel(Arena, TM, *Model);
-  return Sat;
+  bool Sat = Ctx.solve({Validity ? Formula::mkNot(Q.Goal) : Q.Goal},
+                       Q.WantModel ? &TM : nullptr);
+  AtpResult R;
+  R.Verdict = Validity ? !Sat : Sat;
+  if (Sat && Q.WantModel) {
+    renderModel(Arena, TM, R.Model);
+    R.HasModel = true;
+  }
+  return R;
 }
 
-bool Atp::solveValid(const FormulaPtr &F, AtpModel *Counterexample) {
-  SmtSession Ctx(Arena, Options, Stats);
-  TheoryModel TM;
-  bool Sat = Ctx.solve({Formula::mkNot(F)}, Counterexample ? &TM : nullptr);
-  if (Sat && Counterexample)
-    renderModel(Arena, TM, *Counterexample);
-  return !Sat;
-}
-
-bool Atp::solveUnderAssumptions(const FormulaPtr &Prelude,
-                                const std::vector<FormulaPtr> &Assumptions) {
-  QueryAccounting Account("atp.solveUnderAssumptions", Stats);
+AtpResult Atp::solveAssumptions(const AtpQuery &Q) {
   ++Stats.AssumptionSolves;
   if (!Incremental)
     Incremental = std::make_unique<SmtSession>(Arena, Options, Stats);
   std::vector<FormulaPtr> Roots;
-  Roots.reserve(1 + Assumptions.size());
-  Roots.push_back(Prelude);
-  Roots.insert(Roots.end(), Assumptions.begin(), Assumptions.end());
-  return Incremental->solve(Roots, nullptr);
+  Roots.reserve(1 + Q.Assumptions.size());
+  Roots.push_back(Q.Prelude ? Q.Prelude : Formula::mkTrue());
+  Roots.insert(Roots.end(), Q.Assumptions.begin(), Q.Assumptions.end());
+
+  const bool NeedCore = Q.WantCore || Q.MinimizeCore;
+  AtpResult R;
+  TheoryModel TM;
+  R.Verdict = Incremental->solve(Roots, Q.WantModel ? &TM : nullptr,
+                                 NeedCore ? &R.Core : nullptr);
+  if (R.Verdict && Q.WantModel) {
+    renderModel(Arena, TM, R.Model);
+    R.HasModel = true;
+  }
+  if (!R.Verdict && NeedCore) {
+    R.HasCore = true;
+    if (Q.MinimizeCore)
+      minimizeAssumptionCore(Q, R);
+    ++Stats.AssumptionCores;
+    Stats.CoreLiterals += R.Core.size();
+  }
+  return R;
 }
 
-bool Atp::isSatisfiable(const FormulaPtr &F) { return isSatisfiable(F, nullptr); }
+void Atp::minimizeAssumptionCore(const AtpQuery &Q, AtpResult &R) {
+  // Destructive deletion on the persistent session: try the core with one
+  // element removed; still-unsat keeps the removal (and adopts the solver's
+  // possibly smaller sub-core). One pass suffices for 1-minimality: an
+  // element kept against a superset would also be kept against any subset
+  // (dropping it from fewer constraints is satisfiable a fortiori).
+  std::vector<FormulaPtr> Roots;
+  Roots.push_back(Q.Prelude ? Q.Prelude : Formula::mkTrue());
+  Roots.insert(Roots.end(), Q.Assumptions.begin(), Q.Assumptions.end());
+  std::vector<size_t> Core = R.Core;
+  for (size_t I = 0; I < Core.size();) {
+    std::vector<FormulaPtr> Probe;
+    std::vector<size_t> ProbeIdx; // Probe[k] == Roots[ProbeIdx[k]].
+    for (size_t K = 0; K < Core.size(); ++K) {
+      if (K == I)
+        continue;
+      Probe.push_back(Roots[Core[K]]);
+      ProbeIdx.push_back(Core[K]);
+    }
+    std::vector<size_t> SubCore;
+    if (Incremental->solve(Probe, nullptr, &SubCore)) {
+      ++I; // Needed: without element I the rest is satisfiable.
+      continue;
+    }
+    // Still unsat: adopt the (sub-)core the solver reported and rescan
+    // from the front of what remains before the probe position.
+    std::vector<size_t> Next;
+    Next.reserve(SubCore.size());
+    for (size_t S : SubCore)
+      Next.push_back(ProbeIdx[S]);
+    Core = std::move(Next);
+    I = 0;
+  }
+  R.Core = Core;
+}
+
+AtpResult Atp::query(const AtpQuery &Q) {
+  if (Q.QueryKind == AtpQuery::Kind::Assumptions) {
+    // Assumption queries always run on the persistent session and never
+    // consult the cache: session state is exactly the locality the cache
+    // would provide, and cores/learned state are session-relative.
+    QueryAccounting Account("atp.solveUnderAssumptions", Stats);
+    return solveAssumptions(Q);
+  }
+
+  const bool Validity = Q.QueryKind == AtpQuery::Kind::Validity;
+  QueryAccounting Account(Validity ? "atp.isValid" : "atp.isSatisfiable",
+                          Stats);
+  if (!TheCache)
+    return solveOneShot(Q);
+  std::string Key = canonicalQueryKey(Arena, Q.Goal, Validity ? "V" : "S");
+  bool Cached = false;
+  AtpCache::WorkDelta D;
+  // One-sided model caching: a model is needed exactly when validity
+  // fails / satisfiability holds, so a cached bare verdict can only serve
+  // a model-wanting caller on the other answer.
+  int NeedModelOn = Q.WantModel ? (Validity ? 0 : 1) : -1;
+  switch (TheCache->acquire(Key, NeedModelOn, Cached, D)) {
+  case AtpCache::Lookup::Hit: {
+    ++Stats.CacheHits;
+    telemetry::counterAdd("atp.cache.hit");
+    replayDelta(Stats, D);
+    AtpResult R;
+    R.Verdict = Cached;
+    return R;
+  }
+  case AtpCache::Lookup::Bypass:
+    ++Stats.CacheBypasses;
+    telemetry::counterAdd("atp.cache.bypass");
+    return solveOneShot(Q);
+  case AtpCache::Lookup::Miss:
+    break;
+  }
+  ++Stats.CacheMisses;
+  telemetry::counterAdd("atp.cache.miss");
+  WorkSnapshot Before(Stats);
+  AtpResult R = solveOneShot(Q);
+  TheCache->fulfill(Key, R.Verdict, Before.delta(Stats));
+  return R;
+}
+
+bool Atp::solveUnderAssumptions(const FormulaPtr &Prelude,
+                                const std::vector<FormulaPtr> &Assumptions) {
+  return query(AtpQuery::assumptions(Prelude, Assumptions)).Verdict;
+}
+
+bool Atp::isSatisfiable(const FormulaPtr &F) {
+  return query(AtpQuery::satisfiability(F)).Verdict;
+}
 
 bool Atp::isSatisfiable(const FormulaPtr &F, AtpModel *Model) {
-  QueryAccounting Account("atp.isSatisfiable", Stats);
-  if (!TheCache)
-    return solveSatisfiable(F, Model);
-  std::string Key = canonicalQueryKey(Arena, F, "S");
-  bool Cached = false;
-  AtpCache::WorkDelta D;
-  // A model is needed exactly when the answer is "satisfiable".
-  switch (TheCache->acquire(Key, Model ? 1 : -1, Cached, D)) {
-  case AtpCache::Lookup::Hit:
-    ++Stats.CacheHits;
-    telemetry::counterAdd("atp.cache.hit");
-    replayDelta(Stats, D);
-    return Cached;
-  case AtpCache::Lookup::Bypass:
-    ++Stats.CacheBypasses;
-    telemetry::counterAdd("atp.cache.bypass");
-    return solveSatisfiable(F, Model);
-  case AtpCache::Lookup::Miss:
-    break;
-  }
-  ++Stats.CacheMisses;
-  telemetry::counterAdd("atp.cache.miss");
-  WorkSnapshot Before(Stats);
-  bool Sat = solveSatisfiable(F, Model);
-  TheCache->fulfill(Key, Sat, Before.delta(Stats));
-  return Sat;
+  return takeModel(query(AtpQuery::satisfiability(F, Model != nullptr)), Model)
+      .Verdict;
 }
 
-bool Atp::isValid(const FormulaPtr &F) { return isValid(F, nullptr); }
+bool Atp::isValid(const FormulaPtr &F) {
+  return query(AtpQuery::validity(F)).Verdict;
+}
 
 bool Atp::isValid(const FormulaPtr &F, AtpModel *Counterexample) {
-  QueryAccounting Account("atp.isValid", Stats);
-  if (!TheCache)
-    return solveValid(F, Counterexample);
-  std::string Key = canonicalQueryKey(Arena, F, "V");
-  bool Cached = false;
-  AtpCache::WorkDelta D;
-  // A counterexample is needed exactly when the answer is "not valid".
-  switch (TheCache->acquire(Key, Counterexample ? 0 : -1, Cached, D)) {
-  case AtpCache::Lookup::Hit:
-    ++Stats.CacheHits;
-    telemetry::counterAdd("atp.cache.hit");
-    replayDelta(Stats, D);
-    return Cached;
-  case AtpCache::Lookup::Bypass:
-    ++Stats.CacheBypasses;
-    telemetry::counterAdd("atp.cache.bypass");
-    return solveValid(F, Counterexample);
-  case AtpCache::Lookup::Miss:
-    break;
-  }
-  ++Stats.CacheMisses;
-  telemetry::counterAdd("atp.cache.miss");
-  WorkSnapshot Before(Stats);
-  bool Valid = solveValid(F, Counterexample);
-  TheCache->fulfill(Key, Valid, Before.delta(Stats));
-  return Valid;
+  return takeModel(query(AtpQuery::validity(F, Counterexample != nullptr)),
+                   Counterexample)
+      .Verdict;
 }

@@ -47,13 +47,17 @@ struct AtpStats {
   uint64_t Queries = 0;         ///< isValid/isSatisfiable calls.
   uint64_t TheoryChecks = 0;    ///< Full-assignment theory consistency runs.
   uint64_t TheoryConflicts = 0; ///< Theory checks that failed.
+  uint64_t TheoryPropagations = 0; ///< Literals implied online by theory.
+  uint64_t TheoryPops = 0;      ///< Theory backtracking levels undone.
   uint64_t SatConflicts = 0;    ///< CDCL conflicts across all queries.
   uint64_t SatDecisions = 0;    ///< CDCL branching decisions.
   uint64_t Propagations = 0;    ///< Unit propagations across all queries.
   uint64_t Restarts = 0;        ///< CDCL (Luby) restarts.
   uint64_t LearnedClauses = 0;  ///< Clauses learned from conflicts.
   uint64_t DeletedClauses = 0;  ///< Learned clauses dropped by DB reduction.
-  uint64_t AssumptionSolves = 0; ///< solveUnderAssumptions calls.
+  uint64_t AssumptionSolves = 0; ///< Assumption-kind queries issued.
+  uint64_t AssumptionCores = 0; ///< Unsat cores extracted from assumptions.
+  uint64_t CoreLiterals = 0;    ///< Total size of those cores.
   uint64_t Microseconds = 0;    ///< Cumulative wall-clock inside the ATP.
   uint64_t CacheHits = 0;       ///< Queries answered from the AtpCache.
   uint64_t CacheMisses = 0;     ///< Queries this Atp solved and published.
@@ -71,6 +75,13 @@ struct AtpStats {
 struct AtpOptions {
   bool MinimizeConflicts = true;
   uint32_t MaxTheoryConflictsPerQuery = 2000;
+  /// Online theory propagation (DPLL(T) style); off falls back to
+  /// check-at-conflict-only.
+  bool TheoryPropagation = true;
+  // SAT search schedule (SatConfig mirrors; exposed for bench ablations).
+  uint64_t LubyRestartBase = 100;
+  uint32_t LearntBudget = 2000;
+  uint32_t LearntBudgetInc = 512;
 };
 
 /// One line of a counterexample model: a pretty-printed Int term (state
@@ -94,6 +105,73 @@ struct AtpModel {
   bool empty() const { return Values.empty() && Literals.empty(); }
 };
 
+/// One prover call, with everything the call wants named up front. This is
+/// the single entry point the cache policy, accounting, and solving logic
+/// key off — the legacy isValid/isSatisfiable/solveUnderAssumptions names
+/// are one-line wrappers that build one of these.
+struct AtpQuery {
+  enum class Kind {
+    Validity,       ///< Is Goal true in every model?
+    Satisfiability, ///< Does Goal have a model?
+    Assumptions,    ///< Is Prelude /\ Assumptions satisfiable (incremental)?
+  };
+
+  Kind QueryKind = Kind::Validity;
+  FormulaPtr Goal;                     ///< Validity / Satisfiability.
+  FormulaPtr Prelude;                  ///< Assumptions kind (may be null).
+  std::vector<FormulaPtr> Assumptions; ///< Assumptions kind.
+  /// Fill AtpResult::Model: the countermodel for a failed validity query,
+  /// the satisfying model otherwise. Model-wanting queries influence the
+  /// cache policy (a cached bare verdict cannot serve them).
+  bool WantModel = false;
+  /// Fill AtpResult::Core on an unsatisfiable Assumptions query.
+  bool WantCore = false;
+  /// Destructively minimize the core (each drop re-solves on the session).
+  bool MinimizeCore = false;
+
+  static AtpQuery validity(FormulaPtr F, bool WantModel = false) {
+    AtpQuery Q;
+    Q.QueryKind = Kind::Validity;
+    Q.Goal = std::move(F);
+    Q.WantModel = WantModel;
+    return Q;
+  }
+  static AtpQuery satisfiability(FormulaPtr F, bool WantModel = false) {
+    AtpQuery Q;
+    Q.QueryKind = Kind::Satisfiability;
+    Q.Goal = std::move(F);
+    Q.WantModel = WantModel;
+    return Q;
+  }
+  static AtpQuery assumptions(FormulaPtr Prelude,
+                              std::vector<FormulaPtr> Assumed,
+                              bool WantCore = false,
+                              bool MinimizeCore = false) {
+    AtpQuery Q;
+    Q.QueryKind = Kind::Assumptions;
+    Q.Prelude = std::move(Prelude);
+    Q.Assumptions = std::move(Assumed);
+    Q.WantCore = WantCore;
+    Q.MinimizeCore = MinimizeCore;
+    return Q;
+  }
+};
+
+/// What one prover call produced.
+struct AtpResult {
+  /// Validity kind: "Goal is valid". Other kinds: "satisfiable".
+  bool Verdict = false;
+  /// Set when the query asked for a model and one was extracted.
+  bool HasModel = false;
+  AtpModel Model;
+  /// Set on an unsatisfiable Assumptions query with WantCore: indices of
+  /// an unsat core. Index 0 names the Prelude, index i >= 1 names
+  /// Assumptions[i - 1]; the named formulas alone are jointly
+  /// unsatisfiable.
+  bool HasCore = false;
+  std::vector<size_t> Core;
+};
+
 class AtpCache;
 class SmtSession;
 
@@ -108,7 +186,20 @@ public:
   explicit Atp(TermArena &Arena, AtpOptions Options = {});
   ~Atp(); // Out of line: owns the (forward-declared) incremental session.
 
+  /// The single prover entry point: runs \p Q and returns its verdict plus
+  /// whatever artifacts (model, unsat core) it asked for. All cache policy
+  /// lives here: Validity/Satisfiability verdicts are served from /
+  /// published to the attached AtpCache (bypassed when the cached verdict
+  /// cannot carry the wanted model), while Assumptions queries always run
+  /// on this instance's *persistent* session (docs/SOLVER.md, "Incremental
+  /// solving") — session state is exactly the locality the cache would
+  /// otherwise provide. Every formula is held by assumption for the one
+  /// call, so nothing needs retracting when the checker strengthens a
+  /// predicate and never queries the old one again.
+  AtpResult query(const AtpQuery &Q);
+
   /// Is \p F true in every model? (Checks that !F is unsatisfiable.)
+  /// Thin wrapper over query(AtpQuery::validity(F)).
   bool isValid(const FormulaPtr &F);
 
   /// As above; when the answer is false and \p Counterexample is non-null,
@@ -116,22 +207,16 @@ public:
   /// failure came from budget exhaustion rather than a real model).
   bool isValid(const FormulaPtr &F, AtpModel *Counterexample);
 
-  /// Does \p F have a model?
+  /// Does \p F have a model? Thin wrapper over query().
   bool isSatisfiable(const FormulaPtr &F);
 
   /// As above; fills \p Model with a satisfying model on success.
   bool isSatisfiable(const FormulaPtr &F, AtpModel *Model);
 
-  /// Incremental satisfiability of `Prelude /\ Assumptions` on this
-  /// instance's *persistent* solving session (docs/SOLVER.md, "Incremental
-  /// solving"): Tseitin encodings, theory lemmas, theory blocking clauses,
-  /// and CDCL-learned clauses all survive from one call to the next, so
-  /// the Checker's strengthening loop pays only for what changed. Every
-  /// formula is held by assumption for the one call — nothing needs
-  /// retracting when a predicate is strengthened and never queried again.
-  /// Validity of `Pred => Ob` is `!solveUnderAssumptions(Pred, {!Ob})`.
-  /// Bypasses the AtpCache: session state is exactly the locality the
-  /// cache would otherwise provide, and answers stay one-sided safe.
+  /// Incremental satisfiability of `Prelude /\ Assumptions` on the
+  /// persistent session. Thin wrapper over
+  /// query(AtpQuery::assumptions(...)). Validity of `Pred => Ob` is
+  /// `!solveUnderAssumptions(Pred, {!Ob})`.
   bool solveUnderAssumptions(const FormulaPtr &Prelude,
                              const std::vector<FormulaPtr> &Assumptions);
 
@@ -149,8 +234,9 @@ public:
   void mergeStats(const AtpStats &Other) { Stats.merge(Other); }
 
 private:
-  bool solveValid(const FormulaPtr &F, AtpModel *Counterexample);
-  bool solveSatisfiable(const FormulaPtr &F, AtpModel *Model);
+  AtpResult solveOneShot(const AtpQuery &Q);
+  AtpResult solveAssumptions(const AtpQuery &Q);
+  void minimizeAssumptionCore(const AtpQuery &Q, AtpResult &R);
 
   TermArena &Arena;
   AtpOptions Options;

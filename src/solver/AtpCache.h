@@ -78,6 +78,8 @@ public:
   struct WorkDelta {
     uint64_t TheoryChecks = 0;
     uint64_t TheoryConflicts = 0;
+    uint64_t TheoryPropagations = 0;
+    uint64_t TheoryPops = 0;
     uint64_t SatConflicts = 0;
     uint64_t SatDecisions = 0;
     uint64_t Propagations = 0;

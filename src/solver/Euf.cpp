@@ -13,6 +13,7 @@ CongruenceClosure::CongruenceClosure(const TermArena &Arena,
                                      std::vector<char> RelevantMask)
     : Arena(Arena), Relevant(std::move(RelevantMask)) {
   Parent.resize(Arena.size());
+  ClassSize.assign(Arena.size(), 1);
   for (TermId T = 0; T < Parent.size(); ++T)
     Parent[T] = T;
 }
@@ -21,26 +22,77 @@ bool CongruenceClosure::isRelevant(TermId T) const {
   return Relevant.empty() || (T < Relevant.size() && Relevant[T]);
 }
 
-TermId CongruenceClosure::findRoot(TermId T) {
+void CongruenceClosure::growTables(TermId T) {
   // The arena may have grown since construction (e.g. lemma expansion).
-  while (Parent.size() <= T)
+  while (Parent.size() <= T) {
     Parent.push_back(static_cast<TermId>(Parent.size()));
-  while (Parent[T] != T) {
-    Parent[T] = Parent[Parent[T]];
-    T = Parent[T];
+    ClassSize.push_back(1);
   }
+}
+
+TermId CongruenceClosure::findRoot(TermId T) {
+  growTables(T);
+  // No path compression: every Parent write would need an undo record, and
+  // union-by-size keeps chains logarithmic without one.
+  while (Parent[T] != T)
+    T = Parent[T];
   return T;
 }
 
 TermId CongruenceClosure::find(TermId T) { return findRoot(T); }
 
 void CongruenceClosure::addEquality(TermId A, TermId B) {
-  PendingEqs.emplace_back(A, B);
-  Closed = false;
+  if (!merge(A, B))
+    Conflicted = true;
+  Dirty = true;
 }
 
 void CongruenceClosure::addDisequality(TermId A, TermId B) {
   Diseqs.emplace_back(A, B);
+  Dirty = true;
+}
+
+void CongruenceClosure::pushState() {
+  Frames.push_back(Frame{UndoTrail.size(), Diseqs.size(), Conflicted, Dirty,
+                         ClosedArenaSize, RelevantRev});
+}
+
+void CongruenceClosure::popState() {
+  assert(!Frames.empty() && "popState without matching pushState");
+  const Frame F = Frames.back();
+  Frames.pop_back();
+  while (UndoTrail.size() > F.TrailSize) {
+    const Merge &M = UndoTrail.back();
+    Parent[M.Child] = M.Child;
+    ClassSize[M.Root] -= ClassSize[M.Child];
+    UndoTrail.pop_back();
+  }
+  Diseqs.resize(F.DiseqCount);
+  Conflicted = F.Conflicted;
+  // The partition is exactly what it was at push time — unless the
+  // relevance mask widened meanwhile, in which case the fixpoint must
+  // rerun over the newly relevant terms.
+  if (F.RelevantRev == RelevantRev) {
+    Dirty = F.Dirty;
+    ClosedArenaSize = F.ClosedArenaSize;
+  } else {
+    Dirty = true;
+  }
+}
+
+void CongruenceClosure::addRelevant(const std::vector<char> &Mask) {
+  if (Relevant.size() < Mask.size())
+    Relevant.resize(Mask.size(), 0);
+  bool Widened = false;
+  for (size_t I = 0; I < Mask.size(); ++I)
+    if (Mask[I] && !Relevant[I]) {
+      Relevant[I] = 1;
+      Widened = true;
+    }
+  if (Widened) {
+    ++RelevantRev;
+    Dirty = true;
+  }
 }
 
 bool CongruenceClosure::merge(TermId A, TermId B) {
@@ -53,25 +105,41 @@ bool CongruenceClosure::merge(TermId A, TermId B) {
   bool BConst = Nb.Op == TermOp::IntConst || Nb.Op == TermOp::NameLit;
   if (AConst && BConst)
     return false; // Distinct constants: mkInt/mkNameLit hash-cons equal ones.
-  if (AConst)
-    Parent[Rb] = Ra;
-  else
-    Parent[Ra] = Rb;
+  TermId Root, Child;
+  if (AConst) {
+    Root = Ra;
+    Child = Rb;
+  } else if (BConst) {
+    Root = Rb;
+    Child = Ra;
+  } else if (ClassSize[Ra] >= ClassSize[Rb]) {
+    Root = Ra;
+    Child = Rb;
+  } else {
+    Root = Rb;
+    Child = Ra;
+  }
+  Parent[Child] = Root;
+  ClassSize[Root] += ClassSize[Child];
+  UndoTrail.push_back(Merge{Child, Root});
+  Dirty = true;
   return true;
 }
 
-bool CongruenceClosure::check() {
-  // Re-run from scratch: union-find state may be stale after new asserts,
-  // and the arena may have grown since construction.
-  Parent.resize(Arena.size());
-  for (TermId T = 0; T < Parent.size(); ++T)
-    Parent[T] = T;
-
-  for (auto &[A, B] : PendingEqs)
-    if (!merge(A, B))
-      return false;
+bool CongruenceClosure::close() {
+  if (Conflicted)
+    return false;
+  if (!Dirty && ClosedArenaSize == Arena.size())
+    return true;
+  while (Parent.size() < Arena.size()) {
+    Parent.push_back(static_cast<TermId>(Parent.size()));
+    ClassSize.push_back(1);
+  }
 
   // Congruence plus store-theory propagation, iterated to a joint fixpoint.
+  // The start state may already contain merges from earlier closes; the
+  // rules below are monotone in the partition, so continuing from it
+  // reaches the same least fixpoint a from-scratch run would.
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -92,8 +160,10 @@ bool CongruenceClosure::check() {
         Sig.push_back(findRoot(A));
       auto [It, Inserted] = Signatures.emplace(std::move(Sig), T);
       if (!Inserted && findRoot(It->second) != findRoot(T)) {
-        if (!merge(It->second, T))
+        if (!merge(It->second, T)) {
+          Conflicted = true;
           return false;
+        }
         Changed = true;
       }
     }
@@ -131,8 +201,10 @@ bool CongruenceClosure::check() {
           continue;
         // Equal stores at the same key: inject.
         if (findRoot(P.Value) != findRoot(Q.Value)) {
-          if (!merge(P.Value, Q.Value))
+          if (!merge(P.Value, Q.Value)) {
+            Conflicted = true;
             return false;
+          }
           Changed = true;
         }
         TermId A = findRoot(P.Base), B = findRoot(Q.Base);
@@ -163,8 +235,10 @@ bool CongruenceClosure::check() {
           continue;
         if (!AgreesOff(P.Base, Q.Base, P.Key))
           continue;
-        if (!merge(P.Term, Q.Term))
+        if (!merge(P.Term, Q.Term)) {
+          Conflicted = true;
           return false;
+        }
         Changed = true;
       }
     }
@@ -198,24 +272,46 @@ bool CongruenceClosure::check() {
         }
         if (!Agree)
           continue;
-        if (!merge(T1, T2))
+        if (!merge(T1, T2)) {
+          Conflicted = true;
           return false;
+        }
         Changed = true;
       }
     }
   }
 
   for (auto &[A, B] : Diseqs)
-    if (findRoot(A) == findRoot(B))
+    if (findRoot(A) == findRoot(B)) {
+      Conflicted = true;
       return false;
+    }
 
-  Closed = true;
+  Dirty = false;
+  ClosedArenaSize = Arena.size();
   return true;
+}
+
+bool CongruenceClosure::mustDiffer(TermId A, TermId B) {
+  TermId Ra = findRoot(A), Rb = findRoot(B);
+  if (Ra == Rb)
+    return false;
+  const TermNode &Na = Arena.node(Ra), &Nb = Arena.node(Rb);
+  bool AConst = Na.Op == TermOp::IntConst || Na.Op == TermOp::NameLit;
+  bool BConst = Nb.Op == TermOp::IntConst || Nb.Op == TermOp::NameLit;
+  if (AConst && BConst)
+    return true; // Distinct roots of hash-consed constants differ.
+  for (auto &[X, Y] : Diseqs) {
+    TermId Rx = findRoot(X), Ry = findRoot(Y);
+    if ((Rx == Ra && Ry == Rb) || (Rx == Rb && Ry == Ra))
+      return true;
+  }
+  return false;
 }
 
 void CongruenceClosure::forEachIntEquality(
     const std::function<void(TermId, TermId)> &Fn) {
-  assert(Closed && "call check() first");
+  assert(!Dirty && !Conflicted && "call close() first");
   for (TermId T = 0; T < Parent.size(); ++T) {
     if (!isRelevant(T) || Arena.sortOf(T) != Sort::Int)
       continue;

@@ -13,6 +13,14 @@
 /// Conflicts: merging two distinct integer constants, merging two distinct
 /// variable-name literals, or violating an asserted disequality.
 ///
+/// The closure is *backtrackable*: every union-find merge (asserted or
+/// derived) is recorded on an undo trail, and `pushState()`/`popState()`
+/// bracket a group of assertions whose effects can be retracted exactly.
+/// `close()` runs the congruence/store fixpoint incrementally from the
+/// current merged state — the rules are monotone in the partition, so the
+/// incremental fixpoint reaches the same least closure a from-scratch run
+/// would. Conflicts latch until the state that caused them is popped.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PEC_SOLVER_EUF_H
@@ -28,21 +36,45 @@ namespace pec {
 
 class CongruenceClosure {
 public:
-  /// Snapshot-style: considers every term currently in \p Arena, or only
-  /// those marked in \p Relevant when non-empty (indexed by TermId).
+  /// Considers every term currently in \p Arena, or only those marked in
+  /// \p Relevant when non-empty (indexed by TermId). The mask can grow later
+  /// via addRelevant(); relevance only bounds the fixpoint's search space,
+  /// never the soundness of derived merges.
   explicit CongruenceClosure(const TermArena &Arena,
                              std::vector<char> Relevant = {});
 
+  /// Merges eagerly (recording the merge on the undo trail). A conflict —
+  /// two distinct constants — latches; close() reports it.
   void addEquality(TermId A, TermId B);
   void addDisequality(TermId A, TermId B);
 
-  /// Runs the closure. Returns true iff the asserted literals are
-  /// EUF-consistent.
-  bool check();
+  /// Runs the congruence/store fixpoint from the current state. Returns
+  /// true iff the asserted literals are EUF-consistent. No-op when nothing
+  /// changed since the last close().
+  bool close();
+  /// Old name, kept for the scratch add-then-check call pattern.
+  bool check() { return close(); }
 
-  /// Representative after check().
+  /// Latched conflict flag (cleared by popping past the offending assert).
+  bool inConflict() const { return Conflicted; }
+
+  /// Opens a backtracking frame; popState() restores the partition, the
+  /// disequality set, and the conflict/closure flags to their state at the
+  /// matching pushState().
+  void pushState();
+  void popState();
+  size_t numStates() const { return Frames.size(); }
+
+  /// ORs \p Mask into the relevance mask (a term once relevant stays so).
+  void addRelevant(const std::vector<char> &Mask);
+
+  /// Representative after close().
   TermId find(TermId T);
   bool areEqual(TermId A, TermId B) { return find(A) == find(B); }
+
+  /// True when the current state entails A != B: their classes are pinned
+  /// to distinct constants, or an asserted disequality separates them.
+  bool mustDiffer(TermId A, TermId B);
 
   /// Invokes \p Fn for every pair (A, B) of *distinct* terms that ended up
   /// congruent and are both of sort Int — the equalities exported to the
@@ -52,16 +84,36 @@ public:
 
 private:
   bool isRelevant(TermId T) const;
+  void growTables(TermId T);
   TermId findRoot(TermId T);
   /// Returns false on conflict.
   bool merge(TermId A, TermId B);
 
+  struct Frame {
+    size_t TrailSize;
+    size_t DiseqCount;
+    bool Conflicted;
+    bool Dirty;
+    size_t ClosedArenaSize;
+    uint64_t RelevantRev;
+  };
+  /// One undo record per union: popping re-roots Child and shrinks Root.
+  struct Merge {
+    TermId Child;
+    TermId Root;
+  };
+
   const TermArena &Arena;
   std::vector<char> Relevant;
   std::vector<TermId> Parent;
-  std::vector<std::pair<TermId, TermId>> PendingEqs;
+  std::vector<uint32_t> ClassSize;
   std::vector<std::pair<TermId, TermId>> Diseqs;
-  bool Closed = false;
+  std::vector<Merge> UndoTrail;
+  std::vector<Frame> Frames;
+  bool Conflicted = false;
+  bool Dirty = false;
+  size_t ClosedArenaSize = 0;
+  uint64_t RelevantRev = 0;
 };
 
 } // namespace pec

@@ -2,6 +2,7 @@
 
 #include "solver/Lia.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace pec;
@@ -225,51 +226,80 @@ bool LiaSolver::solveRec(Tableau T, std::vector<LinExpr> PendingNe,
   return true;
 }
 
-bool LiaSolver::isFeasible(uint32_t Budget) {
-  Tableau T;
-  uint32_t NumAllVars =
-      NumUserVars + static_cast<uint32_t>(LeEqConstraints.size()) +
-      static_cast<uint32_t>(NeConstraints.size());
-  T.RowOfVar.assign(NumAllVars, -1);
-  T.Bounds.resize(NumAllVars);
-  T.Value.assign(NumAllVars, Rational(0));
+void LiaSolver::ensureBaseVar(uint32_t Var) {
+  while (Base.RowOfVar.size() <= Var) {
+    Base.RowOfVar.push_back(-1);
+    Base.Bounds.emplace_back();
+    Base.Value.emplace_back(Rational(0));
+  }
+}
 
-  uint32_t NextSlack = NumUserVars;
+void LiaSolver::rebuildBase() {
+  Base = Tableau{};
+  BasePendingNe.clear();
+  Built.clear();
+  BaseValid = true;
+  BaseNextSlack = NumUserVars;
+  BuiltUserVars = NumUserVars;
+  BuiltLe = 0;
+  BuiltNeCount = 0;
+  BaseViolated = 0;
+  extendBase();
+}
+
+/// Appends rows for the constraints added since the last build. A fresh
+/// build runs through here too, reproducing the classic ordering (user
+/// vars, then Le/Eq slacks, then Ne slacks).
+void LiaSolver::extendBase() {
+  ensureBaseVar(NumUserVars ? NumUserVars - 1 : 0);
+
   auto AddRow = [&](const LinExpr &E) -> uint32_t {
-    uint32_t Slack = NextSlack++;
+    uint32_t Slack = BaseNextSlack++;
+    ensureBaseVar(Slack);
     std::map<uint32_t, Rational> Row;
     for (const auto &[Var, C] : E.Coeffs)
       Row[Var] = C;
-    T.RowOfVar[Slack] = static_cast<int32_t>(T.Rows.size());
-    T.VarOfRow.push_back(Slack);
-    T.Rows.push_back(std::move(Row));
-    T.Value[Slack] = evalRow(T, static_cast<uint32_t>(T.Rows.size() - 1));
+    Base.RowOfVar[Slack] = static_cast<int32_t>(Base.Rows.size());
+    Base.VarOfRow.push_back(Slack);
+    Base.Rows.push_back(std::move(Row));
+    Base.Value[Slack] = evalRow(Base, static_cast<uint32_t>(Base.Rows.size() - 1));
     return Slack;
   };
 
   // E <= 0  <=>  slack = E - const <= -const.
-  for (const auto &[E, IsEq] : LeEqConstraints) {
+  for (; BuiltLe < LeEqConstraints.size(); ++BuiltLe) {
+    const auto &[E, IsEq] = LeEqConstraints[BuiltLe];
+    BuiltRecord R{false, static_cast<uint32_t>(BuiltLe), -1, 0, false};
     if (E.isConstant()) {
-      // Degenerate constant constraint.
-      bool Ok = IsEq ? E.Constant.isZero() : !E.Constant.isPositive();
-      ++NextSlack; // Keep the variable numbering stable.
-      if (!Ok)
-        return false;
+      // Degenerate constant constraint: no row, but burn the slack id.
+      R.Slack = BaseNextSlack++;
+      ensureBaseVar(R.Slack);
+      R.Violated = IsEq ? !E.Constant.isZero() : E.Constant.isPositive();
+      if (R.Violated)
+        ++BaseViolated;
+      Built.push_back(R);
       continue;
     }
     uint32_t Slack = AddRow(E);
     Rational Rhs = -E.Constant;
-    T.Bounds[Slack].Upper = Rhs;
+    Base.Bounds[Slack].Upper = Rhs;
     if (IsEq)
-      T.Bounds[Slack].Lower = Rhs;
+      Base.Bounds[Slack].Lower = Rhs;
+    R.Row = static_cast<int32_t>(Base.Rows.size() - 1);
+    R.Slack = Slack;
+    Built.push_back(R);
   }
 
-  std::vector<LinExpr> PendingNe;
-  for (const LinExpr &E : NeConstraints) {
+  for (; BuiltNeCount < NeConstraints.size(); ++BuiltNeCount) {
+    const LinExpr &E = NeConstraints[BuiltNeCount];
+    BuiltRecord R{true, static_cast<uint32_t>(BuiltNeCount), -1, 0, false};
     if (E.isConstant()) {
-      ++NextSlack;
-      if (E.Constant.isZero())
-        return false;
+      R.Slack = BaseNextSlack++;
+      ensureBaseVar(R.Slack);
+      R.Violated = E.Constant.isZero();
+      if (R.Violated)
+        ++BaseViolated;
+      Built.push_back(R);
       continue;
     }
     uint32_t Slack = AddRow(E);
@@ -277,10 +307,70 @@ bool LiaSolver::isFeasible(uint32_t Budget) {
     LinExpr Marker;
     Marker.add(Slack, Rational(1));
     Marker.Constant = E.Constant;
-    PendingNe.push_back(std::move(Marker));
+    BasePendingNe.push_back(std::move(Marker));
+    R.Row = static_cast<int32_t>(Base.Rows.size() - 1);
+    R.Slack = Slack;
+    Built.push_back(R);
   }
+}
+
+void LiaSolver::rollback(const Mark &M) {
+  assert(M.LeEq <= LeEqConstraints.size() && M.Ne <= NeConstraints.size() &&
+         "rollback past the current constraint set");
+  // Pop built records beyond the mark. With LIFO marks they form a suffix
+  // of the build order; anything else invalidates the cached base.
+  while (BaseValid && !Built.empty()) {
+    const BuiltRecord &R = Built.back();
+    bool Beyond = R.IsNe ? (R.Index >= M.Ne) : (R.Index >= M.LeEq);
+    if (!Beyond)
+      break;
+    if (R.Row >= 0) {
+      if (static_cast<size_t>(R.Row) + 1 != Base.Rows.size()) {
+        BaseValid = false;
+        break;
+      }
+      Base.Rows.pop_back();
+      Base.VarOfRow.pop_back();
+      Base.RowOfVar[R.Slack] = -1;
+      Base.Bounds[R.Slack] = Bound{};
+      Base.Value[R.Slack] = Rational(0);
+      if (R.IsNe) {
+        assert(!BasePendingNe.empty());
+        BasePendingNe.pop_back();
+      }
+    } else if (R.Violated) {
+      --BaseViolated;
+    }
+    if (R.Slack + 1 == BaseNextSlack)
+      BaseNextSlack = R.Slack;
+    if (R.IsNe)
+      --BuiltNeCount;
+    else
+      --BuiltLe;
+    Built.pop_back();
+  }
+  if (BuiltLe > M.LeEq || BuiltNeCount > M.Ne)
+    BaseValid = false; // Interleaved history: rebuild next time.
+  LeEqConstraints.resize(M.LeEq);
+  NeConstraints.resize(M.Ne);
+  if (!BaseValid) {
+    BuiltLe = std::min(BuiltLe, M.LeEq);
+    BuiltNeCount = std::min(BuiltNeCount, M.Ne);
+  }
+}
+
+bool LiaSolver::isFeasible(uint32_t Budget) {
+  if (!BaseValid || BuiltUserVars != NumUserVars)
+    rebuildBase();
+  else
+    extendBase();
 
   Model.clear();
+  if (BaseViolated > 0)
+    return false;
+  // Solve on a copy: the base stays pristine for the next call.
+  Tableau T = Base;
+  std::vector<LinExpr> PendingNe = BasePendingNe;
   return solveRec(std::move(T), std::move(PendingNe), Budget, Model);
 }
 

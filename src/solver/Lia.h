@@ -67,6 +67,13 @@ struct LinExpr {
 
 /// Conjunction-of-constraints solver. Usage: create variables, add
 /// constraints, call isFeasible().
+///
+/// Repeated isFeasible() calls reuse a cached *base tableau*: rows for
+/// constraints already seen are kept (pristine — solving works on a copy),
+/// and only constraints added since the last call get new rows. Paired
+/// with mark()/rollback() this makes entailment probing cheap: probe
+/// constraints push one row each and pop it on rollback instead of
+/// rebuilding the whole tableau.
 class LiaSolver {
 public:
   uint32_t newVar();
@@ -76,6 +83,19 @@ public:
   void addLe(const LinExpr &E);
   void addEq(const LinExpr &E);
   void addNe(const LinExpr &E);
+
+  /// A snapshot of the constraint set. Variables are not snapshotted:
+  /// vars created after a mark survive its rollback (unconstrained), so
+  /// callers may cache term-to-var maps across probes.
+  struct Mark {
+    size_t LeEq;
+    size_t Ne;
+  };
+  Mark mark() const { return Mark{LeEqConstraints.size(), NeConstraints.size()}; }
+  /// Retracts every constraint added since \p M. Marks must be rolled
+  /// back LIFO for the base tableau to stay reusable; out-of-order
+  /// rollbacks are legal but force a rebuild on the next isFeasible().
+  void rollback(const Mark &M);
 
   /// Integer feasibility of all constraints added so far. Budget counts
   /// branch-and-bound + disequality-split nodes.
@@ -114,10 +134,34 @@ private:
   static void updateNonbasic(Tableau &T, uint32_t Var, const Rational &V);
   static Rational evalRow(const Tableau &T, uint32_t Row);
 
+  void ensureBaseVar(uint32_t Var);
+  void rebuildBase();
+  void extendBase();
+
   uint32_t NumUserVars = 0;
   std::vector<std::pair<LinExpr, bool>> LeEqConstraints; ///< (expr, isEq).
   std::vector<LinExpr> NeConstraints;
   std::vector<Rational> Model;
+
+  /// One record per constraint built into the base, in build order.
+  /// Degenerate constant constraints get no row (Row == -1) but still
+  /// burn a slack id so the numbering matches a from-scratch build.
+  struct BuiltRecord {
+    bool IsNe;
+    uint32_t Index; ///< Into LeEqConstraints or NeConstraints.
+    int32_t Row;    ///< Base row id, or -1 for degenerate constraints.
+    uint32_t Slack;
+    bool Violated; ///< Degenerate and unsatisfiable.
+  };
+  Tableau Base;
+  std::vector<LinExpr> BasePendingNe;
+  std::vector<BuiltRecord> Built;
+  bool BaseValid = false;
+  uint32_t BaseNextSlack = 0;
+  uint32_t BuiltUserVars = 0;
+  size_t BuiltLe = 0;      ///< LeEqConstraints prefix length built.
+  size_t BuiltNeCount = 0; ///< NeConstraints prefix length built.
+  size_t BaseViolated = 0; ///< Violated degenerate constraints built.
 };
 
 } // namespace pec

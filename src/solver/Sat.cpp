@@ -284,10 +284,13 @@ void SatSolver::analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
     P = Trail[TrailIdx];
     PValid = true;
     Seen[P.var()] = 0;
-    Reason = VarReason[P.var()];
     --Counter;
     if (Counter == 0)
       break;
+    // reasonFor materializes lazy theory explanations on demand; calling
+    // it only when the literal will actually be expanded avoids building
+    // clauses the analysis never looks at.
+    Reason = reasonFor(P.var());
   }
   Learnt[0] = ~P;
 
@@ -324,6 +327,7 @@ void SatSolver::analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
 void SatSolver::backtrack(uint32_t Level) {
   if (TrailLim.size() <= Level)
     return;
+  uint32_t Popped = static_cast<uint32_t>(TrailLim.size()) - Level;
   uint32_t Boundary = TrailLim[Level];
   for (size_t I = Trail.size(); I > Boundary; --I) {
     uint32_t V = Trail[I - 1].var();
@@ -334,6 +338,19 @@ void SatSolver::backtrack(uint32_t Level) {
   Trail.resize(Boundary);
   TrailLim.resize(Level);
   PropagateHead = Trail.size();
+  // Keep the theory trail mirrored: pop the same number of levels and
+  // re-feed anything past the new boundary on the next check.
+  if (Theory) {
+    Theory->onPop(Popped);
+    if (TheoryHead > Trail.size())
+      TheoryHead = Trail.size();
+  }
+}
+
+void SatSolver::newDecisionLevel() {
+  TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
+  if (Theory)
+    Theory->onPush();
 }
 
 int32_t SatSolver::pickBranchVar() {
@@ -384,46 +401,188 @@ void SatSolver::reduceDB() {
     ++DeletedClauses;
     --LiveLearnts;
   }
-  MaxLearnts += 512;
+  MaxLearnts += Config.LearntBudgetInc;
+}
+
+int32_t SatSolver::reasonFor(uint32_t Var) {
+  int32_t R = VarReason[Var];
+  if (R != ReasonTheory)
+    return R;
+  assert(Theory && "theory-propagated variable without a theory client");
+  Lit L(Var, Assign[Var] == LBool::False);
+  std::vector<Lit> Reason;
+  Theory->explainImplied(L, Reason);
+  assert(!Reason.empty() && Reason[0] == L &&
+         "theory explanation must start with the implied literal");
+  if (Reason.size() >= 2) {
+    // Watch the implied literal and the highest-level antecedent so the
+    // watches are the first to unassign on backtracking.
+    size_t MaxIdx = 1;
+    for (size_t I = 2; I < Reason.size(); ++I)
+      if (VarLevel[Reason[I].var()] > VarLevel[Reason[MaxIdx].var()])
+        MaxIdx = I;
+    std::swap(Reason[1], Reason[MaxIdx]);
+  }
+  // The explanation is theory-valid, hence a permanent (non-learnt) clause.
+  Clauses.push_back(Clause{std::move(Reason), 0, false, false});
+  int32_t Idx = static_cast<int32_t>(Clauses.size() - 1);
+  if (Clauses[Idx].Lits.size() >= 2)
+    attach(static_cast<uint32_t>(Idx));
+  VarReason[Var] = Idx;
+  return Idx;
+}
+
+int32_t SatSolver::theoryCheck(bool Final) {
+  if (!Final && TheoryHead == Trail.size())
+    return -1; // Nothing new since the last check.
+  const Lit *Begin = Trail.data() + TheoryHead;
+  const Lit *End = Trail.data() + Trail.size();
+  TheoryImplied.clear();
+  TheoryConflict.clear();
+  bool Ok = Theory->onCheck(Begin, End, Final, TheoryImplied, TheoryConflict);
+  TheoryHead = Trail.size(); // The client absorbed the slice either way.
+
+  if (!Ok) {
+    // Negate the conflicting (currently true) literals into a clause.
+    // Literals true at level 0 are dropped: their negations are
+    // permanently false and can never satisfy the clause.
+    std::vector<Lit> CLits;
+    uint32_t MaxLevel = 0;
+    for (Lit L : TheoryConflict) {
+      assert(litValue(L) == LBool::True && "conflict literal not true");
+      if (VarLevel[L.var()] == 0)
+        continue;
+      CLits.push_back(~L);
+      MaxLevel = std::max(MaxLevel, VarLevel[L.var()]);
+    }
+    if (CLits.empty()) {
+      Unsatisfiable = true; // Root-level facts alone are inconsistent.
+      return -2;
+    }
+    if (CLits.size() == 1) {
+      addClause(std::move(CLits)); // Backtracks to 0 and enqueues the unit.
+      return Unsatisfiable ? -2 : -3;
+    }
+    // Make the clause's deepest literals current, then hand it to the
+    // normal first-UIP analysis as a conflicting clause.
+    backtrack(MaxLevel);
+    size_t Top = 0;
+    for (size_t I = 1; I < CLits.size(); ++I)
+      if (VarLevel[CLits[I].var()] > VarLevel[CLits[Top].var()])
+        Top = I;
+    std::swap(CLits[0], CLits[Top]);
+    size_t Second = 1;
+    for (size_t I = 2; I < CLits.size(); ++I)
+      if (VarLevel[CLits[I].var()] > VarLevel[CLits[Second].var()])
+        Second = I;
+    std::swap(CLits[1], CLits[Second]);
+    Clauses.push_back(Clause{std::move(CLits), 0, false, false});
+    uint32_t Idx = static_cast<uint32_t>(Clauses.size() - 1);
+    attach(Idx);
+    return static_cast<int32_t>(Idx);
+  }
+
+  bool Enqueued = false;
+  for (Lit L : TheoryImplied) {
+    LBool V = litValue(L);
+    if (V == LBool::True)
+      continue; // Raced with boolean propagation: already there.
+    assert(V == LBool::Undef && "theory implied an already-false literal");
+    enqueue(L, ReasonTheory);
+    Enqueued = true;
+  }
+  return Enqueued ? -3 : -1;
+}
+
+void SatSolver::analyzeFinal(Lit FailedAssumption, std::vector<Lit> &Out) {
+  Out.clear();
+  Out.push_back(FailedAssumption);
+  if (TrailLim.empty())
+    return;
+  std::vector<uint32_t> Marked;
+  Seen[FailedAssumption.var()] = 1;
+  Marked.push_back(FailedAssumption.var());
+  // Walk the above-root trail backwards, expanding reasons; reason-less
+  // literals above level 0 are assumption pseudo-decisions.
+  for (size_t I = Trail.size(); I > TrailLim[0]; --I) {
+    Lit P = Trail[I - 1];
+    uint32_t X = P.var();
+    if (!Seen[X])
+      continue;
+    int32_t R = reasonFor(X);
+    if (R < 0) {
+      if (VarLevel[X] > 0)
+        Out.push_back(P);
+    } else {
+      for (Lit Q : Clauses[R].Lits) {
+        uint32_t V = Q.var();
+        if (V == X || Seen[V] || VarLevel[V] == 0)
+          continue;
+        Seen[V] = 1;
+        Marked.push_back(V);
+      }
+    }
+  }
+  for (uint32_t V : Marked)
+    Seen[V] = 0;
 }
 
 SatResult SatSolver::solve(const std::vector<Lit> &Assumptions) {
+  FailedAssumptions.clear();
   if (Unsatisfiable)
     return SatResult::Unsat;
   backtrack(0);
   std::vector<Lit> LearntClause;
-  uint64_t RestartLimit = RestartBase * lubyValue(LubyIndex);
+  uint64_t RestartLimit = Config.RestartBase * lubyValue(LubyIndex);
+
+  // First-UIP analysis of a conflicting clause; false means the database
+  // is contradictory without assumptions.
+  auto HandleConflict = [&](int32_t ConflictIdx) -> bool {
+    ++Conflicts;
+    ++ConflictsSinceRestart;
+    if (TrailLim.empty()) {
+      // Conflict with nothing assumed or decided: the clause database
+      // itself is contradictory.
+      Unsatisfiable = true;
+      return false;
+    }
+    uint32_t BtLevel = 0;
+    analyze(ConflictIdx, LearntClause, BtLevel);
+    backtrack(BtLevel);
+    if (LearntClause.size() == 1) {
+      if (litValue(LearntClause[0]) == LBool::Undef)
+        enqueue(LearntClause[0], -1);
+      else if (litValue(LearntClause[0]) == LBool::False) {
+        Unsatisfiable = true; // Contradiction at level 0 is global.
+        return false;
+      }
+    } else {
+      Clauses.push_back(
+          Clause{LearntClause, computeLbd(LearntClause), true, false});
+      ++Learned;
+      ++LiveLearnts;
+      attach(static_cast<uint32_t>(Clauses.size() - 1));
+      enqueue(LearntClause[0], static_cast<int32_t>(Clauses.size() - 1));
+    }
+    decayActivities();
+    return true;
+  };
 
   while (true) {
     int32_t Conflict = propagate();
-    if (Conflict >= 0) {
-      ++Conflicts;
-      ++ConflictsSinceRestart;
-      if (TrailLim.empty()) {
-        // Conflict with nothing assumed or decided: the clause database
-        // itself is contradictory.
-        Unsatisfiable = true;
+    if (Conflict < 0 && Theory) {
+      // Online theory consultation at every propagation fixpoint: implied
+      // literals enter the trail (re-propagate), conflicts become clauses.
+      int32_t T = theoryCheck(/*Final=*/false);
+      if (T == -2)
         return SatResult::Unsat;
-      }
-      uint32_t BtLevel = 0;
-      analyze(Conflict, LearntClause, BtLevel);
-      backtrack(BtLevel);
-      if (LearntClause.size() == 1) {
-        if (litValue(LearntClause[0]) == LBool::Undef)
-          enqueue(LearntClause[0], -1);
-        else if (litValue(LearntClause[0]) == LBool::False) {
-          Unsatisfiable = true; // Contradiction at level 0 is global.
-          return SatResult::Unsat;
-        }
-      } else {
-        Clauses.push_back(
-            Clause{LearntClause, computeLbd(LearntClause), true, false});
-        ++Learned;
-        ++LiveLearnts;
-        attach(static_cast<uint32_t>(Clauses.size() - 1));
-        enqueue(LearntClause[0], static_cast<int32_t>(Clauses.size() - 1));
-      }
-      decayActivities();
+      if (T == -3)
+        continue;
+      Conflict = T;
+    }
+    if (Conflict >= 0) {
+      if (!HandleConflict(Conflict))
+        return SatResult::Unsat;
       continue;
     }
 
@@ -431,7 +590,7 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions) {
       ++Restarts;
       ConflictsSinceRestart = 0;
       ++LubyIndex;
-      RestartLimit = RestartBase * lubyValue(LubyIndex);
+      RestartLimit = Config.RestartBase * lubyValue(LubyIndex);
       backtrack(0);
       if (LiveLearnts > MaxLearnts)
         reduceDB();
@@ -443,14 +602,15 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions) {
     // <-> assumption-index correspondence holds), false ones mean
     // unsatisfiable *under these assumptions* — the database itself is
     // untouched, so the instance stays usable.
-    Lit Next;
+    Lit Next, FailedA;
     bool HaveNext = false, AssumptionFailed = false;
     while (decisionLevel() < Assumptions.size()) {
       Lit A = Assumptions[decisionLevel()];
       LBool V = litValue(A);
       if (V == LBool::True) {
-        TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
+        newDecisionLevel();
       } else if (V == LBool::False) {
+        FailedA = A;
         AssumptionFailed = true;
         break;
       } else {
@@ -460,20 +620,38 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions) {
       }
     }
     if (AssumptionFailed) {
+      // Which assumptions conspired against FailedA? That core is what
+      // callers report / strengthen against.
+      analyzeFinal(FailedA, FailedAssumptions);
       backtrack(0);
       return SatResult::Unsat;
     }
     if (HaveNext) {
-      TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
+      newDecisionLevel();
       enqueue(Next, -1);
       continue;
     }
 
     int32_t Branch = pickBranchVar();
-    if (Branch < 0)
+    if (Branch < 0) {
+      if (Theory) {
+        // Full assignment: run the complete theory gate before declaring
+        // satisfiability.
+        int32_t T = theoryCheck(/*Final=*/true);
+        if (T == -2)
+          return SatResult::Unsat;
+        if (T == -3)
+          continue;
+        if (T >= 0) {
+          if (!HandleConflict(T))
+            return SatResult::Unsat;
+          continue;
+        }
+      }
       return SatResult::Sat;
+    }
     ++Decisions;
-    TrailLim.push_back(static_cast<uint32_t>(Trail.size()));
+    newDecisionLevel();
     // Phase saving: branch toward the variable's last assigned polarity.
     // Fresh variables default to negative — theory atoms start out "not
     // asserted", which keeps theory checks small.

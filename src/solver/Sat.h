@@ -46,12 +46,69 @@ struct Lit {
 
 enum class SatResult { Sat, Unsat };
 
+/// Online theory interface for DPLL(T). The solver mirrors its boolean
+/// trail into the client: `onPush()` at every new decision level,
+/// `onPop(N)` when backtracking N levels, and `onCheck()` with each newly
+/// assigned trail slice. The client must absorb *every* literal it is
+/// handed (even after reporting a conflict) so its internal trail stays
+/// aligned with the boolean one across pops.
+class TheoryClient {
+public:
+  virtual ~TheoryClient() = default;
+
+  /// A new decision level opened (assumption pseudo-levels included).
+  virtual void onPush() = 0;
+  /// \p Levels decision levels were backtracked.
+  virtual void onPop(uint32_t Levels) = 0;
+
+  /// Consume the newly assigned literals [Begin, End) of the trail and
+  /// check consistency. \p Final marks a full assignment (run the complete
+  /// theory gate). Returns false on theory conflict, filling \p Conflict
+  /// with currently-true literals whose conjunction is theory-inconsistent.
+  /// On success, may append theory-implied *unassigned* literals to
+  /// \p Implied; each must later be explainable via explainImplied().
+  virtual bool onCheck(const Lit *Begin, const Lit *End, bool Final,
+                       std::vector<Lit> &Implied,
+                       std::vector<Lit> &Conflict) = 0;
+
+  /// Reason clause for a literal previously reported via \p Implied: the
+  /// returned clause starts with \p L and every other literal was false on
+  /// the trail when L was implied. Called lazily (only when conflict
+  /// analysis walks through L).
+  virtual void explainImplied(Lit L, std::vector<Lit> &Reason) = 0;
+};
+
+/// Tunable search-schedule knobs (exposed for benchmarking ablations).
+struct SatConfig {
+  uint64_t RestartBase = 100;   ///< Luby restart unit, in conflicts.
+  uint32_t LearntBudget = 2000; ///< Live learnt clauses before reduceDB.
+  uint32_t LearntBudgetInc = 512; ///< Budget growth per reduction.
+};
+
 /// CDCL solver. Variables are created with `newVar()`; clauses reference
 /// them. After `solve()` returns Sat, `valueOf()` exposes the model.
 class SatSolver {
 public:
   uint32_t newVar();
   size_t numVars() const { return Assign.size(); }
+
+  /// Installs the search schedule; call before solve().
+  void configure(const SatConfig &C) {
+    Config = C;
+    MaxLearnts = C.LearntBudget;
+  }
+
+  /// Attaches the DPLL(T) theory client (nullptr detaches). The client is
+  /// consulted at every propagation fixpoint, not only full assignments.
+  /// Attaching first rewinds the boolean trail to level 0 — while the
+  /// *outgoing* client (if any) is still mirrored, so pop counts stay
+  /// aligned — then rewinds the trail-consumption cursor: a fresh client
+  /// is re-fed the persistent level-0 trail on its first check.
+  void setTheory(TheoryClient *T) {
+    backtrack(0);
+    Theory = T;
+    TheoryHead = 0;
+  }
 
   /// Adds a clause (empty clause makes the instance trivially unsat).
   /// May be called between solve() calls; the solver backtracks as needed.
@@ -69,6 +126,19 @@ public:
 
   /// Model access after Sat: true/false assignment of \p Var.
   bool valueOf(uint32_t Var) const;
+
+  /// True when \p Var currently holds a value (useful mid-solve from
+  /// theory-client callbacks).
+  bool isAssigned(uint32_t Var) const {
+    return Assign[Var] != LBool::Undef;
+  }
+
+  /// After solve(assumptions) returned Unsat: the subset of assumption
+  /// literals that participated in the final conflict (MiniSat
+  /// analyzeFinal). Empty when the clause database alone is contradictory.
+  const std::vector<Lit> &failedAssumptions() const {
+    return FailedAssumptions;
+  }
 
   /// The clause database is contradictory without assumptions.
   bool okay() const { return !Unsatisfiable; }
@@ -103,9 +173,25 @@ private:
     return static_cast<uint32_t>(TrailLim.size());
   }
 
+  /// VarReason sentinel: assigned by theory propagation; the reason clause
+  /// is materialized lazily by reasonFor() when analysis needs it.
+  static constexpr int32_t ReasonTheory = -2;
+
   void enqueue(Lit L, int32_t Reason);
   /// Returns the index of a conflicting clause or -1.
   int32_t propagate();
+  /// Resolves a theory-propagated variable's reason to a real clause index
+  /// (materializing it on first use); passes decisions (-1) through.
+  int32_t reasonFor(uint32_t Var);
+  /// Feeds the unconsumed trail to the theory client and handles the
+  /// outcome. Returns a conflict clause index, or -1 (consistent, nothing
+  /// new), or -2 (root-level contradiction; Unsatisfiable is set), or -3
+  /// (implied literals were enqueued / state changed: re-run propagation).
+  int32_t theoryCheck(bool Final);
+  /// MiniSat-style final-conflict analysis: which assumptions forced the
+  /// falsification of \p FailedAssumption.
+  void analyzeFinal(Lit FailedAssumption, std::vector<Lit> &Out);
+  void newDecisionLevel();
   void analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
                uint32_t &BacktrackLevel);
   bool litRedundant(Lit L);
@@ -147,12 +233,20 @@ private:
   std::vector<uint32_t> LevelScratch; ///< Scratch for computeLbd.
   bool Unsatisfiable = false;
 
+  // DPLL(T) state: the attached client, how much of the trail it has
+  // consumed, and the failed-assumption core of the last Unsat answer.
+  TheoryClient *Theory = nullptr;
+  size_t TheoryHead = 0;
+  std::vector<Lit> FailedAssumptions;
+  std::vector<Lit> TheoryImplied;  ///< Scratch for theoryCheck.
+  std::vector<Lit> TheoryConflict; ///< Scratch for theoryCheck.
+
   // Restart + reduction schedule.
+  SatConfig Config;
   uint64_t ConflictsSinceRestart = 0;
   uint32_t LubyIndex = 0;
   uint32_t LiveLearnts = 0;
   uint32_t MaxLearnts = 2000;
-  static constexpr uint64_t RestartBase = 100;
 
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;

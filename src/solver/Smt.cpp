@@ -11,47 +11,13 @@ using namespace pec;
 // QuickXplain conflict minimization
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-bool theoryInconsistent(TermArena &Arena, const std::vector<TheoryLit> &Lits) {
-  if (Lits.empty())
-    return false;
-  std::vector<char> Relevant = relevantTerms(Arena, Lits);
-  return !theoryConsistent(Arena, Lits, Relevant);
-}
-
-} // namespace
-
 std::vector<TheoryLit>
 pec::minimizeTheoryConflict(TermArena &Arena, std::vector<TheoryLit> Lits) {
-  if (Lits.size() <= 1)
-    return Lits;
-  // QuickXplain (Junker 2004): recurse on halves, using what one half
-  // pinned down as background (Delta) for the other. The Delta flag marks
-  // "background changed since the caller checked", which is when testing
-  // the background alone can terminate a branch early.
-  std::vector<TheoryLit> Background;
-  std::function<std::vector<TheoryLit>(bool, const std::vector<TheoryLit> &)>
-      QX = [&](bool HasDelta,
-               const std::vector<TheoryLit> &C) -> std::vector<TheoryLit> {
-    if (HasDelta && theoryInconsistent(Arena, Background))
-      return {};
-    if (C.size() == 1)
-      return C;
-    size_t Half = C.size() / 2;
-    std::vector<TheoryLit> C1(C.begin(), C.begin() + Half);
-    std::vector<TheoryLit> C2(C.begin() + Half, C.end());
-    size_t Mark = Background.size();
-    Background.insert(Background.end(), C1.begin(), C1.end());
-    std::vector<TheoryLit> X2 = QX(true, C2);
-    Background.resize(Mark);
-    Background.insert(Background.end(), X2.begin(), X2.end());
-    std::vector<TheoryLit> X1 = QX(!X2.empty(), C1);
-    Background.resize(Mark);
-    X1.insert(X1.end(), X2.begin(), X2.end());
-    return X1;
-  };
-  return QX(false, Lits);
+  return minimalTheoryCore(Lits, [&](const std::vector<TheoryLit> &Ls) {
+    if (Ls.empty())
+      return false;
+    return !TheorySolver::consistent(Arena, Ls, relevantTerms(Arena, Ls));
+  });
 }
 
 //===----------------------------------------------------------------------===//
@@ -304,16 +270,109 @@ void SmtSession::harvestSatStats() {
   LastDeleted = Sat.numDeletedClauses();
 }
 
+void SmtSession::onPush() {
+  Th->push();
+}
+
+void SmtSession::onPop(uint32_t Levels) {
+  Stats.TheoryPops += Levels;
+  for (uint32_t I = 0; I < Levels; ++I)
+    Th->pop();
+}
+
+bool SmtSession::onCheck(const Lit *Begin, const Lit *End, bool Final,
+                         std::vector<Lit> &Implied,
+                         std::vector<Lit> &Conflict) {
+  // Absorb the new trail slice: every relevant atom literal is asserted
+  // into the theory trail (required even mid-conflict so pops stay
+  // aligned; assertLit latches rather than throws).
+  if (!TheoryQuiet) {
+    for (const Lit *P = Begin; P != End; ++P) {
+      uint32_t Var = P->var();
+      if (Var >= RelevantVars.size() || !RelevantVars[Var])
+        continue;
+      auto It = AtomOfVar.find(Var);
+      if (It == AtomOfVar.end())
+        continue; // Tseitin gate variable.
+      Th->assertLit(TheoryLit{It->second, !P->negated()});
+    }
+  }
+  if (TheoryQuiet)
+    return true; // Inert: answer "consistent" blindly (one-sided safe).
+
+  bool Ok;
+  if (Final) {
+    // Full assignment: the complete EUF + LIA gate.
+    ++Stats.TheoryChecks;
+    Ok = Th->checkFull();
+  } else {
+    Ok = Th->checkEuf();
+  }
+
+  if (!Ok) {
+    ++Stats.TheoryConflicts;
+    if (ConflictBudget == 0) {
+      // Give up: treat as satisfiable (safe direction for validity). No
+      // model is extracted later: the assignment is theory-inconsistent,
+      // so its valuations would be misleading.
+      TheoryQuiet = true;
+      return true;
+    }
+    --ConflictBudget;
+    std::vector<TheoryLit> Core = Th->conflictCore(Options.MinimizeConflicts);
+    Conflict.reserve(Core.size());
+    for (const TheoryLit &L : Core)
+      Conflict.push_back(Lit(AtomVars.at(atomKey(L.Atom)), !L.Positive));
+    return false;
+  }
+
+  if (!Final && Options.TheoryPropagation) {
+    // Theory propagation: unassigned relevant atoms the EUF state already
+    // decides enter the boolean trail now, with a lazy explanation keyed
+    // to the current theory-trail prefix.
+    for (uint32_t Var : AtomOrder) {
+      if (Var >= RelevantVars.size() || !RelevantVars[Var])
+        continue;
+      if (Sat.isAssigned(Var))
+        continue;
+      int Pol = Th->impliedPolarity(AtomOfVar.at(Var));
+      if (Pol == 0)
+        continue;
+      Implied.push_back(Lit(Var, Pol < 0));
+      TheoryPropMark[Var] = Th->trail().size();
+      ++Stats.TheoryPropagations;
+    }
+  }
+  return true;
+}
+
+void SmtSession::explainImplied(Lit L, std::vector<Lit> &Reason) {
+  uint32_t Var = L.var();
+  const FormulaPtr &Atom = AtomOfVar.at(Var);
+  TheoryLit TL{Atom, !L.negated()};
+  std::vector<TheoryLit> Ante = Th->explain(TL, TheoryPropMark.at(Var));
+  Reason.clear();
+  Reason.push_back(L);
+  for (const TheoryLit &A : Ante)
+    Reason.push_back(Lit(AtomVars.at(atomKey(A.Atom)), A.Positive));
+}
+
 bool SmtSession::solve(const std::vector<FormulaPtr> &Roots,
-                       TheoryModel *ModelOut) {
+                       TheoryModel *ModelOut, std::vector<size_t> *CoreOut) {
   std::vector<FormulaPtr> Live;
+  std::vector<size_t> LiveIdx; // Live[i] == Roots[LiveIdx[i]].
   Live.reserve(Roots.size());
-  for (const FormulaPtr &R : Roots) {
+  for (size_t I = 0; I < Roots.size(); ++I) {
+    const FormulaPtr &R = Roots[I];
     if (R->kind() == FormulaKind::True)
       continue;
-    if (R->kind() == FormulaKind::False)
+    if (R->kind() == FormulaKind::False) {
+      if (CoreOut)
+        *CoreOut = {I}; // That root alone is the whole core.
       return false;
+    }
     Live.push_back(R);
+    LiveIdx.push_back(I);
   }
   if (Live.empty()) {
     if (ModelOut)
@@ -328,48 +387,63 @@ bool SmtSession::solve(const std::vector<FormulaPtr> &Roots,
     Assumptions.push_back(encode(R));
   }
 
-  std::vector<char> Relevant;
-  collectRelevantAtoms(Live, Relevant);
+  collectRelevantAtoms(Live, RelevantVars);
 
-  uint32_t ConflictBudget = Options.MaxTheoryConflictsPerQuery;
-  while (true) {
-    if (Sat.solve(Assumptions) == SatResult::Unsat) {
-      harvestSatStats();
-      return false;
+  // The query's theory term cone: subterms of every atom in the relevance
+  // cone (polarity is irrelevant for term collection).
+  std::vector<TheoryLit> ConeAtoms;
+  for (uint32_t Var : AtomOrder)
+    if (Var < RelevantVars.size() && RelevantVars[Var])
+      ConeAtoms.push_back(TheoryLit{AtomOfVar.at(Var), true});
+  std::vector<char> TermMask = relevantTerms(Arena, ConeAtoms);
+
+  // Attach a fresh backtrackable theory solver for this query. setTheory
+  // rewinds the SAT core's consumption cursor, so the persistent level-0
+  // trail (units from lemmas and learned facts) is re-fed to it.
+  TheorySolver QueryTheory(Arena);
+  QueryTheory.addRelevant(TermMask);
+  Th = &QueryTheory;
+  ConflictBudget = Options.MaxTheoryConflictsPerQuery;
+  TheoryQuiet = false;
+  TheoryPropMark.clear();
+  Sat.setTheory(this);
+  struct Detach {
+    SmtSession &S;
+    ~Detach() {
+      S.Sat.setTheory(nullptr);
+      S.Th = nullptr;
     }
+  } Guard{*this};
+
+  if (Sat.solve(Assumptions) == SatResult::Unsat) {
+    harvestSatStats();
+    if (CoreOut) {
+      // Map the failed assumption literals back to root indices. The
+      // SAT-level core is already conflict-directed; duplicates of the
+      // same encoded literal collapse to the first root that carried it.
+      CoreOut->clear();
+      for (Lit F : Sat.failedAssumptions())
+        for (size_t I = 0; I < Assumptions.size(); ++I)
+          if (Assumptions[I] == F) {
+            CoreOut->push_back(LiveIdx[I]);
+            break;
+          }
+      std::sort(CoreOut->begin(), CoreOut->end());
+      CoreOut->erase(std::unique(CoreOut->begin(), CoreOut->end()),
+                     CoreOut->end());
+    }
+    return false;
+  }
+  harvestSatStats();
+  if (ModelOut && !TheoryQuiet) {
     // Gather the theory literals this query's cone implies under the
     // boolean model, in atom creation order (deterministic).
     std::vector<TheoryLit> Lits;
     Lits.reserve(AtomOrder.size());
     for (uint32_t Var : AtomOrder)
-      if (Var < Relevant.size() && Relevant[Var])
+      if (Var < RelevantVars.size() && RelevantVars[Var])
         Lits.push_back(TheoryLit{AtomOfVar.at(Var), Sat.valueOf(Var)});
-    ++Stats.TheoryChecks;
-    std::vector<char> RelevantTerms = relevantTerms(Arena, Lits);
-    if (theoryConsistent(Arena, Lits, RelevantTerms)) {
-      harvestSatStats();
-      if (ModelOut)
-        extractTheoryModel(Arena, Lits, RelevantTerms, *ModelOut);
-      return true;
-    }
-    ++Stats.TheoryConflicts;
-    if (ConflictBudget-- == 0) {
-      // Give up: treat as satisfiable (safe direction for validity). No
-      // model: the literal set is theory-inconsistent, so its valuations
-      // would be misleading.
-      harvestSatStats();
-      return true;
-    }
-    // Minimize the conflicting literal set, then block it. The blocking
-    // clause is theory-valid, so it stays for the whole session.
-    if (Options.MinimizeConflicts)
-      Lits = minimizeTheoryConflict(Arena, std::move(Lits));
-    std::vector<Lit> Blocking;
-    Blocking.reserve(Lits.size());
-    for (const TheoryLit &L : Lits) {
-      uint32_t Var = AtomVars.at(atomKey(L.Atom));
-      Blocking.push_back(Lit(Var, L.Positive));
-    }
-    Sat.addClause(std::move(Blocking));
+    TheorySolver::model(Arena, Lits, relevantTerms(Arena, Lits), *ModelOut);
   }
+  return true;
 }

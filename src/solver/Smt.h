@@ -46,25 +46,47 @@ namespace pec {
 /// core via QuickXplain (Junker 2004) divide-and-conquer: O(k log n)
 /// theory checks for a core of size k, against O(n^2)-ish for greedy
 /// deletion. Precondition: \p Lits is theory-inconsistent. Minimality is
-/// relative to the (conservative) theory oracle, as before.
+/// relative to the (conservative) theory oracle, as before. (Thin wrapper
+/// over minimalTheoryCore with the scratch full-theory oracle.)
 std::vector<TheoryLit> minimizeTheoryConflict(TermArena &Arena,
                                               std::vector<TheoryLit> Lits);
 
 /// One persistent DPLL(T) solving context over a TermArena. Thread
 /// confinement and lifetime follow the owning Atp (docs/PARALLELISM.md).
-class SmtSession {
+///
+/// The session is the SAT core's TheoryClient: each query attaches a fresh
+/// backtrackable TheorySolver, mirrors the boolean trail into it level by
+/// level, runs the cheap congruence fixpoint at every propagation fixpoint
+/// (conflicts become clauses immediately, at the level that caused them),
+/// feeds theory-implied literals back into the trail with lazily
+/// materialized explanations, and runs the complete Nelson-Oppen gate only
+/// on full assignments.
+class SmtSession : public TheoryClient {
 public:
   SmtSession(TermArena &Arena, const AtpOptions &Options, AtpStats &Stats)
-      : Arena(Arena), Options(Options), Stats(Stats) {}
+      : Arena(Arena), Options(Options), Stats(Stats) {
+    Sat.configure(SatConfig{Options.LubyRestartBase, Options.LearntBudget,
+                            Options.LearntBudgetInc});
+  }
 
   /// Is the conjunction of \p Roots satisfiable together with the
   /// session's accumulated (globally valid) clauses? Each root is held by
   /// an assumption literal for this call only, so the answer is exactly
   /// sat(/\ Roots) — earlier queries influence cost, never meaning. On a
   /// satisfiable answer with \p ModelOut set, fills it with the theory
-  /// model over this query's relevant atoms.
+  /// model over this query's relevant atoms. On an unsatisfiable answer
+  /// with \p CoreOut set, fills it with the indices (into \p Roots) of an
+  /// assumption core: those roots alone are already jointly unsatisfiable.
   bool solve(const std::vector<FormulaPtr> &Roots,
-             TheoryModel *ModelOut = nullptr);
+             TheoryModel *ModelOut = nullptr,
+             std::vector<size_t> *CoreOut = nullptr);
+
+  // TheoryClient interface (driven by the SAT core during solve()).
+  void onPush() override;
+  void onPop(uint32_t Levels) override;
+  bool onCheck(const Lit *Begin, const Lit *End, bool Final,
+               std::vector<Lit> &Implied, std::vector<Lit> &Conflict) override;
+  void explainImplied(Lit L, std::vector<Lit> &Reason) override;
 
 private:
   /// A stable identity for an atom: (kind, lhs, rhs).
@@ -130,6 +152,18 @@ private:
   std::unordered_set<TermId> ExpandedArray;
   std::unordered_set<TermId> ExpandedDivMod;
   std::unordered_map<TermId, std::vector<FormulaPtr>> TriggerLemmas;
+
+  // Per-query DPLL(T) state, valid while solve() is on the stack. Th is
+  // the query's backtrackable theory solver; RelevantVars masks the atom
+  // variables in the query cone; TheoryPropMark records, per implied
+  // variable, the theory-trail prefix its lazy explanation draws from.
+  TheorySolver *Th = nullptr;
+  std::vector<char> RelevantVars;
+  std::unordered_map<uint32_t, size_t> TheoryPropMark;
+  uint32_t ConflictBudget = 0;
+  /// Budget exhausted: the client goes inert and answers "consistent"
+  /// blindly — one-sided safe (sat leans toward "not valid") and cheap.
+  bool TheoryQuiet = false;
 
   // Cumulative SAT counters at the last harvest.
   uint64_t LastConflicts = 0, LastDecisions = 0, LastPropagations = 0;

@@ -2,9 +2,10 @@
 
 #include "solver/Theory.h"
 
-#include "solver/Euf.h"
 #include "solver/Lia.h"
+#include "support/Diagnostics.h"
 
+#include <cassert>
 #include <unordered_map>
 
 using namespace pec;
@@ -121,10 +122,6 @@ private:
   std::unordered_map<TermId, uint32_t> Vars;
 };
 
-} // namespace
-
-namespace {
-
 /// Builds a LiaSolver holding the arithmetic consequences of \p Lits plus
 /// the extra equalities \p ExtraEqs (pairs of Int terms).
 void loadLia(TermArena &Arena, const std::vector<TheoryLit> &Lits,
@@ -238,78 +235,234 @@ propagationCandidates(const TermArena &Arena, CongruenceClosure &Cc,
   return Out;
 }
 
+/// Full-theory inconsistency oracle over a scratch solver, with the
+/// relevance mask of the probed literals themselves.
+bool scratchInconsistent(TermArena &Arena, const std::vector<TheoryLit> &Lits) {
+  if (Lits.empty())
+    return false;
+  return !TheorySolver::consistent(Arena, Lits, relevantTerms(Arena, Lits));
+}
+
 } // namespace
 
-bool pec::theoryConsistent(TermArena &Arena,
-                           const std::vector<TheoryLit> &Lits,
-                           const std::vector<char> &Relevant) {
-  // Equalities propagated from LIA back into congruence closure across
-  // rounds of the Nelson-Oppen-style loop below.
-  std::vector<std::pair<TermId, TermId>> PropagatedEqs;
+std::vector<TheoryLit> pec::minimalTheoryCore(
+    const std::vector<TheoryLit> &Lits,
+    const std::function<bool(const std::vector<TheoryLit> &)> &Inconsistent) {
+  if (Lits.size() <= 1)
+    return Lits;
+  // The caller's reasoning may be stronger than the oracle (broader
+  // relevance, accumulated propagations). If the oracle cannot see the
+  // inconsistency at all, minimizing against it would be unsound — fall
+  // back to the full (known-inconsistent) set.
+  if (!Inconsistent(Lits))
+    return Lits;
+  // QuickXplain (Junker 2004): recurse on halves, using what one half
+  // pinned down as background (Delta) for the other. The Delta flag marks
+  // "background changed since the caller checked", which is when testing
+  // the background alone can terminate a branch early.
+  std::vector<TheoryLit> Background;
+  std::function<std::vector<TheoryLit>(bool, const std::vector<TheoryLit> &)>
+      QX = [&](bool HasDelta,
+               const std::vector<TheoryLit> &C) -> std::vector<TheoryLit> {
+    if (HasDelta && Inconsistent(Background))
+      return {};
+    if (C.size() == 1)
+      return C;
+    size_t Half = C.size() / 2;
+    std::vector<TheoryLit> C1(C.begin(), C.begin() + Half);
+    std::vector<TheoryLit> C2(C.begin() + Half, C.end());
+    size_t Mark = Background.size();
+    Background.insert(Background.end(), C1.begin(), C1.end());
+    std::vector<TheoryLit> X2 = QX(true, C2);
+    Background.resize(Mark);
+    Background.insert(Background.end(), X2.begin(), X2.end());
+    std::vector<TheoryLit> X1 = QX(!X2.empty(), C1);
+    Background.resize(Mark);
+    X1.insert(X1.end(), X2.begin(), X2.end());
+    return X1;
+  };
+  return QX(false, Lits);
+}
+
+//===----------------------------------------------------------------------===//
+// TheorySolver
+//===----------------------------------------------------------------------===//
+
+TheorySolver::TheorySolver(TermArena &Arena) : Arena(Arena), Cc(Arena) {}
+
+void TheorySolver::addRelevant(const std::vector<char> &Mask) {
+  if (Relevant.size() < Mask.size())
+    Relevant.resize(Mask.size(), 0);
+  for (size_t I = 0; I < Mask.size(); ++I)
+    if (Mask[I])
+      Relevant[I] = 1;
+  Cc.addRelevant(Mask);
+}
+
+bool TheorySolver::assertLit(const TheoryLit &L) {
+  Trail.push_back(L);
+  if (L.Atom->kind() == FormulaKind::Eq) {
+    if (L.Positive)
+      Cc.addEquality(L.Atom->lhsTerm(), L.Atom->rhsTerm());
+    else
+      Cc.addDisequality(L.Atom->lhsTerm(), L.Atom->rhsTerm());
+    if (Cc.inConflict())
+      Conflicted = true;
+  }
+  return !Conflicted;
+}
+
+void TheorySolver::push() {
+  Frames.push_back(Frame{Trail.size(), PropagatedEqs.size(), Conflicted});
+  Cc.pushState();
+}
+
+void TheorySolver::pop() {
+  assert(!Frames.empty() && "pop without matching push");
+  const Frame F = Frames.back();
+  Frames.pop_back();
+  Cc.popState();
+  Trail.resize(F.TrailSize);
+  PropagatedEqs.resize(F.PropEqSize);
+  Conflicted = F.Conflicted;
+}
+
+bool TheorySolver::checkEuf() {
+  if (Conflicted)
+    return false;
+  if (!Cc.close()) {
+    Conflicted = true;
+    return false;
+  }
+  return true;
+}
+
+bool TheorySolver::checkFull() {
+  if (!checkEuf())
+    return false;
 
   const int MaxRounds = 8;
   for (int Round = 0; Round < MaxRounds; ++Round) {
-    // --- EUF pass ---------------------------------------------------------
-    CongruenceClosure Cc(Arena, Relevant);
-    for (const TheoryLit &L : Lits) {
-      if (L.Atom->kind() != FormulaKind::Eq)
-        continue;
-      if (L.Positive)
-        Cc.addEquality(L.Atom->lhsTerm(), L.Atom->rhsTerm());
-      else
-        Cc.addDisequality(L.Atom->lhsTerm(), L.Atom->rhsTerm());
-    }
-    for (const auto &[A, B] : PropagatedEqs)
-      Cc.addEquality(A, B);
-    if (!Cc.check())
-      return false;
-
     // --- LIA pass ---------------------------------------------------------
     std::vector<std::pair<TermId, TermId>> AllEqs = PropagatedEqs;
     Cc.forEachIntEquality(
         [&](TermId A, TermId B) { AllEqs.emplace_back(A, B); });
 
-    {
-      LiaSolver Lia;
-      Linearizer Lin(Arena, Lia, &Cc);
-      bool AnyArith = false;
-      loadLia(Arena, Lits, AllEqs, Lia, Lin, AnyArith);
-      if (AnyArith && !Lia.isFeasible())
-        return false;
+    LiaSolver Lia;
+    Linearizer Lin(Arena, Lia, &Cc);
+    bool AnyArith = false;
+    loadLia(Arena, Trail, AllEqs, Lia, Lin, AnyArith);
+
+    std::vector<std::pair<TermId, TermId>> Candidates =
+        propagationCandidates(Arena, Cc, Relevant);
+    // Pre-create the LIA variables the probe rows will mention, so every
+    // probe extends the cached base tableau instead of forcing a rebuild.
+    for (const auto &[A, B] : Candidates) {
+      (void)Lin.linearize(A);
+      (void)Lin.linearize(B);
     }
 
-    // --- LIA -> EUF equality propagation ------------------------------------
+    if (AnyArith && !Lia.isFeasible()) {
+      Conflicted = true;
+      return false;
+    }
+
+    // --- LIA -> EUF equality propagation ----------------------------------
     bool Progress = false;
-    for (const auto &[A, B] : propagationCandidates(Arena, Cc, Relevant)) {
-      // Does LIA entail A = B? Check both strict orders infeasible.
+    for (const auto &[A, B] : Candidates) {
+      if (Cc.areEqual(A, B))
+        continue; // Merged via an earlier candidate this round.
+      // Does LIA entail A = B? Check both strict orders infeasible; each
+      // probe pushes one row onto the shared tableau and pops it again.
       bool Entailed = true;
       for (int Dir = 0; Dir < 2 && Entailed; ++Dir) {
-        LiaSolver Lia;
-        Linearizer Lin(Arena, Lia, &Cc);
-        bool AnyArith = false;
-        loadLia(Arena, Lits, AllEqs, Lia, Lin, AnyArith);
+        LiaSolver::Mark M = Lia.mark();
         LinExpr E = Lin.linearize(Dir == 0 ? A : B);
         E -= Lin.linearize(Dir == 0 ? B : A);
         E.Constant += Rational(1); // lhs < rhs as lhs - rhs + 1 <= 0.
         Lia.addLe(E);
         if (Lia.isFeasible())
           Entailed = false;
+        Lia.rollback(M);
       }
       if (Entailed) {
         PropagatedEqs.emplace_back(A, B);
+        Cc.addEquality(A, B);
         Progress = true;
       }
     }
     if (!Progress)
       return true;
+    // Absorb the propagated equalities before the next round.
+    if (!Cc.close()) {
+      Conflicted = true;
+      return false;
+    }
   }
   return true; // Round limit: conservative "consistent".
 }
 
-bool pec::extractTheoryModel(TermArena &Arena,
-                             const std::vector<TheoryLit> &Lits,
-                             const std::vector<char> &Relevant,
-                             TheoryModel &Out) {
+int TheorySolver::impliedPolarity(const FormulaPtr &Atom) {
+  if (Conflicted || Atom->kind() != FormulaKind::Eq)
+    return 0;
+  TermId L = Atom->lhsTerm(), R = Atom->rhsTerm();
+  if (Cc.areEqual(L, R))
+    return 1;
+  if (Cc.mustDiffer(L, R))
+    return -1;
+  return 0;
+}
+
+void TheorySolver::propagate(const std::vector<FormulaPtr> &Candidates,
+                             std::vector<TheoryLit> &Implied) {
+  for (const FormulaPtr &Atom : Candidates) {
+    int Pol = impliedPolarity(Atom);
+    if (Pol != 0)
+      Implied.push_back(TheoryLit{Atom, Pol > 0});
+  }
+}
+
+std::vector<TheoryLit> TheorySolver::explain(const TheoryLit &L,
+                                             size_t Prefix) {
+  assert(Prefix <= Trail.size());
+  std::vector<TheoryLit> Base(Trail.begin(),
+                              Trail.begin() + static_cast<long>(Prefix));
+  Base.push_back(TheoryLit{L.Atom, !L.Positive});
+  std::vector<TheoryLit> Core =
+      minimalTheoryCore(Base, [this](const std::vector<TheoryLit> &Ls) {
+        return scratchInconsistent(Arena, Ls);
+      });
+  // Drop the flipped literal we injected: the caller rebuilds the reason
+  // clause as L itself plus the negations of the returned set.
+  std::vector<TheoryLit> Out;
+  Out.reserve(Core.size());
+  for (const TheoryLit &C : Core)
+    if (!(C.Atom.get() == L.Atom.get() && C.Positive == !L.Positive))
+      Out.push_back(C);
+  return Out;
+}
+
+std::vector<TheoryLit> TheorySolver::conflictCore(bool Minimize) {
+  if (!Minimize)
+    return Trail;
+  return minimalTheoryCore(Trail, [this](const std::vector<TheoryLit> &Ls) {
+    return scratchInconsistent(Arena, Ls);
+  });
+}
+
+bool TheorySolver::consistent(TermArena &Arena,
+                              const std::vector<TheoryLit> &Lits,
+                              const std::vector<char> &Relevant) {
+  TheorySolver S(Arena);
+  S.addRelevant(Relevant);
+  for (const TheoryLit &L : Lits)
+    if (!S.assertLit(L))
+      return false;
+  return S.checkFull();
+}
+
+bool TheorySolver::model(TermArena &Arena, const std::vector<TheoryLit> &Lits,
+                         const std::vector<char> &Relevant, TheoryModel &Out) {
   Out = TheoryModel();
 
   CongruenceClosure Cc(Arena, Relevant);

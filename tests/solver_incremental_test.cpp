@@ -1,0 +1,351 @@
+//===- solver_incremental_test.cpp - Backtrackable theory + unsat cores ---------===//
+//
+// The acceptance bar for the online DPLL(T) rework:
+//
+//   * differential fuzz of the backtrackable TheorySolver against
+//     from-scratch re-solves of the same trail (push/assert/pop scripts
+//     with fixed seeds);
+//   * theory propagation is entailment-sound and explain() reproduces a
+//     valid reason set;
+//   * assumption-level unsat cores are sound (the named formulas alone
+//     stay unsat) and, under MinimizeCore, 1-minimal (dropping any single
+//     element is satisfiable);
+//   * MiniSat-style failedAssumptions at the SAT level;
+//   * core contents are deterministic under concurrent identical queries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Atp.h"
+#include "solver/Sat.h"
+#include "solver/Theory.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+using namespace pec;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Incremental-vs-fresh differential fuzz
+//===----------------------------------------------------------------------===//
+
+/// A pool of atomic formulas over a few Int constants and one UF layer,
+/// rich enough to exercise EUF, LIA, and their equality exchange.
+struct AtomPool {
+  TermArena &A;
+  std::vector<FormulaPtr> Atoms;
+  std::vector<char> Mask; ///< Relevance over every pool atom.
+
+  explicit AtomPool(TermArena &A) : A(A) {
+    std::vector<TermId> Terms;
+    for (int I = 0; I < 4; ++I)
+      Terms.push_back(
+          A.mkSymConst(Symbol::get("v" + std::to_string(I)), Sort::Int));
+    size_t NumVars = Terms.size();
+    for (size_t I = 0; I < NumVars; ++I)
+      Terms.push_back(A.mkApply(Symbol::get("uf"), {Terms[I]}, Sort::Int));
+    Terms.push_back(A.mkInt(0));
+    Terms.push_back(A.mkInt(1));
+    for (size_t I = 0; I < Terms.size(); ++I) {
+      for (size_t K = I + 1; K < Terms.size(); ++K) {
+        for (FormulaPtr F : {Formula::mkEq(A, Terms[I], Terms[K]),
+                             Formula::mkLe(A, Terms[I], Terms[K]),
+                             Formula::mkLt(A, Terms[K], Terms[I])}) {
+          // mk* constant-folds trivial atoms; only real atoms are
+          // assertable theory literals.
+          if (F->kind() == FormulaKind::Eq || F->kind() == FormulaKind::Le ||
+              F->kind() == FormulaKind::Lt)
+            Atoms.push_back(std::move(F));
+        }
+      }
+    }
+    std::vector<TheoryLit> All;
+    All.reserve(Atoms.size());
+    for (const FormulaPtr &F : Atoms)
+      All.push_back(TheoryLit{F, true});
+    Mask = relevantTerms(A, All);
+  }
+};
+
+TEST(TheoryIncremental, RandomScriptsMatchFreshSolves) {
+  TermArena A;
+  AtomPool Pool(A);
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    std::mt19937_64 Rng(0xfeedULL * 1000 + Seed);
+    TheorySolver S(A);
+    S.addRelevant(Pool.Mask);
+    // Shadow trail mirroring what S has absorbed, with level boundaries.
+    std::vector<TheoryLit> Shadow;
+    std::vector<size_t> Levels;
+    for (int Op = 0; Op < 60; ++Op) {
+      unsigned R = Rng() % 10;
+      if (R < 2) {
+        S.push();
+        Levels.push_back(Shadow.size());
+      } else if (R < 4) {
+        if (!Levels.empty()) {
+          S.pop();
+          Shadow.resize(Levels.back());
+          Levels.pop_back();
+        }
+      } else {
+        TheoryLit L{Pool.Atoms[Rng() % Pool.Atoms.size()], (Rng() & 1) != 0};
+        S.assertLit(L);
+        Shadow.push_back(L);
+      }
+      ASSERT_EQ(S.numLevels(), Levels.size());
+      ASSERT_EQ(S.trail().size(), Shadow.size());
+      // The incremental full check must agree with a from-scratch solve
+      // of the shadow trail under the same relevance mask.
+      bool Incremental = S.checkFull();
+      bool Fresh = TheorySolver::consistent(A, Shadow, Pool.Mask);
+      ASSERT_EQ(Incremental, Fresh)
+          << "seed " << Seed << " op " << Op << " trail " << Shadow.size();
+      ASSERT_EQ(S.inConflict(), !Fresh);
+    }
+  }
+}
+
+TEST(TheoryIncremental, PopRestoresPreConflictState) {
+  TermArena A;
+  TermId X = A.mkSymConst(Symbol::get("x"), Sort::Int);
+  TermId Y = A.mkSymConst(Symbol::get("y"), Sort::Int);
+  std::vector<TheoryLit> All{{Formula::mkEq(A, X, Y), true},
+                             {Formula::mkEq(A, X, Y), false}};
+  TheorySolver S(A);
+  S.addRelevant(relevantTerms(A, All));
+  ASSERT_TRUE(S.assertLit(All[0]));
+  ASSERT_TRUE(S.checkEuf());
+  S.push();
+  S.assertLit(All[1]); // x = y and x != y: conflict at level 1.
+  EXPECT_FALSE(S.checkEuf());
+  EXPECT_TRUE(S.inConflict());
+  S.pop(); // The conflict was caused at the popped level: it unlatches.
+  EXPECT_FALSE(S.inConflict());
+  EXPECT_TRUE(S.checkFull());
+  EXPECT_EQ(S.trail().size(), 1u);
+}
+
+TEST(TheoryIncremental, PropagationIsEntailedAndExplained) {
+  TermArena A;
+  TermId X = A.mkSymConst(Symbol::get("x"), Sort::Int);
+  TermId Y = A.mkSymConst(Symbol::get("y"), Sort::Int);
+  TermId Z = A.mkSymConst(Symbol::get("z"), Sort::Int);
+  FormulaPtr Xy = Formula::mkEq(A, X, Y);
+  FormulaPtr Yz = Formula::mkEq(A, Y, Z);
+  FormulaPtr Xz = Formula::mkEq(A, X, Z);
+  std::vector<TheoryLit> All{{Xy, true}, {Yz, true}, {Xz, true}};
+  TheorySolver S(A);
+  S.addRelevant(relevantTerms(A, All));
+  S.assertLit({Xy, true});
+  S.push();
+  S.assertLit({Yz, true});
+  ASSERT_TRUE(S.checkEuf());
+
+  // x=y, y=z |= x=z, discovered both by polling and by batch propagate().
+  EXPECT_EQ(S.impliedPolarity(Xz), 1);
+  std::vector<TheoryLit> Implied;
+  S.propagate({Xz}, Implied);
+  ASSERT_EQ(Implied.size(), 1u);
+  EXPECT_TRUE(Implied[0].Positive);
+
+  // The lazy explanation draws only from the trail prefix and is itself
+  // theory-valid: explanation /\ !L must be inconsistent.
+  std::vector<TheoryLit> Reason =
+      S.explain({Xz, true}, S.trail().size());
+  ASSERT_FALSE(Reason.empty());
+  std::vector<TheoryLit> Check = Reason;
+  Check.push_back({Xz, false});
+  EXPECT_FALSE(TheorySolver::consistent(A, Check, relevantTerms(A, Check)));
+
+  // After popping the y=z level the entailment is gone.
+  S.pop();
+  EXPECT_EQ(S.impliedPolarity(Xz), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Assumption-level unsat cores
+//===----------------------------------------------------------------------===//
+
+/// Builds the shared four-assumption instance: assumptions 1..3 form the
+/// real contradiction, 0 and 4 are chaff.
+AtpQuery coreQuery(TermArena &A, bool Minimize) {
+  TermId X = A.mkSymConst(Symbol::get("x"), Sort::Int);
+  TermId Y = A.mkSymConst(Symbol::get("y"), Sort::Int);
+  TermId Z = A.mkSymConst(Symbol::get("z"), Sort::Int);
+  TermId W = A.mkSymConst(Symbol::get("w"), Sort::Int);
+  AtpQuery Q = AtpQuery::assumptions(
+      Formula::mkLe(A, A.mkInt(0), W), // Satisfiable prelude.
+      {Formula::mkLe(A, W, A.mkInt(5)),
+       Formula::mkLe(A, X, Y),
+       Formula::mkLe(A, Y, Z),
+       Formula::mkLe(A, Z, A.mkSub(X, A.mkInt(1))),
+       Formula::mkEq(A, W, A.mkInt(3))},
+      /*WantCore=*/true, Minimize);
+  return Q;
+}
+
+/// Materializes the conjunction named by \p Core (0 = prelude, i >= 1 =
+/// Assumptions[i-1]).
+FormulaPtr coreConjunction(const AtpQuery &Q, const std::vector<size_t> &Core) {
+  std::vector<FormulaPtr> Fs;
+  for (size_t Idx : Core)
+    Fs.push_back(Idx == 0 ? Q.Prelude : Q.Assumptions[Idx - 1]);
+  return Formula::mkAnd(std::move(Fs));
+}
+
+TEST(AssumptionCores, CoreIsSoundAndSkipsChaff) {
+  TermArena A;
+  Atp Prover(A);
+  AtpQuery Q = coreQuery(A, /*Minimize=*/false);
+  AtpResult R = Prover.query(Q);
+  EXPECT_FALSE(R.Verdict);
+  ASSERT_TRUE(R.HasCore);
+  ASSERT_FALSE(R.Core.empty());
+  // Soundness: the named formulas alone are jointly unsatisfiable.
+  EXPECT_FALSE(Prover.query(
+                       AtpQuery::satisfiability(coreConjunction(Q, R.Core)))
+                   .Verdict);
+  EXPECT_EQ(Prover.stats().AssumptionCores, 1u);
+  EXPECT_EQ(Prover.stats().CoreLiterals, R.Core.size());
+}
+
+TEST(AssumptionCores, MinimizedCoreIsOneMinimal) {
+  TermArena A;
+  Atp Prover(A);
+  AtpQuery Q = coreQuery(A, /*Minimize=*/true);
+  AtpResult R = Prover.query(Q);
+  EXPECT_FALSE(R.Verdict);
+  ASSERT_TRUE(R.HasCore);
+  // The x<=y<=z<=x-1 chain is the unique minimal core here.
+  EXPECT_EQ(R.Core, (std::vector<size_t>{2, 3, 4}));
+  // 1-minimality, checked semantically: every proper deletion is SAT.
+  for (size_t I = 0; I < R.Core.size(); ++I) {
+    std::vector<size_t> Without;
+    for (size_t K = 0; K < R.Core.size(); ++K)
+      if (K != I)
+        Without.push_back(R.Core[K]);
+    EXPECT_TRUE(Prover.query(AtpQuery::satisfiability(
+                                 coreConjunction(Q, Without)))
+                    .Verdict)
+        << "core element " << R.Core[I] << " is redundant";
+  }
+}
+
+TEST(AssumptionCores, FalsePreludeBlamesThePrelude) {
+  TermArena A;
+  Atp Prover(A);
+  TermId X = A.mkSymConst(Symbol::get("x"), Sort::Int);
+  AtpQuery Q = AtpQuery::assumptions(
+      Formula::mkAnd(Formula::mkLe(A, X, A.mkInt(0)),
+                     Formula::mkLe(A, A.mkInt(1), X)),
+      {Formula::mkEq(A, X, X)}, /*WantCore=*/true, /*MinimizeCore=*/true);
+  AtpResult R = Prover.query(Q);
+  EXPECT_FALSE(R.Verdict);
+  ASSERT_TRUE(R.HasCore);
+  EXPECT_EQ(R.Core, std::vector<size_t>{0});
+}
+
+TEST(AssumptionCores, SessionStaysUsableAfterUnsat) {
+  TermArena A;
+  Atp Prover(A);
+  AtpQuery Q = coreQuery(A, /*Minimize=*/true);
+  EXPECT_FALSE(Prover.query(Q).Verdict);
+  // Retraction by omission: dropping the chain's last link is SAT on the
+  // same persistent session.
+  AtpQuery Relaxed = Q;
+  Relaxed.Assumptions.erase(Relaxed.Assumptions.begin() + 3);
+  Relaxed.WantCore = Relaxed.MinimizeCore = false;
+  EXPECT_TRUE(Prover.query(Relaxed).Verdict);
+  // And the original contradiction still answers unsat afterwards.
+  EXPECT_FALSE(Prover.query(Q).Verdict);
+}
+
+//===----------------------------------------------------------------------===//
+// SAT-level failed assumptions
+//===----------------------------------------------------------------------===//
+
+TEST(FailedAssumptions, NamesOnlyConflictingAssumptions) {
+  SatSolver S;
+  uint32_t Va = S.newVar(), Vb = S.newVar(), Vc = S.newVar();
+  S.addClause({Lit(Va, false), Lit(Vb, false)}); // a \/ b
+  // Assume !a, !b (contradiction) plus irrelevant !c.
+  ASSERT_EQ(S.solve({Lit(Vc, true), Lit(Va, true), Lit(Vb, true)}),
+            SatResult::Unsat);
+  const std::vector<Lit> &Failed = S.failedAssumptions();
+  ASSERT_FALSE(Failed.empty());
+  for (Lit L : Failed)
+    EXPECT_TRUE(L == Lit(Va, true) || L == Lit(Vb, true))
+        << "irrelevant assumption " << L.var() << " blamed";
+  // The instance is not poisoned: dropping one culprit is satisfiable.
+  EXPECT_EQ(S.solve({Lit(Vc, true), Lit(Va, true)}), SatResult::Sat);
+  EXPECT_TRUE(S.okay());
+}
+
+TEST(FailedAssumptions, RootContradictionYieldsEmptyCore) {
+  SatSolver S;
+  uint32_t Va = S.newVar();
+  S.addClause({Lit(Va, false)});
+  S.addClause({Lit(Va, true)});
+  EXPECT_EQ(S.solve({Lit(S.newVar(), false)}), SatResult::Unsat);
+  EXPECT_TRUE(S.failedAssumptions().empty());
+  EXPECT_FALSE(S.okay());
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism and the propagation ablation
+//===----------------------------------------------------------------------===//
+
+TEST(AssumptionCores, CoreContentsAreScheduleIndependent) {
+  // N identical queries raced on N threads (private arena + Atp each, as
+  // the parallel prover does) must produce byte-identical cores.
+  constexpr int N = 8;
+  std::vector<std::vector<size_t>> Cores(N);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < N; ++T)
+    Threads.emplace_back([&Cores, T] {
+      TermArena A;
+      Atp Prover(A);
+      Cores[T] = Prover.query(coreQuery(A, /*Minimize=*/true)).Core;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int T = 1; T < N; ++T)
+    EXPECT_EQ(Cores[T], Cores[0]) << "thread " << T;
+}
+
+TEST(TheoryPropagation, AblationPreservesVerdicts) {
+  // Propagation ON vs OFF is a completeness/latency trade, never a
+  // soundness one: verdicts must match on a differential sample.
+  for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+    TermArena A;
+    AtomPool Pool(A);
+    std::mt19937_64 Rng(0xab5eedULL + Seed);
+    std::vector<FormulaPtr> Cs;
+    for (int I = 0; I < 12; ++I) {
+      FormulaPtr F = Pool.Atoms[Rng() % Pool.Atoms.size()];
+      if (Rng() & 1)
+        F = Formula::mkNot(F);
+      if (Rng() % 3 == 0) {
+        FormulaPtr G = Pool.Atoms[Rng() % Pool.Atoms.size()];
+        F = Formula::mkOr(F, G);
+      }
+      Cs.push_back(std::move(F));
+    }
+    FormulaPtr Query = Formula::mkAnd(std::move(Cs));
+
+    AtpOptions On, Off;
+    Off.TheoryPropagation = false;
+    // Sharing the arena is fine: both provers run sequentially here.
+    Atp P1(A, On), P2(A, Off);
+    bool V1 = P1.query(AtpQuery::satisfiability(Query)).Verdict;
+    bool V2 = P2.query(AtpQuery::satisfiability(Query)).Verdict;
+    EXPECT_EQ(V1, V2) << "seed " << Seed;
+    EXPECT_EQ(P2.stats().TheoryPropagations, 0u);
+  }
+}
+
+} // namespace

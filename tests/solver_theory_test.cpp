@@ -259,7 +259,7 @@ TEST_F(StoreTheoryTest, DeepStoreChainNormalization) {
 /// True iff \p Lits is inconsistent for the theory oracle (the same check
 /// minimizeTheoryConflict minimizes against).
 bool inconsistent(TermArena &A, const std::vector<TheoryLit> &Lits) {
-  return !theoryConsistent(A, Lits, relevantTerms(A, Lits));
+  return !TheorySolver::consistent(A, Lits, relevantTerms(A, Lits));
 }
 
 /// Asserts the QuickXplain contract on \p Core: still inconsistent, drawn
