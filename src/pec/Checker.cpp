@@ -513,6 +513,14 @@ private:
           for (size_t Idx : Res.Core)
             if (Idx >= 1)
               CoreTargets[CI].push_back(C.Responses[Idx - 1].Target);
+        } else {
+          // The old proof (and its core) is invalidated. The constraint is
+          // about to be retired by strengthening its source, which makes
+          // its validity depend on *all* of its response targets again —
+          // a stale core here would unsoundly skip the re-check when a
+          // target outside it is strengthened later.
+          CoreKnown[CI] = 0;
+          CoreTargets[CI].clear();
         }
       }
       if (Holds)

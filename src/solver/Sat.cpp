@@ -423,9 +423,14 @@ int32_t SatSolver::reasonFor(uint32_t Var) {
         MaxIdx = I;
     std::swap(Reason[1], Reason[MaxIdx]);
   }
-  // The explanation is theory-valid, hence a permanent (non-learnt) clause.
-  Clauses.push_back(Clause{std::move(Reason), 0, false, false});
+  // The explanation is theory-valid and re-derivable, so it enters the
+  // database as a learnt clause: while the implied literal is assigned
+  // with this clause as its reason, reduceDB's lock check keeps it alive;
+  // afterwards it is reclaimable, bounding growth on persistent sessions.
+  uint32_t Lbd = computeLbd(Reason);
+  Clauses.push_back(Clause{std::move(Reason), Lbd, true, false});
   int32_t Idx = static_cast<int32_t>(Clauses.size() - 1);
+  ++LiveLearnts;
   if (Clauses[Idx].Lits.size() >= 2)
     attach(static_cast<uint32_t>(Idx));
   VarReason[Var] = Idx;
@@ -444,42 +449,13 @@ int32_t SatSolver::theoryCheck(bool Final) {
 
   if (!Ok) {
     // Negate the conflicting (currently true) literals into a clause.
-    // Literals true at level 0 are dropped: their negations are
-    // permanently false and can never satisfy the clause.
     std::vector<Lit> CLits;
-    uint32_t MaxLevel = 0;
+    CLits.reserve(TheoryConflict.size());
     for (Lit L : TheoryConflict) {
       assert(litValue(L) == LBool::True && "conflict literal not true");
-      if (VarLevel[L.var()] == 0)
-        continue;
       CLits.push_back(~L);
-      MaxLevel = std::max(MaxLevel, VarLevel[L.var()]);
     }
-    if (CLits.empty()) {
-      Unsatisfiable = true; // Root-level facts alone are inconsistent.
-      return -2;
-    }
-    if (CLits.size() == 1) {
-      addClause(std::move(CLits)); // Backtracks to 0 and enqueues the unit.
-      return Unsatisfiable ? -2 : -3;
-    }
-    // Make the clause's deepest literals current, then hand it to the
-    // normal first-UIP analysis as a conflicting clause.
-    backtrack(MaxLevel);
-    size_t Top = 0;
-    for (size_t I = 1; I < CLits.size(); ++I)
-      if (VarLevel[CLits[I].var()] > VarLevel[CLits[Top].var()])
-        Top = I;
-    std::swap(CLits[0], CLits[Top]);
-    size_t Second = 1;
-    for (size_t I = 2; I < CLits.size(); ++I)
-      if (VarLevel[CLits[I].var()] > VarLevel[CLits[Second].var()])
-        Second = I;
-    std::swap(CLits[1], CLits[Second]);
-    Clauses.push_back(Clause{std::move(CLits), 0, false, false});
-    uint32_t Idx = static_cast<uint32_t>(Clauses.size() - 1);
-    attach(Idx);
-    return static_cast<int32_t>(Idx);
+    return conflictFromFalsifiedClause(std::move(CLits));
   }
 
   bool Enqueued = false;
@@ -487,11 +463,67 @@ int32_t SatSolver::theoryCheck(bool Final) {
     LBool V = litValue(L);
     if (V == LBool::True)
       continue; // Raced with boolean propagation: already there.
-    assert(V == LBool::Undef && "theory implied an already-false literal");
+    if (V == LBool::False) {
+      // The client implied a literal the boolean trail already falsified
+      // (e.g. an out-of-sync relevance mask). Its explanation clause is
+      // then fully falsified: hand it to conflict analysis instead of
+      // double-assigning the variable. Any remaining implied literals are
+      // dropped; the client re-derives them after backtracking.
+      std::vector<Lit> Reason;
+      Theory->explainImplied(L, Reason);
+      assert(!Reason.empty() && Reason[0] == L &&
+             "theory explanation must start with the implied literal");
+      return conflictFromFalsifiedClause(std::move(Reason));
+    }
     enqueue(L, ReasonTheory);
     Enqueued = true;
   }
   return Enqueued ? -3 : -1;
+}
+
+int32_t SatSolver::conflictFromFalsifiedClause(std::vector<Lit> CLits) {
+  // Literals false at level 0 are dropped: they can never satisfy the
+  // clause.
+  size_t Kept = 0;
+  uint32_t MaxLevel = 0;
+  for (Lit L : CLits) {
+    assert(litValue(L) == LBool::False && "lemma literal not false");
+    if (VarLevel[L.var()] == 0)
+      continue;
+    MaxLevel = std::max(MaxLevel, VarLevel[L.var()]);
+    CLits[Kept++] = L;
+  }
+  CLits.resize(Kept);
+  if (CLits.empty()) {
+    Unsatisfiable = true; // Root-level facts alone are inconsistent.
+    return -2;
+  }
+  if (CLits.size() == 1) {
+    addClause(std::move(CLits)); // Backtracks to 0 and enqueues the unit.
+    return Unsatisfiable ? -2 : -3;
+  }
+  // Make the clause's deepest literals current, then hand it to the
+  // normal first-UIP analysis as a conflicting clause.
+  backtrack(MaxLevel);
+  size_t Top = 0;
+  for (size_t I = 1; I < CLits.size(); ++I)
+    if (VarLevel[CLits[I].var()] > VarLevel[CLits[Top].var()])
+      Top = I;
+  std::swap(CLits[0], CLits[Top]);
+  size_t Second = 1;
+  for (size_t I = 2; I < CLits.size(); ++I)
+    if (VarLevel[CLits[I].var()] > VarLevel[CLits[Second].var()])
+      Second = I;
+  std::swap(CLits[1], CLits[Second]);
+  // The theory can re-derive its lemmas on demand, so the clause goes in
+  // as learnt: reduceDB may reclaim it once it is not locked as a reason,
+  // which keeps the persistent session's database bounded.
+  uint32_t Lbd = computeLbd(CLits);
+  Clauses.push_back(Clause{std::move(CLits), Lbd, true, false});
+  uint32_t Idx = static_cast<uint32_t>(Clauses.size() - 1);
+  ++LiveLearnts;
+  attach(Idx);
+  return static_cast<int32_t>(Idx);
 }
 
 void SatSolver::analyzeFinal(Lit FailedAssumption, std::vector<Lit> &Out) {

@@ -188,6 +188,11 @@ private:
   /// new), or -2 (root-level contradiction; Unsatisfiable is set), or -3
   /// (implied literals were enqueued / state changed: re-run propagation).
   int32_t theoryCheck(bool Final);
+  /// Installs a theory lemma whose literals are all currently false as a
+  /// conflicting learnt clause, backtracking so its deepest literals are
+  /// current. Same return convention as theoryCheck: a clause index to
+  /// analyze, or -2 (root-level contradiction), or -3 (state changed).
+  int32_t conflictFromFalsifiedClause(std::vector<Lit> CLits);
   /// MiniSat-style final-conflict analysis: which assumptions forced the
   /// falsification of \p FailedAssumption.
   void analyzeFinal(Lit FailedAssumption, std::vector<Lit> &Out);

@@ -214,6 +214,66 @@ TEST(SatSolverTest, ClauseDatabaseReductionDeletesLearnts) {
   EXPECT_LT(S.numDeletedClauses(), S.numLearnedClauses());
 }
 
+//===----------------------------------------------------------------------===//
+// DPLL(T) theory-client edge cases
+//===----------------------------------------------------------------------===//
+
+/// A deliberately out-of-sync client: whenever its view of the trail
+/// contains A it implies X with explanation (X | ~A) — even when boolean
+/// propagation has already falsified X. The solver must turn the falsified
+/// explanation into a conflict clause, not double-assign the variable.
+class ImpliesFalsifiedClient : public TheoryClient {
+public:
+  ImpliesFalsifiedClient(Lit A, Lit X) : A(A), X(X) {}
+
+  void onPush() override { Levels.push_back(Trail.size()); }
+  void onPop(uint32_t N) override {
+    Trail.resize(Levels[Levels.size() - N]);
+    Levels.resize(Levels.size() - N);
+  }
+  bool onCheck(const Lit *Begin, const Lit *End, bool,
+               std::vector<Lit> &Implied, std::vector<Lit> &) override {
+    Trail.insert(Trail.end(), Begin, End);
+    for (Lit L : Trail)
+      if (L == A) {
+        Implied.push_back(X);
+        break;
+      }
+    return true;
+  }
+  void explainImplied(Lit L, std::vector<Lit> &Reason) override {
+    EXPECT_EQ(L.Encoded, X.Encoded);
+    Reason = {X, ~A};
+  }
+
+private:
+  Lit A, X;
+  std::vector<Lit> Trail;
+  std::vector<size_t> Levels;
+};
+
+TEST(SatSolverTest, TheoryImpliedLiteralAlreadyFalseBecomesConflict) {
+  // (~a | ~x) propagates ~x once a is assumed; the client then implies x,
+  // whose explanation (x | ~a) is fully falsified. The solver must answer
+  // Unsat under the assumption with a as the failed core, and the instance
+  // must stay usable afterwards.
+  SatSolver S;
+  uint32_t A = S.newVar(), X = S.newVar();
+  S.addClause({neg(A), neg(X)});
+  ImpliesFalsifiedClient Client(pos(A), pos(X));
+  S.setTheory(&Client);
+
+  EXPECT_EQ(S.solve({pos(A)}), SatResult::Unsat);
+  EXPECT_TRUE(S.okay()) << "theory conflict under an assumption must not "
+                           "be recorded as a root-level contradiction";
+  ASSERT_EQ(S.failedAssumptions().size(), 1u);
+  EXPECT_EQ(S.failedAssumptions()[0].Encoded, pos(A).Encoded);
+
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_FALSE(S.valueOf(A));
+  S.setTheory(nullptr);
+}
+
 TEST(SatSolverTest, SolvingIsDeterministic) {
   // Two identical instances must take the identical search path: the
   // heap tie-break and deterministic reduction make every statistic
