@@ -56,17 +56,21 @@ inline TelemetryArgs stripTelemetryArgs(int &argc, char **argv) {
 }
 
 /// Writes the accumulated trace, if one was requested. Call after
-/// `benchmark::RunSpecifiedBenchmarks`.
-inline void finishTelemetry(const TelemetryArgs &Args) {
+/// `benchmark::RunSpecifiedBenchmarks`. Returns false when the requested
+/// trace could not be written — callers must exit nonzero so a missing
+/// artifact never looks like a successful run.
+inline bool finishTelemetry(const TelemetryArgs &Args) {
   if (Args.TracePath.empty())
-    return;
+    return true;
   telemetry::setEnabled(false);
-  if (telemetry::writeChromeTrace(Args.TracePath))
+  if (telemetry::writeChromeTrace(Args.TracePath)) {
     std::fprintf(stderr, "pec trace written to %s\n",
                  Args.TracePath.c_str());
-  else
-    std::fprintf(stderr, "warning: cannot write pec trace to '%s'\n",
-                 Args.TracePath.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "error: cannot write pec trace to '%s'\n",
+               Args.TracePath.c_str());
+  return false;
 }
 
 } // namespace bench
@@ -82,8 +86,7 @@ inline void finishTelemetry(const TelemetryArgs &Args) {
       return 1;                                                             \
     benchmark::RunSpecifiedBenchmarks();                                    \
     benchmark::Shutdown();                                                  \
-    pec::bench::finishTelemetry(PecArgs);                                   \
-    return 0;                                                               \
+    return pec::bench::finishTelemetry(PecArgs) ? 0 : 1;                    \
   }                                                                         \
   int main(int, char **)
 

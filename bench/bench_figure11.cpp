@@ -19,7 +19,7 @@
 //
 // Extra flags (stripped before google-benchmark sees them):
 //
-//   --pec-json=FILE   write a pec-report-v3 JSON of the suite to FILE —
+//   --pec-json=FILE   write a pec-report-v4 JSON of the suite to FILE —
 //                     the schema-stable document committed as
 //                     BENCH_figure11.json (generated at --jobs 1, the
 //                     scheduling-independent configuration)
@@ -32,6 +32,7 @@
 #include "pec/Pec.h"
 #include "pec/Report.h"
 #include "solver/AtpCache.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
@@ -194,11 +195,13 @@ void BM_ProveOptimization(benchmark::State &State, const OptEntry &Entry) {
   State.counters["proved"] = Last.Proved ? 1 : 0;
 }
 
-/// Writes the pec-report-v3 JSON for the whole suite (one entry per
+/// Writes the pec-report-v4 JSON for the whole suite (one entry per
 /// rule, like `pec prove-suite --jobs 1 --report json`) to \p Path. The
 /// committed baseline is generated at jobs 1 so its per-rule numbers do
-/// not depend on the core count of the generating machine.
-void writeSuiteReport(const std::string &Path) {
+/// not depend on the core count of the generating machine. Returns false
+/// (after a diagnostic) when the file cannot be written — the caller must
+/// exit nonzero rather than silently drop the artifact.
+bool writeSuiteReport(const std::string &Path) {
   SuiteRun Run = runSuite(1);
   RunInfo Info;
   Info.Jobs = 1;
@@ -206,16 +209,22 @@ void writeSuiteReport(const std::string &Path) {
   Info.WallSeconds = Run.WallSeconds;
   Info.CacheEnabled = true;
   Info.Cache = Run.Cache;
+  Info.Metrics = pec::metrics::snapshot();
   std::string Doc = renderJsonReport("bench_figure11", Run.Reports, &Info);
   FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out) {
     std::fprintf(stderr, "error: cannot write report to '%s'\n",
                  Path.c_str());
-    return;
+    return false;
   }
-  std::fwrite(Doc.data(), 1, Doc.size(), Out);
+  size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), Out);
   std::fclose(Out);
+  if (Written != Doc.size()) {
+    std::fprintf(stderr, "error: short write to '%s'\n", Path.c_str());
+    return false;
+  }
   std::fprintf(stderr, "pec report written to %s\n", Path.c_str());
+  return true;
 }
 
 } // namespace
@@ -225,8 +234,8 @@ int main(int argc, char **argv) {
       pec::bench::stripTelemetryArgs(argc, argv);
   printTable();
   printParallelSummary();
-  if (!PecArgs.JsonPath.empty())
-    writeSuiteReport(PecArgs.JsonPath);
+  if (!PecArgs.JsonPath.empty() && !writeSuiteReport(PecArgs.JsonPath))
+    return 1;
   benchmark::RegisterBenchmark("figure11_suite/jobs", BM_ProveSuite)
       ->Arg(1)
       ->Arg(4)
@@ -236,6 +245,5 @@ int main(int argc, char **argv) {
                                  BM_ProveOptimization, Entry);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  pec::bench::finishTelemetry(PecArgs);
-  return 0;
+  return pec::bench::finishTelemetry(PecArgs) ? 0 : 1;
 }

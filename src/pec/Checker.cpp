@@ -6,6 +6,7 @@
 #include "logic/SymExec.h"
 #include "pec/Correlate.h"
 #include "solver/Clone.h"
+#include "support/Metrics.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
@@ -382,6 +383,7 @@ private:
   void waveFilter(std::deque<size_t> &Worklist, std::vector<char> &InWorklist,
                   const std::vector<char> &Requeued) {
     std::vector<size_t> Wave(Worklist.begin(), Worklist.end());
+    metrics::record(metrics::Hist::WaveWidth, Wave.size());
     Worklist.clear();
     // Obligations are built up front on this thread: the rule's shared
     // TermArena is single-thread confined.

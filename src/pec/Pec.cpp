@@ -7,6 +7,9 @@
 #include "pec/Explain.h"
 #include "pec/Facts.h"
 #include "pec/Permute.h"
+#include "support/FlightRecorder.h"
+#include "support/Log.h"
+#include "support/Metrics.h"
 #include "support/Telemetry.h"
 
 #include <chrono>
@@ -29,6 +32,9 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
 
   telemetry::Span RuleSpan("pec.proveRule");
   RuleSpan.arg("rule", R.Name);
+  flight::Span FlightSpan("pec.proveRule");
+  log::Scope RuleScope("rule", R.Name);
+  log::debug("rule.start");
 
   TermArena Arena;
   Atp Prover(Arena, Options.Atp);
@@ -39,9 +45,20 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
     Result.Atp = Prover.stats();
     Result.AtpQueries = Result.Atp.Queries;
     Result.Seconds = secondsSince(Start);
+    metrics::record(metrics::Hist::RuleProveUs,
+                    static_cast<uint64_t>(Result.Seconds * 1e6));
     if (!Result.Proved && !Result.FailureReason.empty())
       telemetry::instant("pec.notProved", "pec",
                          R.Name + ": " + Result.FailureReason);
+    if (Result.Proved)
+      log::debug("rule.proved")
+          .num("queries", Result.AtpQueries)
+          .real("seconds", Result.Seconds);
+    else
+      log::info("rule.not_proved")
+          .str("reason", Result.FailureReason)
+          .num("queries", Result.AtpQueries)
+          .real("seconds", Result.Seconds);
   };
 
   StmtPtr Before = normalizeStmt(R.Before);

@@ -2,6 +2,7 @@
 
 #include "pec/Report.h"
 
+#include "support/Metrics.h"
 #include "support/Telemetry.h"
 
 #include <cinttypes>
@@ -158,6 +159,76 @@ void appendDiagnosis(std::string &Out, const FailureDiagnosis &D) {
   Out += '}';
 }
 
+
+/// One serialized histogram: summary percentiles plus the sparse
+/// `[lower_bound, count]` bucket array (only non-empty buckets).
+void appendHistogram(std::string &Out, const metrics::HistogramSnapshot &H) {
+  Out += '{';
+  appendUint(Out, "count", H.Count);
+  Out += ',';
+  appendUint(Out, "sum", H.Sum);
+  Out += ',';
+  appendUint(Out, "max", H.Max);
+  Out += ',';
+  appendUint(Out, "p50", H.percentile(0.50));
+  Out += ',';
+  appendUint(Out, "p90", H.percentile(0.90));
+  Out += ',';
+  appendUint(Out, "p99", H.percentile(0.99));
+  Out += ',';
+  appendKey(Out, "buckets");
+  Out += '[';
+  bool First = true;
+  for (unsigned B = 0; B < metrics::NumBuckets; ++B) {
+    if (!H.Buckets[B])
+      continue;
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '[';
+    Out += std::to_string(metrics::bucketLowerBound(B));
+    Out += ',';
+    Out += std::to_string(H.Buckets[B]);
+    Out += ']';
+  }
+  Out += "]}";
+}
+
+/// The v4 `metrics` section: the registry snapshot. `atp_query_us` nests
+/// the per-purpose slices (keyed like `atp.by_purpose`); the other
+/// histograms and the counters are flat.
+void appendMetrics(std::string &Out, const metrics::Snapshot &S) {
+  appendKey(Out, "metrics");
+  Out += '{';
+  appendKey(Out, "atp_query_us");
+  Out += '{';
+  for (size_t P = 0; P < NumPurposes; ++P) {
+    if (P)
+      Out += ',';
+    appendKey(Out, purposeName(static_cast<Purpose>(P)));
+    appendHistogram(Out,
+                    S.hist(metrics::atpQueryHist(static_cast<Purpose>(P))));
+  }
+  Out += "},";
+  for (metrics::Hist H :
+       {metrics::Hist::RuleProveUs, metrics::Hist::WaveWidth,
+        metrics::Hist::CacheWaitUs, metrics::Hist::PoolTaskUs,
+        metrics::Hist::SatConflictSize, metrics::Hist::TheoryConflictSize}) {
+    appendKey(Out, metrics::histName(H));
+    appendHistogram(Out, S.hist(H));
+    Out += ',';
+  }
+  appendKey(Out, "counters");
+  Out += '{';
+  for (size_t C = 0; C < metrics::NumCounters; ++C) {
+    if (C)
+      Out += ',';
+    appendUint(Out, metrics::counterName(static_cast<metrics::Counter>(C)),
+               S.Counters[C]);
+  }
+  Out += "}}";
+}
+
 void appendRule(std::string &Out, const RuleReport &R) {
   const PecResult &P = R.Result;
   Out += '{';
@@ -211,16 +282,18 @@ std::string pec::renderJsonReport(const std::string &Command,
     Seconds += R.Result.Seconds;
   }
 
-  // Sequential, uncached default when the caller supplies no run context.
+  // Sequential, uncached default when the caller supplies no run context;
+  // the metrics section still reflects whatever the process recorded.
   RunInfo Sequential;
   if (!Run) {
     Sequential.HardwareConcurrency = std::thread::hardware_concurrency();
     Sequential.WallSeconds = Seconds;
+    Sequential.Metrics = metrics::snapshot();
     Run = &Sequential;
   }
 
   std::string Out = "{";
-  appendString(Out, "schema", "pec-report-v3");
+  appendString(Out, "schema", "pec-report-v4");
   Out += ',';
   appendString(Out, "command", Command);
   Out += ',';
@@ -254,6 +327,8 @@ std::string pec::renderJsonReport(const std::string &Command,
   Out += ',';
   appendSeconds(Out, "hit_rate", Run->Cache.hitRate());
   Out += "},";
+  appendMetrics(Out, Run->Metrics);
+  Out += ',';
   appendKey(Out, "rules");
   Out += "[\n";
   for (size_t I = 0; I < Rules.size(); ++I) {
@@ -534,6 +609,8 @@ bool pec::validateReport(const json::ValuePtr &Report, std::string *Error) {
     Version = 2;
   else if (Schema == "pec-report-v3")
     Version = 3;
+  else if (Schema == "pec-report-v4")
+    Version = 4;
   else
     return failV(Error, "report: unknown schema '" + Schema + "'");
 
@@ -557,6 +634,47 @@ bool pec::validateReport(const json::ValuePtr &Report, std::string *Error) {
                             "model_bypasses", "entries", "hit_rate"})
       if (!requireField(Cache, "cache", Key, json::Kind::Number, Error))
         return false;
+  }
+  if (Version >= 4) {
+    // v4: the pec::metrics snapshot. Every histogram object carries the
+    // percentile summary; the per-purpose ATP latency slices are the
+    // acceptance-critical part, so each purpose must be present.
+    if (!requireField(Report, "report", "metrics", json::Kind::Object,
+                      Error))
+      return false;
+    json::ValuePtr Metrics = Report->get("metrics");
+    if (!requireField(Metrics, "metrics", "atp_query_us", json::Kind::Object,
+                      Error) ||
+        !requireField(Metrics, "metrics", "counters", json::Kind::Object,
+                      Error))
+      return false;
+    auto ValidateHistogram = [&](const json::ValuePtr &H,
+                                 const std::string &Path) {
+      for (const char *Key : {"count", "sum", "max", "p50", "p90", "p99"})
+        if (!requireField(H, Path, Key, json::Kind::Number, Error))
+          return false;
+      return requireField(H, Path, "buckets", json::Kind::Array, Error);
+    };
+    json::ValuePtr ByPurpose = Metrics->get("atp_query_us");
+    for (size_t P = 0; P < NumPurposes; ++P) {
+      const char *Name = purposeName(static_cast<Purpose>(P));
+      json::ValuePtr Slice = ByPurpose->get(Name);
+      if (!Slice || !Slice->isObject())
+        return failV(Error, "metrics.atp_query_us: missing purpose '" +
+                                std::string(Name) + "'");
+      if (!ValidateHistogram(Slice,
+                             "metrics.atp_query_us." + std::string(Name)))
+        return false;
+    }
+    for (const char *Key :
+         {"rule_prove_us", "wave_width", "cache_wait_us", "pool_task_us",
+          "sat_conflict_size", "theory_conflict_size"}) {
+      if (!requireField(Metrics, "metrics", Key, json::Kind::Object, Error))
+        return false;
+      if (!ValidateHistogram(Metrics->get(Key),
+                             "metrics." + std::string(Key)))
+        return false;
+    }
   }
   if (!requireField(Report, "report", "command", json::Kind::String,
                     Error) ||
@@ -659,6 +777,8 @@ ReportDiff pec::diffReports(const json::ValuePtr &Old,
       return 2;
     if (S == "pec-report-v3")
       return 3;
+    if (S == "pec-report-v4")
+      return 4;
     return 0;
   };
   const std::string &OldSchema = Old->get("schema")->stringValue();
@@ -758,6 +878,54 @@ ReportDiff pec::diffReports(const json::ValuePtr &Old,
     (void)NewF;
     if (!OldRules.count(Name))
       D.Notes.push_back("rule '" + Name + "' is new in this report");
+  }
+
+  // v4 percentile gates (opt-in, see ReportDiffOptions): the run-level
+  // per-purpose ATP latency percentiles. Skipped when either document
+  // predates v4 or the slice recorded nothing.
+  json::ValuePtr OldMetrics = Old->get("metrics");
+  json::ValuePtr NewMetrics = New->get("metrics");
+  if ((Options.P50ToleranceFactor > 0 || Options.P99ToleranceFactor > 0) &&
+      OldMetrics && NewMetrics) {
+    auto GatePercentile = [&](const char *PurposeKey, const char *Pct,
+                              double Factor, uint64_t SlackUs) {
+      if (Factor <= 0)
+        return;
+      json::ValuePtr OldSlice = OldMetrics->get("atp_query_us");
+      json::ValuePtr NewSlice = NewMetrics->get("atp_query_us");
+      if (!OldSlice || !NewSlice)
+        return;
+      OldSlice = OldSlice->get(PurposeKey);
+      NewSlice = NewSlice->get(PurposeKey);
+      if (!OldSlice || !NewSlice || !OldSlice->isObject() ||
+          !NewSlice->isObject())
+        return;
+      json::ValuePtr OldCount = OldSlice->get("count");
+      json::ValuePtr NewCount = NewSlice->get("count");
+      json::ValuePtr OldPct = OldSlice->get(Pct);
+      json::ValuePtr NewPct = NewSlice->get(Pct);
+      if (!OldCount || !NewCount || !OldPct || !NewPct)
+        return;
+      if (OldCount->numberValue() == 0 || NewCount->numberValue() == 0)
+        return;
+      double OldP = OldPct->numberValue();
+      double NewP = NewPct->numberValue();
+      if (NewP > OldP * Factor &&
+          NewP > OldP + static_cast<double>(SlackUs))
+        D.Regressions.push_back(
+            "atp_query_us{" + std::string(PurposeKey) + "} " + Pct +
+            " regressed: " + std::to_string(static_cast<uint64_t>(OldP)) +
+            "us -> " + std::to_string(static_cast<uint64_t>(NewP)) +
+            "us (tolerance factor " + std::to_string(Factor) + ", slack " +
+            std::to_string(SlackUs) + "us)");
+    };
+    for (size_t P = 0; P < NumPurposes; ++P) {
+      const char *Name = purposeName(static_cast<Purpose>(P));
+      GatePercentile(Name, "p50", Options.P50ToleranceFactor,
+                     Options.P50SlackMicros);
+      GatePercentile(Name, "p99", Options.P99ToleranceFactor,
+                     Options.P99SlackMicros);
+    }
   }
 
   uint64_t OldProved =

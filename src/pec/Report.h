@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The `pec-report-v3` JSON report: one schema-stable document per proof
+/// The `pec-report-v4` JSON report: one schema-stable document per proof
 /// run, carrying per-rule outcomes, pipeline phase times, and the full ATP
 /// statistics with the per-purpose query breakdown. Emitted by
 /// `pec prove/prove-suite/tv --report json` and by `bench_figure11
@@ -19,18 +19,24 @@
 /// docs/PARALLELISM.md). Per-rule objects are unchanged from v2 — cache
 /// hit attribution to individual rules depends on scheduling, so those
 /// counters are reported only as run-level totals, keeping the per-rule
-/// payload byte-deterministic. The schema is documented in
+/// payload byte-deterministic. v4 adds the top-level `metrics` section:
+/// the pec::metrics registry snapshot — per-purpose ATP latency
+/// histograms with p50/p90/p99/max, rule prove latency, wave width,
+/// cache-wait, pool-task, and SAT/theory conflict-size distributions,
+/// each with a sparse `[lower_bound, count]` bucket array, plus the
+/// monotonic counters. The schema is documented in
 /// docs/OBSERVABILITY.md and docs/DIAGNOSTICS.md and enforced by
-/// `validateReport` (which still accepts v1/v2 documents as legacy input;
-/// the `check_bench_schema` CTest and the telemetry unit tests both call
-/// it, so the format cannot silently drift).
+/// `validateReport` (which still accepts v1/v2/v3 documents as legacy
+/// input; the `check_bench_schema` CTest and the telemetry unit tests
+/// both call it, so the format cannot silently drift).
 ///
 /// `diffReports` compares two report documents — proved-set changes,
 /// per-rule time and ATP-query deltas under a configurable tolerance, and
 /// schema drift (a baseline on an *older* schema is a note suggesting
 /// regeneration; a downgrade is a regression) — backing the
 /// `pec report diff` subcommand and the `check_bench_regression` CTest
-/// gate.
+/// gate. With percentile tolerances enabled it additionally gates the
+/// v4 per-purpose ATP latency percentiles (p50/p99).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +46,7 @@
 #include "pec/Pec.h"
 #include "solver/AtpCache.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 
 #include <string>
 #include <vector>
@@ -52,7 +59,8 @@ struct RuleReport {
   PecResult Result;
 };
 
-/// Run-level context for the v3 `parallelism` and `cache` report sections.
+/// Run-level context for the `parallelism`, `cache`, and `metrics`
+/// report sections.
 struct RunInfo {
   unsigned Jobs = 1;
   unsigned HardwareConcurrency = 0;
@@ -61,12 +69,16 @@ struct RunInfo {
   double WallSeconds = 0;
   bool CacheEnabled = false;
   AtpCacheStats Cache;
+  /// pec::metrics registry snapshot, taken after the run quiesced (the
+  /// v4 `metrics` section).
+  metrics::Snapshot Metrics;
 };
 
-/// Renders the `pec-report-v3` JSON document. \p Command names the
+/// Renders the `pec-report-v4` JSON document. \p Command names the
 /// producing run ("prove", "prove-suite", "tv", "bench_figure11"). When
 /// \p Run is null the parallelism/cache sections describe a sequential,
-/// uncached run (jobs 1, wall == summed rule seconds).
+/// uncached run (jobs 1, wall == summed rule seconds) and the metrics
+/// section snapshots the registry at render time.
 std::string renderJsonReport(const std::string &Command,
                              const std::vector<RuleReport> &Rules,
                              const RunInfo *Run = nullptr);
@@ -76,12 +88,14 @@ std::string renderJsonReport(const std::string &Command,
 /// totals row.
 std::string renderStatsTable(const std::vector<RuleReport> &Rules);
 
-/// Validates a parsed report against the `pec-report-v1`/`v2`/`v3` schema
+/// Validates a parsed report against the `pec-report-v1`..`v4` schema
 /// (field presence and JSON types, per-rule and totals; v2 additionally
 /// checks the failure taxonomy, `failure_detail`, the `minimize` purpose
 /// slice, and any `diagnosis` objects; v3 additionally requires the
-/// top-level `parallelism` and `cache` sections). On failure returns
-/// false and describes the first violation in \p Error.
+/// top-level `parallelism` and `cache` sections; v4 additionally
+/// requires the `metrics` section with per-purpose ATP latency
+/// percentiles). On failure returns false and describes the first
+/// violation in \p Error.
 bool validateReport(const json::ValuePtr &Report, std::string *Error);
 
 /// Tolerances for diffReports. A metric regresses only when it exceeds the
@@ -99,6 +113,14 @@ struct ReportDiffOptions {
   uint64_t StrengtheningTimeSlackMicros = 50000;
   double StrengtheningQueryToleranceFactor = 2.0;
   uint64_t StrengtheningQuerySlack = 8;
+  /// Percentile gates over the v4 `metrics.atp_query_us` per-purpose
+  /// latency percentiles. Disabled by default (factor 0): percentile
+  /// shifts are environment-sensitive, so the gate is opt-in
+  /// (`pec report diff --p50-tolerance ... --p99-tolerance ...`).
+  double P50ToleranceFactor = 0;
+  uint64_t P50SlackMicros = 20000;
+  double P99ToleranceFactor = 0;
+  uint64_t P99SlackMicros = 100000;
 };
 
 /// Outcome of comparing two report documents.

@@ -5,6 +5,8 @@
 #include "solver/AtpCache.h"
 #include "solver/Smt.h"
 #include "solver/Theory.h"
+#include "support/FlightRecorder.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <chrono>
@@ -27,9 +29,10 @@ namespace {
 class QueryAccounting {
 public:
   QueryAccounting(const char *Name, AtpStats &Stats)
-      : Stats(Stats), P(telemetry::currentPurpose()), TraceSpan(Name, "atp"),
-        Start(std::chrono::steady_clock::now()) {
+      : Stats(Stats), Name(Name), P(telemetry::currentPurpose()),
+        TraceSpan(Name, "atp"), Start(std::chrono::steady_clock::now()) {
     TraceSpan.arg("purpose", telemetry::purposeName(P));
+    flight::record(flight::EventKind::Begin, Name);
   }
 
   ~QueryAccounting() {
@@ -42,10 +45,20 @@ public:
     AtpPurposeStats &Slice = Stats.ByPurpose[static_cast<size_t>(P)];
     ++Slice.Queries;
     Slice.Microseconds += Micros;
+    metrics::record(metrics::atpQueryHist(P), Micros);
+    // Close the span before a possible slow-query dump so the dump shows
+    // the offending query with both edges.
+    flight::record(flight::EventKind::End, Name, Micros);
+    uint64_t Threshold = flight::slowQueryThresholdUs();
+    if (Threshold && Micros >= Threshold) {
+      metrics::add(metrics::Counter::SlowQueries);
+      flight::noteSlowQuery(Name, Micros);
+    }
   }
 
 private:
   AtpStats &Stats;
+  const char *Name;
   telemetry::Purpose P;
   telemetry::Span TraceSpan;
   std::chrono::steady_clock::time_point Start;
@@ -265,6 +278,7 @@ AtpResult Atp::query(const AtpQuery &Q) {
   case AtpCache::Lookup::Hit: {
     ++Stats.CacheHits;
     telemetry::counterAdd("atp.cache.hit");
+    metrics::add(metrics::Counter::AtpCacheHits);
     replayDelta(Stats, D);
     AtpResult R;
     R.Verdict = Cached;
@@ -273,12 +287,14 @@ AtpResult Atp::query(const AtpQuery &Q) {
   case AtpCache::Lookup::Bypass:
     ++Stats.CacheBypasses;
     telemetry::counterAdd("atp.cache.bypass");
+    metrics::add(metrics::Counter::AtpCacheBypasses);
     return solveOneShot(Q);
   case AtpCache::Lookup::Miss:
     break;
   }
   ++Stats.CacheMisses;
   telemetry::counterAdd("atp.cache.miss");
+  metrics::add(metrics::Counter::AtpCacheMisses);
   WorkSnapshot Before(Stats);
   AtpResult R = solveOneShot(Q);
   TheCache->fulfill(Key, R.Verdict, Before.delta(Stats));

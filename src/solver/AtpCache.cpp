@@ -2,7 +2,10 @@
 
 #include "solver/AtpCache.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <utility>
@@ -322,10 +325,19 @@ AtpCache::Lookup AtpCache::acquire(const std::string &Key, int NeedModelOn,
   }
   // Single-flight: wait for the in-flight solver rather than duplicating
   // the work — this also keeps the hit/miss totals scheduling-independent.
-  S.ReadyCv.wait(Lock, [&] {
-    auto E = S.Entries.find(Key);
-    return E != S.Entries.end() && E->second.Ready;
-  });
+  if (!It->second.Ready) {
+    auto WaitStart = std::chrono::steady_clock::now();
+    S.ReadyCv.wait(Lock, [&] {
+      auto E = S.Entries.find(Key);
+      return E != S.Entries.end() && E->second.Ready;
+    });
+    metrics::record(
+        metrics::Hist::CacheWaitUs,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - WaitStart)
+                .count()));
+  }
   const Entry &E = S.Entries.find(Key)->second;
   if (NeedModelOn >= 0 && E.Result == (NeedModelOn == 1)) {
     // The cached boolean would need a model we do not store.

@@ -2,6 +2,8 @@
 
 #include "solver/Sat.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -580,6 +582,8 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions) {
     }
     uint32_t BtLevel = 0;
     analyze(ConflictIdx, LearntClause, BtLevel);
+    pec::metrics::record(pec::metrics::Hist::SatConflictSize,
+                         LearntClause.size());
     backtrack(BtLevel);
     if (LearntClause.size() == 1) {
       if (litValue(LearntClause[0]) == LBool::Undef)

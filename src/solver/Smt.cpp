@@ -2,6 +2,8 @@
 
 #include "solver/Smt.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <functional>
 
@@ -320,6 +322,7 @@ bool SmtSession::onCheck(const Lit *Begin, const Lit *End, bool Final,
     }
     --ConflictBudget;
     std::vector<TheoryLit> Core = Th->conflictCore(Options.MinimizeConflicts);
+    pec::metrics::record(pec::metrics::Hist::TheoryConflictSize, Core.size());
     Conflict.reserve(Core.size());
     for (const TheoryLit &L : Core)
       Conflict.push_back(Lit(AtomVars.at(atomKey(L.Atom)), !L.Positive));

@@ -1,0 +1,97 @@
+//===- Log.h - Leveled structured logging ------------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `pec::log`: leveled, structured logging with per-rule/query key-value
+/// context, selectable text or JSON output (`--log json|text`,
+/// `--log-level LEVEL`). Events are built fluently and emitted on
+/// destruction:
+///
+/// \code
+///   log::Scope Rule("rule", RuleName);        // context for this thread
+///   log::info("prove.start").num("jobs", 8);  // emits when the temporary
+///                                             // dies at the ';'
+/// \endcode
+///
+/// In JSON mode each event is one line on stderr:
+/// `{"ts":"2026-08-08T12:00:00.123Z","level":"info","event":"prove.start",
+///   "rule":"lift-inv","jobs":8}` — the shape a `pec serve` log shipper
+/// will ingest. Text mode renders the same fields human-first. Events
+/// below the active level cost one relaxed atomic load and build nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SUPPORT_LOG_H
+#define PEC_SUPPORT_LOG_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pec {
+namespace log {
+
+enum class Level : int { Debug = 0, Info, Warn, Error, Off };
+enum class Format : int { Text = 0, Json };
+
+void setLevel(Level L);
+Level level();
+/// Parses "debug"/"info"/"warn"/"error"/"off"; returns false on junk.
+bool parseLevel(const std::string &Name, Level &Out);
+
+void setFormat(Format F);
+Format format();
+/// Parses "text"/"json"; returns false on junk.
+bool parseFormat(const std::string &Name, Format &Out);
+
+/// True when events at \p L would be emitted.
+bool enabled(Level L);
+
+/// A structured event under construction. Emits itself (one stderr line,
+/// under a process mutex) when destroyed, provided its level is active.
+/// Obtain one from debug()/info()/warn()/error(); returned by value and
+/// consumed at the end of the full expression.
+class Event {
+public:
+  Event(Level L, const char *Name);
+  ~Event();
+  Event(Event &&O) noexcept;
+  Event(const Event &) = delete;
+  Event &operator=(const Event &) = delete;
+  Event &operator=(Event &&) = delete;
+
+  Event &str(const char *Key, const std::string &Value);
+  Event &num(const char *Key, int64_t Value);
+  Event &num(const char *Key, uint64_t Value);
+  Event &real(const char *Key, double Value);
+
+private:
+  Level L;
+  const char *Name;
+  bool Live; ///< False when below level or moved-from: destructor no-ops.
+  std::vector<std::pair<std::string, std::string>> Fields; ///< Key, rendered.
+};
+
+inline Event debug(const char *Name) { return Event(Level::Debug, Name); }
+inline Event info(const char *Name) { return Event(Level::Info, Name); }
+inline Event warn(const char *Name) { return Event(Level::Warn, Name); }
+inline Event error(const char *Name) { return Event(Level::Error, Name); }
+
+/// Thread-local key-value context: every event emitted by this thread
+/// while the Scope lives carries the pair. Nests (rule -> query).
+class Scope {
+public:
+  Scope(const char *Key, const std::string &Value);
+  ~Scope();
+  Scope(const Scope &) = delete;
+  Scope &operator=(const Scope &) = delete;
+};
+
+} // namespace log
+} // namespace pec
+
+#endif // PEC_SUPPORT_LOG_H

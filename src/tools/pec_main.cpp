@@ -17,10 +17,16 @@
 // The proving commands (prove, prove-suite, tv, explain) additionally
 // accept the observability flags (docs/OBSERVABILITY.md):
 //
-//   --trace FILE    write a Chrome trace_event JSON of the run to FILE
-//   --report json   emit the pec-report-v3 JSON document on stdout
-//                   (human-readable lines move to stderr)
-//   --stats         print the per-rule phase/ATP statistics table
+//   --trace FILE         write a Chrome trace_event JSON of the run to FILE
+//   --report json        emit the pec-report-v4 JSON document on stdout
+//                        (human-readable lines move to stderr)
+//   --stats              print the per-rule phase/ATP statistics table
+//   --metrics-out FILE   write the pec::metrics registry in Prometheus
+//                        text exposition format to FILE
+//   --slow-query-ms N    dump the flight recorder when a single ATP query
+//                        exceeds N milliseconds
+//   --log json|text      structured log format on stderr (default text)
+//   --log-level LEVEL    debug|info|warn|error|off (default warn)
 //
 // and (prove, prove-suite) the parallelism flags (docs/PARALLELISM.md):
 //
@@ -41,6 +47,9 @@
 #include "pec/Pec.h"
 #include "pec/Report.h"
 #include "solver/AtpCache.h"
+#include "support/FlightRecorder.h"
+#include "support/Log.h"
+#include "support/Metrics.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
@@ -74,6 +83,8 @@ int usage() {
                " [--strengthening-time-slack-us N]\n"
                "                  [--strengthening-query-tolerance F]"
                " [--strengthening-query-slack N]\n"
+               "                  [--p50-tolerance F] [--p50-slack-us N]"
+               " [--p99-tolerance F] [--p99-slack-us N]\n"
                "  pec apply <rules-file> <program-file> [--fixpoint] "
                "[--assume-positive] [--staged]\n"
                "  pec tv <original-file> <transformed-file> "
@@ -83,8 +94,14 @@ int usage() {
                "\n"
                "observability flags (prove, prove-suite, tv, explain):\n"
                "  --trace FILE    write a Chrome trace_event JSON to FILE\n"
-               "  --report json   emit the pec-report-v3 JSON on stdout\n"
+               "  --report json   emit the pec-report-v4 JSON on stdout\n"
                "  --stats         print the per-rule statistics table\n"
+               "  --metrics-out FILE  write Prometheus-format metrics to "
+               "FILE\n"
+               "  --slow-query-ms N   flight-recorder dump when one ATP\n"
+               "                      query exceeds N milliseconds\n"
+               "  --log json|text     structured stderr log format\n"
+               "  --log-level LEVEL   debug|info|warn|error|off\n"
                "\n"
                "parallelism flags (prove, prove-suite):\n"
                "  --jobs N        prove on N worker threads with a shared\n"
@@ -106,6 +123,7 @@ int usage() {
 /// The observability flags shared by prove, prove-suite, and tv.
 struct OutputOptions {
   std::string TracePath;
+  std::string MetricsPath;
   bool ReportJson = false;
   bool Stats = false;
   /// Worker-thread count for prove/prove-suite. The shared ATP cache is
@@ -121,9 +139,10 @@ struct OutputOptions {
   FILE *humanStream() const { return ReportJson ? stderr : stdout; }
 };
 
-/// Strips --trace/--report/--stats/--jobs/--cache-stats out of \p Args.
-/// Returns false on a malformed flag (missing file name, unknown report
-/// format, non-numeric job count).
+/// Strips the observability and parallelism flags (--trace, --report,
+/// --stats, --metrics-out, --slow-query-ms, --log, --log-level, --jobs,
+/// --cache-stats) out of \p Args. Returns false on a malformed flag
+/// (missing file name, unknown report format, non-numeric job count).
 bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
   std::vector<std::string> Rest;
   for (size_t I = 0; I < Args.size(); ++I) {
@@ -142,6 +161,44 @@ bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
       ++I;
     } else if (Args[I] == "--stats") {
       Out.Stats = true;
+    } else if (Args[I] == "--metrics-out") {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr, "error: --metrics-out requires a file name\n");
+        return false;
+      }
+      Out.MetricsPath = Args[++I];
+    } else if (Args[I] == "--slow-query-ms") {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr,
+                     "error: --slow-query-ms requires a millisecond count\n");
+        return false;
+      }
+      char *End = nullptr;
+      long N = std::strtol(Args[I + 1].c_str(), &End, 10);
+      if (!End || *End != '\0' || N < 0) {
+        std::fprintf(stderr, "error: bad --slow-query-ms value '%s'\n",
+                     Args[I + 1].c_str());
+        return false;
+      }
+      ++I;
+      flight::setSlowQueryThresholdUs(static_cast<uint64_t>(N) * 1000);
+    } else if (Args[I] == "--log") {
+      log::Format F;
+      if (I + 1 >= Args.size() || !log::parseFormat(Args[I + 1], F)) {
+        std::fprintf(stderr, "error: --log supports 'json' or 'text'\n");
+        return false;
+      }
+      ++I;
+      log::setFormat(F);
+    } else if (Args[I] == "--log-level") {
+      log::Level L;
+      if (I + 1 >= Args.size() || !log::parseLevel(Args[I + 1], L)) {
+        std::fprintf(stderr, "error: --log-level wants "
+                             "debug|info|warn|error|off\n");
+        return false;
+      }
+      ++I;
+      log::setLevel(L);
     } else if (Args[I] == "--jobs") {
       if (I + 1 >= Args.size()) {
         std::fprintf(stderr, "error: --jobs requires a thread count\n");
@@ -180,12 +237,28 @@ int finishRun(const OutputOptions &Opts, const std::string &Command,
               const RunInfo *Run = nullptr) {
   if (!Opts.TracePath.empty()) {
     telemetry::setEnabled(false);
-    if (!telemetry::writeChromeTrace(Opts.TracePath))
+    if (!telemetry::writeChromeTrace(Opts.TracePath)) {
       std::fprintf(stderr, "error: cannot write trace to '%s'\n",
                    Opts.TracePath.c_str());
-    else
+      Exit = Exit ? Exit : 1; // The requested artifact is missing.
+    } else {
       std::fprintf(Opts.humanStream(), "trace written to %s\n",
                    Opts.TracePath.c_str());
+    }
+  }
+  if (!Opts.MetricsPath.empty()) {
+    std::string Prom = metrics::renderPrometheus(metrics::snapshot());
+    FILE *F = std::fopen(Opts.MetricsPath.c_str(), "w");
+    if (!F || std::fwrite(Prom.data(), 1, Prom.size(), F) != Prom.size()) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   Opts.MetricsPath.c_str());
+      Exit = Exit ? Exit : 1;
+    } else {
+      std::fprintf(Opts.humanStream(), "metrics written to %s\n",
+                   Opts.MetricsPath.c_str());
+    }
+    if (F)
+      std::fclose(F);
   }
   if (Opts.Stats)
     std::fprintf(Opts.humanStream(), "\n%s",
@@ -289,6 +362,9 @@ std::vector<RuleReport> runProofs(const std::vector<Rule> &Rules,
   Run.CacheEnabled = Cache != nullptr;
   if (Cache)
     Run.Cache = Cache->stats();
+  // The pool (if any) was destroyed above, so every recording thread has
+  // quiesced and this merge is deterministic.
+  Run.Metrics = metrics::snapshot();
   return Reports;
 }
 
@@ -591,6 +667,7 @@ int cmdCfg(const std::string &Path) {
 } // namespace
 
 int main(int argc, char **argv) {
+  flight::installSignalHandlers();
   std::vector<std::string> Args(argv + 1, argv + argc);
   if (Args.empty())
     return usage();
@@ -634,12 +711,16 @@ int main(int argc, char **argv) {
          &DiffOpts.StrengtheningTimeToleranceFactor},
         {"--strengthening-query-tolerance",
          &DiffOpts.StrengtheningQueryToleranceFactor},
+        {"--p50-tolerance", &DiffOpts.P50ToleranceFactor},
+        {"--p99-tolerance", &DiffOpts.P99ToleranceFactor},
     };
     std::vector<std::pair<const char *, uint64_t *>> UintFlags = {
         {"--query-slack", &DiffOpts.QuerySlack},
         {"--strengthening-time-slack-us",
          &DiffOpts.StrengtheningTimeSlackMicros},
         {"--strengthening-query-slack", &DiffOpts.StrengtheningQuerySlack},
+        {"--p50-slack-us", &DiffOpts.P50SlackMicros},
+        {"--p99-slack-us", &DiffOpts.P99SlackMicros},
     };
     for (size_t I = 4; I < Args.size(); ++I) {
       bool Matched = false;

@@ -1,0 +1,224 @@
+//===- pec_metrics_check.cpp - Prometheus exposition validator ------------===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+// Validates a `pec --metrics-out` Prometheus text exposition file:
+//
+//   pec_metrics_check <metrics.prom> [required-family]...
+//
+// Checks the text-format grammar line by line (`# TYPE` headers, sample
+// lines `name{labels} value`), and for every histogram family that its
+// cumulative `_bucket{le=...}` series is non-decreasing in le order, ends
+// in `le="+Inf"`, and that the `+Inf` bucket equals `_count`. Any family
+// names passed as extra arguments must be present. Exit 0 on success,
+// 1 with a diagnostic on the first violation. Shared by the
+// `check_metrics_exposition` CTest and the CI Prometheus step, so the
+// exposition format cannot silently drift from what a scraper accepts.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Sample {
+  std::string Name;   ///< Metric name (before any label braces).
+  std::string Le;     ///< The le label value, when present.
+  double Value = 0;
+  std::string Labels; ///< Full label string minus le, for grouping.
+};
+
+int fail(int Line, const std::string &Msg) {
+  std::fprintf(stderr, "pec_metrics_check: line %d: %s\n", Line, Msg.c_str());
+  return 1;
+}
+
+bool validMetricChar(char C, bool First) {
+  if ((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+      C == ':')
+    return true;
+  return !First && C >= '0' && C <= '9';
+}
+
+/// Parses `name` or `name{k="v",...}` into \p S. Returns false on
+/// malformed syntax.
+bool parseSample(const std::string &Text, Sample &S) {
+  size_t I = 0;
+  while (I < Text.size() && validMetricChar(Text[I], I == 0))
+    ++I;
+  if (I == 0)
+    return false;
+  S.Name = Text.substr(0, I);
+  if (I < Text.size() && Text[I] == '{') {
+    size_t Close = Text.find('}', I);
+    if (Close == std::string::npos)
+      return false;
+    std::string LabelText = Text.substr(I + 1, Close - I - 1);
+    // Split on top-level commas; values contain no commas in our output.
+    std::stringstream Ls(LabelText);
+    std::string Pair;
+    std::vector<std::string> Kept;
+    while (std::getline(Ls, Pair, ',')) {
+      size_t Eq = Pair.find('=');
+      if (Eq == std::string::npos || Pair.size() < Eq + 3 ||
+          Pair[Eq + 1] != '"' || Pair.back() != '"')
+        return false;
+      std::string Key = Pair.substr(0, Eq);
+      std::string Value = Pair.substr(Eq + 2, Pair.size() - Eq - 3);
+      if (Key == "le")
+        S.Le = Value;
+      else
+        Kept.push_back(Pair);
+    }
+    for (size_t K = 0; K < Kept.size(); ++K)
+      S.Labels += (K ? "," : "") + Kept[K];
+    I = Close + 1;
+  }
+  while (I < Text.size() && (Text[I] == ' ' || Text[I] == '\t'))
+    ++I;
+  if (I >= Text.size())
+    return false;
+  char *End = nullptr;
+  S.Value = std::strtod(Text.c_str() + I, &End);
+  return End && *End == '\0';
+}
+
+double leValue(const std::string &Le) {
+  if (Le == "+Inf")
+    return 1e308 * 10; // inf
+  return std::strtod(Le.c_str(), nullptr);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: pec_metrics_check <metrics.prom> [family]...\n");
+    return 2;
+  }
+  std::ifstream In(argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "pec_metrics_check: cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+
+  std::map<std::string, std::string> FamilyType; // family -> counter/...
+  std::set<std::string> SeenFamilies;
+  // (family, labels) -> ordered bucket samples, _sum, _count.
+  std::map<std::pair<std::string, std::string>, std::vector<Sample>> Buckets;
+  std::map<std::pair<std::string, std::string>, double> Counts;
+  std::set<std::pair<std::string, std::string>> Sums;
+
+  std::string Line;
+  int LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    if (Line[0] == '#') {
+      std::stringstream Ls(Line);
+      std::string Hash, Keyword, Family, Type;
+      Ls >> Hash >> Keyword >> Family >> Type;
+      if (Keyword == "TYPE") {
+        if (Type != "counter" && Type != "gauge" && Type != "histogram")
+          return fail(LineNo, "unknown TYPE '" + Type + "'");
+        if (FamilyType.count(Family))
+          return fail(LineNo, "duplicate TYPE for '" + Family + "'");
+        FamilyType[Family] = Type;
+      }
+      continue; // HELP and other comments pass through.
+    }
+    Sample S;
+    if (!parseSample(Line, S))
+      return fail(LineNo, "malformed sample: " + Line);
+
+    // Attribute the sample to its family (strip histogram suffixes).
+    std::string Family = S.Name;
+    bool IsBucket = false, IsCount = false, IsSum = false;
+    auto StripSuffix = [&](const char *Suffix, bool &Flag) {
+      size_t N = std::string(Suffix).size();
+      if (Family.size() > N &&
+          Family.compare(Family.size() - N, N, Suffix) == 0 &&
+          FamilyType.count(Family.substr(0, Family.size() - N))) {
+        Family = Family.substr(0, Family.size() - N);
+        Flag = true;
+      }
+    };
+    StripSuffix("_bucket", IsBucket);
+    if (!IsBucket)
+      StripSuffix("_count", IsCount);
+    if (!IsBucket && !IsCount)
+      StripSuffix("_sum", IsSum);
+    if (!FamilyType.count(Family))
+      return fail(LineNo, "sample '" + S.Name + "' has no TYPE header");
+    SeenFamilies.insert(Family);
+
+    const std::string &Type = FamilyType[Family];
+    if (Type == "histogram") {
+      auto Key = std::make_pair(Family, S.Labels);
+      if (IsBucket) {
+        if (S.Le.empty())
+          return fail(LineNo, "bucket sample without le label: " + Line);
+        Buckets[Key].push_back(S);
+      } else if (IsCount) {
+        Counts[Key] = S.Value;
+      } else if (IsSum) {
+        Sums.insert(Key);
+      } else {
+        return fail(LineNo, "bare sample for histogram family '" + Family +
+                                "' (want _bucket/_sum/_count)");
+      }
+    } else if (IsBucket || IsCount || IsSum) {
+      return fail(LineNo, "histogram suffix on " + Type + " family '" +
+                              Family + "'");
+    } else if (Type == "counter" && S.Value < 0) {
+      return fail(LineNo, "negative counter value: " + Line);
+    }
+  }
+
+  // Histogram invariants per (family, labels) series.
+  for (const auto &[Key, Series] : Buckets) {
+    const std::string Desc =
+        Key.first + (Key.second.empty() ? "" : "{" + Key.second + "}");
+    double PrevLe = -1, PrevCount = -1;
+    for (const Sample &S : Series) {
+      double Le = leValue(S.Le);
+      if (Le <= PrevLe)
+        return fail(0, Desc + ": bucket le values not increasing");
+      if (S.Value < PrevCount)
+        return fail(0, Desc + ": cumulative bucket counts decreased");
+      PrevLe = Le;
+      PrevCount = S.Value;
+    }
+    if (Series.empty() || Series.back().Le != "+Inf")
+      return fail(0, Desc + ": bucket series does not end in le=\"+Inf\"");
+    auto CountIt = Counts.find(Key);
+    if (CountIt == Counts.end())
+      return fail(0, Desc + ": missing _count");
+    if (Series.back().Value != CountIt->second)
+      return fail(0, Desc + ": +Inf bucket disagrees with _count");
+    if (!Sums.count(Key))
+      return fail(0, Desc + ": missing _sum");
+  }
+
+  // Families the caller insists on (CI passes the acceptance-critical set).
+  for (int A = 2; A < argc; ++A)
+    if (!SeenFamilies.count(argv[A])) {
+      std::fprintf(stderr,
+                   "pec_metrics_check: required family '%s' not present\n",
+                   argv[A]);
+      return 1;
+    }
+
+  std::printf("pec_metrics_check: %s OK (%zu families)\n", argv[1],
+              SeenFamilies.size());
+  return 0;
+}

@@ -29,11 +29,18 @@ endif()
 # Besides the per-rule wall-clock and total-query budgets, gate the
 # strengthening hot path (time factor 3 + 50ms slack, query factor 2 + 8
 # slack): the incremental solver exists to keep it cheap, and a
-# regression there can hide behind savings elsewhere in the rule.
+# regression there can hide behind savings elsewhere in the rule. The v4
+# metrics section adds tail-latency gates on the per-purpose ATP query
+# histograms: a p50/p99 only regresses when it exceeds BOTH the factor
+# and the absolute slack (generous factors — CI wall-clock is noisy, and
+# the per-rule budgets above already catch sustained slowdowns; this
+# gate exists for order-of-magnitude tail blow-ups).
 execute_process(
   COMMAND ${PEC_BIN} report diff ${BASELINE} ${Fresh} --time-tolerance 3
           --strengthening-time-tolerance 3 --strengthening-time-slack-us 50000
           --strengthening-query-tolerance 2 --strengthening-query-slack 8
+          --p50-tolerance 4 --p50-slack-us 20000
+          --p99-tolerance 4 --p99-slack-us 100000
   RESULT_VARIABLE DiffExit)
 if(NOT DiffExit EQUAL 0)
   message(FATAL_ERROR

@@ -1,0 +1,39 @@
+# Runs a real proof over figure11.rules with --metrics-out and validates
+# the Prometheus text exposition with pec_metrics_check (the
+# check_metrics_exposition CTest): TYPE headers, cumulative histogram
+# invariants, and the families a scrape pipeline depends on must all be
+# present. This is the end-to-end gate for `pec::metrics` — the unit
+# tests cover the histogram math, this covers the plumbing from the
+# instrumentation sites through the CLI to the exposition format.
+#
+# Usage: cmake -DPEC_BIN=... -DCHECK_BIN=... -DWORK_DIR=... -DRULES=...
+#              -P this-file
+foreach(Var PEC_BIN CHECK_BIN WORK_DIR RULES)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "check_metrics_exposition: ${Var} not set")
+  endif()
+endforeach()
+
+set(Prom "${WORK_DIR}/metrics_exposition.prom")
+execute_process(
+  COMMAND ${PEC_BIN} prove ${RULES} --metrics-out ${Prom}
+  OUTPUT_QUIET
+  ERROR_VARIABLE ProveErr
+  RESULT_VARIABLE ProveExit)
+if(NOT ProveExit EQUAL 0)
+  message(FATAL_ERROR "pec prove failed (exit ${ProveExit}): ${ProveErr}")
+endif()
+
+# Required families: the per-purpose ATP latency histogram, the per-rule
+# prove latency, and the cache counter — the series dashboards key on.
+execute_process(
+  COMMAND ${CHECK_BIN} ${Prom}
+          pec_atp_query_us pec_rule_prove_us pec_atp_cache_hits_total
+          pec_sat_conflict_size
+  RESULT_VARIABLE CheckExit)
+if(NOT CheckExit EQUAL 0)
+  message(FATAL_ERROR
+          "pec_metrics_check rejected ${Prom} (exit ${CheckExit}); the "
+          "Prometheus exposition drifted from the documented format "
+          "(docs/OBSERVABILITY.md)")
+endif()

@@ -49,11 +49,29 @@ std::string proveJson(const std::string &RulesFile, int Jobs) {
 
 /// Zeroes every timing value: the report is byte-deterministic except for
 /// fields whose key ends in `seconds` or `microseconds` (and the wall
-/// clock has no business being reproducible).
+/// clock has no business being reproducible), plus the whole v4 `metrics`
+/// section — its histograms hold raw latency samples, and some counts
+/// (single-flight cache waits, pool task splits) depend on scheduling.
 std::string normalizeTimings(const std::string &Doc) {
   static const std::regex TimingField(
       "\"([a-z_]*(seconds|microseconds))\":[0-9.eE+-]+");
-  return std::regex_replace(Doc, TimingField, "\"$1\":0");
+  std::string Out = std::regex_replace(Doc, TimingField, "\"$1\":0");
+  size_t Key = Out.find("\"metrics\":{");
+  if (Key != std::string::npos) {
+    size_t Open = Key + std::string("\"metrics\":").size();
+    int Depth = 0;
+    size_t End = Open;
+    for (; End < Out.size(); ++End) {
+      if (Out[End] == '{')
+        ++Depth;
+      else if (Out[End] == '}' && --Depth == 0) {
+        ++End;
+        break;
+      }
+    }
+    Out.replace(Key, End - Key, "\"metrics\":{}");
+  }
+  return Out;
 }
 
 std::map<std::string, bool> provedSet(const std::string &Doc) {
