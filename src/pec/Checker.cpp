@@ -9,6 +9,7 @@
 #include "support/Metrics.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -66,6 +67,7 @@ public:
     CheckerResult Result;
     {
       telemetry::Span PathsSpan("checker.computePaths", "checker");
+      trace::Span PathsTrace("compute_paths");
       if (!computePaths(Result))
         return Result;
       PathsSpan.arg("constraints", static_cast<uint64_t>(Constraints.size()));
@@ -384,6 +386,12 @@ private:
                   const std::vector<char> &Requeued) {
     std::vector<size_t> Wave(Worklist.begin(), Worklist.end());
     metrics::record(metrics::Hist::WaveWidth, Wave.size());
+    // One causal span per wave: the per-obligation tasks spawned below
+    // adopt it as parent across the pool, so the journal records
+    // rule -> check -> wave -> obligation -> query.
+    trace::Span WaveTrace("wave");
+    WaveTrace.attr("wave", static_cast<uint64_t>(WaveIndex++));
+    WaveTrace.attr("width", static_cast<uint64_t>(Wave.size()));
     Worklist.clear();
     // Obligations are built up front on this thread: the rule's shared
     // TermArena is single-thread confined.
@@ -404,6 +412,10 @@ private:
       TaskGroup Group(*Options.Pool);
       for (size_t I = 0; I < Wave.size(); ++I) {
         Group.spawn([this, &Checks, &Holds, &WaveStats, &Wave, &Requeued, I] {
+          bool IsRecheck = Requeued[Wave[I]] != 0;
+          trace::Span ObTrace("obligation");
+          ObTrace.attr("obligation", static_cast<uint64_t>(Wave[I]));
+          ObTrace.attr("kind", IsRecheck ? "strengthen-recheck" : "initial");
           // Private arena + prover per obligation; only the internally
           // synchronized AtpCache is shared with other threads.
           TermArena WorkerArena;
@@ -412,9 +424,10 @@ private:
           CloneMap Memo;
           FormulaPtr Check =
               cloneFormula(Low.arena(), WorkerArena, Checks[I], Memo);
-          PurposeScope Tag(Requeued[Wave[I]] ? Purpose::Strengthening
-                                             : Purpose::Obligation);
+          PurposeScope Tag(IsRecheck ? Purpose::Strengthening
+                                     : Purpose::Obligation);
           Holds[I] = Worker.query(AtpQuery::validity(Check)).Verdict ? 1 : 0;
+          ObTrace.attr("verdict", Holds[I] ? "holds" : "invalid");
           WaveStats[I] = Worker.stats();
         });
       }
@@ -486,6 +499,10 @@ private:
           Formula::mkImplies(R.entry(C.Source).Pred, Obligation);
       bool Holds;
       {
+        trace::Span SeqTrace("obligation");
+        SeqTrace.attr("obligation", static_cast<uint64_t>(CI));
+        SeqTrace.attr("kind",
+                      Requeued[CI] ? "strengthen-recheck" : "initial");
         PurposeScope Tag(Requeued[CI] ? Purpose::Strengthening
                                       : Purpose::Obligation);
         // Incremental check of `Pred => Obligation` on the prover's
@@ -524,6 +541,7 @@ private:
           CoreKnown[CI] = 0;
           CoreTargets[CI].clear();
         }
+        SeqTrace.attr("verdict", Holds ? "holds" : "invalid");
       }
       if (Holds)
         continue;
@@ -588,6 +606,9 @@ private:
       R.entry(C.Source).Pred =
           Formula::mkAnd(R.entry(C.Source).Pred, Obligation);
       telemetry::counterAdd("checker/strengthenings");
+      trace::instant("strengthen", "entry",
+                     std::to_string(R.entry(C.Source).L1) + "," +
+                         std::to_string(R.entry(C.Source).L2));
       if (telemetry::enabled()) {
         std::ostringstream OS;
         OS << "iteration " << Result.Strengthenings << ": entry ("
@@ -618,6 +639,7 @@ private:
                       C.Source) == CoreTargets[I].end()) {
           ++Result.CoreSkippedRechecks;
           telemetry::counterAdd("checker/core_skipped_rechecks");
+          trace::instant("core_skip", "obligation", std::to_string(I));
           continue;
         }
         Worklist.push_back(I);
@@ -638,6 +660,8 @@ private:
   CheckerOptions Options;
   ConditionFlow Flow1, Flow2;
   std::vector<Constraint> Constraints;
+  /// Running wave number for journal attribution (waveFilter).
+  size_t WaveIndex = 0;
   /// Per constraint: is the recorded core current, and which entry indices
   /// its last incremental proof blamed (see solveConstraints).
   std::vector<char> CoreKnown;

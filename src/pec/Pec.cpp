@@ -11,6 +11,7 @@
 #include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <chrono>
 
@@ -32,6 +33,11 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
 
   telemetry::Span RuleSpan("pec.proveRule");
   RuleSpan.arg("rule", R.Name);
+  // Causal root of everything this rule causes (waves, obligations, ATP
+  // queries — across pool threads). Created before the log scope so the
+  // rule lifecycle log events carry this span's ids.
+  trace::Span RuleTrace("rule");
+  RuleTrace.attr("rule", R.Name);
   flight::Span FlightSpan("pec.proveRule");
   log::Scope RuleScope("rule", R.Name);
   log::debug("rule.start");
@@ -42,6 +48,7 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
 
   // On every exit path: snapshot prover stats and total wall-clock.
   auto Finish = [&]() {
+    RuleTrace.attr("proved", Result.Proved ? "yes" : "no");
     Result.Atp = Prover.stats();
     Result.AtpQueries = Result.Atp.Queries;
     Result.Seconds = secondsSince(Start);
@@ -69,6 +76,7 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
   if (Options.UsePermute) {
     auto PermuteStart = std::chrono::steady_clock::now();
     telemetry::Span PermuteSpan("pec.permute");
+    trace::Span PermuteTrace("permute");
     PermuteOutcome P = runPermute(R, Prover);
     Result.PermuteSeconds = secondsSince(PermuteStart);
     if (P.Attempted) {
@@ -133,6 +141,7 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
   CorrelationRelation SeedRel;
   {
     telemetry::Span CorrelateSpan("pec.correlate");
+    trace::Span CorrelateTrace("correlate");
     ConditionFlow Flow1(P1, *Ctx), Flow2(P2, *Ctx);
     SeedRel = correlate(P1, P2, *Ctx, Low, S1, S2, Flow1, Flow2);
     CorrelateSpan.arg("seed_entries", static_cast<uint64_t>(SeedRel.size()));
@@ -156,6 +165,8 @@ PecResult pec::proveRule(const Rule &R, const PecOptions &Options) {
   for (size_t Attempt = 0; Attempt <= SeedRel.size(); ++Attempt) {
     telemetry::Span CheckSpan("pec.check");
     CheckSpan.arg("attempt", static_cast<uint64_t>(Attempt));
+    trace::Span CheckTrace("check");
+    CheckTrace.attr("attempt", static_cast<uint64_t>(Attempt));
     Rel = CorrelationRelation();
     for (const RelEntry &Entry : SeedRel.entries())
       if (!CheckOpts.BannedPairs.count({Entry.L1, Entry.L2}))

@@ -7,6 +7,7 @@
 #include "solver/Theory.h"
 #include "support/FlightRecorder.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -30,10 +31,16 @@ class QueryAccounting {
 public:
   QueryAccounting(const char *Name, AtpStats &Stats)
       : Stats(Stats), Name(Name), P(telemetry::currentPurpose()),
-        TraceSpan(Name, "atp"), Start(std::chrono::steady_clock::now()) {
+        TraceSpan(Name, "atp"), CausalSpan("atp.query"),
+        Start(std::chrono::steady_clock::now()) {
     TraceSpan.arg("purpose", telemetry::purposeName(P));
+    CausalSpan.attr("purpose", telemetry::purposeName(P));
     flight::record(flight::EventKind::Begin, Name);
   }
+
+  /// The journal span for this query, so `Atp::query` can attribute the
+  /// cache outcome (hit/miss/bypass) once it is known.
+  trace::Span &causal() { return CausalSpan; }
 
   ~QueryAccounting() {
     uint64_t Micros = static_cast<uint64_t>(
@@ -61,6 +68,7 @@ private:
   const char *Name;
   telemetry::Purpose P;
   telemetry::Span TraceSpan;
+  trace::Span CausalSpan;
   std::chrono::steady_clock::time_point Start;
 };
 
@@ -279,6 +287,7 @@ AtpResult Atp::query(const AtpQuery &Q) {
     ++Stats.CacheHits;
     telemetry::counterAdd("atp.cache.hit");
     metrics::add(metrics::Counter::AtpCacheHits);
+    Account.causal().attr("cache", "hit");
     replayDelta(Stats, D);
     AtpResult R;
     R.Verdict = Cached;
@@ -288,6 +297,7 @@ AtpResult Atp::query(const AtpQuery &Q) {
     ++Stats.CacheBypasses;
     telemetry::counterAdd("atp.cache.bypass");
     metrics::add(metrics::Counter::AtpCacheBypasses);
+    Account.causal().attr("cache", "bypass");
     return solveOneShot(Q);
   case AtpCache::Lookup::Miss:
     break;
@@ -295,6 +305,7 @@ AtpResult Atp::query(const AtpQuery &Q) {
   ++Stats.CacheMisses;
   telemetry::counterAdd("atp.cache.miss");
   metrics::add(metrics::Counter::AtpCacheMisses);
+  Account.causal().attr("cache", "miss");
   WorkSnapshot Before(Stats);
   AtpResult R = solveOneShot(Q);
   TheCache->fulfill(Key, R.Verdict, Before.delta(Stats));

@@ -3,6 +3,7 @@
 #include "solver/AtpCache.h"
 
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -326,6 +327,9 @@ AtpCache::Lookup AtpCache::acquire(const std::string &Key, int NeedModelOn,
   // Single-flight: wait for the in-flight solver rather than duplicating
   // the work — this also keeps the hit/miss totals scheduling-independent.
   if (!It->second.Ready) {
+    // Journal the blocked interval: `pec report timeline` counts it as
+    // wasted work (a thread stalled on a sibling's in-flight solve).
+    trace::Span WaitTrace("cache.wait");
     auto WaitStart = std::chrono::steady_clock::now();
     S.ReadyCv.wait(Lock, [&] {
       auto E = S.Entries.find(Key);

@@ -6,6 +6,10 @@
 
 #include "support/FlightRecorder.h"
 
+#include "support/Log.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -33,6 +37,10 @@ struct Event {
   std::atomic<uint64_t> TimeNs{0};
   std::atomic<uint64_t> Arg{0};
   std::atomic<uint32_t> Kind{0};
+  /// Active causal context at record time (0 when no --journal), so a
+  /// dump can be joined against the run journal by span id.
+  std::atomic<uint64_t> Trace{0};
+  std::atomic<uint64_t> Span{0};
 };
 
 struct Ring {
@@ -72,6 +80,7 @@ const bool EpochInitialized = (processEpoch(), true);
 
 std::atomic<uint64_t> SlowThresholdUs{0};
 std::atomic<int> AutoDumps{0};
+std::atomic<bool> SuppressionWarned{false};
 std::atomic<uint64_t> DumpSeq{0};
 
 char DumpDir[512] = ".";
@@ -102,10 +111,13 @@ bool writeEvent(int Fd, const Event &E, bool &First) {
   char Buf[512];
   int Len = snprintf(Buf, sizeof(Buf),
                      "%s\n    {\"name\":\"%s\",\"ph\":\"%s\",\"t_ns\":%" PRIu64
-                     ",\"arg\":%" PRIu64 "}",
+                     ",\"arg\":%" PRIu64 ",\"trace\":%" PRIu64
+                     ",\"span\":%" PRIu64 "}",
                      First ? "" : ",", Name, Kinds[Kind],
                      E.TimeNs.load(std::memory_order_relaxed),
-                     E.Arg.load(std::memory_order_relaxed));
+                     E.Arg.load(std::memory_order_relaxed),
+                     E.Trace.load(std::memory_order_relaxed),
+                     E.Span.load(std::memory_order_relaxed));
   First = false;
   if (Len < 0 || Len >= static_cast<int>(sizeof(Buf)))
     return false;
@@ -136,10 +148,13 @@ void record(EventKind Kind, const char *Name, uint64_t Arg) {
     return;
   uint64_t Idx = R->Next.fetch_add(1, std::memory_order_relaxed);
   Event &E = R->Events[Idx % RingCapacity];
+  trace::Context TC = trace::current();
   E.Name.store(Name, std::memory_order_relaxed);
   E.TimeNs.store(nowNs(), std::memory_order_relaxed);
   E.Arg.store(Arg, std::memory_order_relaxed);
   E.Kind.store(static_cast<uint32_t>(Kind), std::memory_order_relaxed);
+  E.Trace.store(TC.TraceId, std::memory_order_relaxed);
+  E.Span.store(TC.SpanId, std::memory_order_relaxed);
 }
 
 Span::Span(const char *Name) : Name(Name), StartNs(nowNs()) {
@@ -161,8 +176,17 @@ uint64_t slowQueryThresholdUs() {
 void noteSlowQuery(const char *Name, uint64_t Micros) {
   instant("slow-query", Micros);
   (void)Name;
-  if (AutoDumps.fetch_add(1, std::memory_order_relaxed) >= MaxAutoDumps)
+  if (AutoDumps.fetch_add(1, std::memory_order_relaxed) >= MaxAutoDumps) {
+    // Not a signal context (slow-query breaches come from the query
+    // accounting destructor), so counting and logging the suppression is
+    // safe — and much better than the cap silently eating evidence.
+    metrics::add(metrics::Counter::FlightDumpsSuppressed);
+    if (!SuppressionWarned.exchange(true, std::memory_order_relaxed))
+      log::warn("flight.dumps_suppressed")
+          .num("cap", static_cast<uint64_t>(MaxAutoDumps))
+          .num("slow_query_us", Micros);
     return;
+  }
   dump("slow-query");
 }
 
@@ -239,9 +263,12 @@ void resetForTest() {
       E.TimeNs.store(0, std::memory_order_relaxed);
       E.Arg.store(0, std::memory_order_relaxed);
       E.Kind.store(0, std::memory_order_relaxed);
+      E.Trace.store(0, std::memory_order_relaxed);
+      E.Span.store(0, std::memory_order_relaxed);
     }
   }
   AutoDumps.store(0, std::memory_order_relaxed);
+  SuppressionWarned.store(false, std::memory_order_relaxed);
   LastDumpPath[0] = '\0';
 }
 

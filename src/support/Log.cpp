@@ -7,6 +7,7 @@
 #include "support/Log.h"
 
 #include "support/Telemetry.h" // jsonEscape
+#include "support/Trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -77,6 +78,12 @@ void emitJson(Level L, const char *Name,
   for (const ContextFrame &F : Context)
     Line += ",\"" + std::string(F.Key) + "\":\"" +
             telemetry::jsonEscape(F.Value) + "\"";
+  // Join key against the run journal: events emitted inside a causal span
+  // carry its ids (only when a --journal is being recorded).
+  if (trace::Context TC = trace::current(); TC.SpanId != 0) {
+    Line += ",\"trace_id\":" + std::to_string(TC.TraceId);
+    Line += ",\"span_id\":" + std::to_string(TC.SpanId);
+  }
   for (const auto &F : Fields)
     Line += ",\"" + F.first + "\":" + F.second;
   Line += "}\n";
@@ -89,6 +96,9 @@ void emitText(Level L, const char *Name,
   std::string Line = timestamp() + " " + levelName(L) + " " + Name;
   for (const ContextFrame &F : Context)
     Line += std::string(" ") + F.Key + "=" + F.Value;
+  if (trace::Context TC = trace::current(); TC.SpanId != 0)
+    Line += " trace_id=" + std::to_string(TC.TraceId) +
+            " span_id=" + std::to_string(TC.SpanId);
   for (const auto &F : Fields)
     Line += " " + F.first + "=" + F.second;
   Line += "\n";

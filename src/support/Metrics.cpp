@@ -27,6 +27,8 @@ const char *metrics::counterName(Counter C) {
     return "atp_cache_bypasses";
   case Counter::SlowQueries:
     return "slow_queries";
+  case Counter::FlightDumpsSuppressed:
+    return "flight_dumps_suppressed";
   }
   return "unknown";
 }

@@ -63,8 +63,9 @@ enum class Counter : unsigned {
   AtpCacheMisses,   ///< Queries solved locally and published.
   AtpCacheBypasses, ///< Model-wanting queries the cache could not serve.
   SlowQueries,      ///< Queries past the --slow-query-ms threshold.
+  FlightDumpsSuppressed, ///< Slow-query dumps dropped by the per-process cap.
 };
-constexpr size_t NumCounters = 4;
+constexpr size_t NumCounters = 5;
 
 /// Instantaneous values, additive across shards (a thread adds on entry
 /// and subtracts on exit, so the shard sum is the current level).

@@ -26,6 +26,8 @@ struct Event {
   char Phase = 'X';
   uint64_t StartMicros = 0;
   uint64_t DurMicros = 0;
+  /// Binding id for flow events (phases 's'/'f'); 0 otherwise.
+  uint64_t FlowId = 0;
   std::vector<std::pair<std::string, std::string>> Args;
 };
 
@@ -195,6 +197,31 @@ void telemetry::instant(const char *Name, const char *Category,
   B.Events.push_back(std::move(E));
 }
 
+namespace {
+
+void recordFlow(const char *Name, uint64_t Id, char Phase) {
+  if (!telemetry::enabled())
+    return;
+  ThreadBuffer &B = localBuffer();
+  Event E;
+  E.Name = Name;
+  E.Category = "flow";
+  E.Phase = Phase;
+  E.StartMicros = nowMicros();
+  E.FlowId = Id;
+  B.Events.push_back(std::move(E));
+}
+
+} // namespace
+
+void telemetry::flowBegin(const char *Name, uint64_t Id) {
+  recordFlow(Name, Id, 's');
+}
+
+void telemetry::flowEnd(const char *Name, uint64_t Id) {
+  recordFlow(Name, Id, 'f');
+}
+
 //===----------------------------------------------------------------------===//
 // Counters
 //===----------------------------------------------------------------------===//
@@ -238,6 +265,13 @@ void appendEventJson(std::string &Out, const Event &E, uint32_t Tid) {
   }
   if (E.Phase == 'i')
     Out += ",\"s\":\"t\"";
+  if (E.Phase == 's' || E.Phase == 'f') {
+    Out += ",\"id\":";
+    Out += std::to_string(E.FlowId);
+    // Bind the arrow head to the enclosing slice, not the next one.
+    if (E.Phase == 'f')
+      Out += ",\"bp\":\"e\"";
+  }
   Out += ",\"pid\":1,\"tid\":";
   Out += std::to_string(Tid);
   if (!E.Args.empty()) {

@@ -131,6 +131,16 @@ private:
 void instant(const char *Name, const char *Category,
              const std::string &Payload = std::string());
 
+/// Chrome-trace *flow* events: a `flowBegin` (ph `"s"`) and a `flowEnd`
+/// (ph `"f"`, `bp:"e"`) with the same name and id render as an arrow
+/// between the two enclosing slices — across threads. The pool emits one
+/// pair per submitted task (id from `trace::freshId()`), so Perfetto
+/// shows which thread caused each stolen task (docs/PARALLELISM.md).
+/// \p Name must match between the two ends; both are no-ops when tracing
+/// is off.
+void flowBegin(const char *Name, uint64_t Id);
+void flowEnd(const char *Name, uint64_t Id);
+
 //===----------------------------------------------------------------------===//
 // Counters
 //===----------------------------------------------------------------------===//

@@ -6,6 +6,7 @@
 //   pec prove-suite                   prove the paper's Figure 11 suite
 //   pec explain <rules-file>          diagnose the failing rules
 //   pec report diff <old> <new>       regression-gate two report JSONs
+//   pec report timeline <journal>     critical-path / wasted-work analysis
 //   pec apply <rules-file> <program>  apply the rules to a program
 //   pec tv <original> <transformed>   translation validation
 //   pec cfg <program>                 dump the program's CFG
@@ -18,6 +19,7 @@
 // accept the observability flags (docs/OBSERVABILITY.md):
 //
 //   --trace FILE         write a Chrome trace_event JSON of the run to FILE
+//   --journal FILE       write a pec-journal-v1 causal run journal to FILE
 //   --report json        emit the pec-report-v4 JSON document on stdout
 //                        (human-readable lines move to stderr)
 //   --stats              print the per-rule phase/ATP statistics table
@@ -46,12 +48,14 @@
 #include "pec/Explain.h"
 #include "pec/Pec.h"
 #include "pec/Report.h"
+#include "pec/Timeline.h"
 #include "solver/AtpCache.h"
 #include "support/FlightRecorder.h"
 #include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <cstdio>
@@ -85,6 +89,7 @@ int usage() {
                " [--strengthening-query-slack N]\n"
                "                  [--p50-tolerance F] [--p50-slack-us N]"
                " [--p99-tolerance F] [--p99-slack-us N]\n"
+               "  pec report timeline <journal.jsonl> [--json]\n"
                "  pec apply <rules-file> <program-file> [--fixpoint] "
                "[--assume-positive] [--staged]\n"
                "  pec tv <original-file> <transformed-file> "
@@ -94,6 +99,8 @@ int usage() {
                "\n"
                "observability flags (prove, prove-suite, tv, explain):\n"
                "  --trace FILE    write a Chrome trace_event JSON to FILE\n"
+               "  --journal FILE  append a pec-journal-v1 causal run journal\n"
+               "                  (analyze with `pec report timeline`)\n"
                "  --report json   emit the pec-report-v4 JSON on stdout\n"
                "  --stats         print the per-rule statistics table\n"
                "  --metrics-out FILE  write Prometheus-format metrics to "
@@ -124,6 +131,7 @@ int usage() {
 struct OutputOptions {
   std::string TracePath;
   std::string MetricsPath;
+  std::string JournalPath;
   bool ReportJson = false;
   bool Stats = false;
   /// Worker-thread count for prove/prove-suite. The shared ATP cache is
@@ -161,6 +169,12 @@ bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
       ++I;
     } else if (Args[I] == "--stats") {
       Out.Stats = true;
+    } else if (Args[I] == "--journal") {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr, "error: --journal requires a file name\n");
+        return false;
+      }
+      Out.JournalPath = Args[++I];
     } else if (Args[I] == "--metrics-out") {
       if (I + 1 >= Args.size()) {
         std::fprintf(stderr, "error: --metrics-out requires a file name\n");
@@ -226,6 +240,11 @@ bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
     telemetry::reset();
     telemetry::setEnabled(true);
   }
+  if (!Out.JournalPath.empty() && !trace::journalOpen(Out.JournalPath)) {
+    std::fprintf(stderr, "error: cannot write journal to '%s'\n",
+                 Out.JournalPath.c_str());
+    return false;
+  }
   return true;
 }
 
@@ -245,6 +264,11 @@ int finishRun(const OutputOptions &Opts, const std::string &Command,
       std::fprintf(Opts.humanStream(), "trace written to %s\n",
                    Opts.TracePath.c_str());
     }
+  }
+  if (!Opts.JournalPath.empty()) {
+    trace::journalClose();
+    std::fprintf(Opts.humanStream(), "journal written to %s\n",
+                 Opts.JournalPath.c_str());
   }
   if (!Opts.MetricsPath.empty()) {
     std::string Prom = metrics::renderPrometheus(metrics::snapshot());
@@ -337,6 +361,12 @@ std::vector<RuleReport> runProofs(const std::vector<Rule> &Rules,
   PecOptions Options = BaseOptions;
   Options.Cache = Cache.get();
 
+  // Root of the causal journal: every rule span records this as its
+  // parent (ThreadPool::submit carries the context to the workers).
+  trace::Span RunTrace("run");
+  RunTrace.attr("jobs", static_cast<uint64_t>(Opts.Jobs));
+  RunTrace.attr("rules", static_cast<uint64_t>(Rules.size()));
+
   if (Opts.Jobs > 1) {
     ThreadPool Pool(Opts.Jobs);
     Options.Pool = &Pool;
@@ -350,6 +380,9 @@ std::vector<RuleReport> runProofs(const std::vector<Rule> &Rules,
     for (size_t I = 0; I < Rules.size(); ++I)
       Reports[I] = {Rules[I].Name, proveRule(Rules[I], Options)};
   }
+  // End the root before wall-clock is measured so the journal's critical
+  // path is bounded by the wall time the report prints.
+  RunTrace.end();
 
   for (const RuleReport &R : Reports)
     printProof(Opts.humanStream(), R.Name, R.Result);
@@ -505,6 +538,32 @@ int cmdReportDiff(const std::string &OldPath, const std::string &NewPath,
   ReportDiff D = diffReports(Old, New, Options);
   std::printf("%s", renderReportDiff(D).c_str());
   return D.hasRegression() ? 1 : 0;
+}
+
+/// `pec report timeline <journal> [--json]`: reconstructs the causal DAG
+/// from a `--journal` run and prints the critical path, per-rule wall/CPU
+/// attribution, scheduler utilization, and wasted-work accounting. Exit 1
+/// signals a structurally invalid journal, exit 2 an I/O or parse error.
+int cmdReportTimeline(const std::string &Path, bool JsonOut) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return 2;
+  std::string Error;
+  timeline::Journal J;
+  if (!timeline::parseJournal(Text, J, &Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Error.c_str());
+    return 2;
+  }
+  if (!timeline::validateJournal(J, &Error)) {
+    std::fprintf(stderr, "error: %s: invalid journal: %s\n", Path.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  timeline::TimelineAnalysis A = timeline::analyzeTimeline(J);
+  std::string Doc =
+      JsonOut ? timeline::renderTimelineJson(A) : timeline::renderTimelineText(A);
+  std::fwrite(Doc.data(), 1, Doc.size(), stdout);
+  return 0;
 }
 
 int cmdApply(const std::string &RulesPath, const std::string &ProgramPath,
@@ -753,6 +812,16 @@ int main(int argc, char **argv) {
       return usage();
     }
     return cmdReportDiff(Args[2], Args[3], DiffOpts);
+  }
+  if (Cmd == "report" && Args.size() >= 3 && Args[1] == "timeline") {
+    bool JsonOut = false;
+    for (size_t I = 3; I < Args.size(); ++I) {
+      if (Args[I] == "--json")
+        JsonOut = true;
+      else
+        return usage();
+    }
+    return cmdReportTimeline(Args[2], JsonOut);
   }
   if (Cmd == "apply" && Args.size() >= 3) {
     bool Fixpoint = false, AssumePositive = false, Staged = false;
