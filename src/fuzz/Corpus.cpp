@@ -1,0 +1,299 @@
+//===- Corpus.cpp - Fuzzing corpus: scenarios and reproducers ----------------===//
+
+#include "fuzz/Corpus.h"
+
+#include "lang/Parser.h"
+#include "pec/Pec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace pec;
+using namespace pec::fuzz;
+
+namespace {
+
+/// FNV-1a over the artifact content: stable across runs and platforms,
+/// used only for dedup filenames (not security).
+uint64_t contentHash(const std::string &Text) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char C : Text) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+std::string hashSlug(const std::string &Text) {
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(contentHash(Text)));
+  return Buf;
+}
+
+bool writeFileOnce(const std::string &Path, const std::string &Content) {
+  std::error_code Ec;
+  if (std::filesystem::exists(Path, Ec))
+    return true; // Same content hash: already committed.
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << Content;
+  return static_cast<bool>(Out);
+}
+
+Diag diag(std::string Message) { return Diag(std::move(Message)); }
+
+} // namespace
+
+std::string pec::fuzz::renderStateLine(const State &S) {
+  // Symbol map order follows interning order, which varies across thread
+  // schedules; render in string order so scenario text (and so the dedup
+  // hash) is stable.
+  std::vector<std::string> Parts;
+  for (const auto &[Name, Value] : S.scalars())
+    Parts.push_back(std::string(Name.str()) + '=' + std::to_string(Value));
+  for (const auto &[Name, Elems] : S.arrays())
+    for (const auto &[Index, Value] : Elems)
+      Parts.push_back(std::string(Name.str()) + '[' + std::to_string(Index) +
+                      "]=" + std::to_string(Value));
+  std::sort(Parts.begin(), Parts.end());
+  std::ostringstream OS;
+  for (size_t I = 0; I < Parts.size(); ++I)
+    OS << (I ? " " : "") << Parts[I];
+  return OS.str();
+}
+
+Expected<State> pec::fuzz::parseStateLine(const std::string &Text) {
+  State S;
+  std::istringstream IS(Text);
+  std::string Token;
+  while (IS >> Token) {
+    size_t Eq = Token.find('=');
+    if (Eq == std::string::npos)
+      return diag("bad state token '" + Token + "' (want name=value)");
+    std::string Lhs = Token.substr(0, Eq);
+    char *End = nullptr;
+    int64_t Value = std::strtoll(Token.c_str() + Eq + 1, &End, 10);
+    if (End == Token.c_str() + Eq + 1)
+      return diag("bad state value in '" + Token + "'");
+    size_t Bracket = Lhs.find('[');
+    if (Bracket == std::string::npos) {
+      S.setScalar(Symbol::get(Lhs), Value);
+      continue;
+    }
+    if (Lhs.empty() || Lhs.back() != ']')
+      return diag("bad state array token '" + Token + "'");
+    int64_t Index = std::strtoll(Lhs.c_str() + Bracket + 1, nullptr, 10);
+    S.setArrayElem(Symbol::get(Lhs.substr(0, Bracket)), Index, Value);
+  }
+  return S;
+}
+
+std::string pec::fuzz::renderScenario(const Scenario &S) {
+  std::ostringstream OS;
+  OS << "# pec-fuzz-scenario-v1\n";
+  if (!S.RuleName.empty())
+    OS << "# rule: " << S.RuleName << "\n";
+  OS << "state: " << S.StateText << "\n";
+  if (!S.RuleText.empty())
+    OS << "=== rule\n" << S.RuleText << (S.RuleText.back() == '\n' ? "" : "\n");
+  OS << "=== original\n"
+     << S.Original << (S.Original.empty() || S.Original.back() == '\n' ? "" : "\n")
+     << "=== optimized\n"
+     << S.Optimized
+     << (S.Optimized.empty() || S.Optimized.back() == '\n' ? "" : "\n");
+  return OS.str();
+}
+
+Expected<Scenario> pec::fuzz::parseScenario(const std::string &Text) {
+  Scenario S;
+  std::istringstream IS(Text);
+  std::string Line;
+  std::string *Section = nullptr;
+  bool SawMagic = false;
+  while (std::getline(IS, Line)) {
+    if (Line.rfind("# pec-fuzz-scenario-v1", 0) == 0) {
+      SawMagic = true;
+      continue;
+    }
+    if (Line.rfind("# rule: ", 0) == 0) {
+      S.RuleName = Line.substr(8);
+      continue;
+    }
+    if (Line.rfind("state: ", 0) == 0) {
+      S.StateText = Line.substr(7);
+      continue;
+    }
+    if (Line == "=== rule") {
+      Section = &S.RuleText;
+      continue;
+    }
+    if (Line == "=== original") {
+      Section = &S.Original;
+      continue;
+    }
+    if (Line == "=== optimized") {
+      Section = &S.Optimized;
+      continue;
+    }
+    if (!Section) {
+      if (Line.empty() || Line[0] == '#')
+        continue;
+      return diag("unexpected line outside a section: '" + Line + "'");
+    }
+    *Section += Line;
+    *Section += '\n';
+  }
+  if (!SawMagic)
+    return diag("missing '# pec-fuzz-scenario-v1' header");
+  // Canonical section form has no trailing whitespace, so
+  // parse(render(S)) == S regardless of whether the caller's text was
+  // newline-terminated.
+  for (std::string *Sec : {&S.RuleText, &S.Original, &S.Optimized})
+    while (!Sec->empty() && (Sec->back() == '\n' || Sec->back() == ' '))
+      Sec->pop_back();
+  if (S.Original.empty() || S.Optimized.empty())
+    return diag("scenario is missing an original/optimized section");
+  return S;
+}
+
+ReplayResult pec::fuzz::replayScenario(const Scenario &S,
+                                       uint64_t QueryBudgetMs) {
+  ReplayResult R;
+  Expected<StmtPtr> Original = parseProgram(S.Original);
+  if (!Original) {
+    R.Message = "original does not parse: " + Original.error().str();
+    return R;
+  }
+  Expected<StmtPtr> Optimized = parseProgram(S.Optimized);
+  if (!Optimized) {
+    R.Message = "optimized does not parse: " + Optimized.error().str();
+    return R;
+  }
+  Expected<State> Initial = parseStateLine(S.StateText);
+  if (!Initial) {
+    R.Message = "state line does not parse: " + Initial.error().str();
+    return R;
+  }
+
+  ExecResult A = run(*Original, *Initial);
+  ExecResult B = run(*Optimized, *Initial);
+  if (!A.ok() || !B.ok()) {
+    R.Message = std::string("scenario runs must terminate cleanly; got ") +
+                execStatusName(A.Status) + " vs " + execStatusName(B.Status);
+    return R;
+  }
+  if (A.Final == B.Final) {
+    R.Message = "recorded divergence no longer reproduces (final state " +
+                A.Final.str() + " on both sides)";
+    return R;
+  }
+
+  if (!S.RuleText.empty()) {
+    Expected<RuleFile> Rules = parseRuleFile(S.RuleText);
+    if (!Rules) {
+      R.Message = "rule section does not parse: " + Rules.error().str();
+      return R;
+    }
+    PecOptions Options;
+    Options.Diagnose = false;
+    Options.Atp.QueryBudgetMs = QueryBudgetMs;
+    Options.UserFacts = Rules->Facts;
+    for (const Rule &Ru : Rules->Rules) {
+      PecResult P = proveRule(Ru, Options);
+      if (P.Proved) {
+        R.Message = "prover now PROVES rule '" + Ru.Name +
+                    "' although this scenario witnesses its unsoundness";
+        return R;
+      }
+    }
+  }
+  R.Ok = true;
+  return R;
+}
+
+ReplayResult pec::fuzz::replayCrashFile(const std::string &RuleFileText,
+                                        uint64_t QueryBudgetMs) {
+  ReplayResult R;
+  Expected<RuleFile> Parsed = parseRuleFile(RuleFileText);
+  if (Parsed) {
+    PecOptions Options;
+    Options.Diagnose = false;
+    Options.Atp.QueryBudgetMs = QueryBudgetMs;
+    Options.UserFacts = Parsed->Facts;
+    for (const Rule &Ru : Parsed->Rules)
+      (void)proveRule(Ru, Options); // Any verdict is fine; crashing is not.
+  }
+  // A Diag is a pass: rejecting garbage gracefully is the contract.
+  R.Ok = true;
+  return R;
+}
+
+std::vector<std::string> pec::fuzz::replayCorpusDir(const std::string &Dir,
+                                                    size_t &Replayed) {
+  std::vector<std::string> Failures;
+  Replayed = 0;
+  std::error_code Ec;
+  std::vector<std::filesystem::path> Entries;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec))
+    if (Entry.is_regular_file())
+      Entries.push_back(Entry.path());
+  if (Ec) {
+    Failures.push_back("cannot read corpus directory " + Dir + ": " +
+                       Ec.message());
+    return Failures;
+  }
+  std::sort(Entries.begin(), Entries.end()); // Deterministic replay order.
+
+  for (const std::filesystem::path &Path : Entries) {
+    std::string Name = Path.filename().string();
+    bool IsScenario =
+        Name.rfind("scenario-", 0) == 0 && Path.extension() == ".txt";
+    bool IsCrash = Name.rfind("crash-", 0) == 0 && Path.extension() == ".rules";
+    if (!IsScenario && !IsCrash)
+      continue;
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    if (!In) {
+      Failures.push_back(Name + ": cannot read");
+      continue;
+    }
+    ++Replayed;
+    ReplayResult R;
+    if (IsScenario) {
+      Expected<Scenario> S = parseScenario(Buf.str());
+      if (!S) {
+        Failures.push_back(Name + ": " + S.error().str());
+        continue;
+      }
+      R = replayScenario(*S);
+    } else {
+      R = replayCrashFile(Buf.str());
+    }
+    if (!R.Ok)
+      Failures.push_back(Name + ": " + R.Message);
+  }
+  return Failures;
+}
+
+std::string pec::fuzz::appendScenario(const std::string &Dir,
+                                      const Scenario &S) {
+  std::string Content = renderScenario(S);
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  std::string Path = Dir + "/scenario-" + hashSlug(Content) + ".txt";
+  return writeFileOnce(Path, Content) ? Path : std::string();
+}
+
+std::string pec::fuzz::appendCrashFile(const std::string &Dir,
+                                       const std::string &RuleFileText) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  std::string Path = Dir + "/crash-" + hashSlug(RuleFileText) + ".rules";
+  return writeFileOnce(Path, RuleFileText) ? Path : std::string();
+}

@@ -1,0 +1,93 @@
+//===- Corpus.h - Fuzzing corpus: scenarios and reproducers -----*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk regression corpus the fuzzer grows and CI replays
+/// (`check_fuzz_corpus`). Two artifact kinds live side by side in the
+/// corpus directory:
+///
+///   * `scenario-*.txt` — a minimized negative scenario: a rule, a
+///     concrete original/optimized program pair obtained by applying it,
+///     and an initial store on which the two runs disagree. Replay
+///     asserts (a) the divergence still reproduces under the interpreter
+///     and (b) the prover still *rejects* the rule — so neither the
+///     interpreter nor the checker can silently regress.
+///   * `crash-*.rules` — a rule-file input that once crashed or hung the
+///     Lexer/Parser/Checker. Replay runs the full parse (and prove, when
+///     cheap) in-process: under the sanitizer lanes a regression aborts.
+///
+/// Scenario file format (`# pec-fuzz-scenario-v1`): comment headers, a
+/// `state:` line of `name=value` / `name[index]=value` assignments, then
+/// `=== rule` / `=== original` / `=== optimized` sections holding plain
+/// rule-language text. Everything round-trips through the normal parser,
+/// so scenarios stay human-editable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_FUZZ_CORPUS_H
+#define PEC_FUZZ_CORPUS_H
+
+#include "interp/Interp.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace pec {
+namespace fuzz {
+
+struct Scenario {
+  std::string RuleName;  ///< Informational; the rule text is canonical.
+  std::string RuleText;  ///< Full `rule ... => ...;` source (may be empty).
+  std::string Original;  ///< Concrete program text.
+  std::string Optimized; ///< Concrete program text after the rewrite.
+  std::string StateText; ///< `x=1 a[0]=2 ...` initial-store line.
+};
+
+std::string renderScenario(const Scenario &S);
+Expected<Scenario> parseScenario(const std::string &Text);
+
+/// Parses a `state:` payload (`name=value` and `name[index]=value`
+/// tokens, whitespace-separated).
+Expected<State> parseStateLine(const std::string &Text);
+std::string renderStateLine(const State &S);
+
+struct ReplayResult {
+  bool Ok = false;
+  std::string Message; ///< Failure explanation when !Ok.
+};
+
+/// Replays one scenario: both programs parse and run, the recorded
+/// divergence reproduces, and (when RuleText is present) the prover still
+/// rejects the rule. \p QueryBudgetMs bounds the prover re-check.
+ReplayResult replayScenario(const Scenario &S, uint64_t QueryBudgetMs = 5000);
+
+/// Replays one crash reproducer: parses \p RuleFileText and, when it
+/// parses, runs a budgeted prove of every rule. Crashes surface as
+/// process aborts (the sanitizer lanes make them loud); a clean pass
+/// returns Ok.
+ReplayResult replayCrashFile(const std::string &RuleFileText,
+                             uint64_t QueryBudgetMs = 2000);
+
+/// Replays every `scenario-*.txt` and `crash-*.rules` under \p Dir.
+/// Returns the failure messages (empty means the whole corpus passed);
+/// \p Replayed reports how many artifacts were checked.
+std::vector<std::string> replayCorpusDir(const std::string &Dir,
+                                         size_t &Replayed);
+
+/// Writes \p Scenario into \p Dir as `scenario-<stable-hash>.txt`.
+/// Returns the path written, or an empty string on I/O failure. Existing
+/// files with the same content hash are left alone (dedup).
+std::string appendScenario(const std::string &Dir, const Scenario &S);
+
+/// Writes \p RuleFileText into \p Dir as `crash-<stable-hash>.rules`.
+std::string appendCrashFile(const std::string &Dir,
+                            const std::string &RuleFileText);
+
+} // namespace fuzz
+} // namespace pec
+
+#endif // PEC_FUZZ_CORPUS_H

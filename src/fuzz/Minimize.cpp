@@ -1,0 +1,248 @@
+//===- Minimize.cpp - Greedy test-case minimization -------------------------===//
+
+#include "fuzz/Minimize.h"
+
+#include <vector>
+
+using namespace pec;
+using namespace pec::fuzz;
+
+namespace {
+
+/// One-edit variants of \p E, most aggressive first. Every variant is
+/// strictly smaller by the (node count, literal magnitude) measure, which
+/// is what guarantees the fixpoint loop terminates.
+void exprVariants(const ExprPtr &E, std::vector<ExprPtr> &Out) {
+  switch (E->kind()) {
+  case ExprKind::IntLit: {
+    int64_t V = E->intValue();
+    if (V != 0) {
+      Out.push_back(Expr::mkInt(0));
+      if (V / 2 != 0)
+        Out.push_back(Expr::mkInt(V / 2));
+    }
+    return;
+  }
+  case ExprKind::Var:
+  case ExprKind::MetaVar:
+  case ExprKind::MetaExpr:
+    return;
+  case ExprKind::ArrayRead: {
+    Out.push_back(E->index()); // The index alone, dropping the read.
+    std::vector<ExprPtr> Inner;
+    exprVariants(E->index(), Inner);
+    for (ExprPtr &V : Inner)
+      Out.push_back(Expr::mkArrayRead(E->name(), E->arrayIsMeta(),
+                                      std::move(V)));
+    return;
+  }
+  case ExprKind::Binary: {
+    Out.push_back(E->lhs());
+    Out.push_back(E->rhs());
+    std::vector<ExprPtr> Inner;
+    exprVariants(E->lhs(), Inner);
+    for (ExprPtr &V : Inner)
+      Out.push_back(Expr::mkBinary(E->binOp(), std::move(V), E->rhs()));
+    Inner.clear();
+    exprVariants(E->rhs(), Inner);
+    for (ExprPtr &V : Inner)
+      Out.push_back(Expr::mkBinary(E->binOp(), E->lhs(), std::move(V)));
+    return;
+  }
+  case ExprKind::Unary: {
+    Out.push_back(E->lhs());
+    std::vector<ExprPtr> Inner;
+    exprVariants(E->lhs(), Inner);
+    for (ExprPtr &V : Inner)
+      Out.push_back(Expr::mkUnary(E->unOp(), std::move(V)));
+    return;
+  }
+  }
+}
+
+void stmtVariants(const StmtPtr &S, std::vector<StmtPtr> &Out) {
+  // The universal shrink: any non-skip statement may become skip.
+  if (S->kind() != StmtKind::Skip)
+    Out.push_back(Stmt::mkSkip());
+
+  auto withCondVariants = [&](const std::function<StmtPtr(ExprPtr)> &Build) {
+    std::vector<ExprPtr> Conds;
+    exprVariants(S->cond(), Conds);
+    for (ExprPtr &C : Conds)
+      Out.push_back(Build(std::move(C)));
+  };
+
+  switch (S->kind()) {
+  case StmtKind::Skip:
+  case StmtKind::MetaStmt:
+    return;
+  case StmtKind::Assign: {
+    std::vector<ExprPtr> Values;
+    exprVariants(S->value(), Values);
+    for (ExprPtr &V : Values)
+      Out.push_back(Stmt::mkAssign(S->target(), std::move(V)));
+    if (S->target().isArrayElem()) {
+      std::vector<ExprPtr> Idxs;
+      exprVariants(S->target().Index, Idxs);
+      for (ExprPtr &I : Idxs)
+        Out.push_back(Stmt::mkAssign(
+            LValue::arrayElem(S->target().Name, std::move(I),
+                              S->target().IsMeta),
+            S->value()));
+    }
+    return;
+  }
+  case StmtKind::Seq: {
+    const std::vector<StmtPtr> &Cs = S->stmts();
+    for (size_t Drop = 0; Drop < Cs.size(); ++Drop) {
+      std::vector<StmtPtr> Kept;
+      for (size_t I = 0; I < Cs.size(); ++I)
+        if (I != Drop)
+          Kept.push_back(Cs[I]);
+      if (Kept.empty())
+        Out.push_back(Stmt::mkSkip());
+      else if (Kept.size() == 1)
+        Out.push_back(Kept[0]);
+      else
+        Out.push_back(Stmt::mkSeq(std::move(Kept)));
+    }
+    for (size_t Edit = 0; Edit < Cs.size(); ++Edit) {
+      std::vector<StmtPtr> Inner;
+      stmtVariants(Cs[Edit], Inner);
+      for (StmtPtr &V : Inner) {
+        std::vector<StmtPtr> Rebuilt = Cs;
+        Rebuilt[Edit] = std::move(V);
+        Out.push_back(Stmt::mkSeq(std::move(Rebuilt)));
+      }
+    }
+    return;
+  }
+  case StmtKind::If: {
+    Out.push_back(S->thenStmt()); // Hoist a branch over the If.
+    if (S->elseStmt())
+      Out.push_back(S->elseStmt());
+    withCondVariants([&](ExprPtr C) {
+      return Stmt::mkIf(std::move(C), S->thenStmt(), S->elseStmt());
+    });
+    std::vector<StmtPtr> Inner;
+    stmtVariants(S->thenStmt(), Inner);
+    for (StmtPtr &V : Inner)
+      Out.push_back(Stmt::mkIf(S->cond(), std::move(V), S->elseStmt()));
+    if (S->elseStmt()) {
+      Inner.clear();
+      stmtVariants(S->elseStmt(), Inner);
+      for (StmtPtr &V : Inner)
+        Out.push_back(Stmt::mkIf(S->cond(), S->thenStmt(), std::move(V)));
+    }
+    return;
+  }
+  case StmtKind::While: {
+    Out.push_back(S->body()); // One unguarded iteration.
+    withCondVariants(
+        [&](ExprPtr C) { return Stmt::mkWhile(std::move(C), S->body()); });
+    std::vector<StmtPtr> Inner;
+    stmtVariants(S->body(), Inner);
+    for (StmtPtr &V : Inner)
+      Out.push_back(Stmt::mkWhile(S->cond(), std::move(V)));
+    return;
+  }
+  case StmtKind::For: {
+    Out.push_back(S->body());
+    std::vector<StmtPtr> Inner;
+    stmtVariants(S->body(), Inner);
+    for (StmtPtr &V : Inner)
+      Out.push_back(Stmt::mkFor(S->indexVar(), S->indexIsMeta(), S->init(),
+                                S->cond(), S->stepDelta(), std::move(V)));
+    return;
+  }
+  case StmtKind::Assume:
+    withCondVariants(
+        [&](ExprPtr C) { return Stmt::mkAssume(std::move(C)); });
+    return;
+  }
+}
+
+} // namespace
+
+StmtPtr pec::fuzz::minimizeProgram(StmtPtr Program,
+                                   const StmtPredicate &StillFails) {
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    std::vector<StmtPtr> Variants;
+    stmtVariants(Program, Variants);
+    for (StmtPtr &V : Variants) {
+      if (StillFails(V)) {
+        Program = std::move(V);
+        Progress = true;
+        break;
+      }
+    }
+  }
+  return Program;
+}
+
+std::string pec::fuzz::minimizeText(std::string Input,
+                                    const TextPredicate &StillFails) {
+  // Pass 1: line-wise chunk removal (classic ddmin granularity walk).
+  auto splitLines = [](const std::string &Text) {
+    std::vector<std::string> Lines;
+    size_t Start = 0;
+    while (Start <= Text.size()) {
+      size_t End = Text.find('\n', Start);
+      if (End == std::string::npos) {
+        if (Start < Text.size())
+          Lines.push_back(Text.substr(Start));
+        break;
+      }
+      Lines.push_back(Text.substr(Start, End - Start + 1));
+      Start = End + 1;
+    }
+    return Lines;
+  };
+  auto joinLines = [](const std::vector<std::string> &Lines) {
+    std::string Out;
+    for (const std::string &L : Lines)
+      Out += L;
+    return Out;
+  };
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    std::vector<std::string> Lines = splitLines(Input);
+    for (size_t Chunk = Lines.size(); Chunk >= 1; Chunk /= 2) {
+      for (size_t At = 0; At + Chunk <= Lines.size();) {
+        std::vector<std::string> Kept;
+        Kept.insert(Kept.end(), Lines.begin(), Lines.begin() + At);
+        Kept.insert(Kept.end(), Lines.begin() + At + Chunk, Lines.end());
+        std::string Candidate = joinLines(Kept);
+        if (Candidate.size() < Input.size() && StillFails(Candidate)) {
+          Lines = std::move(Kept);
+          Input = std::move(Candidate);
+          Progress = true;
+        } else {
+          ++At;
+        }
+      }
+      if (Chunk == 1)
+        break;
+    }
+
+    // Pass 2: character-chunk removal inside whatever lines remain.
+    for (size_t Chunk = 32; Chunk >= 1; Chunk /= 2) {
+      for (size_t At = 0; At + Chunk <= Input.size();) {
+        std::string Candidate = Input.substr(0, At) + Input.substr(At + Chunk);
+        if (StillFails(Candidate)) {
+          Input = std::move(Candidate);
+          Progress = true;
+        } else {
+          ++At;
+        }
+      }
+      if (Chunk == 1)
+        break;
+    }
+  }
+  return Input;
+}

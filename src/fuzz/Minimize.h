@@ -1,0 +1,50 @@
+//===- Minimize.h - Greedy test-case minimization ---------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging-style minimizers for the two artifact kinds the
+/// fuzzer produces: AST-level shrinking of a divergence-witnessing
+/// program, and text-level shrinking of a crash-reproducing rule file.
+/// Both run their simplification passes to a fixpoint, so minimization is
+/// idempotent — minimizing an already-minimal input returns it unchanged
+/// (asserted by fuzz_test).
+///
+/// The predicate answers "does the interesting behavior still reproduce?"
+/// and is assumed deterministic; the minimizers only keep a candidate the
+/// predicate accepts, so the result always still fails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_FUZZ_MINIMIZE_H
+#define PEC_FUZZ_MINIMIZE_H
+
+#include "lang/Ast.h"
+
+#include <functional>
+#include <string>
+
+namespace pec {
+namespace fuzz {
+
+using StmtPredicate = std::function<bool(const StmtPtr &)>;
+using TextPredicate = std::function<bool(const std::string &)>;
+
+/// Shrinks \p Program while \p StillFails holds: statements are replaced
+/// by skip, sequence elements dropped, branches hoisted over their If,
+/// loops replaced by a single body iteration, and integer literals pulled
+/// toward zero. \p StillFails is guaranteed true of the result (and must
+/// be true of the input).
+StmtPtr minimizeProgram(StmtPtr Program, const StmtPredicate &StillFails);
+
+/// Shrinks \p Input line-wise then token-wise while \p StillFails holds.
+/// Used on crash-reproducing rule files, where candidates are routinely
+/// unparseable — the predicate decides, not the grammar.
+std::string minimizeText(std::string Input, const TextPredicate &StillFails);
+
+} // namespace fuzz
+} // namespace pec
+
+#endif // PEC_FUZZ_MINIMIZE_H

@@ -1,0 +1,502 @@
+//===- ProgGen.cpp - Seeded concrete program generator ----------------------===//
+
+#include "fuzz/ProgGen.h"
+
+#include "lang/AstOps.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+using namespace pec;
+using namespace pec::fuzz;
+
+namespace {
+
+Symbol scalarName(uint32_t I) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "x%u", I);
+  return Symbol::get(Buf);
+}
+
+Symbol arrayName(uint32_t I) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "a%u", I);
+  return Symbol::get(Buf);
+}
+
+/// Loop counters come from a reserved pool the statement generator never
+/// assigns to, so every generated loop provably terminates.
+Symbol counterName(uint32_t I) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "k%u", I);
+  return Symbol::get(Buf);
+}
+
+/// The free-generation half: a recursive-descent generator over the
+/// concrete statement grammar, spending a statement budget.
+class Generator {
+public:
+  Generator(Rng &R, const GenOptions &Options) : R(R), Options(Options) {}
+
+  std::vector<StmtPtr> stmtList(uint32_t Budget, uint32_t Depth,
+                                uint32_t LoopDepth) {
+    std::vector<StmtPtr> Out;
+    while (Budget > 0) {
+      uint32_t Spend = 1 + static_cast<uint32_t>(R.below(Budget));
+      Out.push_back(stmt(Spend, Depth, LoopDepth));
+      Budget -= Spend;
+    }
+    return Out;
+  }
+
+  StmtPtr stmt(uint32_t Budget, uint32_t Depth, uint32_t LoopDepth) {
+    // Compound forms need budget for a body and headroom in depth.
+    bool MayNest = Budget >= 3 && Depth < Options.MaxDepth;
+    bool MayLoop = MayNest && LoopDepth < Options.MaxLoopDepth;
+    uint64_t Roll = R.below(100);
+    if (MayLoop && Roll < 18)
+      return forLoop(Budget, Depth, LoopDepth);
+    if (MayLoop && Roll < 28)
+      return whileLoop(Budget, Depth, LoopDepth);
+    if (MayNest && Roll < 50)
+      return ifStmt(Budget, Depth, LoopDepth);
+    return assign();
+  }
+
+  StmtPtr assign() {
+    if (Options.AllowArrays && Options.NumArrays > 0 && R.chance(25))
+      return Stmt::mkAssign(
+          LValue::arrayElem(arrayName(static_cast<uint32_t>(
+                                R.below(Options.NumArrays))),
+                            smallIndex()),
+          expr(2));
+    return Stmt::mkAssign(LValue::scalar(freshScalar()), expr(2));
+  }
+
+  StmtPtr ifStmt(uint32_t Budget, uint32_t Depth, uint32_t LoopDepth) {
+    uint32_t ThenBudget = 1 + static_cast<uint32_t>(R.below(Budget - 1));
+    uint32_t ElseBudget = Budget - 1 - ThenBudget;
+    StmtPtr Then = seqOf(stmtList(ThenBudget, Depth + 1, LoopDepth));
+    StmtPtr Else =
+        ElseBudget > 0 && R.chance(70)
+            ? seqOf(stmtList(ElseBudget, Depth + 1, LoopDepth))
+            : nullptr;
+    return Stmt::mkIf(boolExpr(), Then, Else);
+  }
+
+  StmtPtr forLoop(uint32_t Budget, uint32_t Depth, uint32_t LoopDepth) {
+    Symbol K = counterName(NextCounter++);
+    ExprPtr Bound = R.chance(75)
+                        ? Expr::mkInt(R.range(0, Options.MaxTrip))
+                        : Expr::mkVar(freshScalar());
+    StmtPtr Body = seqOf(stmtList(Budget - 1, Depth + 1, LoopDepth + 1));
+    return Stmt::mkFor(K, /*IndexIsMeta=*/false, Expr::mkInt(0),
+                       Expr::mkBinary(BinOp::Lt, Expr::mkVar(K),
+                                      std::move(Bound)),
+                       /*StepDelta=*/1, Body);
+  }
+
+  /// `k := 0; while (k < trip) { body; k := k + 1 }` — the counter is
+  /// reserved, so the body cannot clobber it.
+  StmtPtr whileLoop(uint32_t Budget, uint32_t Depth, uint32_t LoopDepth) {
+    Symbol K = counterName(NextCounter++);
+    std::vector<StmtPtr> Body =
+        stmtList(Budget >= 2 ? Budget - 2 : 1, Depth + 1, LoopDepth + 1);
+    Body.push_back(Stmt::mkAssign(
+        LValue::scalar(K),
+        Expr::mkBinary(BinOp::Add, Expr::mkVar(K), Expr::mkInt(1))));
+    std::vector<StmtPtr> Out;
+    Out.push_back(Stmt::mkAssign(LValue::scalar(K), Expr::mkInt(0)));
+    Out.push_back(Stmt::mkWhile(
+        Expr::mkBinary(BinOp::Lt, Expr::mkVar(K),
+                       Expr::mkInt(R.range(0, Options.MaxTrip))),
+        seqOf(std::move(Body))));
+    return Stmt::mkSeq(std::move(Out));
+  }
+
+  ExprPtr expr(uint32_t Depth) {
+    if (Depth == 0 || R.chance(40))
+      return leaf();
+    uint64_t Roll = R.below(100);
+    if (Roll < 70) {
+      static const BinOp Arith[] = {BinOp::Add, BinOp::Sub, BinOp::Mul};
+      BinOp Op = Arith[R.below(3)];
+      if (Options.AllowDiv && R.chance(15))
+        Op = R.chance(50) ? BinOp::Div : BinOp::Mod;
+      return Expr::mkBinary(Op, expr(Depth - 1), expr(Depth - 1));
+    }
+    if (Roll < 85)
+      return boolExpr();
+    return Expr::mkUnary(R.chance(60) ? UnOp::Neg : UnOp::Not,
+                         expr(Depth - 1));
+  }
+
+  ExprPtr boolExpr() {
+    static const BinOp Cmp[] = {BinOp::Lt, BinOp::Le, BinOp::Gt,
+                                BinOp::Ge, BinOp::Eq, BinOp::Ne};
+    ExprPtr C = Expr::mkBinary(Cmp[R.below(6)], leaf(), leaf());
+    if (R.chance(20))
+      return Expr::mkBinary(R.chance(50) ? BinOp::And : BinOp::Or, C,
+                            Expr::mkBinary(Cmp[R.below(6)], leaf(), leaf()));
+    return C;
+  }
+
+  ExprPtr leaf() {
+    uint64_t Roll = R.below(100);
+    if (Roll < 35)
+      return Expr::mkInt(R.range(-3, 9));
+    if (Options.AllowArrays && Options.NumArrays > 0 && Roll < 50)
+      return Expr::mkArrayRead(
+          arrayName(static_cast<uint32_t>(R.below(Options.NumArrays))),
+          /*ArrayMeta=*/false, smallIndex());
+    return Expr::mkVar(freshScalar());
+  }
+
+  ExprPtr smallIndex() {
+    if (R.chance(60))
+      return Expr::mkInt(R.range(0, 5));
+    return Expr::mkVar(freshScalar());
+  }
+
+  Symbol freshScalar() {
+    return scalarName(static_cast<uint32_t>(R.below(Options.NumScalars)));
+  }
+
+  static StmtPtr seqOf(std::vector<StmtPtr> Stmts) {
+    if (Stmts.empty())
+      return Stmt::mkSkip();
+    if (Stmts.size() == 1)
+      return Stmts[0];
+    return Stmt::mkSeq(std::move(Stmts));
+  }
+
+private:
+  Rng &R;
+  const GenOptions &Options;
+  uint32_t NextCounter = 0;
+};
+
+/// Concretizes a parameterized pattern: the recursive environment-carrying
+/// walk behind instantiateRuleLhs.
+class Concretizer {
+public:
+  Concretizer(Rng &R, const GenOptions &Options) : R(R), Options(Options) {}
+
+  StmtPtr stmt(const StmtPtr &S) {
+    switch (S->kind()) {
+    case StmtKind::Skip:
+      return Stmt::mkSkip();
+    case StmtKind::Assign: {
+      const LValue &T = S->target();
+      LValue Target =
+          T.isArrayElem()
+              ? LValue::arrayElem(T.IsMeta ? varFor(T.Name, /*Array=*/true)
+                                           : T.Name,
+                                  expr(T.Index))
+              : LValue::scalar(T.IsMeta ? varFor(T.Name, /*Array=*/false)
+                                        : T.Name);
+      return Stmt::mkAssign(std::move(Target), expr(S->value()));
+    }
+    case StmtKind::Seq: {
+      std::vector<StmtPtr> Out;
+      for (const StmtPtr &C : S->stmts())
+        Out.push_back(stmt(C));
+      return Stmt::mkSeq(std::move(Out));
+    }
+    case StmtKind::If:
+      return Stmt::mkIf(expr(S->cond()), stmt(S->thenStmt()),
+                        S->elseStmt() ? stmt(S->elseStmt()) : nullptr);
+    case StmtKind::While:
+      return Stmt::mkWhile(expr(S->cond()), stmt(S->body()));
+    case StmtKind::For:
+      return Stmt::mkFor(S->indexIsMeta() ? varFor(S->indexVar(), false)
+                                          : S->indexVar(),
+                         /*IndexIsMeta=*/false, expr(S->init()),
+                         expr(S->cond()), S->stepDelta(), stmt(S->body()));
+    case StmtKind::Assume:
+      return Stmt::mkAssume(expr(S->cond()));
+    case StmtKind::MetaStmt:
+      return metaStmt(S);
+    }
+    return Stmt::mkSkip();
+  }
+
+  ExprPtr expr(const ExprPtr &E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return Expr::mkInt(E->intValue());
+    case ExprKind::Var:
+      return Expr::mkVar(E->name());
+    case ExprKind::MetaVar:
+      return Expr::mkVar(varFor(E->name(), /*Array=*/false));
+    case ExprKind::MetaExpr:
+      return exprFor(E->name());
+    case ExprKind::ArrayRead:
+      return Expr::mkArrayRead(E->arrayIsMeta()
+                                   ? varFor(E->name(), /*Array=*/true)
+                                   : E->name(),
+                               /*ArrayMeta=*/false, expr(E->index()));
+    case ExprKind::Binary:
+      return Expr::mkBinary(E->binOp(), expr(E->lhs()), expr(E->rhs()));
+    case ExprKind::Unary:
+      return Expr::mkUnary(E->unOp(), expr(E->lhs()));
+    }
+    return Expr::mkInt(0);
+  }
+
+private:
+  /// Injective map from variable meta-variables to fresh concrete names
+  /// (the matcher rejects non-injective bindings).
+  Symbol varFor(Symbol Meta, bool Array) {
+    auto It = VarMap.find(Meta);
+    if (It != VarMap.end())
+      return It->second;
+    char Buf[16];
+    if (Array)
+      std::snprintf(Buf, sizeof(Buf), "b%u", NextArray++);
+    else
+      std::snprintf(Buf, sizeof(Buf), "v%u", NextVar++);
+    Symbol Fresh = Symbol::get(Buf);
+    VarMap.emplace(Meta, Fresh);
+    if (!Array)
+      ScalarNames.push_back(Fresh);
+    return Fresh;
+  }
+
+  /// Expression meta-variables become small concrete expressions. Biased
+  /// toward literals so facts like ConstExpr(E) frequently hold and the
+  /// instantiated site survives side-condition filtering.
+  ExprPtr exprFor(Symbol Meta) {
+    auto It = ExprMap.find(Meta);
+    if (It != ExprMap.end())
+      return It->second;
+    ExprPtr E;
+    uint64_t Roll = R.below(100);
+    if (Roll < 50)
+      E = Expr::mkInt(R.range(0, Options.MaxTrip));
+    else if (Roll < 80)
+      E = Expr::mkVar(
+          scalarName(static_cast<uint32_t>(R.below(Options.NumScalars))));
+    else
+      E = Expr::mkBinary(
+          BinOp::Add,
+          Expr::mkVar(
+              scalarName(static_cast<uint32_t>(R.below(Options.NumScalars)))),
+          Expr::mkInt(R.range(1, 3)));
+    ExprMap.emplace(Meta, E);
+    return E;
+  }
+
+  /// Statement meta-variables: a small concrete fragment, identical shape
+  /// at every occurrence of the same name. Hole arguments are consumed
+  /// through the assignment's right-hand side, so the matcher's capture
+  /// conditions (uses of hole variables occur through the holes; the
+  /// fragment writes none of them) hold by construction.
+  StmtPtr metaStmt(const StmtPtr &S) {
+    auto It = StmtShapes.find(S->metaName());
+    if (It == StmtShapes.end()) {
+      Shape Sh;
+      Sh.IsSkip = S->holeArgs().empty() && R.chance(20);
+      // Sometimes write a variable the rule instantiation already uses:
+      // the interesting (and, for unsound rules, divergence-provoking)
+      // fragments are the ones that interfere with the surrounding
+      // pattern, not the ones that scribble on a private temporary.
+      if (!Sh.IsSkip && !ScalarNames.empty() && R.chance(35)) {
+        Sh.Target = ScalarNames[R.below(ScalarNames.size())];
+      } else {
+        char Buf[16];
+        std::snprintf(Buf, sizeof(Buf), "t%u", NextTemp++);
+        Sh.Target = Symbol::get(Buf);
+      }
+      Sh.Addend = R.range(0, 4);
+      It = StmtShapes.emplace(S->metaName(), Sh).first;
+    }
+    const Shape &Sh = It->second;
+    if (Sh.IsSkip)
+      return Stmt::mkSkip();
+    ExprPtr Rhs = Expr::mkInt(Sh.Addend);
+    for (const ExprPtr &Hole : S->holeArgs())
+      Rhs = Expr::mkBinary(BinOp::Add, expr(Hole), std::move(Rhs));
+    return Stmt::mkAssign(LValue::scalar(Sh.Target), std::move(Rhs));
+  }
+
+  struct Shape {
+    Symbol Target;
+    int64_t Addend;
+    bool IsSkip;
+  };
+
+  Rng &R;
+  const GenOptions &Options;
+  std::map<Symbol, Symbol> VarMap;
+  std::map<Symbol, ExprPtr> ExprMap;
+  std::map<Symbol, Shape> StmtShapes;
+  /// Concrete scalar names handed out so far (targets for interfering
+  /// statement meta-variable shapes).
+  std::vector<Symbol> ScalarNames;
+  uint32_t NextVar = 0;
+  uint32_t NextArray = 0;
+  uint32_t NextTemp = 0;
+};
+
+/// Collects the scalar and array names a program touches (reads or
+/// writes), for initial-store generation.
+void collectStateVars(const ExprPtr &E, std::set<Symbol> &Scalars,
+                 std::set<Symbol> &Arrays) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::MetaVar:
+  case ExprKind::MetaExpr:
+    return;
+  case ExprKind::Var:
+    Scalars.insert(E->name());
+    return;
+  case ExprKind::ArrayRead:
+    Arrays.insert(E->name());
+    collectStateVars(E->index(), Scalars, Arrays);
+    return;
+  case ExprKind::Binary:
+    collectStateVars(E->lhs(), Scalars, Arrays);
+    collectStateVars(E->rhs(), Scalars, Arrays);
+    return;
+  case ExprKind::Unary:
+    collectStateVars(E->lhs(), Scalars, Arrays);
+    return;
+  }
+}
+
+void collectStateVars(const StmtPtr &S, std::set<Symbol> &Scalars,
+                 std::set<Symbol> &Arrays) {
+  switch (S->kind()) {
+  case StmtKind::Skip:
+  case StmtKind::MetaStmt:
+    return;
+  case StmtKind::Assign: {
+    const LValue &T = S->target();
+    if (T.isArrayElem()) {
+      Arrays.insert(T.Name);
+      collectStateVars(T.Index, Scalars, Arrays);
+    } else {
+      Scalars.insert(T.Name);
+    }
+    collectStateVars(S->value(), Scalars, Arrays);
+    return;
+  }
+  case StmtKind::Seq:
+    for (const StmtPtr &C : S->stmts())
+      collectStateVars(C, Scalars, Arrays);
+    return;
+  case StmtKind::If:
+    collectStateVars(S->cond(), Scalars, Arrays);
+    collectStateVars(S->thenStmt(), Scalars, Arrays);
+    if (S->elseStmt())
+      collectStateVars(S->elseStmt(), Scalars, Arrays);
+    return;
+  case StmtKind::While:
+    collectStateVars(S->cond(), Scalars, Arrays);
+    collectStateVars(S->body(), Scalars, Arrays);
+    return;
+  case StmtKind::For:
+    Scalars.insert(S->indexVar());
+    collectStateVars(S->init(), Scalars, Arrays);
+    collectStateVars(S->cond(), Scalars, Arrays);
+    collectStateVars(S->body(), Scalars, Arrays);
+    return;
+  case StmtKind::Assume:
+    collectStateVars(S->cond(), Scalars, Arrays);
+    return;
+  }
+}
+
+} // namespace
+
+StmtPtr pec::fuzz::generateProgram(Rng &R, const GenOptions &Options,
+                                   const RuleTemplate *Template) {
+  Generator G(R, Options);
+  uint32_t Budget = Options.MaxStmts < 4 ? 4 : Options.MaxStmts;
+  if (!Template || !Template->Fragment)
+    return Generator::seqOf(G.stmtList(Budget, 0, 0));
+
+  // Splice the template fragment between generated prologue/epilogue
+  // statements. The fragment stays one contiguous window, which is what
+  // sequence-window matching needs.
+  uint32_t Prologue = static_cast<uint32_t>(R.below(Budget / 2 + 1));
+  uint32_t Epilogue = static_cast<uint32_t>(R.below(Budget / 2 + 1));
+  std::vector<StmtPtr> Out = G.stmtList(Prologue, 0, 0);
+  if (Template->Fragment->kind() == StmtKind::Seq)
+    for (const StmtPtr &C : Template->Fragment->stmts())
+      Out.push_back(C);
+  else
+    Out.push_back(Template->Fragment);
+  for (StmtPtr &S : G.stmtList(Epilogue, 0, 0))
+    Out.push_back(std::move(S));
+  return Generator::seqOf(std::move(Out));
+}
+
+RuleTemplate pec::fuzz::instantiateRuleLhs(const Rule &Rule, Rng &R,
+                                           const GenOptions &Options) {
+  Concretizer C(R, Options);
+  RuleTemplate T;
+  T.RuleName = Rule.Name;
+  T.Fragment = C.stmt(Rule.Before);
+  return T;
+}
+
+State pec::fuzz::generateState(Rng &R, const StmtPtr &Program,
+                               const GenOptions &Options) {
+  std::set<Symbol> Scalars, Arrays;
+  collectStateVars(Program, Scalars, Arrays);
+  // Symbol order is interning order, which depends on thread scheduling
+  // under --jobs; pair values with names in *string* order so the same
+  // seed always builds the same state.
+  auto ByName = [](const std::set<Symbol> &In) {
+    std::vector<Symbol> Out(In.begin(), In.end());
+    std::sort(Out.begin(), Out.end(),
+              [](Symbol A, Symbol B) { return A.str() < B.str(); });
+    return Out;
+  };
+  State S;
+  for (Symbol Name : ByName(Scalars))
+    S.setScalar(Name, R.range(-4, 9));
+  // Populate the index window generated programs actually address:
+  // literal indices stay within [0, 5] and counter-driven indices within
+  // [0, MaxTrip].
+  int64_t Cells = Options.MaxTrip > 5 ? Options.MaxTrip : 5;
+  for (Symbol Name : ByName(Arrays))
+    for (int64_t I = 0; I <= Cells; ++I)
+      S.setArrayElem(Name, I, R.range(-4, 9));
+  return S;
+}
+
+void pec::fuzz::biasStateWithModel(
+    State &S,
+    const std::vector<std::pair<std::string, int64_t>> &ModelValues) {
+  for (const auto &[Term, Value] : ModelValues) {
+    // Accept `name` and `name[integer]`; anything else is solver-internal
+    // rendering and is skipped.
+    size_t Bracket = Term.find('[');
+    if (Bracket == std::string::npos) {
+      bool Ident = !Term.empty();
+      for (char Ch : Term)
+        Ident = Ident && (std::isalnum(static_cast<unsigned char>(Ch)) ||
+                          Ch == '_');
+      if (Ident)
+        S.setScalar(Symbol::get(Term), Value);
+      continue;
+    }
+    if (Term.empty() || Term.back() != ']')
+      continue;
+    std::string Name = Term.substr(0, Bracket);
+    std::string IdxText = Term.substr(Bracket + 1,
+                                      Term.size() - Bracket - 2);
+    char *End = nullptr;
+    long long Idx = std::strtoll(IdxText.c_str(), &End, 10);
+    if (!Name.empty() && End && *End == '\0')
+      S.setArrayElem(Symbol::get(Name), Idx, Value);
+  }
+}

@@ -1,0 +1,101 @@
+//===- ProgGen.h - Seeded concrete program generator ------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program half of the scenario factory: deterministic generation of
+/// concrete `lang` programs — loop nests, branches, assignments, array
+/// traffic — shaped so the Figure 11 rules actually fire on them. Two
+/// sources of shape:
+///
+///   * free generation under GenOptions knobs (sizes, nesting, division,
+///     arrays), with loops built exclusively from terminating templates
+///     (fresh counter, constant or pre-assigned bound) so the step budget
+///     is a backstop rather than the common case;
+///   * rule templates: a concrete instantiation of a rule's left-hand
+///     side (meta-variables bound to fresh concrete variables, statement
+///     meta-variables to small concrete fragments) spliced into the
+///     generated program, guaranteeing every rule in the corpus has
+///     match sites to exercise.
+///
+/// Also generates initial stores for the differential oracle: small
+/// values over the program's read set, optionally biased by an Explain
+/// counterexample model so rejected-rule replays aim at the failing
+/// region of the state space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_FUZZ_PROGGEN_H
+#define PEC_FUZZ_PROGGEN_H
+
+#include "fuzz/Rng.h"
+#include "interp/Interp.h"
+#include "lang/Ast.h"
+#include "lang/Rule.h"
+
+#include <vector>
+
+namespace pec {
+namespace fuzz {
+
+struct GenOptions {
+  /// Statement budget for one generated program (the generator may stop
+  /// earlier, never later).
+  uint32_t MaxStmts = 24;
+  /// Maximum loop-nest depth.
+  uint32_t MaxLoopDepth = 2;
+  /// Maximum If nesting depth (counted together with loops for size).
+  uint32_t MaxDepth = 4;
+  /// Emit division / modulo (the interpreter traps div-by-zero; keep off
+  /// for oracle runs that want a 100% conclusive corpus).
+  bool AllowDiv = false;
+  /// Emit array reads/writes.
+  bool AllowArrays = true;
+  /// Scalar variable pool size (x0..x{N-1}).
+  uint32_t NumScalars = 6;
+  /// Array variable pool size (a0..a{N-1}).
+  uint32_t NumArrays = 2;
+  /// Loop trip counts stay within [0, MaxTrip].
+  int64_t MaxTrip = 6;
+};
+
+/// A concrete instantiation of a parameterized rule's Before pattern,
+/// ready to splice into generated programs. Built once per rule.
+struct RuleTemplate {
+  std::string RuleName;
+  StmtPtr Fragment; ///< Concrete statement (sequence) matching Before.
+};
+
+/// Generates one concrete program from \p R. Deterministic in the Rng
+/// state. When \p Template is non-null its fragment is spliced at a
+/// random sequence position with generated statements around it.
+StmtPtr generateProgram(Rng &R, const GenOptions &Options,
+                        const RuleTemplate *Template = nullptr);
+
+/// Instantiates rule \p Rule's Before pattern concretely: variable
+/// meta-variables become fresh distinct concrete variables, expression
+/// meta-variables small concrete expressions, statement meta-variables
+/// small concrete fragments (hole arguments are used through the holes,
+/// satisfying the matcher's capture conditions). Returns a template the
+/// matcher is guaranteed to find at least once when spliced unmodified.
+RuleTemplate instantiateRuleLhs(const Rule &Rule, Rng &R,
+                                const GenOptions &Options);
+
+/// Generates an initial store for \p Program: every variable in its
+/// read/write sets gets a small value; arrays get a handful of cells.
+State generateState(Rng &R, const StmtPtr &Program,
+                    const GenOptions &Options);
+
+/// Overlays counterexample-model values (parsed from rendered terms of
+/// the form `name` or `name[index]`) onto \p S. Unparseable terms are
+/// ignored — the model is a bias, not a contract.
+void biasStateWithModel(State &S,
+                        const std::vector<std::pair<std::string, int64_t>>
+                            &ModelValues);
+
+} // namespace fuzz
+} // namespace pec
+
+#endif // PEC_FUZZ_PROGGEN_H

@@ -1,0 +1,73 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splitmix64 generator for the fuzzing subsystem. Everything is
+/// hand-rolled on purpose: `std::uniform_int_distribution` is
+/// implementation-defined, and `pec fuzz --seed S` must generate the same
+/// programs on every platform and standard library so CI failures replay
+/// locally byte-for-byte.
+///
+/// Streams are split by hashing (seed, index) pairs: each generated
+/// program gets its own child generator, so `--jobs N` parallel runs and
+/// sequential runs visit identical programs regardless of scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_FUZZ_RNG_H
+#define PEC_FUZZ_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pec {
+namespace fuzz {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// The next 64 uniform bits (splitmix64; Steele, Lea & Flood 2014).
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N). N must be positive. The modulo bias is below
+  /// 2^-50 for every N the generator uses; determinism matters here,
+  /// statistical perfection does not.
+  uint64_t below(uint64_t N) {
+    assert(N > 0);
+    return next() % N;
+  }
+
+  /// Uniform in the inclusive range [Lo, Hi].
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi);
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability Percent / 100.
+  bool chance(uint32_t Percent) { return below(100) < Percent; }
+
+  /// Child-stream seed for (\p Seed, \p Index): one splitmix64 step over
+  /// a mixed pair, so sibling streams are uncorrelated.
+  static uint64_t mix(uint64_t Seed, uint64_t Index) {
+    Rng R(Seed ^ (0x632be59bd9b4e019ULL * (Index + 1)));
+    return R.next();
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace fuzz
+} // namespace pec
+
+#endif // PEC_FUZZ_RNG_H

@@ -1,0 +1,200 @@
+//===- RuleFuzz.cpp - Mutational rule-file fuzzing ---------------------------===//
+
+#include "fuzz/RuleFuzz.h"
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Minimize.h"
+#include "fuzz/Rng.h"
+#include "lang/Parser.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define PEC_FUZZ_HAVE_SUBPROCESS 1
+#else
+#define PEC_FUZZ_HAVE_SUBPROCESS 0
+#endif
+
+using namespace pec;
+using namespace pec::fuzz;
+
+namespace {
+
+/// Grammar-aware dictionary: inserting keywords and operators reaches far
+/// deeper parser states than raw byte noise alone.
+const char *const Dictionary[] = {
+    "rule",  "where", "forall", "fact",  "has",   "meaning",
+    "=>",    ":=",    "while",  "for",   "if",    "else",
+    "skip",  "assume", "@",     "&&",    "||",    "!",
+    "{",     "}",     "(",      ")",     "[",     "]",
+    ";",     ".",     ",",      "S1",    "E1",    "X",
+    "DoesNotModify", "DoesNotUse", "ConstExpr", "StrictlyPositive",
+};
+
+std::string mutateOnce(const std::string &Input, Rng &R) {
+  std::string Out = Input;
+  switch (R.below(7)) {
+  case 0: { // Byte flip.
+    if (Out.empty())
+      return Out;
+    size_t At = R.below(Out.size());
+    Out[At] = static_cast<char>(R.below(256));
+    return Out;
+  }
+  case 1: { // Byte insert.
+    size_t At = R.below(Out.size() + 1);
+    Out.insert(Out.begin() + At, static_cast<char>(R.below(256)));
+    return Out;
+  }
+  case 2: { // Chunk delete.
+    if (Out.empty())
+      return Out;
+    size_t At = R.below(Out.size());
+    size_t Len = 1 + R.below(16);
+    Out.erase(At, Len);
+    return Out;
+  }
+  case 3: { // Chunk duplicate.
+    if (Out.empty())
+      return Out;
+    size_t At = R.below(Out.size());
+    size_t Len = 1 + R.below(std::min<size_t>(32, Out.size() - At));
+    Out.insert(At, Out.substr(At, Len));
+    return Out;
+  }
+  case 4: { // Dictionary insert.
+    size_t At = R.below(Out.size() + 1);
+    const char *Word =
+        Dictionary[R.below(sizeof(Dictionary) / sizeof(Dictionary[0]))];
+    Out.insert(At, Word);
+    return Out;
+  }
+  case 5: { // Token swap: exchange two short spans.
+    if (Out.size() < 8)
+      return Out;
+    size_t A = R.below(Out.size() - 4);
+    size_t B = R.below(Out.size() - 4);
+    for (size_t I = 0; I < 4; ++I)
+      std::swap(Out[A + I], Out[B + I]);
+    return Out;
+  }
+  default: { // Truncate.
+    if (Out.empty())
+      return Out;
+    Out.resize(R.below(Out.size()));
+    return Out;
+  }
+  }
+}
+
+#if PEC_FUZZ_HAVE_SUBPROCESS
+/// Exit classification of one subprocess prove of \p Path.
+enum class ProveExit { Clean, Error, Crash };
+
+ProveExit proveInSubprocess(const std::string &SelfExe,
+                            const std::string &Path, uint32_t TimeoutSec,
+                            uint64_t QueryBudgetMs) {
+  pid_t Pid = fork();
+  if (Pid < 0)
+    return ProveExit::Error;
+  if (Pid == 0) {
+    // Child: silence output, arm the hang alarm (alarm() survives exec),
+    // and become `pec prove <mutant> --query-budget-ms N`.
+    int Null = open("/dev/null", O_WRONLY);
+    if (Null >= 0) {
+      dup2(Null, 1);
+      dup2(Null, 2);
+    }
+    alarm(TimeoutSec);
+    std::string Budget = std::to_string(QueryBudgetMs);
+    execl(SelfExe.c_str(), SelfExe.c_str(), "prove", Path.c_str(),
+          "--query-budget-ms", Budget.c_str(), static_cast<char *>(nullptr));
+    _exit(127);
+  }
+  int Status = 0;
+  if (waitpid(Pid, &Status, 0) < 0)
+    return ProveExit::Error;
+  if (WIFSIGNALED(Status))
+    return ProveExit::Crash; // Includes SIGALRM (hang) and SIGSEGV etc.
+  if (WIFEXITED(Status) && WEXITSTATUS(Status) == 127)
+    return ProveExit::Error; // exec failed; not the mutant's fault.
+  return ProveExit::Clean;   // Any orderly exit code: rejection is fine.
+}
+#endif
+
+bool writeText(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Text;
+  return static_cast<bool>(Out);
+}
+
+} // namespace
+
+std::string pec::fuzz::mutateRuleText(const std::string &Input,
+                                      uint64_t SeedMix) {
+  Rng R(SeedMix);
+  std::string Out = Input;
+  uint64_t Stack = 1 + R.below(3); // Mutation stacking, AFL-style.
+  for (uint64_t I = 0; I < Stack; ++I)
+    Out = mutateOnce(Out, R);
+  return Out;
+}
+
+RuleFuzzSummary pec::fuzz::fuzzRuleFiles(const RuleFuzzOptions &Options) {
+  RuleFuzzSummary Summary;
+  if (Options.SeedInputs.empty())
+    return Summary;
+
+  std::error_code Ec;
+  std::filesystem::create_directories(Options.CorpusDir, Ec);
+  std::string InflightPath = Options.CorpusDir + "/inflight.rules";
+  std::string MutantPath = Options.CorpusDir + "/mutant.rules";
+
+  for (uint64_t I = 0; I < Options.Iterations; ++I) {
+    ++Summary.Iterations;
+    const std::string &Base =
+        Options.SeedInputs[I % Options.SeedInputs.size()];
+    std::string Mutant = mutateRuleText(Base, Rng::mix(Options.Seed, I));
+
+    // Persist BEFORE parsing: if the parse aborts the process (ASan), the
+    // inflight file on disk is the reproducer CI uploads.
+    writeText(InflightPath, Mutant);
+    Expected<RuleFile> Parsed = parseRuleFile(Mutant);
+    if (!Parsed) {
+      ++Summary.ParseErrors;
+      continue;
+    }
+    ++Summary.ParsedOk;
+
+#if PEC_FUZZ_HAVE_SUBPROCESS
+    if (Options.ProveSubprocess && !Options.SelfExe.empty() &&
+        !Parsed->Rules.empty()) {
+      auto Verdict = [&](const std::string &Text) {
+        writeText(MutantPath, Text);
+        return proveInSubprocess(Options.SelfExe, MutantPath,
+                                 Options.ProveTimeoutSec,
+                                 Options.QueryBudgetMs) == ProveExit::Crash;
+      };
+      if (Verdict(Mutant)) {
+        ++Summary.Crashes;
+        std::string Shrunk = minimizeText(Mutant, Verdict);
+        std::string Saved = appendCrashFile(Options.CorpusDir, Shrunk);
+        if (!Saved.empty())
+          Summary.CrashFiles.push_back(Saved);
+      } else {
+        ++Summary.Proved;
+      }
+    }
+#endif
+  }
+
+  // A clean campaign leaves no inflight mutant behind.
+  std::filesystem::remove(InflightPath, Ec);
+  std::filesystem::remove(MutantPath, Ec);
+  return Summary;
+}

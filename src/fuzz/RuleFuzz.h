@@ -1,0 +1,75 @@
+//===- RuleFuzz.h - Mutational rule-file fuzzing ----------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte/token-level mutation of `rules/*.rules` sources, hardening the
+/// Lexer/Parser/Checker front door against crashes and hangs. Two
+/// detection tiers:
+///
+///   * In-process parsing: `parseRuleFile` on every mutant. A graceful
+///     Diag is a pass; memory bugs become aborts under the sanitizer
+///     lanes. The current mutant is persisted to `<corpus>/inflight.rules`
+///     *before* each parse, so when the process dies the reproducer is
+///     already on disk for CI to upload.
+///   * Subprocess proving (optional): mutants that parse are handed to a
+///     forked `pec prove <mutant> --query-budget-ms N` with an alarm()
+///     timeout. A signal exit is a crash, SIGALRM a hang; either way the
+///     input is shrunk with minimizeText (re-running the subprocess as
+///     the predicate) and committed as `crash-<hash>.rules`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_FUZZ_RULEFUZZ_H
+#define PEC_FUZZ_RULEFUZZ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pec {
+namespace fuzz {
+
+struct RuleFuzzOptions {
+  uint64_t Seed = 1;
+  uint64_t Iterations = 500;
+  /// Seed inputs (rule-file sources) mutants are derived from. At least
+  /// one is required.
+  std::vector<std::string> SeedInputs;
+  /// Where inflight.rules and crash-*.rules reproducers are written.
+  std::string CorpusDir = "fuzz-corpus";
+  /// Also prove parse-clean mutants in a forked subprocess.
+  bool ProveSubprocess = false;
+  /// Path to the pec binary for ProveSubprocess (typically
+  /// /proc/self/exe).
+  std::string SelfExe;
+  /// alarm() timeout for one subprocess prove.
+  uint32_t ProveTimeoutSec = 5;
+  /// --query-budget-ms handed to the subprocess.
+  uint64_t QueryBudgetMs = 500;
+};
+
+struct RuleFuzzSummary {
+  uint64_t Iterations = 0;
+  uint64_t ParsedOk = 0;
+  uint64_t ParseErrors = 0;
+  uint64_t Proved = 0;     ///< Subprocess proves that exited cleanly.
+  uint64_t Crashes = 0;    ///< Signal exits (crash or hang) observed.
+  std::vector<std::string> CrashFiles; ///< Minimized reproducer paths.
+};
+
+/// Runs the mutational campaign. Deterministic in (Seed, SeedInputs,
+/// Iterations) for the mutation stream; subprocess verdicts depend on the
+/// binary under test, as they must.
+RuleFuzzSummary fuzzRuleFiles(const RuleFuzzOptions &Options);
+
+/// One deterministic mutation step (exposed for tests): returns a mutant
+/// of \p Input using entropy from \p SeedMix.
+std::string mutateRuleText(const std::string &Input, uint64_t SeedMix);
+
+} // namespace fuzz
+} // namespace pec
+
+#endif // PEC_FUZZ_RULEFUZZ_H

@@ -9,13 +9,28 @@
 /// mapping variables to integers and arrays to int->int maps. The
 /// interpreter realizes Definition 1 of the paper operationally: two
 /// programs are equivalent iff they map every initial state to the same
-/// final state. The differential test suite uses it to validate every
-/// optimization dynamically on random states.
+/// final state. The differential test suite and the `pec fuzz` oracle use
+/// it to validate every optimization dynamically on generated states.
 ///
-/// `assume(c)`: execution *blocks* (reports Stuck) if `c` is false. The
-/// PEC pipeline only inserts assumes that are justified, so Stuck never
-/// occurs for programs produced by the engine; the interpreter still
-/// reports it faithfully.
+/// Execution that cannot produce a final state ends in a *structured trap*
+/// (ExecStatus plus a human-readable TrapDetail), never in undefined
+/// behavior, so the differential oracle can distinguish "both programs
+/// trap identically" (agreement) from genuine divergence:
+///
+///   * `assume(c)`: execution *blocks* (Stuck) if `c` is false. The PEC
+///     pipeline only inserts assumes that are justified, so Stuck never
+///     occurs for programs produced by the engine.
+///   * Division / modulo by zero traps with DivByZero. (The prover's
+///     logical semantics totalizes division, so a one-sided DivByZero is
+///     *inconclusive* for the oracle, not a divergence.)
+///   * The step budget (fuel) traps with OutOfFuel on divergence.
+///   * With InterpOptions::ArrayBound set, any array access outside
+///     [0, ArrayBound) traps with OobIndex — an optional bounds model for
+///     workloads that want C-like array semantics.
+///
+/// All arithmetic is two's-complement wraparound (implemented on uint64_t,
+/// so pathological generated programs cannot trigger signed-overflow UB
+/// under UBSan), and INT64_MIN / -1 wraps instead of faulting.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,26 +74,49 @@ private:
 /// Why execution failed to produce a final state.
 enum class ExecStatus {
   Ok,
-  Stuck,        ///< A false assume was reached.
-  OutOfFuel,    ///< Step budget exhausted (diverging loop).
-  DivByZero,    ///< Division or modulo by zero.
+  Stuck,     ///< A false assume was reached.
+  OutOfFuel, ///< Step budget exhausted (diverging loop).
+  DivByZero, ///< Division or modulo by zero.
+  OobIndex,  ///< Array index outside [0, InterpOptions::ArrayBound).
+};
+
+/// The stable lowercase slug for \p S ("ok", "div-by-zero", ...), used by
+/// fuzz scenario files and the summary JSON.
+const char *execStatusName(ExecStatus S);
+
+/// Interpreter knobs. The defaults reproduce the historical `run`
+/// behavior: 2^20 steps of fuel, unbounded (int -> int map) arrays.
+struct InterpOptions {
+  /// Step budget: loop iterations + statements before OutOfFuel.
+  uint64_t Fuel = 1u << 20;
+  /// When positive, array accesses are bounds-checked against
+  /// [0, ArrayBound) and trap with OobIndex outside it. 0 disables the
+  /// bounds model (arrays are total maps).
+  int64_t ArrayBound = 0;
 };
 
 struct ExecResult {
   ExecStatus Status = ExecStatus::Ok;
   State Final;
+  /// Human-readable elaboration of a trap ("division by zero evaluating
+  /// ...", "index 9 out of bounds for a"); empty when Status is Ok.
+  std::string TrapDetail;
 
   bool ok() const { return Status == ExecStatus::Ok; }
 };
 
 /// Evaluates concrete expression \p E in \p S. Division by zero sets
-/// \p DivByZero and returns 0.
+/// \p DivByZero and returns 0. Arithmetic wraps (no UB); no bounds model.
 int64_t evalExpr(const ExprPtr &E, const State &S, bool &DivByZero);
 
 /// Runs concrete statement \p Program from \p Initial with a step budget of
 /// \p Fuel loop iterations + statements. Asserts the program is concrete.
 ExecResult run(const StmtPtr &Program, const State &Initial,
                uint64_t Fuel = 1u << 20);
+
+/// As above with the full option set (bounds model, fuel).
+ExecResult run(const StmtPtr &Program, const State &Initial,
+               const InterpOptions &Options);
 
 } // namespace pec
 

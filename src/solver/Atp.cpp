@@ -118,6 +118,7 @@ void AtpStats::merge(const AtpStats &Other) {
   CacheHits += Other.CacheHits;
   CacheMisses += Other.CacheMisses;
   CacheBypasses += Other.CacheBypasses;
+  BudgetExhausted += Other.BudgetExhausted;
   for (size_t I = 0; I < telemetry::NumPurposes; ++I) {
     ByPurpose[I].Queries += Other.ByPurpose[I].Queries;
     ByPurpose[I].Microseconds += Other.ByPurpose[I].Microseconds;

@@ -62,6 +62,7 @@ struct AtpStats {
   uint64_t CacheHits = 0;       ///< Queries answered from the AtpCache.
   uint64_t CacheMisses = 0;     ///< Queries this Atp solved and published.
   uint64_t CacheBypasses = 0;   ///< Model-wanting queries re-solved locally.
+  uint64_t BudgetExhausted = 0; ///< Queries abandoned at the wall-clock budget.
   /// Breakdown of Queries/Microseconds by query purpose.
   AtpPurposeStats ByPurpose[telemetry::NumPurposes];
 
@@ -95,6 +96,12 @@ struct AtpOptions {
   uint64_t LubyRestartBase = 100;
   uint32_t LearntBudget = 2000;
   uint32_t LearntBudgetInc = 512;
+  /// Wall-clock budget per query in milliseconds; 0 means unlimited. On
+  /// exhaustion the query degrades one-sided-safely: the SAT core answers
+  /// "satisfiable" without a model, so isValid becomes false and PEC
+  /// conservatively rejects. Fuzz drivers set this so no generated
+  /// obligation can hang a run.
+  uint64_t QueryBudgetMs = 0;
 };
 
 /// One line of a counterexample model: a pretty-printed Int term (state

@@ -563,6 +563,8 @@ void SatSolver::analyzeFinal(Lit FailedAssumption, std::vector<Lit> &Out) {
 
 SatResult SatSolver::solve(const std::vector<Lit> &Assumptions) {
   FailedAssumptions.clear();
+  BudgetHit = false;
+  DeadlineTick = 0;
   if (Unsatisfiable)
     return SatResult::Unsat;
   backtrack(0);
@@ -605,6 +607,14 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions) {
   };
 
   while (true) {
+    // Wall-clock budget: abandon the search with a model-less Sat answer
+    // when the deadline passes (see setDeadline for the safety argument).
+    if (DeadlineArmed && (++DeadlineTick & 255u) == 0 &&
+        std::chrono::steady_clock::now() > Deadline) {
+      BudgetHit = true;
+      backtrack(0);
+      return SatResult::Sat;
+    }
     int32_t Conflict = propagate();
     if (Conflict < 0 && Theory) {
       // Online theory consultation at every propagation fixpoint: implied

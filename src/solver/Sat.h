@@ -20,6 +20,7 @@
 #ifndef PEC_SOLVER_SAT_H
 #define PEC_SOLVER_SAT_H
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -97,6 +98,22 @@ public:
     Config = C;
     MaxLearnts = C.LearntBudget;
   }
+
+  /// Arms a wall-clock deadline for subsequent solve() calls. When the
+  /// deadline passes mid-search the solver gives up and answers Sat —
+  /// one-sided safe for every caller in this codebase: "satisfiable"
+  /// degrades isValid to false, so PEC conservatively rejects instead of
+  /// wrongly proving (the same convention as the theory conflict budget).
+  /// budgetExhausted() distinguishes a real model from a give-up. Pass a
+  /// default-constructed time_point to disarm.
+  void setDeadline(std::chrono::steady_clock::time_point D) {
+    Deadline = D;
+    DeadlineArmed = D != std::chrono::steady_clock::time_point();
+  }
+
+  /// True when the last solve() call aborted on the wall-clock deadline;
+  /// its Sat answer then carries no model.
+  bool budgetExhausted() const { return BudgetHit; }
 
   /// Attaches the DPLL(T) theory client (nullptr detaches). The client is
   /// consulted at every propagation fixpoint, not only full assignments.
@@ -245,6 +262,13 @@ private:
   std::vector<Lit> FailedAssumptions;
   std::vector<Lit> TheoryImplied;  ///< Scratch for theoryCheck.
   std::vector<Lit> TheoryConflict; ///< Scratch for theoryCheck.
+
+  // Wall-clock budget: checked every few hundred search-loop iterations
+  // so the steady_clock read stays off the hot path.
+  std::chrono::steady_clock::time_point Deadline;
+  bool DeadlineArmed = false;
+  bool BudgetHit = false;
+  uint32_t DeadlineTick = 0;
 
   // Restart + reduction schedule.
   SatConfig Config;

@@ -5,6 +5,7 @@
 #include "support/Metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 using namespace pec;
@@ -408,6 +409,11 @@ bool SmtSession::solve(const std::vector<FormulaPtr> &Roots,
   Th = &QueryTheory;
   ConflictBudget = Options.MaxTheoryConflictsPerQuery;
   TheoryQuiet = false;
+  if (Options.QueryBudgetMs > 0)
+    Sat.setDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(Options.QueryBudgetMs));
+  else
+    Sat.setDeadline({});
   TheoryPropMark.clear();
   Sat.setTheory(this);
   struct Detach {
@@ -438,7 +444,11 @@ bool SmtSession::solve(const std::vector<FormulaPtr> &Roots,
     return false;
   }
   harvestSatStats();
-  if (ModelOut && !TheoryQuiet) {
+  if (Sat.budgetExhausted())
+    ++Stats.BudgetExhausted;
+  // A budget-exhausted "Sat" carries no trustworthy boolean model; leave
+  // ModelOut incomplete (same contract as a theory-quiet degradation).
+  if (ModelOut && !TheoryQuiet && !Sat.budgetExhausted()) {
     // Gather the theory literals this query's cone implies under the
     // boolean model, in atom creation order (deterministic).
     std::vector<TheoryLit> Lits;

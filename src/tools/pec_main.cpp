@@ -41,6 +41,9 @@
 
 #include "cfg/Cfg.h"
 #include "engine/Apply.h"
+#include "fuzz/Corpus.h"
+#include "fuzz/Differ.h"
+#include "fuzz/RuleFuzz.h"
 #include "interp/Interp.h"
 #include "lang/Parser.h"
 #include "lang/Printer.h"
@@ -96,6 +99,15 @@ int usage() {
                "[observability flags]\n"
                "  pec cfg <program-file>\n"
                "  pec interp <program-file> [var=value | arr[i]=value]...\n"
+               "  pec fuzz <rules-file> [--seed S] [--programs N] "
+               "[--states K]\n"
+               "           [--max-sites N] [--fuel N] [--allow-div] "
+               "[--jobs N]\n"
+               "           [--assume-proved] [--no-minimize] "
+               "[--query-budget-ms B]\n"
+               "           [--corpus-dir DIR] [--append-scenarios]\n"
+               "           [--mutate-rules N] [--summary-json FILE]\n"
+               "  pec fuzz --replay-corpus DIR [--query-budget-ms B]\n"
                "\n"
                "observability flags (prove, prove-suite, tv, explain):\n"
                "  --trace FILE    write a Chrome trace_event JSON to FILE\n"
@@ -116,6 +128,9 @@ int usage() {
                "                  --jobs 1 is sequential but cached)\n"
                "  --cache-stats   print the ATP cache counters after the "
                "run\n"
+               "  --query-budget-ms B  wall-clock budget per ATP query\n"
+               "                  (0 = unlimited; exhaustion degrades the\n"
+               "                  answer conservatively, never unsoundly)\n"
                "\n"
                "`pec explain` re-proves the rules and prints a structured\n"
                "failure diagnosis (counterexample model, minimized failing\n"
@@ -141,6 +156,8 @@ struct OutputOptions {
   unsigned Jobs = 1;
   bool JobsSet = false;
   bool CacheStats = false;
+  /// Per-query ATP wall-clock budget in ms (0 = unlimited).
+  uint64_t QueryBudgetMs = 0;
 
   /// Human-readable proof lines go to stderr in report mode so stdout
   /// stays pure JSON for downstream parsers.
@@ -229,6 +246,22 @@ bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
       Out.Jobs = N == 0 ? ThreadPool::hardwareJobs()
                         : static_cast<unsigned>(N);
       Out.JobsSet = true;
+    } else if (Args[I] == "--query-budget-ms") {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr,
+                     "error: --query-budget-ms requires a millisecond "
+                     "count\n");
+        return false;
+      }
+      char *End = nullptr;
+      long long N = std::strtoll(Args[I + 1].c_str(), &End, 10);
+      if (!End || *End != '\0' || N < 0) {
+        std::fprintf(stderr, "error: bad --query-budget-ms value '%s'\n",
+                     Args[I + 1].c_str());
+        return false;
+      }
+      ++I;
+      Out.QueryBudgetMs = static_cast<uint64_t>(N);
     } else if (Args[I] == "--cache-stats") {
       Out.CacheStats = true;
     } else {
@@ -360,6 +393,7 @@ std::vector<RuleReport> runProofs(const std::vector<Rule> &Rules,
     Cache = std::make_unique<AtpCache>();
   PecOptions Options = BaseOptions;
   Options.Cache = Cache.get();
+  Options.Atp.QueryBudgetMs = Opts.QueryBudgetMs;
 
   // Root of the causal journal: every rule span records this as its
   // parent (ThreadPool::submit carries the context to the workers).
@@ -644,7 +678,9 @@ int cmdTv(const std::string &OrigPath, const std::string &TransPath,
                  (!Orig ? Orig.error() : Trans.error()).str().c_str());
     return 1;
   }
-  PecResult R = proveEquivalence(*Orig, *Trans);
+  PecOptions Options;
+  Options.Atp.QueryBudgetMs = Opts.QueryBudgetMs;
+  PecResult R = proveEquivalence(*Orig, *Trans, Options);
   int Exit;
   if (R.Proved) {
     std::fprintf(Opts.humanStream(), "EQUIVALENT (%llu ATP queries, %.3fs)\n",
@@ -692,20 +728,12 @@ int cmdInterp(const std::string &Path,
     }
   }
   ExecResult R = run(*Program, Init);
-  switch (R.Status) {
-  case ExecStatus::Ok:
+  if (R.ok()) {
     std::printf("final state: %s\n", R.Final.str().c_str());
     return 0;
-  case ExecStatus::Stuck:
-    std::printf("stuck: a false assume was reached\n");
-    return 1;
-  case ExecStatus::OutOfFuel:
-    std::printf("did not terminate within the step budget\n");
-    return 1;
-  case ExecStatus::DivByZero:
-    std::printf("division by zero\n");
-    return 1;
   }
+  std::printf("trap (%s): %s\n", execStatusName(R.Status),
+              R.TrapDetail.c_str());
   return 1;
 }
 
@@ -721,6 +749,204 @@ int cmdCfg(const std::string &Path) {
   }
   std::printf("%s", Cfg::build(*Program).str().c_str());
   return 0;
+}
+
+/// `pec fuzz`: the scenario factory (docs/FUZZING.md). Exit 0 when the
+/// campaign is clean, 1 on soundness divergences / crashes / corpus
+/// replay failures, 2 on usage errors.
+int cmdFuzz(std::vector<std::string> Args) {
+  fuzz::DiffOptions Diff;
+  uint64_t MutateIterations = 0;
+  std::string RulesPath, CorpusDir, ReplayDir, SummaryPath;
+  bool AppendScenarios = false;
+  uint64_t ReplayBudgetMs = 5000;
+
+  auto NeedValue = [&](size_t I, const char *Flag) {
+    if (I + 1 < Args.size())
+      return true;
+    std::fprintf(stderr, "error: %s requires a value\n", Flag);
+    return false;
+  };
+  auto ParseU64 = [](const std::string &Text, uint64_t &Out) {
+    char *End = nullptr;
+    long long N = std::strtoll(Text.c_str(), &End, 10);
+    if (!End || *End != '\0' || N < 0)
+      return false;
+    Out = static_cast<uint64_t>(N);
+    return true;
+  };
+
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    uint64_t U = 0;
+    if (A == "--seed" || A == "--programs" || A == "--states" ||
+        A == "--max-sites" || A == "--fuel" || A == "--jobs" ||
+        A == "--query-budget-ms" || A == "--mutate-rules" ||
+        A == "--max-stmts") {
+      if (!NeedValue(I, A.c_str()) || !ParseU64(Args[I + 1], U)) {
+        std::fprintf(stderr, "error: bad %s value\n", A.c_str());
+        return 2;
+      }
+      if (A == "--seed")
+        Diff.Seed = U;
+      else if (A == "--programs")
+        Diff.Programs = U;
+      else if (A == "--states")
+        Diff.StatesPerApplication = static_cast<uint32_t>(U);
+      else if (A == "--max-sites")
+        Diff.MaxSitesPerRule = static_cast<uint32_t>(U);
+      else if (A == "--max-stmts")
+        Diff.Gen.MaxStmts = static_cast<uint32_t>(U);
+      else if (A == "--fuel")
+        Diff.Fuel = U;
+      else if (A == "--jobs")
+        Diff.Jobs = U == 0 ? ThreadPool::hardwareJobs()
+                           : static_cast<unsigned>(U);
+      else if (A == "--query-budget-ms") {
+        Diff.QueryBudgetMs = U;
+        ReplayBudgetMs = U;
+      } else
+        MutateIterations = U;
+      ++I;
+    } else if (A == "--allow-div") {
+      Diff.Gen.AllowDiv = true;
+    } else if (A == "--assume-proved") {
+      Diff.AssumeProved = true;
+    } else if (A == "--no-minimize") {
+      Diff.MinimizeFindings = false;
+    } else if (A == "--append-scenarios") {
+      AppendScenarios = true;
+    } else if (A == "--corpus-dir") {
+      if (!NeedValue(I, "--corpus-dir"))
+        return 2;
+      CorpusDir = Args[++I];
+    } else if (A == "--replay-corpus") {
+      if (!NeedValue(I, "--replay-corpus"))
+        return 2;
+      ReplayDir = Args[++I];
+    } else if (A == "--summary-json") {
+      if (!NeedValue(I, "--summary-json"))
+        return 2;
+      SummaryPath = Args[++I];
+    } else if (!A.empty() && A[0] != '-' && RulesPath.empty()) {
+      RulesPath = A;
+    } else {
+      std::fprintf(stderr, "error: unknown fuzz argument '%s'\n", A.c_str());
+      return 2;
+    }
+  }
+
+  // Replay mode: re-check every committed scenario and crash reproducer.
+  if (!ReplayDir.empty()) {
+    size_t Replayed = 0;
+    std::vector<std::string> Failures =
+        fuzz::replayCorpusDir(ReplayDir, Replayed);
+    for (const std::string &F : Failures)
+      std::fprintf(stderr, "corpus FAIL: %s\n", F.c_str());
+    std::printf("corpus: %zu artifact(s) replayed, %zu failure(s)\n",
+                Replayed, Failures.size());
+    return Failures.empty() ? 0 : 1;
+  }
+
+  if (RulesPath.empty()) {
+    std::fprintf(stderr, "error: pec fuzz needs a rules file "
+                         "(or --replay-corpus DIR)\n");
+    return 2;
+  }
+  std::string Source;
+  if (!readFile(RulesPath, Source))
+    return 1;
+  Expected<RuleFile> File = parseRuleFile(Source);
+  if (!File) {
+    std::fprintf(stderr, "parse error: %s\n", File.error().str().c_str());
+    return 1;
+  }
+
+  fuzz::DiffSummary Summary = fuzz::runDifferential(*File, Diff);
+
+  std::printf("rules: %llu proved, %llu rejected\n",
+              static_cast<unsigned long long>(Summary.RulesProved),
+              static_cast<unsigned long long>(Summary.RulesRejected));
+  std::printf("programs generated:  %llu\n",
+              static_cast<unsigned long long>(Summary.ProgramsGenerated));
+  std::printf("match sites:         %llu\n",
+              static_cast<unsigned long long>(Summary.MatchSites));
+  std::printf("applications tested: %llu\n",
+              static_cast<unsigned long long>(Summary.Applications));
+  std::printf("states run:          %llu\n",
+              static_cast<unsigned long long>(Summary.StatesRun));
+  std::printf("agreements:          %llu (+%llu both-trapped, "
+              "%llu inconclusive)\n",
+              static_cast<unsigned long long>(Summary.Agreements),
+              static_cast<unsigned long long>(Summary.BothTrapped),
+              static_cast<unsigned long long>(Summary.Inconclusive));
+  std::printf("divergences:         %llu (%llu on proved rules)\n",
+              static_cast<unsigned long long>(Summary.Divergences),
+              static_cast<unsigned long long>(Summary.SoundnessBugs));
+  for (const fuzz::DiffFinding &F : Summary.Findings) {
+    std::fprintf(stderr, "\n%s on rule '%s' (state %s):\n  %s\n",
+                 F.RuleProved ? "SOUNDNESS BUG" : "confirmed divergence",
+                 F.RuleName.c_str(), F.StateText.c_str(), F.Detail.c_str());
+    std::fprintf(stderr, "--- original ---\n%s--- optimized ---\n%s",
+                 F.Original.c_str(), F.Optimized.c_str());
+    if (AppendScenarios && !CorpusDir.empty() && !F.RuleProved) {
+      fuzz::Scenario S;
+      S.RuleName = F.RuleName;
+      S.RuleText = F.RuleText;
+      S.Original = F.Original;
+      S.Optimized = F.Optimized;
+      S.StateText = F.StateText;
+      std::string Path = fuzz::appendScenario(CorpusDir, S);
+      if (!Path.empty())
+        std::fprintf(stderr, "scenario saved: %s\n", Path.c_str());
+    }
+  }
+
+  // Soundness bugs always fail; under --assume-proved every divergence is
+  // treated as one (the planted-unsound CI check asserts this exit).
+  int Exit =
+      !Summary.clean() || (Diff.AssumeProved && Summary.Divergences > 0) ? 1
+                                                                         : 0;
+
+  // The mutational rule-file campaign, when requested.
+  if (MutateIterations > 0) {
+    fuzz::RuleFuzzOptions RF;
+    RF.Seed = Diff.Seed;
+    RF.Iterations = MutateIterations;
+    RF.SeedInputs.push_back(Source);
+    RF.CorpusDir = CorpusDir.empty() ? "fuzz-corpus" : CorpusDir;
+    RF.QueryBudgetMs = ReplayBudgetMs == 0 ? 500 : ReplayBudgetMs;
+#if defined(__unix__) || defined(__APPLE__)
+    RF.ProveSubprocess = true;
+    RF.SelfExe = "/proc/self/exe";
+#endif
+    fuzz::RuleFuzzSummary M = fuzz::fuzzRuleFiles(RF);
+    std::printf("rule mutants:        %llu (%llu parsed, %llu rejected, "
+                "%llu crashes)\n",
+                static_cast<unsigned long long>(M.Iterations),
+                static_cast<unsigned long long>(M.ParsedOk),
+                static_cast<unsigned long long>(M.ParseErrors),
+                static_cast<unsigned long long>(M.Crashes));
+    for (const std::string &P : M.CrashFiles)
+      std::fprintf(stderr, "crash reproducer saved: %s\n", P.c_str());
+    if (M.Crashes > 0)
+      Exit = 1;
+  }
+
+  if (!SummaryPath.empty()) {
+    std::string Json = fuzz::summaryJson(Summary);
+    if (SummaryPath == "-") {
+      std::printf("%s\n", Json.c_str());
+    } else {
+      std::ofstream Out(SummaryPath, std::ios::binary | std::ios::trunc);
+      Out << Json << "\n";
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n", SummaryPath.c_str());
+        return 2;
+      }
+    }
+  }
+  return Exit;
 }
 
 } // namespace
@@ -844,5 +1070,7 @@ int main(int argc, char **argv) {
   if (Cmd == "interp" && Args.size() >= 2)
     return cmdInterp(Args[1],
                      std::vector<std::string>(Args.begin() + 2, Args.end()));
+  if (Cmd == "fuzz" && Args.size() >= 2)
+    return cmdFuzz(std::vector<std::string>(Args.begin() + 1, Args.end()));
   return usage();
 }

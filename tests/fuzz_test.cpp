@@ -1,0 +1,245 @@
+//===- fuzz_test.cpp - The pec fuzz scenario factory -----------------------------===//
+//
+// The differential-testing subsystem (docs/FUZZING.md): generator
+// determinism, minimizer idempotence, the corpus round trip, and two
+// end-to-end campaigns — the proved Figure 11 suite must produce zero
+// prover-vs-interpreter divergences, and a planted unsound rule must be
+// caught and minimized.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Differ.h"
+#include "fuzz/Minimize.h"
+#include "fuzz/ProgGen.h"
+#include "fuzz/RuleFuzz.h"
+#include "fuzz/Rng.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace pec;
+using namespace pec::fuzz;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+RuleFile parseRules(const std::string &Path) {
+  Expected<RuleFile> File = parseRuleFile(slurp(Path));
+  EXPECT_TRUE(bool(File)) << (File ? "" : File.error().str());
+  return *File;
+}
+
+//===----------------------------------------------------------------------===//
+// Rng + generator determinism
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzRng, MixIsDeterministicAndSpreads) {
+  EXPECT_EQ(Rng::mix(42, 7), Rng::mix(42, 7));
+  EXPECT_NE(Rng::mix(42, 7), Rng::mix(42, 8));
+  EXPECT_NE(Rng::mix(42, 7), Rng::mix(43, 7));
+}
+
+TEST(FuzzGenerator, SameSeedSameProgram) {
+  GenOptions Options;
+  for (uint64_t Seed : {1u, 2u, 99u}) {
+    Rng A(Seed), B(Seed);
+    StmtPtr PA = generateProgram(A, Options);
+    StmtPtr PB = generateProgram(B, Options);
+    EXPECT_EQ(printStmt(PA), printStmt(PB)) << "seed " << Seed;
+  }
+}
+
+TEST(FuzzGenerator, DifferentSeedsDiffer) {
+  GenOptions Options;
+  Rng A(1), B(2);
+  EXPECT_NE(printStmt(generateProgram(A, Options)),
+            printStmt(generateProgram(B, Options)));
+}
+
+TEST(FuzzGenerator, SameSeedSameState) {
+  GenOptions Options;
+  Rng G(5);
+  StmtPtr P = generateProgram(G, Options);
+  Rng A(17), B(17);
+  EXPECT_EQ(generateState(A, P, Options).str(),
+            generateState(B, P, Options).str());
+}
+
+TEST(FuzzGenerator, TemplateFragmentIsSpliced) {
+  // A concrete fragment handed to the generator must appear in the
+  // output program (that is how every corpus rule is guaranteed match
+  // sites).
+  Expected<StmtPtr> Frag = parseProgram("t9 := 1 + 2;");
+  ASSERT_TRUE(bool(Frag));
+  RuleTemplate T;
+  T.RuleName = "demo";
+  T.Fragment = *Frag;
+  Rng R(3);
+  GenOptions Options;
+  StmtPtr P = generateProgram(R, Options, &T);
+  EXPECT_NE(printStmt(P).find("t9 := 1 + 2"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Minimizer idempotence
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzMinimize, ProgramMinimizationIsIdempotent) {
+  GenOptions Options;
+  Rng R(11);
+  StmtPtr P = generateProgram(R, Options);
+  // "Still fails" = the program still writes x0 somewhere.
+  StmtPredicate Pred = [](const StmtPtr &S) {
+    return printStmt(S).find("x0 :=") != std::string::npos;
+  };
+  if (!Pred(P)) {
+    Expected<StmtPtr> Seeded = parseProgram("x0 := 1; x1 := x0 + 2;");
+    ASSERT_TRUE(bool(Seeded));
+    P = *Seeded;
+  }
+  StmtPtr Once = minimizeProgram(P, Pred);
+  StmtPtr Twice = minimizeProgram(Once, Pred);
+  EXPECT_TRUE(Pred(Once));
+  EXPECT_EQ(printStmt(Once), printStmt(Twice));
+}
+
+TEST(FuzzMinimize, TextMinimizationIsIdempotent) {
+  std::string Input = slurp(std::string(PEC_RULES_DIR) + "/figure11.rules");
+  TextPredicate Pred = [](const std::string &Text) {
+    return Text.find("copy_prop") != std::string::npos;
+  };
+  ASSERT_TRUE(Pred(Input));
+  std::string Once = minimizeText(Input, Pred);
+  std::string Twice = minimizeText(Once, Pred);
+  EXPECT_TRUE(Pred(Once));
+  EXPECT_EQ(Once, Twice);
+  EXPECT_LT(Once.size(), Input.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Scenario corpus round trip
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzCorpus, ScenarioRoundTrips) {
+  Scenario S;
+  S.RuleName = "demo";
+  S.RuleText = "rule demo { X := E; } => { X := E; };";
+  S.Original = "x := 1;";
+  S.Optimized = "x := 2;";
+  S.StateText = "x=0 a[1]=5";
+  Expected<Scenario> Back = parseScenario(renderScenario(S));
+  ASSERT_TRUE(bool(Back));
+  EXPECT_EQ(Back->RuleName, S.RuleName);
+  EXPECT_EQ(Back->RuleText, S.RuleText);
+  EXPECT_EQ(Back->Original, S.Original);
+  EXPECT_EQ(Back->Optimized, S.Optimized);
+  EXPECT_EQ(Back->StateText, S.StateText);
+}
+
+TEST(FuzzCorpus, StateLineRoundTrips) {
+  Expected<State> S = parseStateLine("a[0]=7 a[2]=-3 x=4 y=-1");
+  ASSERT_TRUE(bool(S));
+  EXPECT_EQ(S->getScalar(Symbol::get("x")), 4);
+  EXPECT_EQ(S->getArrayElem(Symbol::get("a"), 2), -3);
+  Expected<State> Again = parseStateLine(renderStateLine(*S));
+  ASSERT_TRUE(bool(Again));
+  EXPECT_TRUE(*S == *Again);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end campaigns
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzDiffer, Figure11HasNoSoundnessBugs) {
+  RuleFile Rules = parseRules(std::string(PEC_RULES_DIR) + "/figure11.rules");
+  DiffOptions Options;
+  Options.Seed = 1;
+  Options.Programs = 60;
+  Options.QueryBudgetMs = 5000;
+  DiffSummary Summary = runDifferential(Rules, Options);
+  EXPECT_EQ(Summary.SoundnessBugs, 0u) << summaryJson(Summary);
+  EXPECT_GT(Summary.RulesProved, 0u);
+  EXPECT_GT(Summary.Applications, 0u);
+  EXPECT_GT(Summary.Agreements, 0u);
+  EXPECT_TRUE(Summary.Findings.empty());
+}
+
+TEST(FuzzDiffer, DeterministicAcrossJobs) {
+  RuleFile Rules = parseRules(std::string(PEC_RULES_DIR) + "/figure11.rules");
+  DiffOptions Options;
+  Options.Seed = 9;
+  Options.Programs = 24;
+  Options.QueryBudgetMs = 5000;
+  DiffSummary Serial = runDifferential(Rules, Options);
+  Options.Jobs = 4;
+  DiffSummary Parallel = runDifferential(Rules, Options);
+  EXPECT_EQ(summaryJson(Serial), summaryJson(Parallel));
+}
+
+TEST(FuzzDiffer, PlantedUnsoundRuleIsCaughtAndMinimized) {
+  RuleFile Rules = parseRules(std::string(PEC_RULES_DIR) + "/unsound.rules");
+  DiffOptions Options;
+  Options.Seed = 1;
+  Options.Programs = 30;
+  Options.QueryBudgetMs = 2000;
+  // The checker rejects both planted rules, so the campaign would skip
+  // them; --assume-proved forces the pipeline through, asserting that a
+  // checker miss *would* be caught by the oracle.
+  Options.AssumeProved = true;
+  DiffSummary Summary = runDifferential(Rules, Options);
+  EXPECT_EQ(Summary.RulesProved, 0u);
+  EXPECT_GT(Summary.Divergences, 0u);
+  EXPECT_EQ(Summary.SoundnessBugs, 0u); // None of them were proved.
+  ASSERT_FALSE(Summary.Findings.empty());
+  // The minimizer must have shrunk the witness to a handful of lines.
+  const DiffFinding &F = Summary.Findings.front();
+  EXPECT_FALSE(F.RuleProved);
+  EXPECT_LE(std::count(F.Original.begin(), F.Original.end(), '\n'), 8);
+  // ...and the finding must replay as a corpus scenario.
+  Scenario S;
+  S.RuleName = F.RuleName;
+  S.RuleText = F.RuleText;
+  S.Original = F.Original;
+  S.Optimized = F.Optimized;
+  S.StateText = F.StateText;
+  ReplayResult R = replayScenario(S, /*QueryBudgetMs=*/2000);
+  EXPECT_TRUE(R.Ok) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Rule-file mutation
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzRuleFuzz, MutationsAreDeterministic) {
+  std::string Input = slurp(std::string(PEC_RULES_DIR) + "/unsound.rules");
+  EXPECT_EQ(mutateRuleText(Input, Rng::mix(4, 2)),
+            mutateRuleText(Input, Rng::mix(4, 2)));
+}
+
+TEST(FuzzRuleFuzz, ParserSurvivesMutationCampaign) {
+  RuleFuzzOptions Options;
+  Options.Seed = 12;
+  Options.Iterations = 150;
+  Options.SeedInputs.push_back(
+      slurp(std::string(PEC_RULES_DIR) + "/figure11.rules"));
+  Options.CorpusDir = ::testing::TempDir();
+  Options.ProveSubprocess = false; // Parse-only: fast and in-process.
+  RuleFuzzSummary Summary = fuzzRuleFiles(Options);
+  EXPECT_EQ(Summary.Iterations, 150u);
+  EXPECT_EQ(Summary.Crashes, 0u);
+  EXPECT_GT(Summary.ParsedOk + Summary.ParseErrors, 0u);
+}
+
+} // namespace
