@@ -293,7 +293,7 @@ std::string pec::renderJsonReport(const std::string &Command,
   }
 
   std::string Out = "{";
-  appendString(Out, "schema", "pec-report-v4");
+  appendString(Out, "schema", "pec-report-v5");
   Out += ',';
   appendString(Out, "command", Command);
   Out += ',';
@@ -324,6 +324,17 @@ std::string pec::renderJsonReport(const std::string &Command,
   appendUint(Out, "model_bypasses", Run->Cache.ModelBypasses);
   Out += ',';
   appendUint(Out, "entries", Run->Cache.Entries);
+  Out += ',';
+  // v5 persistent-store counters (deterministically zero for runs
+  // without --cache-dir). The wait count is deliberately absent: how
+  // often threads blocked on in-flight entries is pure scheduling.
+  appendUint(Out, "disk_hits", Run->Cache.DiskHits);
+  Out += ',';
+  appendUint(Out, "disk_entries", Run->Cache.DiskEntries);
+  Out += ',';
+  appendUint(Out, "load_ms", Run->Cache.LoadMicros / 1000);
+  Out += ',';
+  appendUint(Out, "checkpoint_ms", Run->Cache.CheckpointMicros / 1000);
   Out += ',';
   appendSeconds(Out, "hit_rate", Run->Cache.hitRate());
   Out += "},";
@@ -420,6 +431,37 @@ std::string pec::renderStatsTable(const std::vector<RuleReport> &Rules) {
                 "%" PRIu64 " ATP queries, %.3fs inside the ATP\n",
                 Total.Atp.Queries,
                 static_cast<double>(Total.Atp.Microseconds) / 1e6);
+  Out += Line;
+  return Out;
+}
+
+std::string pec::renderCacheStatsTable(const AtpCacheStats &C) {
+  std::string Out;
+  char Line[160];
+  std::snprintf(Line, sizeof(Line),
+                "atp cache: %.1f%% hit rate (%" PRIu64 " hits / %" PRIu64
+                " lookups)\n",
+                100.0 * C.hitRate(), C.Hits, C.Hits + C.Misses);
+  Out += Line;
+  auto Row = [&](const char *Label, uint64_t V) {
+    std::snprintf(Line, sizeof(Line), "  %-22s %10" PRIu64 "\n", Label, V);
+    Out += Line;
+  };
+  Row("memory hits", C.Hits - C.DiskHits);
+  Row("disk hits", C.DiskHits);
+  Row("misses", C.Misses);
+  Row("single-flight waits", C.Waits);
+  Row("model bypasses", C.ModelBypasses);
+  Row("insertions", C.Insertions);
+  Row("evictions", C.Evictions);
+  std::snprintf(Line, sizeof(Line),
+                "  %-22s %10" PRIu64 "  (%" PRIu64 " from disk)\n",
+                "resident entries", C.Entries, C.DiskEntries);
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "  %-22s %7.1f ms load, %.1f ms checkpoints\n", "store",
+                static_cast<double>(C.LoadMicros) / 1000.0,
+                static_cast<double>(C.CheckpointMicros) / 1000.0);
   Out += Line;
   return Out;
 }
@@ -611,6 +653,8 @@ bool pec::validateReport(const json::ValuePtr &Report, std::string *Error) {
     Version = 3;
   else if (Schema == "pec-report-v4")
     Version = 4;
+  else if (Schema == "pec-report-v5")
+    Version = 5;
   else
     return failV(Error, "report: unknown schema '" + Schema + "'");
 
@@ -634,6 +678,12 @@ bool pec::validateReport(const json::ValuePtr &Report, std::string *Error) {
                             "model_bypasses", "entries", "hit_rate"})
       if (!requireField(Cache, "cache", Key, json::Kind::Number, Error))
         return false;
+    if (Version >= 5)
+      // v5: the persistent-store split (docs/SERVING.md).
+      for (const char *Key :
+           {"disk_hits", "disk_entries", "load_ms", "checkpoint_ms"})
+        if (!requireField(Cache, "cache", Key, json::Kind::Number, Error))
+          return false;
   }
   if (Version >= 4) {
     // v4: the pec::metrics snapshot. Every histogram object carries the
@@ -779,6 +829,8 @@ ReportDiff pec::diffReports(const json::ValuePtr &Old,
       return 3;
     if (S == "pec-report-v4")
       return 4;
+    if (S == "pec-report-v5")
+      return 5;
     return 0;
   };
   const std::string &OldSchema = Old->get("schema")->stringValue();
@@ -925,6 +977,39 @@ ReportDiff pec::diffReports(const json::ValuePtr &Old,
                      Options.P50SlackMicros);
       GatePercentile(Name, "p99", Options.P99ToleranceFactor,
                      Options.P99SlackMicros);
+    }
+  }
+
+  // Warm-cache gate (opt-in, `--min-hit-rate`): the NEW report's run-level
+  // hit rate must clear the floor. A warm rerun against a persistent store
+  // should re-solve (miss) almost nothing; a new report that ran without
+  // the cache at all fails outright so a CI lane dropping --cache-dir
+  // cannot pass silently.
+  if (Options.MinHitRate > 0) {
+    json::ValuePtr Cache = New->get("cache");
+    json::ValuePtr Enabled = Cache ? Cache->get("enabled") : nullptr;
+    if (!Enabled || !Enabled->boolValue()) {
+      D.Regressions.push_back(
+          "cache hit-rate gate: the new report ran without the ATP cache "
+          "(minimum hit rate " + std::to_string(Options.MinHitRate) + ")");
+    } else {
+      double Rate = Cache->get("hit_rate")->numberValue();
+      char Buf[160];
+      uint64_t Hits =
+          static_cast<uint64_t>(Cache->get("hits")->numberValue());
+      json::ValuePtr DiskHits = Cache->get("disk_hits"); // v5 only.
+      uint64_t Disk = DiskHits ? static_cast<uint64_t>(DiskHits->numberValue())
+                               : 0;
+      std::snprintf(Buf, sizeof(Buf),
+                    "cache hit rate %.3f (%" PRIu64 " hits: %" PRIu64
+                    " memory, %" PRIu64 " disk)",
+                    Rate, Hits, Hits - Disk, Disk);
+      if (Rate < Options.MinHitRate)
+        D.Regressions.push_back(std::string(Buf) + " below the minimum " +
+                                std::to_string(Options.MinHitRate));
+      else
+        D.Notes.push_back(std::string(Buf) + " meets the minimum " +
+                          std::to_string(Options.MinHitRate));
     }
   }
 

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The `pec-report-v4` JSON report: one schema-stable document per proof
+/// The `pec-report-v5` JSON report: one schema-stable document per proof
 /// run, carrying per-rule outcomes, pipeline phase times, and the full ATP
 /// statistics with the per-purpose query breakdown. Emitted by
 /// `pec prove/prove-suite/tv --report json` and by `bench_figure11
@@ -26,9 +26,16 @@
 /// each with a sparse `[lower_bound, count]` bucket array, plus the
 /// monotonic counters. The schema is documented in
 /// docs/OBSERVABILITY.md and docs/DIAGNOSTICS.md and enforced by
-/// `validateReport` (which still accepts v1/v2/v3 documents as legacy
+/// `validateReport` (which still accepts v1..v4 documents as legacy
 /// input; the `check_bench_schema` CTest and the telemetry unit tests
-/// both call it, so the format cannot silently drift).
+/// both call it, so the format cannot silently drift). v5 extends the
+/// `cache` section with the persistent-store counters
+/// (docs/SERVING.md): `disk_hits` (hits served by entries the run loaded
+/// from disk), `disk_entries` (resident entries that came from the
+/// store), and the `load_ms`/`checkpoint_ms` wall times of the store
+/// load and of all checkpoints. All four are deterministically zero for
+/// runs without `--cache-dir`, so report byte-determinism across
+/// schedules is preserved.
 ///
 /// `diffReports` compares two report documents — proved-set changes,
 /// per-rule time and ATP-query deltas under a configurable tolerance, and
@@ -74,7 +81,7 @@ struct RunInfo {
   metrics::Snapshot Metrics;
 };
 
-/// Renders the `pec-report-v4` JSON document. \p Command names the
+/// Renders the `pec-report-v5` JSON document. \p Command names the
 /// producing run ("prove", "prove-suite", "tv", "bench_figure11"). When
 /// \p Run is null the parallelism/cache sections describe a sequential,
 /// uncached run (jobs 1, wall == summed rule seconds) and the metrics
@@ -88,14 +95,23 @@ std::string renderJsonReport(const std::string &Command,
 /// totals row.
 std::string renderStatsTable(const std::vector<RuleReport> &Rules);
 
-/// Validates a parsed report against the `pec-report-v1`..`v4` schema
+/// Renders the human-readable `--cache-stats` table: one coherent view of
+/// the shared AtpCache counters — memory vs. disk hit split, misses,
+/// single-flight waits, residency (with the store-loaded share), and the
+/// store load/checkpoint wall times. Also backs the `pec serve` stats
+/// verb, so daemon and CLI report cache health identically. The
+/// scheduling-dependent wait count lives only here, never in report JSON.
+std::string renderCacheStatsTable(const AtpCacheStats &C);
+
+/// Validates a parsed report against the `pec-report-v1`..`v5` schema
 /// (field presence and JSON types, per-rule and totals; v2 additionally
 /// checks the failure taxonomy, `failure_detail`, the `minimize` purpose
 /// slice, and any `diagnosis` objects; v3 additionally requires the
 /// top-level `parallelism` and `cache` sections; v4 additionally
 /// requires the `metrics` section with per-purpose ATP latency
-/// percentiles). On failure returns false and describes the first
-/// violation in \p Error.
+/// percentiles; v5 additionally requires the persistent-store cache
+/// fields `disk_hits`/`disk_entries`/`load_ms`/`checkpoint_ms`). On
+/// failure returns false and describes the first violation in \p Error.
 bool validateReport(const json::ValuePtr &Report, std::string *Error);
 
 /// Tolerances for diffReports. A metric regresses only when it exceeds the
@@ -121,6 +137,13 @@ struct ReportDiffOptions {
   uint64_t P50SlackMicros = 20000;
   double P99ToleranceFactor = 0;
   uint64_t P99SlackMicros = 100000;
+  /// Warm-cache gate (`pec report diff --min-hit-rate R`): the NEW
+  /// report's run-level cache hit rate must be at least R. Disabled at 0.
+  /// A new report that ran without the cache enabled fails the gate
+  /// outright — a warm-run CI lane losing its `--cache-dir` flag should
+  /// not pass silently. The v5 disk/memory hit split is reported as a
+  /// note alongside.
+  double MinHitRate = 0;
 };
 
 /// Outcome of comparing two report documents.

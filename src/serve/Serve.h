@@ -1,0 +1,92 @@
+//===- Serve.h - The pec proof daemon ---------------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `pec serve`: a long-lived proof daemon on a Unix-domain socket, so a
+/// compiler driver (or a warm CI lane) can amortize the ATP cache across
+/// many invocations instead of re-solving per process (docs/SERVING.md).
+///
+/// Wire protocol: length-prefixed JSON. Each frame is a 4-byte
+/// little-endian payload length followed by exactly that many bytes of
+/// UTF-8 JSON; a connection carries any number of request/reply frame
+/// pairs, strictly in order. Requests are objects with a `verb`:
+///
+///   {"verb":"prove","rules":"<rule-file text>"}
+///   {"verb":"apply","rules":"...","program":"...","fixpoint":bool}
+///   {"verb":"explain","rules":"..."}
+///   {"verb":"stats"}
+///   {"verb":"ping","sleep_ms":N}     (health check / load generator)
+///   {"verb":"shutdown"}
+///
+/// Replies always carry `"ok"` (false with an `"error"` string on any
+/// failure). Work-carrying verbs (prove/apply/explain/ping) pass through
+/// admission control: at most `MaxQueue` of them are in flight at once
+/// and excess requests are answered immediately with
+/// `{"ok":false,"error":"overloaded"}` — the client's cue to back off —
+/// rather than queueing unboundedly. `stats` and `shutdown` are control
+/// plane and bypass admission, so the daemon stays observable under
+/// saturation.
+///
+/// Admitted work executes on the server's work-stealing ThreadPool (rules
+/// of one request fan out as individual tasks; the connection thread
+/// helps run tasks while it waits), every query goes through the shared
+/// AtpCache, and with a `CacheDir` the cache is persistent: loaded at
+/// startup, journaled on every fulfill, checkpointed every
+/// `CheckpointEvery` work requests and once more at shutdown. A second
+/// `prove` of the same rules — even across daemon restarts — does
+/// near-zero ATP work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SERVE_SERVE_H
+#define PEC_SERVE_SERVE_H
+
+#include <string>
+#include <string_view>
+
+namespace pec {
+namespace serve {
+
+struct ServeOptions {
+  /// Filesystem path of the Unix-domain listening socket. An existing
+  /// socket file at the path is replaced.
+  std::string SocketPath;
+  /// Worker threads of the proof pool (0 = one per hardware thread).
+  unsigned Jobs = 1;
+  /// Persistent ATP-cache directory; empty serves from memory only.
+  std::string CacheDir;
+  /// Admission bound: work-carrying requests in flight at once before the
+  /// server answers `overloaded`.
+  unsigned MaxQueue = 32;
+  /// Checkpoint the persistent cache after every N admitted work
+  /// requests (0 = only at shutdown).
+  unsigned CheckpointEvery = 16;
+  /// Per-query ATP wall-clock budget in ms (0 = unlimited), as in
+  /// `pec prove --query-budget-ms`.
+  uint64_t QueryBudgetMs = 0;
+};
+
+/// Runs the daemon until a `shutdown` request (or a fatal socket error).
+/// Blocks. Returns the process exit code (0 on clean shutdown).
+int runServer(const ServeOptions &Options);
+
+/// One client round-trip on a fresh connection: sends \p RequestJson as a
+/// frame, receives one reply frame into \p ReplyJson. Returns false (and
+/// fills \p Error) when the socket cannot be reached or the peer hangs
+/// up mid-frame.
+bool clientRequest(const std::string &SocketPath,
+                   const std::string &RequestJson, std::string &ReplyJson,
+                   std::string *Error = nullptr);
+
+/// Frame primitives (exposed for the serve tests): 4-byte little-endian
+/// length prefix + payload, EINTR-safe, whole-frame-or-false.
+bool sendFrame(int Fd, std::string_view Payload);
+bool recvFrame(int Fd, std::string &Payload, std::string *Error = nullptr);
+
+} // namespace serve
+} // namespace pec
+
+#endif // PEC_SERVE_SERVE_H

@@ -2,6 +2,8 @@
 
 #include "solver/AtpCache.h"
 
+#include "solver/AtpStore.h"
+#include "support/FlightRecorder.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -314,6 +316,14 @@ std::string pec::canonicalQueryKey(const TermArena &Arena, const FormulaPtr &F,
 // Sharded single-flight map
 //===----------------------------------------------------------------------===//
 
+AtpCache::AtpCache(size_t MaxEntriesPerShard)
+    : MaxEntriesPerShard(MaxEntriesPerShard ? MaxEntriesPerShard : 1) {}
+
+AtpCache::~AtpCache() {
+  if (Store)
+    Store->flush();
+}
+
 AtpCache::Lookup AtpCache::acquire(const std::string &Key, int NeedModelOn,
                                    bool &Result, WorkDelta &Delta) {
   Shard &S = shardFor(Key);
@@ -330,6 +340,7 @@ AtpCache::Lookup AtpCache::acquire(const std::string &Key, int NeedModelOn,
     // Journal the blocked interval: `pec report timeline` counts it as
     // wasted work (a thread stalled on a sibling's in-flight solve).
     trace::Span WaitTrace("cache.wait");
+    ++S.Waits;
     auto WaitStart = std::chrono::steady_clock::now();
     S.ReadyCv.wait(Lock, [&] {
       auto E = S.Entries.find(Key);
@@ -349,6 +360,10 @@ AtpCache::Lookup AtpCache::acquire(const std::string &Key, int NeedModelOn,
     return Lookup::Bypass;
   }
   ++S.Hits;
+  if (E.FromDisk) {
+    ++S.DiskHits;
+    metrics::add(metrics::Counter::AtpCacheDiskHits);
+  }
   Result = E.Result;
   Delta = E.Delta;
   return Lookup::Hit;
@@ -362,6 +377,7 @@ void AtpCache::fulfill(const std::string &Key, bool Result,
     Entry &E = S.Entries[Key];
     E.Ready = true;
     E.Result = Result;
+    E.FromDisk = false;
     E.Delta = Delta;
     ++S.Insertions;
     if (S.Entries.size() > MaxEntriesPerShard) {
@@ -378,6 +394,75 @@ void AtpCache::fulfill(const std::string &Key, bool Result,
     }
   }
   S.ReadyCv.notify_all();
+  // Journal outside the shard lock: the store serializes internally, and
+  // a hit on this key must never wait on an fsync.
+  if (Store)
+    Store->append(Key, Result, Delta);
+}
+
+bool AtpCache::attachStore(const std::string &Dir, std::string *Error) {
+  auto NewStore = std::make_unique<AtpStore>(Dir);
+  auto Start = std::chrono::steady_clock::now();
+  bool Ok = NewStore->open(
+      [&](AtpStoreEntry E) {
+        // Last writer wins: journal records follow snapshot records, so
+        // straight insertion replays history in order. Loaded entries do
+        // not count as Insertions — those meter this run's solves.
+        Shard &S = shardFor(E.Key);
+        std::lock_guard<std::mutex> Lock(S.Mutex);
+        Entry &Slot = S.Entries[E.Key];
+        Slot.Ready = true;
+        Slot.Result = E.Result;
+        Slot.FromDisk = true;
+        Slot.Delta = E.Delta;
+      },
+      Error);
+  LoadMicros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  if (!Ok)
+    return false;
+  const AtpStoreLoadInfo &Info = NewStore->loadInfo();
+  flight::instant("cache.store.load_us", LoadMicros);
+  if (Info.SchemaMismatch)
+    flight::instant("cache.store.schema_mismatch", AtpKeySchemaVersion);
+  if (Info.DroppedBytes)
+    flight::instant("cache.store.torn_tail_bytes", Info.DroppedBytes);
+  // Slow disk loads are exactly what the flight recorder is for: leave a
+  // durable breadcrumb once the load crosses the slow-query threshold.
+  uint64_t Threshold = flight::slowQueryThresholdUs();
+  if (Threshold && LoadMicros >= Threshold)
+    flight::noteSlowQuery("cache.store.load", LoadMicros);
+  Store = std::move(NewStore);
+  return true;
+}
+
+bool AtpCache::checkpoint(std::string *Error) {
+  if (!Store)
+    return true;
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<AtpStoreEntry> Entries;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    for (const auto &KV : S.Entries)
+      if (KV.second.Ready)
+        Entries.push_back(AtpStoreEntry{KV.first, KV.second.Result,
+                                        KV.second.Delta});
+  }
+  bool Ok = Store->compact(Entries, Error);
+  uint64_t Micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  CheckpointMicros.fetch_add(Micros, std::memory_order_relaxed);
+  flight::instant("cache.store.checkpoint_us", Micros);
+  return Ok;
+}
+
+void AtpCache::flushStore() {
+  if (Store)
+    Store->flush();
 }
 
 AtpCacheStats AtpCache::stats() const {
@@ -389,8 +474,14 @@ AtpCacheStats AtpCache::stats() const {
     Out.Insertions += S.Insertions;
     Out.Evictions += S.Evictions;
     Out.ModelBypasses += S.ModelBypasses;
-    for (const auto &KV : S.Entries)
+    Out.DiskHits += S.DiskHits;
+    Out.Waits += S.Waits;
+    for (const auto &KV : S.Entries) {
       Out.Entries += KV.second.Ready ? 1 : 0;
+      Out.DiskEntries += KV.second.Ready && KV.second.FromDisk ? 1 : 0;
+    }
   }
+  Out.LoadMicros = LoadMicros;
+  Out.CheckpointMicros = CheckpointMicros.load(std::memory_order_relaxed);
   return Out;
 }

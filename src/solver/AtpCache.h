@@ -48,13 +48,24 @@
 #include "solver/Formula.h"
 #include "solver/Term.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
 namespace pec {
+
+class AtpStore;
+
+/// Version stamp of the canonicalQueryKey rendering. Persisted stores
+/// (AtpStore) refuse to load entries written under a different version:
+/// a canonicalizer change silently colliding old keys with new queries
+/// would be an unsoundness, so stale stores are discarded, not merged.
+/// Bump this whenever KeyBuilder's output can change for any formula.
+constexpr uint32_t AtpKeySchemaVersion = 1;
 
 /// Snapshot of the cache counters, summed over all shards.
 struct AtpCacheStats {
@@ -64,6 +75,11 @@ struct AtpCacheStats {
   uint64_t Evictions = 0;     ///< Ready entries dropped by capacity pressure.
   uint64_t ModelBypasses = 0; ///< Model-wanting lookups forced to re-solve.
   uint64_t Entries = 0;       ///< Ready entries currently resident.
+  uint64_t DiskHits = 0;      ///< Subset of Hits served by store-loaded entries.
+  uint64_t DiskEntries = 0;   ///< Resident entries that came from the store.
+  uint64_t Waits = 0;         ///< Single-flight blocks on an in-flight entry.
+  uint64_t LoadMicros = 0;       ///< Wall time of attachStore()'s load.
+  uint64_t CheckpointMicros = 0; ///< Cumulative checkpoint() wall time.
 
   double hitRate() const {
     uint64_t Total = Hits + Misses;
@@ -98,11 +114,13 @@ public:
   /// 16 shards) is far above any current suite's distinct-query count, so
   /// eviction — which would make hit totals scheduling-dependent — does not
   /// occur in practice (the tiny-capacity path is exercised by tests).
-  explicit AtpCache(size_t MaxEntriesPerShard = 16384)
-      : MaxEntriesPerShard(MaxEntriesPerShard ? MaxEntriesPerShard : 1) {}
+  explicit AtpCache(size_t MaxEntriesPerShard = 16384);
 
   AtpCache(const AtpCache &) = delete;
   AtpCache &operator=(const AtpCache &) = delete;
+
+  /// Flushes any attached store (out-of-line for the AtpStore pimpl).
+  ~AtpCache();
 
   /// Looks up \p Key. \p NeedModelOn selects one-sided model semantics:
   /// -1 = caller wants no model; 0 = caller needs a model when the answer
@@ -114,8 +132,29 @@ public:
                  WorkDelta &Delta);
 
   /// Publishes the answer for a key previously acquired as Miss and wakes
-  /// all threads waiting on it.
+  /// all threads waiting on it. When a store is attached the entry is also
+  /// appended to its journal (outside the shard lock).
   void fulfill(const std::string &Key, bool Result, const WorkDelta &Delta);
+
+  /// Attaches the persistent store under directory \p Dir
+  /// (docs/SERVING.md): loads its snapshot + journal into the shards
+  /// (entries marked as disk-resident; torn or corrupt journal tails are
+  /// dropped, stale key-schema versions discard the whole store), then
+  /// journals every future fulfill(). Call before proving starts — the
+  /// load assumes no concurrent lookups. Returns false and leaves the
+  /// cache store-less when the directory is unusable.
+  bool attachStore(const std::string &Dir, std::string *Error = nullptr);
+
+  /// Rewrites the store snapshot with every ready resident entry and
+  /// truncates the journal (atomic rename; see AtpStore::compact). Safe
+  /// to call concurrently with lookups. No-op without a store.
+  bool checkpoint(std::string *Error = nullptr);
+
+  /// Flushes and fsyncs any batched journal appends. No-op without a
+  /// store.
+  void flushStore();
+
+  AtpStore *store() const { return Store.get(); }
 
   AtpCacheStats stats() const;
 
@@ -123,6 +162,7 @@ private:
   struct Entry {
     bool Ready = false;
     bool Result = false;
+    bool FromDisk = false; ///< Loaded by attachStore, not solved this run.
     WorkDelta Delta;
   };
 
@@ -135,6 +175,8 @@ private:
     uint64_t Insertions = 0;
     uint64_t Evictions = 0;
     uint64_t ModelBypasses = 0;
+    uint64_t DiskHits = 0;
+    uint64_t Waits = 0;
   };
 
   static constexpr size_t NumShards = 16;
@@ -145,6 +187,10 @@ private:
 
   Shard Shards[NumShards];
   size_t MaxEntriesPerShard;
+  std::unique_ptr<AtpStore> Store;
+  uint64_t LoadMicros = 0; ///< Written once by attachStore, before lookups.
+  /// checkpoint() may race stats(); keep the accumulator atomic.
+  std::atomic<uint64_t> CheckpointMicros{0};
 };
 
 /// Renders the canonical cache key of query \p F (see file comment):

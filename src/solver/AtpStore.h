@@ -1,0 +1,124 @@
+//===- AtpStore.h - Persistent on-disk ATP cache store ----------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable half of the AtpCache (docs/SERVING.md): a versioned
+/// on-disk store under one directory, holding the cache's canonical
+/// query keys with their verdicts and WorkDeltas so a later process —
+/// a warm CLI rerun or a restarted `pec serve` daemon — starts with the
+/// fleet's accumulated answers instead of cold.
+///
+///   <dir>/atp-cache.snapshot   compact image, rewritten by compact()
+///   <dir>/atp-cache.journal    append-only log of entries since then
+///
+/// Both files open with a fixed header (magic, file-format version,
+/// AtpKeySchemaVersion) followed by CRC-framed records
+/// (support/Framing.h). Crash safety:
+///
+///   * appends batch fsyncs (every FsyncBatch records and on flush), so
+///     a crash loses at most the unsynced journal suffix;
+///   * the reader tail-drops the journal at the first torn or
+///     CRC-corrupt record — everything before the fsync horizon
+///     survives, nothing corrupt is ever served;
+///   * compact() writes a temp snapshot, fsyncs it, atomically renames
+///     it over the old one, fsyncs the directory, then truncates the
+///     journal. A crash between rename and truncate merely leaves
+///     journal entries that duplicate snapshot entries — idempotent on
+///     reload;
+///   * a header with the wrong magic, file version, or key-schema
+///     version discards the store (both files are reset): the
+///     canonicalizer changed and the old keys no longer mean the same
+///     queries.
+///
+/// Thread safety: append()/flush()/compact() serialize on an internal
+/// mutex; open() must finish before concurrent use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_ATPSTORE_H
+#define PEC_SOLVER_ATPSTORE_H
+
+#include "solver/AtpCache.h"
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pec {
+
+/// One persisted cache entry.
+struct AtpStoreEntry {
+  std::string Key;
+  bool Result = false;
+  AtpCache::WorkDelta Delta;
+};
+
+/// What open() found on disk — surfaced in --cache-stats and the flight
+/// recorder so slow or discarded loads are visible.
+struct AtpStoreLoadInfo {
+  uint64_t SnapshotEntries = 0; ///< Records read from the snapshot.
+  uint64_t JournalEntries = 0;  ///< Records read from the journal.
+  uint64_t DroppedBytes = 0;    ///< Torn/corrupt journal tail discarded.
+  bool SchemaMismatch = false;  ///< Store was stale and reset.
+};
+
+class AtpStore {
+public:
+  /// \p FsyncBatch: journal appends between fsyncs (1 = sync every
+  /// append; the default trades at most 32 lost entries on power cut for
+  /// not paying an fsync per query).
+  explicit AtpStore(std::string Dir, size_t FsyncBatch = 32);
+  ~AtpStore();
+
+  AtpStore(const AtpStore &) = delete;
+  AtpStore &operator=(const AtpStore &) = delete;
+
+  /// Creates the directory if needed, loads snapshot + journal (handing
+  /// each entry to \p Consume; later journal records win over snapshot
+  /// ones upstream, where insertion is last-writer), truncates any torn
+  /// journal tail, and opens the journal for appending. Returns false on
+  /// an I/O failure that makes the store unusable.
+  bool open(const std::function<void(AtpStoreEntry)> &Consume,
+            std::string *Error = nullptr);
+
+  const AtpStoreLoadInfo &loadInfo() const { return Info; }
+
+  /// Appends one entry to the journal (thread-safe, batched fsync).
+  bool append(const std::string &Key, bool Result,
+              const AtpCache::WorkDelta &Delta);
+
+  /// Flushes and fsyncs pending journal appends.
+  void flush();
+
+  /// Atomically replaces the snapshot with exactly \p Entries and resets
+  /// the journal (see file comment for the crash-safety argument).
+  bool compact(const std::vector<AtpStoreEntry> &Entries,
+               std::string *Error = nullptr);
+
+  const std::string &directory() const { return Dir; }
+
+  static constexpr const char *SnapshotFile = "atp-cache.snapshot";
+  static constexpr const char *JournalFile = "atp-cache.journal";
+
+private:
+  bool loadFile(const std::string &Path, bool IsJournal,
+                const std::function<void(AtpStoreEntry)> &Consume,
+                std::string *Error);
+
+  std::string Dir;
+  size_t FsyncBatch;
+  AtpStoreLoadInfo Info;
+
+  std::mutex Mutex;       ///< Serializes append/flush/compact.
+  int JournalFd = -1;     ///< Open O_APPEND journal.
+  size_t Unsynced = 0;    ///< Appends since the last fsync.
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_ATPSTORE_H

@@ -76,6 +76,15 @@ struct LinExpr {
 /// rebuilding the whole tableau.
 class LiaSolver {
 public:
+  /// \p BoundPropagation: derive integer-tightened per-variable bounds
+  /// from single-variable constraints as they are built into the base
+  /// (assert time), so an immediate Lower > Upper conflict answers
+  /// isFeasible() without copying the tableau or pivoting. Gated by
+  /// AtpOptions::LiaBoundPropagation end to end; bench_atp carries the
+  /// A/B.
+  explicit LiaSolver(bool BoundPropagation = true)
+      : BoundProp(BoundPropagation) {}
+
   uint32_t newVar();
   size_t numVars() const { return NumUserVars; }
 
@@ -100,6 +109,14 @@ public:
   /// Integer feasibility of all constraints added so far. Budget counts
   /// branch-and-bound + disequality-split nodes.
   bool isFeasible(uint32_t Budget = 4096);
+
+  /// Builds pending constraints into the base and reports whether the
+  /// assert-time checks alone — violated degenerate constraints and
+  /// (with bound propagation) per-variable bound conflicts — already
+  /// refute the constraint set. Never copies the tableau or pivots;
+  /// `false` means "not yet refuted", not "feasible". This is the cheap
+  /// partial-assignment probe behind TheorySolver's non-final checks.
+  bool hasAssertConflict();
 
   /// After isFeasible() returned true: the satisfying integer value of a
   /// user variable.
@@ -152,7 +169,23 @@ private:
     int32_t Row;    ///< Base row id, or -1 for degenerate constraints.
     uint32_t Slack;
     bool Violated; ///< Degenerate and unsatisfiable.
+    // Bound-propagation undo info: when this constraint tightened a user
+    // variable's base bounds, the pre-tightening bounds to restore on
+    // rollback (LIFO, like the rows).
+    bool Tightened = false;
+    uint32_t BoundVar = 0;
+    Bound PrevBound;
   };
+
+  /// Lower > Upper on integer-tightened bounds (immediate infeasibility).
+  static bool boundConflict(const Bound &B) {
+    return B.Lower && B.Upper && *B.Lower > *B.Upper;
+  }
+
+  /// Integer-tightens Base.Bounds for single-variable constraints at
+  /// build time and maintains BaseBoundConflicts; fills the undo fields
+  /// of \p R.
+  void propagateBounds(const LinExpr &E, bool IsEq, BuiltRecord &R);
   Tableau Base;
   std::vector<LinExpr> BasePendingNe;
   std::vector<BuiltRecord> Built;
@@ -162,6 +195,8 @@ private:
   size_t BuiltLe = 0;      ///< LeEqConstraints prefix length built.
   size_t BuiltNeCount = 0; ///< NeConstraints prefix length built.
   size_t BaseViolated = 0; ///< Violated degenerate constraints built.
+  size_t BaseBoundConflicts = 0; ///< Vars whose tightened bounds cross.
+  bool BoundProp;
 };
 
 } // namespace pec

@@ -100,7 +100,10 @@ std::vector<TheoryLit> minimalTheoryCore(
 /// A conflict latches until the state that caused it is popped.
 class TheorySolver {
 public:
-  explicit TheorySolver(TermArena &Arena);
+  /// \p LiaBoundProp gates the assert-time LIA bound propagation behind
+  /// checkPartial() and the LiaSolver instances checkFull() builds
+  /// (AtpOptions::LiaBoundPropagation end to end).
+  explicit TheorySolver(TermArena &Arena, bool LiaBoundProp = true);
 
   /// ORs \p Mask (TermId-indexed) into the relevance mask. Call before the
   /// first assertLit(); widening later is allowed and re-arms the closure.
@@ -122,6 +125,14 @@ public:
   /// Cheap incremental check: congruence/store fixpoint + disequalities.
   /// Sound at partial assignments (an EUF conflict is a real conflict).
   bool checkEuf();
+
+  /// checkEuf() plus a pivot-free LIA probe: the trail's arithmetic is
+  /// built into a solver whose assert-time bound propagation
+  /// (LiaSolver::hasAssertConflict) refutes crossed per-variable bounds
+  /// without copying the tableau or pivoting. Sound at partial
+  /// assignments; "true" means "not yet refuted". Falls back to plain
+  /// checkEuf() when bound propagation is disabled.
+  bool checkPartial();
 
   /// Complete check: EUF plus LIA with Nelson-Oppen equality exchange.
   /// The full gate the SAT core runs before reporting "satisfiable".
@@ -177,6 +188,7 @@ private:
   std::vector<Frame> Frames;
   std::vector<char> Relevant;
   bool Conflicted = false;
+  bool LiaBoundProp;
 };
 
 } // namespace pec

@@ -1,0 +1,91 @@
+//===- Framing.cpp - CRC-framed binary records ----------------------------------===//
+
+#include "support/Framing.h"
+
+#include <array>
+#include <cstring>
+
+using namespace pec;
+
+namespace {
+
+/// The CRC-32 lookup table, built once (reflected 0xEDB88320 polynomial).
+std::array<uint32_t, 256> buildCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? (0xEDB88320u ^ (C >> 1)) : (C >> 1);
+    Table[I] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t framing::crc32(const void *Data, size_t Len) {
+  static const std::array<uint32_t, 256> Table = buildCrcTable();
+  uint32_t C = 0xFFFFFFFFu;
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I)
+    C = Table[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+void framing::appendU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void framing::appendU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+bool framing::readU32(std::string_view In, size_t &Offset, uint32_t &V) {
+  if (Offset + 4 > In.size())
+    return false;
+  V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<unsigned char>(In[Offset + I]))
+         << (8 * I);
+  Offset += 4;
+  return true;
+}
+
+bool framing::readU64(std::string_view In, size_t &Offset, uint64_t &V) {
+  if (Offset + 8 > In.size())
+    return false;
+  V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(In[Offset + I]))
+         << (8 * I);
+  Offset += 8;
+  return true;
+}
+
+void framing::appendRecord(std::string &Out, std::string_view Payload) {
+  appendU32(Out, static_cast<uint32_t>(Payload.size()));
+  appendU32(Out, crc32(Payload.data(), Payload.size()));
+  Out.append(Payload.data(), Payload.size());
+}
+
+bool framing::RecordReader::next(std::string_view &Payload) {
+  if (Offset == Buffer.size())
+    return false; // Clean end: stopped exactly on a boundary.
+  size_t At = Offset;
+  uint32_t Len = 0, Crc = 0;
+  if (!readU32(Buffer, At, Len) || !readU32(Buffer, At, Crc) ||
+      At + Len > Buffer.size()) {
+    Clean = false; // Torn header or truncated payload.
+    return false;
+  }
+  std::string_view Body = Buffer.substr(At, Len);
+  if (crc32(Body.data(), Body.size()) != Crc) {
+    Clean = false; // Bit rot or a torn overwrite.
+    return false;
+  }
+  Offset = At + Len;
+  Payload = Body;
+  return true;
+}

@@ -1,0 +1,77 @@
+//===- Framing.h - CRC-framed binary records --------------------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Length-prefixed, CRC32-guarded record framing shared by the on-disk
+/// AtpCache store (docs/SERVING.md) and anything else that needs
+/// crash-safe append-only files. A record on the wire is
+///
+///   [u32 payload length][u32 crc32(payload)][payload bytes]
+///
+/// little-endian, no alignment. The reader distinguishes a *clean* end
+/// (buffer exhausted exactly at a record boundary) from a *torn* tail
+/// (a partial header, a length that overruns the buffer, or a CRC
+/// mismatch): a journal written with appendRecord and fsync'd in batches
+/// can lose at most the unsynced suffix, and the reader drops exactly
+/// that suffix — never a prefix, never a silently corrupted payload.
+///
+/// Integer helpers are here too so store payloads are encoded in one
+/// byte order everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SUPPORT_FRAMING_H
+#define PEC_SUPPORT_FRAMING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pec {
+namespace framing {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) of \p Len bytes.
+uint32_t crc32(const void *Data, size_t Len);
+
+/// Appends \p V little-endian.
+void appendU32(std::string &Out, uint32_t V);
+void appendU64(std::string &Out, uint64_t V);
+
+/// Reads little-endian integers at \p Offset; false when out of range.
+/// On success advances \p Offset past the value.
+bool readU32(std::string_view In, size_t &Offset, uint32_t &V);
+bool readU64(std::string_view In, size_t &Offset, uint64_t &V);
+
+/// Appends one framed record ([len][crc][payload]) to \p Out.
+void appendRecord(std::string &Out, std::string_view Payload);
+
+/// Walks framed records in a buffer. `next` yields payloads until the
+/// buffer ends; afterwards `clean()` tells whether the walk stopped at a
+/// record boundary or on a torn/corrupt tail, and `offset()` is the byte
+/// offset of the first bad (or one-past-the-last good) byte — the
+/// truncation point for tail-drop recovery.
+class RecordReader {
+public:
+  explicit RecordReader(std::string_view Buffer) : Buffer(Buffer) {}
+
+  /// Advances to the next record. Returns false at the end of the valid
+  /// prefix (clean or torn — check clean()).
+  bool next(std::string_view &Payload);
+
+  bool clean() const { return Clean; }
+  size_t offset() const { return Offset; }
+
+private:
+  std::string_view Buffer;
+  size_t Offset = 0;
+  bool Clean = true;
+};
+
+} // namespace framing
+} // namespace pec
+
+#endif // PEC_SUPPORT_FRAMING_H

@@ -25,6 +25,8 @@ const char *metrics::counterName(Counter C) {
     return "atp_cache_misses";
   case Counter::AtpCacheBypasses:
     return "atp_cache_bypasses";
+  case Counter::AtpCacheDiskHits:
+    return "atp_cache_disk_hits";
   case Counter::SlowQueries:
     return "slow_queries";
   case Counter::FlightDumpsSuppressed:

@@ -62,10 +62,11 @@ enum class Counter : unsigned {
   AtpCacheHits,     ///< Queries answered from the shared AtpCache.
   AtpCacheMisses,   ///< Queries solved locally and published.
   AtpCacheBypasses, ///< Model-wanting queries the cache could not serve.
+  AtpCacheDiskHits, ///< Subset of hits served by persisted-store entries.
   SlowQueries,      ///< Queries past the --slow-query-ms threshold.
   FlightDumpsSuppressed, ///< Slow-query dumps dropped by the per-process cap.
 };
-constexpr size_t NumCounters = 5;
+constexpr size_t NumCounters = 6;
 
 /// Instantaneous values, additive across shards (a thread adds on entry
 /// and subtracts on exit, so the shard sum is the current level).

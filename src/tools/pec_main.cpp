@@ -20,7 +20,7 @@
 //
 //   --trace FILE         write a Chrome trace_event JSON of the run to FILE
 //   --journal FILE       write a pec-journal-v1 causal run journal to FILE
-//   --report json        emit the pec-report-v4 JSON document on stdout
+//   --report json        emit the pec-report-v5 JSON document on stdout
 //                        (human-readable lines move to stderr)
 //   --stats              print the per-rule phase/ATP statistics table
 //   --metrics-out FILE   write the pec::metrics registry in Prometheus
@@ -52,7 +52,9 @@
 #include "pec/Pec.h"
 #include "pec/Report.h"
 #include "pec/Timeline.h"
+#include "serve/Serve.h"
 #include "solver/AtpCache.h"
+#include "support/Escape.h"
 #include "support/FlightRecorder.h"
 #include "support/Log.h"
 #include "support/Metrics.h"
@@ -79,9 +81,12 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  pec prove <rules-file> [--jobs N] [--cache-stats] "
-               "[observability flags]\n"
+               "[--cache-dir DIR] [observability flags]\n"
                "  pec prove-suite [--jobs N] [--cache-stats] "
-               "[observability flags]\n"
+               "[--cache-dir DIR] [observability flags]\n"
+               "  pec serve --socket PATH [--jobs N] [--cache-dir DIR]\n"
+               "            [--max-queue N] [--checkpoint-every N]\n"
+               "  pec client --socket PATH <verb> [args...]\n"
                "  pec explain <rules-file> [rule-name] [--dot FILE] [observability flags]\n"
                "  pec report diff <old.json> <new.json> "
                "[--time-tolerance F] [--time-slack S]\n"
@@ -92,6 +97,7 @@ int usage() {
                " [--strengthening-query-slack N]\n"
                "                  [--p50-tolerance F] [--p50-slack-us N]"
                " [--p99-tolerance F] [--p99-slack-us N]\n"
+               "                  [--min-hit-rate R]\n"
                "  pec report timeline <journal.jsonl> [--json]\n"
                "  pec apply <rules-file> <program-file> [--fixpoint] "
                "[--assume-positive] [--staged]\n"
@@ -113,7 +119,7 @@ int usage() {
                "  --trace FILE    write a Chrome trace_event JSON to FILE\n"
                "  --journal FILE  append a pec-journal-v1 causal run journal\n"
                "                  (analyze with `pec report timeline`)\n"
-               "  --report json   emit the pec-report-v4 JSON on stdout\n"
+               "  --report json   emit the pec-report-v5 JSON on stdout\n"
                "  --stats         print the per-rule statistics table\n"
                "  --metrics-out FILE  write Prometheus-format metrics to "
                "FILE\n"
@@ -128,6 +134,10 @@ int usage() {
                "                  --jobs 1 is sequential but cached)\n"
                "  --cache-stats   print the ATP cache counters after the "
                "run\n"
+               "  --cache-dir DIR persist the ATP cache under DIR\n"
+               "                  (snapshot + journal; loaded at startup,\n"
+               "                  checkpointed after the run — enables the\n"
+               "                  cache even without --jobs)\n"
                "  --query-budget-ms B  wall-clock budget per ATP query\n"
                "                  (0 = unlimited; exhaustion degrades the\n"
                "                  answer conservatively, never unsoundly)\n"
@@ -156,6 +166,10 @@ struct OutputOptions {
   unsigned Jobs = 1;
   bool JobsSet = false;
   bool CacheStats = false;
+  /// Persistent ATP-cache directory (docs/SERVING.md). Giving the flag
+  /// enables the shared cache even for sequential runs, loads the store
+  /// before proving, and checkpoints it after.
+  std::string CacheDir;
   /// Per-query ATP wall-clock budget in ms (0 = unlimited).
   uint64_t QueryBudgetMs = 0;
 
@@ -264,6 +278,12 @@ bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
       Out.QueryBudgetMs = static_cast<uint64_t>(N);
     } else if (Args[I] == "--cache-stats") {
       Out.CacheStats = true;
+    } else if (Args[I] == "--cache-dir") {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr, "error: --cache-dir requires a directory\n");
+        return false;
+      }
+      Out.CacheDir = Args[++I];
     } else {
       Rest.push_back(Args[I]);
     }
@@ -322,21 +342,12 @@ int finishRun(const OutputOptions &Opts, const std::string &Command,
                  renderStatsTable(Rules).c_str());
   if (Opts.CacheStats) {
     if (Run && Run->CacheEnabled) {
-      const AtpCacheStats &C = Run->Cache;
-      std::fprintf(Opts.humanStream(),
-                   "atp cache: %llu hits, %llu misses (%.1f%% hit rate), "
-                   "%llu insertions, %llu evictions, %llu model bypasses, "
-                   "%llu live entries\n",
-                   static_cast<unsigned long long>(C.Hits),
-                   static_cast<unsigned long long>(C.Misses),
-                   100.0 * C.hitRate(),
-                   static_cast<unsigned long long>(C.Insertions),
-                   static_cast<unsigned long long>(C.Evictions),
-                   static_cast<unsigned long long>(C.ModelBypasses),
-                   static_cast<unsigned long long>(C.Entries));
+      std::fprintf(Opts.humanStream(), "%s",
+                   renderCacheStatsTable(Run->Cache).c_str());
     } else {
       std::fprintf(Opts.humanStream(),
-                   "atp cache: disabled (pass --jobs to enable)\n");
+                   "atp cache: disabled (pass --jobs or --cache-dir to "
+                   "enable)\n");
     }
   }
   if (Opts.ReportJson) {
@@ -389,8 +400,17 @@ std::vector<RuleReport> runProofs(const std::vector<Rule> &Rules,
   std::vector<RuleReport> Reports(Rules.size());
 
   std::unique_ptr<AtpCache> Cache;
-  if (Opts.JobsSet)
+  if (Opts.JobsSet || !Opts.CacheDir.empty())
     Cache = std::make_unique<AtpCache>();
+  if (Cache && !Opts.CacheDir.empty()) {
+    // Attach (and load) the persistent store before any lookups. An
+    // unusable directory degrades to an unpersisted run — the proofs are
+    // unaffected, so warn rather than fail.
+    std::string Error;
+    if (!Cache->attachStore(Opts.CacheDir, &Error))
+      std::fprintf(stderr, "warning: cache store disabled: %s\n",
+                   Error.c_str());
+  }
   PecOptions Options = BaseOptions;
   Options.Cache = Cache.get();
   Options.Atp.QueryBudgetMs = Opts.QueryBudgetMs;
@@ -427,6 +447,14 @@ std::vector<RuleReport> runProofs(const std::vector<Rule> &Rules,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
   Run.CacheEnabled = Cache != nullptr;
+  if (Cache && Cache->store()) {
+    // Compact journal + snapshot so the next run loads one clean file;
+    // folded into the run's checkpoint time, so taken before stats.
+    std::string Error;
+    if (!Cache->checkpoint(&Error))
+      std::fprintf(stderr, "warning: cache checkpoint failed: %s\n",
+                   Error.c_str());
+  }
   if (Cache)
     Run.Cache = Cache->stats();
   // The pool (if any) was destroyed above, so every recording thread has
@@ -949,6 +977,137 @@ int cmdFuzz(std::vector<std::string> Args) {
   return Exit;
 }
 
+//===----------------------------------------------------------------------===//
+// serve / client
+//===----------------------------------------------------------------------===//
+
+int cmdServe(const std::vector<std::string> &Args) {
+  serve::ServeOptions Opts;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    auto needValue = [&](const char *Flag) -> bool {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr, "error: %s requires a value\n", Flag);
+        return false;
+      }
+      return true;
+    };
+    if (Args[I] == "--socket") {
+      if (!needValue("--socket"))
+        return 2;
+      Opts.SocketPath = Args[++I];
+    } else if (Args[I] == "--jobs") {
+      if (!needValue("--jobs"))
+        return 2;
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(Args[++I].c_str(),
+                                                     nullptr, 10));
+    } else if (Args[I] == "--cache-dir") {
+      if (!needValue("--cache-dir"))
+        return 2;
+      Opts.CacheDir = Args[++I];
+    } else if (Args[I] == "--max-queue") {
+      if (!needValue("--max-queue"))
+        return 2;
+      Opts.MaxQueue = static_cast<unsigned>(std::strtoul(Args[++I].c_str(),
+                                                         nullptr, 10));
+    } else if (Args[I] == "--checkpoint-every") {
+      if (!needValue("--checkpoint-every"))
+        return 2;
+      Opts.CheckpointEvery = static_cast<unsigned>(
+          std::strtoul(Args[++I].c_str(), nullptr, 10));
+    } else if (Args[I] == "--query-budget-ms") {
+      if (!needValue("--query-budget-ms"))
+        return 2;
+      Opts.QueryBudgetMs = std::strtoull(Args[++I].c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "error: pec serve needs --socket PATH\n");
+    return 2;
+  }
+  return serve::runServer(Opts);
+}
+
+/// Builds the request frame for one client verb; empty on a usage error.
+std::string clientRequestJson(const std::vector<std::string> &Verb) {
+  auto fileField = [](const char *Key, const std::string &Path,
+                      std::string &Out) -> bool {
+    std::string Text;
+    if (!readFile(Path, Text))
+      return false;
+    Out += ",\"";
+    Out += Key;
+    Out += "\":\"";
+    Out += escapeJson(Text);
+    Out += '"';
+    return true;
+  };
+  if (Verb.empty())
+    return std::string();
+  std::string Out = "{\"verb\":\"" + Verb[0] + "\"";
+  if (Verb[0] == "prove" || Verb[0] == "explain") {
+    if (Verb.size() != 2 || !fileField("rules", Verb[1], Out))
+      return std::string();
+  } else if (Verb[0] == "apply") {
+    if (Verb.size() < 3 || !fileField("rules", Verb[1], Out) ||
+        !fileField("program", Verb[2], Out))
+      return std::string();
+    for (size_t I = 3; I < Verb.size(); ++I) {
+      if (Verb[I] == "--fixpoint")
+        Out += ",\"fixpoint\":true";
+      else
+        return std::string();
+    }
+  } else if (Verb[0] == "ping") {
+    if (Verb.size() > 2)
+      return std::string();
+    if (Verb.size() == 2)
+      Out += ",\"sleep_ms\":" + Verb[1];
+  } else if (Verb[0] == "stats" || Verb[0] == "shutdown") {
+    if (Verb.size() != 1)
+      return std::string();
+  } else {
+    std::fprintf(stderr, "error: unknown client verb '%s'\n",
+                 Verb[0].c_str());
+    return std::string();
+  }
+  Out += '}';
+  return Out;
+}
+
+int cmdClient(const std::vector<std::string> &Args) {
+  std::string SocketPath;
+  std::vector<std::string> Verb;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--socket") {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr, "error: --socket requires a value\n");
+        return 2;
+      }
+      SocketPath = Args[++I];
+    } else {
+      Verb.push_back(Args[I]);
+    }
+  }
+  if (SocketPath.empty() || Verb.empty())
+    return usage();
+  std::string Request = clientRequestJson(Verb);
+  if (Request.empty())
+    return 2;
+  std::string Reply, Error;
+  if (!serve::clientRequest(SocketPath, Request, Reply, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", Reply.c_str());
+  // Exit nonzero on an unsuccessful reply so shell pipelines can gate on
+  // it (`pec client ... || retry`).
+  json::ValuePtr Parsed = json::parse(Reply);
+  json::ValuePtr Ok = Parsed ? Parsed->get("ok") : nullptr;
+  return Ok && Ok->isBool() && Ok->boolValue() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -998,6 +1157,7 @@ int main(int argc, char **argv) {
          &DiffOpts.StrengtheningQueryToleranceFactor},
         {"--p50-tolerance", &DiffOpts.P50ToleranceFactor},
         {"--p99-tolerance", &DiffOpts.P99ToleranceFactor},
+        {"--min-hit-rate", &DiffOpts.MinHitRate},
     };
     std::vector<std::pair<const char *, uint64_t *>> UintFlags = {
         {"--query-slack", &DiffOpts.QuerySlack},
@@ -1063,6 +1223,10 @@ int main(int argc, char **argv) {
     }
     return cmdApply(Args[1], Args[2], Fixpoint, AssumePositive, Staged);
   }
+  if (Cmd == "serve")
+    return cmdServe(Args);
+  if (Cmd == "client")
+    return cmdClient(Args);
   if (Cmd == "tv" && Args.size() == 3)
     return cmdTv(Args[1], Args[2], Output);
   if (Cmd == "cfg" && Args.size() == 2)

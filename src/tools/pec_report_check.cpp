@@ -2,7 +2,7 @@
 //
 // Runs `pec prove-suite --report json` (or reads a report file) and
 // validates the output against the pec-report schema. The current
-// pec-report-v4 and the legacy v1/v2/v3 are all accepted; v2+ documents
+// pec-report-v5 and the legacy v1..v4 are all accepted; v2+ documents
 // additionally have their failure_reason slugs, failure_detail strings
 // and per-rule diagnosis objects checked, v3+ documents their
 // parallelism/cache sections, and v4 documents their metrics section

@@ -1,0 +1,235 @@
+//===- atp_store_test.cpp - Persistent ATP cache store tests --------------------===//
+//
+// The durability contract of AtpStore + AtpCache::attachStore
+// (docs/SERVING.md): entries round-trip bit-exactly through journal and
+// snapshot, a torn or CRC-corrupt journal tail is dropped without losing
+// the prefix, a stale key-schema version discards the whole store, and a
+// cache reattached to the same directory serves the persisted answers as
+// disk hits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/AtpCache.h"
+#include "solver/AtpStore.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace pec;
+
+namespace {
+
+/// Fresh store directory under the test's working directory.
+class AtpStoreTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "atp-store-test-XXXXXX";
+    ASSERT_NE(::mkdtemp(Template), nullptr);
+    Dir = Template;
+  }
+  void TearDown() override {
+    for (const char *Name : {AtpStore::SnapshotFile, AtpStore::JournalFile})
+      ::unlink((Dir + "/" + Name).c_str());
+    ::rmdir(Dir.c_str());
+  }
+
+  std::string journalPath() {
+    return Dir + "/" + AtpStore::JournalFile;
+  }
+
+  /// Opens the store and collects everything it loads, keyed by query key.
+  std::map<std::string, AtpStoreEntry> load(AtpStore &Store) {
+    std::map<std::string, AtpStoreEntry> Out;
+    std::string Error;
+    EXPECT_TRUE(Store.open(
+        [&](AtpStoreEntry E) { Out[E.Key] = std::move(E); }, &Error))
+        << Error;
+    return Out;
+  }
+
+  AtpCache::WorkDelta delta(uint64_t Seed) {
+    AtpCache::WorkDelta D;
+    D.TheoryChecks = Seed;
+    D.SatConflicts = Seed * 3 + 1;
+    D.LearnedClauses = Seed * 7 + 2;
+    return D;
+  }
+
+  std::string Dir;
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  ASSERT_TRUE(Out.good());
+}
+
+TEST_F(AtpStoreTest, JournalRoundTripsEntries) {
+  {
+    AtpStore Store(Dir);
+    ASSERT_TRUE(load(Store).empty());
+    for (uint64_t I = 0; I < 10; ++I)
+      ASSERT_TRUE(Store.append("key-" + std::to_string(I), I % 2 == 0,
+                               delta(I)));
+    Store.flush();
+  }
+  AtpStore Reopened(Dir);
+  std::map<std::string, AtpStoreEntry> Entries = load(Reopened);
+  ASSERT_EQ(Entries.size(), 10u);
+  EXPECT_EQ(Reopened.loadInfo().JournalEntries, 10u);
+  EXPECT_EQ(Reopened.loadInfo().SnapshotEntries, 0u);
+  EXPECT_EQ(Reopened.loadInfo().DroppedBytes, 0u);
+  EXPECT_FALSE(Reopened.loadInfo().SchemaMismatch);
+  for (uint64_t I = 0; I < 10; ++I) {
+    const AtpStoreEntry &E = Entries.at("key-" + std::to_string(I));
+    EXPECT_EQ(E.Result, I % 2 == 0);
+    EXPECT_EQ(E.Delta.TheoryChecks, I);
+    EXPECT_EQ(E.Delta.SatConflicts, I * 3 + 1);
+    EXPECT_EQ(E.Delta.LearnedClauses, I * 7 + 2);
+  }
+}
+
+TEST_F(AtpStoreTest, CompactMovesEntriesToSnapshot) {
+  {
+    AtpStore Store(Dir);
+    load(Store);
+    std::vector<AtpStoreEntry> All;
+    for (uint64_t I = 0; I < 5; ++I)
+      All.push_back({"key-" + std::to_string(I), true, delta(I)});
+    std::string Error;
+    ASSERT_TRUE(Store.compact(All, &Error)) << Error;
+  }
+  AtpStore Reopened(Dir);
+  EXPECT_EQ(load(Reopened).size(), 5u);
+  EXPECT_EQ(Reopened.loadInfo().SnapshotEntries, 5u);
+  EXPECT_EQ(Reopened.loadInfo().JournalEntries, 0u);
+}
+
+TEST_F(AtpStoreTest, TornJournalTailIsDropped) {
+  {
+    AtpStore Store(Dir);
+    load(Store);
+    for (uint64_t I = 0; I < 3; ++I)
+      ASSERT_TRUE(Store.append("key-" + std::to_string(I), true, delta(I)));
+    Store.flush();
+  }
+  // Simulate a crash mid-append: chop bytes off the last record.
+  std::string Bytes = slurp(journalPath());
+  ASSERT_GT(Bytes.size(), 4u);
+  spit(journalPath(), Bytes.substr(0, Bytes.size() - 3));
+
+  AtpStore Reopened(Dir);
+  std::map<std::string, AtpStoreEntry> Entries = load(Reopened);
+  EXPECT_EQ(Entries.size(), 2u);
+  EXPECT_TRUE(Entries.count("key-0"));
+  EXPECT_TRUE(Entries.count("key-1"));
+  EXPECT_GT(Reopened.loadInfo().DroppedBytes, 0u);
+
+  // The torn tail was truncated away, so appends resume on a clean
+  // boundary and a third open sees all three entries again.
+  ASSERT_TRUE(Reopened.append("key-2", true, delta(2)));
+  Reopened.flush();
+  AtpStore Third(Dir);
+  EXPECT_EQ(load(Third).size(), 3u);
+  EXPECT_EQ(Third.loadInfo().DroppedBytes, 0u);
+}
+
+TEST_F(AtpStoreTest, CorruptRecordDropsTail) {
+  {
+    AtpStore Store(Dir);
+    load(Store);
+    for (uint64_t I = 0; I < 3; ++I)
+      ASSERT_TRUE(Store.append("key-" + std::to_string(I), true, delta(I)));
+    Store.flush();
+  }
+  // Flip one payload byte in the middle record: its CRC no longer
+  // matches, so the reader must stop there (the corrupt record and
+  // everything after it are dropped, the prefix survives).
+  std::string Bytes = slurp(journalPath());
+  size_t RecordBytes = (Bytes.size() - 16) / 3;
+  size_t Target = 16 + RecordBytes + RecordBytes / 2;
+  ASSERT_LT(Target, Bytes.size());
+  Bytes[Target] = static_cast<char>(Bytes[Target] ^ 0x5a);
+  spit(journalPath(), Bytes);
+
+  AtpStore Reopened(Dir);
+  std::map<std::string, AtpStoreEntry> Entries = load(Reopened);
+  EXPECT_EQ(Entries.size(), 1u);
+  EXPECT_TRUE(Entries.count("key-0"));
+  EXPECT_GT(Reopened.loadInfo().DroppedBytes, 0u);
+}
+
+TEST_F(AtpStoreTest, StaleKeySchemaDiscardsStore) {
+  {
+    AtpStore Store(Dir);
+    load(Store);
+    ASSERT_TRUE(Store.append("key-0", true, delta(0)));
+    Store.flush();
+  }
+  // Binary-patch the key-schema version field (header bytes 12..15): the
+  // canonicalizer "changed", so yesterday's keys no longer mean the same
+  // queries and the whole store must be discarded, not merged.
+  std::string Bytes = slurp(journalPath());
+  ASSERT_GE(Bytes.size(), 16u);
+  Bytes[12] = static_cast<char>(Bytes[12] + 1);
+  spit(journalPath(), Bytes);
+
+  AtpStore Reopened(Dir);
+  EXPECT_TRUE(load(Reopened).empty());
+  EXPECT_TRUE(Reopened.loadInfo().SchemaMismatch);
+
+  // The reset store is immediately usable again under the new schema.
+  ASSERT_TRUE(Reopened.append("key-new", false, delta(9)));
+  Reopened.flush();
+  AtpStore Third(Dir);
+  std::map<std::string, AtpStoreEntry> Entries = load(Third);
+  EXPECT_EQ(Entries.size(), 1u);
+  EXPECT_TRUE(Entries.count("key-new"));
+  EXPECT_FALSE(Third.loadInfo().SchemaMismatch);
+}
+
+TEST_F(AtpStoreTest, CacheReattachServesDiskHits) {
+  // First process: miss, solve, fulfill — journaled by the store.
+  {
+    AtpCache Cache;
+    std::string Error;
+    ASSERT_TRUE(Cache.attachStore(Dir, &Error)) << Error;
+    bool Result = false;
+    AtpCache::WorkDelta D;
+    ASSERT_EQ(Cache.acquire("q1", -1, Result, D), AtpCache::Lookup::Miss);
+    Cache.fulfill("q1", true, delta(4));
+    ASSERT_TRUE(Cache.checkpoint(&Error)) << Error;
+  }
+  // Second process: the entry loads from disk, hits count as disk hits,
+  // and the replayed WorkDelta is bit-identical to the original solve.
+  AtpCache Warm;
+  std::string Error;
+  ASSERT_TRUE(Warm.attachStore(Dir, &Error)) << Error;
+  EXPECT_EQ(Warm.stats().DiskEntries, 1u);
+  bool Result = false;
+  AtpCache::WorkDelta D;
+  ASSERT_EQ(Warm.acquire("q1", -1, Result, D), AtpCache::Lookup::Hit);
+  EXPECT_TRUE(Result);
+  EXPECT_EQ(D.TheoryChecks, 4u);
+  EXPECT_EQ(D.SatConflicts, 13u);
+  AtpCacheStats Stats = Warm.stats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.DiskHits, 1u);
+  EXPECT_EQ(Stats.Misses, 0u);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- cache_persist_test.cpp - Warm-cache persistence end to end ---------------===//
+//
+// The tentpole acceptance of docs/SERVING.md, through the CLI so the
+// whole pipeline is under test: a `--cache-dir` run persists its ATP
+// answers, a second run of the Figure 11 suite loads them, re-solves
+// nothing (zero cache misses), reports a >= 95% hit rate, and proves
+// exactly the same rule set with identical per-rule verdicts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unistd.h>
+
+using namespace pec;
+
+namespace {
+
+bool capture(const std::string &Command, std::string &Out) {
+  Out.clear();
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Out.append(Buf, N);
+  return pclose(Pipe) != -1;
+}
+
+json::ValuePtr proveFigure11(const std::string &CacheDir) {
+  std::string Command = std::string(PEC_BIN) + " prove " +
+                        std::string(PEC_RULES_DIR) + "/figure11.rules" +
+                        (CacheDir.empty() ? "" : " --cache-dir " + CacheDir) +
+                        " --report json 2>/dev/null";
+  std::string Out;
+  EXPECT_TRUE(capture(Command, Out)) << Command;
+  std::string Error;
+  json::ValuePtr Report = json::parse(Out, &Error);
+  EXPECT_TRUE(Report != nullptr) << Error;
+  return Report;
+}
+
+uint64_t cacheNum(const json::ValuePtr &Report, const char *Field) {
+  json::ValuePtr Cache = Report->get("cache");
+  EXPECT_TRUE(Cache != nullptr);
+  json::ValuePtr V = Cache ? Cache->get(Field) : nullptr;
+  EXPECT_TRUE(V != nullptr) << Field;
+  return V ? static_cast<uint64_t>(V->numberValue()) : 0;
+}
+
+std::map<std::string, bool> verdicts(const json::ValuePtr &Report) {
+  std::map<std::string, bool> Out;
+  for (const json::ValuePtr &Rule : Report->get("rules")->array())
+    Out[Rule->get("name")->stringValue()] = Rule->get("proved")->boolValue();
+  return Out;
+}
+
+TEST(CachePersistence, WarmRerunDoesNoAtpWork) {
+  char Template[] = "cache-persist-test-XXXXXX";
+  ASSERT_NE(::mkdtemp(Template), nullptr);
+  std::string Dir = Template;
+
+  json::ValuePtr Cold = proveFigure11(Dir);
+  ASSERT_TRUE(Cold != nullptr);
+  EXPECT_GT(cacheNum(Cold, "misses"), 0u) << "cold run should populate";
+  EXPECT_EQ(cacheNum(Cold, "disk_hits"), 0u);
+
+  json::ValuePtr Warm = proveFigure11(Dir);
+  ASSERT_TRUE(Warm != nullptr);
+
+  // Zero re-queries: every one-shot ATP lookup of the warm run is served
+  // from the store, nothing is solved (and so nothing re-inserted).
+  EXPECT_EQ(cacheNum(Warm, "misses"), 0u);
+  EXPECT_EQ(cacheNum(Warm, "insertions"), 0u);
+  EXPECT_GT(cacheNum(Warm, "hits"), 0u);
+  EXPECT_EQ(cacheNum(Warm, "disk_hits"), cacheNum(Warm, "hits"))
+      << "every warm hit should come from a store-loaded entry";
+  EXPECT_GT(cacheNum(Warm, "disk_entries"), 0u);
+
+  // The ISSUE acceptance bar: warm hit rate >= 95%.
+  json::ValuePtr HitRate = Warm->get("cache")->get("hit_rate");
+  ASSERT_TRUE(HitRate != nullptr);
+  EXPECT_GE(HitRate->numberValue(), 0.95);
+
+  // Cached verdicts must not change outcomes: same rules, same results.
+  std::map<std::string, bool> ColdVerdicts = verdicts(Cold);
+  ASSERT_FALSE(ColdVerdicts.empty());
+  EXPECT_EQ(ColdVerdicts, verdicts(Warm));
+
+  std::string Cleanup = "rm -rf " + Dir;
+  std::system(Cleanup.c_str());
+}
+
+TEST(CachePersistence, DiskFieldsAreZeroWithoutCacheDir) {
+  // Report byte-determinism across schedules leans on this: the v5 disk
+  // fields may only be nonzero when --cache-dir was given.
+  std::string Command = std::string(PEC_BIN) + " prove " +
+                        std::string(PEC_RULES_DIR) +
+                        "/figure11.rules --jobs 2 --report json 2>/dev/null";
+  std::string Out;
+  ASSERT_TRUE(capture(Command, Out));
+  std::string Error;
+  json::ValuePtr Report = json::parse(Out, &Error);
+  ASSERT_TRUE(Report != nullptr) << Error;
+  EXPECT_EQ(cacheNum(Report, "disk_hits"), 0u);
+  EXPECT_EQ(cacheNum(Report, "disk_entries"), 0u);
+  EXPECT_EQ(cacheNum(Report, "load_ms"), 0u);
+  EXPECT_EQ(cacheNum(Report, "checkpoint_ms"), 0u);
+}
+
+} // namespace

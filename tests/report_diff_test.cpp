@@ -178,6 +178,66 @@ TEST(ReportDiff, DisappearedAndNewRules) {
 }
 
 //===----------------------------------------------------------------------===//
+// Warm-cache gate (--min-hit-rate, docs/SERVING.md)
+//===----------------------------------------------------------------------===//
+
+/// The fixture with a run-level cache section spliced in (the committed
+/// diff fixtures predate v3, so they carry none).
+json::ValuePtr fixtureWithCache(const std::string &CacheJson) {
+  std::ifstream In(fixturePath("diff_base.json"));
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+  size_t Open = Text.find('{');
+  EXPECT_NE(Open, std::string::npos);
+  Text.insert(Open + 1, "\"cache\":" + CacheJson + ",");
+  std::string Error;
+  json::ValuePtr Doc = json::parse(Text, &Error);
+  EXPECT_TRUE(Doc != nullptr) << Error;
+  return Doc;
+}
+
+TEST(ReportDiff, MinHitRateGatesTheNewReport) {
+  json::ValuePtr Base = loadFixture("diff_base.json");
+  json::ValuePtr Warm = fixtureWithCache(
+      "{\"enabled\":true,\"hits\":80,\"misses\":1,\"disk_hits\":78,"
+      "\"hit_rate\":0.987}");
+  json::ValuePtr Cold = fixtureWithCache(
+      "{\"enabled\":true,\"hits\":23,\"misses\":58,\"hit_rate\":0.284}");
+  ReportDiffOptions Gate;
+  Gate.MinHitRate = 0.95;
+
+  ReportDiff Pass = diffReports(Base, Warm, Gate);
+  EXPECT_FALSE(Pass.hasRegression()) << renderReportDiff(Pass);
+  // The note carries the memory/disk hit split (v5 disk_hits).
+  EXPECT_TRUE(anyContains(Pass.Notes, "2 memory, 78 disk"))
+      << renderReportDiff(Pass);
+
+  ReportDiff Fail = diffReports(Base, Cold, Gate);
+  EXPECT_TRUE(Fail.hasRegression());
+  EXPECT_TRUE(anyContains(Fail.Regressions, "below the minimum"))
+      << renderReportDiff(Fail);
+
+  // Disabled gate (the default): the cold report passes untouched.
+  EXPECT_FALSE(diffReports(Base, Cold).hasRegression());
+}
+
+TEST(ReportDiff, MinHitRateFailsOutrightWithoutCache) {
+  // A warm-run CI lane that loses its --cache-dir flag must not pass
+  // silently: no cache section (or enabled=false) is itself a regression.
+  json::ValuePtr Base = loadFixture("diff_base.json");
+  ReportDiffOptions Gate;
+  Gate.MinHitRate = 0.95;
+  ReportDiff NoCache = diffReports(Base, Base, Gate);
+  EXPECT_TRUE(NoCache.hasRegression());
+  EXPECT_TRUE(anyContains(NoCache.Regressions, "without the ATP cache"));
+
+  json::ValuePtr Disabled = fixtureWithCache(
+      "{\"enabled\":false,\"hits\":0,\"misses\":0,\"hit_rate\":0.0}");
+  EXPECT_TRUE(diffReports(Base, Disabled, Gate).hasRegression());
+}
+
+//===----------------------------------------------------------------------===//
 // CLI exit codes (what check_bench_regression consumes)
 //===----------------------------------------------------------------------===//
 
@@ -197,6 +257,10 @@ TEST(ReportDiffCli, ToleranceFlagsReachTheDiff) {
             0);
   EXPECT_EQ(runDiffCli("diff_base.json", "diff_jitter.json",
                        "--time-slack 0"),
+            1);
+  // The warm-cache gate: these fixtures ran uncached, so any floor fails.
+  EXPECT_EQ(runDiffCli("diff_base.json", "diff_base.json",
+                       "--min-hit-rate 0.9"),
             1);
 }
 

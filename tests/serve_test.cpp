@@ -1,0 +1,230 @@
+//===- serve_test.cpp - pec serve daemon end to end -----------------------------===//
+//
+// The `pec serve` contract (docs/SERVING.md), against a real daemon
+// process: concurrent clients get deterministic verdicts, a tiny
+// admission bound answers `overloaded` instead of queueing, the stats
+// verb stays reachable under saturation, and a daemon restart on the
+// same --cache-dir serves the previous process's answers from disk.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+#include "support/Escape.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace pec;
+
+namespace {
+
+std::string readFileOrDie(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+/// One running daemon process. Started on a socket inside a fresh temp
+/// directory; shut down (via the protocol, falling back to SIGKILL) and
+/// reaped on destruction.
+class Daemon {
+public:
+  explicit Daemon(std::vector<std::string> ExtraArgs = {}) {
+    char Template[] = "serve-test-XXXXXX";
+    if (::mkdtemp(Template) == nullptr)
+      return;
+    Dir = Template;
+    Socket = Dir + "/pec.sock";
+    start(std::move(ExtraArgs));
+  }
+
+  ~Daemon() {
+    if (Pid > 0)
+      stop();
+    std::string Cleanup = "rm -rf " + Dir;
+    std::system(Cleanup.c_str());
+  }
+
+  void start(std::vector<std::string> ExtraArgs) {
+    std::vector<std::string> Args = {PEC_BIN, "serve", "--socket", Socket};
+    for (std::string &A : ExtraArgs)
+      Args.push_back(std::move(A));
+    Pid = ::fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      std::vector<char *> Argv;
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      ::execv(PEC_BIN, Argv.data());
+      _exit(127);
+    }
+    // The daemon is up once a ping round-trips.
+    for (int I = 0; I < 200; ++I) {
+      std::string Reply;
+      if (serve::clientRequest(Socket, "{\"verb\":\"ping\"}", Reply))
+        return;
+      ::usleep(25000);
+    }
+    FAIL() << "daemon never became reachable on " << Socket;
+  }
+
+  void stop() {
+    std::string Reply;
+    serve::clientRequest(Socket, "{\"verb\":\"shutdown\"}", Reply);
+    int Status = 0;
+    for (int I = 0; I < 200; ++I) {
+      if (::waitpid(Pid, &Status, WNOHANG) == Pid) {
+        Pid = -1;
+        return;
+      }
+      ::usleep(25000);
+    }
+    ::kill(Pid, SIGKILL);
+    ::waitpid(Pid, &Status, 0);
+    Pid = -1;
+    FAIL() << "daemon ignored shutdown; killed";
+  }
+
+  /// Round-trips one request, expecting transport success.
+  json::ValuePtr request(const std::string &Json) {
+    std::string Reply, Error;
+    EXPECT_TRUE(serve::clientRequest(Socket, Json, Reply, &Error)) << Error;
+    std::string ParseError;
+    json::ValuePtr Parsed = json::parse(Reply, &ParseError);
+    EXPECT_TRUE(Parsed != nullptr) << ParseError << ": " << Reply;
+    return Parsed;
+  }
+
+  std::string Dir;
+  std::string Socket;
+  pid_t Pid = -1;
+};
+
+std::string proveRequest(const std::string &RulesText) {
+  return "{\"verb\":\"prove\",\"rules\":\"" + escapeJson(RulesText) + "\"}";
+}
+
+uint64_t num(const json::ValuePtr &V, const char *Key) {
+  json::ValuePtr F = V ? V->get(Key) : nullptr;
+  EXPECT_TRUE(F != nullptr) << Key;
+  return F ? static_cast<uint64_t>(F->numberValue()) : 0;
+}
+
+TEST(Serve, ConcurrentClientsGetDeterministicVerdicts) {
+  Daemon D({"--jobs", "2"});
+  ASSERT_GT(D.Pid, 0);
+  std::string Rules =
+      readFileOrDie(std::string(PEC_RULES_DIR) + "/figure11.rules");
+  std::string Request = proveRequest(Rules);
+
+  constexpr int Clients = 6;
+  std::vector<std::string> Replies(Clients);
+  {
+    std::vector<std::thread> Threads;
+    for (int I = 0; I < Clients; ++I)
+      Threads.emplace_back([&, I] {
+        std::string Error;
+        if (!serve::clientRequest(D.Socket, Request, Replies[I], &Error))
+          Replies[I] = "transport error: " + Error;
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  // Every client sees the same verdicts byte for byte: the reply carries
+  // no timing fields, and cached answers are deterministic.
+  for (int I = 0; I < Clients; ++I)
+    EXPECT_EQ(Replies[I], Replies[0]) << "client " << I;
+  std::string Error;
+  json::ValuePtr First = json::parse(Replies[0], &Error);
+  ASSERT_TRUE(First != nullptr) << Error << ": " << Replies[0];
+  EXPECT_TRUE(First->get("ok")->boolValue());
+  EXPECT_GT(num(First, "proved"), 0u);
+  EXPECT_EQ(num(First, "failed"), 0u);
+}
+
+TEST(Serve, TinyQueueBoundAnswersOverloaded) {
+  Daemon D({"--max-queue", "1"});
+  ASSERT_GT(D.Pid, 0);
+
+  // Occupy the single admission slot with a long ping...
+  std::thread Occupier([&] {
+    std::string Reply;
+    serve::clientRequest(D.Socket, "{\"verb\":\"ping\",\"sleep_ms\":4000}",
+                         Reply);
+  });
+  // ...wait until the daemon reports it admitted (stats bypasses
+  // admission, so the daemon stays observable at saturation)...
+  bool Saturated = false;
+  for (int I = 0; I < 200 && !Saturated; ++I) {
+    json::ValuePtr Stats = D.request("{\"verb\":\"stats\"}");
+    ASSERT_TRUE(Stats != nullptr);
+    Saturated = num(Stats, "in_flight") >= 1;
+    if (!Saturated)
+      ::usleep(25000);
+  }
+  ASSERT_TRUE(Saturated) << "long ping never showed up in stats";
+
+  // ...then the next work request must be refused, immediately.
+  json::ValuePtr Reply = D.request("{\"verb\":\"ping\"}");
+  ASSERT_TRUE(Reply != nullptr);
+  EXPECT_FALSE(Reply->get("ok")->boolValue());
+  EXPECT_EQ(Reply->get("error")->stringValue(), "overloaded");
+
+  json::ValuePtr Stats = D.request("{\"verb\":\"stats\"}");
+  EXPECT_GE(num(Stats, "rejected"), 1u);
+  Occupier.join();
+}
+
+TEST(Serve, RestartServesFromPersistentCache) {
+  std::string Rules =
+      readFileOrDie(std::string(PEC_RULES_DIR) + "/figure11.rules");
+  Daemon D;
+  ASSERT_GT(D.Pid, 0);
+  std::string CacheDir = D.Dir + "/cache";
+  D.stop();
+
+  // Cold daemon: populate the store, then shut down (final checkpoint).
+  D.start({"--cache-dir", CacheDir});
+  json::ValuePtr Cold = D.request(proveRequest(Rules));
+  ASSERT_TRUE(Cold != nullptr);
+  EXPECT_TRUE(Cold->get("ok")->boolValue());
+  json::ValuePtr ColdStats = D.request("{\"verb\":\"stats\"}");
+  EXPECT_GT(num(ColdStats->get("cache"), "misses"), 0u);
+  D.stop();
+
+  // Warm daemon on the same directory: same verdicts, zero solving.
+  D.start({"--cache-dir", CacheDir});
+  json::ValuePtr Warm = D.request(proveRequest(Rules));
+  ASSERT_TRUE(Warm != nullptr);
+  json::ValuePtr WarmStats = D.request("{\"verb\":\"stats\"}");
+  json::ValuePtr Cache = WarmStats->get("cache");
+  EXPECT_GT(num(Cache, "disk_entries"), 0u);
+  EXPECT_EQ(num(Cache, "misses"), 0u) << "warm daemon re-solved a query";
+  EXPECT_GT(num(Cache, "hits"), 0u);
+  EXPECT_EQ(num(Cache, "disk_hits"), num(Cache, "hits"));
+
+  // Byte-identical prove replies across the restart.
+  std::string ColdText, WarmText;
+  // (Re-render through the parsed docs to compare the rule arrays only —
+  // the replies carry no timing, so direct compare also holds today, but
+  // verdict equality is the contract.)
+  for (const json::ValuePtr &Rule : Cold->get("rules")->array())
+    ColdText += Rule->get("name")->stringValue() + "=" +
+                (Rule->get("proved")->boolValue() ? "1" : "0") + ";";
+  for (const json::ValuePtr &Rule : Warm->get("rules")->array())
+    WarmText += Rule->get("name")->stringValue() + "=" +
+                (Rule->get("proved")->boolValue() ? "1" : "0") + ";";
+  EXPECT_EQ(ColdText, WarmText);
+}
+
+} // namespace
