@@ -19,7 +19,7 @@
 //
 // Extra flags (stripped before google-benchmark sees them):
 //
-//   --pec-json=FILE   write a pec-report-v5 JSON of the suite to FILE —
+//   --pec-json=FILE   write a pec-report-v6 JSON of the suite to FILE —
 //                     the schema-stable document committed as
 //                     BENCH_figure11.json (generated at --jobs 1, the
 //                     scheduling-independent configuration)
@@ -195,7 +195,7 @@ void BM_ProveOptimization(benchmark::State &State, const OptEntry &Entry) {
   State.counters["proved"] = Last.Proved ? 1 : 0;
 }
 
-/// Writes the pec-report-v5 JSON for the whole suite (one entry per
+/// Writes the pec-report-v6 JSON for the whole suite (one entry per
 /// rule, like `pec prove-suite --jobs 1 --report json`) to \p Path. The
 /// committed baseline is generated at jobs 1 so its per-rule numbers do
 /// not depend on the core count of the generating machine. Returns false

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The `pec-report-v5` JSON report: one schema-stable document per proof
+/// The `pec-report-v6` JSON report: one schema-stable document per proof
 /// run, carrying per-rule outcomes, pipeline phase times, and the full ATP
 /// statistics with the per-purpose query breakdown. Emitted by
 /// `pec prove/prove-suite/tv --report json` and by `bench_figure11
@@ -35,7 +35,14 @@
 /// store), and the `load_ms`/`checkpoint_ms` wall times of the store
 /// load and of all checkpoints. All four are deterministically zero for
 /// runs without `--cache-dir`, so report byte-determinism across
-/// schedules is preserved.
+/// schedules is preserved. v6 adds the equality-saturation pre-solve
+/// stage (docs/SOLVER.md): a top-level `saturation` section with the run
+/// totals `sat_closed` (queries the stage answered with zero SAT work),
+/// `egraph_nodes` (e-nodes interned across all saturators), and
+/// `rebuild_us` (wall time inside congruence rebuilds; a timing key,
+/// masked like the others by the determinism harness), plus an additive
+/// per-rule `atp.sat_closed` counter that rides the cache WorkDelta and
+/// is therefore scheduling-independent.
 ///
 /// `diffReports` compares two report documents — proved-set changes,
 /// per-rule time and ATP-query deltas under a configurable tolerance, and
@@ -81,7 +88,7 @@ struct RunInfo {
   metrics::Snapshot Metrics;
 };
 
-/// Renders the `pec-report-v5` JSON document. \p Command names the
+/// Renders the `pec-report-v6` JSON document. \p Command names the
 /// producing run ("prove", "prove-suite", "tv", "bench_figure11"). When
 /// \p Run is null the parallelism/cache sections describe a sequential,
 /// uncached run (jobs 1, wall == summed rule seconds) and the metrics
@@ -103,14 +110,15 @@ std::string renderStatsTable(const std::vector<RuleReport> &Rules);
 /// scheduling-dependent wait count lives only here, never in report JSON.
 std::string renderCacheStatsTable(const AtpCacheStats &C);
 
-/// Validates a parsed report against the `pec-report-v1`..`v5` schema
+/// Validates a parsed report against the `pec-report-v1`..`v6` schema
 /// (field presence and JSON types, per-rule and totals; v2 additionally
 /// checks the failure taxonomy, `failure_detail`, the `minimize` purpose
 /// slice, and any `diagnosis` objects; v3 additionally requires the
 /// top-level `parallelism` and `cache` sections; v4 additionally
 /// requires the `metrics` section with per-purpose ATP latency
 /// percentiles; v5 additionally requires the persistent-store cache
-/// fields `disk_hits`/`disk_entries`/`load_ms`/`checkpoint_ms`). On
+/// fields `disk_hits`/`disk_entries`/`load_ms`/`checkpoint_ms`; v6
+/// additionally requires the top-level `saturation` section). On
 /// failure returns false and describes the first violation in \p Error.
 bool validateReport(const json::ValuePtr &Report, std::string *Error);
 
@@ -144,6 +152,12 @@ struct ReportDiffOptions {
   /// not pass silently. The v5 disk/memory hit split is reported as a
   /// note alongside.
   double MinHitRate = 0;
+  /// Saturation-effectiveness gate (`pec report diff --min-sat-closed N`):
+  /// the NEW report's run-level `saturation.sat_closed` must be at least
+  /// N. Disabled at 0. A new report without a v6 `saturation` section
+  /// fails the gate outright — a CI lane silently dropping the
+  /// equality-saturation stage should not pass.
+  uint64_t MinSatClosed = 0;
 };
 
 /// Outcome of comparing two report documents.

@@ -308,8 +308,11 @@ private:
 } // namespace
 
 std::string pec::canonicalQueryKey(const TermArena &Arena, const FormulaPtr &F,
-                                   const char *Kind) {
-  return KeyBuilder(Arena).build(F, Kind);
+                                   AtpQuery::Kind Kind) {
+  // The kind prefix is the single place query flavor folds into the key;
+  // Assumptions-kind queries are never cached, so only two tags exist.
+  return KeyBuilder(Arena).build(F, Kind == AtpQuery::Kind::Validity ? "V"
+                                                                     : "S");
 }
 
 //===----------------------------------------------------------------------===//

@@ -31,9 +31,10 @@
 ///
 /// Model queries are cached one-sidedly: a cached boolean cannot carry the
 /// counterexample model a caller asked for, so a model-wanting lookup only
-/// counts as a hit when the cached answer makes the model irrelevant
-/// (isValid hit on `true`, isSatisfiable hit on `false`); otherwise the
-/// caller is bypassed to a local re-solve (counted in ModelBypasses).
+/// counts as a hit when the cached answer makes the model irrelevant (a
+/// Validity-kind hit on `true`, a Satisfiability-kind hit on `false`);
+/// otherwise the caller is bypassed to a local re-solve (counted in
+/// ModelBypasses).
 ///
 /// Entries carry a WorkDelta — the solver-effort counters the original
 /// miss spent — which hitting Atp instances replay into their own
@@ -45,6 +46,7 @@
 #ifndef PEC_SOLVER_ATPCACHE_H
 #define PEC_SOLVER_ATPCACHE_H
 
+#include "solver/Atp.h"
 #include "solver/Formula.h"
 #include "solver/Term.h"
 
@@ -65,7 +67,9 @@ class AtpStore;
 /// a canonicalizer change silently colliding old keys with new queries
 /// would be an unsoundness, so stale stores are discarded, not merged.
 /// Bump this whenever KeyBuilder's output can change for any formula.
-constexpr uint32_t AtpKeySchemaVersion = 1;
+/// Version 2: keys render the saturation-extracted canonical goal (PR 10),
+/// and the kind tag is derived from AtpQuery::Kind.
+constexpr uint32_t AtpKeySchemaVersion = 2;
 
 /// Snapshot of the cache counters, summed over all shards.
 struct AtpCacheStats {
@@ -102,6 +106,7 @@ public:
     uint64_t Restarts = 0;
     uint64_t LearnedClauses = 0;
     uint64_t DeletedClauses = 0;
+    uint64_t SatClosed = 0; ///< 1 when equality saturation closed the miss.
   };
 
   enum class Lookup {
@@ -124,8 +129,9 @@ public:
 
   /// Looks up \p Key. \p NeedModelOn selects one-sided model semantics:
   /// -1 = caller wants no model; 0 = caller needs a model when the answer
-  /// is false (isValid with counterexample); 1 = caller needs a model when
-  /// the answer is true (isSatisfiable with model). Blocks while another
+  /// is false (a Validity query wanting the counterexample); 1 = caller
+  /// needs a model when the answer is true (a Satisfiability query wanting
+  /// the witness). Blocks while another
   /// thread's identical query is in flight. On Hit fills \p Result and
   /// \p Delta; on Miss the caller must solve and fulfill().
   Lookup acquire(const std::string &Key, int NeedModelOn, bool &Result,
@@ -196,11 +202,12 @@ private:
 /// Renders the canonical cache key of query \p F (see file comment):
 /// symbolic constants alpha-renamed by first canonical occurrence, and/or
 /// children sorted by masked skeleton, everything else literal. \p Kind
-/// distinguishes query flavors ("V" for isValid, "S" for isSatisfiable).
+/// tags the key so Validity and Satisfiability answers for one goal never
+/// collide (Assumptions queries are never cached and have no key).
 /// Purely reads \p Arena, so concurrent callers on different arenas (or
 /// read-only on the same one) are safe.
 std::string canonicalQueryKey(const TermArena &Arena, const FormulaPtr &F,
-                              const char *Kind);
+                              AtpQuery::Kind Kind);
 
 } // namespace pec
 

@@ -1,0 +1,387 @@
+//===- EGraph.cpp - Union-find e-graph over arena terms -------------------===//
+
+#include "solver/EGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace pec;
+
+namespace {
+
+/// Commutative heads store sorted children (commutativity baked into the
+/// hashcons).
+bool commutative(TermOp Op) { return Op == TermOp::Add || Op == TermOp::Mul; }
+
+void appendU32(std::string &S, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    S.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void appendU64(std::string &S, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    S.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+} // namespace
+
+ClassId EGraph::find(ClassId C) const {
+  // No path compression: popState must be able to undo unions by resetting
+  // a single parent link (Euf.h's CongruenceClosure uses the same shape).
+  while (Parent[C] != C)
+    C = Parent[C];
+  return C;
+}
+
+std::string EGraph::nodeKey(const Node &N) const {
+  std::string Key;
+  Key.reserve(16 + 4 * N.Kids.size());
+  Key.push_back(static_cast<char>(N.Op));
+  Key.push_back(static_cast<char>(N.TheSort));
+  appendU64(Key, static_cast<uint64_t>(N.IntVal));
+  appendU32(Key, N.Name.id());
+  for (ClassId K : N.Kids)
+    appendU32(Key, K);
+  return Key;
+}
+
+void EGraph::attachConstant(ClassId Root, int64_t V) {
+  auto It = ConstOf.find(Root);
+  if (It == ConstOf.end()) {
+    ConstOf.emplace(Root, V);
+    Undo U;
+    U.K = Undo::ConstSet;
+    U.A = Root;
+    Trail.push_back(std::move(U));
+    return;
+  }
+  if (It->second != V && !Conflicted) {
+    Conflicted = true;
+    Undo U;
+    U.K = Undo::ConflictSet;
+    Trail.push_back(std::move(U));
+  }
+}
+
+std::optional<int64_t> EGraph::constantOf(ClassId C) const {
+  auto It = ConstOf.find(find(C));
+  if (It == ConstOf.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<Symbol> EGraph::nameLitOf(ClassId C) const {
+  for (uint32_t Id : Members[find(C)])
+    if (Nodes[Id].Op == TermOp::NameLit)
+      return Nodes[Id].Name;
+  return std::nullopt;
+}
+
+ClassId EGraph::addNode(Node N) {
+  bool Fresh = false;
+  return addNodeInner(std::move(N), Fresh);
+}
+
+ClassId EGraph::addNodeInner(Node N, bool &Fresh) {
+  for (ClassId &K : N.Kids)
+    K = find(K);
+  if (commutative(N.Op))
+    std::sort(N.Kids.begin(), N.Kids.end());
+  std::string Key = nodeKey(N);
+  auto It = Hashcons.find(Key);
+  if (It != Hashcons.end()) {
+    Fresh = false;
+    return find(NodeClass[It->second]);
+  }
+  Fresh = true;
+  uint32_t Id = static_cast<uint32_t>(Nodes.size());
+  ClassId C = static_cast<ClassId>(Parent.size());
+  Nodes.push_back(N);
+  NodeClass.push_back(C);
+  Parent.push_back(C);
+  Rank.push_back(0);
+  Members.push_back({Id});
+  ClassParents.push_back({});
+  {
+    Undo U;
+    U.K = Undo::NodeCreated;
+    Trail.push_back(std::move(U));
+  }
+  Hashcons.emplace(std::move(Key), Id);
+  {
+    Undo U;
+    U.K = Undo::HashInsert;
+    U.Key = nodeKey(N);
+    Trail.push_back(std::move(U));
+  }
+  for (ClassId K : N.Kids) {
+    ClassParents[K].push_back(Id);
+    Undo U;
+    U.K = Undo::ParentAppend;
+    U.A = K;
+    Trail.push_back(std::move(U));
+  }
+  if (N.Op == TermOp::IntConst)
+    attachConstant(C, N.IntVal);
+  return C;
+}
+
+ClassId EGraph::addTerm(TermId T) {
+  auto Memo = TermClass.find(T);
+  if (Memo != TermClass.end())
+    return find(Memo->second);
+  const TermNode &TN = Arena.node(T);
+  Node N;
+  N.Op = TN.Op;
+  N.TheSort = TN.TheSort;
+  N.IntVal = TN.IntVal;
+  N.Name = TN.Name;
+  N.Kids.reserve(TN.Args.size());
+  for (TermId A : TN.Args)
+    N.Kids.push_back(addTerm(A));
+  ClassId C = addNode(std::move(N));
+  TermClass.emplace(T, C);
+  if (!FrameTermMemo.empty())
+    FrameTermMemo.back().push_back(T);
+  return C;
+}
+
+void EGraph::unionInto(ClassId Child, ClassId Root) {
+  Undo U;
+  U.K = Undo::Union;
+  U.A = Child;
+  U.B = Root;
+  U.OldLen = static_cast<uint32_t>(Members[Root].size());
+  U.OldParentLen = static_cast<uint32_t>(ClassParents[Root].size());
+  Trail.push_back(std::move(U));
+  ++Unions;
+  Parent[Child] = Root;
+  Members[Root].insert(Members[Root].end(), Members[Child].begin(),
+                       Members[Child].end());
+  ClassParents[Root].insert(ClassParents[Root].end(),
+                            ClassParents[Child].begin(),
+                            ClassParents[Child].end());
+  auto ChildConst = ConstOf.find(Child);
+  if (ChildConst != ConstOf.end())
+    attachConstant(Root, ChildConst->second);
+}
+
+void EGraph::merge(ClassId A, ClassId B) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return;
+  // Union by rank; ranks are never rolled back (a stale bump only changes
+  // which side becomes the root later, never the equalities).
+  if (Rank[A] > Rank[B])
+    std::swap(A, B);
+  if (Rank[A] == Rank[B])
+    ++Rank[B];
+  unionInto(A, B);
+  Touched.push_back(B);
+}
+
+size_t EGraph::rebuild() {
+  size_t Passes = 0;
+  while (!Touched.empty()) {
+    ++Passes;
+    std::vector<ClassId> Work;
+    Work.swap(Touched);
+    for (ClassId C : Work) {
+      C = find(C);
+      // Copy: merging below can grow/invalidate the parent list.
+      std::vector<uint32_t> Parents = ClassParents[C];
+      for (uint32_t P : Parents) {
+        Node Canon = Nodes[P];
+        for (ClassId &K : Canon.Kids)
+          K = find(K);
+        if (commutative(Canon.Op))
+          std::sort(Canon.Kids.begin(), Canon.Kids.end());
+        std::string Key = nodeKey(Canon);
+        auto It = Hashcons.find(Key);
+        if (It == Hashcons.end()) {
+          Hashcons.emplace(std::move(Key), P);
+          Undo U;
+          U.K = Undo::HashInsert;
+          U.Key = nodeKey(Canon);
+          Trail.push_back(std::move(U));
+          continue;
+        }
+        if (It->second != P && !areEqual(NodeClass[It->second], NodeClass[P]))
+          merge(NodeClass[It->second], NodeClass[P]);
+      }
+    }
+  }
+  return Passes;
+}
+
+void EGraph::pushState() {
+  Frames.push_back(Trail.size());
+  FrameTouched.push_back(Touched.size());
+  FrameTermMemo.emplace_back();
+}
+
+void EGraph::popState() {
+  assert(!Frames.empty() && "popState without pushState");
+  size_t Mark = Frames.back();
+  Frames.pop_back();
+  while (Trail.size() > Mark) {
+    Undo U = std::move(Trail.back());
+    Trail.pop_back();
+    switch (U.K) {
+    case Undo::Union:
+      Parent[U.A] = U.A;
+      Members[U.B].resize(U.OldLen);
+      ClassParents[U.B].resize(U.OldParentLen);
+      break;
+    case Undo::NodeCreated:
+      Nodes.pop_back();
+      NodeClass.pop_back();
+      Parent.pop_back();
+      Rank.pop_back();
+      Members.pop_back();
+      ClassParents.pop_back();
+      break;
+    case Undo::HashInsert:
+      Hashcons.erase(U.Key);
+      break;
+    case Undo::HashUpdate:
+      Hashcons[U.Key] = U.OldNode;
+      break;
+    case Undo::ConstSet:
+      ConstOf.erase(U.A);
+      break;
+    case Undo::ConflictSet:
+      Conflicted = false;
+      break;
+    case Undo::ParentAppend:
+      ClassParents[U.A].pop_back();
+      break;
+    }
+  }
+  if (Touched.size() > FrameTouched.back())
+    Touched.resize(FrameTouched.back());
+  FrameTouched.pop_back();
+  for (TermId T : FrameTermMemo.back())
+    TermClass.erase(T);
+  FrameTermMemo.pop_back();
+}
+
+TermId EGraph::extract(ClassId C) {
+  C = find(C);
+  // Pass 1: minimum term size per class, to a fixpoint (a class whose every
+  // member is cyclic keeps infinite cost).
+  constexpr uint64_t Inf = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> Cost(Parent.size(), Inf);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Id = 0; Id < Nodes.size(); ++Id) {
+      const Node &N = Nodes[Id];
+      uint64_t Sum = 1;
+      bool Ok = true;
+      for (ClassId K : N.Kids) {
+        uint64_t KC = Cost[find(K)];
+        if (KC == Inf) {
+          Ok = false;
+          break;
+        }
+        Sum += KC;
+      }
+      if (!Ok)
+        continue;
+      ClassId Root = find(NodeClass[Id]);
+      if (Sum < Cost[Root]) {
+        Cost[Root] = Sum;
+        Changed = true;
+      }
+    }
+  }
+  if (Cost[C] == Inf)
+    return InvalidTerm;
+
+  // Pass 2: rebuild the chosen term per class, memoized. Among the
+  // minimum-cost members the lexicographically smallest rendering wins, so
+  // the output is independent of node-insertion order (the canonical form
+  // must not depend on what else this e-graph has seen — it feeds the
+  // history-independent AtpCache key).
+  std::unordered_map<ClassId, TermId> Built;
+  struct Rec {
+    EGraph &G;
+    std::vector<uint64_t> &Cost;
+    std::unordered_map<ClassId, TermId> &Built;
+
+    TermId build(ClassId C) {
+      C = G.find(C);
+      auto It = Built.find(C);
+      if (It != Built.end())
+        return It->second;
+      TermId Best = InvalidTerm;
+      std::string BestStr;
+      for (uint32_t Id : G.Members[C]) {
+        const Node &N = G.Nodes[Id];
+        uint64_t Sum = 1;
+        bool Ok = true;
+        for (ClassId K : N.Kids) {
+          uint64_t KC = Cost[G.find(K)];
+          if (KC == Inf) {
+            Ok = false;
+            break;
+          }
+          Sum += KC;
+        }
+        if (!Ok || Sum != Cost[C])
+          continue;
+        // Kid classes have strictly smaller cost, so recursion terminates.
+        std::vector<TermId> Kids;
+        Kids.reserve(N.Kids.size());
+        for (ClassId K : N.Kids)
+          Kids.push_back(build(K));
+        TermId T = materialize(N, Kids);
+        std::string S = G.Arena.str(T);
+        if (Best == InvalidTerm || S < BestStr) {
+          Best = T;
+          BestStr = std::move(S);
+        }
+      }
+      Built.emplace(C, Best);
+      return Best;
+    }
+
+    TermId materialize(const Node &N, const std::vector<TermId> &Kids) {
+      TermArena &A = G.Arena;
+      switch (N.Op) {
+      case TermOp::IntConst:
+        return A.mkInt(N.IntVal);
+      case TermOp::SymConst:
+        return A.mkSymConst(N.Name, N.TheSort);
+      case TermOp::NameLit:
+        return A.mkNameLit(N.Name);
+      case TermOp::Add:
+        return A.mkAdd(Kids[0], Kids[1]);
+      case TermOp::Sub:
+        return A.mkSub(Kids[0], Kids[1]);
+      case TermOp::Mul:
+        return A.mkMul(Kids[0], Kids[1]);
+      case TermOp::Neg:
+        return A.mkNeg(Kids[0]);
+      case TermOp::SelS:
+        return A.mkSelS(Kids[0], Kids[1], N.TheSort);
+      case TermOp::StoS:
+        return A.mkStoS(Kids[0], Kids[1], Kids[2]);
+      case TermOp::SelA:
+        return A.mkSelA(Kids[0], Kids[1]);
+      case TermOp::StoA:
+        return A.mkStoA(Kids[0], Kids[1], Kids[2]);
+      case TermOp::Apply:
+        return A.mkApply(N.Name, Kids, N.TheSort);
+      }
+      return InvalidTerm;
+    }
+
+    uint64_t Inf;
+  };
+  Rec R{*this, Cost, Built, Inf};
+  return R.build(C);
+}

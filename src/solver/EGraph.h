@@ -1,0 +1,210 @@
+//===- EGraph.h - Union-find e-graph over arena terms -----------*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A backtrackable e-graph over `TermArena` terms: the data structure under
+/// the equality-saturation pre-solve stage (Saturate.h, docs/SOLVER.md
+/// "Equality saturation").
+///
+/// E-nodes are hash-consed: a node is its operator head (TermOp + sort +
+/// literal payload) over canonical child *class* ids, so two terms that
+/// differ only in already-merged subterms share one e-node. The children of
+/// the commutative heads (`+`, `*`) are stored sorted, which bakes
+/// commutativity into the hashcons — `a + b` and `b + a` are one node.
+///
+/// Congruence closure runs as a worklist rebuild (egg-style): `merge`
+/// records the touched class, `rebuild` re-canonicalizes the parents of
+/// every touched class against the hashcons and merges the collisions,
+/// iterating to a fixpoint.
+///
+/// Backtracking mirrors Euf.h's CongruenceClosure: every mutation (union,
+/// node creation, hashcons insert/update, parent/member list append,
+/// constant attachment) pushes an undo record; `pushState`/`popState`
+/// bracket hypothesis assertions so the background-saturated graph is
+/// shared across all obligations of a rule while per-obligation facts are
+/// retracted. Merging two classes that hold distinct integer constants
+/// latches `conflicted()` for the frame — the saturation layer's
+/// unsatisfiability signal.
+///
+/// The node budget is a safety valve, not a tuning knob: the rewrite rules
+/// in Saturate.cpp are strictly simplifying, so saturation terminates well
+/// below any sane budget; when the budget does trip, `addNode` keeps
+/// answering (interning must not fail mid-assertion) and `budgetHit()`
+/// tells the saturator to stop *generating* new rewrite targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_EGRAPH_H
+#define PEC_SOLVER_EGRAPH_H
+
+#include "solver/Term.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pec {
+
+using ClassId = uint32_t;
+inline constexpr ClassId InvalidClass = ~0u;
+
+class EGraph {
+public:
+  /// One hash-consed e-node: an operator head over canonical child classes.
+  struct Node {
+    TermOp Op;
+    Sort TheSort;
+    int64_t IntVal = 0; ///< IntConst payload.
+    Symbol Name;        ///< SymConst / NameLit / Apply payload.
+    std::vector<ClassId> Kids;
+  };
+
+  explicit EGraph(TermArena &Arena, size_t NodeBudget = 1u << 17)
+      : Arena(Arena), NodeBudget(NodeBudget) {}
+
+  EGraph(const EGraph &) = delete;
+  EGraph &operator=(const EGraph &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Building
+  //===--------------------------------------------------------------------===//
+
+  /// Interns arena term \p T (recursively) and returns its class.
+  ClassId addTerm(TermId T);
+
+  /// Interns the e-node \p N (children canonicalized, commutative heads
+  /// sorted). Returns the existing class on a hashcons hit, a fresh
+  /// singleton class otherwise. Counts against the node budget but never
+  /// fails (see file comment).
+  ClassId addNode(Node N);
+
+  /// Asserts \p A == \p B. Queues congruence work; call rebuild() before
+  /// reading equalities back.
+  void merge(ClassId A, ClassId B);
+
+  /// Restores congruence: re-canonicalizes the parents of every class
+  /// touched since the last rebuild and merges hashcons collisions, to a
+  /// fixpoint. Returns the number of worklist passes.
+  size_t rebuild();
+
+  //===--------------------------------------------------------------------===//
+  // Reading
+  //===--------------------------------------------------------------------===//
+
+  ClassId find(ClassId C) const;
+  bool areEqual(ClassId A, ClassId B) const { return find(A) == find(B); }
+
+  /// The integer constant this class is known equal to, if any.
+  std::optional<int64_t> constantOf(ClassId C) const;
+
+  /// The name literal in this class, if any (NameLits are distinct
+  /// constants, so a class holds at most one).
+  std::optional<Symbol> nameLitOf(ClassId C) const;
+
+  /// Effective unions performed so far (monotone; never rolled back). The
+  /// saturation fixpoint compares this across passes.
+  size_t unionCount() const { return Unions; }
+
+  /// True once two distinct integer constants were merged into one class
+  /// (the asserted hypotheses are unsatisfiable). Latched per frame.
+  bool conflicted() const { return Conflicted; }
+
+  /// True once addNode refused to *grow* (rewriting should stop).
+  bool budgetHit() const { return Nodes.size() >= NodeBudget; }
+
+  /// E-node ids of the members of \p C's class (canonical class only).
+  const std::vector<uint32_t> &members(ClassId C) const {
+    return Members[find(C)];
+  }
+
+  const Node &node(uint32_t NodeId) const { return Nodes[NodeId]; }
+  ClassId nodeClassOf(uint32_t NodeId) const { return NodeClass[NodeId]; }
+  size_t nodeCount() const { return Nodes.size(); }
+
+  //===--------------------------------------------------------------------===//
+  // Extraction
+  //===--------------------------------------------------------------------===//
+
+  /// Rebuilds the minimum-size term of \p C's class in the arena, with
+  /// deterministic tie-breaking on the rendered string — the result depends
+  /// only on the set of equalities in the graph, not on insertion order.
+  /// Returns InvalidTerm for a class whose every member is cyclic (can only
+  /// happen under hypotheses like `x = f(x)`; callers fall back to the
+  /// original term).
+  TermId extract(ClassId C);
+
+  //===--------------------------------------------------------------------===//
+  // Backtracking
+  //===--------------------------------------------------------------------===//
+
+  /// Opens an undo frame. Frames nest.
+  void pushState();
+
+  /// Undoes every mutation since the matching pushState, including the
+  /// conflict latch.
+  void popState();
+
+private:
+  ClassId addNodeInner(Node N, bool &Fresh);
+  std::string nodeKey(const Node &N) const;
+  void unionInto(ClassId Child, ClassId Root);
+  void attachConstant(ClassId Root, int64_t V);
+
+  struct Undo {
+    enum Kind : uint8_t {
+      Union,        ///< Parent[A] = A again; truncate Root's lists.
+      NodeCreated,  ///< Pop Nodes/Members/Parents/ClassParents vectors.
+      HashInsert,   ///< Erase Hashcons[Key].
+      HashUpdate,   ///< Hashcons[Key] = OldNode.
+      ConstSet,     ///< Clear ConstOf[A].
+      ConflictSet,  ///< Conflicted = false.
+      ParentAppend, ///< ClassParents[A] shrinks by one.
+    };
+    Kind K;
+    ClassId A = 0, B = 0;    ///< Union: child root A merged into root B.
+    uint32_t OldNode = 0;    ///< HashUpdate payload.
+    uint32_t OldLen = 0;     ///< Union: B's Members/ClassParents old sizes.
+    uint32_t OldParentLen = 0;
+    std::string Key;         ///< Hashcons key payloads.
+  };
+
+  TermArena &Arena;
+  size_t NodeBudget;
+
+  std::vector<Node> Nodes;        ///< Node id -> e-node (head over classes).
+  std::vector<ClassId> NodeClass; ///< Node id -> class it was created in.
+  std::vector<ClassId> Parent;    ///< Union-find (no path compression: undoable).
+  std::vector<uint32_t> Rank;     ///< Union by rank (ranks never shrink; an
+                                  ///< unmerged rank bump is harmless).
+  /// Per *canonical* class: member node ids. On union the child's members
+  /// are appended to the new root's list (undo truncates; the child's own
+  /// list is untouched and valid again after popState).
+  std::vector<std::vector<uint32_t>> Members;
+  /// Per canonical class: node ids that have this class as a child
+  /// (congruence worklist seeds). Same append/truncate discipline.
+  std::vector<std::vector<uint32_t>> ClassParents;
+  std::unordered_map<std::string, uint32_t> Hashcons; ///< key -> node id.
+  std::unordered_map<ClassId, int64_t> ConstOf; ///< canonical class -> const.
+  std::unordered_map<TermId, ClassId> TermClass; ///< addTerm memo (term ids
+                                                 ///< are arena-stable).
+  std::vector<ClassId> Touched; ///< Classes merged since last rebuild().
+  size_t Unions = 0;            ///< Effective unions ever (monotone).
+  bool Conflicted = false;
+
+  std::vector<Undo> Trail;
+  std::vector<size_t> Frames;       ///< Trail sizes at pushState.
+  std::vector<size_t> FrameTouched; ///< Touched sizes at pushState.
+
+  /// addTerm memo entries recorded inside frames so popState can drop
+  /// mappings to classes that no longer exist.
+  std::vector<std::vector<TermId>> FrameTermMemo;
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_EGRAPH_H

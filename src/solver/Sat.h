@@ -102,7 +102,8 @@ public:
   /// Arms a wall-clock deadline for subsequent solve() calls. When the
   /// deadline passes mid-search the solver gives up and answers Sat —
   /// one-sided safe for every caller in this codebase: "satisfiable"
-  /// degrades isValid to false, so PEC conservatively rejects instead of
+  /// degrades a validity verdict to false, so PEC conservatively rejects
+  /// instead of
   /// wrongly proving (the same convention as the theory conflict budget).
   /// budgetExhausted() distinguishes a real model from a give-up. Pass a
   /// default-constructed time_point to disarm.

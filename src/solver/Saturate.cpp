@@ -1,0 +1,605 @@
+//===- Saturate.cpp - Equality saturation over PWP obligations ------------===//
+
+#include "solver/Saturate.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+using namespace pec;
+
+Saturator::Saturator(TermArena &Arena, SaturateConfig Config)
+    : Arena(Arena), Config(Config), Graph(Arena, Config.NodeBudget) {}
+
+void Saturator::pushFrame() {
+  Graph.pushState();
+  Frames.push_back({Diseqs.size(), OrderFacts.size()});
+}
+
+void Saturator::popFrame() {
+  Graph.popState();
+  Diseqs.resize(Frames.back().NumDiseqs);
+  OrderFacts.resize(Frames.back().NumOrderFacts);
+  Frames.pop_back();
+}
+
+void Saturator::internFormula(const FormulaPtr &F) {
+  if (!F)
+    return;
+  if (F->isAtom()) {
+    Graph.addTerm(F->lhsTerm());
+    Graph.addTerm(F->rhsTerm());
+    return;
+  }
+  for (const FormulaPtr &C : F->children())
+    internFormula(C);
+}
+
+void Saturator::assertFormula(const FormulaPtr &F, bool Positive) {
+  if (!F)
+    return;
+  switch (F->kind()) {
+  case FormulaKind::True:
+    if (!Positive)
+      Graph.merge(Graph.addTerm(Arena.mkInt(0)), Graph.addTerm(Arena.mkInt(1)));
+    return;
+  case FormulaKind::False:
+    if (Positive)
+      Graph.merge(Graph.addTerm(Arena.mkInt(0)), Graph.addTerm(Arena.mkInt(1)));
+    return;
+  case FormulaKind::Eq: {
+    ClassId L = Graph.addTerm(F->lhsTerm());
+    ClassId R = Graph.addTerm(F->rhsTerm());
+    if (Positive)
+      Graph.merge(L, R);
+    else
+      Diseqs.push_back({L, R});
+    return;
+  }
+  case FormulaKind::Le: {
+    ClassId L = Graph.addTerm(F->lhsTerm());
+    ClassId R = Graph.addTerm(F->rhsTerm());
+    // !(L <= R) is R < L.
+    if (Positive)
+      OrderFacts.push_back({/*Strict=*/false, L, R});
+    else
+      OrderFacts.push_back({/*Strict=*/true, R, L});
+    return;
+  }
+  case FormulaKind::Lt: {
+    ClassId L = Graph.addTerm(F->lhsTerm());
+    ClassId R = Graph.addTerm(F->rhsTerm());
+    // !(L < R) is R <= L.
+    if (Positive)
+      OrderFacts.push_back({/*Strict=*/true, L, R});
+    else
+      OrderFacts.push_back({/*Strict=*/false, R, L});
+    return;
+  }
+  case FormulaKind::Not:
+    assertFormula(F->children()[0], !Positive);
+    return;
+  case FormulaKind::And:
+    if (Positive) {
+      for (const FormulaPtr &C : F->children())
+        assertFormula(C, true);
+      return;
+    }
+    break; // !(a /\ b) is not conjunctive.
+  case FormulaKind::Or:
+    if (!Positive) {
+      for (const FormulaPtr &C : F->children())
+        assertFormula(C, false);
+      return;
+    }
+    break; // a \/ b is not conjunctive.
+  case FormulaKind::Implies:
+  case FormulaKind::Iff:
+    break;
+  }
+  // Ignored shapes only weaken the hypothesis set — sound, since the
+  // stage answers nothing it cannot derive from what it did assert.
+  internFormula(F);
+}
+
+bool Saturator::inconsistent() const {
+  if (Graph.conflicted())
+    return true;
+  for (const Diseq &D : Diseqs)
+    if (Graph.areEqual(D.L, D.R))
+      return true;
+  for (const OrderFact &O : OrderFacts) {
+    if (O.Strict && Graph.areEqual(O.L, O.R))
+      return true; // x < x
+    std::optional<int64_t> L = Graph.constantOf(O.L);
+    std::optional<int64_t> R = Graph.constantOf(O.R);
+    if (L && R && (O.Strict ? !(*L < *R) : !(*L <= *R)))
+      return true;
+  }
+  return false;
+}
+
+bool Saturator::applyRules() {
+  // A "change" is an effective union: fresh nodes only matter once they
+  // merge something. Passes run over a snapshot of the node range; nodes a
+  // pass creates are seen by the next pass (saturate() loops to fixpoint).
+  size_t Before = Graph.unionCount();
+  size_t N = Graph.nodeCount();
+  for (uint32_t Id = 0; Id < N; ++Id) {
+    if (Graph.budgetHit()) {
+      // The valve must also stop *scanning*: past the budget a pass over a
+      // degenerate (cyclic) graph can cost nodes x members even when no
+      // rule fires.
+      BudgetTripped = true;
+      break;
+    }
+    const EGraph::Node Node = Graph.node(Id); // Copy: merges may reallocate.
+    ClassId Self = Graph.find(Graph.nodeClassOf(Id));
+    switch (Node.Op) {
+    case TermOp::Neg: {
+      if (std::optional<int64_t> V = Graph.constantOf(Node.Kids[0]))
+        Graph.merge(Self, Graph.addTerm(Arena.mkInt(-*V)));
+      break;
+    }
+    case TermOp::Add:
+    case TermOp::Mul:
+    case TermOp::Sub: {
+      std::optional<int64_t> L = Graph.constantOf(Node.Kids[0]);
+      std::optional<int64_t> R = Graph.constantOf(Node.Kids[1]);
+      if (L && R) {
+        int64_t V = Node.Op == TermOp::Add   ? *L + *R
+                    : Node.Op == TermOp::Sub ? *L - *R
+                                             : *L * *R;
+        Graph.merge(Self, Graph.addTerm(Arena.mkInt(V)));
+        break;
+      }
+      if (Node.Op == TermOp::Add) {
+        // x + 0 = x (either side: children are class-sorted, not
+        // syntactically ordered).
+        if (L && *L == 0)
+          Graph.merge(Self, Node.Kids[1]);
+        else if (R && *R == 0)
+          Graph.merge(Self, Node.Kids[0]);
+        else if (!Graph.budgetHit()) {
+          // (x + c1) + c2 = x + (c1 + c2): fold constant tails through
+          // association. Scan both kid classes for an Add member with a
+          // constant kid, pairing it with a constant other kid.
+          for (int Side = 0; Side < 2 && !Graph.budgetHit(); ++Side) {
+            std::optional<int64_t> C2 = Graph.constantOf(Node.Kids[1 - Side]);
+            if (!C2)
+              continue;
+            // A hypothesis like x = x + 1 makes this node's class its own
+            // child: folding would generate x + 2, x + 3, ... forever.
+            // The class is already inconsistent in every model the stage
+            // can decide, so skipping loses nothing.
+            if (Graph.areEqual(Node.Kids[Side], Self))
+              continue;
+            // Copy: merging below may grow the member list being walked.
+            std::vector<uint32_t> Mem = Graph.members(Node.Kids[Side]);
+            for (uint32_t M : Mem) {
+              const EGraph::Node Inner = Graph.node(M);
+              if (Inner.Op != TermOp::Add)
+                continue;
+              for (int K = 0; K < 2; ++K) {
+                std::optional<int64_t> C1 = Graph.constantOf(Inner.Kids[K]);
+                if (!C1)
+                  continue;
+                // Same cycle guard one level in: the rebuilt tail must not
+                // point back at the class being folded.
+                if (Graph.areEqual(Inner.Kids[1 - K], Self))
+                  continue;
+                EGraph::Node Folded;
+                Folded.Op = TermOp::Add;
+                Folded.TheSort = Node.TheSort;
+                Folded.Kids = {Inner.Kids[1 - K],
+                               Graph.addTerm(Arena.mkInt(*C1 + *C2))};
+                Graph.merge(Self, Graph.addNode(std::move(Folded)));
+                break;
+              }
+            }
+          }
+        }
+      } else if (Node.Op == TermOp::Mul) {
+        if (L && *L == 1)
+          Graph.merge(Self, Node.Kids[1]);
+        else if (R && *R == 1)
+          Graph.merge(Self, Node.Kids[0]);
+        else if ((L && *L == 0) || (R && *R == 0))
+          Graph.merge(Self, Graph.addTerm(Arena.mkInt(0)));
+      } else { // Sub
+        if (Graph.areEqual(Node.Kids[0], Node.Kids[1]))
+          Graph.merge(Self, Graph.addTerm(Arena.mkInt(0)));
+        else if (R && *R == 0)
+          Graph.merge(Self, Node.Kids[0]);
+      }
+      break;
+    }
+    case TermOp::SelS: {
+      // selS(s, m) where s's class holds stoS(s0, n, v): the write
+      // resolves (n ~ m) or skips (n, m distinct name literals).
+      std::vector<uint32_t> Mem = Graph.members(Node.Kids[0]);
+      for (uint32_t M : Mem) {
+        const EGraph::Node Sto = Graph.node(M);
+        if (Sto.Op != TermOp::StoS)
+          continue;
+        if (Graph.areEqual(Sto.Kids[1], Node.Kids[1])) {
+          Graph.merge(Self, Sto.Kids[2]);
+          break;
+        }
+        std::optional<Symbol> N = Graph.nameLitOf(Sto.Kids[1]);
+        std::optional<Symbol> Mm = Graph.nameLitOf(Node.Kids[1]);
+        if (N && Mm && *N != *Mm && !Graph.budgetHit()) {
+          EGraph::Node Skip;
+          Skip.Op = TermOp::SelS;
+          Skip.TheSort = Node.TheSort;
+          Skip.Kids = {Sto.Kids[0], Node.Kids[1]};
+          Graph.merge(Self, Graph.addNode(std::move(Skip)));
+        }
+      }
+      break;
+    }
+    case TermOp::SelA: {
+      std::vector<uint32_t> Mem = Graph.members(Node.Kids[0]);
+      for (uint32_t M : Mem) {
+        const EGraph::Node Sto = Graph.node(M);
+        if (Sto.Op != TermOp::StoA)
+          continue;
+        if (Graph.areEqual(Sto.Kids[1], Node.Kids[1])) {
+          Graph.merge(Self, Sto.Kids[2]);
+          break;
+        }
+        std::optional<int64_t> I = Graph.constantOf(Sto.Kids[1]);
+        std::optional<int64_t> J = Graph.constantOf(Node.Kids[1]);
+        if (I && J && *I != *J && !Graph.budgetHit()) {
+          EGraph::Node Skip;
+          Skip.Op = TermOp::SelA;
+          Skip.TheSort = Node.TheSort;
+          Skip.Kids = {Sto.Kids[0], Node.Kids[1]};
+          Graph.merge(Self, Graph.addNode(std::move(Skip)));
+        }
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return Graph.unionCount() != Before;
+}
+
+void Saturator::saturate() {
+  auto Start = std::chrono::steady_clock::now();
+  for (size_t Iter = 0;; ++Iter) {
+    if (Iter >= Config.IterBudget) {
+      BudgetTripped = true;
+      break;
+    }
+    Graph.rebuild();
+    if (!applyRules())
+      break;
+  }
+  Graph.rebuild();
+  RebuildMicros += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+Saturator::Truth Saturator::checkTruth(const Formula &F) {
+  switch (F.kind()) {
+  case FormulaKind::True:
+    return Truth::True;
+  case FormulaKind::False:
+    return Truth::False;
+  case FormulaKind::Eq: {
+    ClassId L = Graph.addTerm(F.lhsTerm());
+    ClassId R = Graph.addTerm(F.rhsTerm());
+    if (Graph.areEqual(L, R))
+      return Truth::True;
+    std::optional<int64_t> CL = Graph.constantOf(L);
+    std::optional<int64_t> CR = Graph.constantOf(R);
+    if (CL && CR)
+      return *CL == *CR ? Truth::True : Truth::False;
+    std::optional<Symbol> NL = Graph.nameLitOf(L);
+    std::optional<Symbol> NR = Graph.nameLitOf(R);
+    if (NL && NR && *NL != *NR) // Name literals are distinct constants.
+      return Truth::False;
+    return Truth::Unknown;
+  }
+  case FormulaKind::Le:
+  case FormulaKind::Lt: {
+    bool Strict = F.kind() == FormulaKind::Lt;
+    ClassId L = Graph.addTerm(F.lhsTerm());
+    ClassId R = Graph.addTerm(F.rhsTerm());
+    if (Graph.areEqual(L, R))
+      return Strict ? Truth::False : Truth::True;
+    std::optional<int64_t> CL = Graph.constantOf(L);
+    std::optional<int64_t> CR = Graph.constantOf(R);
+    if (CL && CR)
+      return (Strict ? *CL < *CR : *CL <= *CR) ? Truth::True : Truth::False;
+    return Truth::Unknown;
+  }
+  case FormulaKind::Not: {
+    Truth T = checkTruth(*F.children()[0]);
+    if (T == Truth::Unknown)
+      return T;
+    return T == Truth::True ? Truth::False : Truth::True;
+  }
+  case FormulaKind::And: {
+    bool AnyUnknown = false;
+    for (const FormulaPtr &C : F.children()) {
+      Truth T = checkTruth(*C);
+      if (T == Truth::False)
+        return Truth::False;
+      AnyUnknown |= T == Truth::Unknown;
+    }
+    return AnyUnknown ? Truth::Unknown : Truth::True;
+  }
+  case FormulaKind::Or: {
+    bool AnyUnknown = false;
+    for (const FormulaPtr &C : F.children()) {
+      Truth T = checkTruth(*C);
+      if (T == Truth::True)
+        return Truth::True;
+      AnyUnknown |= T == Truth::Unknown;
+    }
+    return AnyUnknown ? Truth::Unknown : Truth::False;
+  }
+  case FormulaKind::Implies: {
+    Truth A = checkTruth(*F.children()[0]);
+    if (A == Truth::False)
+      return Truth::True;
+    Truth B = checkTruth(*F.children()[1]);
+    if (B == Truth::True)
+      return Truth::True;
+    if (A == Truth::True && B == Truth::False)
+      return Truth::False;
+    return Truth::Unknown;
+  }
+  case FormulaKind::Iff: {
+    Truth A = checkTruth(*F.children()[0]);
+    Truth B = checkTruth(*F.children()[1]);
+    if (A == Truth::Unknown || B == Truth::Unknown)
+      return Truth::Unknown;
+    return A == B ? Truth::True : Truth::False;
+  }
+  }
+  return Truth::Unknown;
+}
+
+bool Saturator::proveValidRec(const FormulaPtr &F) {
+  switch (F->kind()) {
+  case FormulaKind::Implies: {
+    // mkImplies desugars to Or(!H, C) at construction, so this shape only
+    // reaches us from formulas built some other way. Handle it anyway.
+    pushFrame();
+    assertFormula(F->children()[0], true);
+    saturate();
+    // A contradictory hypothesis set makes the implication vacuous.
+    bool Proved = inconsistent() || proveValidRec(F->children()[1]);
+    popFrame();
+    return Proved;
+  }
+  case FormulaKind::And: {
+    for (const FormulaPtr &C : F->children())
+      if (!proveValidRec(C))
+        return false;
+    return true;
+  }
+  default: {
+    // Refutation: F holds in every model of the asserted facts iff those
+    // facts plus !F are inconsistent. PWP obligations H => C arrive here as
+    // Or(!H, C) (mkImplies desugars at construction), and asserting the
+    // negated disjuncts re-asserts H positively and C's negation, so
+    // congruence closure carries the hypotheses into the conclusion.
+    pushFrame();
+    assertFormula(F, false);
+    saturate();
+    bool Proved = inconsistent();
+    popFrame();
+    if (Proved)
+      return true;
+    // assertFormula soundly ignores shapes it cannot decompose (e.g. a
+    // negated conjunction), so fall back to direct evaluation.
+    return checkTruth(*F) == Truth::True;
+  }
+  }
+}
+
+bool Saturator::proveValid(const FormulaPtr &F) {
+  pushFrame();
+  bool Proved = proveValidRec(F);
+  popFrame();
+  return Proved;
+}
+
+bool Saturator::proveUnsat(const FormulaPtr &F) {
+  pushFrame();
+  assertFormula(F, true);
+  saturate();
+  bool Unsat = inconsistent();
+  popFrame();
+  return Unsat;
+}
+
+std::optional<std::vector<size_t>>
+Saturator::closeAssumptions(const FormulaPtr &Prelude,
+                            const std::vector<FormulaPtr> &Assumptions) {
+  std::optional<std::vector<size_t>> Core;
+  pushFrame();
+  assertFormula(Prelude ? Prelude : Formula::mkTrue(), true);
+  saturate();
+  if (inconsistent()) {
+    Core = std::vector<size_t>{0};
+  } else {
+    for (size_t I = 0; I < Assumptions.size() && !Core; ++I) {
+      // First a cheap refutation read against the Prelude-saturated graph
+      // (interning the assumption's terms and re-saturating so the rules
+      // see them), then the stronger assert-and-derive probe in a frame.
+      internFormula(Assumptions[I]);
+      saturate();
+      if (checkTruth(*Assumptions[I]) == Truth::False) {
+        Core = std::vector<size_t>{0, I + 1};
+        break;
+      }
+      pushFrame();
+      assertFormula(Assumptions[I], true);
+      saturate();
+      if (inconsistent())
+        Core = std::vector<size_t>{0, I + 1};
+      popFrame();
+    }
+  }
+  popFrame();
+  return Core;
+}
+
+TermId Saturator::acNormalize(TermId T) {
+  const TermNode &N = Arena.node(T);
+  switch (N.Op) {
+  case TermOp::Add:
+  case TermOp::Mul: {
+    // Flatten the chain, normalize each operand, fold the constants, and
+    // rebuild with the symbolic operands in rendered order (deterministic
+    // regardless of how the extractor associated the chain).
+    TermOp Op = N.Op;
+    std::vector<TermId> Flat;
+    std::vector<TermId> Stack{T};
+    while (!Stack.empty()) {
+      TermId Cur = Stack.back();
+      Stack.pop_back();
+      const TermNode &CN = Arena.node(Cur);
+      if (CN.Op == Op) {
+        Stack.push_back(CN.Args[0]);
+        Stack.push_back(CN.Args[1]);
+      } else {
+        Flat.push_back(acNormalize(Cur));
+      }
+    }
+    int64_t Const = Op == TermOp::Add ? 0 : 1;
+    std::vector<TermId> Syms;
+    for (TermId F : Flat) {
+      const TermNode &FN = Arena.node(F);
+      if (FN.Op == TermOp::IntConst)
+        Const = Op == TermOp::Add ? Const + FN.IntVal : Const * FN.IntVal;
+      else
+        Syms.push_back(F);
+    }
+    std::sort(Syms.begin(), Syms.end(), [&](TermId A, TermId B) {
+      return Arena.str(A) < Arena.str(B);
+    });
+    bool NeedConst = Syms.empty() || Const != (Op == TermOp::Add ? 0 : 1);
+    if (Op == TermOp::Mul && Const == 0)
+      return Arena.mkInt(0);
+    TermId Out = InvalidTerm;
+    for (TermId S : Syms)
+      Out = Out == InvalidTerm
+                ? S
+                : (Op == TermOp::Add ? Arena.mkAdd(Out, S) : Arena.mkMul(Out, S));
+    if (NeedConst) {
+      TermId C = Arena.mkInt(Const);
+      Out = Out == InvalidTerm
+                ? C
+                : (Op == TermOp::Add ? Arena.mkAdd(Out, C) : Arena.mkMul(Out, C));
+    }
+    return Out;
+  }
+  case TermOp::IntConst:
+  case TermOp::SymConst:
+  case TermOp::NameLit:
+    return T;
+  case TermOp::Sub:
+    return Arena.mkSub(acNormalize(N.Args[0]), acNormalize(N.Args[1]));
+  case TermOp::Neg:
+    return Arena.mkNeg(acNormalize(N.Args[0]));
+  case TermOp::SelS:
+    return Arena.mkSelS(acNormalize(N.Args[0]), acNormalize(N.Args[1]),
+                        N.TheSort);
+  case TermOp::StoS:
+    return Arena.mkStoS(acNormalize(N.Args[0]), acNormalize(N.Args[1]),
+                        acNormalize(N.Args[2]));
+  case TermOp::SelA:
+    return Arena.mkSelA(acNormalize(N.Args[0]), acNormalize(N.Args[1]));
+  case TermOp::StoA:
+    return Arena.mkStoA(acNormalize(N.Args[0]), acNormalize(N.Args[1]),
+                        acNormalize(N.Args[2]));
+  case TermOp::Apply: {
+    std::vector<TermId> Args;
+    Args.reserve(N.Args.size());
+    for (TermId A : N.Args)
+      Args.push_back(acNormalize(A));
+    return Arena.mkApply(N.Name, std::move(Args), N.TheSort);
+  }
+  }
+  return T;
+}
+
+namespace {
+
+/// Rebuilds \p F with \p Map applied to every atom's terms, folding
+/// decided atoms through the Formula builders.
+FormulaPtr rebuildFormula(const FormulaPtr &F,
+                          const std::function<FormulaPtr(const Formula &)> &Atom) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return F;
+  case FormulaKind::Eq:
+  case FormulaKind::Le:
+  case FormulaKind::Lt:
+    return Atom(*F);
+  case FormulaKind::Not:
+    return Formula::mkNot(rebuildFormula(F->children()[0], Atom));
+  case FormulaKind::And: {
+    std::vector<FormulaPtr> Cs;
+    Cs.reserve(F->children().size());
+    for (const FormulaPtr &C : F->children())
+      Cs.push_back(rebuildFormula(C, Atom));
+    return Formula::mkAnd(std::move(Cs));
+  }
+  case FormulaKind::Or: {
+    std::vector<FormulaPtr> Cs;
+    Cs.reserve(F->children().size());
+    for (const FormulaPtr &C : F->children())
+      Cs.push_back(rebuildFormula(C, Atom));
+    return Formula::mkOr(std::move(Cs));
+  }
+  case FormulaKind::Implies:
+    return Formula::mkImplies(rebuildFormula(F->children()[0], Atom),
+                              rebuildFormula(F->children()[1], Atom));
+  case FormulaKind::Iff:
+    return Formula::mkIff(rebuildFormula(F->children()[0], Atom),
+                          rebuildFormula(F->children()[1], Atom));
+  }
+  return F;
+}
+
+} // namespace
+
+FormulaPtr Saturator::canonicalForm(const FormulaPtr &F) {
+  internFormula(F);
+  saturate();
+  return rebuildFormula(F, [&](const Formula &Atom) -> FormulaPtr {
+    Truth T = checkTruth(Atom);
+    if (T == Truth::True)
+      return Formula::mkTrue();
+    if (T == Truth::False)
+      return Formula::mkFalse();
+    TermId L = Graph.extract(Graph.addTerm(Atom.lhsTerm()));
+    TermId R = Graph.extract(Graph.addTerm(Atom.rhsTerm()));
+    if (L == InvalidTerm)
+      L = Atom.lhsTerm();
+    if (R == InvalidTerm)
+      R = Atom.rhsTerm();
+    L = acNormalize(L);
+    R = acNormalize(R);
+    switch (Atom.kind()) {
+    case FormulaKind::Eq:
+      return Formula::mkEq(Arena, L, R);
+    case FormulaKind::Le:
+      return Formula::mkLe(Arena, L, R);
+    default:
+      return Formula::mkLt(Arena, L, R);
+    }
+  });
+}

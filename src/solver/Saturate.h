@@ -1,0 +1,182 @@
+//===- Saturate.h - Equality saturation over PWP obligations ----*- C++ -*-===//
+//
+// Part of the PEC reproduction of Kundu, Tatlock & Lerner, PLDI 2009.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The equality-saturation pre-solve stage (docs/SOLVER.md, "Equality
+/// saturation"): an HEC-style e-graph pass that tries to close PWP
+/// obligations *before* any DPLL(T) work, in the spirit of discharging
+/// transformation equivalence by saturation rather than search.
+///
+/// A `Saturator` owns an EGraph and a fixed background rewrite system
+/// seeded from the obligation theory's axioms:
+///
+///   * select/store: `selS(stoS(s,n,v), m)` resolves to `v` when `n` and
+///     `m` are provably the same name and skips to `selS(s, m)` when they
+///     are provably distinct name literals; `selA`/`stoA` likewise (equal
+///     classes resolve, distinct integer constants skip). The rules match
+///     through *class membership* — the store need not be the literal
+///     child, it is enough that the state's class contains one — which is
+///     exactly what hypothesis equalities feed.
+///   * LIA constant folding over `+`/`-`/`*`/`neg`, the identities
+///     `x+0 = x`, `x*1 = x`, `x*0 = 0`, `x-x = 0`, `x-0 = x`, and
+///     association of constant tails (`(x+c1)+c2 = x+(c1+c2)`).
+///   * AC normalization of `+`/`*`: commutativity is baked into the
+///     e-graph's sorted hashcons (EGraph.h); associative flattening and a
+///     deterministic operand order are applied at extraction.
+///   * `step$S`/`eval$E` unfolding: the logic layer lowers statement and
+///     expression meta-variables to uninterpreted `Apply` nodes
+///     (logic/Lowering.h), so "unfolding" the background axioms is
+///     congruence over those applications — two `step$S` applications to
+///     provably-equal states land in one class with no dedicated rule.
+///
+/// Every rule is strictly simplifying modulo the e-graph (smaller term
+/// size or store depth), so saturation reaches a fixpoint; the node and
+/// iteration budgets are safety valves that are not expected to trip
+/// (AtpCache's eviction capacity plays the same role).
+///
+/// The boolean skeleton of a Formula is handled by structural recursion
+/// over the term e-graph rather than by boolean e-nodes: hypotheses are
+/// asserted as class merges (positive equalities), frame-scoped
+/// disequalities, and order facts, and goals are evaluated three-valued
+/// against the saturated graph. Saturation only ever *answers with a
+/// proof* — a closed validity is a congruence/arithmetic derivation, a
+/// closed satisfiability is a derived contradiction — so it can sit in
+/// front of the complete DPLL(T) solver without weakening either verdict
+/// direction (the one-sided-safety contract in Atp.h).
+///
+/// Lifetime: Atp keeps one persistent Saturator next to the persistent
+/// SmtSession, so the interned background graph is shared across all
+/// obligations of a rule (Assumptions kind); cacheable one-shot kinds use
+/// a fresh per-query Saturator for the same reason solveOneShot uses a
+/// fresh SmtSession — answers and canonical forms must not depend on what
+/// the instance solved before.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PEC_SOLVER_SATURATE_H
+#define PEC_SOLVER_SATURATE_H
+
+#include "solver/EGraph.h"
+#include "solver/Formula.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pec {
+
+/// Budgets for one Saturator (AtpOptions carries the user-facing knobs).
+struct SaturateConfig {
+  size_t NodeBudget = 1u << 17;
+  size_t IterBudget = 32;
+};
+
+class Saturator {
+public:
+  explicit Saturator(TermArena &Arena, SaturateConfig Config = {});
+
+  Saturator(const Saturator &) = delete;
+  Saturator &operator=(const Saturator &) = delete;
+
+  /// Interns \p F's terms, saturates under the background rules alone (no
+  /// hypotheses), and rebuilds the canonical simplified formula: atoms the
+  /// graph decides fold to true/false, terms are replaced by their
+  /// extracted minimal AC-normal forms. Context-free and deterministic —
+  /// this feeds the AtpCache key (AtpCache.h).
+  FormulaPtr canonicalForm(const FormulaPtr &F);
+
+  /// Tries to prove \p F valid: descends implications asserting their
+  /// hypotheses in undo frames, then evaluates the conclusion against the
+  /// saturated graph. True means *proved*; false means "could not close"
+  /// (never "invalid").
+  bool proveValid(const FormulaPtr &F);
+
+  /// Tries to prove \p F unsatisfiable by asserting it and deriving a
+  /// contradiction. True means proved unsat; false means "could not
+  /// close" (never "satisfiable").
+  bool proveUnsat(const FormulaPtr &F);
+
+  /// Assumption-kind closure: asserts \p Prelude in a frame; a
+  /// contradiction yields core {0}; otherwise each assumption is tested
+  /// for refutation under the Prelude, and the first refuted index i
+  /// yields core {0, i+1} — exactly the index convention of
+  /// AtpResult::Core, and a genuinely minimal-by-construction unsat core.
+  /// nullopt when saturation cannot close the query.
+  std::optional<std::vector<size_t>>
+  closeAssumptions(const FormulaPtr &Prelude,
+                   const std::vector<FormulaPtr> &Assumptions);
+
+  /// E-nodes interned so far (monotone; feeds AtpStats::EgraphNodes).
+  size_t nodeCount() const { return Graph.nodeCount(); }
+
+  /// Cumulative wall-clock inside EGraph::rebuild (feeds the report's
+  /// `rebuild_us`).
+  uint64_t rebuildMicros() const { return RebuildMicros; }
+
+  /// True once a budget clipped rewriting (never expected; see file
+  /// comment).
+  bool budgetHit() const { return BudgetTripped || Graph.budgetHit(); }
+
+private:
+  enum class Truth { True, False, Unknown };
+
+  /// Frame-scoped negative knowledge (the e-graph holds only equalities).
+  struct Diseq {
+    ClassId L, R;
+  };
+  struct OrderFact {
+    bool Strict; ///< Lt vs Le.
+    ClassId L, R;
+  };
+
+  void pushFrame();
+  void popFrame();
+
+  /// Interns every term of \p F (no assertions).
+  void internFormula(const FormulaPtr &F);
+
+  /// Asserts \p F (under \p Positive polarity) as merges / diseqs / order
+  /// facts. Non-decomposable shapes (positive Or, Implies, Iff) are
+  /// soundly ignored — assertion may only under-approximate the
+  /// hypothesis.
+  void assertFormula(const FormulaPtr &F, bool Positive);
+
+  /// Runs rewrite passes + congruence rebuilds to a fixpoint (or budget).
+  void saturate();
+
+  /// One rewrite pass over all current nodes; true when any new equality
+  /// landed.
+  bool applyRules();
+
+  /// Three-valued evaluation of \p F against the current graph (interns
+  /// terms as needed; callers saturate() first for full strength).
+  Truth checkTruth(const Formula &F);
+
+  /// True when the asserted facts are contradictory: a graph conflict
+  /// (distinct constants merged), an asserted disequality between now-equal
+  /// classes, or a violated order fact.
+  bool inconsistent() const;
+
+  bool proveValidRec(const FormulaPtr &F);
+
+  TermId acNormalize(TermId T);
+
+  TermArena &Arena;
+  SaturateConfig Config;
+  EGraph Graph;
+  std::vector<Diseq> Diseqs;
+  std::vector<OrderFact> OrderFacts;
+  struct FrameMark {
+    size_t NumDiseqs, NumOrderFacts;
+  };
+  std::vector<FrameMark> Frames;
+  uint64_t RebuildMicros = 0;
+  bool BudgetTripped = false;
+};
+
+} // namespace pec
+
+#endif // PEC_SOLVER_SATURATE_H

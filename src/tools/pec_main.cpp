@@ -20,7 +20,7 @@
 //
 //   --trace FILE         write a Chrome trace_event JSON of the run to FILE
 //   --journal FILE       write a pec-journal-v1 causal run journal to FILE
-//   --report json        emit the pec-report-v5 JSON document on stdout
+//   --report json        emit the pec-report-v6 JSON document on stdout
 //                        (human-readable lines move to stderr)
 //   --stats              print the per-rule phase/ATP statistics table
 //   --metrics-out FILE   write the pec::metrics registry in Prometheus
@@ -97,7 +97,7 @@ int usage() {
                " [--strengthening-query-slack N]\n"
                "                  [--p50-tolerance F] [--p50-slack-us N]"
                " [--p99-tolerance F] [--p99-slack-us N]\n"
-               "                  [--min-hit-rate R]\n"
+               "                  [--min-hit-rate R] [--min-sat-closed N]\n"
                "  pec report timeline <journal.jsonl> [--json]\n"
                "  pec apply <rules-file> <program-file> [--fixpoint] "
                "[--assume-positive] [--staged]\n"
@@ -110,7 +110,7 @@ int usage() {
                "           [--max-sites N] [--fuel N] [--allow-div] "
                "[--jobs N]\n"
                "           [--assume-proved] [--no-minimize] "
-               "[--query-budget-ms B]\n"
+               "[--query-budget-ms B] [--no-saturate]\n"
                "           [--corpus-dir DIR] [--append-scenarios]\n"
                "           [--mutate-rules N] [--summary-json FILE]\n"
                "  pec fuzz --replay-corpus DIR [--query-budget-ms B]\n"
@@ -119,7 +119,9 @@ int usage() {
                "  --trace FILE    write a Chrome trace_event JSON to FILE\n"
                "  --journal FILE  append a pec-journal-v1 causal run journal\n"
                "                  (analyze with `pec report timeline`)\n"
-               "  --report json   emit the pec-report-v5 JSON on stdout\n"
+               "  --report json   emit the pec-report-v6 JSON on stdout\n"
+               "  --no-saturate   disable the equality-saturation pre-solve\n"
+               "                  stage (A/B ablation; identical verdicts)\n"
                "  --stats         print the per-rule statistics table\n"
                "  --metrics-out FILE  write Prometheus-format metrics to "
                "FILE\n"
@@ -172,6 +174,10 @@ struct OutputOptions {
   std::string CacheDir;
   /// Per-query ATP wall-clock budget in ms (0 = unlimited).
   uint64_t QueryBudgetMs = 0;
+  /// Equality-saturation pre-solve stage (on by default; --no-saturate is
+  /// the ablation/differential-testing switch — verdicts are identical
+  /// either way).
+  bool Saturate = true;
 
   /// Human-readable proof lines go to stderr in report mode so stdout
   /// stays pure JSON for downstream parsers.
@@ -276,6 +282,8 @@ bool parseOutputOptions(std::vector<std::string> &Args, OutputOptions &Out) {
       }
       ++I;
       Out.QueryBudgetMs = static_cast<uint64_t>(N);
+    } else if (Args[I] == "--no-saturate") {
+      Out.Saturate = false;
     } else if (Args[I] == "--cache-stats") {
       Out.CacheStats = true;
     } else if (Args[I] == "--cache-dir") {
@@ -414,6 +422,7 @@ std::vector<RuleReport> runProofs(const std::vector<Rule> &Rules,
   PecOptions Options = BaseOptions;
   Options.Cache = Cache.get();
   Options.Atp.QueryBudgetMs = Opts.QueryBudgetMs;
+  Options.Atp.Saturate = Opts.Saturate;
 
   // Root of the causal journal: every rule span records this as its
   // parent (ThreadPool::submit carries the context to the workers).
@@ -522,6 +531,7 @@ int cmdExplain(const std::string &Path, const std::string &RuleName,
   PecOptions Options;
   Options.UserFacts = File->Facts;
   Options.Diagnose = true;
+  Options.Atp.Saturate = Opts.Saturate;
 
   FILE *Out = Opts.humanStream();
   std::vector<RuleReport> Reports;
@@ -708,6 +718,7 @@ int cmdTv(const std::string &OrigPath, const std::string &TransPath,
   }
   PecOptions Options;
   Options.Atp.QueryBudgetMs = Opts.QueryBudgetMs;
+  Options.Atp.Saturate = Opts.Saturate;
   PecResult R = proveEquivalence(*Orig, *Trans, Options);
   int Exit;
   if (R.Proved) {
@@ -842,6 +853,8 @@ int cmdFuzz(std::vector<std::string> Args) {
       Diff.AssumeProved = true;
     } else if (A == "--no-minimize") {
       Diff.MinimizeFindings = false;
+    } else if (A == "--no-saturate") {
+      Diff.Saturate = false;
     } else if (A == "--append-scenarios") {
       AppendScenarios = true;
     } else if (A == "--corpus-dir") {
@@ -1166,6 +1179,7 @@ int main(int argc, char **argv) {
         {"--strengthening-query-slack", &DiffOpts.StrengtheningQuerySlack},
         {"--p50-slack-us", &DiffOpts.P50SlackMicros},
         {"--p99-slack-us", &DiffOpts.P99SlackMicros},
+        {"--min-sat-closed", &DiffOpts.MinSatClosed},
     };
     for (size_t I = 4; I < Args.size(); ++I) {
       bool Matched = false;

@@ -2,11 +2,12 @@
 //
 // Runs `pec prove-suite --report json` (or reads a report file) and
 // validates the output against the pec-report schema. The current
-// pec-report-v5 and the legacy v1..v4 are all accepted; v2+ documents
+// pec-report-v6 and the legacy v1..v5 are all accepted; v2+ documents
 // additionally have their failure_reason slugs, failure_detail strings
 // and per-rule diagnosis objects checked, v3+ documents their
-// parallelism/cache sections, and v4 documents their metrics section
-// (per-purpose latency histograms with percentile summaries). Backs the
+// parallelism/cache sections, v4+ documents their metrics section
+// (per-purpose latency histograms with percentile summaries), and v6
+// documents their run-level equality-saturation section. Backs the
 // `check_bench_schema` CTest so the
 // machine-readable report format — including the committed
 // BENCH_figure11.json — cannot silently drift.

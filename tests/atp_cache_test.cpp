@@ -38,7 +38,7 @@ TEST(AtpCacheKey, AlphaRenamedQueriesCollide) {
                                 sym(A, "y"));
   FormulaPtr F2 = Formula::mkLe(A, A.mkAdd(sym(A, "p"), A.mkInt(1)),
                                 sym(A, "q"));
-  EXPECT_EQ(canonicalQueryKey(A, F1, "V"), canonicalQueryKey(A, F2, "V"));
+  EXPECT_EQ(canonicalQueryKey(A, F1, AtpQuery::Kind::Validity), canonicalQueryKey(A, F2, AtpQuery::Kind::Validity));
 }
 
 TEST(AtpCacheKey, RenamingRespectsSharing) {
@@ -50,8 +50,8 @@ TEST(AtpCacheKey, RenamingRespectsSharing) {
       Formula::mkLt(A, sym(A, "x"), A.mkAdd(sym(A, "y"), A.mkInt(0)));
   FormulaPtr OneName =
       Formula::mkLt(A, sym(A, "x"), A.mkAdd(sym(A, "x"), A.mkInt(0)));
-  EXPECT_NE(canonicalQueryKey(A, TwoNames, "V"),
-            canonicalQueryKey(A, OneName, "V"));
+  EXPECT_NE(canonicalQueryKey(A, TwoNames, AtpQuery::Kind::Validity),
+            canonicalQueryKey(A, OneName, AtpQuery::Kind::Validity));
 }
 
 TEST(AtpCacheKey, ConjunctOrderCollides) {
@@ -60,10 +60,10 @@ TEST(AtpCacheKey, ConjunctOrderCollides) {
   TermArena A;
   FormulaPtr P = Formula::mkLt(A, sym(A, "x"), A.mkInt(7));
   FormulaPtr Q = Formula::mkEq(A, sym(A, "y"), A.mkInt(3));
-  EXPECT_EQ(canonicalQueryKey(A, Formula::mkAnd(P, Q), "V"),
-            canonicalQueryKey(A, Formula::mkAnd(Q, P), "V"));
-  EXPECT_EQ(canonicalQueryKey(A, Formula::mkOr(P, Q), "V"),
-            canonicalQueryKey(A, Formula::mkOr(Q, P), "V"));
+  EXPECT_EQ(canonicalQueryKey(A, Formula::mkAnd(P, Q), AtpQuery::Kind::Validity),
+            canonicalQueryKey(A, Formula::mkAnd(Q, P), AtpQuery::Kind::Validity));
+  EXPECT_EQ(canonicalQueryKey(A, Formula::mkOr(P, Q), AtpQuery::Kind::Validity),
+            canonicalQueryKey(A, Formula::mkOr(Q, P), AtpQuery::Kind::Validity));
 }
 
 TEST(AtpCacheKey, CrossArenaQueriesCollide) {
@@ -77,27 +77,27 @@ TEST(AtpCacheKey, CrossArenaQueriesCollide) {
   FormulaPtr F2 = Formula::mkLe(A2, X2, A2.mkAdd(Y2, A2.mkInt(5)));
   FormulaPtr F1 = Formula::mkLe(A1, sym(A1, "u"),
                                 A1.mkAdd(sym(A1, "v"), A1.mkInt(5)));
-  EXPECT_EQ(canonicalQueryKey(A1, F1, "V"), canonicalQueryKey(A2, F2, "V"));
+  EXPECT_EQ(canonicalQueryKey(A1, F1, AtpQuery::Kind::Validity), canonicalQueryKey(A2, F2, AtpQuery::Kind::Validity));
 }
 
 TEST(AtpCacheKey, LiteralsStayLiteral) {
   TermArena A;
   // Integer constants carry meaning.
   EXPECT_NE(canonicalQueryKey(
-                A, Formula::mkEq(A, sym(A, "x"), A.mkInt(0)), "V"),
+                A, Formula::mkEq(A, sym(A, "x"), A.mkInt(0)), AtpQuery::Kind::Validity),
             canonicalQueryKey(
-                A, Formula::mkEq(A, sym(A, "x"), A.mkInt(1)), "V"));
+                A, Formula::mkEq(A, sym(A, "x"), A.mkInt(1)), AtpQuery::Kind::Validity));
   // Uninterpreted function names carry meaning (div$/mod$ are
   // lemma-interpreted by name).
   TermId FX = A.mkApply(Symbol::get("f"), {sym(A, "x")}, Sort::Int);
   TermId GX = A.mkApply(Symbol::get("g"), {sym(A, "x")}, Sort::Int);
   EXPECT_NE(
-      canonicalQueryKey(A, Formula::mkEq(A, FX, A.mkInt(0)), "V"),
-      canonicalQueryKey(A, Formula::mkEq(A, GX, A.mkInt(0)), "V"));
+      canonicalQueryKey(A, Formula::mkEq(A, FX, A.mkInt(0)), AtpQuery::Kind::Validity),
+      canonicalQueryKey(A, Formula::mkEq(A, GX, A.mkInt(0)), AtpQuery::Kind::Validity));
   // The query flavor is part of the key: validity of F and
   // satisfiability of F are different questions.
   FormulaPtr F = Formula::mkEq(A, sym(A, "x"), A.mkInt(0));
-  EXPECT_NE(canonicalQueryKey(A, F, "V"), canonicalQueryKey(A, F, "S"));
+  EXPECT_NE(canonicalQueryKey(A, F, AtpQuery::Kind::Validity), canonicalQueryKey(A, F, AtpQuery::Kind::Satisfiability));
 }
 
 TEST(AtpCacheKey, SortsGuardCollisions) {
@@ -109,8 +109,8 @@ TEST(AtpCacheKey, SortsGuardCollisions) {
   TermId S2 = sym(A, "t", Sort::State);
   FormulaPtr IntEq = Formula::mkEq(A, IntC, A.mkAdd(IntC, A.mkInt(0)));
   FormulaPtr StateEq = Formula::mkEq(A, S1, S2);
-  EXPECT_NE(canonicalQueryKey(A, IntEq, "V"),
-            canonicalQueryKey(A, StateEq, "V"));
+  EXPECT_NE(canonicalQueryKey(A, IntEq, AtpQuery::Kind::Validity),
+            canonicalQueryKey(A, StateEq, AtpQuery::Kind::Validity));
 }
 
 //===----------------------------------------------------------------------===//
@@ -132,7 +132,7 @@ TEST(AtpCacheSolve, HitReplaysWorkDelta) {
     return Formula::mkImplies(H, Formula::mkLe(A, sym(A, "x"), sym(A, "z")));
   };
 
-  EXPECT_TRUE(First.isValid(Query(A1)));
+  EXPECT_TRUE(First.query(AtpQuery::validity(Query(A1))).Verdict);
   EXPECT_EQ(First.stats().CacheMisses, 1u);
   EXPECT_EQ(First.stats().CacheHits, 0u);
 
@@ -144,7 +144,7 @@ TEST(AtpCacheSolve, HitReplaysWorkDelta) {
       Formula::mkAnd(Formula::mkLe(A2, sym(A2, "p"), sym(A2, "q")),
                      Formula::mkLe(A2, sym(A2, "q"), sym(A2, "r"))),
       Formula::mkLe(A2, sym(A2, "p"), sym(A2, "r")));
-  EXPECT_TRUE(Second.isValid(Renamed));
+  EXPECT_TRUE(Second.query(AtpQuery::validity(Renamed)).Verdict);
   EXPECT_EQ(Second.stats().CacheHits, 1u);
   EXPECT_EQ(Second.stats().CacheMisses, 0u);
   EXPECT_EQ(Second.stats().Queries, 1u);
@@ -168,15 +168,16 @@ TEST(AtpCacheSolve, ModelWantingLookupsAreOneSided) {
 
   // Invalid query: x = 0 has the counterexample x != 0.
   FormulaPtr Invalid = Formula::mkEq(A, sym(A, "x"), A.mkInt(0));
-  EXPECT_FALSE(Prover.isValid(Invalid));
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(Invalid)).Verdict);
   EXPECT_EQ(Cache.stats().Misses, 1u);
 
   // Asking again WITH a counterexample: the cached `false` cannot carry
   // the model, so the lookup bypasses to a local re-solve — and still
   // produces the model.
-  AtpModel Counterexample;
-  EXPECT_FALSE(Prover.isValid(Invalid, &Counterexample));
-  EXPECT_FALSE(Counterexample.empty());
+  AtpResult Invalid2 = Prover.query(AtpQuery::validity(Invalid, true));
+  EXPECT_FALSE(Invalid2.Verdict);
+  EXPECT_TRUE(Invalid2.HasModel);
+  EXPECT_FALSE(Invalid2.Model.empty());
   EXPECT_EQ(Cache.stats().ModelBypasses, 1u);
   EXPECT_EQ(Prover.stats().CacheBypasses, 1u);
 
@@ -184,9 +185,8 @@ TEST(AtpCacheSolve, ModelWantingLookupsAreOneSided) {
   // cached `true` makes the model irrelevant.
   FormulaPtr Valid = Formula::mkLe(A, sym(A, "y"),
                                    A.mkAdd(sym(A, "y"), A.mkInt(1)));
-  EXPECT_TRUE(Prover.isValid(Valid));
-  AtpModel Unused;
-  EXPECT_TRUE(Prover.isValid(Valid, &Unused));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Valid)).Verdict);
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Valid, true)).Verdict);
   EXPECT_EQ(Cache.stats().Hits, 1u);
 }
 
@@ -196,21 +196,21 @@ TEST(AtpCacheSolve, SatisfiabilityCachesTheOtherSide) {
   Atp Prover(A);
   Prover.setCache(&Cache);
 
-  // Satisfiable: x < 3. A model-wanting isSatisfiable on a cached `true`
+  // Satisfiable: x < 3. A model-wanting satisfiability query on a cached `true`
   // must bypass (the model is needed exactly when the answer is true).
   FormulaPtr Sat = Formula::mkLt(A, sym(A, "x"), A.mkInt(3));
-  EXPECT_TRUE(Prover.isSatisfiable(Sat));
-  AtpModel Model;
-  EXPECT_TRUE(Prover.isSatisfiable(Sat, &Model));
+  EXPECT_TRUE(Prover.query(AtpQuery::satisfiability(Sat)).Verdict);
+  AtpResult Witness = Prover.query(AtpQuery::satisfiability(Sat, true));
+  EXPECT_TRUE(Witness.Verdict);
+  EXPECT_TRUE(Witness.HasModel);
   EXPECT_EQ(Cache.stats().ModelBypasses, 1u);
 
   // Unsatisfiable: x < 3 && 3 < x.
   FormulaPtr Unsat =
       Formula::mkAnd(Formula::mkLt(A, sym(A, "x"), A.mkInt(3)),
                      Formula::mkLt(A, A.mkInt(3), sym(A, "x")));
-  EXPECT_FALSE(Prover.isSatisfiable(Unsat));
-  AtpModel Unused;
-  EXPECT_FALSE(Prover.isSatisfiable(Unsat, &Unused));
+  EXPECT_FALSE(Prover.query(AtpQuery::satisfiability(Unsat)).Verdict);
+  EXPECT_FALSE(Prover.query(AtpQuery::satisfiability(Unsat, true)).Verdict);
   // Cached `false` answers the model-wanting call without a bypass.
   EXPECT_EQ(Cache.stats().ModelBypasses, 1u);
   EXPECT_EQ(Cache.stats().Hits, 1u);

@@ -34,13 +34,16 @@ endif()
 # histograms: a p50/p99 only regresses when it exceeds BOTH the factor
 # and the absolute slack (generous factors — CI wall-clock is noisy, and
 # the per-rule budgets above already catch sustained slowdowns; this
-# gate exists for order-of-magnitude tail blow-ups).
+# gate exists for order-of-magnitude tail blow-ups). --min-sat-closed 1
+# keeps the equality-saturation stage honest: the suite must keep
+# discharging at least one obligation with zero DPLL(T) work.
 execute_process(
   COMMAND ${PEC_BIN} report diff ${BASELINE} ${Fresh} --time-tolerance 3
           --strengthening-time-tolerance 3 --strengthening-time-slack-us 50000
           --strengthening-query-tolerance 2 --strengthening-query-slack 8
           --p50-tolerance 4 --p50-slack-us 20000
           --p99-tolerance 4 --p99-slack-us 100000
+          --min-sat-closed 1
   RESULT_VARIABLE DiffExit)
 if(NOT DiffExit EQUAL 0)
   message(FATAL_ERROR

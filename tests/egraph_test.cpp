@@ -1,0 +1,302 @@
+//===- egraph_test.cpp - E-graph unit tests -------------------------------===//
+//
+// The data structure under the equality-saturation pre-solve stage
+// (solver/EGraph.h): hashcons identity, congruence closure via worklist
+// rebuild, constant conflict detection, budget behavior, minimum-size
+// extraction, and the pushState/popState undo discipline the per-rule
+// shared graph depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/EGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace pec;
+
+namespace {
+
+TermId sym(TermArena &A, const char *Name, Sort S = Sort::Int) {
+  return A.mkSymConst(Symbol::get(Name), S);
+}
+
+//===----------------------------------------------------------------------===//
+// Hashcons identity
+//===----------------------------------------------------------------------===//
+
+TEST(EGraph, InterningIsIdempotent) {
+  TermArena A;
+  EGraph G(A);
+  TermId T = A.mkAdd(sym(A, "x"), A.mkInt(1));
+  ClassId C1 = G.addTerm(T);
+  size_t Nodes = G.nodeCount();
+  ClassId C2 = G.addTerm(T);
+  EXPECT_EQ(G.find(C1), G.find(C2));
+  EXPECT_EQ(G.nodeCount(), Nodes) << "re-interning created nodes";
+}
+
+TEST(EGraph, CommutativeHeadsShareOneNode) {
+  // Sorted children bake commutativity into the hashcons: a+b and b+a
+  // land in one class without any rewrite rule firing.
+  TermArena A;
+  EGraph G(A);
+  TermId X = sym(A, "a"), Y = sym(A, "b");
+  ClassId L = G.addTerm(A.mkAdd(X, Y));
+  ClassId R = G.addTerm(A.mkAdd(Y, X));
+  EXPECT_TRUE(G.areEqual(L, R));
+  ClassId ML = G.addTerm(A.mkMul(X, Y));
+  ClassId MR = G.addTerm(A.mkMul(Y, X));
+  EXPECT_TRUE(G.areEqual(ML, MR));
+  // Sub is NOT commutative.
+  ClassId SL = G.addTerm(A.mkSub(X, Y));
+  ClassId SR = G.addTerm(A.mkSub(Y, X));
+  EXPECT_FALSE(G.areEqual(SL, SR));
+}
+
+TEST(EGraph, SharedSubtermsShareNodes) {
+  TermArena A;
+  EGraph G(A);
+  TermId X = sym(A, "x");
+  TermId Y = sym(A, "y");
+  G.addTerm(A.mkAdd(X, Y));
+  size_t Nodes = G.nodeCount();
+  // A second term over the same leaves only adds its new head. (The pair
+  // must be arena-opaque: mkMul(X, mkInt(1)) would fold to X upstream.)
+  G.addTerm(A.mkMul(X, Y));
+  EXPECT_EQ(G.nodeCount(), Nodes + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Congruence closure
+//===----------------------------------------------------------------------===//
+
+TEST(EGraph, MergePropagatesThroughParents) {
+  TermArena A;
+  EGraph G(A);
+  TermId X = sym(A, "x"), Y = sym(A, "y");
+  TermId FX = A.mkApply(Symbol::get("f"), {X}, Sort::Int);
+  TermId FY = A.mkApply(Symbol::get("f"), {Y}, Sort::Int);
+  ClassId CFX = G.addTerm(FX), CFY = G.addTerm(FY);
+  EXPECT_FALSE(G.areEqual(CFX, CFY));
+  G.merge(G.addTerm(X), G.addTerm(Y));
+  G.rebuild();
+  EXPECT_TRUE(G.areEqual(CFX, CFY));
+}
+
+TEST(EGraph, CongruenceClosesDeepChains) {
+  // step$S(step$S(...(s1))) == same over s2 once s1 == s2 — the free
+  // unfolding congruence the saturation stage leans on.
+  TermArena A;
+  EGraph G(A);
+  TermId S1 = sym(A, "s1", Sort::State), S2 = sym(A, "s2", Sort::State);
+  TermId T1 = S1, T2 = S2;
+  for (int I = 0; I < 16; ++I) {
+    T1 = A.mkApply(Symbol::get("step$S"), {T1}, Sort::State);
+    T2 = A.mkApply(Symbol::get("step$S"), {T2}, Sort::State);
+  }
+  ClassId C1 = G.addTerm(T1), C2 = G.addTerm(T2);
+  EXPECT_FALSE(G.areEqual(C1, C2));
+  G.merge(G.addTerm(S1), G.addTerm(S2));
+  G.rebuild();
+  EXPECT_TRUE(G.areEqual(C1, C2));
+}
+
+TEST(EGraph, TransitiveMergesUnify) {
+  TermArena A;
+  EGraph G(A);
+  ClassId X = G.addTerm(sym(A, "x"));
+  ClassId Y = G.addTerm(sym(A, "y"));
+  ClassId Z = G.addTerm(sym(A, "z"));
+  G.merge(X, Y);
+  G.merge(Y, Z);
+  G.rebuild();
+  EXPECT_TRUE(G.areEqual(X, Z));
+  EXPECT_EQ(G.members(X).size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Constants and conflicts
+//===----------------------------------------------------------------------===//
+
+TEST(EGraph, ConstantsPropagateAcrossUnions) {
+  TermArena A;
+  EGraph G(A);
+  ClassId X = G.addTerm(sym(A, "x"));
+  EXPECT_FALSE(G.constantOf(X).has_value());
+  G.merge(X, G.addTerm(A.mkInt(7)));
+  G.rebuild();
+  ASSERT_TRUE(G.constantOf(X).has_value());
+  EXPECT_EQ(*G.constantOf(X), 7);
+  EXPECT_FALSE(G.conflicted());
+}
+
+TEST(EGraph, DistinctConstantsConflict) {
+  TermArena A;
+  EGraph G(A);
+  ClassId X = G.addTerm(sym(A, "x"));
+  G.merge(X, G.addTerm(A.mkInt(1)));
+  G.merge(X, G.addTerm(A.mkInt(2)));
+  G.rebuild();
+  EXPECT_TRUE(G.conflicted());
+}
+
+TEST(EGraph, CongruenceDerivedConflict) {
+  // f(x)=1, f(y)=2, x=y: the conflict arrives via the congruence
+  // f(x)=f(y), not via any direct constant merge.
+  TermArena A;
+  EGraph G(A);
+  TermId X = sym(A, "x"), Y = sym(A, "y");
+  TermId FX = A.mkApply(Symbol::get("f"), {X}, Sort::Int);
+  TermId FY = A.mkApply(Symbol::get("f"), {Y}, Sort::Int);
+  G.merge(G.addTerm(FX), G.addTerm(A.mkInt(1)));
+  G.merge(G.addTerm(FY), G.addTerm(A.mkInt(2)));
+  G.rebuild();
+  EXPECT_FALSE(G.conflicted());
+  G.merge(G.addTerm(X), G.addTerm(Y));
+  G.rebuild();
+  EXPECT_TRUE(G.conflicted());
+}
+
+TEST(EGraph, NameLitsAreDistinctConstants) {
+  TermArena A;
+  EGraph G(A);
+  ClassId X = G.addTerm(A.mkNameLit(Symbol::get("x")));
+  ClassId Y = G.addTerm(A.mkNameLit(Symbol::get("y")));
+  ASSERT_TRUE(G.nameLitOf(X).has_value());
+  EXPECT_EQ(G.nameLitOf(X)->str(), "x");
+  EXPECT_FALSE(G.areEqual(X, Y));
+}
+
+//===----------------------------------------------------------------------===//
+// Backtracking
+//===----------------------------------------------------------------------===//
+
+TEST(EGraph, PopStateUndoesMergesAndConflicts) {
+  TermArena A;
+  EGraph G(A);
+  TermId X = sym(A, "x"), Y = sym(A, "y");
+  TermId FX = A.mkApply(Symbol::get("f"), {X}, Sort::Int);
+  TermId FY = A.mkApply(Symbol::get("f"), {Y}, Sort::Int);
+  ClassId CFX = G.addTerm(FX), CFY = G.addTerm(FY);
+  size_t Nodes = G.nodeCount();
+
+  G.pushState();
+  G.merge(G.addTerm(X), G.addTerm(A.mkInt(3)));
+  G.merge(G.addTerm(Y), G.addTerm(A.mkInt(4)));
+  G.merge(G.addTerm(X), G.addTerm(Y));
+  G.rebuild();
+  EXPECT_TRUE(G.conflicted());
+  EXPECT_TRUE(G.areEqual(CFX, CFY));
+  G.popState();
+
+  EXPECT_FALSE(G.conflicted());
+  EXPECT_FALSE(G.areEqual(CFX, CFY));
+  EXPECT_FALSE(G.constantOf(G.addTerm(X)).has_value());
+  EXPECT_EQ(G.nodeCount(), Nodes) << "frame-created nodes leaked";
+}
+
+TEST(EGraph, FramesNest) {
+  TermArena A;
+  EGraph G(A);
+  ClassId X = G.addTerm(sym(A, "x"));
+  ClassId Y = G.addTerm(sym(A, "y"));
+  ClassId Z = G.addTerm(sym(A, "z"));
+  G.pushState();
+  G.merge(X, Y);
+  G.rebuild();
+  G.pushState();
+  G.merge(Y, Z);
+  G.rebuild();
+  EXPECT_TRUE(G.areEqual(X, Z));
+  G.popState();
+  EXPECT_TRUE(G.areEqual(X, Y));
+  EXPECT_FALSE(G.areEqual(X, Z));
+  G.popState();
+  EXPECT_FALSE(G.areEqual(X, Y));
+}
+
+TEST(EGraph, ReinternAfterPopIsConsistent) {
+  // The addTerm memo must not resurrect classes that died with the frame.
+  TermArena A;
+  EGraph G(A);
+  TermId X = sym(A, "x");
+  TermId FX = A.mkApply(Symbol::get("f"), {X}, Sort::Int);
+  G.addTerm(X);
+  G.pushState();
+  G.addTerm(FX); // Created inside the frame.
+  G.popState();
+  ClassId C = G.addTerm(FX); // Re-interned after the frame died.
+  EXPECT_TRUE(G.areEqual(C, G.addTerm(FX)));
+  EXPECT_FALSE(G.conflicted());
+}
+
+//===----------------------------------------------------------------------===//
+// Budget
+//===----------------------------------------------------------------------===//
+
+TEST(EGraph, BudgetClipsGrowthButNeverFails) {
+  TermArena A;
+  EGraph G(A, /*NodeBudget=*/4);
+  TermId T = sym(A, "x");
+  for (int I = 0; I < 32; ++I)
+    T = A.mkAdd(T, A.mkInt(I + 1));
+  ClassId C = G.addTerm(T);
+  EXPECT_NE(C, InvalidClass);
+  EXPECT_TRUE(G.budgetHit());
+  // Interning and merging keep working past the budget.
+  ClassId D = G.addTerm(sym(A, "y"));
+  G.merge(C, D);
+  G.rebuild();
+  EXPECT_TRUE(G.areEqual(C, D));
+}
+
+//===----------------------------------------------------------------------===//
+// Extraction
+//===----------------------------------------------------------------------===//
+
+TEST(EGraph, ExtractPicksMinimumSizeMember) {
+  TermArena A;
+  EGraph G(A);
+  TermId X = sym(A, "x");
+  TermId XPlus0 = A.mkAdd(X, A.mkInt(0));
+  ClassId C = G.addTerm(XPlus0);
+  G.merge(C, G.addTerm(X));
+  G.rebuild();
+  EXPECT_EQ(G.extract(C), X) << "x (1 node) beats x+0 (3 nodes)";
+}
+
+TEST(EGraph, ExtractTieBreaksOnRenderedString) {
+  // Two single-node members: the rendered-string tie-break makes the
+  // choice independent of insertion order.
+  TermArena A;
+  EGraph G(A);
+  TermId Ax = sym(A, "a"), Bx = sym(A, "b");
+  ClassId C1 = G.addTerm(Bx);
+  G.merge(C1, G.addTerm(Ax));
+  G.rebuild();
+  EXPECT_EQ(G.extract(C1), Ax);
+
+  TermArena A2;
+  EGraph G2(A2);
+  TermId Ax2 = sym(A2, "a"), Bx2 = sym(A2, "b");
+  ClassId C2 = G2.addTerm(Ax2); // Opposite insertion order.
+  G2.merge(C2, G2.addTerm(Bx2));
+  G2.rebuild();
+  EXPECT_EQ(G2.extract(C2), Ax2);
+}
+
+TEST(EGraph, ExtractDescendsIntoChildren) {
+  // f(x+0) extracts as f(x) once x+0 = x is known.
+  TermArena A;
+  EGraph G(A);
+  TermId X = sym(A, "x");
+  TermId XPlus0 = A.mkAdd(X, A.mkInt(0));
+  TermId FOuter = A.mkApply(Symbol::get("f"), {XPlus0}, Sort::Int);
+  ClassId C = G.addTerm(FOuter);
+  G.merge(G.addTerm(XPlus0), G.addTerm(X));
+  G.rebuild();
+  TermId FX = A.mkApply(Symbol::get("f"), {X}, Sort::Int);
+  EXPECT_EQ(G.extract(C), FX);
+}
+
+} // namespace

@@ -216,7 +216,7 @@ TEST(FlightRecorder, SlowQueryDumpIsValidJsonWithOffendingSpan) {
   FormulaPtr F = Formula::mkImplies(
       Formula::mkLt(Arena, X, Arena.mkInt(4)),
       Formula::mkLt(Arena, X, Arena.mkInt(10)));
-  EXPECT_TRUE(Prover.isValid(F));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
   flight::setSlowQueryThresholdUs(0);
 
   ASSERT_STRNE(flight::lastDumpPath(), "") << "no dump was written";
@@ -239,17 +239,17 @@ TEST(FlightRecorder, SlowQueryDumpIsValidJsonWithOffendingSpan) {
     for (const json::ValuePtr &Ev : Thread->get("events")->array()) {
       const std::string &Name = Ev->get("name")->stringValue();
       const std::string &Ph = Ev->get("ph")->stringValue();
-      if (Name == "atp.isValid" && Ph == "B")
+      if (Name == "atp.validity" && Ph == "B")
         SawBegin = true;
-      if (Name == "atp.isValid" && Ph == "E") {
+      if (Name == "atp.validity" && Ph == "E") {
         SawEnd = true;
         EXPECT_GE(Ev->get("arg")->numberValue(), 1.0);
       }
       if (Name == "slow-query" && Ph == "I")
         SawInstant = true;
     }
-  EXPECT_TRUE(SawBegin) << "dump lacks the atp.isValid Begin edge";
-  EXPECT_TRUE(SawEnd) << "dump lacks the atp.isValid End edge";
+  EXPECT_TRUE(SawBegin) << "dump lacks the atp.validity Begin edge";
+  EXPECT_TRUE(SawEnd) << "dump lacks the atp.validity End edge";
   EXPECT_TRUE(SawInstant) << "dump lacks the slow-query instant";
 
   // The metrics side counted the breach too.

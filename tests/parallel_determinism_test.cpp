@@ -48,13 +48,15 @@ std::string proveJson(const std::string &RulesFile, int Jobs) {
 }
 
 /// Zeroes every timing value: the report is byte-deterministic except for
-/// fields whose key ends in `seconds` or `microseconds` (and the wall
-/// clock has no business being reproducible), plus the whole v4 `metrics`
-/// section — its histograms hold raw latency samples, and some counts
-/// (single-flight cache waits, pool task splits) depend on scheduling.
+/// fields whose key ends in `seconds`, `microseconds`, or `_us` (and the
+/// wall clock has no business being reproducible), plus the whole v4
+/// `metrics` section — its histograms hold raw latency samples, and some
+/// counts (single-flight cache waits, pool task splits) depend on
+/// scheduling. The v6 saturation section's `rebuild_us` is a timing too;
+/// its `sat_closed` and `egraph_nodes` siblings stay checked.
 std::string normalizeTimings(const std::string &Doc) {
   static const std::regex TimingField(
-      "\"([a-z_]*(seconds|microseconds))\":[0-9.eE+-]+");
+      "\"([a-z_]*(seconds|microseconds|_us))\":[0-9.eE+-]+");
   std::string Out = std::regex_replace(Doc, TimingField, "\"$1\":0");
   size_t Key = Out.find("\"metrics\":{");
   if (Key != std::string::npos) {

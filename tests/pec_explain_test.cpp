@@ -179,7 +179,7 @@ TEST(MinimizeObligation, DropsNonLoadBearingHypotheses) {
       Formula::mkAnd(Formula::mkEq(Arena, X, Y),
                      Formula::mkEq(Arena, Y, Z)),
       Formula::mkLt(Arena, X, Z));
-  ASSERT_FALSE(Prover.isValid(Check));
+  ASSERT_FALSE(Prover.query(AtpQuery::validity(Check)).Verdict);
 
   MinimizeResult M = minimizeObligation(Prover, Check, /*MaxQueries=*/16);
   EXPECT_EQ(M.OriginalConjuncts, 2u);
@@ -188,7 +188,7 @@ TEST(MinimizeObligation, DropsNonLoadBearingHypotheses) {
   ASSERT_TRUE(M.Minimized != nullptr);
   // The minimized implication is still invalid: minimization preserves the
   // failure it explains.
-  EXPECT_FALSE(Prover.isValid(M.Minimized));
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(M.Minimized)).Verdict);
 }
 
 TEST(MinimizeObligation, RespectsQueryCap) {

@@ -1,0 +1,342 @@
+//===- saturate_test.cpp - Equality-saturation pre-solve tests ------------===//
+//
+// The Saturator (solver/Saturate.h) and its Atp integration: canonical
+// simplified forms (the cache-key feed), proof-only closure of validity /
+// satisfiability / assumption queries, budget termination, and the
+// end-to-end differential gate — `pec prove` over Figure 11 must produce
+// identical verdicts with the stage on and off, with `sat_closed > 0`
+// when it is on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Atp.h"
+#include "solver/Saturate.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+using namespace pec;
+
+namespace {
+
+TermId sym(TermArena &A, const char *Name, Sort S = Sort::Int) {
+  return A.mkSymConst(Symbol::get(Name), S);
+}
+
+TermId step(TermArena &A, TermId S, int Times = 1) {
+  for (int I = 0; I < Times; ++I)
+    S = A.mkApply(Symbol::get("step$S"), {S}, Sort::State);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical forms
+//===----------------------------------------------------------------------===//
+
+TEST(SaturateCanonical, ArithmeticIdentitiesFold) {
+  TermArena A;
+  Saturator S(A);
+  TermId X = sym(A, "x");
+  // x + 0 == x decides to true with no hypotheses.
+  FormulaPtr F =
+      Formula::mkEq(A, A.mkAdd(X, A.mkInt(0)), X);
+  EXPECT_EQ(S.canonicalForm(F)->str(A), Formula::mkTrue()->str(A));
+}
+
+TEST(SaturateCanonical, ConstantsFold) {
+  TermArena A;
+  Saturator S(A);
+  // 2*3 + 1 == 7 folds closed.
+  FormulaPtr F = Formula::mkEq(
+      A, A.mkAdd(A.mkMul(A.mkInt(2), A.mkInt(3)), A.mkInt(1)), A.mkInt(7));
+  EXPECT_EQ(S.canonicalForm(F)->str(A), Formula::mkTrue()->str(A));
+}
+
+TEST(SaturateCanonical, AcNormalFormsCollide) {
+  // (a+b)+c and c+(b+a) canonicalize to the same rendered formula — the
+  // property that makes alpha-distinct obligations share a cache key.
+  TermArena A;
+  TermId X = sym(A, "a"), Y = sym(A, "b"), Z = sym(A, "c"), W = sym(A, "d");
+  FormulaPtr F1 =
+      Formula::mkLe(A, A.mkAdd(A.mkAdd(X, Y), Z), W);
+  FormulaPtr F2 =
+      Formula::mkLe(A, A.mkAdd(Z, A.mkAdd(Y, X)), W);
+  Saturator S1(A), S2(A);
+  EXPECT_EQ(S1.canonicalForm(F1)->str(A), S2.canonicalForm(F2)->str(A));
+}
+
+TEST(SaturateCanonical, FreshSaturatorsAgree) {
+  // Canonical forms are history-independent: a saturator that has seen
+  // other formulas first produces the same form as a fresh one.
+  TermArena A;
+  TermId X = sym(A, "x"), Y = sym(A, "y");
+  FormulaPtr Noise =
+      Formula::mkEq(A, A.mkAdd(X, A.mkInt(3)), A.mkInt(9));
+  FormulaPtr F = Formula::mkLe(A, A.mkMul(X, A.mkInt(1)), A.mkAdd(Y, A.mkInt(0)));
+  Saturator Warm(A), Fresh(A);
+  Warm.canonicalForm(Noise);
+  EXPECT_EQ(Warm.canonicalForm(F)->str(A), Fresh.canonicalForm(F)->str(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Proof-only closure
+//===----------------------------------------------------------------------===//
+
+TEST(SaturateProve, CongruenceValidity) {
+  // s1 = s2 => step$S^16(s1) = step$S^16(s2): pure congruence, the
+  // unfolding shape PWP obligations take after lowering.
+  TermArena A;
+  Saturator S(A);
+  TermId S1 = sym(A, "s1", Sort::State), S2 = sym(A, "s2", Sort::State);
+  FormulaPtr F = Formula::mkImplies(
+      Formula::mkEq(A, S1, S2),
+      Formula::mkEq(A, step(A, S1, 16), step(A, S2, 16)));
+  EXPECT_TRUE(S.proveValid(F));
+}
+
+TEST(SaturateProve, SelectStoreResolves) {
+  // selS(stoS(s, n, v), n) = v, with n a name literal.
+  TermArena A;
+  Saturator S(A);
+  TermId St = sym(A, "s", Sort::State);
+  TermId N = A.mkNameLit(Symbol::get("x"));
+  TermId V = sym(A, "v");
+  FormulaPtr F =
+      Formula::mkEq(A, A.mkSelS(A.mkStoS(St, N, V), N), V);
+  EXPECT_TRUE(S.proveValid(F));
+}
+
+TEST(SaturateProve, SelectStoreSkipsDistinctNames) {
+  // selS(stoS(s, "x", v), "y") = selS(s, "y"): the store to a provably
+  // different name is transparent.
+  TermArena A;
+  Saturator S(A);
+  TermId St = sym(A, "s", Sort::State);
+  TermId NX = A.mkNameLit(Symbol::get("x"));
+  TermId NY = A.mkNameLit(Symbol::get("y"));
+  TermId V = sym(A, "v");
+  FormulaPtr F = Formula::mkEq(A, A.mkSelS(A.mkStoS(St, NX, V), NY),
+                               A.mkSelS(St, NY));
+  EXPECT_TRUE(S.proveValid(F));
+}
+
+TEST(SaturateProve, VacuousHypothesesClose) {
+  // A contradictory hypothesis proves anything — including goals the
+  // graph could never decide positively.
+  TermArena A;
+  Saturator S(A);
+  TermId X = sym(A, "x");
+  FormulaPtr Contradiction =
+      Formula::mkAnd(Formula::mkEq(A, X, A.mkInt(1)),
+                     Formula::mkEq(A, X, A.mkInt(2)));
+  FormulaPtr F = Formula::mkImplies(
+      Contradiction, Formula::mkLe(A, sym(A, "y"), sym(A, "z")));
+  EXPECT_TRUE(S.proveValid(F));
+}
+
+TEST(SaturateProve, CannotCloseIsNotInvalid) {
+  // `x <= y` is satisfiable but not valid; saturation must answer
+  // "could not close", never "invalid". Same one-sidedness for unsat.
+  TermArena A;
+  Saturator S(A);
+  FormulaPtr Open = Formula::mkLe(A, sym(A, "x"), sym(A, "y"));
+  EXPECT_FALSE(S.proveValid(Open));
+  EXPECT_FALSE(S.proveUnsat(Open));
+}
+
+TEST(SaturateProve, UnsatByMergedConstants) {
+  TermArena A;
+  Saturator S(A);
+  TermId X = sym(A, "x");
+  FormulaPtr F = Formula::mkAnd(Formula::mkEq(A, X, A.mkInt(1)),
+                                Formula::mkEq(A, X, A.mkInt(2)));
+  EXPECT_TRUE(S.proveUnsat(F));
+}
+
+TEST(SaturateProve, CloseAssumptionsCores) {
+  TermArena A;
+  TermId X = sym(A, "x");
+  FormulaPtr XIs1 = Formula::mkEq(A, X, A.mkInt(1));
+  FormulaPtr XIs2 = Formula::mkEq(A, X, A.mkInt(2));
+  FormulaPtr Open = Formula::mkLe(A, X, sym(A, "y"));
+
+  // Prelude consistent, second assumption refuted: core {0, 2}.
+  {
+    Saturator S(A);
+    auto Core = S.closeAssumptions(XIs1, {Open, XIs2});
+    ASSERT_TRUE(Core.has_value());
+    EXPECT_EQ(*Core, (std::vector<size_t>{0, 2}));
+  }
+  // Prelude contradictory on its own: core {0}.
+  {
+    Saturator S(A);
+    auto Core = S.closeAssumptions(Formula::mkAnd(XIs1, XIs2), {Open});
+    ASSERT_TRUE(Core.has_value());
+    EXPECT_EQ(*Core, (std::vector<size_t>{0}));
+  }
+  // Nothing refutable: saturation declines (DPLL(T) decides).
+  {
+    Saturator S(A);
+    EXPECT_FALSE(S.closeAssumptions(XIs1, {Open}).has_value());
+  }
+}
+
+TEST(SaturateProve, BudgetsTerminateGracefully) {
+  // A starved node budget must clip rewriting, not wedge or crash, and
+  // must never flip an answer to "proved".
+  TermArena A;
+  SaturateConfig Tiny;
+  Tiny.NodeBudget = 8;
+  Tiny.IterBudget = 2;
+  Saturator S(A, Tiny);
+  TermId T = sym(A, "x");
+  for (int I = 0; I < 64; ++I)
+    T = A.mkAdd(A.mkMul(T, A.mkInt(2)), A.mkInt(I));
+  FormulaPtr Open = Formula::mkLe(A, T, sym(A, "y"));
+  EXPECT_FALSE(S.proveValid(Open));
+  EXPECT_TRUE(S.budgetHit());
+  // canonicalForm still returns a well-formed formula under the budget.
+  EXPECT_NE(S.canonicalForm(Open), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Atp pipeline integration
+//===----------------------------------------------------------------------===//
+
+TEST(SaturateAtp, ClosedQueriesSkipTheSatCore) {
+  TermArena A;
+  Atp P(A);
+  TermId S1 = sym(A, "s1", Sort::State), S2 = sym(A, "s2", Sort::State);
+  FormulaPtr F = Formula::mkImplies(
+      Formula::mkEq(A, S1, S2),
+      Formula::mkEq(A, step(A, S1, 8), step(A, S2, 8)));
+  EXPECT_TRUE(P.query(AtpQuery::validity(F)).Verdict);
+  EXPECT_EQ(P.stats().SatClosed, 1u);
+  EXPECT_EQ(P.stats().SatDecisions, 0u) << "saturation-closed query hit SAT";
+  EXPECT_GT(P.stats().EgraphNodes, 0u);
+}
+
+TEST(SaturateAtp, VerdictsMatchWithStageOff) {
+  TermArena A;
+  AtpOptions Off;
+  Off.Saturate = false;
+  TermId X = sym(A, "x"), Y = sym(A, "y");
+  FormulaPtr Fs[] = {
+      Formula::mkImplies(Formula::mkEq(A, X, Y),
+                         Formula::mkEq(A, A.mkAdd(X, A.mkInt(1)),
+                                       A.mkAdd(Y, A.mkInt(1)))),
+      Formula::mkLe(A, X, Y),
+      Formula::mkEq(A, A.mkMul(X, A.mkInt(0)), A.mkInt(0)),
+      Formula::mkLt(A, X, X),
+  };
+  for (const FormulaPtr &F : Fs) {
+    Atp On(A), NoSat(A, Off);
+    EXPECT_EQ(On.query(AtpQuery::validity(F)).Verdict,
+              NoSat.query(AtpQuery::validity(F)).Verdict)
+        << F->str(A);
+    Atp On2(A), NoSat2(A, Off);
+    EXPECT_EQ(On2.query(AtpQuery::satisfiability(F)).Verdict,
+              NoSat2.query(AtpQuery::satisfiability(F)).Verdict)
+        << F->str(A);
+  }
+}
+
+TEST(SaturateAtp, AssumptionCoresStayWellFormed) {
+  // An Assumptions-kind query closed by the persistent saturator must
+  // carry the same core convention as the DPLL(T) path.
+  TermArena A;
+  Atp P(A);
+  TermId X = sym(A, "x");
+  FormulaPtr Prelude = Formula::mkEq(A, X, A.mkInt(1));
+  AtpQuery Q = AtpQuery::assumptions(
+      Prelude, {Formula::mkEq(A, X, A.mkInt(2))});
+  Q.WantCore = true;
+  AtpResult R = P.query(Q);
+  EXPECT_FALSE(R.Verdict);
+  ASSERT_TRUE(R.HasCore);
+  EXPECT_EQ(R.Core, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(P.stats().SatClosed, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end differential gate (PEC_BIN)
+//===----------------------------------------------------------------------===//
+
+/// Runs \p Command, captures stdout. Returns false when popen fails.
+bool capture(const std::string &Command, std::string &Out) {
+  Out.clear();
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Out.append(Buf, N);
+  pclose(Pipe);
+  return true;
+}
+
+std::map<std::string, bool> provedSet(const std::string &Doc) {
+  std::map<std::string, bool> Out;
+  std::string Error;
+  json::ValuePtr Report = json::parse(Doc, &Error);
+  EXPECT_TRUE(Report != nullptr) << Error;
+  if (!Report)
+    return Out;
+  for (const json::ValuePtr &Rule : Report->get("rules")->array())
+    Out[Rule->get("name")->stringValue()] = Rule->get("proved")->boolValue();
+  return Out;
+}
+
+TEST(SaturateDifferential, Figure11VerdictsIdenticalOnAndOff) {
+  const std::string Base = std::string(PEC_BIN) + " prove " +
+                           std::string(PEC_RULES_DIR) +
+                           "/figure11.rules --report json 2>/dev/null";
+  std::string On, Off;
+  ASSERT_TRUE(capture(Base, On));
+  ASSERT_TRUE(capture(Base + " --no-saturate", Off));
+  ASSERT_FALSE(On.empty());
+  ASSERT_FALSE(Off.empty());
+
+  std::map<std::string, bool> POn = provedSet(On), POff = provedSet(Off);
+  EXPECT_FALSE(POn.empty());
+  EXPECT_EQ(POn, POff) << "saturation changed a Figure 11 verdict";
+
+  // The stage must actually close obligations on the suite...
+  std::string Error;
+  json::ValuePtr Report = json::parse(On, &Error);
+  ASSERT_TRUE(Report != nullptr) << Error;
+  json::ValuePtr Saturation = Report->get("saturation");
+  ASSERT_TRUE(Saturation != nullptr);
+  EXPECT_GT(Saturation->get("sat_closed")->numberValue(), 0.0);
+  EXPECT_GT(Saturation->get("egraph_nodes")->numberValue(), 0.0);
+
+  // ...and the off-run must report the section as all-zero, not drop it.
+  json::ValuePtr OffReport = json::parse(Off, &Error);
+  ASSERT_TRUE(OffReport != nullptr) << Error;
+  json::ValuePtr OffSaturation = OffReport->get("saturation");
+  ASSERT_TRUE(OffSaturation != nullptr);
+  EXPECT_EQ(OffSaturation->get("sat_closed")->numberValue(), 0.0);
+}
+
+TEST(SaturateDifferential, UnsoundRulesStayRejectedOnAndOff) {
+  // The one-sided-safety contract end to end: the planted-unsound suite
+  // must be rejected identically with the stage on and off.
+  const std::string Base = std::string(PEC_BIN) + " prove " +
+                           std::string(PEC_RULES_DIR) +
+                           "/unsound.rules --report json 2>/dev/null";
+  std::string On, Off;
+  ASSERT_TRUE(capture(Base, On));
+  ASSERT_TRUE(capture(Base + " --no-saturate", Off));
+  std::map<std::string, bool> POn = provedSet(On), POff = provedSet(Off);
+  EXPECT_FALSE(POn.empty());
+  EXPECT_EQ(POn, POff);
+  for (const auto &[Name, Proved] : POn)
+    EXPECT_FALSE(Proved) << Name << " proved with saturation on";
+}
+
+} // namespace

@@ -182,7 +182,7 @@ TEST_P(AtpFuzz, PureLiaMatchesBruteForce) {
     Atp Prover(A);
     FuzzFormula FF(A, Rng, /*WithUF=*/false);
     bool Brute = FF.bruteForceSat();
-    bool Solver = Prover.isSatisfiable(FF.formula());
+    bool Solver = Prover.query(AtpQuery::satisfiability(FF.formula())).Verdict;
     // Linear fragment: the solver is complete here, both directions must
     // agree. (Nonlinear products are constant*(term) only.)
     EXPECT_EQ(Solver, Brute)
@@ -200,7 +200,7 @@ TEST_P(AtpFuzz, WithUninterpretedFunctionsIsOneSided) {
     if (FF.bruteForceSat()) {
       // A concrete model exists, so the solver must answer SAT (it may
       // also answer SAT for brute-force-unsat formulas: UF freedom).
-      EXPECT_TRUE(Prover.isSatisfiable(FF.formula()))
+      EXPECT_TRUE(Prover.query(AtpQuery::satisfiability(FF.formula())).Verdict)
           << "seed " << GetParam() << " round " << Round << "\n"
           << FF.formula()->str(A);
     }
@@ -268,7 +268,7 @@ TEST_P(SatFuzz, RandomCnfMatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SatFuzz, ::testing::Range<uint64_t>(1, 9));
 
 //===----------------------------------------------------------------------===//
-// Incremental sessions: solveUnderAssumptions vs. fresh-instance solves
+// Incremental sessions: Assumptions-kind queries vs. fresh solves
 //===----------------------------------------------------------------------===//
 
 class IncrementalFuzz : public ::testing::TestWithParam<uint64_t> {};
@@ -285,11 +285,13 @@ TEST_P(IncrementalFuzz, AssumptionSolvesMatchFreshInstances) {
   for (int Round = 0; Round < 8; ++Round) {
     FuzzFormula Prelude(A, Rng, /*WithUF=*/false);
     FuzzFormula Extra(A, Rng, /*WithUF=*/false);
-    bool Inc = Incremental.solveUnderAssumptions(Prelude.formula(),
-                                                 {Extra.formula()});
+    bool Inc = Incremental
+                   .query(AtpQuery::assumptions(Prelude.formula(),
+                                                {Extra.formula()}))
+                   .Verdict;
     Atp Fresh(A);
-    bool Ref = Fresh.isSatisfiable(
-        Formula::mkAnd(Prelude.formula(), Extra.formula()));
+    bool Ref = Fresh.query(AtpQuery::satisfiability(
+        Formula::mkAnd(Prelude.formula(), Extra.formula()))).Verdict;
     ASSERT_EQ(Inc, Ref)
         << "seed " << GetParam() << " round " << Round << "\n"
         << Prelude.formula()->str(A) << "\nassuming\n"
@@ -299,19 +301,22 @@ TEST_P(IncrementalFuzz, AssumptionSolvesMatchFreshInstances) {
 
 TEST_P(IncrementalFuzz, StrengtheningStyleRechecksMatchIsValid) {
   // The checker's pattern: one prelude re-checked against a sequence of
-  // obligations via !solveUnderAssumptions(Pred, {!Ob}), compared to a
-  // fresh prover's isValid(Pred => Ob) for each obligation.
+  // obligations via a negated Assumptions query, compared to a fresh
+  // prover's Validity query on Pred => Ob for each obligation.
   std::mt19937_64 Rng(GetParam() + 3000);
   TermArena A;
   Atp Incremental(A);
   FuzzFormula Pred(A, Rng, /*WithUF=*/false);
   for (int Round = 0; Round < 8; ++Round) {
     FuzzFormula Ob(A, Rng, /*WithUF=*/false);
-    bool IncValid = !Incremental.solveUnderAssumptions(
-        Pred.formula(), {Formula::mkNot(Ob.formula())});
+    bool IncValid =
+        !Incremental
+             .query(AtpQuery::assumptions(
+                 Pred.formula(), {Formula::mkNot(Ob.formula())}))
+             .Verdict;
     Atp Fresh(A);
-    bool RefValid = Fresh.isValid(
-        Formula::mkImplies(Pred.formula(), Ob.formula()));
+    bool RefValid = Fresh.query(AtpQuery::validity(
+        Formula::mkImplies(Pred.formula(), Ob.formula()))).Verdict;
     ASSERT_EQ(IncValid, RefValid)
         << "seed " << GetParam() << " round " << Round << "\n"
         << Pred.formula()->str(A) << "\n=>\n" << Ob.formula()->str(A);
@@ -328,11 +333,13 @@ TEST_P(IncrementalFuzz, UninterpretedFunctionsStaySoundAcrossSession) {
   for (int Round = 0; Round < 8; ++Round) {
     FuzzFormula Prelude(A, Rng, /*WithUF=*/true);
     FuzzFormula Extra(A, Rng, /*WithUF=*/true);
-    bool Inc = Incremental.solveUnderAssumptions(Prelude.formula(),
-                                                 {Extra.formula()});
+    bool Inc = Incremental
+                   .query(AtpQuery::assumptions(Prelude.formula(),
+                                                {Extra.formula()}))
+                   .Verdict;
     Atp Fresh(A);
-    bool Ref = Fresh.isSatisfiable(
-        Formula::mkAnd(Prelude.formula(), Extra.formula()));
+    bool Ref = Fresh.query(AtpQuery::satisfiability(
+        Formula::mkAnd(Prelude.formula(), Extra.formula()))).Verdict;
     ASSERT_EQ(Inc, Ref)
         << "seed " << GetParam() << " round " << Round << "\n"
         << Prelude.formula()->str(A) << "\nassuming\n"

@@ -386,9 +386,9 @@ TEST_F(AtpTest, PropositionalValidity) {
   TermId X = intConst("x"), Y = intConst("y");
   FormulaPtr XeqY = Formula::mkEq(A, X, Y);
   // p || !p.
-  EXPECT_TRUE(Prover.isValid(Formula::mkOr(XeqY, Formula::mkNot(XeqY))));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkOr(XeqY, Formula::mkNot(XeqY)))).Verdict);
   // p alone is not valid.
-  EXPECT_FALSE(Prover.isValid(XeqY));
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(XeqY)).Verdict);
 }
 
 TEST_F(AtpTest, EqualityTransitivityValid) {
@@ -396,7 +396,7 @@ TEST_F(AtpTest, EqualityTransitivityValid) {
   FormulaPtr F = Formula::mkImplies(
       Formula::mkAnd(Formula::mkEq(A, X, Y), Formula::mkEq(A, Y, Z)),
       Formula::mkEq(A, X, Z));
-  EXPECT_TRUE(Prover.isValid(F));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
 }
 
 TEST_F(AtpTest, CongruenceValid) {
@@ -408,7 +408,7 @@ TEST_F(AtpTest, CongruenceValid) {
   // s1 = s2 => step(s1) = step(s2): the first key PEC observation (Sec. 2.2).
   FormulaPtr F = Formula::mkImplies(Formula::mkEq(A, S1, S2),
                                     Formula::mkEq(A, T1, T2));
-  EXPECT_TRUE(Prover.isValid(F));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
 }
 
 TEST_F(AtpTest, ArithmeticValidity) {
@@ -417,7 +417,7 @@ TEST_F(AtpTest, ArithmeticValidity) {
   FormulaPtr F = Formula::mkImplies(
       Formula::mkAnd(Formula::mkLe(A, X, Y), Formula::mkLe(A, Y, X)),
       Formula::mkEq(A, X, Y));
-  EXPECT_TRUE(Prover.isValid(F));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
 }
 
 TEST_F(AtpTest, PaperPathPruning) {
@@ -426,7 +426,7 @@ TEST_F(AtpTest, PaperPathPruning) {
   FormulaPtr F = Formula::mkAnd(
       Formula::mkEq(A, I, A.mkSub(E, A.mkInt(1))),
       Formula::mkLt(A, A.mkAdd(I, A.mkInt(1)), E));
-  EXPECT_FALSE(Prover.isSatisfiable(F));
+  EXPECT_FALSE(Prover.query(AtpQuery::satisfiability(F)).Verdict);
 }
 
 TEST_F(AtpTest, MixedEufLia) {
@@ -436,7 +436,7 @@ TEST_F(AtpTest, MixedEufLia) {
   FormulaPtr F = Formula::mkAnd(
       {Formula::mkEq(A, Fx, X), Formula::mkLe(A, X, A.mkInt(3)),
        Formula::mkLe(A, A.mkInt(4), Fx)});
-  EXPECT_FALSE(Prover.isSatisfiable(F));
+  EXPECT_FALSE(Prover.query(AtpQuery::satisfiability(F)).Verdict);
 }
 
 TEST_F(AtpTest, CongruenceOverArithmeticArgs) {
@@ -445,8 +445,8 @@ TEST_F(AtpTest, CongruenceOverArithmeticArgs) {
   Symbol F = Symbol::get("f");
   TermId Fx = A.mkApply(F, {A.mkAdd(X, A.mkInt(1))}, Sort::Int);
   TermId Fy = A.mkApply(F, {A.mkAdd(Y, A.mkInt(1))}, Sort::Int);
-  EXPECT_TRUE(Prover.isValid(Formula::mkImplies(Formula::mkEq(A, X, Y),
-                                                Formula::mkEq(A, Fx, Fy))));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkImplies(Formula::mkEq(A, X, Y),
+                                                Formula::mkEq(A, Fx, Fy)))).Verdict);
 }
 
 TEST_F(AtpTest, ArrayReadOverWriteLemmas) {
@@ -456,14 +456,14 @@ TEST_F(AtpTest, ArrayReadOverWriteLemmas) {
   TermId Stored = A.mkStoA(Arr, I, V);
   TermId ReadJ = A.mkSelA(Stored, J);
   // If i = j then the read returns v.
-  EXPECT_TRUE(Prover.isValid(Formula::mkImplies(
-      Formula::mkEq(A, I, J), Formula::mkEq(A, ReadJ, V))));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkImplies(
+      Formula::mkEq(A, I, J), Formula::mkEq(A, ReadJ, V)))).Verdict);
   // If i != j the read falls through.
-  EXPECT_TRUE(Prover.isValid(
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(
       Formula::mkImplies(Formula::mkNot(Formula::mkEq(A, I, J)),
-                         Formula::mkEq(A, ReadJ, A.mkSelA(Arr, J)))));
+                         Formula::mkEq(A, ReadJ, A.mkSelA(Arr, J))))).Verdict);
   // Without knowing i vs j, neither equation is valid on its own.
-  EXPECT_FALSE(Prover.isValid(Formula::mkEq(A, ReadJ, V)));
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(Formula::mkEq(A, ReadJ, V))).Verdict);
 }
 
 TEST_F(AtpTest, StateTheoryEndToEnd) {
@@ -475,8 +475,8 @@ TEST_F(AtpTest, StateTheoryEndToEnd) {
   TermId S2 = A.mkStoS(S, Ni, A.mkAdd(OldI, A.mkInt(1)));
   FormulaPtr F =
       Formula::mkEq(A, A.mkSelS(S2, Ni), A.mkAdd(OldI, A.mkInt(1)));
-  EXPECT_TRUE(Prover.isValid(F));
-  EXPECT_TRUE(Prover.isValid(Formula::mkLt(A, OldI, A.mkSelS(S2, Ni))));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkLt(A, OldI, A.mkSelS(S2, Ni)))).Verdict);
 }
 
 TEST_F(AtpTest, CommuteAxiomGroundInstance) {
@@ -493,24 +493,30 @@ TEST_F(AtpTest, CommuteAxiomGroundInstance) {
   TermId CAB = A.mkApply(SC, {AB}, Sort::State);
   TermId CBA = A.mkApply(SC, {BA}, Sort::State);
   EXPECT_TRUE(
-      Prover.isValid(Formula::mkImplies(Commute, Formula::mkEq(A, CAB, CBA))));
-  EXPECT_FALSE(Prover.isValid(Formula::mkEq(A, CAB, CBA)));
+      Prover.query(AtpQuery::validity(Formula::mkImplies(Commute, Formula::mkEq(A, CAB, CBA)))).Verdict);
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(Formula::mkEq(A, CAB, CBA))).Verdict);
 }
 
 TEST_F(AtpTest, NonLinearTermsAreConservative) {
-  // x * y = y * x is NOT recognized (nonlinear products are opaque); the
-  // prover must answer "not valid" rather than guessing.
-  TermId X = intConst("x"), Y = intConst("y");
-  FormulaPtr F = Formula::mkEq(A, A.mkMul(X, Y), A.mkMul(Y, X));
-  EXPECT_FALSE(Prover.isValid(F));
+  // Nonlinear products are opaque to the LIA core. The equality
+  // saturation stage's AC hashcons does close plain commutativity
+  // (x * y = y * x), but anything deeper — distributivity here — must
+  // answer "not valid" rather than guessing.
+  TermId X = intConst("x"), Y = intConst("y"), Z = intConst("z");
+  FormulaPtr Commute = Formula::mkEq(A, A.mkMul(X, Y), A.mkMul(Y, X));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Commute)).Verdict);
+  FormulaPtr Distrib =
+      Formula::mkEq(A, A.mkMul(X, A.mkAdd(Y, Z)),
+                    A.mkAdd(A.mkMul(X, Y), A.mkMul(X, Z)));
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(Distrib)).Verdict);
 }
 
 TEST_F(AtpTest, StatsCountQueries) {
   TermId X = intConst("x");
   FormulaPtr F = Formula::mkEq(A, X, X);
   uint64_t Before = Prover.stats().Queries;
-  Prover.isValid(F);
-  Prover.isSatisfiable(F);
+  Prover.query(AtpQuery::validity(F)).Verdict;
+  Prover.query(AtpQuery::satisfiability(F)).Verdict;
   EXPECT_EQ(Prover.stats().Queries, Before + 2);
 }
 
@@ -523,14 +529,14 @@ TEST_F(AtpTest, StatsAttributeQueriesToCurrentPurpose) {
   using telemetry::Purpose;
   {
     telemetry::PurposeScope Tag(Purpose::Obligation);
-    Prover.isValid(Valid);
-    Prover.isValid(Valid);
+    Prover.query(AtpQuery::validity(Valid)).Verdict;
+    Prover.query(AtpQuery::validity(Valid)).Verdict;
   }
   {
     telemetry::PurposeScope Tag(Purpose::PathPruning);
-    Prover.isSatisfiable(Sat);
+    Prover.query(AtpQuery::satisfiability(Sat)).Verdict;
   }
-  Prover.isSatisfiable(Sat); // Untagged => Other.
+  Prover.query(AtpQuery::satisfiability(Sat)).Verdict; // Untagged => Other.
 
   const AtpStats &S = Prover.stats();
   EXPECT_EQ(S.Queries, 4u);
@@ -558,10 +564,10 @@ TEST_F(AtpTest, ResetStatsClearsEveryField) {
   FormulaPtr Eq = Formula::mkEq(A, X, Y);
   {
     telemetry::PurposeScope Tag(telemetry::Purpose::Strengthening);
-    Prover.isSatisfiable(Formula::mkAnd(Le, Lt));
-    Prover.isSatisfiable(
-        Formula::mkAnd(Formula::mkOr(Le, Eq), Formula::mkOr(Lt, Eq)));
-    Prover.isValid(Formula::mkImplies(Le, Eq));
+    Prover.query(AtpQuery::satisfiability(Formula::mkAnd(Le, Lt))).Verdict;
+    Prover.query(AtpQuery::satisfiability(
+        Formula::mkAnd(Formula::mkOr(Le, Eq), Formula::mkOr(Lt, Eq)))).Verdict;
+    Prover.query(AtpQuery::validity(Formula::mkImplies(Le, Eq))).Verdict;
   }
   const AtpStats &Dirty = Prover.stats();
   ASSERT_GT(Dirty.Queries, 0u);
@@ -597,12 +603,12 @@ TEST_F(AtpTest, IffEncoding) {
   FormulaPtr P = Formula::mkEq(A, X, Y);
   FormulaPtr Q = Formula::mkLe(A, X, Y);
   // (p <=> q) && p => q.
-  EXPECT_TRUE(Prover.isValid(Formula::mkImplies(
-      Formula::mkAnd(Formula::mkIff(P, Q), P), Q)));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkImplies(
+      Formula::mkAnd(Formula::mkIff(P, Q), P), Q))).Verdict);
   // x = y => x <= y (theory-level iff direction).
-  EXPECT_TRUE(Prover.isValid(Formula::mkImplies(P, Q)));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkImplies(P, Q))).Verdict);
   // x <= y does not imply x = y.
-  EXPECT_FALSE(Prover.isValid(Formula::mkImplies(Q, P)));
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(Formula::mkImplies(Q, P))).Verdict);
 }
 
 } // namespace

@@ -81,7 +81,7 @@ TEST_F(StoreTheoryTest, StoreInjectivity) {
   FormulaPtr F = Formula::mkImplies(
       Formula::mkEq(A, A.mkStoS(S, N, V), A.mkStoS(T, N, W)),
       Formula::mkEq(A, V, W));
-  EXPECT_TRUE(Prover.isValid(F));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
 }
 
 TEST_F(StoreTheoryTest, AgreeOffNamePropagatesToOtherValues) {
@@ -93,7 +93,7 @@ TEST_F(StoreTheoryTest, AgreeOffNamePropagatesToOtherValues) {
   FormulaPtr F = Formula::mkImplies(
       Formula::mkEq(A, A.mkStoS(SA, N, C), A.mkStoS(SB, N, C)),
       Formula::mkEq(A, A.mkStoS(SA, N, D), A.mkStoS(SB, N, D)));
-  EXPECT_TRUE(Prover.isValid(F));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
 }
 
 TEST_F(StoreTheoryTest, AgreeOffNamePropagatesToReads) {
@@ -104,7 +104,7 @@ TEST_F(StoreTheoryTest, AgreeOffNamePropagatesToReads) {
   FormulaPtr F = Formula::mkImplies(
       Formula::mkEq(A, A.mkStoS(SA, Nx, C), A.mkStoS(SB, Nx, C)),
       Formula::mkEq(A, A.mkSelS(SA, Ny), A.mkSelS(SB, Ny)));
-  EXPECT_TRUE(Prover.isValid(F));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
 }
 
 TEST_F(StoreTheoryTest, AgreeOffNameDoesNotLeakToTheNameItself) {
@@ -115,7 +115,7 @@ TEST_F(StoreTheoryTest, AgreeOffNameDoesNotLeakToTheNameItself) {
   FormulaPtr F = Formula::mkImplies(
       Formula::mkEq(A, A.mkStoS(SA, Nx, C), A.mkStoS(SB, Nx, C)),
       Formula::mkEq(A, A.mkSelS(SA, Nx), A.mkSelS(SB, Nx)));
-  EXPECT_FALSE(Prover.isValid(F));
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(F)).Verdict);
 }
 
 //===----------------------------------------------------------------------===//
@@ -131,7 +131,7 @@ TEST_F(StoreTheoryTest, LiaEntailedEqualityReachesCongruence) {
       {Formula::mkLe(A, X, Y), Formula::mkLe(A, Y, X),
        Formula::mkNot(
            Formula::mkEq(A, A.mkStoS(S, N, X), A.mkStoS(S, N, Y)))});
-  EXPECT_FALSE(Prover.isSatisfiable(F));
+  EXPECT_FALSE(Prover.query(AtpQuery::satisfiability(F)).Verdict);
 }
 
 TEST_F(StoreTheoryTest, CongruenceConstantFoldsProducts) {
@@ -141,7 +141,7 @@ TEST_F(StoreTheoryTest, CongruenceConstantFoldsProducts) {
       Formula::mkEq(A, Scale, A.mkInt(4)),
       Formula::mkEq(A, A.mkMul(In, Scale),
                     A.mkAdd(A.mkAdd(In, In), A.mkAdd(In, In))));
-  EXPECT_TRUE(Prover.isValid(F));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
 }
 
 TEST_F(StoreTheoryTest, TransitiveEqualityThroughUninterpreted) {
@@ -153,7 +153,7 @@ TEST_F(StoreTheoryTest, TransitiveEqualityThroughUninterpreted) {
       Formula::mkAnd({Formula::mkEq(A, Fx, Y), Formula::mkEq(A, Y, Gz),
                       Formula::mkEq(A, Gz, A.mkInt(3))}),
       Formula::mkEq(A, Fx, A.mkInt(3)));
-  EXPECT_TRUE(Prover.isValid(F));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(F)).Verdict);
 }
 
 TEST_F(StoreTheoryTest, MixedUnsatCore) {
@@ -171,7 +171,7 @@ TEST_F(StoreTheoryTest, MixedUnsatCore) {
   FormulaPtr F = Formula::mkAnd(
       {Formula::mkEq(A, A.mkSelS(S1, Ni), A.mkSub(E, A.mkInt(1))),
        Formula::mkLt(A, A.mkSelS(PostInc, Ni), E)});
-  EXPECT_FALSE(Prover.isSatisfiable(F));
+  EXPECT_FALSE(Prover.query(AtpQuery::satisfiability(F)).Verdict);
 }
 
 //===----------------------------------------------------------------------===//
@@ -179,17 +179,17 @@ TEST_F(StoreTheoryTest, MixedUnsatCore) {
 //===----------------------------------------------------------------------===//
 
 TEST_F(StoreTheoryTest, TrivialFormulas) {
-  EXPECT_TRUE(Prover.isValid(Formula::mkTrue()));
-  EXPECT_FALSE(Prover.isValid(Formula::mkFalse()));
-  EXPECT_TRUE(Prover.isSatisfiable(Formula::mkTrue()));
-  EXPECT_FALSE(Prover.isSatisfiable(Formula::mkFalse()));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkTrue())).Verdict);
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(Formula::mkFalse())).Verdict);
+  EXPECT_TRUE(Prover.query(AtpQuery::satisfiability(Formula::mkTrue())).Verdict);
+  EXPECT_FALSE(Prover.query(AtpQuery::satisfiability(Formula::mkFalse())).Verdict);
 }
 
 TEST_F(StoreTheoryTest, SelfEqualityOnComplexTerm) {
   TermId S = state("s");
   TermId T = A.mkStoS(S, name("x"), A.mkAdd(A.mkSelS(S, name("y")),
                                             A.mkInt(3)));
-  EXPECT_TRUE(Prover.isValid(Formula::mkEq(A, T, T)));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkEq(A, T, T))).Verdict);
 }
 
 //===----------------------------------------------------------------------===//
@@ -199,29 +199,29 @@ TEST_F(StoreTheoryTest, SelfEqualityOnComplexTerm) {
 TEST_F(StoreTheoryTest, DivisionByOneIsIdentity) {
   TermId X = intc("x");
   TermId Div = A.mkApply(Symbol::get("div$"), {X, A.mkInt(1)}, Sort::Int);
-  EXPECT_TRUE(Prover.isValid(Formula::mkEq(A, Div, X)));
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkEq(A, Div, X))).Verdict);
 }
 
 TEST_F(StoreTheoryTest, ModuloBoundsForPositiveDividend) {
   TermId X = intc("x");
   TermId Mod = A.mkApply(Symbol::get("mod$"), {X, A.mkInt(3)}, Sort::Int);
   // 0 <= x implies 0 <= x % 3 <= 2.
-  EXPECT_TRUE(Prover.isValid(Formula::mkImplies(
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkImplies(
       Formula::mkLe(A, A.mkInt(0), X),
       Formula::mkAnd(Formula::mkLe(A, A.mkInt(0), Mod),
-                     Formula::mkLe(A, Mod, A.mkInt(2))))));
+                     Formula::mkLe(A, Mod, A.mkInt(2)))))).Verdict);
   // But not unconditionally (negative dividends truncate toward zero).
-  EXPECT_FALSE(Prover.isValid(Formula::mkLe(A, A.mkInt(0), Mod)));
+  EXPECT_FALSE(Prover.query(AtpQuery::validity(Formula::mkLe(A, A.mkInt(0), Mod))).Verdict);
 }
 
 TEST_F(StoreTheoryTest, DivisionRespectsMagnitude) {
   // 0 <= x <= 7 implies x / 2 <= 3.
   TermId X = intc("x");
   TermId Div = A.mkApply(Symbol::get("div$"), {X, A.mkInt(2)}, Sort::Int);
-  EXPECT_TRUE(Prover.isValid(Formula::mkImplies(
+  EXPECT_TRUE(Prover.query(AtpQuery::validity(Formula::mkImplies(
       Formula::mkAnd(Formula::mkLe(A, A.mkInt(0), X),
                      Formula::mkLe(A, X, A.mkInt(7))),
-      Formula::mkLe(A, Div, A.mkInt(3)))));
+      Formula::mkLe(A, Div, A.mkInt(3))))).Verdict);
 }
 
 TEST_F(StoreTheoryTest, SymbolicDivisorStaysUninterpreted) {
@@ -229,7 +229,7 @@ TEST_F(StoreTheoryTest, SymbolicDivisorStaysUninterpreted) {
   TermId X = intc("x"), Y = intc("y");
   TermId Div = A.mkApply(Symbol::get("div$"), {X, Y}, Sort::Int);
   EXPECT_FALSE(
-      Prover.isValid(Formula::mkEq(A, A.mkMul(Div, Y), X)));
+      Prover.query(AtpQuery::validity(Formula::mkEq(A, A.mkMul(Div, Y), X))).Verdict);
 }
 
 TEST_F(StoreTheoryTest, DeepStoreChainNormalization) {

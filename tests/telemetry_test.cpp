@@ -4,7 +4,7 @@
 // trace, counter aggregation, JSON escaping of hostile rule names,
 // disabled-mode no-ops, purpose tagging, and a golden-file check that
 // `pec prove-suite --report json` emits exactly the documented
-// pec-report-v5 field set.
+// pec-report-v6 field set.
 //
 //===----------------------------------------------------------------------===//
 
@@ -297,7 +297,7 @@ TEST(ReportSchemaTest, ProveSuiteMatchesGoldenFieldSet) {
            "docs/OBSERVABILITY.md)";
 
   // Spot-check semantic content, not just shape.
-  EXPECT_EQ(Report->get("schema")->stringValue(), "pec-report-v5");
+  EXPECT_EQ(Report->get("schema")->stringValue(), "pec-report-v6");
   EXPECT_EQ(Report->get("command")->stringValue(), "prove-suite");
   const auto &Rules = Report->get("rules")->array();
   EXPECT_GE(Rules.size(), 19u); // The Figure 11 suite.
